@@ -1,0 +1,76 @@
+// Figure 11 — "Effect of Larger Memory": transformation I/O (coefficients)
+// of the 4-d TEMPERATURE cube as the memory budget grows, for Vitter et
+// al., SHIFT-SPLIT standard and SHIFT-SPLIT non-standard.
+//
+// Paper setup: d=4, 16 GB cube, memory 2..16 MB. Scaled-down setup here:
+// a 16^4 hypercube (synthetic TEMPERATURE; I/O counts depend only on the
+// shapes) with the memory budget swept as the chunk volume M^d; I/O is
+// reported in coefficients like the paper's y-axis (store reads+writes plus
+// the one-pass read of the source data).
+//
+// Expected shape (paper): Vitter flat and highest; SS-Standard decreasing
+// markedly with memory; SS-Non-Standard flat and lowest.
+
+#include "bench_util.h"
+#include "shiftsplit/baseline/vitter_transform.h"
+#include "shiftsplit/core/chunked_transform.h"
+#include "shiftsplit/data/temperature.h"
+
+using namespace shiftsplit;
+using namespace shiftsplit::bench;
+
+int main() {
+  const uint32_t d = 4, n = 4, b = 1;  // 16^4 cube = 65536 cells
+  TemperatureOptions data_options;
+  data_options.log_lat = n;
+  data_options.log_lon = n;
+  data_options.log_alt = n;
+  data_options.log_time = n;
+  const std::vector<uint32_t> log_dims(d, n);
+
+  std::printf("Figure 11: transformation I/O vs memory (d=%u, N=%u^4 cells)\n",
+              d, 1u << n);
+  PrintRow({"memory(coeff)", "Vitter", "SS-Standard", "SS-NonStd"});
+
+  // Vitter's cost is memory-insensitive; measure it once.
+  uint64_t vitter_io = 0;
+  {
+    auto dataset = MakeTemperatureDataset(data_options);
+    auto bundle = MakeNaiveStore(log_dims, uint64_t{1} << (b * d), 512);
+    const TransformResult r =
+        DieOnError(VitterTransformStandard(dataset.get(), bundle.store.get(),
+                                           Normalization::kAverage),
+                   "vitter");
+    vitter_io = r.store_io.total_coeffs() + r.cells_read;
+  }
+
+  for (uint32_t m = 1; m <= n; ++m) {
+    TransformOptions options;
+    options.maintain_scaling_slots = false;  // count primary I/O, like the paper
+
+    auto std_dataset = MakeTemperatureDataset(data_options);
+    auto std_bundle = MakeStandardStore(log_dims, b, 4096);
+    const TransformResult std_r = DieOnError(
+        TransformDatasetStandard(std_dataset.get(), m, std_bundle.store.get(),
+                                 options),
+        "standard");
+
+    auto ns_dataset = MakeTemperatureDataset(data_options);
+    auto ns_bundle = MakeNonstandardStore(d, n, b, 4096);
+    TransformOptions ns_options = options;
+    ns_options.zorder = true;
+    const TransformResult ns_r = DieOnError(
+        TransformDatasetNonstandard(ns_dataset.get(), m, ns_bundle.store.get(),
+                                    ns_options),
+        "non-standard");
+
+    PrintRow({U(uint64_t{1} << (m * d)), U(vitter_io),
+              U(std_r.store_io.total_coeffs() + std_r.cells_read),
+              U(ns_r.store_io.total_coeffs() + ns_r.cells_read)});
+  }
+  std::printf(
+      "\nPaper shape check: SS-Standard falls steeply with memory;\n"
+      "SS-Non-Standard stays flat and lowest; Vitter stays flat and is beaten"
+      "\nby both once the chunk holds a few coefficients per dimension.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Figure 13 — "SHIFT-SPLIT in Appending": the PRECIPITATION cube receives
+// one month of data at a time; the per-append block I/O is flat and cheap,
+// with jumps at the domain expansions, and larger tiles shrink the jumps.
+//
+// Paper setup: 8 x 8 x time cube, 45 years of monthly appends, tiles of
+// 2 KB / 4 KB / 8 KB. Setup here: the same 8 x 8 x (32/month) grid over 48
+// months, with three tile edge sizes (B = 2, 4, 8 per dimension).
+
+#include "bench_util.h"
+#include "shiftsplit/core/appender.h"
+#include "shiftsplit/data/precipitation.h"
+
+using namespace shiftsplit;
+using namespace shiftsplit::bench;
+
+namespace {
+
+std::vector<uint64_t> Run(uint32_t b, uint64_t months) {
+  Appender::Options options;
+  options.b = b;
+  options.pool_blocks = 512;
+  auto appender = DieOnError(
+      Appender::Create({3, 3, 5}, /*append_dim=*/2, options), "appender");
+  std::vector<uint64_t> per_month;
+  uint64_t last = 0;
+  PrecipitationOptions data_options;
+  for (uint64_t month = 0; month < months; ++month) {
+    DieOnError(appender->Append(MakePrecipitationMonth(month, data_options)),
+               "append");
+    const uint64_t now = appender->total_io().total_blocks();
+    per_month.push_back(now - last);
+    last = now;
+  }
+  return per_month;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t kMonths = 48;
+  std::printf(
+      "Figure 13: per-append block I/O over time (8x8 grid, 32-day months,\n"
+      "appending rate = one month). Jumps mark wavelet-domain expansions.\n");
+  PrintRow({"month", "tile B=2^3", "tile B=4^3", "tile B=8^3"});
+  const auto b2 = Run(1, kMonths);
+  const auto b4 = Run(2, kMonths);
+  const auto b8 = Run(3, kMonths);
+  for (uint64_t month = 0; month < kMonths; ++month) {
+    PrintRow({U(month + 1), U(b2[month]), U(b4[month]), U(b8[month])});
+  }
+  std::printf(
+      "\nPaper shape check: cost is low and flat between expansions; the\n"
+      "expansion spikes (months 2, 3, 5, 9, 17, 33) shrink as the tile\n"
+      "grows, so \"this expansion process is not such a dominating factor,\n"
+      "especially for larger disk block sizes\".\n");
+  return 0;
+}

@@ -1,0 +1,109 @@
+// Kernel throughput micro-benchmarks (google-benchmark): the in-memory
+// primitives every maintenance operation is built from.
+
+#include <benchmark/benchmark.h>
+
+#include "shiftsplit/core/shift_split.h"
+#include "shiftsplit/util/random.h"
+#include "shiftsplit/wavelet/haar.h"
+#include "shiftsplit/wavelet/nonstandard_transform.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+
+namespace shiftsplit {
+namespace {
+
+std::vector<double> RandomVec(size_t size, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<double> v(size);
+  for (auto& x : v) x = rng.NextGaussian();
+  return v;
+}
+
+void BM_ForwardHaar1D(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  auto data = RandomVec(size, 1);
+  for (auto _ : state) {
+    auto copy = data;
+    benchmark::DoNotOptimize(ForwardHaar1D(copy, Normalization::kAverage));
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_ForwardHaar1D)->Range(1 << 8, 1 << 16);
+
+void BM_InverseHaar1D(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  auto data = RandomVec(size, 2);
+  (void)ForwardHaar1D(data, Normalization::kAverage);
+  for (auto _ : state) {
+    auto copy = data;
+    benchmark::DoNotOptimize(InverseHaar1D(copy, Normalization::kAverage));
+    benchmark::DoNotOptimize(copy.data());
+  }
+  state.SetItemsProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_InverseHaar1D)->Range(1 << 8, 1 << 16);
+
+void BM_ForwardStandard2D(benchmark::State& state) {
+  const uint64_t edge = static_cast<uint64_t>(state.range(0));
+  Tensor t(TensorShape::Cube(2, edge), RandomVec(edge * edge, 3));
+  for (auto _ : state) {
+    Tensor copy = t;
+    benchmark::DoNotOptimize(ForwardStandard(&copy, Normalization::kAverage));
+  }
+  state.SetItemsProcessed(state.iterations() * edge * edge);
+}
+BENCHMARK(BM_ForwardStandard2D)->Range(16, 256);
+
+void BM_ForwardNonstandard2D(benchmark::State& state) {
+  const uint64_t edge = static_cast<uint64_t>(state.range(0));
+  Tensor t(TensorShape::Cube(2, edge), RandomVec(edge * edge, 4));
+  for (auto _ : state) {
+    Tensor copy = t;
+    benchmark::DoNotOptimize(
+        ForwardNonstandard(&copy, Normalization::kAverage));
+  }
+  state.SetItemsProcessed(state.iterations() * edge * edge);
+}
+BENCHMARK(BM_ForwardNonstandard2D)->Range(16, 256);
+
+void BM_HaarPyramid(benchmark::State& state) {
+  const size_t size = static_cast<size_t>(state.range(0));
+  auto data = RandomVec(size, 5);
+  std::vector<std::vector<double>> pyramid;
+  std::vector<double> transform;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        HaarPyramid(data, Normalization::kAverage, &pyramid, &transform));
+  }
+  state.SetItemsProcessed(state.iterations() * size);
+}
+BENCHMARK(BM_HaarPyramid)->Range(1 << 8, 1 << 14);
+
+void BM_Split1D(benchmark::State& state) {
+  const uint32_t n = 30, m = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        Split1D(n, m, 12345, 3.25, Normalization::kAverage));
+  }
+}
+BENCHMARK(BM_Split1D)->DenseRange(5, 25, 10);
+
+void BM_ApplyChunk1DInMemory(benchmark::State& state) {
+  const uint32_t n = 20, m = static_cast<uint32_t>(state.range(0));
+  auto chunk = RandomVec(size_t{1} << m, 6);
+  (void)ForwardHaar1D(chunk, Normalization::kAverage);
+  std::vector<double> global(size_t{1} << n, 0.0);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        ApplyChunk1D(chunk, n, 7, global, Normalization::kAverage,
+                     ApplyMode::kUpdate));
+  }
+  state.SetItemsProcessed(state.iterations() * (uint64_t{1} << m));
+}
+BENCHMARK(BM_ApplyChunk1DInMemory)->DenseRange(4, 12, 4);
+
+}  // namespace
+}  // namespace shiftsplit
+
+BENCHMARK_MAIN();

@@ -1,0 +1,72 @@
+// Real-device run: the Figure-12-style transformation workload executed on
+// the POSIX file backend with wall-clock timing, plus the analytic
+// disk-model estimate for a 2005-era drive (the paper's hardware
+// generation) derived from the identical block counts. Demonstrates that
+// the experiments are "accurate implementations of the operations on real
+// disks with real disk blocks".
+
+#include <chrono>
+#include <filesystem>
+
+#include "bench_util.h"
+#include "shiftsplit/core/chunked_transform.h"
+#include "shiftsplit/data/synthetic.h"
+#include "shiftsplit/storage/disk_model.h"
+#include "shiftsplit/storage/file_block_manager.h"
+
+using namespace shiftsplit;
+using namespace shiftsplit::bench;
+
+int main() {
+  namespace fs = std::filesystem;
+  const fs::path dir = fs::temp_directory_path() / "shiftsplit_bench_disk";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  std::printf(
+      "Real-file backend: standard-form transformation, wall clock vs the\n"
+      "2005-era disk model applied to the same block counts (d=2, chunk\n"
+      "16x16, tile 8x8)\n");
+  PrintRow({"cells", "blocks", "wall ms", "2005-disk ms", "ssd ms"});
+  for (uint32_t n = 7; n <= 9; ++n) {
+    auto dataset =
+        MakeUniformDataset(TensorShape::Cube(2, uint64_t{1} << n), 0, 1, n);
+    auto layout =
+        std::make_unique<StandardTiling>(std::vector<uint32_t>{n, n}, 3);
+    const double block_bytes =
+        static_cast<double>(layout->block_capacity()) * sizeof(double);
+    const std::string path =
+        (dir / ("n" + std::to_string(n) + ".blocks")).string();
+    auto manager = DieOnError(
+        FileBlockManager::Open(path, layout->block_capacity()), "open");
+    auto store = DieOnError(
+        TiledStore::Create(std::move(layout), manager.get(), 1u << 10),
+        "store");
+    TransformOptions options;
+    options.maintain_scaling_slots = false;
+
+    const auto start = std::chrono::steady_clock::now();
+    const TransformResult result = DieOnError(
+        TransformDatasetStandard(dataset.get(), 4, store.get(), options),
+        "transform");
+    DieOnError(manager->Sync(), "sync");
+    const double wall_ms =
+        std::chrono::duration<double, std::milli>(
+            std::chrono::steady_clock::now() - start)
+            .count();
+
+    PrintRow({U(uint64_t{1} << (2 * n)),
+              U(result.store_io.total_blocks()), F(wall_ms, 1),
+              F(DiskModel::Circa2005(block_bytes).EstimateMs(result.store_io),
+                1),
+              F(DiskModel::ModernSsd(block_bytes).EstimateMs(result.store_io),
+                1)});
+  }
+  fs::remove_all(dir);
+  std::printf(
+      "\nNote: wall clock reflects this machine's page cache; the model\n"
+      "columns are what the identical block counts cost on the paper's\n"
+      "hardware generation vs a modern SSD — the count reductions the\n"
+      "library optimizes for translate directly into device time.\n");
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Result 6 — partial reconstruction: coefficient reads to extract a dyadic
+// range of size M^d from a transformed store, for SHIFT-SPLIT inverse
+// (O((M + log(N/M))^d) standard / O(M^d + (2^d-1) log(N/M)) non-standard)
+// versus the two naive strategies of §5.4's dilemma: point-by-point
+// (O(M^d log^d N)) and full decompression (O(N^d)).
+
+#include "bench_util.h"
+#include "shiftsplit/baseline/naive_reconstruct.h"
+#include "shiftsplit/core/md_shift_split.h"
+#include "shiftsplit/core/reconstruct.h"
+#include "shiftsplit/util/random.h"
+
+using namespace shiftsplit;
+using namespace shiftsplit::bench;
+
+int main() {
+  const uint32_t d = 2, n = 8, b = 2;
+  const std::vector<uint32_t> log_dims(d, n);
+
+  // Load a transformed store once.
+  TensorShape shape = TensorShape::Cube(d, uint64_t{1} << n);
+  Tensor data(shape);
+  Xoshiro256 rng(9);
+  for (uint64_t i = 0; i < data.size(); ++i) data[i] = rng.NextGaussian();
+  auto std_bundle = MakeStandardStore(log_dims, b, 1u << 14);
+  auto ns_bundle = MakeNonstandardStore(d, n, b, 1u << 14);
+  {
+    std::vector<uint64_t> zero(d, 0);
+    DieOnError(ApplyChunkStandard(data, zero, log_dims,
+                                  std_bundle.store.get(),
+                                  Normalization::kAverage),
+               "load standard");
+    DieOnError(ApplyChunkNonstandard(data, zero, n, ns_bundle.store.get(),
+                                     Normalization::kAverage),
+               "load non-standard");
+  }
+
+  std::printf(
+      "Result 6: coefficient reads to extract an M^2 dyadic range from a\n"
+      "%llux%llu transform\n",
+      static_cast<unsigned long long>(shape.dim(0)),
+      static_cast<unsigned long long>(shape.dim(1)));
+  PrintRow({"M", "SS-std", "SS-ns", "pointwise", "full-decomp"});
+  for (uint32_t m = 1; m < n; ++m) {
+    const std::vector<uint32_t> range_log(d, m);
+    const std::vector<uint64_t> range_pos(d,
+                                          (uint64_t{1} << (n - m)) - 1);
+    std::vector<uint64_t> lo(d), hi(d);
+    for (uint32_t i = 0; i < d; ++i) {
+      lo[i] = range_pos[i] << m;
+      hi[i] = lo[i] + (uint64_t{1} << m) - 1;
+    }
+
+    std_bundle.manager->stats().Reset();
+    DieOnError(ReconstructDyadicStandard(std_bundle.store.get(), log_dims,
+                                         range_log, range_pos,
+                                         Normalization::kAverage)
+                   .status(),
+               "ss reconstruct");
+    const uint64_t ss_std = std_bundle.manager->stats().coeff_reads;
+
+    ns_bundle.manager->stats().Reset();
+    DieOnError(ReconstructDyadicNonstandard(ns_bundle.store.get(), n, m,
+                                            range_pos,
+                                            Normalization::kAverage)
+                   .status(),
+               "ns reconstruct");
+    const uint64_t ss_ns = ns_bundle.manager->stats().coeff_reads;
+
+    std_bundle.manager->stats().Reset();
+    DieOnError(PointwiseReconstructStandard(std_bundle.store.get(), log_dims,
+                                            lo, hi, Normalization::kAverage)
+                   .status(),
+               "pointwise");
+    const uint64_t pointwise = std_bundle.manager->stats().coeff_reads;
+
+    std_bundle.manager->stats().Reset();
+    DieOnError(FullReconstructExtractStandard(std_bundle.store.get(),
+                                              log_dims, lo, hi,
+                                              Normalization::kAverage)
+                   .status(),
+               "full");
+    const uint64_t full = std_bundle.manager->stats().coeff_reads;
+
+    PrintRow({U(uint64_t{1} << m), U(ss_std), U(ss_ns), U(pointwise),
+              U(full)});
+  }
+  std::printf(
+      "\nPaper shape check: SHIFT-SPLIT reconstruction beats point-by-point\n"
+      "everywhere (log^d-factor) and beats full decompression until the\n"
+      "range approaches the dataset; the non-standard inverse needs the\n"
+      "fewest reads (single split path).\n");
+  return 0;
+}

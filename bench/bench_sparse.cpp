@@ -1,0 +1,58 @@
+// Sparse-data ablation (paper §5.1: "in the case of sparse data with z
+// non-zero values the I/O complexity is O(z ... + z log(N^d / z))"):
+// transformation coefficient I/O of the sparse-aware SHIFT-SPLIT versus the
+// dense path, sweeping the non-zero fraction of a clustered 2-d dataset.
+
+#include "bench_util.h"
+#include "shiftsplit/core/chunked_transform.h"
+#include "shiftsplit/data/synthetic.h"
+
+using namespace shiftsplit;
+using namespace shiftsplit::bench;
+
+namespace {
+
+uint64_t Run(double density, bool sparse, uint64_t* nonzero) {
+  const uint32_t n = 8, m = 3, b = 2;
+  const std::vector<uint32_t> log_dims{n, n};
+  // Zipf-clustered sparse data (hot region along dimension 0).
+  auto dataset =
+      MakeSparseDataset(TensorShape::Cube(2, uint64_t{1} << n), density, 1.5,
+                        42);
+  if (nonzero != nullptr) {
+    *nonzero = 0;
+    std::vector<uint64_t> c(2, 0);
+    do {
+      if (dataset->Cell(c) != 0.0) ++*nonzero;
+    } while (dataset->shape().Next(c));
+  }
+  auto bundle = MakeStandardStore(log_dims, b, 1u << 12);
+  TransformOptions options;
+  options.maintain_scaling_slots = false;
+  options.sparse = sparse;
+  const TransformResult result = DieOnError(
+      TransformDatasetStandard(dataset.get(), m, bundle.store.get(), options),
+      "transform");
+  return result.store_io.coeff_writes;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Sparse transformation: coefficient writes, dense vs sparse-aware\n"
+      "SHIFT-SPLIT (d=2, N=256^2 cells, chunk 8^2, Zipf-clustered data)\n");
+  PrintRow({"density", "nonzero z", "dense", "sparse", "sparse/z"});
+  for (double density : {0.002, 0.01, 0.05, 0.25, 1.0}) {
+    uint64_t z = 0;
+    const uint64_t dense = Run(density, false, &z);
+    const uint64_t sparse = Run(density, true, nullptr);
+    PrintRow({F(density, 3), U(z), U(dense), U(sparse),
+              F(z > 0 ? static_cast<double>(sparse) / z : 0.0, 2)});
+  }
+  std::printf(
+      "\nClaim check (§5.1): the dense cost is flat in the density; the\n"
+      "sparse-aware cost tracks z within a small factor (the log(N/z)-style\n"
+      "path overhead), converging to the dense cost as density -> 1.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Shared helpers for the benchmark harness: store construction and aligned
+// table printing.
+
+#ifndef SHIFTSPLIT_BENCH_BENCH_UTIL_H_
+#define SHIFTSPLIT_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "shiftsplit/tile/naive_tiling.h"
+#include "shiftsplit/tile/nonstandard_tiling.h"
+#include "shiftsplit/tile/standard_tiling.h"
+#include "shiftsplit/tile/tiled_store.h"
+
+namespace shiftsplit::bench {
+
+/// A store plus the device backing it (the device owns the I/O counters).
+struct StoreBundle {
+  std::unique_ptr<MemoryBlockManager> manager;
+  std::unique_ptr<TiledStore> store;
+};
+
+inline void DieOnError(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, status.ToString().c_str());
+    std::exit(1);
+  }
+}
+
+template <typename T>
+T DieOnError(Result<T> result, const char* what) {
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", what, result.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(result).value();
+}
+
+inline StoreBundle MakeStore(std::unique_ptr<TileLayout> layout,
+                             uint64_t pool_blocks) {
+  StoreBundle bundle;
+  bundle.manager =
+      std::make_unique<MemoryBlockManager>(layout->block_capacity());
+  bundle.store = DieOnError(
+      TiledStore::Create(std::move(layout), bundle.manager.get(), pool_blocks),
+      "store creation");
+  return bundle;
+}
+
+inline StoreBundle MakeStandardStore(std::vector<uint32_t> log_dims,
+                                     uint32_t b, uint64_t pool_blocks) {
+  return MakeStore(std::make_unique<StandardTiling>(std::move(log_dims), b),
+                   pool_blocks);
+}
+
+inline StoreBundle MakeNonstandardStore(uint32_t d, uint32_t n, uint32_t b,
+                                        uint64_t pool_blocks) {
+  return MakeStore(std::make_unique<NonstandardTiling>(d, n, b), pool_blocks);
+}
+
+inline StoreBundle MakeNaiveStore(std::vector<uint32_t> log_dims,
+                                  uint64_t block_capacity,
+                                  uint64_t pool_blocks) {
+  return MakeStore(
+      std::make_unique<NaiveTiling>(std::move(log_dims), block_capacity),
+      pool_blocks);
+}
+
+/// Prints a row of right-aligned cells under a previously printed header.
+inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
+  for (const auto& cell : cells) std::printf("%*s", width, cell.c_str());
+  std::printf("\n");
+}
+
+inline std::string U(uint64_t v) { return std::to_string(v); }
+
+inline std::string F(double v, int precision = 2) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+}  // namespace shiftsplit::bench
+
+#endif  // SHIFTSPLIT_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,53 @@
+#include "shiftsplit/baseline/gilbert_stream.h"
+
+#include <algorithm>
+
+#include "shiftsplit/baseline/naive_update.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+GilbertStreamSynopsis::GilbertStreamSynopsis(uint32_t n, uint64_t k,
+                                             Normalization norm)
+    : n_(n), norm_(norm), synopsis_(k) {}
+
+Status GilbertStreamSynopsis::Push(double value) {
+  if (finished_) return Status::InvalidArgument("stream already finished");
+  if (items_ >= (uint64_t{1} << n_)) {
+    return Status::OutOfRange("stream exceeded its declared domain size");
+  }
+  const uint64_t t = items_;
+  const auto path = PathToRoot(n_, t);
+  // Finalize crest coefficients whose support the stream has passed: the
+  // new item's path shares only a suffix (towards the root) with the old
+  // crest; anything not on the new path is done.
+  for (auto it = crest_.begin(); it != crest_.end();) {
+    const bool still_open =
+        std::find(path.begin(), path.end(), it->first) != path.end();
+    if (still_open) {
+      ++it;
+    } else {
+      synopsis_.Offer(it->first, it->second);
+      it = crest_.erase(it);
+    }
+  }
+  // Add the item's contribution to every coefficient on its path.
+  for (uint64_t idx : path) {
+    crest_[idx] += value * ForwardPointWeight(n_, idx, t, norm_);
+    ++coeff_touches_;
+  }
+  ++items_;
+  return Status::OK();
+}
+
+Status GilbertStreamSynopsis::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  for (const auto& [index, value] : crest_) {
+    synopsis_.Offer(index, value);
+  }
+  crest_.clear();
+  return Status::OK();
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,50 @@
+// Per-item K-term stream synopsis maintenance in the style of Gilbert et
+// al. [5] — the comparator of Result 3.
+//
+// Every arriving item updates all log N + 1 coefficients on its path to the
+// root (the "wavelet crest" of [8]); a crest coefficient is finalized — and
+// offered to the top-K synopsis — when the stream advances past its support.
+// Space: O(K + log N). Per-item cost: O(log N) coefficient touches, which
+// Result 3's buffered SHIFT-SPLIT maintainer reduces to
+// O(1 + (1/B) log(N/B)).
+
+#ifndef SHIFTSPLIT_BASELINE_GILBERT_STREAM_H_
+#define SHIFTSPLIT_BASELINE_GILBERT_STREAM_H_
+
+#include <unordered_map>
+
+#include "shiftsplit/core/synopsis.h"
+#include "shiftsplit/wavelet/haar.h"
+
+namespace shiftsplit {
+
+/// \brief Gilbert-style per-item stream maintainer.
+class GilbertStreamSynopsis {
+ public:
+  GilbertStreamSynopsis(uint32_t n, uint64_t k,
+                        Normalization norm = Normalization::kOrthonormal);
+
+  /// \brief Appends the next stream item, updating its full root path.
+  Status Push(double value);
+
+  /// \brief Finalizes all open coefficients.
+  Status Finish();
+
+  const TopKSynopsis& synopsis() const { return synopsis_; }
+  uint64_t items() const { return items_; }
+  uint64_t coeff_touches() const { return coeff_touches_; }
+  uint64_t open_coefficients() const { return crest_.size(); }
+
+ private:
+  uint32_t n_;
+  Normalization norm_;
+  TopKSynopsis synopsis_;
+  uint64_t items_ = 0;
+  uint64_t coeff_touches_ = 0;
+  bool finished_ = false;
+  std::unordered_map<uint64_t, double> crest_;  // flat index -> value
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_BASELINE_GILBERT_STREAM_H_

@@ -1,0 +1,34 @@
+// Naive region extraction baselines (paper §5.4's dilemma): either
+// reconstruct the requested box point by point (each point reads its full
+// path cross product), or decompress the entire dataset and cut the box out.
+// Result 6's SHIFT-SPLIT reconstruction is compared against both.
+
+#ifndef SHIFTSPLIT_BASELINE_NAIVE_RECONSTRUCT_H_
+#define SHIFTSPLIT_BASELINE_NAIVE_RECONSTRUCT_H_
+
+#include <span>
+
+#include "shiftsplit/tile/tiled_store.h"
+#include "shiftsplit/wavelet/haar.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief Point-by-point reconstruction of the inclusive box [lo, hi] from a
+/// standard-form store: O(M^d log^d N) coefficient reads.
+Result<Tensor> PointwiseReconstructStandard(TiledStore* store,
+                                            std::span<const uint32_t> log_dims,
+                                            std::span<const uint64_t> lo,
+                                            std::span<const uint64_t> hi,
+                                            Normalization norm);
+
+/// \brief Full decompression followed by box extraction: O(N^d) coefficient
+/// reads regardless of the box size.
+Result<Tensor> FullReconstructExtractStandard(
+    TiledStore* store, std::span<const uint32_t> log_dims,
+    std::span<const uint64_t> lo, std::span<const uint64_t> hi,
+    Normalization norm);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_BASELINE_NAIVE_RECONSTRUCT_H_

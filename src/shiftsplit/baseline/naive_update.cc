@@ -1,0 +1,78 @@
+#include "shiftsplit/baseline/naive_update.h"
+
+#include <cmath>
+
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+double ForwardPointWeight(uint32_t n, uint64_t index, uint64_t t,
+                          Normalization norm) {
+  const int sign = ReconstructionSign(n, index, t);
+  if (sign == 0) return 0.0;
+  const double atten = ScalingAttenuation(norm);
+  const uint32_t level = (index == 0) ? n : CoordOfIndex(n, index).level;
+  return sign * std::pow(atten, static_cast<double>(level));
+}
+
+Status NaivePointUpdate(TiledStore* store, std::span<const uint32_t> log_dims,
+                        std::span<const uint64_t> point, double delta,
+                        Normalization norm) {
+  const uint32_t d = static_cast<uint32_t>(log_dims.size());
+  if (point.size() != d) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  std::vector<std::vector<uint64_t>> paths(d);
+  std::vector<std::vector<double>> weights(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    if (point[i] >= (uint64_t{1} << log_dims[i])) {
+      return Status::OutOfRange("point beyond the domain");
+    }
+    paths[i] = PathToRoot(log_dims[i], point[i]);
+    weights[i].reserve(paths[i].size());
+    for (uint64_t idx : paths[i]) {
+      weights[i].push_back(ForwardPointWeight(log_dims[i], idx, point[i],
+                                              norm));
+    }
+  }
+  std::vector<size_t> pick(d, 0);
+  std::vector<uint64_t> address(d);
+  for (;;) {
+    double w = delta;
+    for (uint32_t i = 0; i < d; ++i) {
+      address[i] = paths[i][pick[i]];
+      w *= weights[i][pick[i]];
+    }
+    SS_RETURN_IF_ERROR(store->Add(address, w));
+    uint32_t i = d;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (++pick[i] < paths[i].size()) {
+        advanced = true;
+        break;
+      }
+      pick[i] = 0;
+    }
+    if (!advanced) break;
+  }
+  return Status::OK();
+}
+
+Status NaiveRangeUpdate(TiledStore* store, std::span<const uint32_t> log_dims,
+                        const Tensor& deltas,
+                        std::span<const uint64_t> origin, Normalization norm) {
+  const uint32_t d = static_cast<uint32_t>(log_dims.size());
+  if (deltas.shape().ndim() != d || origin.size() != d) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  std::vector<uint64_t> local(d, 0);
+  std::vector<uint64_t> point(d);
+  do {
+    for (uint32_t i = 0; i < d; ++i) point[i] = origin[i] + local[i];
+    SS_RETURN_IF_ERROR(
+        NaivePointUpdate(store, log_dims, point, deltas.At(local), norm));
+  } while (deltas.shape().Next(local));
+  return store->Flush();
+}
+
+}  // namespace shiftsplit

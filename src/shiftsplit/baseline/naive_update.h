@@ -1,0 +1,38 @@
+// Naive per-point maintenance of a standard-form transform — the comparator
+// of Example 2 and the update ablation: each changed cell individually
+// updates the full cross product of its per-dimension root paths, costing
+// O(prod_i (log N_i + 1)) coefficient writes per cell versus SHIFT-SPLIT's
+// batched O(M^d + path) for a whole region.
+
+#ifndef SHIFTSPLIT_BASELINE_NAIVE_UPDATE_H_
+#define SHIFTSPLIT_BASELINE_NAIVE_UPDATE_H_
+
+#include <span>
+
+#include "shiftsplit/tile/tiled_store.h"
+#include "shiftsplit/wavelet/haar.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief Adds `delta` to the single cell `point` of a standard-form store
+/// by updating every coefficient covering it.
+Status NaivePointUpdate(TiledStore* store, std::span<const uint32_t> log_dims,
+                        std::span<const uint64_t> point, double delta,
+                        Normalization norm);
+
+/// \brief Adds a tensor of deltas anchored at `origin` cell by cell (the
+/// naive batch: M^d point updates).
+Status NaiveRangeUpdate(TiledStore* store, std::span<const uint32_t> log_dims,
+                        const Tensor& deltas,
+                        std::span<const uint64_t> origin, Normalization norm);
+
+/// \brief The forward weight with which a delta at data position t feeds the
+/// 1-d coefficient at `index`: sign * atten^level for details,
+/// atten^n for the overall average (atten = ScalingAttenuation(norm)).
+double ForwardPointWeight(uint32_t n, uint64_t index, uint64_t t,
+                          Normalization norm);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_BASELINE_NAIVE_UPDATE_H_

@@ -1,0 +1,71 @@
+#include "shiftsplit/baseline/vitter_transform.h"
+
+#include "shiftsplit/tile/naive_tiling.h"
+#include "shiftsplit/wavelet/haar.h"
+
+namespace shiftsplit {
+
+Result<TransformResult> VitterTransformStandard(ChunkSource* source,
+                                                TiledStore* store,
+                                                Normalization norm) {
+  if (dynamic_cast<const NaiveTiling*>(&store->layout()) == nullptr) {
+    return Status::InvalidArgument(
+        "the Vitter baseline operates on a row-major (naive) layout");
+  }
+  const TensorShape& shape = source->shape();
+  const uint32_t d = shape.ndim();
+  TransformResult result;
+  const IoStats before = store->stats();
+  const uint64_t cells_before = source->cells_read();
+
+  // Phase 1: materialize the raw data onto the device, one row at a time
+  // (rows are contiguous in the row-major layout).
+  {
+    std::vector<uint64_t> row_dims(shape.dims());
+    row_dims[d - 1] = 1;  // iterate over all rows
+    TensorShape rows(row_dims);
+    std::vector<uint64_t> chunk_dims(d, 1);
+    chunk_dims[d - 1] = shape.dim(d - 1);
+    Tensor row{TensorShape(chunk_dims)};
+    std::vector<uint64_t> pos(d, 0);
+    std::vector<uint64_t> address(d);
+    do {
+      SS_RETURN_IF_ERROR(source->ReadChunk(pos, &row));
+      address = pos;
+      for (uint64_t x = 0; x < shape.dim(d - 1); ++x) {
+        address[d - 1] = x;
+        SS_RETURN_IF_ERROR(store->Set(address, row[x]));
+      }
+      ++result.chunks;
+    } while (rows.Next(pos));
+  }
+
+  // Phase 2: one full decomposition pass per dimension.
+  std::vector<double> fiber;
+  for (uint32_t dim = 0; dim < d; ++dim) {
+    fiber.resize(shape.dim(dim));
+    std::vector<uint64_t> base_dims(shape.dims());
+    base_dims[dim] = 1;
+    TensorShape bases(base_dims);
+    std::vector<uint64_t> base(d, 0);
+    std::vector<uint64_t> address(d);
+    do {
+      address = base;
+      for (uint64_t x = 0; x < shape.dim(dim); ++x) {
+        address[dim] = x;
+        SS_ASSIGN_OR_RETURN(fiber[x], store->Get(address));
+      }
+      SS_RETURN_IF_ERROR(ForwardHaar1D(fiber, norm));
+      for (uint64_t x = 0; x < shape.dim(dim); ++x) {
+        address[dim] = x;
+        SS_RETURN_IF_ERROR(store->Set(address, fiber[x]));
+      }
+    } while (bases.Next(base));
+  }
+  SS_RETURN_IF_ERROR(store->Flush());
+  result.store_io = store->stats() - before;
+  result.cells_read = source->cells_read() - cells_before;
+  return result;
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,32 @@
+// Baseline transformation in the style of Vitter et al. [12, 13] — the
+// comparator of Table 2 and Figure 11.
+//
+// The dataset is first materialized in its row-major block layout, then the
+// standard decomposition is computed dimension after dimension: every fiber
+// along the current dimension is read through the (budget-bounded) buffer
+// pool, fully decomposed, and written back. The coefficient I/O is
+// Theta(d * N^d) regardless of the memory budget — matching the flat,
+// memory-insensitive Vitter et al. curve of the paper's Figure 11 — and the
+// block I/O additionally carries the published log factor whenever the pool
+// cannot hold a full slab of fibers, because consecutive fibers re-touch the
+// same blocks.
+
+#ifndef SHIFTSPLIT_BASELINE_VITTER_TRANSFORM_H_
+#define SHIFTSPLIT_BASELINE_VITTER_TRANSFORM_H_
+
+#include "shiftsplit/core/chunked_transform.h"
+#include "shiftsplit/data/dataset.h"
+#include "shiftsplit/tile/tiled_store.h"
+
+namespace shiftsplit {
+
+/// \brief Transforms `source` into the standard form on a row-major
+/// (NaiveTiling) store, level-by-level. The store must use NaiveTiling with
+/// the source's shape.
+Result<TransformResult> VitterTransformStandard(ChunkSource* source,
+                                                TiledStore* store,
+                                                Normalization norm);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_BASELINE_VITTER_TRANSFORM_H_

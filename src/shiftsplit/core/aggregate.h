@@ -1,0 +1,73 @@
+// OLAP range aggregates over wavelet stores — the exact-answer flavour of
+// the range-aggregate line of work the paper builds on (Lemma 2 / [9]):
+// COUNT, SUM, AVERAGE, VARIANCE and STDDEV of any box, each answered in
+// O((2 log N + 1)^d) coefficient reads by maintaining two transforms — the
+// values and their squares — side by side.
+
+#ifndef SHIFTSPLIT_CORE_AGGREGATE_H_
+#define SHIFTSPLIT_CORE_AGGREGATE_H_
+
+#include <memory>
+
+#include "shiftsplit/core/chunked_transform.h"
+#include "shiftsplit/data/dataset.h"
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "shiftsplit/tile/tiled_store.h"
+
+namespace shiftsplit {
+
+/// \brief Exact range-aggregate answers from a pair of standard-form
+/// stores (values and squared values).
+class AggregateCube {
+ public:
+  struct Options {
+    Normalization norm = Normalization::kAverage;
+    uint32_t b = 2;             ///< log2 tile edge
+    uint64_t pool_blocks = 256;  ///< per-store buffer budget
+    uint32_t log_chunk = 3;     ///< build-time chunk edge (log2)
+  };
+
+  /// \brief Streams `source` once, building both transforms chunk by chunk.
+  static Result<std::unique_ptr<AggregateCube>> Build(ChunkSource* source,
+                                                      const Options& options);
+
+  /// \brief All aggregates of the inclusive box [lo, hi].
+  struct RangeAggregates {
+    uint64_t count = 0;
+    double sum = 0.0;
+    double sum_squares = 0.0;
+    double average = 0.0;
+    double variance = 0.0;  ///< population variance
+    double stddev = 0.0;
+  };
+  Result<RangeAggregates> Query(std::span<const uint64_t> lo,
+                                std::span<const uint64_t> hi);
+
+  /// \brief Adds a batch of deltas to a dyadic box, keeping both transforms
+  /// consistent. Requires the current values of the box (`old_values`) to
+  /// maintain the squares ((x+d)^2 - x^2 = 2xd + d^2); pass the tensor
+  /// returned by ReconstructDyadicStandard or tracked by the caller.
+  Status UpdateDyadic(const Tensor& deltas, const Tensor& old_values,
+                      std::span<const uint64_t> chunk_pos);
+
+  const std::vector<uint32_t>& log_dims() const { return log_dims_; }
+  TiledStore* values() { return values_.get(); }
+  TiledStore* squares() { return squares_.get(); }
+
+  /// \brief Combined I/O across both stores.
+  IoStats stats() const;
+
+ private:
+  AggregateCube(std::vector<uint32_t> log_dims, Options options);
+
+  std::vector<uint32_t> log_dims_;
+  Options options_;
+  std::unique_ptr<MemoryBlockManager> values_device_;
+  std::unique_ptr<MemoryBlockManager> squares_device_;
+  std::unique_ptr<TiledStore> values_;
+  std::unique_ptr<TiledStore> squares_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_CORE_AGGREGATE_H_

@@ -1,0 +1,238 @@
+#include "shiftsplit/core/appender.h"
+
+#include <cmath>
+
+#include "shiftsplit/core/md_shift_split.h"
+#include "shiftsplit/tile/standard_tiling.h"
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+Appender::Appender(std::vector<uint32_t> log_dims, uint32_t append_dim,
+                   Options options)
+    : log_dims_(std::move(log_dims)),
+      append_dim_(append_dim),
+      options_(std::move(options)) {}
+
+Result<std::unique_ptr<Appender>> Appender::Create(
+    std::vector<uint32_t> initial_log_dims, uint32_t append_dim,
+    Options options) {
+  if (initial_log_dims.empty() || append_dim >= initial_log_dims.size()) {
+    return Status::InvalidArgument("bad dimensions or append dimension");
+  }
+  if (!options.factory) {
+    options.factory = [](uint64_t block_size) {
+      return std::make_unique<MemoryBlockManager>(block_size);
+    };
+  }
+  std::unique_ptr<Appender> appender(
+      new Appender(std::move(initial_log_dims), append_dim,
+                   std::move(options)));
+  SS_RETURN_IF_ERROR(appender->OpenStore());
+  return appender;
+}
+
+Result<std::unique_ptr<Appender>> Appender::Resume(
+    std::vector<uint32_t> log_dims, uint32_t append_dim, uint64_t filled,
+    Options options) {
+  if (log_dims.empty() || append_dim >= log_dims.size()) {
+    return Status::InvalidArgument("bad dimensions or append dimension");
+  }
+  if (filled > (uint64_t{1} << log_dims[append_dim])) {
+    return Status::InvalidArgument("fill level beyond the allocated domain");
+  }
+  SS_ASSIGN_OR_RETURN(auto appender,
+                      Create(std::move(log_dims), append_dim,
+                             std::move(options)));
+  appender->filled_ = filled;
+  return appender;
+}
+
+Status Appender::OpenStore() {
+  auto layout = std::make_unique<StandardTiling>(log_dims_, options_.b);
+  const uint64_t block_size = layout->block_capacity();
+  manager_ = options_.factory(block_size);
+  if (manager_ == nullptr) {
+    return Status::Internal("block manager factory returned null");
+  }
+  SS_ASSIGN_OR_RETURN(store_,
+                      TiledStore::Create(std::move(layout), manager_.get(),
+                                         options_.pool_blocks));
+  return Status::OK();
+}
+
+IoStats Appender::total_io() const {
+  IoStats total = retired_io_;
+  if (manager_ != nullptr) total += manager_->stats();
+  return total;
+}
+
+Status Appender::Expand() {
+  const uint32_t d = static_cast<uint32_t>(log_dims_.size());
+  const uint32_t old_n = log_dims_[append_dim_];
+  // Keep the old store aside, open a doubled one.
+  std::unique_ptr<TiledStore> old_store = std::move(store_);
+  std::unique_ptr<BlockManager> old_manager = std::move(manager_);
+  log_dims_[append_dim_] += 1;
+  SS_RETURN_IF_ERROR(OpenStore());
+
+  const double atten = ScalingAttenuation(options_.norm);
+  // Every old coefficient tuple is visited once: detail indices along the
+  // growing dimension SHIFT (re-index), the scaling index SPLITs into the
+  // new top detail (w_{old_n+1,0}, flat index 1) and the new root.
+  std::vector<uint64_t> old_dims(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    old_dims[i] = uint64_t{1} << (i == append_dim_ ? old_n : log_dims_[i]);
+  }
+  TensorShape old_shape(old_dims);
+  std::vector<uint64_t> address(d, 0);
+  std::vector<uint64_t> target(d);
+  do {
+    SS_ASSIGN_OR_RETURN(const double value, old_store->Get(address));
+    target = address;
+    const uint64_t t_idx = address[append_dim_];
+    if (t_idx >= 1) {
+      // SHIFT: w_{j,pos} of the old tree -> same level/pos in the new tree.
+      target[append_dim_] = t_idx + (uint64_t{1} << Log2(t_idx));
+      SS_RETURN_IF_ERROR(store_->Set(target, value));
+    } else {
+      // SPLIT: the old root scaling feeds the new top detail and new root.
+      target[append_dim_] = 1;
+      SS_RETURN_IF_ERROR(store_->Set(target, value * atten));
+      target[append_dim_] = 0;
+      SS_RETURN_IF_ERROR(store_->Set(target, value * atten));
+    }
+  } while (old_shape.Next(address));
+  SS_RETURN_IF_ERROR(store_->Flush());
+
+  old_store.reset();  // flush the old pool before capturing its counters
+  retired_io_ += old_manager->stats();
+  ++expansions_;
+  if (options_.maintain_scaling_slots) {
+    SS_RETURN_IF_ERROR(
+        RebuildStandardScalingSlots(store_.get(), log_dims_, options_.norm));
+  }
+  return Status::OK();
+}
+
+Status Appender::Append(const Tensor& slab) {
+  const uint32_t d = static_cast<uint32_t>(log_dims_.size());
+  if (slab.shape().ndim() != d) {
+    return Status::InvalidArgument("slab dimensionality mismatch");
+  }
+  for (uint32_t i = 0; i < d; ++i) {
+    if (i == append_dim_) continue;
+    if (slab.shape().dim(i) != (uint64_t{1} << log_dims_[i])) {
+      return Status::InvalidArgument(
+          "slab must span the full extent of non-growing dimensions");
+    }
+  }
+  const uint64_t h = slab.shape().dim(append_dim_);
+  if (filled_ % h != 0) {
+    return Status::InvalidArgument(
+        "fill level must be a multiple of the slab thickness");
+  }
+  while (filled_ + h > capacity()) {
+    SS_RETURN_IF_ERROR(Expand());
+  }
+  std::vector<uint64_t> chunk_pos(d, 0);
+  chunk_pos[append_dim_] = filled_ / h;
+  ApplyOptions apply;
+  apply.mode = ApplyMode::kConstruct;
+  apply.maintain_scaling_slots = options_.maintain_scaling_slots;
+  SS_RETURN_IF_ERROR(ApplyChunkStandard(slab, chunk_pos, log_dims_,
+                                        store_.get(), options_.norm, apply));
+  SS_RETURN_IF_ERROR(store_->Flush());
+  filled_ += h;
+  return Status::OK();
+}
+
+Status RebuildStandardScalingSlots(TiledStore* store,
+                                   std::span<const uint32_t> log_dims,
+                                   Normalization norm) {
+  const auto* tiling = dynamic_cast<const StandardTiling*>(&store->layout());
+  if (tiling == nullptr) {
+    return Status::InvalidArgument(
+        "scaling-slot rebuild requires the standard tiling");
+  }
+  const uint32_t d = static_cast<uint32_t>(log_dims.size());
+  // Per-dimension extended entries: every regular index (weight-1 expansion
+  // on itself) plus every redundant scaling (path expansion).
+  struct Entry {
+    bool scaling = false;
+    BlockSlot part;
+    std::vector<std::pair<uint64_t, double>> expansion;
+  };
+  std::vector<std::vector<Entry>> entries(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    const TreeTiling& dt = tiling->dim_tiling(i);
+    const uint32_t n = log_dims[i];
+    for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+      Entry e;
+      e.part = dt.Locate(idx);
+      e.expansion = {{idx, 1.0}};
+      entries[i].push_back(std::move(e));
+    }
+    for (uint32_t band = 1; band < dt.num_bands(); ++band) {
+      const uint32_t level = n - dt.BandRootRow(band);
+      for (uint64_t q = 0; q < dt.TilesInBand(band); ++q) {
+        Entry e;
+        e.scaling = true;
+        SS_ASSIGN_OR_RETURN(e.part, dt.LocateScaling(level, q));
+        e.expansion = ScalingExpansion(n, level, q, norm);
+        entries[i].push_back(std::move(e));
+      }
+    }
+  }
+  // Cross product; combos involving at least one scaling entry are slots.
+  std::vector<size_t> pick(d, 0);
+  std::vector<BlockSlot> parts(d);
+  std::vector<size_t> epick(d);
+  std::vector<uint64_t> gaddr(d);
+  for (;;) {
+    bool any_scaling = false;
+    for (uint32_t i = 0; i < d; ++i) {
+      any_scaling = any_scaling || entries[i][pick[i]].scaling;
+      parts[i] = entries[i][pick[i]].part;
+    }
+    if (any_scaling) {
+      double value = 0.0;
+      std::fill(epick.begin(), epick.end(), 0);
+      for (;;) {
+        double weight = 1.0;
+        for (uint32_t i = 0; i < d; ++i) {
+          const auto& [idx, w] = entries[i][pick[i]].expansion[epick[i]];
+          gaddr[i] = idx;
+          weight *= w;
+        }
+        SS_ASSIGN_OR_RETURN(const double coeff, store->Get(gaddr));
+        value += weight * coeff;
+        uint32_t i = d;
+        bool advanced = false;
+        while (i-- > 0) {
+          if (++epick[i] < entries[i][pick[i]].expansion.size()) {
+            advanced = true;
+            break;
+          }
+          epick[i] = 0;
+        }
+        if (!advanced) break;
+      }
+      SS_RETURN_IF_ERROR(store->SetAt(tiling->Combine(parts), value));
+    }
+    uint32_t i = d;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (++pick[i] < entries[i].size()) {
+        advanced = true;
+        break;
+      }
+      pick[i] = 0;
+    }
+    if (!advanced) break;
+  }
+  return store->Flush();
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,112 @@
+// Appending to wavelet-decomposed transforms (paper §5.2): new data slabs
+// arrive along one growing dimension (time, in the PRECIPITATION scenario).
+// Appends into already-allocated domain are plain SHIFT-SPLIT chunk applies;
+// when the domain is exhausted the transform is *expanded* entirely in the
+// wavelet domain — the growing dimension's tree gains a level (Figure 10):
+// every coefficient with a detail index along that dimension is SHIFTed
+// (re-indexed), and coefficients scaling along it SPLIT into the new level's
+// detail and the new root, at O(N^d / B^d) block I/O and no reconstruction.
+
+#ifndef SHIFTSPLIT_CORE_APPENDER_H_
+#define SHIFTSPLIT_CORE_APPENDER_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "shiftsplit/core/shift_split.h"
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "shiftsplit/tile/tiled_store.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief Creates the block device backing a (re)sized transform store.
+using BlockManagerFactory =
+    std::function<std::unique_ptr<BlockManager>(uint64_t block_size)>;
+
+/// \brief Standard-form transform store that grows along one dimension.
+class Appender {
+ public:
+  struct Options {
+    Normalization norm = Normalization::kAverage;
+    uint32_t b = 2;              ///< log2 of the block edge
+    uint64_t pool_blocks = 64;   ///< buffer-pool budget
+    /// Maintain redundant scaling slots. Expansion rebuilds them from the
+    /// primary coefficients (an extra pass); off by default because the
+    /// paper's appending analysis tracks primary coefficients only.
+    bool maintain_scaling_slots = false;
+    /// Device factory; defaults to in-memory devices.
+    BlockManagerFactory factory;
+  };
+
+  /// \param initial_log_dims per-dimension log2 extents of the initial
+  ///        (empty) allocated domain
+  /// \param append_dim       index of the growing dimension
+  static Result<std::unique_ptr<Appender>> Create(
+      std::vector<uint32_t> initial_log_dims, uint32_t append_dim,
+      Options options);
+
+  /// \brief Reopens an appender over an existing device: the options'
+  /// factory must return the device already holding the store's blocks
+  /// (e.g. a FileBlockManager over the persisted file), `log_dims` must be
+  /// the dimensions at shutdown, and `filled` restores the fill level.
+  /// Together with StoreManifest this makes appending durable across
+  /// process restarts.
+  static Result<std::unique_ptr<Appender>> Resume(
+      std::vector<uint32_t> log_dims, uint32_t append_dim, uint64_t filled,
+      Options options);
+
+  /// \brief Appends a slab: a tensor spanning the full extent of every
+  /// non-growing dimension, with a power-of-two thickness h along the
+  /// growing dimension; the current fill level must be a multiple of h.
+  /// Expands the domain first if the slab does not fit.
+  Status Append(const Tensor& slab);
+
+  /// \brief Doubles the growing dimension's domain in the wavelet domain.
+  /// Normally invoked by Append on demand; exposed for testing/benchmarks.
+  Status Expand();
+
+  /// Data filled so far along the growing dimension.
+  uint64_t filled() const { return filled_; }
+  /// Allocated (power-of-two) extent of the growing dimension.
+  uint64_t capacity() const {
+    return uint64_t{1} << log_dims_[append_dim_];
+  }
+  uint64_t expansions() const { return expansions_; }
+  const std::vector<uint32_t>& log_dims() const { return log_dims_; }
+
+  TiledStore* store() { return store_.get(); }
+
+  /// \brief Cumulative block/coefficient I/O across all devices this
+  /// appender has used (expansion discards the old device but keeps its
+  /// counters).
+  IoStats total_io() const;
+
+ private:
+  Appender(std::vector<uint32_t> log_dims, uint32_t append_dim,
+           Options options);
+
+  // (Re)creates the store for the current log_dims_ over a fresh device.
+  Status OpenStore();
+
+  std::vector<uint32_t> log_dims_;
+  uint32_t append_dim_;
+  Options options_;
+  uint64_t filled_ = 0;
+  uint64_t expansions_ = 0;
+  IoStats retired_io_;  // I/O of devices discarded by expansions
+  std::unique_ptr<BlockManager> manager_;
+  std::unique_ptr<TiledStore> store_;
+};
+
+/// \brief Rebuilds every redundant scaling slot of a standard-tiled store
+/// from its primary coefficients (used after domain expansion, which
+/// restructures the tiling). Cost: one expansion-weighted pass per slot.
+Status RebuildStandardScalingSlots(TiledStore* store,
+                                   std::span<const uint32_t> log_dims,
+                                   Normalization norm);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_CORE_APPENDER_H_

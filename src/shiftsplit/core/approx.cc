@@ -1,0 +1,188 @@
+#include "shiftsplit/core/approx.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "shiftsplit/core/query.h"
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+CompressedSynopsis::CompressedSynopsis(std::vector<uint32_t> log_dims,
+                                       uint64_t k, Normalization norm)
+    : log_dims_(std::move(log_dims)), k_(k), norm_(norm) {
+  strides_.resize(log_dims_.size());
+  uint64_t stride = 1;
+  for (size_t i = log_dims_.size(); i-- > 0;) {
+    strides_[i] = stride;
+    stride <<= log_dims_[i];
+  }
+}
+
+uint64_t CompressedSynopsis::FlatIndex(
+    std::span<const uint64_t> address) const {
+  uint64_t flat = 0;
+  for (size_t i = 0; i < address.size(); ++i) {
+    flat += address[i] * strides_[i];
+  }
+  return flat;
+}
+
+double CompressedSynopsis::L2Weight(std::span<const uint64_t> address) const {
+  if (norm_ == Normalization::kOrthonormal) return 1.0;
+  // A kAverage coefficient at per-dim level j corresponds to an orthonormal
+  // coefficient scaled by 2^(j/2) per dimension (root: 2^(n/2)).
+  double weight = 1.0;
+  for (size_t i = 0; i < address.size(); ++i) {
+    const uint32_t n = log_dims_[i];
+    const uint32_t level =
+        address[i] == 0 ? n : CoordOfIndex(n, address[i]).level;
+    weight *= std::pow(2.0, 0.5 * static_cast<double>(level));
+  }
+  return weight;
+}
+
+void CompressedSynopsis::Insert(std::span<const uint64_t> address,
+                                double value) {
+  coefficients_[FlatIndex(address)] = value;
+}
+
+Result<CompressedSynopsis> CompressedSynopsis::Build(
+    TiledStore* store, std::vector<uint32_t> log_dims, uint64_t k,
+    Normalization norm) {
+  CompressedSynopsis synopsis(std::move(log_dims), k, norm);
+  const uint32_t d = static_cast<uint32_t>(synopsis.log_dims_.size());
+  std::vector<uint64_t> dims(d);
+  for (uint32_t i = 0; i < d; ++i) dims[i] = uint64_t{1} << synopsis.log_dims_[i];
+  TensorShape shape(dims);
+
+  // Rank all coefficients by orthonormal magnitude; keep the top K.
+  std::set<std::pair<double, uint64_t>> top;  // (magnitude, flat)
+  std::unordered_map<uint64_t, double> values;
+  double total_energy = 0.0;
+  std::vector<uint64_t> address(d, 0);
+  do {
+    SS_ASSIGN_OR_RETURN(const double value, store->Get(address));
+    const double magnitude = std::abs(value) * synopsis.L2Weight(address);
+    total_energy += magnitude * magnitude;
+    const uint64_t flat = synopsis.FlatIndex(address);
+    if (top.size() < k) {
+      top.emplace(magnitude, flat);
+      values[flat] = value;
+    } else if (!top.empty() && magnitude > top.begin()->first) {
+      values.erase(top.begin()->second);
+      top.erase(top.begin());
+      top.emplace(magnitude, flat);
+      values[flat] = value;
+    }
+  } while (shape.Next(address));
+
+  double kept_energy = 0.0;
+  for (const auto& [magnitude, flat] : top) kept_energy += magnitude * magnitude;
+  synopsis.energy_fraction_ =
+      total_energy > 0.0 ? kept_energy / total_energy : 1.0;
+  synopsis.total_energy_ = total_energy;
+  synopsis.coefficients_ = std::move(values);
+  return synopsis;
+}
+
+CompressedSynopsis CompressedSynopsis::FromTensor(const Tensor& transformed,
+                                                  uint64_t k,
+                                                  Normalization norm) {
+  CompressedSynopsis synopsis(transformed.shape().LogDims(), k, norm);
+  std::set<std::pair<double, uint64_t>> top;
+  double total_energy = 0.0;
+  std::vector<uint64_t> address(transformed.shape().ndim(), 0);
+  do {
+    const double value = transformed.At(address);
+    const double magnitude = std::abs(value) * synopsis.L2Weight(address);
+    total_energy += magnitude * magnitude;
+    const uint64_t flat = synopsis.FlatIndex(address);
+    if (top.size() < k) {
+      top.emplace(magnitude, flat);
+      synopsis.coefficients_[flat] = value;
+    } else if (!top.empty() && magnitude > top.begin()->first) {
+      synopsis.coefficients_.erase(top.begin()->second);
+      top.erase(top.begin());
+      top.emplace(magnitude, flat);
+      synopsis.coefficients_[flat] = value;
+    }
+  } while (transformed.shape().Next(address));
+  double kept_energy = 0.0;
+  for (const auto& [magnitude, flat] : top) kept_energy += magnitude * magnitude;
+  synopsis.energy_fraction_ =
+      total_energy > 0.0 ? kept_energy / total_energy : 1.0;
+  synopsis.total_energy_ = total_energy;
+  return synopsis;
+}
+
+double CompressedSynopsis::RangeSumErrorBound(
+    std::span<const uint64_t> lo, std::span<const uint64_t> hi) const {
+  double cells = 1.0;
+  for (size_t i = 0; i < lo.size(); ++i) {
+    cells *= static_cast<double>(hi[i] - lo[i] + 1);
+  }
+  const double residual = (1.0 - energy_fraction_) * total_energy_;
+  return std::sqrt(std::max(0.0, residual) * cells);
+}
+
+double CompressedSynopsis::PointEstimate(
+    std::span<const uint64_t> point) const {
+  const uint32_t d = static_cast<uint32_t>(log_dims_.size());
+  std::vector<std::vector<uint64_t>> paths(d);
+  std::vector<std::vector<double>> weights(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    paths[i] = PathToRoot(log_dims_[i], point[i]);
+    weights[i].reserve(paths[i].size());
+    for (uint64_t idx : paths[i]) {
+      weights[i].push_back(
+          ReconstructionWeight(log_dims_[i], idx, point[i], norm_));
+    }
+  }
+  std::vector<size_t> pick(d, 0);
+  std::vector<uint64_t> address(d);
+  double value = 0.0;
+  for (;;) {
+    double w = 1.0;
+    for (uint32_t i = 0; i < d; ++i) {
+      address[i] = paths[i][pick[i]];
+      w *= weights[i][pick[i]];
+    }
+    auto it = coefficients_.find(FlatIndex(address));
+    if (it != coefficients_.end()) value += w * it->second;
+    uint32_t i = d;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (++pick[i] < paths[i].size()) {
+        advanced = true;
+        break;
+      }
+      pick[i] = 0;
+    }
+    if (!advanced) break;
+  }
+  return value;
+}
+
+double CompressedSynopsis::RangeSumEstimate(
+    std::span<const uint64_t> lo, std::span<const uint64_t> hi) const {
+  const uint32_t d = static_cast<uint32_t>(log_dims_.size());
+  double sum = 0.0;
+  std::vector<uint64_t> address(d);
+  for (const auto& [flat, value] : coefficients_) {
+    uint64_t rest = flat;
+    double weight = 1.0;
+    for (uint32_t i = 0; i < d && weight != 0.0; ++i) {
+      address[i] = rest / strides_[i];
+      rest %= strides_[i];
+      weight *= RangeSumWeight(log_dims_[i], address[i], lo[i], hi[i], norm_);
+    }
+    sum += weight * value;
+  }
+  return sum;
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,87 @@
+// Approximate query answering from K-term synopses — the OLAP application
+// the paper's introduction motivates (approximate/progressive range
+// aggregates from wavelet-compressed data [2,3,7,9,12,13,15]).
+//
+// A CompressedSynopsis retains the K standard-form coefficients with the
+// largest L2 contribution (magnitudes are compared in the orthonormal
+// sense regardless of the store's normalization) and answers point and
+// range-sum queries from those K terms alone, with no disk I/O.
+
+#ifndef SHIFTSPLIT_CORE_APPROX_H_
+#define SHIFTSPLIT_CORE_APPROX_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "shiftsplit/tile/tiled_store.h"
+#include "shiftsplit/wavelet/haar.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief In-memory K-term compression of a standard-form transform.
+class CompressedSynopsis {
+ public:
+  /// \brief Scans every coefficient of the store and keeps the K with the
+  /// largest energy contribution. O(N^d) reads, once.
+  static Result<CompressedSynopsis> Build(TiledStore* store,
+                                          std::vector<uint32_t> log_dims,
+                                          uint64_t k, Normalization norm);
+
+  /// \brief Builds directly from an in-memory transformed tensor.
+  static CompressedSynopsis FromTensor(const Tensor& transformed,
+                                       uint64_t k, Normalization norm);
+
+  /// Number of retained terms.
+  uint64_t size() const { return coefficients_.size(); }
+  uint64_t k() const { return k_; }
+  const std::vector<uint32_t>& log_dims() const { return log_dims_; }
+
+  /// \brief Approximate value of one data point: combines the retained
+  /// coefficients on the point's path cross product. O((log N + 1)^d).
+  double PointEstimate(std::span<const uint64_t> point) const;
+
+  /// \brief Approximate sum over the inclusive box [lo, hi]: every retained
+  /// coefficient contributes its aggregate weight. O(K d).
+  double RangeSumEstimate(std::span<const uint64_t> lo,
+                          std::span<const uint64_t> hi) const;
+
+  /// \brief The fraction of the transform's total energy (orthonormal
+  /// sense) captured by the retained terms, recorded at Build time.
+  double energy_fraction() const { return energy_fraction_; }
+
+  /// \brief Total signal energy (sum of squared data values), recorded at
+  /// Build time.
+  double total_energy() const { return total_energy_; }
+
+  /// \brief A guaranteed bound on |RangeSumEstimate - exact sum| for the
+  /// box [lo, hi]: by Cauchy-Schwarz and Parseval, the dropped
+  /// coefficients' contribution is at most
+  ///   sqrt(residual energy) * sqrt(#cells in the box).
+  double RangeSumErrorBound(std::span<const uint64_t> lo,
+                            std::span<const uint64_t> hi) const;
+
+ private:
+  CompressedSynopsis(std::vector<uint32_t> log_dims, uint64_t k,
+                     Normalization norm);
+
+  // Orthonormal-magnitude weight of an address (product of per-dim 2^(j/2)
+  // rescalings for the kAverage normalization; 1 for kOrthonormal).
+  double L2Weight(std::span<const uint64_t> address) const;
+
+  void Insert(std::span<const uint64_t> address, double value);
+  uint64_t FlatIndex(std::span<const uint64_t> address) const;
+
+  std::vector<uint32_t> log_dims_;
+  std::vector<uint64_t> strides_;
+  uint64_t k_;
+  Normalization norm_;
+  double energy_fraction_ = 1.0;
+  double total_energy_ = 0.0;
+  // flat address -> stored (store-normalization) coefficient value
+  std::unordered_map<uint64_t, double> coefficients_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_CORE_APPROX_H_

@@ -1,0 +1,125 @@
+#include "shiftsplit/core/chunked_transform.h"
+
+#include <algorithm>
+
+#include "shiftsplit/core/md_shift_split.h"
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/util/morton.h"
+
+namespace shiftsplit {
+
+namespace {
+
+// Enumerates the chunk-grid positions, row-major or z-order.
+std::vector<std::vector<uint64_t>> ChunkOrder(const TensorShape& grid,
+                                              bool zorder) {
+  std::vector<std::vector<uint64_t>> order;
+  order.reserve(grid.num_elements());
+  if (!zorder) {
+    std::vector<uint64_t> pos(grid.ndim(), 0);
+    do {
+      order.push_back(pos);
+    } while (grid.Next(pos));
+    return order;
+  }
+  // Z-order: enumerate morton codes over the bounding cube and keep the
+  // positions inside the (possibly non-cubic) grid.
+  uint32_t bits = 0;
+  for (uint32_t i = 0; i < grid.ndim(); ++i) {
+    bits = std::max(bits, Log2(grid.dim(i)));
+  }
+  const uint64_t codes = uint64_t{1} << (bits * grid.ndim());
+  for (uint64_t code = 0; code < codes; ++code) {
+    auto pos = MortonDecode(code, grid.ndim(), bits);
+    bool inside = true;
+    for (uint32_t i = 0; i < grid.ndim(); ++i) {
+      inside = inside && pos[i] < grid.dim(i);
+    }
+    if (inside) order.push_back(std::move(pos));
+  }
+  return order;
+}
+
+bool AllZero(const Tensor& chunk) {
+  for (double x : chunk.data()) {
+    if (x != 0.0) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+Result<TransformResult> TransformDatasetStandard(
+    ChunkSource* source, uint32_t log_chunk, TiledStore* store,
+    const TransformOptions& options) {
+  const TensorShape& shape = source->shape();
+  const uint32_t d = shape.ndim();
+  std::vector<uint32_t> log_dims = shape.LogDims();
+  std::vector<uint64_t> chunk_dims(d), grid_dims(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    const uint32_t m = std::min(log_chunk, log_dims[i]);
+    chunk_dims[i] = uint64_t{1} << m;
+    grid_dims[i] = shape.dim(i) >> m;
+  }
+  TensorShape chunk_shape(chunk_dims);
+  TensorShape grid(grid_dims);
+
+  ApplyOptions apply;
+  apply.mode = ApplyMode::kConstruct;
+  apply.maintain_scaling_slots = options.maintain_scaling_slots;
+  apply.skip_zero_writes = options.sparse;
+
+  TransformResult result;
+  const IoStats before = store->stats();
+  const uint64_t cells_before = source->cells_read();
+  Tensor chunk(chunk_shape);
+  for (const auto& pos : ChunkOrder(grid, options.zorder)) {
+    SS_RETURN_IF_ERROR(source->ReadChunk(pos, &chunk));
+    if (options.sparse && AllZero(chunk)) continue;
+    SS_RETURN_IF_ERROR(ApplyChunkStandard(chunk, pos, log_dims, store,
+                                          options.norm, apply));
+    ++result.chunks;
+  }
+  SS_RETURN_IF_ERROR(store->Flush());
+  result.store_io = store->stats() - before;
+  result.cells_read = source->cells_read() - cells_before;
+  return result;
+}
+
+Result<TransformResult> TransformDatasetNonstandard(
+    ChunkSource* source, uint32_t log_chunk, TiledStore* store,
+    const TransformOptions& options) {
+  const TensorShape& shape = source->shape();
+  const uint32_t d = shape.ndim();
+  if (!shape.IsCube()) {
+    return Status::InvalidArgument(
+        "non-standard transformation requires a hypercube dataset");
+  }
+  const uint32_t n = Log2(shape.dim(0));
+  const uint32_t m = std::min(log_chunk, n);
+  TensorShape chunk_shape = TensorShape::Cube(d, uint64_t{1} << m);
+  TensorShape grid = TensorShape::Cube(d, uint64_t{1} << (n - m));
+
+  ApplyOptions apply;
+  apply.mode = ApplyMode::kConstruct;
+  apply.maintain_scaling_slots = options.maintain_scaling_slots;
+  apply.skip_zero_writes = options.sparse;
+
+  TransformResult result;
+  const IoStats before = store->stats();
+  const uint64_t cells_before = source->cells_read();
+  Tensor chunk(chunk_shape);
+  for (const auto& pos : ChunkOrder(grid, options.zorder)) {
+    SS_RETURN_IF_ERROR(source->ReadChunk(pos, &chunk));
+    if (options.sparse && AllZero(chunk)) continue;
+    SS_RETURN_IF_ERROR(
+        ApplyChunkNonstandard(chunk, pos, n, store, options.norm, apply));
+    ++result.chunks;
+  }
+  SS_RETURN_IF_ERROR(store->Flush());
+  result.store_io = store->stats() - before;
+  result.cells_read = source->cells_read() - cells_before;
+  return result;
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,320 @@
+#include "shiftsplit/core/md_shift_split.h"
+
+#include <cmath>
+
+#include "shiftsplit/tile/nonstandard_tiling.h"
+#include "shiftsplit/tile/standard_tiling.h"
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/wavelet/nonstandard_transform.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+namespace {
+
+// A per-dimension write target of the standard-form apply. The value written
+// to the cross product of d targets is the expansion-weighted combination of
+// chunk-transform entries; `final` distinguishes SHIFT (exact, single-writer)
+// positions from SPLIT accumulation positions along this dimension.
+struct DimTarget {
+  uint64_t global_index = 0;  // 1-d wavelet index (regular targets)
+  bool scaling_slot = false;  // redundant tile-root scaling (no 1-d index)
+  BlockSlot part;             // per-dim (tile, slot) when parts are in use
+  bool final = true;
+  std::vector<std::pair<uint64_t, double>> expansion;  // (local idx, weight)
+};
+
+// Builds the target list for one dimension.
+//   n, m, k: global log extent, chunk log extent, chunk dyadic position.
+//   tiling:  per-dimension tree tiling (nullptr when the store's layout is
+//            not the standard tiling — scaling slots are skipped then).
+Status BuildDimTargets(uint32_t n, uint32_t m, uint64_t k,
+                       Normalization norm, const TreeTiling* tiling,
+                       bool maintain_scaling_slots,
+                       std::vector<DimTarget>* out) {
+  out->clear();
+  const uint64_t chunk_size = uint64_t{1} << m;
+  const double atten = ScalingAttenuation(norm);
+
+  // SHIFT: within-chunk details, final.
+  for (uint64_t local = 1; local < chunk_size; ++local) {
+    DimTarget t;
+    t.global_index = ShiftIndex(n, m, k, local);
+    t.expansion = {{local, 1.0}};
+    if (tiling != nullptr) t.part = tiling->Locate(t.global_index);
+    out->push_back(std::move(t));
+  }
+  if (n == m) {
+    // The chunk spans the whole dimension: its local scaling IS the global
+    // scaling coefficient (index 0), final.
+    DimTarget t;
+    t.global_index = 0;
+    t.expansion = {{0, 1.0}};
+    if (tiling != nullptr) t.part = tiling->Locate(0);
+    out->push_back(std::move(t));
+  } else {
+    // SPLIT: covering details at levels (m, n], then the overall average.
+    double magnitude = 1.0;
+    for (uint32_t j = m + 1; j <= n; ++j) {
+      magnitude *= atten;
+      DimTarget t;
+      t.global_index = DetailIndex(n, j, k >> (j - m));
+      t.final = false;
+      const double sign = InLeftHalf(m, k, j) ? 1.0 : -1.0;
+      t.expansion = {{0, sign * magnitude}};
+      if (tiling != nullptr) t.part = tiling->Locate(t.global_index);
+      out->push_back(std::move(t));
+    }
+    DimTarget root;
+    root.global_index = 0;
+    root.final = false;
+    root.expansion = {{0, magnitude}};  // atten^(n-m)
+    if (tiling != nullptr) root.part = tiling->Locate(0);
+    out->push_back(std::move(root));
+  }
+
+  if (tiling == nullptr || !maintain_scaling_slots) return Status::OK();
+
+  // Redundant tile-root scaling slots along this dimension.
+  for (const auto& [level, pos] : tiling->ScalingSlotsWithin(m, k)) {
+    if (level == n) continue;  // index 0 already targeted above
+    DimTarget t;
+    t.scaling_slot = true;
+    SS_ASSIGN_OR_RETURN(t.part, tiling->LocateScaling(level, pos));
+    t.expansion =
+        ScalingExpansion(m, level, pos - (k << (m - level)), norm);
+    out->push_back(std::move(t));
+  }
+  for (const auto& [level, pos] : tiling->ScalingSlotsAbove(m, k)) {
+    if (level == n) continue;  // index 0 already targeted above
+    DimTarget t;
+    t.scaling_slot = true;
+    t.final = false;
+    SS_ASSIGN_OR_RETURN(t.part, tiling->LocateScaling(level, pos));
+    t.expansion = {{0, std::pow(atten, static_cast<double>(level - m))}};
+    out->push_back(std::move(t));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ApplyChunkStandard(const Tensor& chunk_data,
+                          std::span<const uint64_t> chunk_pos,
+                          std::span<const uint32_t> global_log_dims,
+                          TiledStore* store, Normalization norm,
+                          const ApplyOptions& options) {
+  const TensorShape& shape = chunk_data.shape();
+  const uint32_t d = shape.ndim();
+  if (chunk_pos.size() != d || global_log_dims.size() != d) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  std::vector<uint32_t> m(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    m[i] = Log2(shape.dim(i));
+    if (m[i] > global_log_dims[i]) {
+      return Status::InvalidArgument("chunk larger than the dataset");
+    }
+    if (chunk_pos[i] >= (uint64_t{1} << (global_log_dims[i] - m[i]))) {
+      return Status::OutOfRange("chunk position beyond the global domain");
+    }
+  }
+
+  // Transform the chunk in memory.
+  Tensor transformed = chunk_data;
+  SS_RETURN_IF_ERROR(ForwardStandard(&transformed, norm));
+
+  // Per-dimension target lists. Parts (per-dim tile/slot pairs) are used
+  // when the store's layout is the standard cross-product tiling.
+  const auto* std_tiling =
+      dynamic_cast<const StandardTiling*>(&store->layout());
+  std::vector<std::vector<DimTarget>> targets(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    const TreeTiling* tiling =
+        std_tiling != nullptr ? &std_tiling->dim_tiling(i) : nullptr;
+    SS_RETURN_IF_ERROR(BuildDimTargets(global_log_dims[i], m[i], chunk_pos[i],
+                                       norm, tiling,
+                                       options.maintain_scaling_slots,
+                                       &targets[i]));
+  }
+
+  const bool construct = options.mode == ApplyMode::kConstruct;
+  std::vector<size_t> pick(d, 0);
+  std::vector<uint64_t> address(d);
+  std::vector<BlockSlot> parts(d);
+  std::vector<size_t> epick(d);
+  std::vector<uint64_t> local(d);
+  for (;;) {
+    bool is_final = true;
+    bool any_scaling_slot = false;
+    for (uint32_t i = 0; i < d; ++i) {
+      const DimTarget& t = targets[i][pick[i]];
+      is_final = is_final && t.final;
+      any_scaling_slot = any_scaling_slot || t.scaling_slot;
+      address[i] = t.global_index;
+      parts[i] = t.part;
+    }
+    // Value: expansion-weighted sum of chunk-transform entries.
+    double value = 0.0;
+    std::fill(epick.begin(), epick.end(), 0);
+    for (;;) {
+      double weight = 1.0;
+      for (uint32_t i = 0; i < d; ++i) {
+        const auto& [local_idx, w] = targets[i][pick[i]].expansion[epick[i]];
+        local[i] = local_idx;
+        weight *= w;
+      }
+      value += weight * transformed.At(local);
+      uint32_t i = d;
+      bool advanced = false;
+      while (i-- > 0) {
+        if (++epick[i] < targets[i][pick[i]].expansion.size()) {
+          advanced = true;
+          break;
+        }
+        epick[i] = 0;
+      }
+      if (!advanced) break;
+    }
+
+    const bool do_set = construct && is_final;
+    const bool skip = options.skip_zero_writes && value == 0.0;
+    if (skip) {
+      // Untouched coefficients read as zero; nothing to write.
+    } else if (std_tiling != nullptr) {
+      const BlockSlot at = std_tiling->Combine(parts);
+      SS_RETURN_IF_ERROR(do_set ? store->SetAt(at, value)
+                                : store->AddAt(at, value));
+    } else if (!any_scaling_slot) {
+      SS_RETURN_IF_ERROR(do_set ? store->Set(address, value)
+                                : store->Add(address, value));
+    }
+    // (any_scaling_slot without the standard tiling cannot occur: such
+    // targets are only generated when the tiling is present.)
+
+    uint32_t i = d;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (++pick[i] < targets[i].size()) {
+        advanced = true;
+        break;
+      }
+      pick[i] = 0;
+    }
+    if (!advanced) break;
+  }
+  return Status::OK();
+}
+
+Status ApplyChunkNonstandard(const Tensor& chunk_data,
+                             std::span<const uint64_t> chunk_pos,
+                             uint32_t global_log_extent, TiledStore* store,
+                             Normalization norm,
+                             const ApplyOptions& options) {
+  const TensorShape& shape = chunk_data.shape();
+  const uint32_t d = shape.ndim();
+  const uint32_t n = global_log_extent;
+  if (!shape.IsCube()) {
+    return Status::InvalidArgument("non-standard chunks must be hypercubes");
+  }
+  if (chunk_pos.size() != d) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  const uint32_t m = Log2(shape.dim(0));
+  if (m > n) {
+    return Status::InvalidArgument("chunk larger than the dataset");
+  }
+  for (uint64_t k : chunk_pos) {
+    if (k >= (uint64_t{1} << (n - m))) {
+      return Status::OutOfRange("chunk position beyond the global domain");
+    }
+  }
+
+  Tensor transformed = chunk_data;
+  std::vector<Tensor> pyramid;
+  SS_RETURN_IF_ERROR(
+      ForwardNonstandardWithPyramid(&transformed, norm, &pyramid));
+
+  const bool construct = options.mode == ApplyMode::kConstruct;
+  const uint64_t corners = uint64_t{1} << d;
+  const double atten_d =
+      std::pow(ScalingAttenuation(norm), static_cast<double>(d));
+
+  // SHIFT: every local detail (all addresses except the all-zero root).
+  std::vector<uint64_t> local(d, 0);
+  std::vector<uint64_t> address(d);
+  NsCoeffId id;
+  do {
+    bool is_root = true;
+    for (uint64_t c : local) is_root = is_root && (c == 0);
+    if (is_root) continue;
+    const double value = transformed.At(local);
+    if (options.skip_zero_writes && value == 0.0) continue;
+    id = NsCoeffOfAddress(m, local);
+    for (uint32_t i = 0; i < d; ++i) {
+      id.node[i] += chunk_pos[i] << (m - id.level);
+    }
+    address = NsAddress(n, id);
+    SS_RETURN_IF_ERROR(construct ? store->Set(address, value)
+                                 : store->Add(address, value));
+  } while (shape.Next(local));
+
+  // SPLIT: the chunk average up the quadtree path.
+  const double u_local = transformed[0];
+  const bool skip_split = options.skip_zero_writes && u_local == 0.0;
+  id.is_scaling = false;
+  double magnitude = u_local;
+  for (uint32_t j = m + 1; skip_split ? false : j <= n; ++j) {
+    magnitude *= atten_d;
+    uint64_t corner = 0;
+    id.level = j;
+    id.node.assign(d, 0);
+    for (uint32_t i = 0; i < d; ++i) {
+      id.node[i] = chunk_pos[i] >> (j - m);
+      corner |= ((chunk_pos[i] >> (j - m - 1)) & 1u) << i;
+    }
+    for (uint64_t sigma = 1; sigma < corners; ++sigma) {
+      id.subband = sigma;
+      address = NsAddress(n, id);
+      SS_RETURN_IF_ERROR(
+          store->Add(address, NsSign(sigma, corner) * magnitude));
+    }
+  }
+  // The overall average (all-zero address). magnitude == atten_d^(n-m)*u.
+  if (!skip_split) {
+    std::fill(address.begin(), address.end(), 0);
+    SS_RETURN_IF_ERROR(store->Add(address, magnitude));
+  }
+
+  // Redundant quadtree tile-root scaling slots.
+  const auto* ns_tiling =
+      dynamic_cast<const NonstandardTiling*>(&store->layout());
+  if (options.maintain_scaling_slots && ns_tiling != nullptr) {
+    for (const auto& [level, node] :
+         ns_tiling->ScalingNodesWithin(m, chunk_pos)) {
+      if (level == n) continue;  // the overall average was split above
+      SS_ASSIGN_OR_RETURN(const BlockSlot at,
+                          ns_tiling->LocateScaling(level, node));
+      std::vector<uint64_t> local_node(d);
+      for (uint32_t i = 0; i < d; ++i) {
+        local_node[i] = node[i] - (chunk_pos[i] << (m - level));
+      }
+      const double value = pyramid[level].At(local_node);
+      SS_RETURN_IF_ERROR(construct ? store->SetAt(at, value)
+                                   : store->AddAt(at, value));
+    }
+    for (const auto& [level, node] :
+         ns_tiling->ScalingNodesAbove(m, chunk_pos)) {
+      if (level == n) continue;  // the overall average was split above
+      SS_ASSIGN_OR_RETURN(const BlockSlot at,
+                          ns_tiling->LocateScaling(level, node));
+      const double delta =
+          u_local * std::pow(atten_d, static_cast<double>(level - m));
+      SS_RETURN_IF_ERROR(store->AddAt(at, delta));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,55 @@
+// Multidimensional SHIFT-SPLIT (paper §4.1, §4.2).
+//
+// Standard form: every coefficient of the transformed chunk carries a d-tuple
+// of 1-d indices; along each dimension it is either SHIFTed (detail index) or
+// SPLIT (scaling index) independently, so a chunk writes (M-1)^d final
+// coefficients and accumulates (M + n - m)^d - (M-1)^d contributions.
+//
+// Non-standard form: the chunk's M^d - 1 details SHIFT as a block, and only
+// the chunk average SPLITs, contributing to the (2^d - 1)(n - m) details of
+// the quadtree nodes on the path to the root plus the root average.
+//
+// Both operations also maintain the redundant tile-root scaling slots of the
+// paper's block allocation strategy when the store uses the corresponding
+// tiling (at zero additional block I/O — the slots live in already-touched
+// tiles).
+
+#ifndef SHIFTSPLIT_CORE_MD_SHIFT_SPLIT_H_
+#define SHIFTSPLIT_CORE_MD_SHIFT_SPLIT_H_
+
+#include <cstdint>
+#include <span>
+
+#include "shiftsplit/core/shift_split.h"
+#include "shiftsplit/tile/tiled_store.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief Transforms the chunk `chunk_data` (standard form) and applies it at
+/// the per-dimension dyadic positions `chunk_pos` to a store of the dataset
+/// whose per-dimension log2 extents are `global_log_dims`.
+///
+/// Chunk extents may differ per dimension; each must divide its global
+/// extent. In kConstruct mode, applying every chunk of a dataset exactly once
+/// (any order) leaves the store holding the standard transform of the whole
+/// dataset. In kUpdate mode the chunk holds deltas and everything
+/// accumulates.
+Status ApplyChunkStandard(const Tensor& chunk_data,
+                          std::span<const uint64_t> chunk_pos,
+                          std::span<const uint32_t> global_log_dims,
+                          TiledStore* store, Normalization norm,
+                          const ApplyOptions& options = {});
+
+/// \brief Non-standard-form counterpart: `chunk_data` must be a hypercube of
+/// edge 2^m, positioned at per-dimension dyadic position `chunk_pos` inside
+/// the global cube of edge 2^global_log_extent.
+Status ApplyChunkNonstandard(const Tensor& chunk_data,
+                             std::span<const uint64_t> chunk_pos,
+                             uint32_t global_log_extent, TiledStore* store,
+                             Normalization norm,
+                             const ApplyOptions& options = {});
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_CORE_MD_SHIFT_SPLIT_H_

@@ -1,0 +1,339 @@
+#include "shiftsplit/core/md_stream_synopsis.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "shiftsplit/core/shift_split.h"
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/util/morton.h"
+#include "shiftsplit/wavelet/nonstandard_transform.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+// ---------------------------------------------------------------------------
+// StandardStreamSynopsis (Result 4)
+// ---------------------------------------------------------------------------
+
+StandardStreamSynopsis::StandardStreamSynopsis(
+    std::vector<uint32_t> const_log_dims, uint32_t m, uint64_t k,
+    Normalization norm)
+    : const_log_dims_(std::move(const_log_dims)),
+      m_(m),
+      norm_(norm),
+      synopsis_(k),
+      log_t_(m) {
+  const_cells_ = 1;
+  for (uint32_t n : const_log_dims_) const_cells_ <<= n;
+  root_.assign(const_cells_, 0.0);
+}
+
+uint64_t StandardStreamSynopsis::EncodeKey(uint32_t time_level,
+                                           uint64_t time_pos,
+                                           uint64_t const_flat) const {
+  assert(time_level < 64);
+  assert(time_pos < (uint64_t{1} << 34));
+  assert(const_flat < (uint64_t{1} << 24));
+  return (static_cast<uint64_t>(time_level) << 58) | (time_pos << 24) |
+         const_flat;
+}
+
+uint64_t StandardStreamSynopsis::open_coefficients() const {
+  return (crest_.size() + 1) * const_cells_;  // crest levels + the root
+}
+
+void StandardStreamSynopsis::SyncCrestLevel(uint32_t j, uint64_t chunk_index) {
+  const uint64_t pos = chunk_index >> (j - m_);
+  auto it = crest_.find(j);
+  if (it == crest_.end()) {
+    crest_[j] = CrestLevel{pos, std::vector<double>(const_cells_, 0.0)};
+    return;
+  }
+  if (it->second.pos == pos) return;
+  // The path moved on: the old coefficient can never change again.
+  for (uint64_t c = 0; c < const_cells_; ++c) {
+    synopsis_.Offer(EncodeKey(j, it->second.pos, c), it->second.values[c]);
+  }
+  it->second.pos = pos;
+  std::fill(it->second.values.begin(), it->second.values.end(), 0.0);
+}
+
+void StandardStreamSynopsis::ExpandTime() {
+  const double atten = ScalingAttenuation(norm_);
+  const uint32_t new_level = log_t_ + 1;
+  CrestLevel top;
+  top.pos = 0;
+  top.values.resize(const_cells_);
+  for (uint64_t c = 0; c < const_cells_; ++c) {
+    // The old time-scaling root feeds the new top detail (old data occupy
+    // the left half) and attenuates into the new root.
+    top.values[c] = root_[c] * atten;
+    root_[c] *= atten;
+    coeff_touches_ += 2;
+  }
+  crest_[new_level] = std::move(top);
+  log_t_ = new_level;
+}
+
+Status StandardStreamSynopsis::Push(const Tensor& slab) {
+  if (finished_) return Status::InvalidArgument("stream already finished");
+  const uint32_t d = static_cast<uint32_t>(const_log_dims_.size()) + 1;
+  if (slab.shape().ndim() != d) {
+    return Status::InvalidArgument("slab dimensionality mismatch");
+  }
+  for (uint32_t i = 0; i + 1 < d; ++i) {
+    if (slab.shape().dim(i) != (uint64_t{1} << const_log_dims_[i])) {
+      return Status::InvalidArgument("slab constant extents mismatch");
+    }
+  }
+  if (slab.shape().dim(d - 1) != (uint64_t{1} << m_)) {
+    return Status::InvalidArgument("slab thickness mismatch");
+  }
+  const uint64_t chunk_index = slabs_;
+  while (chunk_index >= (uint64_t{1} << (log_t_ - m_))) ExpandTime();
+
+  Tensor transformed = slab;
+  SS_RETURN_IF_ERROR(ForwardStandard(&transformed, norm_));
+
+  // Iterate over constant-dimension tuples; slab layout is row-major with
+  // time last, so tuple c's fiber starts at c * 2^m.
+  const uint64_t t_extent = uint64_t{1} << m_;
+  for (uint64_t c = 0; c < const_cells_; ++c) {
+    const double* fiber = transformed.data().data() + c * t_extent;
+    // Final coefficients: every buffered time detail.
+    for (uint64_t local = 1; local < t_extent; ++local) {
+      const uint64_t global = ShiftIndex(log_t_, m_, chunk_index, local);
+      const WaveletCoord wc = CoordOfIndex(log_t_, global);
+      synopsis_.Offer(EncodeKey(wc.level, wc.pos, c), fiber[local]);
+      ++coeff_touches_;
+    }
+  }
+  // SPLIT the per-tuple slab averages into the time crest.
+  const auto contributions =
+      Split1D(log_t_, m_, chunk_index, /*chunk_scaling=*/1.0, norm_);
+  for (const SplitContribution& sc : contributions) {
+    if (sc.index == 0) {
+      for (uint64_t c = 0; c < const_cells_; ++c) {
+        root_[c] += sc.delta * transformed.data()[c * t_extent];
+        ++coeff_touches_;
+      }
+      continue;
+    }
+    const WaveletCoord wc = CoordOfIndex(log_t_, sc.index);
+    SyncCrestLevel(wc.level, chunk_index);
+    auto& level = crest_[wc.level];
+    for (uint64_t c = 0; c < const_cells_; ++c) {
+      level.values[c] += sc.delta * transformed.data()[c * t_extent];
+      ++coeff_touches_;
+    }
+  }
+  ++slabs_;
+  return Status::OK();
+}
+
+Status StandardStreamSynopsis::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  for (const auto& [j, level] : crest_) {
+    for (uint64_t c = 0; c < const_cells_; ++c) {
+      synopsis_.Offer(EncodeKey(j, level.pos, c), level.values[c]);
+    }
+  }
+  crest_.clear();
+  for (uint64_t c = 0; c < const_cells_; ++c) {
+    synopsis_.Offer(EncodeKey(0, 0, c), root_[c]);
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// NonstandardStreamSynopsis (Result 5)
+// ---------------------------------------------------------------------------
+
+NonstandardStreamSynopsis::NonstandardStreamSynopsis(uint32_t d, uint32_t n,
+                                                     uint32_t m, uint64_t k,
+                                                     Normalization norm)
+    : d_(d), n_(n), m_(m), norm_(norm), synopsis_(k) {
+  assert(m_ <= n_);
+}
+
+uint64_t NonstandardStreamSynopsis::EncodeCubeKey(uint64_t cube_t,
+                                                  uint64_t flat) const {
+  assert(cube_t < (uint64_t{1} << 23));
+  assert(flat < (uint64_t{1} << 40));
+  return (cube_t << 40) | flat;
+}
+
+uint64_t NonstandardStreamSynopsis::EncodeTimeKey(uint32_t time_level,
+                                                  uint64_t time_pos) const {
+  assert(time_pos < (uint64_t{1} << 34));
+  return (uint64_t{1} << 63) | (static_cast<uint64_t>(time_level) << 40) |
+         time_pos;
+}
+
+uint64_t NonstandardStreamSynopsis::open_coefficients() const {
+  const uint64_t per_node = (uint64_t{1} << d_) - 1;
+  return cube_crest_.size() * per_node + 1 /*cube root*/ +
+         time_crest_.size() + 1 /*time root*/;
+}
+
+void NonstandardStreamSynopsis::SyncCubeCrest(uint64_t z) {
+  const uint64_t per_node = (uint64_t{1} << d_) - 1;
+  TensorShape cube_shape = TensorShape::Cube(d_, uint64_t{1} << n_);
+  for (uint32_t j = m_ + 1; j <= n_; ++j) {
+    const uint64_t node_id = z >> (static_cast<uint64_t>(d_) * (j - m_));
+    auto it = cube_crest_.find(j);
+    if (it == cube_crest_.end()) {
+      cube_crest_[j] =
+          CubeCrestLevel{node_id, std::vector<double>(per_node, 0.0)};
+      continue;
+    }
+    if (it->second.node_id == node_id) continue;
+    // Finalize the departed node's subband coefficients.
+    NsCoeffId id;
+    id.level = j;
+    id.node = MortonDecode(it->second.node_id, d_, n_ - j);
+    for (uint64_t sigma = 1; sigma <= per_node; ++sigma) {
+      id.subband = sigma;
+      const uint64_t flat = cube_shape.FlatIndex(NsAddress(n_, id));
+      synopsis_.Offer(EncodeCubeKey(cube_t_, flat),
+                      it->second.subbands[sigma - 1]);
+    }
+    it->second.node_id = node_id;
+    std::fill(it->second.subbands.begin(), it->second.subbands.end(), 0.0);
+  }
+}
+
+Status NonstandardStreamSynopsis::Push(const Tensor& subcube) {
+  if (finished_) return Status::InvalidArgument("stream already finished");
+  if (!subcube.shape().IsCube() ||
+      subcube.shape().ndim() != d_ ||
+      subcube.shape().dim(0) != (uint64_t{1} << m_)) {
+    return Status::InvalidArgument("sub-cube shape mismatch");
+  }
+  const uint64_t z = next_z_;
+  SyncCubeCrest(z);
+
+  Tensor transformed = subcube;
+  SS_RETURN_IF_ERROR(ForwardNonstandard(&transformed, norm_));
+
+  // Final coefficients: all sub-cube details, shifted to cube coordinates.
+  TensorShape cube_shape = TensorShape::Cube(d_, uint64_t{1} << n_);
+  const auto subcube_pos = MortonDecode(z, d_, n_ - m_);
+  std::vector<uint64_t> local(d_, 0);
+  NsCoeffId id;
+  do {
+    bool is_root = true;
+    for (uint64_t c : local) is_root = is_root && (c == 0);
+    if (is_root) continue;
+    id = NsCoeffOfAddress(m_, local);
+    for (uint32_t i = 0; i < d_; ++i) {
+      id.node[i] += subcube_pos[i] << (m_ - id.level);
+    }
+    const uint64_t flat = cube_shape.FlatIndex(NsAddress(n_, id));
+    synopsis_.Offer(EncodeCubeKey(cube_t_, flat), transformed.At(local));
+    ++coeff_touches_;
+  } while (subcube.shape().Next(local));
+
+  // SPLIT the sub-cube average up the in-cube quadtree crest.
+  const double avg = transformed[0];
+  const double atten_d =
+      std::pow(ScalingAttenuation(norm_), static_cast<double>(d_));
+  const uint64_t corners = uint64_t{1} << d_;
+  double magnitude = avg;
+  for (uint32_t j = m_ + 1; j <= n_; ++j) {
+    magnitude *= atten_d;
+    const uint64_t corner =
+        (z >> (static_cast<uint64_t>(d_) * (j - m_ - 1))) & (corners - 1);
+    auto& level = cube_crest_[j];
+    for (uint64_t sigma = 1; sigma < corners; ++sigma) {
+      level.subbands[sigma - 1] += NsSign(sigma, corner) * magnitude;
+      ++coeff_touches_;
+    }
+  }
+  cube_root_ += magnitude;  // atten_d^(n-m) * avg
+  ++coeff_touches_;
+
+  ++next_z_;
+  if (next_z_ == (uint64_t{1} << (static_cast<uint64_t>(d_) * (n_ - m_)))) {
+    SS_RETURN_IF_ERROR(CompleteCube());
+  }
+  return Status::OK();
+}
+
+void NonstandardStreamSynopsis::SyncTimeCrest(uint64_t t) {
+  for (uint32_t j = 1; j <= log_t_; ++j) {
+    const uint64_t pos = t >> j;
+    auto it = time_crest_.find(j);
+    if (it == time_crest_.end()) {
+      time_crest_[j] = TimeCrestLevel{pos, 0.0};
+      continue;
+    }
+    if (it->second.pos == pos) continue;
+    synopsis_.Offer(EncodeTimeKey(j, it->second.pos), it->second.value);
+    it->second.pos = pos;
+    it->second.value = 0.0;
+  }
+}
+
+void NonstandardStreamSynopsis::ExpandTime() {
+  const double atten = ScalingAttenuation(norm_);
+  ++log_t_;
+  time_crest_[log_t_] = TimeCrestLevel{0, time_root_ * atten};
+  time_root_ *= atten;
+  coeff_touches_ += 2;
+}
+
+Status NonstandardStreamSynopsis::CompleteCube() {
+  // Finalize the whole in-cube crest.
+  TensorShape cube_shape = TensorShape::Cube(d_, uint64_t{1} << n_);
+  const uint64_t per_node = (uint64_t{1} << d_) - 1;
+  for (const auto& [j, level] : cube_crest_) {
+    NsCoeffId id;
+    id.level = j;
+    id.node = MortonDecode(level.node_id, d_, n_ - j);
+    for (uint64_t sigma = 1; sigma <= per_node; ++sigma) {
+      id.subband = sigma;
+      const uint64_t flat = cube_shape.FlatIndex(NsAddress(n_, id));
+      synopsis_.Offer(EncodeCubeKey(cube_t_, flat),
+                      level.subbands[sigma - 1]);
+    }
+  }
+  cube_crest_.clear();
+
+  // The cube average becomes the next item of the 1-d time stream.
+  const uint64_t t = cube_t_;
+  while (t >= (uint64_t{1} << log_t_)) ExpandTime();
+  SyncTimeCrest(t);
+  const auto contributions = Split1D(log_t_, 0, t, cube_root_, norm_);
+  for (const SplitContribution& sc : contributions) {
+    if (sc.index == 0) {
+      time_root_ += sc.delta;
+    } else {
+      const WaveletCoord wc = CoordOfIndex(log_t_, sc.index);
+      time_crest_[wc.level].value += sc.delta;
+    }
+    ++coeff_touches_;
+  }
+  cube_root_ = 0.0;
+  next_z_ = 0;
+  ++cube_t_;
+  return Status::OK();
+}
+
+Status NonstandardStreamSynopsis::Finish() {
+  if (finished_) return Status::OK();
+  if (next_z_ != 0) {
+    return Status::InvalidArgument("current cube is incomplete");
+  }
+  finished_ = true;
+  for (const auto& [j, level] : time_crest_) {
+    synopsis_.Offer(EncodeTimeKey(j, level.pos), level.value);
+  }
+  time_crest_.clear();
+  synopsis_.Offer(EncodeTimeKey(0, 0), time_root_);
+  return Status::OK();
+}
+
+}  // namespace shiftsplit

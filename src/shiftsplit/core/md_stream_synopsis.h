@@ -1,0 +1,154 @@
+// Multidimensional data-stream synopses (paper §5.3, Results 4 and 5) —
+// to our knowledge the paper is the first treatment of wavelet synopses for
+// multidimensional streams; these classes implement both decompositions it
+// analyzes.
+//
+// Result 4 (standard form): a d-dimensional stream growing along its last
+// (time) dimension. Because every coefficient tuple pairs a 1-d index per
+// constant dimension with a time-tree index, all N^(d-1) tuples per open
+// time coefficient stay open: the maintainer holds O(K + buffer +
+// N^(d-1) log T) coefficients — faithful to the Result-4 bound, prohibitive
+// unless the constant dimensions are small (the paper's conclusion).
+//
+// Result 5 (non-standard form): the stream is a sequence of N^d hypercubes
+// along time; each cube is decomposed in the non-standard form (sub-cubes
+// arriving in z-order, Result 2's access pattern), and the cube averages
+// form a 1-d stream decomposed over time. Open state: the in-cube quadtree
+// crest (2^d - 1) log(N/M) + the time crest log(T/...) — the Result-5 bound.
+
+#ifndef SHIFTSPLIT_CORE_MD_STREAM_SYNOPSIS_H_
+#define SHIFTSPLIT_CORE_MD_STREAM_SYNOPSIS_H_
+
+#include <map>
+#include <vector>
+
+#include "shiftsplit/core/synopsis.h"
+#include "shiftsplit/wavelet/haar.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief Result-4 maintainer: standard-form synopsis of a stream growing
+/// along its last dimension.
+///
+/// Data arrives as slabs spanning the full constant dimensions with a
+/// power-of-two thickness 2^m along time.
+class StandardStreamSynopsis {
+ public:
+  /// \param const_log_dims log2 extents of the d-1 constant dimensions
+  /// \param m              log2 of the slab thickness (time buffer)
+  /// \param k              synopsis size
+  StandardStreamSynopsis(std::vector<uint32_t> const_log_dims, uint32_t m,
+                         uint64_t k,
+                         Normalization norm = Normalization::kOrthonormal);
+
+  /// \brief Pushes the next slab (shape: const dims ... x 2^m).
+  Status Push(const Tensor& slab);
+
+  /// \brief Finalizes all open coefficients.
+  Status Finish();
+
+  const TopKSynopsis& synopsis() const { return synopsis_; }
+  uint64_t slabs() const { return slabs_; }
+  /// Current log2 capacity of the time domain (grows by doubling).
+  uint32_t log_t() const { return log_t_; }
+  /// Open (non-final) coefficient count — the Result-4 memory term.
+  uint64_t open_coefficients() const;
+  uint64_t coeff_touches() const { return coeff_touches_; }
+
+  /// \brief Stable 64-bit key of the coefficient with time-tree coordinate
+  /// (time_level, time_pos) — time_level = 0 encodes the time-scaling root —
+  /// and flat constant-dimension tuple index `const_flat`.
+  uint64_t EncodeKey(uint32_t time_level, uint64_t time_pos,
+                     uint64_t const_flat) const;
+
+ private:
+  // Finalizes crest level `j` (offering its tensor) if its position moved.
+  void SyncCrestLevel(uint32_t j, uint64_t chunk_index);
+  // Doubles the time domain.
+  void ExpandTime();
+
+  std::vector<uint32_t> const_log_dims_;
+  uint32_t m_;
+  Normalization norm_;
+  TopKSynopsis synopsis_;
+  uint64_t slabs_ = 0;
+  uint32_t log_t_;
+  uint64_t const_cells_;  // product of constant extents
+  uint64_t coeff_touches_ = 0;
+  bool finished_ = false;
+  // Open time-tree coefficients: absolute time level -> (position, values
+  // over the constant-dimension tuple space).
+  struct CrestLevel {
+    uint64_t pos = 0;
+    std::vector<double> values;
+  };
+  std::map<uint32_t, CrestLevel> crest_;
+  std::vector<double> root_;  // time-scaling root per constant tuple
+};
+
+/// \brief Result-5 maintainer: non-standard-form synopsis of a stream of
+/// hypercubes along time.
+class NonstandardStreamSynopsis {
+ public:
+  /// \param d    dimensionality of each cube
+  /// \param n    log2 of the cube edge
+  /// \param m    log2 of the arriving sub-cube edge (buffer M^d)
+  /// \param k    synopsis size
+  NonstandardStreamSynopsis(uint32_t d, uint32_t n, uint32_t m, uint64_t k,
+                            Normalization norm = Normalization::kOrthonormal);
+
+  /// \brief Pushes the next sub-cube (cube of edge 2^m); sub-cubes must
+  /// arrive in z-order within each consecutive time cube.
+  Status Push(const Tensor& subcube);
+
+  /// \brief Finalizes everything (the current cube must be complete).
+  Status Finish();
+
+  const TopKSynopsis& synopsis() const { return synopsis_; }
+  uint64_t cubes_completed() const { return cube_t_; }
+  uint64_t open_coefficients() const;
+  uint64_t coeff_touches() const { return coeff_touches_; }
+
+  /// \brief Key of an in-cube coefficient: cube index + flat tensor address.
+  uint64_t EncodeCubeKey(uint64_t cube_t, uint64_t flat_address) const;
+  /// \brief Key of a time-tree coefficient over the cube averages.
+  uint64_t EncodeTimeKey(uint32_t time_level, uint64_t time_pos) const;
+
+ private:
+  void SyncCubeCrest(uint64_t z);
+  Status CompleteCube();
+  void SyncTimeCrest(uint64_t t);
+  void ExpandTime();
+
+  uint32_t d_;
+  uint32_t n_;
+  uint32_t m_;
+  Normalization norm_;
+  TopKSynopsis synopsis_;
+  uint64_t coeff_touches_ = 0;
+  bool finished_ = false;
+
+  // Within-cube state.
+  uint64_t cube_t_ = 0;   // completed cubes
+  uint64_t next_z_ = 0;   // next expected sub-cube z-position
+  double cube_root_ = 0;  // accumulated cube average
+  struct CubeCrestLevel {
+    uint64_t node_id = 0;            // z >> d*(j-m)
+    std::vector<double> subbands;    // 2^d - 1 open values
+  };
+  std::map<uint32_t, CubeCrestLevel> cube_crest_;  // level j in (m, n]
+
+  // Time-tree state over cube averages.
+  uint32_t log_t_ = 0;
+  struct TimeCrestLevel {
+    uint64_t pos = 0;
+    double value = 0;
+  };
+  std::map<uint32_t, TimeCrestLevel> time_crest_;
+  double time_root_ = 0;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_CORE_MD_STREAM_SYNOPSIS_H_

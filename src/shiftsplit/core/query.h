@@ -1,0 +1,100 @@
+// Query processing over wavelet-transformed tile stores: point queries
+// (Lemma 1) and range-sum queries (Lemma 2), for both decomposition forms.
+//
+// Two point-query strategies are provided:
+//  * path mode — walk the full per-dimension root paths; touches one tile
+//    per band and dimension (the allocation strategy's guarantee);
+//  * scaling-slot mode — exploit the redundant subtree-root scaling stored
+//    at slot 0 of every tile (paper §3): the reconstruction needs only the
+//    deepest tile per dimension, i.e. a single block for a point query.
+
+#ifndef SHIFTSPLIT_CORE_QUERY_H_
+#define SHIFTSPLIT_CORE_QUERY_H_
+
+#include <cstdint>
+#include <span>
+
+#include "shiftsplit/tile/tiled_store.h"
+#include "shiftsplit/wavelet/haar.h"
+
+namespace shiftsplit {
+
+/// \brief Options shared by the query entry points.
+struct QueryOptions {
+  Normalization norm = Normalization::kAverage;
+  /// Use the redundant tile-root scaling slots (requires the matching tree
+  /// tiling layout and maintained slots). Falls back to path mode when the
+  /// store's layout has no such slots.
+  bool use_scaling_slots = false;
+};
+
+/// \brief Value of the data point `point` from a standard-form store.
+Result<double> PointQueryStandard(TiledStore* store,
+                                  std::span<const uint32_t> log_dims,
+                                  std::span<const uint64_t> point,
+                                  const QueryOptions& options = {});
+
+/// \brief Value of the data point from a non-standard-form store (cube of
+/// edge 2^n).
+Result<double> PointQueryNonstandard(TiledStore* store, uint32_t n,
+                                     std::span<const uint64_t> point,
+                                     const QueryOptions& options = {});
+
+/// \brief Batch of point queries with block-locality scheduling: in
+/// scaling-slot mode the points are evaluated grouped by their deepest
+/// tile, so each data block is fetched once per group regardless of the
+/// input order. Results are returned in input order.
+Result<std::vector<double>> BatchPointQueryStandard(
+    TiledStore* store, std::span<const uint32_t> log_dims,
+    const std::vector<std::vector<uint64_t>>& points,
+    const QueryOptions& options = {});
+
+/// \brief Sum of the data over the inclusive box [lo, hi] from a
+/// standard-form store, touching O((2 log N + 1)^d) coefficients (Lemma 2).
+Result<double> RangeSumStandard(TiledStore* store,
+                                std::span<const uint32_t> log_dims,
+                                std::span<const uint64_t> lo,
+                                std::span<const uint64_t> hi,
+                                const QueryOptions& options = {});
+
+/// \brief Range-sum from a non-standard-form store: recursive descent over
+/// the quadtree, visiting only nodes whose support crosses the box boundary.
+Result<double> RangeSumNonstandard(TiledStore* store, uint32_t n,
+                                   std::span<const uint64_t> lo,
+                                   std::span<const uint64_t> hi,
+                                   const QueryOptions& options = {});
+
+/// \brief The per-dimension aggregate weight with which the 1-d coefficient
+/// at `index` contributes to the sum over [lo, hi] (inclusive): the sum of
+/// its reconstruction weights over the interval. Zero for details fully
+/// inside or outside the range (the 0-th vanishing moment of Lemma 2).
+double RangeSumWeight(uint32_t n, uint64_t index, uint64_t lo, uint64_t hi,
+                      Normalization norm);
+
+/// \brief One refinement step of a progressive range sum.
+struct ProgressiveEstimate {
+  uint32_t depth = 0;            ///< coefficients down to this tree depth
+  double estimate = 0.0;         ///< running estimate after this round
+  uint64_t coefficients_read = 0;  ///< cumulative coefficient reads
+};
+
+/// \brief Progressive range-sum evaluation (the "progressive answers" use
+/// of wavelets the paper's introduction cites): the Lemma-2 contributions
+/// are consumed coarse-to-fine (by total tree depth of the coefficient
+/// tuple), and the running estimate is reported after each depth. The last
+/// estimate equals RangeSumStandard exactly.
+Result<std::vector<ProgressiveEstimate>> ProgressiveRangeSumStandard(
+    TiledStore* store, std::span<const uint32_t> log_dims,
+    std::span<const uint64_t> lo, std::span<const uint64_t> hi,
+    const QueryOptions& options = {});
+
+/// \brief Non-standard-form progressive range sum: the quadtree descent of
+/// RangeSumNonstandard reported level by level (depth = n - level), exact
+/// after the last round.
+Result<std::vector<ProgressiveEstimate>> ProgressiveRangeSumNonstandard(
+    TiledStore* store, uint32_t n, std::span<const uint64_t> lo,
+    std::span<const uint64_t> hi, const QueryOptions& options = {});
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_CORE_QUERY_H_

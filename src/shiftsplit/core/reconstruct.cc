@@ -1,0 +1,304 @@
+#include "shiftsplit/core/reconstruct.h"
+
+#include <cmath>
+
+#include "shiftsplit/core/shift_split.h"
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/wavelet/nonstandard_transform.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+namespace {
+
+// Per-dimension inverse-SHIFT / inverse-SPLIT source list: for every local
+// 1-d index of the range transform, the global coefficients (with weights)
+// that determine it.
+struct DimSource {
+  std::vector<std::pair<uint64_t, double>> terms;  // (global index, weight)
+};
+
+std::vector<DimSource> BuildDimSources(uint32_t n, uint32_t m, uint64_t k,
+                                       Normalization norm) {
+  std::vector<DimSource> sources(uint64_t{1} << m);
+  // Local details: pure re-indexing (inverse SHIFT).
+  for (uint64_t local = 1; local < (uint64_t{1} << m); ++local) {
+    sources[local].terms = {{ShiftIndex(n, m, k, local), 1.0}};
+  }
+  // Local scaling (index 0): the covering path (inverse SPLIT) — the
+  // reconstruction identity for u_{m,k} from the global transform.
+  const double g = ReconstructionAttenuation(norm);
+  double magnitude = 1.0;
+  for (uint32_t j = m + 1; j <= n; ++j) {
+    magnitude *= g;
+    const double sign = InLeftHalf(m, k, j) ? 1.0 : -1.0;
+    sources[0].terms.emplace_back(DetailIndex(n, j, k >> (j - m)),
+                                  sign * magnitude);
+  }
+  sources[0].terms.emplace_back(0, magnitude);  // g^(n-m) * overall average
+  return sources;
+}
+
+}  // namespace
+
+Result<Tensor> ReconstructDyadicStandard(TiledStore* store,
+                                         std::span<const uint32_t> log_dims,
+                                         std::span<const uint32_t> range_log,
+                                         std::span<const uint64_t> range_pos,
+                                         Normalization norm) {
+  const uint32_t d = static_cast<uint32_t>(log_dims.size());
+  if (range_log.size() != d || range_pos.size() != d) {
+    return Status::InvalidArgument("range dimensionality mismatch");
+  }
+  std::vector<uint64_t> local_dims(d);
+  std::vector<std::vector<DimSource>> sources(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    if (range_log[i] > log_dims[i]) {
+      return Status::InvalidArgument("range larger than the dataset");
+    }
+    if (range_pos[i] >= (uint64_t{1} << (log_dims[i] - range_log[i]))) {
+      return Status::OutOfRange("range position beyond the domain");
+    }
+    local_dims[i] = uint64_t{1} << range_log[i];
+    sources[i] = BuildDimSources(log_dims[i], range_log[i], range_pos[i],
+                                 norm);
+  }
+  Tensor local{TensorShape(local_dims)};
+  std::vector<uint64_t> lidx(d, 0);
+  std::vector<uint64_t> gaddr(d);
+  do {
+    // Value of the local transform entry: cross product over per-dim terms.
+    std::vector<size_t> pick(d, 0);
+    double value = 0.0;
+    for (;;) {
+      double weight = 1.0;
+      for (uint32_t i = 0; i < d; ++i) {
+        const auto& [g_idx, w] = sources[i][lidx[i]].terms[pick[i]];
+        gaddr[i] = g_idx;
+        weight *= w;
+      }
+      SS_ASSIGN_OR_RETURN(const double coeff, store->Get(gaddr));
+      value += weight * coeff;
+      uint32_t i = d;
+      bool advanced = false;
+      while (i-- > 0) {
+        if (++pick[i] < sources[i][lidx[i]].terms.size()) {
+          advanced = true;
+          break;
+        }
+        pick[i] = 0;
+      }
+      if (!advanced) break;
+    }
+    local.At(lidx) = value;
+  } while (local.shape().Next(lidx));
+  SS_RETURN_IF_ERROR(InverseStandard(&local, norm));
+  return local;
+}
+
+Result<Tensor> ReconstructDyadicNonstandard(TiledStore* store, uint32_t n,
+                                            uint32_t m,
+                                            std::span<const uint64_t> range_pos,
+                                            Normalization norm) {
+  const uint32_t d = static_cast<uint32_t>(range_pos.size());
+  if (m > n) {
+    return Status::InvalidArgument("range larger than the dataset");
+  }
+  for (uint64_t k : range_pos) {
+    if (k >= (uint64_t{1} << (n - m))) {
+      return Status::OutOfRange("range position beyond the domain");
+    }
+  }
+  Tensor local(TensorShape::Cube(d, uint64_t{1} << m));
+  // Inverse SHIFT: copy the in-range details.
+  std::vector<uint64_t> lidx(d, 0);
+  NsCoeffId id;
+  do {
+    bool is_root = true;
+    for (uint64_t c : lidx) is_root = is_root && (c == 0);
+    if (is_root) continue;
+    id = NsCoeffOfAddress(m, lidx);
+    for (uint32_t i = 0; i < d; ++i) {
+      id.node[i] += range_pos[i] << (m - id.level);
+    }
+    const auto address = NsAddress(n, id);
+    SS_ASSIGN_OR_RETURN(const double coeff, store->Get(address));
+    local.At(lidx) = coeff;
+  } while (local.shape().Next(lidx));
+  // Inverse SPLIT: rebuild the range's root average from the quadtree path.
+  const uint64_t corners = uint64_t{1} << d;
+  const double g_d = std::pow(ReconstructionAttenuation(norm),
+                              static_cast<double>(d));
+  std::vector<uint64_t> zero(d, 0);
+  SS_ASSIGN_OR_RETURN(const double root, store->Get(zero));
+  double u = root * std::pow(g_d, static_cast<double>(n - m));
+  id.is_scaling = false;
+  for (uint32_t j = m + 1; j <= n; ++j) {
+    uint64_t corner = 0;
+    id.level = j;
+    id.node.assign(d, 0);
+    for (uint32_t i = 0; i < d; ++i) {
+      id.node[i] = range_pos[i] >> (j - m);
+      corner |= ((range_pos[i] >> (j - m - 1)) & 1u) << i;
+    }
+    const double magnitude = std::pow(g_d, static_cast<double>(j - m));
+    for (uint64_t sigma = 1; sigma < corners; ++sigma) {
+      id.subband = sigma;
+      const auto address = NsAddress(n, id);
+      SS_ASSIGN_OR_RETURN(const double coeff, store->Get(address));
+      u += NsSign(sigma, corner) * magnitude * coeff;
+    }
+  }
+  local[0] = u;
+  SS_RETURN_IF_ERROR(InverseNonstandard(&local, norm));
+  return local;
+}
+
+std::vector<DyadicInterval> DyadicCover(uint64_t lo, uint64_t hi) {
+  std::vector<DyadicInterval> cover;
+  uint64_t cur = lo;
+  while (cur <= hi) {
+    // Largest power of two aligned at cur and fitting within [cur, hi].
+    uint32_t level = cur == 0 ? 63u : static_cast<uint32_t>(
+                                          std::countr_zero(cur));
+    while (level > 0 &&
+           (cur + (uint64_t{1} << level) - 1) > hi) {
+      --level;
+    }
+    if ((cur + (uint64_t{1} << level) - 1) > hi) level = 0;
+    cover.push_back(DyadicInterval{level, cur >> level});
+    cur += uint64_t{1} << level;
+  }
+  return cover;
+}
+
+namespace {
+
+void CoverNode(uint32_t d, uint32_t level, std::vector<uint64_t>& node,
+               std::span<const uint64_t> lo, std::span<const uint64_t> hi,
+               std::vector<DyadicCube>* out) {
+  bool intersects = true;
+  bool inside = true;
+  for (uint32_t i = 0; i < d; ++i) {
+    const DyadicInterval support{level, node[i]};
+    if (hi[i] < support.begin() || lo[i] > support.last()) {
+      intersects = false;
+      break;
+    }
+    if (lo[i] > support.begin() || hi[i] < support.last()) inside = false;
+  }
+  if (!intersects) return;
+  if (inside) {
+    out->push_back(DyadicCube{level, node});
+    return;
+  }
+  // level > 0 here: a single cell either misses the box or lies inside it.
+  std::vector<uint64_t> child(d);
+  for (uint64_t eps = 0; eps < (uint64_t{1} << d); ++eps) {
+    for (uint32_t i = 0; i < d; ++i) {
+      child[i] = 2 * node[i] + ((eps >> i) & 1u);
+    }
+    CoverNode(d, level - 1, child, lo, hi, out);
+  }
+}
+
+}  // namespace
+
+std::vector<DyadicCube> CubeCover(uint32_t d, uint32_t n,
+                                  std::span<const uint64_t> lo,
+                                  std::span<const uint64_t> hi) {
+  std::vector<DyadicCube> out;
+  std::vector<uint64_t> root(d, 0);
+  CoverNode(d, n, root, lo, hi, &out);
+  return out;
+}
+
+Result<Tensor> ReconstructRangeNonstandard(TiledStore* store, uint32_t n,
+                                           std::span<const uint64_t> lo,
+                                           std::span<const uint64_t> hi,
+                                           Normalization norm) {
+  const uint32_t d = static_cast<uint32_t>(lo.size());
+  if (hi.size() != d) {
+    return Status::InvalidArgument("range dimensionality mismatch");
+  }
+  std::vector<uint64_t> out_dims(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    if (lo[i] > hi[i] || hi[i] >= (uint64_t{1} << n)) {
+      return Status::OutOfRange("bad range bounds");
+    }
+    out_dims[i] = NextPowerOfTwo(hi[i] - lo[i] + 1);
+  }
+  Tensor out{TensorShape(out_dims)};
+  for (const DyadicCube& cube : CubeCover(d, n, lo, hi)) {
+    SS_ASSIGN_OR_RETURN(Tensor piece,
+                        ReconstructDyadicNonstandard(store, n, cube.level,
+                                                     cube.node, norm));
+    std::vector<uint64_t> local(d, 0);
+    std::vector<uint64_t> oidx(d);
+    do {
+      for (uint32_t i = 0; i < d; ++i) {
+        oidx[i] = (cube.node[i] << cube.level) - lo[i] + local[i];
+      }
+      out.At(oidx) = piece.At(local);
+    } while (piece.shape().Next(local));
+  }
+  return out;
+}
+
+Result<Tensor> ReconstructRangeStandard(TiledStore* store,
+                                        std::span<const uint32_t> log_dims,
+                                        std::span<const uint64_t> lo,
+                                        std::span<const uint64_t> hi,
+                                        Normalization norm) {
+  const uint32_t d = static_cast<uint32_t>(log_dims.size());
+  if (lo.size() != d || hi.size() != d) {
+    return Status::InvalidArgument("range dimensionality mismatch");
+  }
+  std::vector<uint64_t> out_dims(d);
+  std::vector<std::vector<DyadicInterval>> covers(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    if (lo[i] > hi[i] || hi[i] >= (uint64_t{1} << log_dims[i])) {
+      return Status::OutOfRange("bad range bounds");
+    }
+    // The output box is materialized at the next power of two per dim.
+    out_dims[i] = NextPowerOfTwo(hi[i] - lo[i] + 1);
+    covers[i] = DyadicCover(lo[i], hi[i]);
+  }
+  Tensor out{TensorShape(out_dims)};
+  // Cross product of per-dimension dyadic covers.
+  std::vector<size_t> pick(d, 0);
+  std::vector<uint32_t> range_log(d);
+  std::vector<uint64_t> range_pos(d);
+  for (;;) {
+    for (uint32_t i = 0; i < d; ++i) {
+      range_log[i] = covers[i][pick[i]].level;
+      range_pos[i] = covers[i][pick[i]].index;
+    }
+    SS_ASSIGN_OR_RETURN(
+        Tensor piece, ReconstructDyadicStandard(store, log_dims, range_log,
+                                                range_pos, norm));
+    // Copy the piece into the output at its offset.
+    std::vector<uint64_t> lidx(d, 0);
+    std::vector<uint64_t> oidx(d);
+    do {
+      for (uint32_t i = 0; i < d; ++i) {
+        oidx[i] = (range_pos[i] << range_log[i]) - lo[i] + lidx[i];
+      }
+      out.At(oidx) = piece.At(lidx);
+    } while (piece.shape().Next(lidx));
+    uint32_t i = d;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (++pick[i] < covers[i].size()) {
+        advanced = true;
+        break;
+      }
+      pick[i] = 0;
+    }
+    if (!advanced) break;
+  }
+  return out;
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,82 @@
+// Partial reconstruction from wavelet transforms (paper §5.4, Result 6):
+// extracting a region of the original data directly from a transformed tile
+// store using the inverses of SHIFT (index translation back into the local
+// tree) and SPLIT (rebuilding the local scaling coefficients from the
+// covering path), then a small in-memory inverse transform.
+//
+// Costs: O((M + log(N/M))^d) coefficient reads for the standard form and
+// O(M^d + (2^d - 1) log(N/M)) for the non-standard form — versus O(N^d) for
+// decompressing everything or O(M^d log N) for point-by-point queries.
+
+#ifndef SHIFTSPLIT_CORE_RECONSTRUCT_H_
+#define SHIFTSPLIT_CORE_RECONSTRUCT_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "shiftsplit/tile/tiled_store.h"
+#include "shiftsplit/wavelet/haar.h"
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief Reconstructs the dyadic box with per-dimension ranges
+/// [pos_i * 2^m_i, (pos_i + 1) * 2^m_i) from a standard-form store of a
+/// dataset with per-dimension log2 extents `log_dims`.
+Result<Tensor> ReconstructDyadicStandard(TiledStore* store,
+                                         std::span<const uint32_t> log_dims,
+                                         std::span<const uint32_t> range_log,
+                                         std::span<const uint64_t> range_pos,
+                                         Normalization norm);
+
+/// \brief Reconstructs the dyadic cube of edge 2^m at per-dimension dyadic
+/// position `range_pos` from a non-standard-form store (cube of edge 2^n).
+Result<Tensor> ReconstructDyadicNonstandard(TiledStore* store, uint32_t n,
+                                            uint32_t m,
+                                            std::span<const uint64_t> range_pos,
+                                            Normalization norm);
+
+/// \brief Reconstructs an arbitrary inclusive box [lo, hi] from a
+/// standard-form store by covering it with maximal dyadic boxes and invoking
+/// ReconstructDyadicStandard on each.
+Result<Tensor> ReconstructRangeStandard(TiledStore* store,
+                                        std::span<const uint32_t> log_dims,
+                                        std::span<const uint64_t> lo,
+                                        std::span<const uint64_t> hi,
+                                        Normalization norm);
+
+/// \brief Decomposes [lo, hi] (inclusive) into maximal dyadic intervals —
+/// the 1-d building block of the arbitrary-range reconstruction. Exposed for
+/// testing; returns at most 2 log N intervals.
+std::vector<DyadicInterval> DyadicCover(uint64_t lo, uint64_t hi);
+
+/// \brief A dyadic-aligned cube: edge 2^level at per-dimension node
+/// position (data coordinates node[i] * 2^level).
+struct DyadicCube {
+  uint32_t level = 0;
+  std::vector<uint64_t> node;
+
+  bool operator==(const DyadicCube&) const = default;
+};
+
+/// \brief Decomposes the inclusive box [lo, hi] inside the 2^n-cube into
+/// maximal dyadic-aligned cubes (quadtree descent) — the paper's §4.1
+/// observation that "arbitrary multidimensional dyadic ranges can always be
+/// seen as a collection of cubic intervals". O(surface * log) cubes.
+std::vector<DyadicCube> CubeCover(uint32_t d, uint32_t n,
+                                  std::span<const uint64_t> lo,
+                                  std::span<const uint64_t> hi);
+
+/// \brief Reconstructs an arbitrary inclusive box [lo, hi] from a
+/// non-standard-form store by covering it with maximal dyadic cubes and
+/// invoking ReconstructDyadicNonstandard on each.
+Result<Tensor> ReconstructRangeNonstandard(TiledStore* store, uint32_t n,
+                                           std::span<const uint64_t> lo,
+                                           std::span<const uint64_t> hi,
+                                           Normalization norm);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_CORE_RECONSTRUCT_H_

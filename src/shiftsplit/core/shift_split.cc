@@ -1,0 +1,168 @@
+#include "shiftsplit/core/shift_split.h"
+
+#include <cmath>
+
+#include "shiftsplit/tile/tree_tiling.h"
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+std::vector<SplitContribution> Split1D(uint32_t n, uint32_t m, uint64_t chunk_k,
+                                       double chunk_scaling,
+                                       Normalization norm) {
+  std::vector<SplitContribution> out;
+  out.reserve(n - m + 1);
+  const double atten = ScalingAttenuation(norm);
+  double magnitude = chunk_scaling;
+  for (uint32_t j = m + 1; j <= n; ++j) {
+    magnitude *= atten;
+    const double sign = InLeftHalf(m, chunk_k, j) ? 1.0 : -1.0;
+    out.push_back({DetailIndex(n, j, chunk_k >> (j - m)), sign * magnitude});
+  }
+  out.push_back({0, magnitude});  // overall average; magnitude = atten^(n-m)
+  return out;
+}
+
+std::vector<std::pair<uint64_t, double>> ScalingExpansion(uint32_t m,
+                                                          uint32_t level,
+                                                          uint64_t pos,
+                                                          Normalization norm) {
+  std::vector<std::pair<uint64_t, double>> out;
+  out.reserve(m - level + 1);
+  const double atten = ReconstructionAttenuation(norm);
+  double magnitude = 1.0;
+  for (uint32_t j = level + 1; j <= m; ++j) {
+    magnitude *= atten;
+    const double sign = InLeftHalf(level, pos, j) ? 1.0 : -1.0;
+    out.emplace_back(DetailIndex(m, j, pos >> (j - level)), sign * magnitude);
+  }
+  out.emplace_back(0, magnitude);  // the local scaling coefficient
+  return out;
+}
+
+Status ApplyChunk1D(std::span<const double> chunk_transform, uint32_t n,
+                    uint64_t chunk_k, std::span<double> global_transform,
+                    Normalization norm, ApplyMode mode) {
+  if (!IsPowerOfTwo(chunk_transform.size()) ||
+      !IsPowerOfTwo(global_transform.size())) {
+    return Status::InvalidArgument("sizes must be powers of two");
+  }
+  const uint32_t m = Log2(chunk_transform.size());
+  if (m > n || global_transform.size() != (uint64_t{1} << n)) {
+    return Status::InvalidArgument("chunk larger than the global transform");
+  }
+  if (chunk_k >= (uint64_t{1} << (n - m))) {
+    return Status::OutOfRange("chunk position beyond the global domain");
+  }
+  // SHIFT the details.
+  for (uint64_t local = 1; local < chunk_transform.size(); ++local) {
+    const uint64_t global = ShiftIndex(n, m, chunk_k, local);
+    if (mode == ApplyMode::kConstruct) {
+      global_transform[global] = chunk_transform[local];
+    } else {
+      global_transform[global] += chunk_transform[local];
+    }
+  }
+  // SPLIT the average.
+  for (const SplitContribution& c :
+       Split1D(n, m, chunk_k, chunk_transform[0], norm)) {
+    global_transform[c.index] += c.delta;
+  }
+  return Status::OK();
+}
+
+Status HaarPyramid(std::span<const double> data, Normalization norm,
+                   std::vector<std::vector<double>>* pyramid,
+                   std::vector<double>* transform) {
+  if (!IsPowerOfTwo(data.size())) {
+    return Status::InvalidArgument("pyramid input size must be a power of 2");
+  }
+  const uint32_t m = Log2(data.size());
+  pyramid->assign(m + 1, {});
+  (*pyramid)[0].assign(data.begin(), data.end());
+  transform->assign(data.size(), 0.0);
+  for (uint32_t j = 1; j <= m; ++j) {
+    const std::vector<double>& prev = (*pyramid)[j - 1];
+    std::vector<double>& avg = (*pyramid)[j];
+    const uint64_t half = prev.size() / 2;
+    avg.resize(half);
+    for (uint64_t k = 0; k < half; ++k) {
+      avg[k] = HaarAverage(prev[2 * k], prev[2 * k + 1], norm);
+      (*transform)[DetailIndex(m, j, k)] =
+          HaarDetail(prev[2 * k], prev[2 * k + 1], norm);
+    }
+  }
+  (*transform)[0] = (*pyramid)[m][0];
+  return Status::OK();
+}
+
+Status TransformAndApplyChunk1D(std::span<const double> chunk_data, uint32_t n,
+                                uint64_t chunk_k, TiledStore* store,
+                                Normalization norm,
+                                const ApplyOptions& options) {
+  if (!IsPowerOfTwo(chunk_data.size())) {
+    return Status::InvalidArgument("chunk size must be a power of two");
+  }
+  const uint32_t m = Log2(chunk_data.size());
+  if (m > n) {
+    return Status::InvalidArgument("chunk larger than the dataset");
+  }
+  if (chunk_k >= (uint64_t{1} << (n - m))) {
+    return Status::OutOfRange("chunk position beyond the global domain");
+  }
+  std::vector<std::vector<double>> pyramid;
+  std::vector<double> transform;
+  SS_RETURN_IF_ERROR(HaarPyramid(chunk_data, norm, &pyramid, &transform));
+
+  const bool construct = options.mode == ApplyMode::kConstruct;
+  uint64_t address[1];
+  // SHIFT the details into their final positions.
+  for (uint64_t local = 1; local < transform.size(); ++local) {
+    if (options.skip_zero_writes && transform[local] == 0.0) continue;
+    address[0] = ShiftIndex(n, m, chunk_k, local);
+    if (construct) {
+      SS_RETURN_IF_ERROR(store->Set(address, transform[local]));
+    } else {
+      SS_RETURN_IF_ERROR(store->Add(address, transform[local]));
+    }
+  }
+  // SPLIT the average into the covering coefficients.
+  for (const SplitContribution& c :
+       Split1D(n, m, chunk_k, transform[0], norm)) {
+    if (options.skip_zero_writes && c.delta == 0.0) continue;
+    address[0] = c.index;
+    SS_RETURN_IF_ERROR(store->Add(address, c.delta));
+  }
+  // Maintain the redundant subtree-root scaling slots (paper §3) when the
+  // store uses the 1-d tree tiling. These live in the same tiles the SHIFT
+  // and SPLIT already touch, so they add no block I/O.
+  const auto* layout = dynamic_cast<const TreeTilingLayout*>(&store->layout());
+  if (options.maintain_scaling_slots && layout != nullptr) {
+    const TreeTiling& tiling = layout->tiling();
+    for (const auto& [level, pos] : tiling.ScalingSlotsWithin(m, chunk_k)) {
+      if (level == n) continue;  // the overall average was split above
+      SS_ASSIGN_OR_RETURN(const BlockSlot at,
+                          tiling.LocateScaling(level, pos));
+      const double value =
+          pyramid[level][pos - (chunk_k << (m - level))];
+      if (construct) {
+        SS_RETURN_IF_ERROR(store->SetAt(at, value));
+      } else {
+        SS_RETURN_IF_ERROR(store->AddAt(at, value));
+      }
+    }
+    const double atten = ScalingAttenuation(norm);
+    for (const auto& [level, pos] : tiling.ScalingSlotsAbove(m, chunk_k)) {
+      if (level == n) continue;  // the overall average was split above
+      SS_ASSIGN_OR_RETURN(const BlockSlot at,
+                          tiling.LocateScaling(level, pos));
+      const double delta =
+          transform[0] * std::pow(atten, static_cast<double>(level - m));
+      SS_RETURN_IF_ERROR(store->AddAt(at, delta));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,173 @@
+#include "shiftsplit/core/stream_synopsis.h"
+
+#include <algorithm>
+
+#include "shiftsplit/core/shift_split.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+BufferedStreamSynopsis::BufferedStreamSynopsis(uint32_t n, uint64_t k,
+                                               uint32_t b, Normalization norm)
+    : n_(n), b_(std::min(b, n)), norm_(norm), synopsis_(k) {
+  buffer_.reserve(uint64_t{1} << b_);
+}
+
+Status BufferedStreamSynopsis::Push(double value) {
+  if (finished_) {
+    return Status::InvalidArgument("stream already finished");
+  }
+  if (items_ >= (uint64_t{1} << n_)) {
+    return Status::OutOfRange("stream exceeded its declared domain size");
+  }
+  buffer_.push_back(value);
+  ++items_;
+  if (buffer_.size() == (uint64_t{1} << b_)) {
+    const uint64_t chunk_index = (items_ >> b_) - 1;
+    SS_RETURN_IF_ERROR(ApplyBuffer(chunk_index));
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+Status BufferedStreamSynopsis::ApplyBuffer(uint64_t chunk_index) {
+  std::vector<std::vector<double>> pyramid;
+  std::vector<double> transform;
+  SS_RETURN_IF_ERROR(HaarPyramid(buffer_, norm_, &pyramid, &transform));
+
+  // The buffered details are final: offer them straight to the synopsis.
+  for (uint64_t local = 1; local < transform.size(); ++local) {
+    synopsis_.Offer(ShiftIndex(n_, b_, chunk_index, local), transform[local]);
+    ++coeff_touches_;
+  }
+  // Finalize crest coefficients the new path no longer visits; the stream
+  // advances monotonically, so they can never change again.
+  const auto contributions =
+      Split1D(n_, b_, chunk_index, transform[0], norm_);
+  for (auto it = crest_.begin(); it != crest_.end();) {
+    const bool still_open =
+        std::any_of(contributions.begin(), contributions.end(),
+                    [&](const SplitContribution& c) {
+                      return c.index == it->first;
+                    });
+    if (still_open) {
+      ++it;
+    } else {
+      synopsis_.Offer(it->first, it->second);
+      it = crest_.erase(it);
+    }
+  }
+  // SPLIT the buffer average into the crest.
+  for (const SplitContribution& c : contributions) {
+    crest_[c.index] += c.delta;
+    ++coeff_touches_;
+  }
+  return Status::OK();
+}
+
+Status BufferedStreamSynopsis::Finish() {
+  if (finished_) return Status::OK();
+  if (!buffer_.empty()) {
+    return Status::InvalidArgument(
+        "stream length must be a multiple of the buffer size");
+  }
+  finished_ = true;
+  for (const auto& [index, value] : crest_) {
+    synopsis_.Offer(index, value);
+  }
+  crest_.clear();
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// UnboundedStreamSynopsis
+// ---------------------------------------------------------------------------
+
+UnboundedStreamSynopsis::UnboundedStreamSynopsis(uint64_t k, uint32_t b,
+                                                 Normalization norm)
+    : b_(b), norm_(norm), synopsis_(k), log_n_(b) {
+  buffer_.reserve(uint64_t{1} << b_);
+}
+
+uint64_t UnboundedStreamSynopsis::EncodeKey(uint32_t level, uint64_t pos) {
+  return (static_cast<uint64_t>(level) << 40) | pos;
+}
+
+void UnboundedStreamSynopsis::Expand() {
+  // The old root's energy splits into the new top detail (the seen data
+  // occupy the left half) and the new, attenuated root — §5.2's tree
+  // expansion performed on the synopsis state.
+  const double atten = ScalingAttenuation(norm_);
+  const uint32_t new_level = log_n_ + 1;
+  crest_[new_level] = CrestLevel{0, root_ * atten};
+  root_ *= atten;
+  log_n_ = new_level;
+  coeff_touches_ += 2;
+}
+
+Status UnboundedStreamSynopsis::Push(double value) {
+  if (finished_) return Status::InvalidArgument("stream already finished");
+  buffer_.push_back(value);
+  ++items_;
+  if (buffer_.size() == (uint64_t{1} << b_)) {
+    const uint64_t chunk_index = (items_ >> b_) - 1;
+    while (chunk_index >= (uint64_t{1} << (log_n_ - b_))) Expand();
+    SS_RETURN_IF_ERROR(ApplyBuffer(chunk_index));
+    buffer_.clear();
+  }
+  return Status::OK();
+}
+
+Status UnboundedStreamSynopsis::ApplyBuffer(uint64_t chunk_index) {
+  std::vector<std::vector<double>> pyramid;
+  std::vector<double> transform;
+  SS_RETURN_IF_ERROR(HaarPyramid(buffer_, norm_, &pyramid, &transform));
+
+  // Final buffered details, keyed by their stable (level, pos) coordinates.
+  for (uint64_t local = 1; local < transform.size(); ++local) {
+    const WaveletCoord wc = CoordOfIndex(b_, local);
+    synopsis_.Offer(
+        EncodeKey(wc.level, (chunk_index << (b_ - wc.level)) + wc.pos),
+        transform[local]);
+    ++coeff_touches_;
+  }
+  // Crest maintenance at levels (b, log_n]; finalize departed positions.
+  const double atten = ScalingAttenuation(norm_);
+  double magnitude = transform[0];
+  for (uint32_t j = b_ + 1; j <= log_n_; ++j) {
+    magnitude *= atten;
+    const uint64_t pos = chunk_index >> (j - b_);
+    auto it = crest_.find(j);
+    if (it == crest_.end()) {
+      crest_[j] = CrestLevel{pos, 0.0};
+      it = crest_.find(j);
+    } else if (it->second.pos != pos) {
+      synopsis_.Offer(EncodeKey(j, it->second.pos), it->second.value);
+      it->second.pos = pos;
+      it->second.value = 0.0;
+    }
+    const double sign = InLeftHalf(b_, chunk_index, j) ? 1.0 : -1.0;
+    it->second.value += sign * magnitude;
+    ++coeff_touches_;
+  }
+  root_ += magnitude;  // atten^(log_n - b) * buffer average
+  ++coeff_touches_;
+  return Status::OK();
+}
+
+Status UnboundedStreamSynopsis::Finish() {
+  if (finished_) return Status::OK();
+  if (!buffer_.empty()) {
+    return Status::InvalidArgument(
+        "stream length must be a multiple of the buffer size");
+  }
+  finished_ = true;
+  for (const auto& [level, entry] : crest_) {
+    synopsis_.Offer(EncodeKey(level, entry.pos), entry.value);
+  }
+  crest_.clear();
+  synopsis_.Offer(EncodeKey(0, 0), root_);
+  return Status::OK();
+}
+
+}  // namespace shiftsplit

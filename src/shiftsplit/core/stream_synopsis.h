@@ -1,0 +1,126 @@
+// Buffered K-term stream synopsis maintenance (paper §5.3, Result 3).
+//
+// A 1-d data stream in the time-series model (values arrive in positional
+// order over a domain of size N = 2^n) is summarized by its K largest
+// wavelet coefficients. Gilbert et al. maintain the synopsis at O(log N)
+// coefficient touches per item (see baseline/gilbert_stream.h). Buffering
+// B = 2^b items and applying SHIFT-SPLIT per buffer reduces the per-item
+// cost to O(1 + (1/B) log(N/B)): the B-1 buffered details are final
+// immediately after the buffer transform, and only the log(N/B)-long
+// wavelet crest above the buffer remains open.
+
+#ifndef SHIFTSPLIT_CORE_STREAM_SYNOPSIS_H_
+#define SHIFTSPLIT_CORE_STREAM_SYNOPSIS_H_
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "shiftsplit/core/synopsis.h"
+#include "shiftsplit/wavelet/haar.h"
+
+namespace shiftsplit {
+
+/// \brief Result-3 stream maintainer.
+class BufferedStreamSynopsis {
+ public:
+  /// \param n    log2 of the stream domain size (items beyond 2^n rejected)
+  /// \param k    synopsis size
+  /// \param b    log2 of the buffer size (0 <= b <= n)
+  /// \param norm coefficient normalization (orthonormal for best-K in L2)
+  BufferedStreamSynopsis(uint32_t n, uint64_t k, uint32_t b,
+                         Normalization norm = Normalization::kOrthonormal);
+
+  /// \brief Appends the next stream item.
+  Status Push(double value);
+
+  /// \brief Finalizes all open coefficients. Items pushed so far must fill a
+  /// whole number of buffers; the rest of the domain is treated as absent
+  /// (coefficients over unseen data keep their current contributions).
+  Status Finish();
+
+  const TopKSynopsis& synopsis() const { return synopsis_; }
+  uint64_t items() const { return items_; }
+
+  /// \brief Coefficient touches so far: finalized detail writes plus crest
+  /// updates — the per-item cost measure of Result 3.
+  uint64_t coeff_touches() const { return coeff_touches_; }
+
+  /// \brief Current open-coefficient count (crest size) — the extra memory
+  /// beyond K and the buffer.
+  uint64_t open_coefficients() const { return crest_.size(); }
+
+ private:
+  // Applies one full buffer as chunk `chunk_index`.
+  Status ApplyBuffer(uint64_t chunk_index);
+
+  uint32_t n_;
+  uint32_t b_;
+  Normalization norm_;
+  TopKSynopsis synopsis_;
+  std::vector<double> buffer_;
+  uint64_t items_ = 0;
+  uint64_t coeff_touches_ = 0;
+  bool finished_ = false;
+  // Open coefficients: flat index -> accumulated value.
+  std::unordered_map<uint64_t, double> crest_;
+};
+
+/// \brief Result-3 maintainer over an *unbounded* domain — the paper's
+/// actual streaming setting ("dimension sizes are unbounded and new data
+/// are coming"): when the stream outgrows the current domain, the wavelet
+/// tree gains a level entirely in the synopsis (the old root splits into
+/// the new top detail and the new root), exactly like the §5.2 expansion.
+///
+/// Coefficient keys are stable logical (level, position) coordinates, so
+/// finalized coefficients keep their identity across expansions:
+///   key = (level << 40) | position, level 0 = the current root.
+class UnboundedStreamSynopsis {
+ public:
+  /// \param k    synopsis size
+  /// \param b    log2 of the buffer size
+  explicit UnboundedStreamSynopsis(
+      uint64_t k, uint32_t b,
+      Normalization norm = Normalization::kOrthonormal);
+
+  /// \brief Appends the next stream item; the domain grows as needed.
+  Status Push(double value);
+
+  /// \brief Finalizes all open coefficients (whole buffers only).
+  Status Finish();
+
+  const TopKSynopsis& synopsis() const { return synopsis_; }
+  uint64_t items() const { return items_; }
+  /// Current log2 domain capacity (grows by doubling).
+  uint32_t log_n() const { return log_n_; }
+  uint64_t coeff_touches() const { return coeff_touches_; }
+  uint64_t open_coefficients() const { return crest_.size() + 1; }
+
+  /// \brief Stable key of the coefficient at tree coordinate (level, pos);
+  /// level 0 encodes the root scaling.
+  static uint64_t EncodeKey(uint32_t level, uint64_t pos);
+
+ private:
+  Status ApplyBuffer(uint64_t chunk_index);
+  void Expand();
+
+  uint32_t b_;
+  Normalization norm_;
+  TopKSynopsis synopsis_;
+  std::vector<double> buffer_;
+  uint64_t items_ = 0;
+  uint32_t log_n_;
+  uint64_t coeff_touches_ = 0;
+  bool finished_ = false;
+  double root_ = 0.0;  // the current overall average
+  // Open detail coefficients: level -> (position, value).
+  struct CrestLevel {
+    uint64_t pos = 0;
+    double value = 0.0;
+  };
+  std::map<uint32_t, CrestLevel> crest_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_CORE_STREAM_SYNOPSIS_H_

@@ -1,0 +1,46 @@
+#include "shiftsplit/core/synopsis.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace shiftsplit {
+
+bool TopKSynopsis::Offer(uint64_t key, double value) {
+  ++offers_;
+  if (k_ == 0) return false;
+  assert(!values_.contains(key) && "coefficient keys may be offered once");
+  const double magnitude = std::abs(value);
+  if (values_.size() < k_) {
+    order_.emplace(magnitude, key);
+    values_[key] = value;
+    return true;
+  }
+  auto weakest = order_.begin();
+  if (magnitude <= weakest->first) return false;
+  values_.erase(weakest->second);
+  order_.erase(weakest);
+  order_.emplace(magnitude, key);
+  values_[key] = value;
+  return true;
+}
+
+double TopKSynopsis::ValueOrZero(uint64_t key) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+double TopKSynopsis::MinMagnitude() const {
+  if (values_.size() < k_ || order_.empty()) return 0.0;
+  return order_.begin()->first;
+}
+
+std::vector<std::pair<uint64_t, double>> TopKSynopsis::Extract() const {
+  std::vector<std::pair<uint64_t, double>> out;
+  out.reserve(values_.size());
+  for (auto it = order_.rbegin(); it != order_.rend(); ++it) {
+    out.emplace_back(it->second, values_.at(it->second));
+  }
+  return out;
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,60 @@
+// K-term wavelet synopsis container: retains the K coefficients of largest
+// magnitude (offered values are compared by absolute value — under the
+// orthonormal normalization this is the best-K-term approximation in the L2
+// sense, by Parseval).
+
+#ifndef SHIFTSPLIT_CORE_SYNOPSIS_H_
+#define SHIFTSPLIT_CORE_SYNOPSIS_H_
+
+#include <cstdint>
+#include <set>
+#include <unordered_map>
+#include <vector>
+
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+
+/// \brief Bounded set of the K largest-magnitude coefficients seen so far.
+///
+/// Keys are opaque 64-bit coefficient identifiers (flat wavelet indices for
+/// 1-d streams; encoded ids for the multidimensional synopses). Each key may
+/// be offered once (finalized coefficients never change).
+class TopKSynopsis {
+ public:
+  explicit TopKSynopsis(uint64_t k) : k_(k) {}
+
+  /// \brief Offers a finalized coefficient; keeps it iff it ranks among the
+  /// K largest magnitudes. Returns true if retained.
+  bool Offer(uint64_t key, double value);
+
+  uint64_t k() const { return k_; }
+  uint64_t size() const { return values_.size(); }
+
+  bool Contains(uint64_t key) const { return values_.contains(key); }
+
+  /// \brief Value of a retained coefficient, or 0.0 when not retained (the
+  /// synopsis semantics: dropped coefficients are approximated by zero).
+  double ValueOrZero(uint64_t key) const;
+
+  /// \brief Smallest retained magnitude (0 when fewer than K retained).
+  double MinMagnitude() const;
+
+  /// \brief All retained (key, value) pairs, in decreasing magnitude.
+  std::vector<std::pair<uint64_t, double>> Extract() const;
+
+  /// \brief Total number of Offer calls (the synopsis-maintenance cost the
+  /// stream experiments report alongside coefficient touches).
+  uint64_t offers() const { return offers_; }
+
+ private:
+  uint64_t k_;
+  uint64_t offers_ = 0;
+  // Ordered by (|value|, key) so the min-magnitude element is begin().
+  std::set<std::pair<double, uint64_t>> order_;
+  std::unordered_map<uint64_t, double> values_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_CORE_SYNOPSIS_H_

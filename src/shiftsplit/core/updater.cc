@@ -1,0 +1,116 @@
+#include "shiftsplit/core/updater.h"
+
+#include "shiftsplit/core/md_shift_split.h"
+#include "shiftsplit/core/reconstruct.h"
+
+namespace shiftsplit {
+
+Status UpdateDyadicStandard(TiledStore* store,
+                            std::span<const uint32_t> log_dims,
+                            const Tensor& deltas,
+                            std::span<const uint64_t> chunk_pos,
+                            Normalization norm,
+                            bool maintain_scaling_slots) {
+  ApplyOptions options;
+  options.mode = ApplyMode::kUpdate;
+  options.maintain_scaling_slots = maintain_scaling_slots;
+  SS_RETURN_IF_ERROR(ApplyChunkStandard(deltas, chunk_pos, log_dims, store,
+                                        norm, options));
+  return store->Flush();
+}
+
+Status UpdateDyadicNonstandard(TiledStore* store, uint32_t n,
+                               const Tensor& deltas,
+                               std::span<const uint64_t> chunk_pos,
+                               Normalization norm,
+                               bool maintain_scaling_slots) {
+  ApplyOptions options;
+  options.mode = ApplyMode::kUpdate;
+  options.maintain_scaling_slots = maintain_scaling_slots;
+  SS_RETURN_IF_ERROR(
+      ApplyChunkNonstandard(deltas, chunk_pos, n, store, norm, options));
+  return store->Flush();
+}
+
+Status UpdateRangeStandard(TiledStore* store,
+                           std::span<const uint32_t> log_dims,
+                           const Tensor& deltas,
+                           std::span<const uint64_t> origin,
+                           Normalization norm,
+                           bool maintain_scaling_slots) {
+  const uint32_t d = static_cast<uint32_t>(log_dims.size());
+  if (deltas.shape().ndim() != d || origin.size() != d) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  std::vector<std::vector<DyadicInterval>> covers(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    const uint64_t hi = origin[i] + deltas.shape().dim(i) - 1;
+    if (hi >= (uint64_t{1} << log_dims[i])) {
+      return Status::OutOfRange("update box beyond the domain");
+    }
+    covers[i] = DyadicCover(origin[i], hi);
+  }
+  // Apply each dyadic sub-box.
+  std::vector<size_t> pick(d, 0);
+  for (;;) {
+    std::vector<uint64_t> sub_dims(d), sub_pos(d);
+    for (uint32_t i = 0; i < d; ++i) {
+      sub_dims[i] = covers[i][pick[i]].length();
+      sub_pos[i] = covers[i][pick[i]].index;
+    }
+    Tensor sub{TensorShape(sub_dims)};
+    std::vector<uint64_t> local(d, 0), src(d);
+    do {
+      for (uint32_t i = 0; i < d; ++i) {
+        src[i] = covers[i][pick[i]].begin() - origin[i] + local[i];
+      }
+      sub.At(local) = deltas.At(src);
+    } while (sub.shape().Next(local));
+    SS_RETURN_IF_ERROR(UpdateDyadicStandard(store, log_dims, sub, sub_pos,
+                                            norm, maintain_scaling_slots));
+    uint32_t i = d;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (++pick[i] < covers[i].size()) {
+        advanced = true;
+        break;
+      }
+      pick[i] = 0;
+    }
+    if (!advanced) break;
+  }
+  return Status::OK();
+}
+
+Status UpdateRangeNonstandard(TiledStore* store, uint32_t n,
+                              const Tensor& deltas,
+                              std::span<const uint64_t> origin,
+                              Normalization norm,
+                              bool maintain_scaling_slots) {
+  const uint32_t d = deltas.shape().ndim();
+  if (origin.size() != d) {
+    return Status::InvalidArgument("dimensionality mismatch");
+  }
+  std::vector<uint64_t> hi(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    hi[i] = origin[i] + deltas.shape().dim(i) - 1;
+    if (hi[i] >= (uint64_t{1} << n)) {
+      return Status::OutOfRange("update box beyond the domain");
+    }
+  }
+  for (const DyadicCube& cube : CubeCover(d, n, origin, hi)) {
+    Tensor sub(TensorShape::Cube(d, uint64_t{1} << cube.level));
+    std::vector<uint64_t> local(d, 0), src(d);
+    do {
+      for (uint32_t i = 0; i < d; ++i) {
+        src[i] = (cube.node[i] << cube.level) - origin[i] + local[i];
+      }
+      sub.At(local) = deltas.At(src);
+    } while (sub.shape().Next(local));
+    SS_RETURN_IF_ERROR(UpdateDyadicNonstandard(store, n, sub, cube.node,
+                                               norm, maintain_scaling_slots));
+  }
+  return Status::OK();
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,60 @@
+// Batch updates directly in the wavelet domain (paper §4, Example 2).
+//
+// A dyadic-aligned batch of updates is one SHIFT-SPLIT apply in kUpdate
+// mode: O(M + log(N/M)) coefficient I/O instead of O(M log N) for per-point
+// maintenance. Arbitrary (non-dyadic) update boxes are decomposed into
+// maximal dyadic boxes first.
+
+#ifndef SHIFTSPLIT_CORE_UPDATER_H_
+#define SHIFTSPLIT_CORE_UPDATER_H_
+
+#include <span>
+
+#include "shiftsplit/core/shift_split.h"
+#include "shiftsplit/tile/tiled_store.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief Adds `deltas` to the dyadic box at per-dimension dyadic positions
+/// `chunk_pos` of a standard-form store (the box extents are the delta
+/// tensor's extents, each a power of two dividing the global extent).
+Status UpdateDyadicStandard(TiledStore* store,
+                            std::span<const uint32_t> log_dims,
+                            const Tensor& deltas,
+                            std::span<const uint64_t> chunk_pos,
+                            Normalization norm,
+                            bool maintain_scaling_slots = true);
+
+/// \brief Adds `deltas` to the cubic dyadic range of a non-standard-form
+/// store.
+Status UpdateDyadicNonstandard(TiledStore* store, uint32_t n,
+                               const Tensor& deltas,
+                               std::span<const uint64_t> chunk_pos,
+                               Normalization norm,
+                               bool maintain_scaling_slots = true);
+
+/// \brief Adds `deltas` — a box anchored at an arbitrary (possibly
+/// unaligned) `origin` — to a standard-form store by decomposing the box
+/// into maximal dyadic-aligned sub-boxes (per-dimension DyadicCover cross
+/// product) and applying each sub-box as one batch update.
+Status UpdateRangeStandard(TiledStore* store,
+                           std::span<const uint32_t> log_dims,
+                           const Tensor& deltas,
+                           std::span<const uint64_t> origin,
+                           Normalization norm,
+                           bool maintain_scaling_slots = true);
+
+/// \brief Non-standard counterpart: the delta box is decomposed into
+/// maximal dyadic-aligned cubes (CubeCover) and each cube is applied as one
+/// batch — §4.1's "arbitrary multidimensional dyadic ranges can always be
+/// seen as a collection of cubic intervals".
+Status UpdateRangeNonstandard(TiledStore* store, uint32_t n,
+                              const Tensor& deltas,
+                              std::span<const uint64_t> origin,
+                              Normalization norm,
+                              bool maintain_scaling_slots = true);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_CORE_UPDATER_H_

@@ -1,0 +1,167 @@
+#include "shiftsplit/core/wavelet_cube.h"
+
+#include <filesystem>
+
+#include "shiftsplit/core/query.h"
+#include "shiftsplit/core/reconstruct.h"
+#include "shiftsplit/core/updater.h"
+#include "shiftsplit/storage/file_block_manager.h"
+#include "shiftsplit/storage/memory_block_manager.h"
+
+namespace shiftsplit {
+
+namespace {
+
+std::string ManifestPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "store.manifest").string();
+}
+std::string BlocksPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "blocks.bin").string();
+}
+
+StoreManifest MakeManifest(std::vector<uint32_t> log_dims,
+                           const WaveletCube::Options& options) {
+  StoreManifest manifest;
+  manifest.form = options.form;
+  manifest.norm = options.norm;
+  manifest.b = options.b;
+  manifest.log_dims = std::move(log_dims);
+  return manifest;
+}
+
+}  // namespace
+
+Status WaveletCube::OpenStore(uint64_t pool_blocks) {
+  SS_ASSIGN_OR_RETURN(auto layout, manifest_.MakeLayout());
+  if (dir_.empty()) {
+    device_ =
+        std::make_unique<MemoryBlockManager>(layout->block_capacity());
+  } else {
+    SS_ASSIGN_OR_RETURN(device_,
+                        FileBlockManager::Open(BlocksPath(dir_),
+                                               layout->block_capacity()));
+  }
+  SS_ASSIGN_OR_RETURN(store_, TiledStore::Create(std::move(layout),
+                                                 device_.get(), pool_blocks));
+  return Status::OK();
+}
+
+Result<std::unique_ptr<WaveletCube>> WaveletCube::CreateInMemory(
+    std::vector<uint32_t> log_dims, const Options& options) {
+  if (options.form == StoreForm::kNaive) {
+    return Status::InvalidArgument(
+        "WaveletCube manages tiled stores; use TiledStore directly for the "
+        "naive layout");
+  }
+  std::unique_ptr<WaveletCube> cube(new WaveletCube());
+  cube->manifest_ = MakeManifest(std::move(log_dims), options);
+  SS_RETURN_IF_ERROR(cube->OpenStore(options.pool_blocks));
+  return cube;
+}
+
+Result<std::unique_ptr<WaveletCube>> WaveletCube::CreateOnDisk(
+    const std::string& dir, std::vector<uint32_t> log_dims,
+    const Options& options) {
+  if (options.form == StoreForm::kNaive) {
+    return Status::InvalidArgument(
+        "WaveletCube manages tiled stores; use TiledStore directly for the "
+        "naive layout");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create store directory " + dir);
+  }
+  std::unique_ptr<WaveletCube> cube(new WaveletCube());
+  cube->dir_ = dir;
+  cube->manifest_ = MakeManifest(std::move(log_dims), options);
+  SS_RETURN_IF_ERROR(cube->manifest_.Save(ManifestPath(dir)));
+  SS_RETURN_IF_ERROR(cube->OpenStore(options.pool_blocks));
+  return cube;
+}
+
+Result<std::unique_ptr<WaveletCube>> WaveletCube::OpenOnDisk(
+    const std::string& dir, uint64_t pool_blocks) {
+  std::unique_ptr<WaveletCube> cube(new WaveletCube());
+  cube->dir_ = dir;
+  SS_ASSIGN_OR_RETURN(cube->manifest_,
+                      StoreManifest::Load(ManifestPath(dir)));
+  SS_RETURN_IF_ERROR(cube->OpenStore(pool_blocks));
+  return cube;
+}
+
+Status WaveletCube::Ingest(ChunkSource* source, uint32_t log_chunk,
+                           const TransformOptions* options) {
+  TransformOptions resolved;
+  if (options != nullptr) resolved = *options;
+  resolved.norm = manifest_.norm;
+  if (manifest_.form == StoreForm::kNonstandard) {
+    return TransformDatasetNonstandard(source, log_chunk, store_.get(),
+                                       resolved)
+        .status();
+  }
+  return TransformDatasetStandard(source, log_chunk, store_.get(), resolved)
+      .status();
+}
+
+Result<double> WaveletCube::PointQuery(std::span<const uint64_t> point,
+                                       bool use_scaling_slots) {
+  QueryOptions q;
+  q.norm = manifest_.norm;
+  q.use_scaling_slots = use_scaling_slots;
+  if (manifest_.form == StoreForm::kNonstandard) {
+    return PointQueryNonstandard(store_.get(), manifest_.log_dims[0], point,
+                                 q);
+  }
+  return PointQueryStandard(store_.get(), manifest_.log_dims, point, q);
+}
+
+Result<double> WaveletCube::RangeSum(std::span<const uint64_t> lo,
+                                     std::span<const uint64_t> hi) {
+  QueryOptions q;
+  q.norm = manifest_.norm;
+  if (manifest_.form == StoreForm::kNonstandard) {
+    return RangeSumNonstandard(store_.get(), manifest_.log_dims[0], lo, hi,
+                               q);
+  }
+  return RangeSumStandard(store_.get(), manifest_.log_dims, lo, hi, q);
+}
+
+Result<Tensor> WaveletCube::Extract(std::span<const uint64_t> lo,
+                                    std::span<const uint64_t> hi) {
+  if (manifest_.form == StoreForm::kNonstandard) {
+    return ReconstructRangeNonstandard(store_.get(), manifest_.log_dims[0],
+                                       lo, hi, manifest_.norm);
+  }
+  return ReconstructRangeStandard(store_.get(), manifest_.log_dims, lo, hi,
+                                  manifest_.norm);
+}
+
+Status WaveletCube::Update(const Tensor& deltas,
+                           std::span<const uint64_t> origin) {
+  if (manifest_.form == StoreForm::kNonstandard) {
+    return UpdateRangeNonstandard(store_.get(), manifest_.log_dims[0],
+                                  deltas, origin, manifest_.norm);
+  }
+  return UpdateRangeStandard(store_.get(), manifest_.log_dims, deltas,
+                             origin, manifest_.norm);
+}
+
+Result<CompressedSynopsis> WaveletCube::Compress(uint64_t k) {
+  if (manifest_.form != StoreForm::kStandard) {
+    return Status::Unimplemented(
+        "synopsis compression currently supports standard-form cubes");
+  }
+  return CompressedSynopsis::Build(store_.get(), manifest_.log_dims, k,
+                                   manifest_.norm);
+}
+
+Status WaveletCube::Flush() {
+  SS_RETURN_IF_ERROR(store_->Flush());
+  if (auto* file = dynamic_cast<FileBlockManager*>(device_.get())) {
+    SS_RETURN_IF_ERROR(file->Sync());
+  }
+  return Status::OK();
+}
+
+}  // namespace shiftsplit

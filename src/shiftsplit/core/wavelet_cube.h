@@ -1,0 +1,101 @@
+// WaveletCube — the one-stop facade over a disk-resident wavelet-transformed
+// dataset. It bundles a tile layout, a block device (in-memory or file), a
+// buffer pool and a manifest, and dispatches every maintenance and query
+// operation to the right decomposition-form implementation:
+//
+//   auto cube = WaveletCube::CreateOnDisk("/data/cube", {5,5,3,6}, options);
+//   cube->Ingest(&dataset, /*log_chunk=*/3);
+//   double v   = *cube->PointQuery({16, 20, 0, 31});
+//   double sum = *cube->RangeSum({0,0,0,0}, {31,31,0,63});
+//   cube->Update(deltas, /*origin=*/{4, 8, 0, 16});
+//   Tensor box = *cube->Extract({0,0,0,0}, {7,7,0,0});
+//
+// File-backed cubes are self-describing (storage/manifest.h) and reopen with
+// WaveletCube::OpenOnDisk.
+
+#ifndef SHIFTSPLIT_CORE_WAVELET_CUBE_H_
+#define SHIFTSPLIT_CORE_WAVELET_CUBE_H_
+
+#include <memory>
+#include <string>
+
+#include "shiftsplit/core/approx.h"
+#include "shiftsplit/core/chunked_transform.h"
+#include "shiftsplit/storage/manifest.h"
+#include "shiftsplit/tile/tiled_store.h"
+
+namespace shiftsplit {
+
+/// \brief Facade over one wavelet-transformed dataset.
+class WaveletCube {
+ public:
+  struct Options {
+    StoreForm form = StoreForm::kStandard;
+    Normalization norm = Normalization::kAverage;
+    uint32_t b = 2;              ///< log2 tile edge
+    uint64_t pool_blocks = 256;  ///< buffer-pool budget
+  };
+
+  /// \brief Creates an empty in-memory cube.
+  static Result<std::unique_ptr<WaveletCube>> CreateInMemory(
+      std::vector<uint32_t> log_dims, const Options& options);
+
+  /// \brief Creates an empty file-backed cube in `dir` (store.manifest +
+  /// blocks.bin).
+  static Result<std::unique_ptr<WaveletCube>> CreateOnDisk(
+      const std::string& dir, std::vector<uint32_t> log_dims,
+      const Options& options);
+
+  /// \brief Reopens a file-backed cube from its manifest.
+  static Result<std::unique_ptr<WaveletCube>> OpenOnDisk(
+      const std::string& dir, uint64_t pool_blocks = 256);
+
+  /// \brief Streams a dataset into the cube chunk by chunk (Results 1-2).
+  Status Ingest(ChunkSource* source, uint32_t log_chunk,
+                const TransformOptions* options = nullptr);
+
+  /// \brief Value of one data point. Defaults to the single-block
+  /// scaling-slot strategy when the layout supports it.
+  Result<double> PointQuery(std::span<const uint64_t> point,
+                            bool use_scaling_slots = true);
+
+  /// \brief Sum of the inclusive box [lo, hi] (Lemma 2).
+  Result<double> RangeSum(std::span<const uint64_t> lo,
+                          std::span<const uint64_t> hi);
+
+  /// \brief Reconstructs the inclusive box [lo, hi] (Result 6); the tensor
+  /// extents are the box extents rounded up to powers of two.
+  Result<Tensor> Extract(std::span<const uint64_t> lo,
+                         std::span<const uint64_t> hi);
+
+  /// \brief Adds `deltas` (anchored at `origin`) in the wavelet domain
+  /// (Example 2).
+  Status Update(const Tensor& deltas, std::span<const uint64_t> origin);
+
+  /// \brief K-term compression of the whole cube (standard form only).
+  Result<CompressedSynopsis> Compress(uint64_t k);
+
+  /// \brief Writes dirty blocks back (and fsyncs file-backed devices).
+  Status Flush();
+
+  const StoreManifest& manifest() const { return manifest_; }
+  TiledStore* store() { return store_.get(); }
+  const IoStats& stats() const { return store_->stats(); }
+  const std::vector<uint32_t>& log_dims() const {
+    return manifest_.log_dims;
+  }
+
+ private:
+  WaveletCube() = default;
+
+  Status OpenStore(uint64_t pool_blocks);
+
+  StoreManifest manifest_;
+  std::string dir_;  // empty for in-memory cubes
+  std::unique_ptr<BlockManager> device_;
+  std::unique_ptr<TiledStore> store_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_CORE_WAVELET_CUBE_H_

@@ -1,0 +1,65 @@
+#include "shiftsplit/data/dataset.h"
+
+namespace shiftsplit {
+
+namespace {
+
+Status ValidateChunk(const TensorShape& full, const TensorShape& chunk,
+                     std::span<const uint64_t> chunk_pos) {
+  if (chunk.ndim() != full.ndim() || chunk_pos.size() != full.ndim()) {
+    return Status::InvalidArgument("chunk dimensionality mismatch");
+  }
+  for (uint32_t i = 0; i < full.ndim(); ++i) {
+    if (chunk.dim(i) > full.dim(i)) {
+      return Status::InvalidArgument("chunk larger than the dataset");
+    }
+    if ((chunk_pos[i] + 1) * chunk.dim(i) > full.dim(i)) {
+      return Status::OutOfRange("chunk position beyond the dataset");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+FunctionDataset::FunctionDataset(TensorShape shape, CellFn fn)
+    : shape_(std::move(shape)), fn_(std::move(fn)) {}
+
+Status FunctionDataset::ReadChunk(std::span<const uint64_t> chunk_pos,
+                                  Tensor* out) {
+  SS_RETURN_IF_ERROR(ValidateChunk(shape_, out->shape(), chunk_pos));
+  std::vector<uint64_t> local(shape_.ndim(), 0);
+  std::vector<uint64_t> global(shape_.ndim());
+  do {
+    for (uint32_t i = 0; i < shape_.ndim(); ++i) {
+      global[i] = chunk_pos[i] * out->shape().dim(i) + local[i];
+    }
+    out->At(local) = fn_(global);
+    ++cells_read_;
+  } while (out->shape().Next(local));
+  return Status::OK();
+}
+
+Result<Tensor> FunctionDataset::Materialize() {
+  Tensor out(shape_);
+  std::vector<uint64_t> zero(shape_.ndim(), 0);
+  SS_RETURN_IF_ERROR(ReadChunk(zero, &out));
+  return out;
+}
+
+Status TensorDataset::ReadChunk(std::span<const uint64_t> chunk_pos,
+                                Tensor* out) {
+  SS_RETURN_IF_ERROR(ValidateChunk(tensor_.shape(), out->shape(), chunk_pos));
+  std::vector<uint64_t> local(tensor_.shape().ndim(), 0);
+  std::vector<uint64_t> global(tensor_.shape().ndim());
+  do {
+    for (uint32_t i = 0; i < tensor_.shape().ndim(); ++i) {
+      global[i] = chunk_pos[i] * out->shape().dim(i) + local[i];
+    }
+    out->At(local) = tensor_.At(global);
+    ++cells_read_;
+  } while (out->shape().Next(local));
+  return Status::OK();
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,76 @@
+// Dataset abstraction: the massive multidimensional arrays the paper
+// transforms are streamed chunk by chunk — they never fit in memory, so a
+// ChunkSource materializes one chunk at a time (from a generator function,
+// an in-memory tensor, or a block file).
+
+#ifndef SHIFTSPLIT_DATA_DATASET_H_
+#define SHIFTSPLIT_DATA_DATASET_H_
+
+#include <functional>
+#include <memory>
+
+#include "shiftsplit/util/status.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief Streamable multidimensional dataset.
+class ChunkSource {
+ public:
+  virtual ~ChunkSource() = default;
+
+  /// Full dataset shape (every extent a power of two).
+  virtual const TensorShape& shape() const = 0;
+
+  /// \brief Fills `out` (whose shape defines the chunk extents) with the
+  /// chunk at per-dimension chunk position `chunk_pos` (i.e. data coordinates
+  /// chunk_pos[i] * out->shape().dim(i) + local[i]).
+  virtual Status ReadChunk(std::span<const uint64_t> chunk_pos,
+                           Tensor* out) = 0;
+
+  /// Number of data cells read so far (the source side of the I/O cost).
+  uint64_t cells_read() const { return cells_read_; }
+
+ protected:
+  uint64_t cells_read_ = 0;
+};
+
+/// \brief Dataset defined by a coordinate function — deterministic, zero
+/// memory, re-streamable. All synthetic datasets are built on this.
+class FunctionDataset : public ChunkSource {
+ public:
+  using CellFn = std::function<double(std::span<const uint64_t>)>;
+
+  FunctionDataset(TensorShape shape, CellFn fn);
+
+  const TensorShape& shape() const override { return shape_; }
+  Status ReadChunk(std::span<const uint64_t> chunk_pos, Tensor* out) override;
+
+  /// \brief Direct cell access (used by tests and quality checks).
+  double Cell(std::span<const uint64_t> coords) const { return fn_(coords); }
+
+  /// \brief Materializes the whole dataset (small datasets / tests only).
+  Result<Tensor> Materialize();
+
+ private:
+  TensorShape shape_;
+  CellFn fn_;
+};
+
+/// \brief Dataset backed by an in-memory tensor.
+class TensorDataset : public ChunkSource {
+ public:
+  explicit TensorDataset(Tensor tensor) : tensor_(std::move(tensor)) {}
+
+  const TensorShape& shape() const override { return tensor_.shape(); }
+  Status ReadChunk(std::span<const uint64_t> chunk_pos, Tensor* out) override;
+
+  const Tensor& tensor() const { return tensor_; }
+
+ private:
+  Tensor tensor_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_DATA_DATASET_H_

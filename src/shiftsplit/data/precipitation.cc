@@ -1,0 +1,63 @@
+#include "shiftsplit/data/precipitation.h"
+
+#include <cmath>
+
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/util/random.h"
+
+namespace shiftsplit {
+
+namespace {
+
+// Daily precipitation (mm) at grid cell (row, col) on absolute day `day`.
+double PrecipitationCell(uint64_t row, uint64_t col, uint64_t day,
+                         const PrecipitationOptions& options) {
+  const double lat_n = static_cast<double>(uint64_t{1} << options.log_lat);
+  const double lon_n = static_cast<double>(uint64_t{1} << options.log_lon);
+  // Seasonal intensity: wet winters (day 0 = January 1st).
+  const double year_phase =
+      2.0 * M_PI * static_cast<double>(day % 384) / 384.0;
+  const double season = 0.6 + 0.4 * std::cos(year_phase);
+  // Spatial gradient: wetter towards the coast (low column index).
+  const double coast = 1.5 - static_cast<double>(col) / lon_n;
+  const double ridge =
+      1.0 + 0.3 * std::sin(M_PI * static_cast<double>(row) / lat_n);
+  // Per-cell-day deterministic randomness.
+  Xoshiro256 rng(options.seed * 0x9e3779b97f4a7c15ull + day * 65537 +
+                 row * 257 + col);
+  const double wet_probability = 0.25 + 0.45 * season;
+  if (rng.NextDouble() > wet_probability) return 0.0;  // dry day
+  return rng.NextExponential(6.0 * season * coast * ridge);
+}
+
+}  // namespace
+
+Tensor MakePrecipitationMonth(uint64_t month,
+                              const PrecipitationOptions& options) {
+  TensorShape shape({uint64_t{1} << options.log_lat,
+                     uint64_t{1} << options.log_lon,
+                     options.days_per_month});
+  Tensor slab(shape);
+  std::vector<uint64_t> c(3, 0);
+  do {
+    slab.At(c) = PrecipitationCell(c[0], c[1],
+                                   month * options.days_per_month + c[2],
+                                   options);
+  } while (shape.Next(c));
+  return slab;
+}
+
+std::unique_ptr<FunctionDataset> MakePrecipitationDataset(
+    uint64_t months, const PrecipitationOptions& options) {
+  const uint64_t days = NextPowerOfTwo(months * options.days_per_month);
+  TensorShape shape({uint64_t{1} << options.log_lat,
+                     uint64_t{1} << options.log_lon, days});
+  const uint64_t total_days = months * options.days_per_month;
+  auto fn = [=](std::span<const uint64_t> c) -> double {
+    if (c[2] >= total_days) return 0.0;  // beyond the recorded period
+    return PrecipitationCell(c[0], c[1], c[2], options);
+  };
+  return std::make_unique<FunctionDataset>(shape, std::move(fn));
+}
+
+}  // namespace shiftsplit

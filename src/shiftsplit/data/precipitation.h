@@ -1,0 +1,41 @@
+// Synthetic PRECIPITATION dataset — stand-in for the paper's dataset [14]
+// (daily precipitation over the Pacific Northwest for 45 years; the paper
+// builds an 8 x 8 x 32-days-per-month cube and appends month by month).
+//
+// The generator produces deterministic bursty non-negative daily rainfall:
+// seasonal intensity (wet winters), spatial gradient (wet coast, dry
+// interior), wet/dry day indicator and exponential rainfall amounts. The
+// appending experiment (Figure 13) measures block I/O of monthly appends
+// and expansions, which depends only on shapes — the substitution preserves
+// the curve (see DESIGN.md).
+
+#ifndef SHIFTSPLIT_DATA_PRECIPITATION_H_
+#define SHIFTSPLIT_DATA_PRECIPITATION_H_
+
+#include <memory>
+
+#include "shiftsplit/data/dataset.h"
+
+namespace shiftsplit {
+
+/// \brief Parameters of the synthetic precipitation stream.
+struct PrecipitationOptions {
+  uint32_t log_lat = 3;       ///< 8 grid rows (paper: 8)
+  uint32_t log_lon = 3;       ///< 8 grid columns (paper: 8)
+  uint32_t days_per_month = 32;  ///< paper: 32-day months
+  uint64_t seed = 45;
+};
+
+/// \brief One month of daily precipitation: an (8 x 8 x 32) slab for month
+/// index `month` (0-based), ready to feed Appender::Append.
+Tensor MakePrecipitationMonth(uint64_t month,
+                              const PrecipitationOptions& options = {});
+
+/// \brief The full precipitation cube for `months` months as one dataset
+/// (lat, lon, day) with the time extent rounded up to a power of two.
+std::unique_ptr<FunctionDataset> MakePrecipitationDataset(
+    uint64_t months, const PrecipitationOptions& options = {});
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_DATA_PRECIPITATION_H_

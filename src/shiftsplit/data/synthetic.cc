@@ -1,0 +1,73 @@
+#include "shiftsplit/data/synthetic.h"
+
+#include <cmath>
+
+#include "shiftsplit/util/random.h"
+
+namespace shiftsplit {
+
+namespace {
+
+uint64_t CellSeed(std::span<const uint64_t> c, uint64_t seed) {
+  uint64_t h = seed ^ 0x9e3779b97f4a7c15ull;
+  for (uint64_t x : c) {
+    h ^= x + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+}  // namespace
+
+std::unique_ptr<FunctionDataset> MakeUniformDataset(TensorShape shape,
+                                                    double lo, double hi,
+                                                    uint64_t seed) {
+  auto fn = [=](std::span<const uint64_t> c) -> double {
+    Xoshiro256 rng(CellSeed(c, seed));
+    return rng.NextUniform(lo, hi);
+  };
+  return std::make_unique<FunctionDataset>(std::move(shape), std::move(fn));
+}
+
+std::unique_ptr<FunctionDataset> MakeSparseDataset(TensorShape shape,
+                                                   double density,
+                                                   double zipf_alpha,
+                                                   uint64_t seed) {
+  const double hot_extent = static_cast<double>(shape.dim(0));
+  auto fn = [=](std::span<const uint64_t> c) -> double {
+    Xoshiro256 rng(CellSeed(c, seed));
+    // Zipf-like skew: cells with small first coordinate are denser.
+    const double rank = (static_cast<double>(c[0]) + 1.0) / hot_extent;
+    const double local_density =
+        std::min(1.0, density * std::pow(rank, -zipf_alpha));
+    if (rng.NextDouble() > local_density) return 0.0;
+    return rng.NextExponential(10.0);
+  };
+  return std::make_unique<FunctionDataset>(std::move(shape), std::move(fn));
+}
+
+std::unique_ptr<FunctionDataset> MakeSmoothDataset(TensorShape shape,
+                                                   uint64_t seed) {
+  const uint32_t d = shape.ndim();
+  std::vector<double> freq(d), phase(d);
+  Xoshiro256 rng(seed);
+  for (uint32_t i = 0; i < d; ++i) {
+    freq[i] = rng.NextUniform(0.5, 2.5);
+    phase[i] = rng.NextUniform(0.0, 2.0 * M_PI);
+  }
+  std::vector<double> extents(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    extents[i] = static_cast<double>(shape.dim(i));
+  }
+  auto fn = [=](std::span<const uint64_t> c) -> double {
+    double value = 1.0;
+    for (uint32_t i = 0; i < d; ++i) {
+      value *= std::sin(2.0 * M_PI * freq[i] *
+                            static_cast<double>(c[i]) / extents[i] +
+                        phase[i]);
+    }
+    return 10.0 * value;
+  };
+  return std::make_unique<FunctionDataset>(std::move(shape), std::move(fn));
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,33 @@
+// Generic synthetic datasets for property tests and parameter sweeps:
+// uniform noise, Zipf-skewed sparse cubes, and smooth separable fields.
+
+#ifndef SHIFTSPLIT_DATA_SYNTHETIC_H_
+#define SHIFTSPLIT_DATA_SYNTHETIC_H_
+
+#include <memory>
+
+#include "shiftsplit/data/dataset.h"
+
+namespace shiftsplit {
+
+/// \brief Uniform pseudo-random values in [lo, hi), deterministic per cell.
+std::unique_ptr<FunctionDataset> MakeUniformDataset(TensorShape shape,
+                                                    double lo, double hi,
+                                                    uint64_t seed);
+
+/// \brief Sparse dataset: roughly `density` of the cells are non-zero, with
+/// exponential magnitudes; non-zero placement is Zipf-clustered along the
+/// first dimension (skewed hot region).
+std::unique_ptr<FunctionDataset> MakeSparseDataset(TensorShape shape,
+                                                   double density,
+                                                   double zipf_alpha,
+                                                   uint64_t seed);
+
+/// \brief Smooth separable field: products of low-frequency sinusoids —
+/// highly compressible, the regime where K-term synopses shine.
+std::unique_ptr<FunctionDataset> MakeSmoothDataset(TensorShape shape,
+                                                   uint64_t seed);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_DATA_SYNTHETIC_H_

@@ -1,0 +1,69 @@
+#include "shiftsplit/data/temperature.h"
+
+#include <cmath>
+
+#include "shiftsplit/util/random.h"
+
+namespace shiftsplit {
+
+namespace {
+
+// Smooth deterministic pseudo-noise: a small sum of incommensurate
+// sinusoids keyed by the seed, so neighbouring cells correlate like weather.
+double SmoothNoise(double x, double y, double z, double t, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  double value = 0.0;
+  for (int h = 0; h < 4; ++h) {
+    const double fx = rng.NextUniform(0.5, 3.0);
+    const double fy = rng.NextUniform(0.5, 3.0);
+    const double fz = rng.NextUniform(0.5, 2.0);
+    const double ft = rng.NextUniform(1.0, 6.0);
+    const double phase = rng.NextUniform(0.0, 2.0 * M_PI);
+    value += std::sin(fx * x + fy * y + fz * z + ft * t + phase) /
+             static_cast<double>(h + 1);
+  }
+  return value;
+}
+
+}  // namespace
+
+std::unique_ptr<FunctionDataset> MakeTemperatureDataset(
+    const TemperatureOptions& options) {
+  TensorShape shape({uint64_t{1} << options.log_lat,
+                     uint64_t{1} << options.log_lon,
+                     uint64_t{1} << options.log_alt,
+                     uint64_t{1} << options.log_time});
+  const double lat_n = static_cast<double>(shape.dim(0));
+  const double lon_n = static_cast<double>(shape.dim(1));
+  const double alt_n = static_cast<double>(shape.dim(2));
+  const double time_n = static_cast<double>(shape.dim(3));
+  const uint64_t seed = options.seed;
+  auto fn = [=](std::span<const uint64_t> c) -> double {
+    // Normalized coordinates.
+    const double lat = static_cast<double>(c[0]) / lat_n;  // 0=south pole
+    const double lon = static_cast<double>(c[1]) / lon_n;
+    const double alt = static_cast<double>(c[2]) / alt_n;
+    const double t = static_cast<double>(c[3]) / time_n;
+
+    // Mean surface temperature by latitude: warm equator, cold poles.
+    const double equator = std::sin(M_PI * lat);            // 0..1..0
+    double celsius = -25.0 + 55.0 * equator;
+    // Altitude lapse rate: ~6.5 C per km over an ~8 km column.
+    celsius -= 6.5 * 8.0 * alt;
+    // Seasonal cycle over the 18-month window, stronger away from the
+    // equator and opposite between hemispheres.
+    const double season = std::sin(2.0 * M_PI * 1.5 * t);
+    celsius += 12.0 * (lat - 0.5) * 2.0 * season;
+    // Diurnal cycle: samples alternate day/night.
+    celsius += 4.0 * (c[3] % 2 == 0 ? 1.0 : -1.0) * equator;
+    // Continental pattern along longitude.
+    celsius += 3.0 * std::sin(2.0 * M_PI * 2.0 * lon + 1.0);
+    // Smooth weather noise.
+    celsius += 2.5 * SmoothNoise(2.0 * M_PI * lat, 2.0 * M_PI * lon,
+                                 2.0 * M_PI * alt, 2.0 * M_PI * t, seed);
+    return celsius;
+  };
+  return std::make_unique<FunctionDataset>(shape, std::move(fn));
+}
+
+}  // namespace shiftsplit

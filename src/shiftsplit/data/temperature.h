@@ -1,0 +1,36 @@
+// Synthetic TEMPERATURE dataset — stand-in for the paper's proprietary JPL
+// dataset (global temperatures at lat x lon x altitude x time, sampled twice
+// a day for 18 months, 16 GB total).
+//
+// The generator produces a deterministic, physically-plausible smooth field:
+// latitude gradient, altitude lapse rate, seasonal and diurnal cycles, a
+// longitudinal continental pattern and smooth pseudo-random weather noise.
+// The transformation experiments measure I/O counts, which depend only on
+// the array shape and algorithm parameters — not cell values — so the
+// substitution preserves every curve of Figures 11 and 12 (see DESIGN.md).
+
+#ifndef SHIFTSPLIT_DATA_TEMPERATURE_H_
+#define SHIFTSPLIT_DATA_TEMPERATURE_H_
+
+#include <memory>
+
+#include "shiftsplit/data/dataset.h"
+
+namespace shiftsplit {
+
+/// \brief Parameters of the synthetic temperature cube.
+struct TemperatureOptions {
+  uint32_t log_lat = 5;   ///< 2^5 = 32 latitude bands
+  uint32_t log_lon = 6;   ///< 64 longitude bands
+  uint32_t log_alt = 3;   ///< 8 altitude levels
+  uint32_t log_time = 7;  ///< 128 half-day samples
+  uint64_t seed = 20050614;  ///< SIGMOD 2005 opening day
+};
+
+/// \brief Creates the 4-d (lat, lon, alt, time) temperature dataset.
+std::unique_ptr<FunctionDataset> MakeTemperatureDataset(
+    const TemperatureOptions& options = {});
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_DATA_TEMPERATURE_H_

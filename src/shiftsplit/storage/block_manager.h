@@ -1,0 +1,50 @@
+// Block-device abstraction. The wavelet coefficients live in fixed-size
+// blocks of doubles; block size is measured in coefficients (the paper's
+// B = 2^b convention — a B^d-coefficient multidimensional tile is one block).
+
+#ifndef SHIFTSPLIT_STORAGE_BLOCK_MANAGER_H_
+#define SHIFTSPLIT_STORAGE_BLOCK_MANAGER_H_
+
+#include <cstdint>
+#include <span>
+
+#include "shiftsplit/storage/io_stats.h"
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+
+/// \brief Abstract array of fixed-size blocks of doubles.
+///
+/// Implementations count every ReadBlock/WriteBlock in stats(). Blocks that
+/// were never written read back as all-zero. Not thread-safe; the library is
+/// single-threaded by design (the paper's algorithms are sequential).
+class BlockManager {
+ public:
+  virtual ~BlockManager() = default;
+
+  /// Block capacity in coefficients (doubles).
+  virtual uint64_t block_size() const = 0;
+
+  /// Current number of addressable blocks.
+  virtual uint64_t num_blocks() const = 0;
+
+  /// \brief Grows (never shrinks) the device to `num_blocks` blocks; new
+  /// blocks read as zero.
+  virtual Status Resize(uint64_t num_blocks) = 0;
+
+  /// \brief Reads block `id` into `out` (size must equal block_size()).
+  virtual Status ReadBlock(uint64_t id, std::span<double> out) = 0;
+
+  /// \brief Writes block `id` from `data` (size must equal block_size()).
+  virtual Status WriteBlock(uint64_t id, std::span<const double> data) = 0;
+
+  IoStats& stats() { return stats_; }
+  const IoStats& stats() const { return stats_; }
+
+ protected:
+  IoStats stats_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_STORAGE_BLOCK_MANAGER_H_

@@ -1,0 +1,70 @@
+#include "shiftsplit/storage/buffer_pool.h"
+
+#include <cassert>
+
+namespace shiftsplit {
+
+BufferPool::BufferPool(BlockManager* manager, uint64_t capacity_blocks)
+    : manager_(manager), capacity_(capacity_blocks) {
+  assert(manager_ != nullptr);
+  assert(capacity_ > 0);
+}
+
+BufferPool::~BufferPool() {
+  // Best effort; callers that care about durability call Flush explicitly.
+  (void)Flush();
+}
+
+Result<std::span<double>> BufferPool::GetBlock(uint64_t block_id,
+                                               bool for_write) {
+  auto it = frames_.find(block_id);
+  if (it != frames_.end()) {
+    ++hits_;
+    lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
+    Frame& frame = *it->second;
+    frame.dirty = frame.dirty || for_write;
+    return std::span<double>(frame.data);
+  }
+  ++misses_;
+  while (frames_.size() >= capacity_) {
+    SS_RETURN_IF_ERROR(EvictOne());
+  }
+  Frame frame;
+  frame.block_id = block_id;
+  frame.dirty = for_write;
+  frame.data.resize(manager_->block_size());
+  SS_RETURN_IF_ERROR(manager_->ReadBlock(block_id, frame.data));
+  lru_.push_front(std::move(frame));
+  frames_[block_id] = lru_.begin();
+  return std::span<double>(lru_.front().data);
+}
+
+Status BufferPool::EvictOne() {
+  assert(!lru_.empty());
+  Frame& victim = lru_.back();
+  if (victim.dirty) {
+    SS_RETURN_IF_ERROR(manager_->WriteBlock(victim.block_id, victim.data));
+  }
+  frames_.erase(victim.block_id);
+  lru_.pop_back();
+  return Status::OK();
+}
+
+Status BufferPool::Flush() {
+  for (Frame& frame : lru_) {
+    if (frame.dirty) {
+      SS_RETURN_IF_ERROR(manager_->WriteBlock(frame.block_id, frame.data));
+      frame.dirty = false;
+    }
+  }
+  return Status::OK();
+}
+
+Status BufferPool::Clear() {
+  SS_RETURN_IF_ERROR(Flush());
+  lru_.clear();
+  frames_.clear();
+  return Status::OK();
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,74 @@
+// LRU buffer pool over a BlockManager. The pool capacity (in blocks) is the
+// memory budget the paper's algorithms operate under; a hit costs no block
+// I/O, a miss reads the block and may evict (writing back a dirty frame).
+
+#ifndef SHIFTSPLIT_STORAGE_BUFFER_POOL_H_
+#define SHIFTSPLIT_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "shiftsplit/storage/block_manager.h"
+
+namespace shiftsplit {
+
+/// \brief Single-threaded LRU block cache.
+///
+/// GetBlock returns a span into the frame, valid until the next GetBlock /
+/// Flush / Invalidate call (a subsequent get may evict the frame). Callers
+/// therefore use the span immediately — the usage pattern of all wavelet
+/// operations (fetch tile, touch a few slots, move on).
+class BufferPool {
+ public:
+  /// \param manager         backing device (not owned; must outlive the pool)
+  /// \param capacity_blocks positive frame budget
+  BufferPool(BlockManager* manager, uint64_t capacity_blocks);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  /// \brief Returns the cached frame for `block_id`, reading it on a miss.
+  /// With `for_write` the frame is marked dirty and written back on eviction
+  /// or Flush.
+  Result<std::span<double>> GetBlock(uint64_t block_id, bool for_write);
+
+  /// \brief Writes back all dirty frames (keeps them cached and clean).
+  Status Flush();
+
+  /// \brief Drops every frame, writing dirty ones back first.
+  Status Clear();
+
+  /// \brief Number of cache hits / misses since construction.
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  uint64_t capacity() const { return capacity_; }
+  uint64_t cached_blocks() const { return frames_.size(); }
+
+  BlockManager* manager() { return manager_; }
+
+ private:
+  struct Frame {
+    uint64_t block_id;
+    bool dirty = false;
+    std::vector<double> data;
+  };
+
+  // Evicts the least-recently-used frame (list back), writing back if dirty.
+  Status EvictOne();
+
+  BlockManager* manager_;
+  uint64_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  // MRU at front. unordered_map points into the list.
+  std::list<Frame> lru_;
+  std::unordered_map<uint64_t, std::list<Frame>::iterator> frames_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_STORAGE_BUFFER_POOL_H_

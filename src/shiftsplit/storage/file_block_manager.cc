@@ -1,0 +1,127 @@
+#include "shiftsplit/storage/file_block_manager.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <memory>
+
+namespace shiftsplit {
+
+namespace {
+std::string Errno(const std::string& prefix) {
+  return prefix + ": " + std::strerror(errno);
+}
+}  // namespace
+
+FileBlockManager::FileBlockManager(std::string path, int fd,
+                                   uint64_t block_size, uint64_t num_blocks)
+    : path_(std::move(path)),
+      fd_(fd),
+      block_size_(block_size),
+      num_blocks_(num_blocks) {}
+
+Result<std::unique_ptr<FileBlockManager>> FileBlockManager::Open(
+    const std::string& path, uint64_t block_size) {
+  if (block_size == 0) {
+    return Status::InvalidArgument("block size must be positive");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("open " + path));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("fstat " + path));
+  }
+  const uint64_t block_bytes = block_size * sizeof(double);
+  if (static_cast<uint64_t>(st.st_size) % block_bytes != 0) {
+    ::close(fd);
+    return Status::InvalidArgument(
+        "existing file size is not a multiple of the block size");
+  }
+  const uint64_t num_blocks = static_cast<uint64_t>(st.st_size) / block_bytes;
+  return std::unique_ptr<FileBlockManager>(
+      new FileBlockManager(path, fd, block_size, num_blocks));
+}
+
+FileBlockManager::~FileBlockManager() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileBlockManager::Resize(uint64_t num_blocks) {
+  if (num_blocks < num_blocks_) {
+    return Status::InvalidArgument("block devices only grow");
+  }
+  const uint64_t bytes = num_blocks * block_size_ * sizeof(double);
+  if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
+    return Status::IOError(Errno("ftruncate " + path_));
+  }
+  num_blocks_ = num_blocks;
+  return Status::OK();
+}
+
+Status FileBlockManager::ReadBlock(uint64_t id, std::span<double> out) {
+  if (id >= num_blocks_) {
+    return Status::OutOfRange("block id beyond device size");
+  }
+  if (out.size() != block_size_) {
+    return Status::InvalidArgument("read buffer size != block size");
+  }
+  ++stats_.block_reads;
+  const uint64_t bytes = block_size_ * sizeof(double);
+  const off_t offset = static_cast<off_t>(id * bytes);
+  uint64_t done = 0;
+  char* dst = reinterpret_cast<char*>(out.data());
+  while (done < bytes) {
+    const ssize_t r = ::pread(fd_, dst + done, bytes - done,
+                              offset + static_cast<off_t>(done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("pread " + path_));
+    }
+    if (r == 0) {
+      // Sparse tail (ftruncate-extended): remaining bytes read as zero.
+      std::memset(dst + done, 0, bytes - done);
+      break;
+    }
+    done += static_cast<uint64_t>(r);
+  }
+  return Status::OK();
+}
+
+Status FileBlockManager::WriteBlock(uint64_t id, std::span<const double> data) {
+  if (id >= num_blocks_) {
+    return Status::OutOfRange("block id beyond device size");
+  }
+  if (data.size() != block_size_) {
+    return Status::InvalidArgument("write buffer size != block size");
+  }
+  ++stats_.block_writes;
+  const uint64_t bytes = block_size_ * sizeof(double);
+  const off_t offset = static_cast<off_t>(id * bytes);
+  uint64_t done = 0;
+  const char* src = reinterpret_cast<const char*>(data.data());
+  while (done < bytes) {
+    const ssize_t w = ::pwrite(fd_, src + done, bytes - done,
+                               offset + static_cast<off_t>(done));
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("pwrite " + path_));
+    }
+    done += static_cast<uint64_t>(w);
+  }
+  return Status::OK();
+}
+
+Status FileBlockManager::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IOError(Errno("fsync " + path_));
+  }
+  return Status::OK();
+}
+
+}  // namespace shiftsplit

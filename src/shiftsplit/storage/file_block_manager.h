@@ -1,0 +1,52 @@
+// File-backed BlockManager using POSIX pread/pwrite. The paper's experiments
+// are "accurate implementations of the operations on real disks with real
+// disk blocks" — this backend provides that fidelity; I/O counts are
+// identical to the in-memory backend by construction.
+
+#ifndef SHIFTSPLIT_STORAGE_FILE_BLOCK_MANAGER_H_
+#define SHIFTSPLIT_STORAGE_FILE_BLOCK_MANAGER_H_
+
+#include <memory>
+#include <string>
+
+#include "shiftsplit/storage/block_manager.h"
+
+namespace shiftsplit {
+
+/// \brief Block device stored in a single flat file.
+class FileBlockManager : public BlockManager {
+ public:
+  /// \brief Creates or opens the backing file. If the file exists it is
+  /// opened with its current contents; its size must be a multiple of the
+  /// block byte size.
+  static Result<std::unique_ptr<FileBlockManager>> Open(
+      const std::string& path, uint64_t block_size);
+
+  ~FileBlockManager() override;
+  FileBlockManager(const FileBlockManager&) = delete;
+  FileBlockManager& operator=(const FileBlockManager&) = delete;
+
+  uint64_t block_size() const override { return block_size_; }
+  uint64_t num_blocks() const override { return num_blocks_; }
+  Status Resize(uint64_t num_blocks) override;
+  Status ReadBlock(uint64_t id, std::span<double> out) override;
+  Status WriteBlock(uint64_t id, std::span<const double> data) override;
+
+  /// \brief fsyncs the backing file.
+  Status Sync();
+
+  const std::string& path() const { return path_; }
+
+ private:
+  FileBlockManager(std::string path, int fd, uint64_t block_size,
+                   uint64_t num_blocks);
+
+  std::string path_;
+  int fd_;
+  uint64_t block_size_;
+  uint64_t num_blocks_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_STORAGE_FILE_BLOCK_MANAGER_H_

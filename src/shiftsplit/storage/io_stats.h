@@ -1,0 +1,53 @@
+// I/O accounting. Every experiment in the paper plots I/O cost, measured
+// either in coefficients or in disk blocks; IoStats is the single source of
+// truth for both units.
+
+#ifndef SHIFTSPLIT_STORAGE_IO_STATS_H_
+#define SHIFTSPLIT_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace shiftsplit {
+
+/// \brief Counters of block-level and coefficient-level I/O.
+struct IoStats {
+  uint64_t block_reads = 0;
+  uint64_t block_writes = 0;
+  uint64_t coeff_reads = 0;   ///< individual coefficient fetches served
+  uint64_t coeff_writes = 0;  ///< individual coefficient stores issued
+
+  uint64_t total_blocks() const { return block_reads + block_writes; }
+  uint64_t total_coeffs() const { return coeff_reads + coeff_writes; }
+
+  void Reset() { *this = IoStats{}; }
+
+  IoStats operator-(const IoStats& other) const {
+    return IoStats{block_reads - other.block_reads,
+                   block_writes - other.block_writes,
+                   coeff_reads - other.coeff_reads,
+                   coeff_writes - other.coeff_writes};
+  }
+
+  IoStats& operator+=(const IoStats& other) {
+    block_reads += other.block_reads;
+    block_writes += other.block_writes;
+    coeff_reads += other.coeff_reads;
+    coeff_writes += other.coeff_writes;
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "blocks r/w=" << block_reads << "/" << block_writes
+       << " coeffs r/w=" << coeff_reads << "/" << coeff_writes;
+    return os.str();
+  }
+
+  bool operator==(const IoStats&) const = default;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_STORAGE_IO_STATS_H_

@@ -1,0 +1,144 @@
+#include "shiftsplit/storage/manifest.h"
+
+#include <fstream>
+#include <sstream>
+
+#include "shiftsplit/tile/naive_tiling.h"
+#include "shiftsplit/tile/nonstandard_tiling.h"
+#include "shiftsplit/tile/standard_tiling.h"
+
+namespace shiftsplit {
+
+const char* StoreFormToString(StoreForm form) {
+  switch (form) {
+    case StoreForm::kStandard:
+      return "standard";
+    case StoreForm::kNonstandard:
+      return "nonstandard";
+    case StoreForm::kNaive:
+      return "naive";
+  }
+  return "unknown";
+}
+
+Result<StoreForm> StoreFormFromString(const std::string& name) {
+  if (name == "standard") return StoreForm::kStandard;
+  if (name == "nonstandard") return StoreForm::kNonstandard;
+  if (name == "naive") return StoreForm::kNaive;
+  return Status::InvalidArgument("unknown store form: " + name);
+}
+
+Status StoreManifest::Save(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open manifest for writing: " + path);
+  }
+  out << "format=shiftsplit-store-v1\n";
+  out << "form=" << StoreFormToString(form) << "\n";
+  out << "norm=" << NormalizationToString(norm) << "\n";
+  out << "b=" << b << "\n";
+  out << "block_capacity=" << block_capacity << "\n";
+  out << "log_dims=";
+  for (size_t i = 0; i < log_dims.size(); ++i) {
+    if (i > 0) out << ",";
+    out << log_dims[i];
+  }
+  out << "\n";
+  out << "filled=" << filled << "\n";
+  out.flush();
+  if (!out) {
+    return Status::IOError("failed writing manifest: " + path);
+  }
+  return Status::OK();
+}
+
+Result<StoreManifest> StoreManifest::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open manifest: " + path);
+  }
+  StoreManifest manifest;
+  bool saw_format = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed manifest line: " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "format") {
+      if (value != "shiftsplit-store-v1") {
+        return Status::InvalidArgument("unsupported manifest format: " +
+                                       value);
+      }
+      saw_format = true;
+    } else if (key == "form") {
+      SS_ASSIGN_OR_RETURN(manifest.form, StoreFormFromString(value));
+    } else if (key == "norm") {
+      if (value == "average") {
+        manifest.norm = Normalization::kAverage;
+      } else if (value == "orthonormal") {
+        manifest.norm = Normalization::kOrthonormal;
+      } else {
+        return Status::InvalidArgument("unknown normalization: " + value);
+      }
+    } else if (key == "b") {
+      manifest.b = static_cast<uint32_t>(std::stoul(value));
+    } else if (key == "block_capacity") {
+      manifest.block_capacity = std::stoull(value);
+    } else if (key == "filled") {
+      manifest.filled = std::stoull(value);
+    } else if (key == "log_dims") {
+      manifest.log_dims.clear();
+      std::stringstream ss(value);
+      std::string part;
+      while (std::getline(ss, part, ',')) {
+        manifest.log_dims.push_back(
+            static_cast<uint32_t>(std::stoul(part)));
+      }
+    } else {
+      return Status::InvalidArgument("unknown manifest key: " + key);
+    }
+  }
+  if (!saw_format) {
+    return Status::InvalidArgument("manifest is missing the format line");
+  }
+  if (manifest.log_dims.empty()) {
+    return Status::InvalidArgument("manifest is missing log_dims");
+  }
+  return manifest;
+}
+
+Result<std::unique_ptr<TileLayout>> StoreManifest::MakeLayout() const {
+  if (log_dims.empty()) {
+    return Status::InvalidArgument("manifest has no dimensions");
+  }
+  switch (form) {
+    case StoreForm::kStandard:
+      return std::unique_ptr<TileLayout>(
+          std::make_unique<StandardTiling>(log_dims, b));
+    case StoreForm::kNonstandard: {
+      for (uint32_t n : log_dims) {
+        if (n != log_dims[0]) {
+          return Status::InvalidArgument(
+              "non-standard stores require equal extents");
+        }
+      }
+      return std::unique_ptr<TileLayout>(std::make_unique<NonstandardTiling>(
+          static_cast<uint32_t>(log_dims.size()), log_dims[0], b));
+    }
+    case StoreForm::kNaive: {
+      if (block_capacity == 0) {
+        return Status::InvalidArgument(
+            "naive stores need an explicit block_capacity");
+      }
+      return std::unique_ptr<TileLayout>(
+          std::make_unique<NaiveTiling>(log_dims, block_capacity));
+    }
+  }
+  return Status::Internal("unhandled store form");
+}
+
+}  // namespace shiftsplit

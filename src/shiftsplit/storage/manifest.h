@@ -1,0 +1,52 @@
+// Store manifests: a small sidecar text file making a file-backed tile
+// store self-describing (decomposition form, normalization, tile size,
+// dimensions, fill level), so a store written by one process can be opened
+// and queried by another without out-of-band knowledge.
+
+#ifndef SHIFTSPLIT_STORAGE_MANIFEST_H_
+#define SHIFTSPLIT_STORAGE_MANIFEST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shiftsplit/tile/tile_layout.h"
+#include "shiftsplit/util/status.h"
+#include "shiftsplit/wavelet/haar.h"
+
+namespace shiftsplit {
+
+/// \brief Decomposition form of a stored transform.
+enum class StoreForm {
+  kStandard,
+  kNonstandard,
+  kNaive,  ///< row-major layout (baseline stores)
+};
+
+const char* StoreFormToString(StoreForm form);
+Result<StoreForm> StoreFormFromString(const std::string& name);
+
+/// \brief Everything needed to reopen a store.
+struct StoreManifest {
+  StoreForm form = StoreForm::kStandard;
+  Normalization norm = Normalization::kAverage;
+  uint32_t b = 2;                    ///< log2 tile edge (unused for kNaive)
+  uint64_t block_capacity = 0;       ///< slots per block (kNaive only)
+  std::vector<uint32_t> log_dims;    ///< per-dimension log2 extents
+  uint64_t filled = 0;               ///< appending fill level (0 = full)
+
+  /// \brief Serializes to a key=value text file.
+  Status Save(const std::string& path) const;
+
+  /// \brief Parses a manifest file.
+  static Result<StoreManifest> Load(const std::string& path);
+
+  /// \brief Builds the tile layout this manifest describes.
+  Result<std::unique_ptr<TileLayout>> MakeLayout() const;
+
+  bool operator==(const StoreManifest&) const = default;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_STORAGE_MANIFEST_H_

@@ -1,0 +1,52 @@
+#include "shiftsplit/storage/memory_block_manager.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace shiftsplit {
+
+MemoryBlockManager::MemoryBlockManager(uint64_t block_size, uint64_t num_blocks)
+    : block_size_(block_size) {
+  assert(block_size_ > 0);
+  blocks_.resize(num_blocks);
+}
+
+Status MemoryBlockManager::Resize(uint64_t num_blocks) {
+  if (num_blocks < blocks_.size()) {
+    return Status::InvalidArgument("block devices only grow");
+  }
+  blocks_.resize(num_blocks);
+  return Status::OK();
+}
+
+Status MemoryBlockManager::ReadBlock(uint64_t id, std::span<double> out) {
+  if (id >= blocks_.size()) {
+    return Status::OutOfRange("block id beyond device size");
+  }
+  if (out.size() != block_size_) {
+    return Status::InvalidArgument("read buffer size != block size");
+  }
+  ++stats_.block_reads;
+  const auto& block = blocks_[id];
+  if (block.empty()) {
+    std::fill(out.begin(), out.end(), 0.0);  // never-written block
+  } else {
+    std::copy(block.begin(), block.end(), out.begin());
+  }
+  return Status::OK();
+}
+
+Status MemoryBlockManager::WriteBlock(uint64_t id,
+                                      std::span<const double> data) {
+  if (id >= blocks_.size()) {
+    return Status::OutOfRange("block id beyond device size");
+  }
+  if (data.size() != block_size_) {
+    return Status::InvalidArgument("write buffer size != block size");
+  }
+  ++stats_.block_writes;
+  blocks_[id].assign(data.begin(), data.end());
+  return Status::OK();
+}
+
+}  // namespace shiftsplit

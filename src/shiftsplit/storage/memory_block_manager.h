@@ -1,0 +1,33 @@
+// In-memory BlockManager: exact I/O accounting without touching a disk.
+// Benchmarks default to it because the paper's plots are I/O *counts*.
+
+#ifndef SHIFTSPLIT_STORAGE_MEMORY_BLOCK_MANAGER_H_
+#define SHIFTSPLIT_STORAGE_MEMORY_BLOCK_MANAGER_H_
+
+#include <vector>
+
+#include "shiftsplit/storage/block_manager.h"
+
+namespace shiftsplit {
+
+/// \brief Heap-backed block device.
+class MemoryBlockManager : public BlockManager {
+ public:
+  /// \param block_size  block capacity in coefficients (must be > 0)
+  /// \param num_blocks  initial number of blocks
+  explicit MemoryBlockManager(uint64_t block_size, uint64_t num_blocks = 0);
+
+  uint64_t block_size() const override { return block_size_; }
+  uint64_t num_blocks() const override { return blocks_.size(); }
+  Status Resize(uint64_t num_blocks) override;
+  Status ReadBlock(uint64_t id, std::span<double> out) override;
+  Status WriteBlock(uint64_t id, std::span<const double> data) override;
+
+ private:
+  uint64_t block_size_;
+  std::vector<std::vector<double>> blocks_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_STORAGE_MEMORY_BLOCK_MANAGER_H_

@@ -1,0 +1,42 @@
+#include "shiftsplit/tile/naive_tiling.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "shiftsplit/util/bitops.h"
+
+namespace shiftsplit {
+
+NaiveTiling::NaiveTiling(std::vector<uint32_t> log_dims,
+                         uint64_t block_capacity)
+    : block_capacity_(block_capacity) {
+  assert(block_capacity_ > 0);
+  std::vector<uint64_t> dims;
+  dims.reserve(log_dims.size());
+  for (uint32_t n : log_dims) dims.push_back(uint64_t{1} << n);
+  shape_ = TensorShape(std::move(dims));
+  num_blocks_ = CeilDiv(shape_.num_elements(), block_capacity_);
+}
+
+Result<BlockSlot> NaiveTiling::Locate(
+    std::span<const uint64_t> address) const {
+  if (address.size() != shape_.ndim()) {
+    return Status::InvalidArgument("address dimensionality mismatch");
+  }
+  for (uint32_t i = 0; i < shape_.ndim(); ++i) {
+    if (address[i] >= shape_.dim(i)) {
+      return Status::OutOfRange("address beyond tensor extent");
+    }
+  }
+  const uint64_t flat = shape_.FlatIndex(address);
+  return BlockSlot{flat / block_capacity_, flat % block_capacity_};
+}
+
+std::string NaiveTiling::ToString() const {
+  std::ostringstream os;
+  os << "NaiveTiling{shape=" << shape_.ToString()
+     << " capacity=" << block_capacity_ << " blocks=" << num_blocks_ << "}";
+  return os.str();
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,38 @@
+// Naive (row-major) coefficient-to-block allocation — the baseline the
+// paper's tiling is compared against in the query-cost ablation. Coefficients
+// are packed in flat row-major order with no regard for the wavelet tree's
+// access pattern.
+
+#ifndef SHIFTSPLIT_TILE_NAIVE_TILING_H_
+#define SHIFTSPLIT_TILE_NAIVE_TILING_H_
+
+#include <vector>
+
+#include "shiftsplit/tile/tile_layout.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief Row-major packing of the transformed tensor into fixed blocks.
+class NaiveTiling : public TileLayout {
+ public:
+  /// \param log_dims       log2 of each dimension's extent
+  /// \param block_capacity slots per block (kept equal to the tiled layouts'
+  ///                       B^d so comparisons are apples-to-apples)
+  NaiveTiling(std::vector<uint32_t> log_dims, uint64_t block_capacity);
+
+  uint32_t ndim() const override { return shape_.ndim(); }
+  uint64_t num_blocks() const override { return num_blocks_; }
+  uint64_t block_capacity() const override { return block_capacity_; }
+  Result<BlockSlot> Locate(std::span<const uint64_t> address) const override;
+  std::string ToString() const override;
+
+ private:
+  TensorShape shape_;
+  uint64_t block_capacity_;
+  uint64_t num_blocks_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_TILE_NAIVE_TILING_H_

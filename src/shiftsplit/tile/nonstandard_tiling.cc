@@ -1,0 +1,161 @@
+#include "shiftsplit/tile/nonstandard_tiling.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "shiftsplit/util/bitops.h"
+
+namespace shiftsplit {
+
+NonstandardTiling::NonstandardTiling(uint32_t d, uint32_t n, uint32_t b)
+    : d_(d), n_(n), b_(b) {
+  assert(d_ >= 1);
+  assert(b_ >= 1);
+  coeffs_per_node_ = (uint64_t{1} << d_) - 1;
+  num_bands_ = (n_ == 0) ? 1 : (n_ + b_ - 1) / b_;
+  top_height_ = (n_ == 0 || n_ % b_ == 0) ? b_ : n_ % b_;
+  band_offsets_.resize(num_bands_ + 1);
+  uint64_t offset = 0;
+  for (uint32_t t = 0; t < num_bands_; ++t) {
+    band_offsets_[t] = offset;
+    // Subtree roots at the band root row: (2^row)^d of them.
+    offset += uint64_t{1}
+              << (static_cast<uint64_t>(BandRootRow(t)) * d_);
+  }
+  band_offsets_[num_bands_] = offset;
+  num_blocks_ = offset;
+  block_capacity_ = uint64_t{1} << (static_cast<uint64_t>(b_) * d_);
+  // lambda offset of depth delta within a subtree: (D^delta - 1)/(D - 1).
+  depth_node_offsets_.resize(b_ + 1);
+  uint64_t nodes = 0;
+  for (uint32_t delta = 0; delta <= b_; ++delta) {
+    depth_node_offsets_[delta] = nodes;
+    nodes += uint64_t{1} << (static_cast<uint64_t>(delta) * d_);
+  }
+}
+
+Result<BlockSlot> NonstandardTiling::LocateCoeff(const NsCoeffId& id) const {
+  if (id.node.size() != d_) {
+    return Status::InvalidArgument("coefficient dimensionality mismatch");
+  }
+  if (id.is_scaling) {
+    return BlockSlot{0, 0};  // root average shares the top tile
+  }
+  if (id.level < 1 || id.level > n_) {
+    return Status::OutOfRange("level outside [1, n]");
+  }
+  const uint32_t row = n_ - id.level;
+  const uint32_t band = BandOfRow(row);
+  const uint32_t root_row = BandRootRow(band);
+  const uint32_t depth = row - root_row;
+  // Subtree root node position (per dim) and tile id (row-major over the
+  // 2^root_row wide node grid).
+  uint64_t tile = 0;
+  uint64_t local = 0;  // row-major node position within the subtree depth
+  for (uint32_t t = 0; t < d_; ++t) {
+    if (id.node[t] >= (uint64_t{1} << row)) {
+      return Status::OutOfRange("node position beyond level width");
+    }
+    const uint64_t q = id.node[t] >> depth;
+    const uint64_t rem = id.node[t] & ((uint64_t{1} << depth) - 1);
+    tile = (tile << root_row) + q;
+    local = (local << depth) + rem;
+  }
+  const uint64_t lambda = depth_node_offsets_[depth] + local;
+  const uint64_t slot = lambda * coeffs_per_node_ + id.subband;
+  if (id.subband < 1 || id.subband > coeffs_per_node_) {
+    return Status::OutOfRange("subband outside [1, 2^d - 1]");
+  }
+  return BlockSlot{band_offsets_[band] + tile, slot};
+}
+
+Result<BlockSlot> NonstandardTiling::Locate(
+    std::span<const uint64_t> address) const {
+  if (address.size() != d_) {
+    return Status::InvalidArgument("address dimensionality mismatch");
+  }
+  for (uint64_t a : address) {
+    if (a >= (uint64_t{1} << n_)) {
+      return Status::OutOfRange("address beyond cube extent");
+    }
+  }
+  return LocateCoeff(NsCoeffOfAddress(n_, address));
+}
+
+bool NonstandardTiling::IsScalingLevel(uint32_t level) const {
+  if (level > n_) return false;
+  const uint32_t row = n_ - level;
+  if (row == 0) return true;  // band 0's root
+  if (row < top_height_) return false;
+  return (row - top_height_) % b_ == 0 && BandOfRow(row) < num_bands_;
+}
+
+Result<BlockSlot> NonstandardTiling::LocateScaling(
+    uint32_t level, std::span<const uint64_t> node) const {
+  if (node.size() != d_) {
+    return Status::InvalidArgument("node dimensionality mismatch");
+  }
+  if (!IsScalingLevel(level)) {
+    return Status::InvalidArgument(
+        "no reserved scaling slot at this level (not a band root)");
+  }
+  const uint32_t row = n_ - level;
+  uint64_t tile = 0;
+  for (uint32_t t = 0; t < d_; ++t) {
+    if (node[t] >= (uint64_t{1} << row)) {
+      return Status::OutOfRange("node position beyond level width");
+    }
+    tile = (tile << row) + node[t];
+  }
+  return BlockSlot{band_offsets_[BandOfRow(row)] + tile, 0};
+}
+
+std::vector<std::pair<uint32_t, std::vector<uint64_t>>>
+NonstandardTiling::ScalingNodesWithin(uint32_t m,
+                                      std::span<const uint64_t> chunk) const {
+  assert(chunk.size() == d_);
+  std::vector<std::pair<uint32_t, std::vector<uint64_t>>> out;
+  for (uint32_t t = 0; t < num_bands_; ++t) {
+    const uint32_t level = n_ - BandRootRow(t);
+    if (level > m) continue;
+    // Nodes at `level` inside the chunk cube: a (2^(m-level))^d grid.
+    const uint32_t shift = m - level;
+    const uint64_t count = uint64_t{1} << shift;
+    TensorShape grid = TensorShape::Cube(d_, count);
+    std::vector<uint64_t> offset(d_, 0);
+    do {
+      std::vector<uint64_t> node(d_);
+      for (uint32_t i = 0; i < d_; ++i) {
+        node[i] = (chunk[i] << shift) + offset[i];
+      }
+      out.emplace_back(level, std::move(node));
+    } while (grid.Next(offset));
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, std::vector<uint64_t>>>
+NonstandardTiling::ScalingNodesAbove(uint32_t m,
+                                     std::span<const uint64_t> chunk) const {
+  assert(chunk.size() == d_);
+  std::vector<std::pair<uint32_t, std::vector<uint64_t>>> out;
+  for (uint32_t t = 0; t < num_bands_; ++t) {
+    const uint32_t level = n_ - BandRootRow(t);
+    if (level <= m) break;
+    std::vector<uint64_t> node(d_);
+    for (uint32_t i = 0; i < d_; ++i) {
+      node[i] = chunk[i] >> (level - m);
+    }
+    out.emplace_back(level, std::move(node));
+  }
+  return out;
+}
+
+std::string NonstandardTiling::ToString() const {
+  std::ostringstream os;
+  os << "NonstandardTiling{d=" << d_ << " n=" << n_ << " b=" << b_
+     << " blocks=" << num_blocks_ << " capacity=" << block_capacity_ << "}";
+  return os.str();
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,84 @@
+// Multidimensional tiling for the non-standard decomposition form (paper
+// §3.2, Figure 7): tiles are height-b subtrees of the 2^d-ary quadtree of
+// support intervals. A tile stores (D^b - 1)/(D - 1) nodes x (D - 1)
+// coefficients (D = 2^d) at slots >= 1, plus the scaling coefficient of the
+// subtree's root node at slot 0 — exactly B^d = 2^(b*d) slots per block.
+
+#ifndef SHIFTSPLIT_TILE_NONSTANDARD_TILING_H_
+#define SHIFTSPLIT_TILE_NONSTANDARD_TILING_H_
+
+#include <vector>
+
+#include "shiftsplit/tile/tile_layout.h"
+#include "shiftsplit/wavelet/nonstandard_transform.h"
+
+namespace shiftsplit {
+
+/// \brief Quadtree-subtree tiling for non-standard transformed hypercubes.
+class NonstandardTiling : public TileLayout {
+ public:
+  /// \param d number of dimensions (>= 1)
+  /// \param n log2 of the cube extent
+  /// \param b log2 of the block edge (block holds 2^(b*d) slots)
+  NonstandardTiling(uint32_t d, uint32_t n, uint32_t b);
+
+  uint32_t ndim() const override { return d_; }
+  uint64_t num_blocks() const override { return num_blocks_; }
+  uint64_t block_capacity() const override { return block_capacity_; }
+  Result<BlockSlot> Locate(std::span<const uint64_t> address) const override;
+  std::string ToString() const override;
+
+  uint32_t n() const { return n_; }
+  uint32_t b() const { return b_; }
+  uint32_t num_bands() const { return num_bands_; }
+
+  /// Quadtree row of band t's subtree roots. When b does not divide n the
+  /// *top* band is short so the leaf bands stay full (see TreeTiling).
+  uint32_t BandRootRow(uint32_t band) const {
+    return band == 0 ? 0 : top_height_ + (band - 1) * b_;
+  }
+
+  /// The band containing quadtree row `row` (= n - level).
+  uint32_t BandOfRow(uint32_t row) const {
+    return row < top_height_ ? 0 : 1 + (row - top_height_) / b_;
+  }
+
+  /// \brief Locates the coefficient with the given non-standard identity.
+  Result<BlockSlot> LocateCoeff(const NsCoeffId& id) const;
+
+  /// \brief Tile + slot (always slot 0) of the scaling (average) of quadtree
+  /// node (level, node). Valid only at band-root levels (n - t*b).
+  Result<BlockSlot> LocateScaling(uint32_t level,
+                                  std::span<const uint64_t> node) const;
+
+  /// \brief True iff node scalings at `level` have a reserved slot.
+  bool IsScalingLevel(uint32_t level) const;
+
+  /// \brief All (level, node) scaling coordinates with reserved slots whose
+  /// support cube lies within the chunk cube of edge 2^m at per-dim chunk
+  /// position `chunk` (i.e. data range chunk[t]*2^m .. per dim).
+  std::vector<std::pair<uint32_t, std::vector<uint64_t>>> ScalingNodesWithin(
+      uint32_t m, std::span<const uint64_t> chunk) const;
+
+  /// \brief All (level, node) scaling coordinates with reserved slots whose
+  /// support strictly contains the chunk cube — the SPLIT accumulation
+  /// targets among scaling slots.
+  std::vector<std::pair<uint32_t, std::vector<uint64_t>>> ScalingNodesAbove(
+      uint32_t m, std::span<const uint64_t> chunk) const;
+
+ private:
+  uint32_t d_;
+  uint32_t n_;
+  uint32_t b_;
+  uint32_t top_height_;  // height of band 0
+  uint32_t num_bands_;
+  uint64_t num_blocks_;
+  uint64_t block_capacity_;
+  uint64_t coeffs_per_node_;            // 2^d - 1
+  std::vector<uint64_t> band_offsets_;  // first tile id per band
+  std::vector<uint64_t> depth_node_offsets_;  // lambda offset per depth
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_TILE_NONSTANDARD_TILING_H_

@@ -1,0 +1,59 @@
+#include "shiftsplit/tile/standard_tiling.h"
+
+#include <cassert>
+#include <sstream>
+
+namespace shiftsplit {
+
+StandardTiling::StandardTiling(std::vector<uint32_t> log_dims, uint32_t b)
+    : b_(b) {
+  assert(!log_dims.empty());
+  per_dim_.reserve(log_dims.size());
+  num_blocks_ = 1;
+  block_capacity_ = 1;
+  for (uint32_t n : log_dims) {
+    per_dim_.emplace_back(n, b);
+    num_blocks_ *= per_dim_.back().num_tiles();
+    block_capacity_ *= per_dim_.back().tile_capacity();
+  }
+}
+
+BlockSlot StandardTiling::Combine(std::span<const BlockSlot> parts) const {
+  assert(parts.size() == per_dim_.size());
+  BlockSlot out;
+  for (uint32_t i = 0; i < per_dim_.size(); ++i) {
+    out.block = out.block * per_dim_[i].num_tiles() + parts[i].block;
+    out.slot = out.slot * per_dim_[i].tile_capacity() + parts[i].slot;
+  }
+  return out;
+}
+
+Result<BlockSlot> StandardTiling::Locate(
+    std::span<const uint64_t> address) const {
+  if (address.size() != per_dim_.size()) {
+    return Status::InvalidArgument("address dimensionality mismatch");
+  }
+  BlockSlot out;
+  for (uint32_t i = 0; i < per_dim_.size(); ++i) {
+    if (address[i] >= (uint64_t{1} << per_dim_[i].n())) {
+      return Status::OutOfRange("wavelet index beyond dimension size");
+    }
+    const BlockSlot part = per_dim_[i].Locate(address[i]);
+    out.block = out.block * per_dim_[i].num_tiles() + part.block;
+    out.slot = out.slot * per_dim_[i].tile_capacity() + part.slot;
+  }
+  return out;
+}
+
+std::string StandardTiling::ToString() const {
+  std::ostringstream os;
+  os << "StandardTiling{b=" << b_ << " dims=";
+  for (uint32_t i = 0; i < per_dim_.size(); ++i) {
+    if (i > 0) os << ",";
+    os << per_dim_[i].n();
+  }
+  os << " blocks=" << num_blocks_ << " capacity=" << block_capacity_ << "}";
+  return os.str();
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,49 @@
+// Multidimensional tiling for the standard decomposition form (paper §3.2):
+// the d-fold cross product of per-dimension 1-d subtree tilings. A block
+// holds B^d slots — the cross product of d per-dimension tiles — and its
+// slot space includes the redundant mixed scaling/detail entries (per-dim
+// slot 0) the paper stores for cheap reconstruction.
+
+#ifndef SHIFTSPLIT_TILE_STANDARD_TILING_H_
+#define SHIFTSPLIT_TILE_STANDARD_TILING_H_
+
+#include <memory>
+#include <vector>
+
+#include "shiftsplit/tile/tile_layout.h"
+#include "shiftsplit/tile/tree_tiling.h"
+
+namespace shiftsplit {
+
+/// \brief Cross-product tiling over per-dimension wavelet trees.
+class StandardTiling : public TileLayout {
+ public:
+  /// \param log_dims log2 of each dimension's extent
+  /// \param b        log2 of the per-dimension block edge (block = B^d slots)
+  StandardTiling(std::vector<uint32_t> log_dims, uint32_t b);
+
+  uint32_t ndim() const override {
+    return static_cast<uint32_t>(per_dim_.size());
+  }
+  uint64_t num_blocks() const override { return num_blocks_; }
+  uint64_t block_capacity() const override { return block_capacity_; }
+  Result<BlockSlot> Locate(std::span<const uint64_t> address) const override;
+  std::string ToString() const override;
+
+  uint32_t b() const { return b_; }
+  const TreeTiling& dim_tiling(uint32_t dim) const { return per_dim_[dim]; }
+
+  /// \brief Combines per-dimension (tile, slot) pairs into a global
+  /// BlockSlot (mixed-radix over per-dim tile counts and slot capacities).
+  BlockSlot Combine(std::span<const BlockSlot> parts) const;
+
+ private:
+  uint32_t b_;
+  std::vector<TreeTiling> per_dim_;
+  uint64_t num_blocks_;
+  uint64_t block_capacity_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_TILE_STANDARD_TILING_H_

@@ -1,0 +1,52 @@
+// Coefficient-to-disk-block allocation strategies (paper §3).
+//
+// A TileLayout maps the address of a transformed coefficient — a d-tuple of
+// per-dimension 1-d wavelet indices, which serves both the standard form and
+// (through the banded NsAddress scheme) the non-standard form — to a
+// (block, slot) position. Blocks hold `block_capacity()` slots; some slots
+// are reserved for the redundant subtree-root scaling coefficients the paper
+// stores alongside each tile.
+
+#ifndef SHIFTSPLIT_TILE_TILE_LAYOUT_H_
+#define SHIFTSPLIT_TILE_TILE_LAYOUT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+
+/// \brief Physical position of a coefficient.
+struct BlockSlot {
+  uint64_t block = 0;
+  uint64_t slot = 0;
+
+  bool operator==(const BlockSlot&) const = default;
+};
+
+/// \brief Abstract coefficient-to-block mapping.
+class TileLayout {
+ public:
+  virtual ~TileLayout() = default;
+
+  /// Number of dimensions of the addressed coefficient tuples.
+  virtual uint32_t ndim() const = 0;
+
+  /// Total number of blocks the layout addresses.
+  virtual uint64_t num_blocks() const = 0;
+
+  /// Slots per block (the device block size must equal this).
+  virtual uint64_t block_capacity() const = 0;
+
+  /// \brief Locates the coefficient with the given per-dimension 1-d wavelet
+  /// indices.
+  virtual Result<BlockSlot> Locate(std::span<const uint64_t> address) const = 0;
+
+  virtual std::string ToString() const = 0;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_TILE_TILE_LAYOUT_H_

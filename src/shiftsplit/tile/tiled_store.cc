@@ -1,0 +1,70 @@
+#include "shiftsplit/tile/tiled_store.h"
+
+namespace shiftsplit {
+
+TiledStore::TiledStore(std::unique_ptr<TileLayout> layout,
+                       BlockManager* manager, uint64_t pool_blocks)
+    : layout_(std::move(layout)), manager_(manager),
+      pool_(manager, pool_blocks) {}
+
+Result<std::unique_ptr<TiledStore>> TiledStore::Create(
+    std::unique_ptr<TileLayout> layout, BlockManager* manager,
+    uint64_t pool_blocks) {
+  if (layout == nullptr || manager == nullptr) {
+    return Status::InvalidArgument("layout and manager are required");
+  }
+  if (manager->block_size() != layout->block_capacity()) {
+    return Status::InvalidArgument(
+        "block manager block size must equal the layout block capacity");
+  }
+  if (pool_blocks == 0) {
+    return Status::InvalidArgument("buffer pool needs at least one frame");
+  }
+  if (manager->num_blocks() < layout->num_blocks()) {
+    SS_RETURN_IF_ERROR(manager->Resize(layout->num_blocks()));
+  }
+  return std::unique_ptr<TiledStore>(
+      new TiledStore(std::move(layout), manager, pool_blocks));
+}
+
+Result<double> TiledStore::Get(std::span<const uint64_t> address) {
+  SS_ASSIGN_OR_RETURN(const BlockSlot at, layout_->Locate(address));
+  return GetAt(at);
+}
+
+Status TiledStore::Set(std::span<const uint64_t> address, double value) {
+  SS_ASSIGN_OR_RETURN(const BlockSlot at, layout_->Locate(address));
+  return SetAt(at, value);
+}
+
+Status TiledStore::Add(std::span<const uint64_t> address, double delta) {
+  SS_ASSIGN_OR_RETURN(const BlockSlot at, layout_->Locate(address));
+  return AddAt(at, delta);
+}
+
+Result<double> TiledStore::GetAt(BlockSlot at) {
+  SS_ASSIGN_OR_RETURN(std::span<double> frame,
+                      pool_.GetBlock(at.block, /*for_write=*/false));
+  ++manager_->stats().coeff_reads;
+  return frame[at.slot];
+}
+
+Status TiledStore::SetAt(BlockSlot at, double value) {
+  SS_ASSIGN_OR_RETURN(std::span<double> frame,
+                      pool_.GetBlock(at.block, /*for_write=*/true));
+  ++manager_->stats().coeff_writes;
+  frame[at.slot] = value;
+  return Status::OK();
+}
+
+Status TiledStore::AddAt(BlockSlot at, double delta) {
+  SS_ASSIGN_OR_RETURN(std::span<double> frame,
+                      pool_.GetBlock(at.block, /*for_write=*/true));
+  ++manager_->stats().coeff_writes;
+  frame[at.slot] += delta;
+  return Status::OK();
+}
+
+Status TiledStore::Flush() { return pool_.Flush(); }
+
+}  // namespace shiftsplit

@@ -1,0 +1,62 @@
+// Disk-resident store of a wavelet-transformed dataset: a TileLayout mapping
+// coefficient addresses to (block, slot) positions, served through a
+// BufferPool with a bounded memory budget. Every coefficient access is
+// counted, giving the I/O measurements all experiments report.
+
+#ifndef SHIFTSPLIT_TILE_TILED_STORE_H_
+#define SHIFTSPLIT_TILE_TILED_STORE_H_
+
+#include <memory>
+
+#include "shiftsplit/storage/buffer_pool.h"
+#include "shiftsplit/tile/tile_layout.h"
+
+namespace shiftsplit {
+
+/// \brief Coefficient store over tiles.
+class TiledStore {
+ public:
+  /// \brief Creates a store; resizes `manager` to the layout's block count.
+  /// The manager's block size must equal the layout's block capacity.
+  ///
+  /// \param pool_blocks buffer-pool budget in blocks (>= 1)
+  static Result<std::unique_ptr<TiledStore>> Create(
+      std::unique_ptr<TileLayout> layout, BlockManager* manager,
+      uint64_t pool_blocks);
+
+  /// \brief Reads the coefficient at a tuple address.
+  Result<double> Get(std::span<const uint64_t> address);
+
+  /// \brief Writes the coefficient at a tuple address.
+  Status Set(std::span<const uint64_t> address, double value);
+
+  /// \brief Adds `delta` to the coefficient at a tuple address (the SPLIT
+  /// accumulation primitive).
+  Status Add(std::span<const uint64_t> address, double delta);
+
+  /// \brief Physical-slot access (for pre-located positions such as the
+  /// redundant scaling slots).
+  Result<double> GetAt(BlockSlot at);
+  Status SetAt(BlockSlot at, double value);
+  Status AddAt(BlockSlot at, double delta);
+
+  /// \brief Writes back all dirty cached blocks.
+  Status Flush();
+
+  const TileLayout& layout() const { return *layout_; }
+  BufferPool& pool() { return pool_; }
+  BlockManager& manager() { return *manager_; }
+  const IoStats& stats() const { return manager_->stats(); }
+
+ private:
+  TiledStore(std::unique_ptr<TileLayout> layout, BlockManager* manager,
+             uint64_t pool_blocks);
+
+  std::unique_ptr<TileLayout> layout_;
+  BlockManager* manager_;
+  BufferPool pool_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_TILE_TILED_STORE_H_

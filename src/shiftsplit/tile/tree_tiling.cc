@@ -1,0 +1,115 @@
+#include "shiftsplit/tile/tree_tiling.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+TreeTiling::TreeTiling(uint32_t n, uint32_t b) : n_(n), b_(b) {
+  assert(b_ >= 1);
+  num_bands_ = (n_ == 0) ? 1 : (n_ + b_ - 1) / b_;
+  top_height_ = (n_ == 0 || n_ % b_ == 0) ? b_ : n_ % b_;
+  band_offsets_.resize(num_bands_ + 1);
+  uint64_t offset = 0;
+  for (uint32_t t = 0; t < num_bands_; ++t) {
+    band_offsets_[t] = offset;
+    offset += TilesInBand(t);
+  }
+  band_offsets_[num_bands_] = offset;
+  num_tiles_ = offset;
+}
+
+uint32_t TreeTiling::BandHeight(uint32_t band) const {
+  assert(band < num_bands_);
+  if (n_ == 0) return 0;
+  return band == 0 ? top_height_ : b_;
+}
+
+BlockSlot TreeTiling::Locate(uint64_t index) const {
+  assert(index < (uint64_t{1} << n_));
+  if (index == 0) {
+    return BlockSlot{0, 0};  // overall average shares the top tile
+  }
+  const uint32_t row = Log2(index);             // n - level
+  const uint64_t pos = index - (uint64_t{1} << row);
+  const uint32_t band = BandOfRow(row);
+  const uint32_t depth = row - BandRootRow(band);  // depth within the subtree
+  const uint64_t subtree = pos >> depth;        // subtree position in band
+  const uint64_t slot = (uint64_t{1} << depth) +
+                        (pos & ((uint64_t{1} << depth) - 1));
+  return BlockSlot{band_offsets_[band] + subtree, slot};
+}
+
+bool TreeTiling::IsScalingLevel(uint32_t level) const {
+  if (level > n_) return false;
+  const uint32_t row = n_ - level;
+  if (row == 0) return true;  // band 0's root
+  if (row < top_height_) return false;
+  return (row - top_height_) % b_ == 0 && BandOfRow(row) < num_bands_;
+}
+
+Result<BlockSlot> TreeTiling::LocateScaling(uint32_t level,
+                                            uint64_t pos) const {
+  if (!IsScalingLevel(level)) {
+    return Status::InvalidArgument(
+        "no reserved scaling slot at this level (not a band root)");
+  }
+  const uint32_t band = BandOfRow(n_ - level);
+  if (pos >= TilesInBand(band)) {
+    return Status::OutOfRange("scaling position beyond the level width");
+  }
+  return BlockSlot{band_offsets_[band] + pos, 0};
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> TreeTiling::ScalingSlotsWithin(
+    uint32_t m, uint64_t k) const {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  assert(m <= n_);
+  // Band-root levels that are <= m: scalings whose support (size 2^level)
+  // fits in the chunk of size 2^m at position k.
+  for (uint32_t t = 0; t < num_bands_; ++t) {
+    const uint32_t level = n_ - BandRootRow(t);
+    if (level > m) continue;
+    const uint64_t first = k << (m - level);
+    const uint64_t count = uint64_t{1} << (m - level);
+    for (uint64_t q = 0; q < count; ++q) {
+      out.emplace_back(level, first + q);
+    }
+  }
+  return out;
+}
+
+std::vector<std::pair<uint32_t, uint64_t>> TreeTiling::ScalingSlotsAbove(
+    uint32_t m, uint64_t k) const {
+  std::vector<std::pair<uint32_t, uint64_t>> out;
+  assert(m <= n_);
+  for (uint32_t t = 0; t < num_bands_; ++t) {
+    const uint32_t level = n_ - BandRootRow(t);
+    if (level <= m) break;  // bands are ordered root-down; levels decrease
+    out.emplace_back(level, k >> (level - m));
+  }
+  return out;
+}
+
+std::string TreeTiling::ToString() const {
+  std::ostringstream os;
+  os << "TreeTiling{n=" << n_ << " b=" << b_ << " bands=" << num_bands_
+     << " tiles=" << num_tiles_ << "}";
+  return os.str();
+}
+
+Result<BlockSlot> TreeTilingLayout::Locate(
+    std::span<const uint64_t> address) const {
+  if (address.size() != 1) {
+    return Status::InvalidArgument("1-d layout expects a 1-d address");
+  }
+  if (address[0] >= (uint64_t{1} << tiling_.n())) {
+    return Status::OutOfRange("wavelet index beyond transform size");
+  }
+  return tiling_.Locate(address[0]);
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,125 @@
+// One-dimensional subtree tiling (paper §3, Figure 4).
+//
+// The wavelet tree of a size-2^n transform is cut into bands of b rows (the
+// row of detail w_{j,k} is n - j). When b does not divide n the *top* band
+// is short (height n mod b), so the numerous leaf-side bands are always
+// full — a short leaf band would waste most of every leaf block. Each band
+// consists of one binary subtree per root position; each subtree is a
+// *tile* stored in one disk block of B = 2^b slots: slot 0 holds the
+// scaling coefficient u at the subtree root's level/position (the paper's
+// extra stored scaling), and the subtree's details occupy slots [1, 2^h)
+// in heap order, h being the band height.
+//
+// For the top band the slot-0 scaling is the overall average u_{n,0} (flat
+// index 0) — a primary coefficient; for deeper bands slot 0 is redundant
+// (derivable) but dramatically cheapens queries.
+
+#ifndef SHIFTSPLIT_TILE_TREE_TILING_H_
+#define SHIFTSPLIT_TILE_TREE_TILING_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "shiftsplit/tile/tile_layout.h"
+
+namespace shiftsplit {
+
+/// \brief The 1-d subtree tiling; also the per-dimension building block of
+/// the standard-form multidimensional tiling.
+class TreeTiling {
+ public:
+  /// \param n log2 of the transform size (n >= 0)
+  /// \param b log2 of the block size (b >= 1)
+  TreeTiling(uint32_t n, uint32_t b);
+
+  uint32_t n() const { return n_; }
+  uint32_t b() const { return b_; }
+
+  /// Number of bands (ceil(n / b); 1 when n == 0).
+  uint32_t num_bands() const { return num_bands_; }
+
+  /// Height (rows) of band t — b for all but possibly the top band.
+  uint32_t BandHeight(uint32_t band) const;
+
+  /// Tree row of band t's subtree roots; detail level is n - row.
+  uint32_t BandRootRow(uint32_t band) const {
+    return band == 0 ? 0 : top_height_ + (band - 1) * b_;
+  }
+
+  /// Number of tiles in band t (2^BandRootRow(t)).
+  uint64_t TilesInBand(uint32_t band) const {
+    return uint64_t{1} << BandRootRow(band);
+  }
+
+  /// Total number of tiles across all bands.
+  uint64_t num_tiles() const { return num_tiles_; }
+
+  /// Slots per tile (2^b).
+  uint64_t tile_capacity() const { return uint64_t{1} << b_; }
+
+  /// \brief Tile + slot of the coefficient with flat wavelet index `index`
+  /// (index 0 = the overall average -> tile 0, slot 0).
+  BlockSlot Locate(uint64_t index) const;
+
+  /// \brief Tile + slot (always slot 0) of the *scaling* coefficient
+  /// u_{level, pos}. Valid only when `level` is a band-root level
+  /// (level = n - t*b for some band t); returns InvalidArgument otherwise.
+  Result<BlockSlot> LocateScaling(uint32_t level, uint64_t pos) const;
+
+  /// \brief True iff scaling coefficients at `level` have a reserved slot
+  /// (i.e. n - level is a multiple of b, within range).
+  bool IsScalingLevel(uint32_t level) const;
+
+  /// \brief The band containing tree row `row` (= n - level).
+  uint32_t BandOfRow(uint32_t row) const {
+    return row < top_height_ ? 0 : 1 + (row - top_height_) / b_;
+  }
+
+  /// \brief First tile id of band t.
+  uint64_t BandFirstTile(uint32_t band) const { return band_offsets_[band]; }
+
+  /// \brief All (level, pos) scaling coordinates with a reserved slot whose
+  /// support is contained in the dyadic interval [k*2^m, (k+1)*2^m), i.e.
+  /// the scaling slots a chunk transform can finalize. Root levels
+  /// n - t*b <= m only.
+  std::vector<std::pair<uint32_t, uint64_t>> ScalingSlotsWithin(
+      uint32_t m, uint64_t k) const;
+
+  /// \brief All (level, pos) scaling coordinates with a reserved slot whose
+  /// support strictly contains the dyadic interval [k*2^m, (k+1)*2^m) — the
+  /// scaling slots receiving SPLIT accumulations from that chunk.
+  std::vector<std::pair<uint32_t, uint64_t>> ScalingSlotsAbove(
+      uint32_t m, uint64_t k) const;
+
+  std::string ToString() const;
+
+ private:
+  uint32_t n_;
+  uint32_t b_;
+  uint32_t top_height_;  // height of band 0 (n mod b, or b when divisible)
+  uint32_t num_bands_;
+  uint64_t num_tiles_;
+  std::vector<uint64_t> band_offsets_;  // first tile id per band
+};
+
+/// \brief TileLayout adapter for the plain 1-d case.
+class TreeTilingLayout : public TileLayout {
+ public:
+  TreeTilingLayout(uint32_t n, uint32_t b) : tiling_(n, b) {}
+
+  uint32_t ndim() const override { return 1; }
+  uint64_t num_blocks() const override { return tiling_.num_tiles(); }
+  uint64_t block_capacity() const override { return tiling_.tile_capacity(); }
+  Result<BlockSlot> Locate(std::span<const uint64_t> address) const override;
+  std::string ToString() const override { return tiling_.ToString(); }
+
+  const TreeTiling& tiling() const { return tiling_; }
+
+ private:
+  TreeTiling tiling_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_TILE_TREE_TILING_H_

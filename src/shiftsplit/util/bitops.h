@@ -1,0 +1,86 @@
+// Power-of-two and dyadic-interval bit arithmetic used throughout the wavelet
+// index algebra. All sizes in this library (vector lengths, chunk sizes, disk
+// block capacities) are powers of two, mirroring the paper's N = 2^n,
+// M = 2^m, B = 2^b convention.
+
+#ifndef SHIFTSPLIT_UTIL_BITOPS_H_
+#define SHIFTSPLIT_UTIL_BITOPS_H_
+
+#include <bit>
+#include <cstdint>
+
+namespace shiftsplit {
+
+/// \brief True iff `x` is a (positive) power of two.
+constexpr bool IsPowerOfTwo(uint64_t x) { return x != 0 && (x & (x - 1)) == 0; }
+
+/// \brief floor(log2(x)) for x >= 1. Log2(1) == 0.
+constexpr uint32_t Log2(uint64_t x) {
+  return 63u - static_cast<uint32_t>(std::countl_zero(x | 1));
+}
+
+/// \brief Exact log2 of a power of two.
+constexpr uint32_t Log2Exact(uint64_t x) { return Log2(x); }
+
+/// \brief ceil(log2(x)) for x >= 1.
+constexpr uint32_t CeilLog2(uint64_t x) {
+  return Log2(x) + (IsPowerOfTwo(x) ? 0u : 1u);
+}
+
+/// \brief Smallest power of two >= x (x >= 1).
+constexpr uint64_t NextPowerOfTwo(uint64_t x) {
+  return uint64_t{1} << CeilLog2(x);
+}
+
+/// \brief ceil(a / b) for b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// \brief Integer power base^exp (no overflow checking; exponents are small).
+constexpr uint64_t IPow(uint64_t base, uint32_t exp) {
+  uint64_t r = 1;
+  for (uint32_t i = 0; i < exp; ++i) r *= base;
+  return r;
+}
+
+/// \brief A half-open-free dyadic interval [k*2^j, (k+1)*2^j - 1] (paper
+/// Definition 3): the support of Haar coefficients w_{j,k} / u_{j,k}.
+struct DyadicInterval {
+  uint32_t level = 0;   ///< j: log2 of the interval length.
+  uint64_t index = 0;   ///< k: translation within the level.
+
+  constexpr uint64_t length() const { return uint64_t{1} << level; }
+  constexpr uint64_t begin() const { return index << level; }
+  /// Inclusive upper end.
+  constexpr uint64_t last() const { return begin() + length() - 1; }
+  /// Exclusive upper end.
+  constexpr uint64_t end() const { return begin() + length(); }
+
+  /// \brief True iff position `pos` lies inside this interval.
+  constexpr bool Contains(uint64_t pos) const {
+    return (pos >> level) == index;
+  }
+
+  /// \brief True iff `other` is completely contained in this interval
+  /// (paper Definition 2: this interval's coefficient "covers" the other's).
+  constexpr bool Covers(const DyadicInterval& other) const {
+    return other.level <= level && (other.index >> (level - other.level)) == index;
+  }
+
+  constexpr bool operator==(const DyadicInterval& other) const = default;
+};
+
+/// \brief Whether the dyadic interval (child_level, child_index) lies in the
+/// *left* half of the covering interval at `parent_level` (> child_level).
+///
+/// This is the sign test of the SPLIT operation: a sub-range in the left half
+/// contributes positively to the covering detail coefficient, in the right
+/// half negatively.
+constexpr bool InLeftHalf(uint32_t child_level, uint64_t child_index,
+                          uint32_t parent_level) {
+  // The bit of child_index that selects the half of the parent interval.
+  return ((child_index >> (parent_level - child_level - 1)) & 1u) == 0;
+}
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_UTIL_BITOPS_H_

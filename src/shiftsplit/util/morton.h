@@ -1,0 +1,47 @@
+// Morton (z-order) encoding for runtime dimensionality.
+//
+// The non-standard chunked transformation (paper §5.1, Result 2) requires the
+// chunks to be visited in z-order so that the quadtree path kept in memory is
+// reused maximally between consecutive chunks.
+
+#ifndef SHIFTSPLIT_UTIL_MORTON_H_
+#define SHIFTSPLIT_UTIL_MORTON_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "shiftsplit/util/bitops.h"
+
+namespace shiftsplit {
+
+/// \brief Interleaves the low `bits` bits of each coordinate into a single
+/// Morton code. coords[0] supplies the least-significant bit of each group.
+///
+/// Requires d * bits <= 64.
+inline uint64_t MortonEncode(const std::vector<uint64_t>& coords,
+                             uint32_t bits) {
+  const uint32_t d = static_cast<uint32_t>(coords.size());
+  uint64_t code = 0;
+  for (uint32_t bit = 0; bit < bits; ++bit) {
+    for (uint32_t dim = 0; dim < d; ++dim) {
+      code |= ((coords[dim] >> bit) & 1u) << (bit * d + dim);
+    }
+  }
+  return code;
+}
+
+/// \brief Inverse of MortonEncode: extracts d coordinates of `bits` bits each.
+inline std::vector<uint64_t> MortonDecode(uint64_t code, uint32_t d,
+                                          uint32_t bits) {
+  std::vector<uint64_t> coords(d, 0);
+  for (uint32_t bit = 0; bit < bits; ++bit) {
+    for (uint32_t dim = 0; dim < d; ++dim) {
+      coords[dim] |= ((code >> (bit * d + dim)) & 1u) << bit;
+    }
+  }
+  return coords;
+}
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_UTIL_MORTON_H_

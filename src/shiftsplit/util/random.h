@@ -1,0 +1,69 @@
+// Deterministic pseudo-random generation for the synthetic datasets and
+// property tests: xoshiro256** core generator plus uniform, normal,
+// exponential and Zipf samplers.
+//
+// The generators are seed-deterministic so that datasets can be streamed
+// chunk-by-chunk (and re-streamed) without materializing them.
+
+#ifndef SHIFTSPLIT_UTIL_RANDOM_H_
+#define SHIFTSPLIT_UTIL_RANDOM_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace shiftsplit {
+
+/// \brief xoshiro256** 1.0 pseudo-random generator (Blackman & Vigna).
+///
+/// Satisfies the UniformRandomBitGenerator concept.
+class Xoshiro256 {
+ public:
+  using result_type = uint64_t;
+
+  /// \brief Seeds the state from a single 64-bit value via splitmix64.
+  explicit Xoshiro256(uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+
+  uint64_t operator()();
+
+  /// \brief Uniform double in [0, 1).
+  double NextDouble();
+
+  /// \brief Uniform integer in [0, bound) (bound > 0).
+  uint64_t NextBounded(uint64_t bound);
+
+  /// \brief Uniform double in [lo, hi).
+  double NextUniform(double lo, double hi);
+
+  /// \brief Standard normal variate (Box-Muller).
+  double NextGaussian();
+
+  /// \brief Exponential variate with the given mean.
+  double NextExponential(double mean);
+
+ private:
+  uint64_t s_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// \brief Zipf(alpha) sampler over {0, ..., n-1} via inverse-CDF on a
+/// precomputed table (exact, O(log n) per sample).
+class ZipfSampler {
+ public:
+  /// \param n      domain size (> 0)
+  /// \param alpha  skew parameter (>= 0; 0 is uniform)
+  ZipfSampler(uint64_t n, double alpha);
+
+  /// \brief Draws one rank in [0, n).
+  uint64_t Sample(Xoshiro256& rng) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_UTIL_RANDOM_H_

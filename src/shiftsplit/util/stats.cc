@@ -1,0 +1,69 @@
+#include "shiftsplit/util/stats.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <sstream>
+
+namespace shiftsplit {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+std::string RunningStats::ToString() const {
+  std::ostringstream os;
+  os << "n=" << count_ << " mean=" << mean_ << " sd=" << stddev()
+     << " min=" << min_ << " max=" << max_;
+  return os.str();
+}
+
+double SumSquaredError(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double sse = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    sse += d * d;
+  }
+  return sse;
+}
+
+double RootMeanSquaredError(std::span<const double> a,
+                            std::span<const double> b) {
+  if (a.empty()) return 0.0;
+  return std::sqrt(SumSquaredError(a, b) / static_cast<double>(a.size()));
+}
+
+double MaxAbsoluteError(std::span<const double> a, std::span<const double> b) {
+  assert(a.size() == b.size());
+  double m = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    m = std::max(m, std::abs(a[i] - b[i]));
+  }
+  return m;
+}
+
+double Energy(std::span<const double> a) {
+  double e = 0.0;
+  for (double x : a) e += x * x;
+  return e;
+}
+
+}  // namespace shiftsplit

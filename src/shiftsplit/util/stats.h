@@ -1,0 +1,54 @@
+// Streaming summary statistics and approximation-error metrics, used by the
+// benchmark harness (EXPERIMENTS.md tables) and by the synopsis-quality tests.
+
+#ifndef SHIFTSPLIT_UTIL_STATS_H_
+#define SHIFTSPLIT_UTIL_STATS_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+namespace shiftsplit {
+
+/// \brief Single-pass running mean / variance / extrema (Welford).
+class RunningStats {
+ public:
+  void Add(double x);
+
+  uint64_t count() const { return count_; }
+  double mean() const { return mean_; }
+  /// Population variance; 0 for fewer than 2 samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return min_; }
+  double max() const { return max_; }
+  double sum() const { return sum_; }
+
+  /// \brief "n=... mean=... sd=... min=... max=..." one-liner.
+  std::string ToString() const;
+
+ private:
+  uint64_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// \brief Sum of squared errors between two equally-sized spans.
+double SumSquaredError(std::span<const double> a, std::span<const double> b);
+
+/// \brief Root-mean-square error between two equally-sized spans.
+double RootMeanSquaredError(std::span<const double> a,
+                            std::span<const double> b);
+
+/// \brief Largest absolute element-wise difference.
+double MaxAbsoluteError(std::span<const double> a, std::span<const double> b);
+
+/// \brief Squared L2 norm (energy) of a span — used for Parseval checks.
+double Energy(std::span<const double> a);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_UTIL_STATS_H_

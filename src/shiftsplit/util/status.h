@@ -1,0 +1,165 @@
+// Status / Result<T> error handling for the shiftsplit library.
+//
+// The library does not throw exceptions on its hot or I/O paths; fallible
+// operations return Status (or Result<T> when they produce a value), in the
+// style of Apache Arrow and RocksDB.
+
+#ifndef SHIFTSPLIT_UTIL_STATUS_H_
+#define SHIFTSPLIT_UTIL_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace shiftsplit {
+
+/// \brief Machine-readable classification of an error.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kResourceExhausted,
+  kIOError,
+  kUnimplemented,
+  kInternal,
+};
+
+/// \brief Human-readable name of a status code (e.g. "IOError").
+const char* StatusCodeToString(StatusCode code);
+
+/// \brief The outcome of a fallible operation: a code plus a message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (OK carries
+/// no allocation; errors carry one string).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() = default;
+
+  /// \brief Constructs a status with the given code and message.
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// \brief "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// \brief Either a value of type T or an error Status.
+///
+/// Accessing the value of an errored Result aborts in debug builds; callers
+/// must check ok() (or use SS_ASSIGN_OR_RETURN) first.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from an error status. Must not be OK.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// \brief Returns the value, or `fallback` if this Result holds an error.
+  T ValueOr(T fallback) const {
+    return ok() ? *value_ : std::move(fallback);
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+namespace internal {
+// Concatenation helpers so SS_ASSIGN_OR_RETURN can create unique temporaries.
+#define SS_CONCAT_IMPL(x, y) x##y
+#define SS_CONCAT(x, y) SS_CONCAT_IMPL(x, y)
+}  // namespace internal
+
+/// Propagates a non-OK Status to the caller.
+#define SS_RETURN_IF_ERROR(expr)             \
+  do {                                       \
+    ::shiftsplit::Status _st = (expr);       \
+    if (!_st.ok()) return _st;               \
+  } while (false)
+
+/// Evaluates `rexpr` (a Result<T>), propagating errors; otherwise assigns the
+/// value to `lhs` (which may include a declaration, e.g. `auto v`).
+#define SS_ASSIGN_OR_RETURN(lhs, rexpr)                        \
+  SS_ASSIGN_OR_RETURN_IMPL(SS_CONCAT(_ss_result_, __LINE__), lhs, rexpr)
+
+#define SS_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                             \
+  if (!tmp.ok()) return tmp.status();             \
+  lhs = std::move(tmp).value()
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_UTIL_STATUS_H_

@@ -1,0 +1,123 @@
+#include "shiftsplit/wavelet/haar.h"
+
+#include <cmath>
+#include <vector>
+
+#include "shiftsplit/util/bitops.h"
+
+namespace shiftsplit {
+
+namespace {
+const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
+const double kSqrt2 = std::sqrt(2.0);
+}  // namespace
+
+const char* NormalizationToString(Normalization norm) {
+  switch (norm) {
+    case Normalization::kAverage:
+      return "average";
+    case Normalization::kOrthonormal:
+      return "orthonormal";
+  }
+  return "unknown";
+}
+
+double HaarAverage(double left, double right, Normalization norm) {
+  if (norm == Normalization::kAverage) return (left + right) * 0.5;
+  return (left + right) * kInvSqrt2;
+}
+
+double HaarDetail(double left, double right, Normalization norm) {
+  if (norm == Normalization::kAverage) return (left - right) * 0.5;
+  return (left - right) * kInvSqrt2;
+}
+
+double HaarReconstructLeft(double average, double detail, Normalization norm) {
+  if (norm == Normalization::kAverage) return average + detail;
+  return (average + detail) * kInvSqrt2;
+}
+
+double HaarReconstructRight(double average, double detail,
+                            Normalization norm) {
+  if (norm == Normalization::kAverage) return average - detail;
+  return (average - detail) * kInvSqrt2;
+}
+
+double ScalingAttenuation(Normalization norm) {
+  return norm == Normalization::kAverage ? 0.5 : kInvSqrt2;
+}
+
+double ReconstructionAttenuation(Normalization norm) {
+  return norm == Normalization::kAverage ? 1.0 : kInvSqrt2;
+}
+
+namespace {
+
+Status ValidateSize(size_t size) {
+  if (size == 0 || !IsPowerOfTwo(size)) {
+    return Status::InvalidArgument("Haar transform size must be a power of 2");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ForwardHaar1DLevels(std::span<double> data, uint32_t levels,
+                           Normalization norm) {
+  SS_RETURN_IF_ERROR(ValidateSize(data.size()));
+  const uint32_t n = Log2(data.size());
+  if (levels > n) {
+    return Status::InvalidArgument("more decomposition levels than log2(N)");
+  }
+  if (levels == 0) return Status::OK();
+  std::vector<double> scratch(data.size());
+  size_t s = data.size();
+  for (uint32_t level = 0; level < levels; ++level) {
+    const size_t half = s / 2;
+    for (size_t k = 0; k < half; ++k) {
+      const double left = data[2 * k];
+      const double right = data[2 * k + 1];
+      scratch[k] = HaarAverage(left, right, norm);
+      scratch[half + k] = HaarDetail(left, right, norm);
+    }
+    std::copy(scratch.begin(), scratch.begin() + s, data.begin());
+    s = half;
+  }
+  return Status::OK();
+}
+
+Status InverseHaar1DLevels(std::span<double> data, uint32_t levels,
+                           Normalization norm) {
+  SS_RETURN_IF_ERROR(ValidateSize(data.size()));
+  const uint32_t n = Log2(data.size());
+  if (levels > n) {
+    return Status::InvalidArgument("more decomposition levels than log2(N)");
+  }
+  if (levels == 0) return Status::OK();
+  std::vector<double> scratch(data.size());
+  size_t s = data.size() >> (levels - 1);
+  for (uint32_t level = 0; level < levels; ++level) {
+    const size_t half = s / 2;
+    for (size_t k = 0; k < half; ++k) {
+      const double average = data[k];
+      const double detail = data[half + k];
+      scratch[2 * k] = HaarReconstructLeft(average, detail, norm);
+      scratch[2 * k + 1] = HaarReconstructRight(average, detail, norm);
+    }
+    std::copy(scratch.begin(), scratch.begin() + s, data.begin());
+    s *= 2;
+  }
+  return Status::OK();
+}
+
+Status ForwardHaar1D(std::span<double> data, Normalization norm) {
+  SS_RETURN_IF_ERROR(ValidateSize(data.size()));
+  return ForwardHaar1DLevels(data, Log2(data.size()), norm);
+}
+
+Status InverseHaar1D(std::span<double> data, Normalization norm) {
+  SS_RETURN_IF_ERROR(ValidateSize(data.size()));
+  return InverseHaar1DLevels(data, Log2(data.size()), norm);
+}
+
+}  // namespace shiftsplit

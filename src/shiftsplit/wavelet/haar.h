@@ -1,0 +1,80 @@
+// One-dimensional Haar wavelet transform.
+//
+// Two normalizations are supported:
+//  * kAverage    — the paper's convention: average (a+b)/2 and difference
+//                  (a-b)/2. All SHIFT-SPLIT formulas in the paper assume it.
+//  * kOrthonormal — (a+b)/sqrt(2), (a-b)/sqrt(2); preserves energy (Parseval),
+//                  which is what "best K-term approximation" requires for the
+//                  stream synopses.
+//
+// The transformed vector uses the paper's linear ordering (§2.1): index 0 is
+// the overall average u_{n,0}; the detail w_{j,k} lives at index 2^(n-j) + k.
+
+#ifndef SHIFTSPLIT_WAVELET_HAAR_H_
+#define SHIFTSPLIT_WAVELET_HAAR_H_
+
+#include <cstdint>
+#include <span>
+
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+
+/// \brief Haar filter normalization convention.
+enum class Normalization {
+  kAverage,      ///< (a+b)/2 and (a-b)/2 — the paper's convention.
+  kOrthonormal,  ///< (a+b)/sqrt(2) and (a-b)/sqrt(2) — energy preserving.
+};
+
+const char* NormalizationToString(Normalization norm);
+
+/// \brief One smoothing filter step: the "average" of a pair.
+double HaarAverage(double left, double right, Normalization norm);
+
+/// \brief One detail filter step: the "difference" of a pair.
+double HaarDetail(double left, double right, Normalization norm);
+
+/// \brief Inverse filter: left element from (average, detail).
+double HaarReconstructLeft(double average, double detail, Normalization norm);
+
+/// \brief Inverse filter: right element from (average, detail).
+double HaarReconstructRight(double average, double detail, Normalization norm);
+
+/// \brief The multiplicative factor by which a scaling coefficient at level j
+/// contributes to its covering scaling coefficient at level j+1 when the rest
+/// of the covering interval is zero (the per-level attenuation used by SPLIT).
+///
+/// kAverage: 1/2 per level. kOrthonormal: 1/sqrt(2) per level.
+double ScalingAttenuation(Normalization norm);
+
+/// \brief The multiplicative factor per level in the *reconstruction*
+/// direction: the weight of a level-j coefficient in the expansion of a
+/// level-(j-1) scaling coefficient (u_{j-1} = g*(u_j +- w_j)).
+///
+/// kAverage: 1 (u_{j-1} = u_j +- w_j). kOrthonormal: 1/sqrt(2). The two
+/// directions coincide only for the orthonormal filter.
+double ReconstructionAttenuation(Normalization norm);
+
+/// \brief In-place full 1-d Haar decomposition of `data` (size must be a
+/// power of two) into the linear wavelet ordering described above.
+Status ForwardHaar1D(std::span<double> data, Normalization norm);
+
+/// \brief In-place inverse of ForwardHaar1D.
+Status InverseHaar1D(std::span<double> data, Normalization norm);
+
+/// \brief Partial decomposition: performs only `levels` filter steps, leaving
+/// 2^(n-levels) scaling coefficients. With levels == n this equals
+/// ForwardHaar1D. Layout: the first 2^(n-levels) entries are the remaining
+/// scaling coefficients in positional order, followed by details of levels
+/// `levels`, `levels-1`, ..., 1 — i.e. the natural truncation of the full
+/// ordering.
+Status ForwardHaar1DLevels(std::span<double> data, uint32_t levels,
+                           Normalization norm);
+
+/// \brief Inverse of ForwardHaar1DLevels.
+Status InverseHaar1DLevels(std::span<double> data, uint32_t levels,
+                           Normalization norm);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_WAVELET_HAAR_H_

@@ -1,0 +1,253 @@
+#include "shiftsplit/wavelet/nonstandard_transform.h"
+
+#include <cassert>
+#include <cmath>
+
+#include "shiftsplit/util/bitops.h"
+
+namespace shiftsplit {
+
+namespace {
+
+Status ValidateCube(const Tensor& tensor) {
+  if (!tensor.shape().IsCube()) {
+    return Status::InvalidArgument(
+        "non-standard transform requires a hypercube tensor");
+  }
+  return Status::OK();
+}
+
+// Forward per-coefficient factor applied to the 2^d-corner signed sum.
+double ForwardFactor(uint32_t d, Normalization norm) {
+  const double f = (norm == Normalization::kAverage) ? 0.5 : 1.0 / std::sqrt(2.0);
+  return std::pow(f, static_cast<double>(d));
+}
+
+// Inverse per-corner factor applied to the 2^d-subband signed sum.
+double InverseFactor(uint32_t d, Normalization norm) {
+  const double g = (norm == Normalization::kAverage) ? 1.0 : 1.0 / std::sqrt(2.0);
+  return std::pow(g, static_cast<double>(d));
+}
+
+}  // namespace
+
+std::vector<uint64_t> NsAddress(uint32_t n, const NsCoeffId& id) {
+  const uint32_t d = static_cast<uint32_t>(id.node.size());
+  std::vector<uint64_t> address(d);
+  if (id.is_scaling) {
+    return address;  // all-zero tuple
+  }
+  assert(id.level >= 1 && id.level <= n);
+  assert(id.subband >= 1 && id.subband < (uint64_t{1} << d));
+  const uint64_t band_base = uint64_t{1} << (n - id.level);
+  for (uint32_t t = 0; t < d; ++t) {
+    assert(id.node[t] < band_base);
+    address[t] = ((id.subband >> t) & 1u) ? band_base + id.node[t] : id.node[t];
+  }
+  return address;
+}
+
+NsCoeffId NsCoeffOfAddress(uint32_t n, std::span<const uint64_t> address) {
+  const uint32_t d = static_cast<uint32_t>(address.size());
+  NsCoeffId id;
+  id.node.assign(d, 0);
+  uint64_t max_index = 0;
+  for (uint64_t a : address) max_index = std::max(max_index, a);
+  if (max_index == 0) {
+    id.is_scaling = true;
+    id.level = n;
+    return id;
+  }
+  const uint32_t row = Log2(max_index);  // n - j
+  id.level = n - row;
+  const uint64_t band_base = uint64_t{1} << row;
+  for (uint32_t t = 0; t < d; ++t) {
+    if (address[t] >= band_base) {
+      id.subband |= uint64_t{1} << t;
+      id.node[t] = address[t] - band_base;
+    } else {
+      id.node[t] = address[t];
+    }
+  }
+  return id;
+}
+
+namespace {
+
+Status ForwardNonstandardImpl(Tensor* tensor, Normalization norm,
+                              std::vector<Tensor>* pyramid);
+
+}  // namespace
+
+Status ForwardNonstandard(Tensor* tensor, Normalization norm) {
+  return ForwardNonstandardImpl(tensor, norm, nullptr);
+}
+
+Status ForwardNonstandardWithPyramid(Tensor* tensor, Normalization norm,
+                                     std::vector<Tensor>* pyramid) {
+  return ForwardNonstandardImpl(tensor, norm, pyramid);
+}
+
+namespace {
+
+Status ForwardNonstandardImpl(Tensor* tensor, Normalization norm,
+                              std::vector<Tensor>* pyramid) {
+  SS_RETURN_IF_ERROR(ValidateCube(*tensor));
+  const TensorShape& shape = tensor->shape();
+  const uint32_t d = shape.ndim();
+  const uint64_t extent = shape.dim(0);
+  const uint32_t n = Log2(extent);
+  const uint64_t corners = uint64_t{1} << d;
+  const double factor = ForwardFactor(d, norm);
+
+  if (pyramid != nullptr) {
+    pyramid->assign(n + 1, Tensor());
+    (*pyramid)[0] = *tensor;
+  }
+  std::vector<double> block(corners);
+  std::vector<uint64_t> in_coords(d), out_coords(d);
+  for (uint32_t level = 0; level < n; ++level) {
+    const uint64_t s = extent >> level;      // current averages cube side
+    const uint64_t half = s / 2;             // next level cube side
+    // Snapshot the [0,s)^d subcube of current averages (reads must not see
+    // this level's detail writes, whose addresses fall inside the subcube).
+    TensorShape sub_shape = TensorShape::Cube(d, s);
+    Tensor snapshot(sub_shape);
+    {
+      std::vector<uint64_t> c(d, 0);
+      uint64_t flat = 0;
+      do {
+        snapshot[flat++] = tensor->At(c);
+      } while (sub_shape.Next(c));
+    }
+    // Decompose each 2^d block of the snapshot.
+    TensorShape node_shape = TensorShape::Cube(d, half);
+    std::vector<uint64_t> p(d, 0);
+    do {
+      for (uint64_t eps = 0; eps < corners; ++eps) {
+        for (uint32_t t = 0; t < d; ++t) {
+          in_coords[t] = 2 * p[t] + ((eps >> t) & 1u);
+        }
+        block[eps] = snapshot.At(in_coords);
+      }
+      for (uint64_t sigma = 0; sigma < corners; ++sigma) {
+        double acc = 0.0;
+        for (uint64_t eps = 0; eps < corners; ++eps) {
+          acc += NsSign(sigma, eps) * block[eps];
+        }
+        acc *= factor;
+        for (uint32_t t = 0; t < d; ++t) {
+          out_coords[t] = ((sigma >> t) & 1u) ? half + p[t] : p[t];
+        }
+        tensor->At(out_coords) = acc;
+      }
+    } while (node_shape.Next(p));
+    if (pyramid != nullptr) {
+      // The level+1 node averages now live in the [0, half)^d subcube.
+      TensorShape avg_shape = TensorShape::Cube(d, half);
+      Tensor averages(avg_shape);
+      std::vector<uint64_t> c(d, 0);
+      uint64_t flat = 0;
+      do {
+        averages[flat++] = tensor->At(c);
+      } while (avg_shape.Next(c));
+      (*pyramid)[level + 1] = std::move(averages);
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status InverseNonstandard(Tensor* tensor, Normalization norm) {
+  SS_RETURN_IF_ERROR(ValidateCube(*tensor));
+  const TensorShape& shape = tensor->shape();
+  const uint32_t d = shape.ndim();
+  const uint64_t extent = shape.dim(0);
+  const uint32_t n = Log2(extent);
+  const uint64_t corners = uint64_t{1} << d;
+  const double factor = InverseFactor(d, norm);
+
+  std::vector<double> coeffs(corners);
+  std::vector<uint64_t> in_coords(d), out_coords(d);
+  for (uint32_t level = n; level >= 1; --level) {
+    const uint64_t half = extent >> level;   // node cube side at this level
+    const uint64_t s = half * 2;             // reconstructed cube side
+    TensorShape sub_shape = TensorShape::Cube(d, s);
+    Tensor snapshot(sub_shape);
+    {
+      std::vector<uint64_t> c(d, 0);
+      uint64_t flat = 0;
+      do {
+        snapshot[flat++] = tensor->At(c);
+      } while (sub_shape.Next(c));
+    }
+    TensorShape node_shape = TensorShape::Cube(d, half);
+    std::vector<uint64_t> p(d, 0);
+    do {
+      for (uint64_t sigma = 0; sigma < corners; ++sigma) {
+        for (uint32_t t = 0; t < d; ++t) {
+          in_coords[t] = ((sigma >> t) & 1u) ? half + p[t] : p[t];
+        }
+        coeffs[sigma] = snapshot.At(in_coords);
+      }
+      for (uint64_t eps = 0; eps < corners; ++eps) {
+        double acc = 0.0;
+        for (uint64_t sigma = 0; sigma < corners; ++sigma) {
+          acc += NsSign(sigma, eps) * coeffs[sigma];
+        }
+        acc *= factor;
+        for (uint32_t t = 0; t < d; ++t) {
+          out_coords[t] = 2 * p[t] + ((eps >> t) & 1u);
+        }
+        tensor->At(out_coords) = acc;
+      }
+    } while (node_shape.Next(p));
+  }
+  return Status::OK();
+}
+
+double NsReconstructionWeight(uint32_t d, uint32_t level, uint64_t sigma,
+                              uint64_t corner, Normalization norm) {
+  const int sign = NsSign(sigma, corner);
+  if (norm == Normalization::kAverage) return static_cast<double>(sign);
+  return sign *
+         std::pow(2.0, -0.5 * static_cast<double>(d) * static_cast<double>(level));
+}
+
+double NsReconstructPoint(const Tensor& transformed,
+                          std::span<const uint64_t> point,
+                          Normalization norm) {
+  const TensorShape& shape = transformed.shape();
+  const uint32_t d = shape.ndim();
+  const uint64_t extent = shape.dim(0);
+  const uint32_t n = Log2(extent);
+  const uint64_t corners = uint64_t{1} << d;
+
+  NsCoeffId id;
+  id.node.assign(d, 0);
+  // Root average.
+  double value =
+      transformed[0] * (norm == Normalization::kAverage
+                            ? 1.0
+                            : std::pow(2.0, -0.5 * static_cast<double>(d) *
+                                                static_cast<double>(n)));
+  std::vector<uint64_t> address(d);
+  for (uint32_t level = n; level >= 1; --level) {
+    uint64_t corner = 0;
+    id.level = level;
+    for (uint32_t t = 0; t < d; ++t) {
+      id.node[t] = point[t] >> level;
+      corner |= ((point[t] >> (level - 1)) & 1u) << t;
+    }
+    for (uint64_t sigma = 1; sigma < corners; ++sigma) {
+      id.subband = sigma;
+      address = NsAddress(n, id);
+      value += NsReconstructionWeight(d, level, sigma, corner, norm) *
+               transformed.At(address);
+    }
+  }
+  return value;
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,83 @@
+// Non-standard-form multidimensional Haar decomposition (paper §2.1, §3.1,
+// Appendix B): at each level every 2^d-cell block of current averages is
+// decomposed into one average and 2^d - 1 detail coefficients (one per
+// non-zero subband), and only the averages are decomposed further. The
+// support intervals form a 2^d-ary "quadtree".
+//
+// Addressing. A non-standard coefficient is identified by
+//   (level j in [1, n], node p in [0, 2^(n-j))^d, subband sigma in [1, 2^d)),
+// plus the root scaling coefficient. It is stored in the same N^d tensor at
+// the d-tuple address
+//   address[t] = (sigma bit t set) ? 2^(n-j) + p[t] : p[t],
+// which is a bijection between coefficients and tensor cells (the root maps
+// to the all-zero tuple). This shares the per-axis banded layout of the
+// standard form, so the same tuple-keyed tile stores serve both forms.
+//
+// The transform requires a hypercube tensor (all extents equal).
+
+#ifndef SHIFTSPLIT_WAVELET_NONSTANDARD_TRANSFORM_H_
+#define SHIFTSPLIT_WAVELET_NONSTANDARD_TRANSFORM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "shiftsplit/util/status.h"
+#include "shiftsplit/wavelet/haar.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief Identity of a non-standard coefficient.
+struct NsCoeffId {
+  bool is_scaling = false;     ///< True only for the root average.
+  uint32_t level = 0;          ///< j in [1, n] (n for the root).
+  std::vector<uint64_t> node;  ///< p, per-dimension node position.
+  uint64_t subband = 0;        ///< sigma in [1, 2^d); 0 for the root.
+
+  bool operator==(const NsCoeffId&) const = default;
+};
+
+/// \brief Sign with which subband `sigma`'s coefficient combines with the
+/// block corner `eps` (both d-bit masks): +1 if popcount(sigma & eps) is
+/// even, -1 otherwise.
+inline int NsSign(uint64_t sigma, uint64_t eps) {
+  return (__builtin_popcountll(sigma & eps) & 1) ? -1 : 1;
+}
+
+/// \brief Tensor address (d-tuple) of a non-standard coefficient in a cube of
+/// side 2^n.
+std::vector<uint64_t> NsAddress(uint32_t n, const NsCoeffId& id);
+
+/// \brief Inverse of NsAddress: decodes a tensor address into the coefficient
+/// identity. Every address is valid (the mapping is a bijection).
+NsCoeffId NsCoeffOfAddress(uint32_t n, std::span<const uint64_t> address);
+
+/// \brief In-place non-standard decomposition of a hypercube tensor.
+Status ForwardNonstandard(Tensor* tensor, Normalization norm);
+
+/// \brief Like ForwardNonstandard, but also captures the scaling pyramid:
+/// pyramid[j] is the cube of node averages (scaling coefficients) at level j
+/// (side 2^(n-j)); pyramid[0] is the input data. The chunked transformation
+/// uses the pyramid to fill the redundant tile-root scaling slots.
+Status ForwardNonstandardWithPyramid(Tensor* tensor, Normalization norm,
+                                     std::vector<Tensor>* pyramid);
+
+/// \brief In-place inverse of ForwardNonstandard.
+Status InverseNonstandard(Tensor* tensor, Normalization norm);
+
+/// \brief Weight with which the non-standard coefficient with identity
+/// (level, subband) at the node covering `point` contributes to that point's
+/// reconstruction (paper Figure 7's bottom-up traversal):
+/// sign(sigma, corner) for kAverage, sign * 2^(-j*d/2) for kOrthonormal.
+double NsReconstructionWeight(uint32_t d, uint32_t level, uint64_t sigma,
+                              uint64_t corner, Normalization norm);
+
+/// \brief Reconstructs one data point from a non-standard-transformed cube:
+/// walks the quadtree path using all 2^d - 1 coefficients per node —
+/// O((2^d - 1) n + 1) coefficient touches.
+double NsReconstructPoint(const Tensor& transformed,
+                          std::span<const uint64_t> point, Normalization norm);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_WAVELET_NONSTANDARD_TRANSFORM_H_

@@ -1,0 +1,112 @@
+#include "shiftsplit/wavelet/standard_transform.h"
+
+#include <cmath>
+#include <vector>
+
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+namespace {
+
+// Applies `op` (a 1-d in-place transform) along every fiber of `dim`.
+template <typename Op>
+Status TransformAlongDim(Tensor* tensor, uint32_t dim, Op op) {
+  const TensorShape& shape = tensor->shape();
+  std::vector<double> fiber(shape.dim(dim));
+  std::vector<uint64_t> base(shape.ndim(), 0);
+  // Iterate over all coordinates with base[dim] fixed at 0.
+  for (;;) {
+    tensor->GatherFiber(dim, base, fiber);
+    SS_RETURN_IF_ERROR(op(std::span<double>(fiber)));
+    tensor->ScatterFiber(dim, base, fiber);
+    // Advance the base over all dims except `dim`.
+    uint32_t i = shape.ndim();
+    bool advanced = false;
+    while (i-- > 0) {
+      if (i == dim) continue;
+      if (++base[i] < shape.dim(i)) {
+        advanced = true;
+        break;
+      }
+      base[i] = 0;
+    }
+    if (!advanced) break;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status ForwardStandard(Tensor* tensor, Normalization norm) {
+  for (uint32_t dim = 0; dim < tensor->shape().ndim(); ++dim) {
+    SS_RETURN_IF_ERROR(TransformAlongDim(
+        tensor, dim,
+        [norm](std::span<double> f) { return ForwardHaar1D(f, norm); }));
+  }
+  return Status::OK();
+}
+
+Status InverseStandard(Tensor* tensor, Normalization norm) {
+  for (uint32_t dim = 0; dim < tensor->shape().ndim(); ++dim) {
+    SS_RETURN_IF_ERROR(TransformAlongDim(
+        tensor, dim,
+        [norm](std::span<double> f) { return InverseHaar1D(f, norm); }));
+  }
+  return Status::OK();
+}
+
+double ReconstructionWeight(uint32_t n, uint64_t index, uint64_t t,
+                            Normalization norm) {
+  const int sign = ReconstructionSign(n, index, t);
+  if (sign == 0) return 0.0;
+  if (norm == Normalization::kAverage) return static_cast<double>(sign);
+  // Orthonormal basis magnitudes: scaling phi_{n,0} has value 2^(-n/2);
+  // detail psi_{j,k} has value +-2^(-j/2).
+  const uint32_t level = (index == 0) ? n : CoordOfIndex(n, index).level;
+  return sign * std::pow(2.0, -0.5 * static_cast<double>(level));
+}
+
+double StandardReconstructPoint(const Tensor& transformed,
+                                std::span<const uint64_t> point,
+                                Normalization norm) {
+  const TensorShape& shape = transformed.shape();
+  const uint32_t d = shape.ndim();
+  // Per-dimension path indices and weights.
+  std::vector<std::vector<uint64_t>> paths(d);
+  std::vector<std::vector<double>> weights(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    const uint32_t n = Log2(shape.dim(i));
+    paths[i] = PathToRoot(n, point[i]);
+    weights[i].reserve(paths[i].size());
+    for (uint64_t idx : paths[i]) {
+      weights[i].push_back(ReconstructionWeight(n, idx, point[i], norm));
+    }
+  }
+  // Cross product of the d paths.
+  std::vector<size_t> pick(d, 0);
+  std::vector<uint64_t> coords(d);
+  double value = 0.0;
+  for (;;) {
+    double w = 1.0;
+    for (uint32_t i = 0; i < d; ++i) {
+      coords[i] = paths[i][pick[i]];
+      w *= weights[i][pick[i]];
+    }
+    value += w * transformed.At(coords);
+    uint32_t i = d;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (++pick[i] < paths[i].size()) {
+        advanced = true;
+        break;
+      }
+      pick[i] = 0;
+    }
+    if (!advanced) break;
+  }
+  return value;
+}
+
+}  // namespace shiftsplit

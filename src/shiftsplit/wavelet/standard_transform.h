@@ -1,0 +1,41 @@
+// Standard-form multidimensional Haar decomposition (paper §2.1, Appendix B):
+// a full 1-d decomposition applied along each dimension in turn. A
+// transformed coefficient is addressed by a d-tuple of 1-d wavelet indices
+// (see wavelet_index.h), stored row-major in the same tensor.
+
+#ifndef SHIFTSPLIT_WAVELET_STANDARD_TRANSFORM_H_
+#define SHIFTSPLIT_WAVELET_STANDARD_TRANSFORM_H_
+
+#include "shiftsplit/util/status.h"
+#include "shiftsplit/wavelet/haar.h"
+#include "shiftsplit/wavelet/tensor.h"
+
+namespace shiftsplit {
+
+/// \brief In-place standard-form decomposition of `tensor` (every extent a
+/// power of two; extents need not be equal).
+Status ForwardStandard(Tensor* tensor, Normalization norm);
+
+/// \brief In-place inverse of ForwardStandard.
+Status InverseStandard(Tensor* tensor, Normalization norm);
+
+/// \brief Weight with which the 1-d coefficient at flat `index` contributes
+/// to the reconstruction of data point `t` (0 when the support excludes t).
+///
+/// For kAverage the weight is the sign (+1/-1); for kOrthonormal it carries
+/// the 2^(-j/2) basis magnitude. A standard-form d-dim coefficient
+/// contributes the product of its per-dimension weights (and the
+/// non-standard form the product of its per-dimension level-j weights).
+double ReconstructionWeight(uint32_t n, uint64_t index, uint64_t t,
+                            Normalization norm);
+
+/// \brief Reconstructs a single data point from a standard-form transformed
+/// tensor by combining the (n_i + 1)-long per-dimension root paths
+/// (cross-product of Lemma 1) — O(prod_i (n_i + 1)) work.
+double StandardReconstructPoint(const Tensor& transformed,
+                                std::span<const uint64_t> point,
+                                Normalization norm);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_WAVELET_STANDARD_TRANSFORM_H_

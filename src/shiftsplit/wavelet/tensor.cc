@@ -1,0 +1,122 @@
+#include "shiftsplit/wavelet/tensor.h"
+
+#include <cassert>
+#include <sstream>
+
+#include "shiftsplit/util/bitops.h"
+
+namespace shiftsplit {
+
+TensorShape::TensorShape(std::vector<uint64_t> dims) : dims_(std::move(dims)) {
+  strides_.resize(dims_.size());
+  num_elements_ = 1;
+  for (size_t i = dims_.size(); i-- > 0;) {
+    assert(IsPowerOfTwo(dims_[i]) && "tensor extents must be powers of two");
+    strides_[i] = num_elements_;
+    num_elements_ *= dims_[i];
+  }
+}
+
+Result<TensorShape> TensorShape::Make(std::vector<uint64_t> dims) {
+  if (dims.empty()) {
+    return Status::InvalidArgument("shape must have at least one dimension");
+  }
+  for (uint64_t d : dims) {
+    if (!IsPowerOfTwo(d)) {
+      return Status::InvalidArgument("tensor extents must be powers of two");
+    }
+  }
+  return TensorShape(std::move(dims));
+}
+
+TensorShape TensorShape::Cube(uint32_t d, uint64_t n) {
+  return TensorShape(std::vector<uint64_t>(d, n));
+}
+
+std::vector<uint32_t> TensorShape::LogDims() const {
+  std::vector<uint32_t> logs(dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) logs[i] = Log2(dims_[i]);
+  return logs;
+}
+
+bool TensorShape::IsCube() const {
+  for (uint64_t d : dims_) {
+    if (d != dims_[0]) return false;
+  }
+  return true;
+}
+
+uint64_t TensorShape::FlatIndex(std::span<const uint64_t> coords) const {
+  assert(coords.size() == dims_.size());
+  uint64_t flat = 0;
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    assert(coords[i] < dims_[i]);
+    flat += coords[i] * strides_[i];
+  }
+  return flat;
+}
+
+std::vector<uint64_t> TensorShape::Coords(uint64_t flat) const {
+  std::vector<uint64_t> coords(dims_.size());
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    coords[i] = (flat / strides_[i]) % dims_[i];
+  }
+  return coords;
+}
+
+bool TensorShape::Next(std::vector<uint64_t>& coords) const {
+  assert(coords.size() == dims_.size());
+  for (size_t i = dims_.size(); i-- > 0;) {
+    if (++coords[i] < dims_[i]) return true;
+    coords[i] = 0;
+  }
+  return false;
+}
+
+std::string TensorShape::ToString() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t i = 0; i < dims_.size(); ++i) {
+    if (i > 0) os << "x";
+    os << dims_[i];
+  }
+  os << "]";
+  return os.str();
+}
+
+Tensor::Tensor(TensorShape shape, std::vector<double> data)
+    : shape_(std::move(shape)), data_(std::move(data)) {
+  assert(data_.size() == shape_.num_elements());
+}
+
+void Tensor::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Tensor::GatherFiber(uint32_t dim, std::span<const uint64_t> base,
+                         std::span<double> out) const {
+  assert(out.size() == shape_.dim(dim));
+  uint64_t offset = 0;
+  for (uint32_t i = 0; i < shape_.ndim(); ++i) {
+    if (i != dim) offset += base[i] * shape_.stride(i);
+  }
+  const uint64_t stride = shape_.stride(dim);
+  for (uint64_t k = 0; k < shape_.dim(dim); ++k) {
+    out[k] = data_[offset + k * stride];
+  }
+}
+
+void Tensor::ScatterFiber(uint32_t dim, std::span<const uint64_t> base,
+                          std::span<const double> in) {
+  assert(in.size() == shape_.dim(dim));
+  uint64_t offset = 0;
+  for (uint32_t i = 0; i < shape_.ndim(); ++i) {
+    if (i != dim) offset += base[i] * shape_.stride(i);
+  }
+  const uint64_t stride = shape_.stride(dim);
+  for (uint64_t k = 0; k < shape_.dim(dim); ++k) {
+    data_[offset + k * stride] = in[k];
+  }
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,110 @@
+// Dense in-memory multidimensional arrays with runtime dimensionality.
+//
+// Tensors hold chunks and small working sets; the disk-resident transformed
+// data lives in TiledStore (src/tile). All dimension sizes are powers of two,
+// per the paper's convention.
+
+#ifndef SHIFTSPLIT_WAVELET_TENSOR_H_
+#define SHIFTSPLIT_WAVELET_TENSOR_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+
+/// \brief Shape of a d-dimensional array; row-major (last dimension fastest).
+class TensorShape {
+ public:
+  TensorShape() = default;
+
+  /// \brief Constructs a shape; every extent must be a power of two (>= 1).
+  explicit TensorShape(std::vector<uint64_t> dims);
+
+  /// \brief Validating factory (returns InvalidArgument on bad extents).
+  static Result<TensorShape> Make(std::vector<uint64_t> dims);
+
+  /// \brief Hypercube shape: d dimensions of extent `n` each.
+  static TensorShape Cube(uint32_t d, uint64_t n);
+
+  uint32_t ndim() const { return static_cast<uint32_t>(dims_.size()); }
+  uint64_t dim(uint32_t i) const { return dims_[i]; }
+  const std::vector<uint64_t>& dims() const { return dims_; }
+  uint64_t num_elements() const { return num_elements_; }
+  /// Row-major stride of dimension i.
+  uint64_t stride(uint32_t i) const { return strides_[i]; }
+
+  /// \brief log2 of each extent.
+  std::vector<uint32_t> LogDims() const;
+
+  /// \brief True iff all extents are equal.
+  bool IsCube() const;
+
+  /// \brief Flat row-major offset of the coordinate tuple.
+  uint64_t FlatIndex(std::span<const uint64_t> coords) const;
+
+  /// \brief Inverse of FlatIndex.
+  std::vector<uint64_t> Coords(uint64_t flat) const;
+
+  /// \brief Advances `coords` to the next row-major tuple; returns false when
+  /// iteration wraps past the end (coords reset to all-zero).
+  bool Next(std::vector<uint64_t>& coords) const;
+
+  std::string ToString() const;
+
+  bool operator==(const TensorShape& other) const {
+    return dims_ == other.dims_;
+  }
+
+ private:
+  std::vector<uint64_t> dims_;
+  std::vector<uint64_t> strides_;
+  uint64_t num_elements_ = 1;
+};
+
+/// \brief Dense row-major array of doubles.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(TensorShape shape)
+      : shape_(std::move(shape)), data_(shape_.num_elements(), 0.0) {}
+  Tensor(TensorShape shape, std::vector<double> data);
+
+  const TensorShape& shape() const { return shape_; }
+  std::span<double> data() { return data_; }
+  std::span<const double> data() const { return data_; }
+  uint64_t size() const { return data_.size(); }
+
+  double operator[](uint64_t flat) const { return data_[flat]; }
+  double& operator[](uint64_t flat) { return data_[flat]; }
+
+  double At(std::span<const uint64_t> coords) const {
+    return data_[shape_.FlatIndex(coords)];
+  }
+  double& At(std::span<const uint64_t> coords) {
+    return data_[shape_.FlatIndex(coords)];
+  }
+
+  /// \brief Fills with a constant.
+  void Fill(double value);
+
+  /// \brief Extracts the axis-`dim` fiber through the point `base` (whose
+  /// dim-th coordinate is ignored) into `out` (size = extent of `dim`).
+  void GatherFiber(uint32_t dim, std::span<const uint64_t> base,
+                   std::span<double> out) const;
+
+  /// \brief Writes a fiber back; inverse of GatherFiber.
+  void ScatterFiber(uint32_t dim, std::span<const uint64_t> base,
+                    std::span<const double> in);
+
+ private:
+  TensorShape shape_;
+  std::vector<double> data_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_WAVELET_TENSOR_H_

@@ -1,0 +1,72 @@
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+namespace shiftsplit {
+
+WaveletCoord CoordOfIndex(uint32_t n, uint64_t index) {
+  WaveletCoord c;
+  if (index == 0) {
+    c.is_scaling = true;
+    c.level = n;
+    c.pos = 0;
+    return c;
+  }
+  const uint32_t row = Log2(index);        // n - j
+  c.is_scaling = false;
+  c.level = n - row;
+  c.pos = index - (uint64_t{1} << row);
+  return c;
+}
+
+DyadicInterval SupportOfIndex(uint32_t n, uint64_t index) {
+  const WaveletCoord c = CoordOfIndex(n, index);
+  return DyadicInterval{c.level, c.pos};
+}
+
+std::vector<uint64_t> PathToRoot(uint32_t n, uint64_t t) {
+  std::vector<uint64_t> path;
+  path.reserve(n + 1);
+  path.push_back(0);
+  for (uint32_t j = n; j >= 1; --j) {
+    path.push_back(DetailIndex(n, j, t >> j));
+  }
+  return path;
+}
+
+int ReconstructionSign(uint32_t n, uint64_t index, uint64_t t) {
+  if (index == 0) return 1;
+  const WaveletCoord c = CoordOfIndex(n, index);
+  const DyadicInterval support{c.level, c.pos};
+  if (!support.Contains(t)) return 0;
+  // Left half of the support -> +, right half -> -.
+  return ((t >> (c.level - 1)) & 1u) == 0 ? 1 : -1;
+}
+
+Result<uint64_t> UnshiftIndex(uint32_t n, uint32_t m, uint64_t chunk_k,
+                              uint64_t global_index) {
+  if (global_index == 0) {
+    return Status::InvalidArgument("scaling root is never shifted");
+  }
+  const WaveletCoord c = CoordOfIndex(n, global_index);
+  if (c.level > m) {
+    return Status::OutOfRange("coefficient level above the chunk");
+  }
+  const uint64_t first = chunk_k << (m - c.level);
+  const uint64_t count = uint64_t{1} << (m - c.level);
+  if (c.pos < first || c.pos >= first + count) {
+    return Status::OutOfRange("coefficient support outside the chunk");
+  }
+  return DetailIndex(m, c.level, c.pos - first);
+}
+
+std::vector<uint64_t> SplitTargetIndices(uint32_t n, uint32_t m,
+                                         uint64_t chunk_k) {
+  std::vector<uint64_t> targets;
+  targets.reserve(n - m + 1);
+  for (uint32_t j = m + 1; j <= n; ++j) {
+    targets.push_back(DetailIndex(n, j, chunk_k >> (j - m)));
+  }
+  targets.push_back(0);
+  return targets;
+}
+
+}  // namespace shiftsplit

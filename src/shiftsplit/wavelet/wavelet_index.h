@@ -1,0 +1,101 @@
+// Index algebra of the 1-d Haar wavelet tree (paper §2).
+//
+// A transformed vector of size N = 2^n is addressed by a flat index:
+//   index 0            -> the overall scaling coefficient u_{n,0}
+//   index 2^(n-j) + k  -> the detail coefficient w_{j,k},  j in [1,n],
+//                         k in [0, 2^(n-j))
+//
+// This file provides conversions between flat indices and (level, position)
+// coordinates, tree navigation (parent/children/path-to-root), support
+// intervals, and the SHIFT index translation of §4.
+
+#ifndef SHIFTSPLIT_WAVELET_WAVELET_INDEX_H_
+#define SHIFTSPLIT_WAVELET_WAVELET_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+
+/// \brief Coordinates of a coefficient in the wavelet tree.
+struct WaveletCoord {
+  bool is_scaling = false;  ///< True for u_{n,0} (flat index 0).
+  uint32_t level = 0;       ///< j (meaningful for details; n for the scaling).
+  uint64_t pos = 0;         ///< k within the level.
+
+  bool operator==(const WaveletCoord&) const = default;
+};
+
+/// \brief Flat index of the detail coefficient w_{j,k} in a transform of
+/// size 2^n.
+constexpr uint64_t DetailIndex(uint32_t n, uint32_t level, uint64_t pos) {
+  return (uint64_t{1} << (n - level)) + pos;
+}
+
+/// \brief Decodes a flat index into tree coordinates.
+WaveletCoord CoordOfIndex(uint32_t n, uint64_t index);
+
+/// \brief Support interval (paper Property 1) of the coefficient at `index`:
+/// the dyadic interval [k*2^j, (k+1)*2^j - 1].
+DyadicInterval SupportOfIndex(uint32_t n, uint64_t index);
+
+/// \brief Flat index of the parent of the detail at `index` in the wavelet
+/// tree; the parent of w_{n,0} (index 1) is the scaling root (index 0).
+/// Index 0 has no parent (returns 0).
+constexpr uint64_t ParentIndex(uint64_t index) { return index >> 1; }
+
+/// \brief Flat indices of the two children of the detail at `index`
+/// (index >= 1; details at level 1 have data values as children, for which
+/// this returns indices >= N — callers must check).
+constexpr uint64_t LeftChildIndex(uint64_t index) { return index << 1; }
+constexpr uint64_t RightChildIndex(uint64_t index) { return (index << 1) + 1; }
+
+/// \brief Flat indices of the n+1 coefficients needed to reconstruct data
+/// point `t` (Lemma 1): the scaling root plus one detail per level.
+///
+/// Returned root-first: {0, w_{n, t/2^n}, ..., w_{1, t/2}}.
+std::vector<uint64_t> PathToRoot(uint32_t n, uint64_t t);
+
+/// \brief The sign with which the detail coefficient at `index` contributes
+/// to the reconstruction of data point `t`: +1 if t lies in the left half of
+/// the coefficient's support, -1 in the right half, 0 if outside. The scaling
+/// root (index 0) always contributes +1.
+int ReconstructionSign(uint32_t n, uint64_t index, uint64_t t);
+
+/// \brief SHIFT index translation (paper §4): maps the flat index of a detail
+/// coefficient of the transform of the (k+1)-th dyadic sub-range of size 2^m
+/// to its flat index in the transform of the whole vector of size 2^n.
+///
+/// For local detail w^b_{j,i} (local flat index 2^(m-j) + i) the global
+/// coefficient is w^a_{j, k*2^(m-j) + i}. `local_index` must be >= 1 (the
+/// local scaling coefficient is not shifted — it is SPLIT).
+constexpr uint64_t ShiftIndex(uint32_t n, uint32_t m, uint64_t chunk_k,
+                              uint64_t local_index) {
+  // local_index = 2^(m-j) + i. The power-of-two part identifies the level.
+  const uint64_t level_base = uint64_t{1} << Log2(local_index);  // 2^(m-j)
+  const uint64_t i = local_index - level_base;
+  // Global index = 2^(n-j) + chunk_k * 2^(m-j) + i
+  //             = level_base * (2^(n-m) + chunk_k) + i.
+  return level_base * ((uint64_t{1} << (n - m)) + chunk_k) + i;
+}
+
+/// \brief Inverse of ShiftIndex: given a global detail index that lies inside
+/// the shifted image of chunk `chunk_k` (size 2^m of 2^n), returns the local
+/// index. Returns an error if the global coefficient's support is not
+/// contained in the chunk.
+Result<uint64_t> UnshiftIndex(uint32_t n, uint32_t m, uint64_t chunk_k,
+                              uint64_t global_index);
+
+/// \brief The flat indices (in the transform of size 2^n) of the n-m detail
+/// coefficients receiving SPLIT contributions from the (k+1)-th dyadic range
+/// of size 2^m, ordered from level m+1 up to level n, followed by index 0
+/// (the overall average). Total n-m+1 entries.
+std::vector<uint64_t> SplitTargetIndices(uint32_t n, uint32_t m,
+                                         uint64_t chunk_k);
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_WAVELET_WAVELET_INDEX_H_

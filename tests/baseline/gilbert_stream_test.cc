@@ -1,0 +1,81 @@
+#include "shiftsplit/baseline/gilbert_stream.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "shiftsplit/wavelet/haar.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::RandomVector;
+
+TEST(GilbertStreamTest, KeepAllEqualsDirectTransform) {
+  const uint32_t n = 8;
+  for (Normalization norm :
+       {Normalization::kAverage, Normalization::kOrthonormal}) {
+    auto data = RandomVector(1u << n, 81);
+    GilbertStreamSynopsis stream(n, 1u << n, norm);
+    for (double x : data) ASSERT_OK(stream.Push(x));
+    ASSERT_OK(stream.Finish());
+
+    auto transformed = data;
+    ASSERT_OK(ForwardHaar1D(transformed, norm));
+    std::map<uint64_t, double> synopsis;
+    for (const auto& [k, v] : stream.synopsis().Extract()) synopsis[k] = v;
+    ASSERT_EQ(synopsis.size(), transformed.size());
+    for (const auto& [key, value] : synopsis) {
+      EXPECT_NEAR(value, transformed[key], 1e-9);
+    }
+  }
+}
+
+TEST(GilbertStreamTest, PerItemCostIsLogN) {
+  const uint32_t n = 12;
+  GilbertStreamSynopsis stream(n, 4);
+  auto data = RandomVector(1u << n, 82);
+  for (double x : data) ASSERT_OK(stream.Push(x));
+  EXPECT_EQ(stream.coeff_touches(), (uint64_t{1} << n) * (n + 1));
+}
+
+TEST(GilbertStreamTest, OpenSetIsTheCrest) {
+  const uint32_t n = 10;
+  GilbertStreamSynopsis stream(n, 4);
+  for (int i = 0; i < 700; ++i) {
+    ASSERT_OK(stream.Push(1.0));
+    EXPECT_LE(stream.open_coefficients(), n + 1);
+  }
+}
+
+TEST(GilbertStreamTest, PartialStreamFinalizesCleanly) {
+  // Finishing mid-domain finalizes the crest; all finalized coefficients
+  // equal the transform of the zero-padded stream.
+  const uint32_t n = 4;
+  auto data = RandomVector(10, 83);
+  GilbertStreamSynopsis stream(n, 1u << n);
+  for (double x : data) ASSERT_OK(stream.Push(x));
+  ASSERT_OK(stream.Finish());
+
+  std::vector<double> padded(1u << n, 0.0);
+  std::copy(data.begin(), data.end(), padded.begin());
+  ASSERT_OK(ForwardHaar1D(padded, Normalization::kOrthonormal));
+  for (const auto& [key, value] : stream.synopsis().Extract()) {
+    EXPECT_NEAR(value, padded[key], 1e-9) << "coefficient " << key;
+  }
+}
+
+TEST(GilbertStreamTest, RejectsOverflowAndPushAfterFinish) {
+  GilbertStreamSynopsis stream(2, 4);
+  for (int i = 0; i < 4; ++i) ASSERT_OK(stream.Push(1.0));
+  EXPECT_EQ(stream.Push(1.0).code(), StatusCode::kOutOfRange);
+  ASSERT_OK(stream.Finish());
+  GilbertStreamSynopsis stream2(4, 4);
+  ASSERT_OK(stream2.Push(1.0));
+  ASSERT_OK(stream2.Finish());
+  EXPECT_FALSE(stream2.Push(1.0).ok());
+}
+
+}  // namespace
+}  // namespace shiftsplit

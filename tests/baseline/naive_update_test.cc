@@ -1,0 +1,134 @@
+#include "shiftsplit/baseline/naive_update.h"
+
+#include <gtest/gtest.h>
+
+#include "shiftsplit/core/md_shift_split.h"
+#include "shiftsplit/core/updater.h"
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "shiftsplit/tile/standard_tiling.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::RandomVector;
+
+struct Bundle {
+  std::unique_ptr<MemoryBlockManager> manager;
+  std::unique_ptr<TiledStore> store;
+};
+
+Bundle MakeBundle(std::vector<uint32_t> log_dims) {
+  Bundle bundle;
+  auto layout = std::make_unique<StandardTiling>(std::move(log_dims), 2);
+  bundle.manager =
+      std::make_unique<MemoryBlockManager>(layout->block_capacity());
+  auto r = TiledStore::Create(std::move(layout), bundle.manager.get(), 64);
+  EXPECT_TRUE(r.ok());
+  bundle.store = std::move(r).value();
+  return bundle;
+}
+
+TEST(ForwardPointWeightTest, MatchesTransformOfUnitImpulse) {
+  const uint32_t n = 5;
+  for (Normalization norm :
+       {Normalization::kAverage, Normalization::kOrthonormal}) {
+    for (uint64_t t : {uint64_t{0}, uint64_t{13}, uint64_t{31}}) {
+      std::vector<double> impulse(1u << n, 0.0);
+      impulse[t] = 1.0;
+      ASSERT_OK(ForwardHaar1D(impulse, norm));
+      for (uint64_t idx = 0; idx < impulse.size(); ++idx) {
+        EXPECT_NEAR(ForwardPointWeight(n, idx, t, norm), impulse[idx], 1e-12)
+            << "idx=" << idx << " t=" << t;
+      }
+    }
+  }
+}
+
+TEST(NaivePointUpdateTest, MatchesRetransform2D) {
+  const std::vector<uint32_t> log_dims{3, 3};
+  const Normalization norm = Normalization::kAverage;
+  Tensor data(TensorShape({8, 8}), RandomVector(64, 61));
+  Bundle bundle = MakeBundle(log_dims);
+  std::vector<uint64_t> zero(2, 0);
+  ASSERT_OK(ApplyChunkStandard(data, zero, log_dims, bundle.store.get(),
+                               norm));
+
+  std::vector<uint64_t> point{5, 2};
+  ASSERT_OK(NaivePointUpdate(bundle.store.get(), log_dims, point, 3.5, norm));
+
+  Tensor updated = data;
+  updated.At(point) += 3.5;
+  ASSERT_OK(ForwardStandard(&updated, norm));
+  std::vector<uint64_t> address(2, 0);
+  do {
+    ASSERT_OK_AND_ASSIGN(const double v, bundle.store->Get(address));
+    // Redundant scaling slots are not maintained by the naive baseline; the
+    // primary coefficients must all match.
+    ASSERT_NEAR(v, updated.At(address), 1e-9);
+  } while (updated.shape().Next(address));
+}
+
+TEST(NaiveRangeUpdateTest, AgreesWithBatchUpdaterOnPrimaries) {
+  const std::vector<uint32_t> log_dims{4, 4};
+  const Normalization norm = Normalization::kOrthonormal;
+  Tensor deltas(TensorShape({4, 4}), RandomVector(16, 62));
+  std::vector<uint64_t> origin{4, 8};
+
+  Bundle naive = MakeBundle(log_dims);
+  ASSERT_OK(NaiveRangeUpdate(naive.store.get(), log_dims, deltas, origin,
+                             norm));
+  Bundle batched = MakeBundle(log_dims);
+  ASSERT_OK(UpdateRangeStandard(batched.store.get(), log_dims, deltas, origin,
+                                norm, /*maintain_scaling_slots=*/false));
+
+  std::vector<uint64_t> address(2, 0);
+  do {
+    ASSERT_OK_AND_ASSIGN(const double a, naive.store->Get(address));
+    ASSERT_OK_AND_ASSIGN(const double b, batched.store->Get(address));
+    ASSERT_NEAR(a, b, 1e-9);
+  } while (TensorShape({16, 16}).Next(address));
+}
+
+TEST(NaiveUpdateTest, CostIsLogPerPointVersusBatched) {
+  // Example 2's comparison: M updates cost ~M(log N + 1) naively vs
+  // M + log(N/M) + 1 batched (1-d).
+  const std::vector<uint32_t> log_dims{10};
+  Tensor deltas(TensorShape({16}), RandomVector(16, 63));
+  std::vector<uint64_t> origin{16 * 5};
+
+  Bundle naive = MakeBundle(log_dims);
+  naive.manager->stats().Reset();
+  ASSERT_OK(NaiveRangeUpdate(naive.store.get(), log_dims, deltas, origin,
+                             Normalization::kAverage));
+  const uint64_t naive_writes = naive.manager->stats().coeff_writes;
+
+  Bundle batched = MakeBundle(log_dims);
+  batched.manager->stats().Reset();
+  ASSERT_OK(UpdateRangeStandard(batched.store.get(), log_dims, deltas, origin,
+                                Normalization::kAverage,
+                                /*maintain_scaling_slots=*/false));
+  const uint64_t batched_writes = batched.manager->stats().coeff_writes;
+
+  EXPECT_EQ(naive_writes, 16u * 11u);   // M (log N + 1)
+  EXPECT_EQ(batched_writes, 15u + 7u);  // (M-1) + (log(N/M) + 1)
+  EXPECT_GT(naive_writes, 7u * batched_writes);
+}
+
+TEST(NaiveUpdateTest, ValidatesArguments) {
+  const std::vector<uint32_t> log_dims{3, 3};
+  Bundle bundle = MakeBundle(log_dims);
+  std::vector<uint64_t> bad_point{8, 0};
+  EXPECT_FALSE(NaivePointUpdate(bundle.store.get(), log_dims, bad_point, 1.0,
+                                Normalization::kAverage)
+                   .ok());
+  std::vector<uint64_t> wrong_d{0};
+  EXPECT_FALSE(NaivePointUpdate(bundle.store.get(), log_dims, wrong_d, 1.0,
+                                Normalization::kAverage)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace shiftsplit

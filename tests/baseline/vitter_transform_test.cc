@@ -1,0 +1,105 @@
+#include "shiftsplit/baseline/vitter_transform.h"
+
+#include <gtest/gtest.h>
+
+#include "shiftsplit/core/chunked_transform.h"
+#include "shiftsplit/data/synthetic.h"
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "shiftsplit/tile/naive_tiling.h"
+#include "shiftsplit/tile/standard_tiling.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(VitterTransformTest, MatchesDirectTransform) {
+  auto dataset = MakeUniformDataset(TensorShape({8, 16}), -2.0, 2.0, 51);
+  ASSERT_OK_AND_ASSIGN(Tensor direct, dataset->Materialize());
+  ASSERT_OK(ForwardStandard(&direct, Normalization::kAverage));
+
+  MemoryBlockManager manager(16);
+  ASSERT_OK_AND_ASSIGN(
+      auto store,
+      TiledStore::Create(
+          std::make_unique<NaiveTiling>(std::vector<uint32_t>{3, 4}, 16),
+          &manager, 16));
+  ASSERT_OK_AND_ASSIGN(const TransformResult result,
+                       VitterTransformStandard(dataset.get(), store.get(),
+                                               Normalization::kAverage));
+  EXPECT_EQ(result.cells_read, 128u);
+  std::vector<uint64_t> address(2, 0);
+  do {
+    ASSERT_OK_AND_ASSIGN(const double v, store->Get(address));
+    ASSERT_NEAR(v, direct.At(address), 1e-9);
+  } while (direct.shape().Next(address));
+}
+
+TEST(VitterTransformTest, RequiresNaiveLayout) {
+  auto dataset = MakeUniformDataset(TensorShape({8, 8}), 0.0, 1.0, 52);
+  auto layout =
+      std::make_unique<StandardTiling>(std::vector<uint32_t>{3, 3}, 2);
+  MemoryBlockManager manager(layout->block_capacity());
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       TiledStore::Create(std::move(layout), &manager, 8));
+  EXPECT_FALSE(VitterTransformStandard(dataset.get(), store.get(),
+                                       Normalization::kAverage)
+                   .ok());
+}
+
+TEST(VitterTransformTest, CoefficientIoIsMemoryInsensitive) {
+  // Vitter's coefficient I/O is ~(d+1) reads+writes per cell regardless of
+  // the pool budget — the flat curve of Figure 11.
+  auto run = [&](uint64_t pool_blocks) -> IoStats {
+    auto dataset = MakeUniformDataset(TensorShape({16, 16}), 0.0, 1.0, 53);
+    MemoryBlockManager manager(16);
+    auto store_r = TiledStore::Create(
+        std::make_unique<NaiveTiling>(std::vector<uint32_t>{4, 4}, 16),
+        &manager, pool_blocks);
+    EXPECT_TRUE(store_r.ok());
+    auto store = std::move(store_r).value();
+    auto result = VitterTransformStandard(dataset.get(), store.get(),
+                                          Normalization::kAverage);
+    EXPECT_TRUE(result.ok());
+    return result->store_io;
+  };
+  const IoStats small = run(2);
+  const IoStats large = run(64);
+  EXPECT_EQ(small.total_coeffs(), large.total_coeffs());
+  // 256 materialize writes + 2 dims x (256 reads + 256 writes).
+  EXPECT_EQ(small.total_coeffs(), 256u + 2u * 512u);
+  // Block I/O, however, grows when the pool is starved.
+  EXPECT_GT(small.total_blocks(), large.total_blocks());
+}
+
+TEST(VitterTransformTest, ShiftSplitBeatsVitterOnCoefficientIo) {
+  // The Table 2 relationship, measured.
+  const std::vector<uint32_t> log_dims{5, 5};
+  auto dataset1 = MakeUniformDataset(TensorShape({32, 32}), 0.0, 1.0, 54);
+  MemoryBlockManager vitter_manager(16);
+  auto vitter_store_r = TiledStore::Create(
+      std::make_unique<NaiveTiling>(log_dims, 16), &vitter_manager, 32);
+  ASSERT_TRUE(vitter_store_r.ok());
+  auto vitter_store = std::move(vitter_store_r).value();
+  ASSERT_OK_AND_ASSIGN(
+      const TransformResult vitter,
+      VitterTransformStandard(dataset1.get(), vitter_store.get(),
+                              Normalization::kAverage));
+
+  auto dataset2 = MakeUniformDataset(TensorShape({32, 32}), 0.0, 1.0, 54);
+  auto ss_layout = std::make_unique<StandardTiling>(log_dims, 2);
+  MemoryBlockManager ss_manager(ss_layout->block_capacity());
+  auto ss_store_r = TiledStore::Create(std::move(ss_layout), &ss_manager, 32);
+  ASSERT_TRUE(ss_store_r.ok());
+  auto ss_store = std::move(ss_store_r).value();
+  TransformOptions options;
+  options.maintain_scaling_slots = false;
+  ASSERT_OK_AND_ASSIGN(
+      const TransformResult ss,
+      TransformDatasetStandard(dataset2.get(), 3, ss_store.get(), options));
+
+  EXPECT_LT(ss.store_io.total_coeffs(), vitter.store_io.total_coeffs());
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,145 @@
+#include "shiftsplit/core/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shiftsplit/core/reconstruct.h"
+#include "shiftsplit/data/synthetic.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+// Brute-force aggregates over the generator.
+AggregateCube::RangeAggregates Brute(FunctionDataset* dataset,
+                                     std::span<const uint64_t> lo,
+                                     std::span<const uint64_t> hi) {
+  AggregateCube::RangeAggregates out;
+  std::vector<uint64_t> c(lo.begin(), lo.end());
+  for (;;) {
+    const double v = dataset->Cell(c);
+    ++out.count;
+    out.sum += v;
+    out.sum_squares += v * v;
+    size_t i = c.size();
+    bool advanced = false;
+    while (i-- > 0) {
+      if (++c[i] <= hi[i]) {
+        advanced = true;
+        break;
+      }
+      c[i] = lo[i];
+    }
+    if (!advanced) break;
+  }
+  const double n = static_cast<double>(out.count);
+  out.average = out.sum / n;
+  out.variance = out.sum_squares / n - out.average * out.average;
+  out.stddev = std::sqrt(std::max(0.0, out.variance));
+  return out;
+}
+
+class AggregateCubeTest : public ::testing::TestWithParam<Normalization> {};
+
+TEST_P(AggregateCubeTest, MatchesBruteForce) {
+  auto dataset = MakeUniformDataset(TensorShape({16, 16}), -3.0, 3.0, 61);
+  AggregateCube::Options options;
+  options.norm = GetParam();
+  ASSERT_OK_AND_ASSIGN(auto cube,
+                       AggregateCube::Build(dataset.get(), options));
+  const std::vector<std::pair<std::vector<uint64_t>, std::vector<uint64_t>>>
+      boxes = {{{0, 0}, {15, 15}},
+               {{3, 5}, {12, 9}},
+               {{7, 7}, {7, 7}},
+               {{0, 8}, {15, 8}}};
+  for (const auto& [lo, hi] : boxes) {
+    ASSERT_OK_AND_ASSIGN(const auto got, cube->Query(lo, hi));
+    const auto want = Brute(dataset.get(), lo, hi);
+    EXPECT_EQ(got.count, want.count);
+    EXPECT_NEAR(got.sum, want.sum, 1e-7);
+    EXPECT_NEAR(got.sum_squares, want.sum_squares, 1e-7);
+    EXPECT_NEAR(got.average, want.average, 1e-8);
+    EXPECT_NEAR(got.variance, want.variance, 1e-8);
+    EXPECT_NEAR(got.stddev, want.stddev, 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Norms, AggregateCubeTest,
+                         ::testing::Values(Normalization::kAverage,
+                                           Normalization::kOrthonormal));
+
+TEST(AggregateCubeTest, QueryCostIsLogarithmic) {
+  auto dataset = MakeUniformDataset(TensorShape({256, 256}), 0.0, 1.0, 62);
+  AggregateCube::Options options;
+  options.log_chunk = 5;
+  ASSERT_OK_AND_ASSIGN(auto cube,
+                       AggregateCube::Build(dataset.get(), options));
+  const IoStats before = cube->stats();
+  std::vector<uint64_t> lo{13, 77}, hi{201, 190};
+  ASSERT_OK(cube->Query(lo, hi).status());
+  const IoStats delta = cube->stats() - before;
+  // Both stores together: at most 2 (2 log N + 1)^d coefficient reads.
+  EXPECT_LE(delta.coeff_reads, 2u * (2u * 8 + 1) * (2u * 8 + 1));
+}
+
+TEST(AggregateCubeTest, UpdateKeepsBothTransformsConsistent) {
+  auto dataset = MakeUniformDataset(TensorShape({16, 16}), 0.0, 2.0, 63);
+  AggregateCube::Options options;
+  ASSERT_OK_AND_ASSIGN(auto cube,
+                       AggregateCube::Build(dataset.get(), options));
+
+  // Add deltas to the dyadic box [4,8) x [12,16).
+  std::vector<uint32_t> box_log{2, 2};
+  std::vector<uint64_t> box_pos{1, 3};
+  ASSERT_OK_AND_ASSIGN(
+      Tensor old_values,
+      ReconstructDyadicStandard(cube->values(), cube->log_dims(), box_log,
+                                box_pos, Normalization::kAverage));
+  Tensor deltas(TensorShape({4, 4}), testing::RandomVector(16, 64));
+  ASSERT_OK(cube->UpdateDyadic(deltas, old_values, box_pos));
+
+  // Aggregates over a box straddling the update match recomputation.
+  std::vector<uint64_t> lo{2, 10}, hi{9, 15};
+  ASSERT_OK_AND_ASSIGN(const auto got, cube->Query(lo, hi));
+  AggregateCube::RangeAggregates want;
+  std::vector<uint64_t> c(2);
+  for (c[0] = lo[0]; c[0] <= hi[0]; ++c[0]) {
+    for (c[1] = lo[1]; c[1] <= hi[1]; ++c[1]) {
+      double v = dataset->Cell(c);
+      if (c[0] >= 4 && c[0] < 8 && c[1] >= 12) {
+        std::vector<uint64_t> local{c[0] - 4, c[1] - 12};
+        v += deltas.At(local);
+      }
+      ++want.count;
+      want.sum += v;
+      want.sum_squares += v * v;
+    }
+  }
+  EXPECT_EQ(got.count, want.count);
+  EXPECT_NEAR(got.sum, want.sum, 1e-7);
+  EXPECT_NEAR(got.sum_squares, want.sum_squares, 1e-7);
+}
+
+TEST(AggregateCubeTest, UpdateValidatesShapes) {
+  auto dataset = MakeUniformDataset(TensorShape({8, 8}), 0.0, 1.0, 65);
+  ASSERT_OK_AND_ASSIGN(auto cube, AggregateCube::Build(dataset.get(), {}));
+  Tensor deltas(TensorShape({2, 2}));
+  Tensor wrong(TensorShape({4, 2}));
+  std::vector<uint64_t> pos{0, 0};
+  EXPECT_FALSE(cube->UpdateDyadic(deltas, wrong, pos).ok());
+}
+
+TEST(AggregateCubeTest, VarianceOfConstantIsZero) {
+  TensorShape shape({8, 8});
+  FunctionDataset constant(shape,
+                           [](std::span<const uint64_t>) { return 2.5; });
+  ASSERT_OK_AND_ASSIGN(auto cube, AggregateCube::Build(&constant, {}));
+  std::vector<uint64_t> lo{1, 2}, hi{6, 7};
+  ASSERT_OK_AND_ASSIGN(const auto got, cube->Query(lo, hi));
+  EXPECT_NEAR(got.average, 2.5, 1e-10);
+  EXPECT_NEAR(got.variance, 0.0, 1e-10);
+}
+
+}  // namespace
+}  // namespace shiftsplit

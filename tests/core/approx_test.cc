@@ -1,0 +1,193 @@
+#include "shiftsplit/core/approx.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shiftsplit/core/md_shift_split.h"
+#include "shiftsplit/data/synthetic.h"
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "shiftsplit/tile/standard_tiling.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::RandomVector;
+
+struct Bundle {
+  std::unique_ptr<MemoryBlockManager> manager;
+  std::unique_ptr<TiledStore> store;
+  Tensor data;
+};
+
+Bundle Loaded(std::vector<uint32_t> log_dims, Normalization norm,
+              uint64_t seed) {
+  Bundle bundle;
+  std::vector<uint64_t> dims;
+  for (uint32_t n : log_dims) dims.push_back(uint64_t{1} << n);
+  TensorShape shape(dims);
+  bundle.data = Tensor(shape, RandomVector(shape.num_elements(), seed));
+  auto layout = std::make_unique<StandardTiling>(log_dims, 2);
+  bundle.manager =
+      std::make_unique<MemoryBlockManager>(layout->block_capacity());
+  auto r = TiledStore::Create(std::move(layout), bundle.manager.get(), 256);
+  EXPECT_TRUE(r.ok());
+  bundle.store = std::move(r).value();
+  std::vector<uint64_t> zero(log_dims.size(), 0);
+  EXPECT_OK(ApplyChunkStandard(bundle.data, zero, log_dims,
+                               bundle.store.get(), norm));
+  return bundle;
+}
+
+class CompressedSynopsisTest : public ::testing::TestWithParam<Normalization> {
+};
+
+TEST_P(CompressedSynopsisTest, KeepAllIsExact) {
+  const Normalization norm = GetParam();
+  const std::vector<uint32_t> log_dims{3, 4};
+  Bundle bundle = Loaded(log_dims, norm, 7);
+  ASSERT_OK_AND_ASSIGN(
+      const CompressedSynopsis synopsis,
+      CompressedSynopsis::Build(bundle.store.get(), log_dims, 128, norm));
+  EXPECT_EQ(synopsis.size(), 128u);
+  EXPECT_NEAR(synopsis.energy_fraction(), 1.0, 1e-12);
+  std::vector<uint64_t> point(2, 0);
+  do {
+    ASSERT_NEAR(synopsis.PointEstimate(point), bundle.data.At(point), 1e-9);
+  } while (bundle.data.shape().Next(point));
+  std::vector<uint64_t> lo{1, 3}, hi{6, 12};
+  double brute = 0.0;
+  for (uint64_t x = lo[0]; x <= hi[0]; ++x) {
+    for (uint64_t y = lo[1]; y <= hi[1]; ++y) {
+      std::vector<uint64_t> cell{x, y};
+      brute += bundle.data.At(cell);
+    }
+  }
+  EXPECT_NEAR(synopsis.RangeSumEstimate(lo, hi), brute, 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Norms, CompressedSynopsisTest,
+                         ::testing::Values(Normalization::kAverage,
+                                           Normalization::kOrthonormal));
+
+TEST(CompressedSynopsisTest, ErrorDecreasesWithK) {
+  // On compressible data the reconstruction error drops as K grows.
+  auto dataset = MakeSmoothDataset(TensorShape({32, 32}), 5);
+  auto materialized = dataset->Materialize();
+  ASSERT_TRUE(materialized.ok());
+  Tensor data = std::move(*materialized);
+  Tensor transformed = data;
+  ASSERT_OK(ForwardStandard(&transformed, Normalization::kOrthonormal));
+
+  double previous_sse = -1.0;
+  for (uint64_t k : {4u, 16u, 64u, 256u}) {
+    const CompressedSynopsis synopsis = CompressedSynopsis::FromTensor(
+        transformed, k, Normalization::kOrthonormal);
+    double sse = 0.0;
+    std::vector<uint64_t> point(2, 0);
+    do {
+      const double e = synopsis.PointEstimate(point) - data.At(point);
+      sse += e * e;
+    } while (data.shape().Next(point));
+    if (previous_sse >= 0.0) {
+      EXPECT_LE(sse, previous_sse);
+    }
+    previous_sse = sse;
+  }
+  // 256 of 1024 terms: residual below 2% of the signal energy.
+  double energy = 0.0;
+  for (double x : data.data()) energy += x * x;
+  EXPECT_LT(previous_sse, 0.02 * energy);
+}
+
+TEST(CompressedSynopsisTest, AverageNormRanksByTrueEnergy) {
+  // With the kAverage normalization, raw magnitudes are biased towards fine
+  // levels; the synopsis must rank by the orthonormal-rescaled magnitude.
+  // Build the same synopsis under both normalizations of the same data and
+  // check they capture the same energy fraction.
+  auto dataset = MakeSmoothDataset(TensorShape({16, 16}), 6);
+  auto materialized = dataset->Materialize();
+  ASSERT_TRUE(materialized.ok());
+  Tensor data = std::move(*materialized);
+  Tensor avg = data, on = data;
+  ASSERT_OK(ForwardStandard(&avg, Normalization::kAverage));
+  ASSERT_OK(ForwardStandard(&on, Normalization::kOrthonormal));
+  const uint64_t k = 24;
+  const CompressedSynopsis from_avg =
+      CompressedSynopsis::FromTensor(avg, k, Normalization::kAverage);
+  const CompressedSynopsis from_on =
+      CompressedSynopsis::FromTensor(on, k, Normalization::kOrthonormal);
+  EXPECT_NEAR(from_avg.energy_fraction(), from_on.energy_fraction(), 1e-9);
+}
+
+TEST(CompressedSynopsisTest, RangeErrorBoundIsGuaranteed) {
+  // The Cauchy-Schwarz/Parseval bound must dominate the actual error for
+  // every box and every K.
+  const std::vector<uint32_t> log_dims{4, 4};
+  Bundle bundle = Loaded(log_dims, Normalization::kOrthonormal, 9);
+  Xoshiro256 rng(10);
+  for (uint64_t k : {4u, 16u, 64u, 250u}) {
+    ASSERT_OK_AND_ASSIGN(
+        const CompressedSynopsis synopsis,
+        CompressedSynopsis::Build(bundle.store.get(), log_dims, k,
+                                  Normalization::kOrthonormal));
+    for (int trial = 0; trial < 20; ++trial) {
+      std::vector<uint64_t> lo(2), hi(2);
+      for (uint32_t i = 0; i < 2; ++i) {
+        const uint64_t a = rng.NextBounded(16), b = rng.NextBounded(16);
+        lo[i] = std::min(a, b);
+        hi[i] = std::max(a, b);
+      }
+      double exact = 0.0;
+      std::vector<uint64_t> c(2);
+      for (c[0] = lo[0]; c[0] <= hi[0]; ++c[0]) {
+        for (c[1] = lo[1]; c[1] <= hi[1]; ++c[1]) {
+          exact += bundle.data.At(c);
+        }
+      }
+      const double estimate = synopsis.RangeSumEstimate(lo, hi);
+      EXPECT_LE(std::abs(estimate - exact),
+                synopsis.RangeSumErrorBound(lo, hi) + 1e-9)
+          << "k=" << k << " box (" << lo[0] << "," << lo[1] << ")-("
+          << hi[0] << "," << hi[1] << ")";
+    }
+  }
+}
+
+TEST(CompressedSynopsisTest, FullSynopsisHasZeroErrorBound) {
+  const std::vector<uint32_t> log_dims{3, 3};
+  Bundle bundle = Loaded(log_dims, Normalization::kAverage, 11);
+  ASSERT_OK_AND_ASSIGN(
+      const CompressedSynopsis synopsis,
+      CompressedSynopsis::Build(bundle.store.get(), log_dims, 64,
+                                Normalization::kAverage));
+  std::vector<uint64_t> lo{0, 0}, hi{7, 7};
+  EXPECT_NEAR(synopsis.RangeSumErrorBound(lo, hi), 0.0, 1e-6);
+}
+
+TEST(CompressedSynopsisTest, EstimatesDegradeGracefully) {
+  const std::vector<uint32_t> log_dims{4, 4};
+  Bundle bundle = Loaded(log_dims, Normalization::kOrthonormal, 8);
+  ASSERT_OK_AND_ASSIGN(const CompressedSynopsis synopsis,
+                       CompressedSynopsis::Build(bundle.store.get(), log_dims,
+                                                 32,
+                                                 Normalization::kOrthonormal));
+  EXPECT_EQ(synopsis.size(), 32u);
+  EXPECT_GT(synopsis.energy_fraction(), 0.1);
+  EXPECT_LT(synopsis.energy_fraction(), 1.0);
+  // The range estimate of the full domain equals the root-driven sum and
+  // stays within a loose bound of the truth.
+  std::vector<uint64_t> lo{0, 0}, hi{15, 15};
+  double brute = 0.0;
+  std::vector<uint64_t> c(2, 0);
+  do {
+    brute += bundle.data.At(c);
+  } while (bundle.data.shape().Next(c));
+  EXPECT_NEAR(synopsis.RangeSumEstimate(lo, hi), brute,
+              std::abs(brute) * 0.8 + 32.0);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,188 @@
+#include "shiftsplit/core/md_stream_synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "shiftsplit/util/bitops.h"
+#include "shiftsplit/util/morton.h"
+#include "shiftsplit/wavelet/nonstandard_transform.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::RandomVector;
+
+std::map<uint64_t, double> FullMap(const TopKSynopsis& synopsis) {
+  std::map<uint64_t, double> out;
+  for (const auto& [key, value] : synopsis.Extract()) out[key] = value;
+  return out;
+}
+
+TEST(StandardStreamSynopsisTest, KeepAllEqualsDirectTransform) {
+  // 2-d stream: constant dim of 4, time growing; 6 slabs of thickness 2.
+  const std::vector<uint32_t> const_dims{2};
+  const uint32_t m = 1;
+  const uint64_t kSlabs = 6;
+  const Normalization norm = Normalization::kAverage;
+
+  StandardStreamSynopsis stream(const_dims, m, /*k=*/1u << 12, norm);
+  Tensor full(TensorShape({4, 16}));  // final time capacity: 16 (padded)
+  for (uint64_t s = 0; s < kSlabs; ++s) {
+    Tensor slab(TensorShape({4, 2}),
+                RandomVector(8, 100 + s));
+    std::vector<uint64_t> c(2, 0);
+    do {
+      std::vector<uint64_t> cell{c[0], s * 2 + c[1]};
+      full.At(cell) = slab.At(c);
+    } while (slab.shape().Next(c));
+    ASSERT_OK(stream.Push(slab));
+  }
+  ASSERT_OK(stream.Finish());
+  EXPECT_EQ(stream.log_t(), 4u);  // 6 slabs * 2 = 12 -> capacity 16
+
+  Tensor direct = full;
+  ASSERT_OK(ForwardStandard(&direct, norm));
+  const auto synopsis = FullMap(stream.synopsis());
+  // Every tuple of the direct transform must be present with its value.
+  std::vector<uint64_t> address(2, 0);
+  uint64_t checked = 0;
+  do {
+    const WaveletCoord wc = CoordOfIndex(4, address[1]);
+    const uint64_t key = stream.EncodeKey(wc.is_scaling ? 0 : wc.level,
+                                          wc.is_scaling ? 0 : wc.pos,
+                                          address[0]);
+    auto it = synopsis.find(key);
+    if (it == synopsis.end()) {
+      // Coefficients whose time support lies entirely in the unseen tail
+      // (positions 12..15) were never created; they must be zero.
+      EXPECT_NEAR(direct.At(address), 0.0, 1e-9) << "missing tuple";
+    } else {
+      EXPECT_NEAR(it->second, direct.At(address), 1e-9);
+      ++checked;
+    }
+  } while (direct.shape().Next(address));
+  // 4 const cells x (16 time coefficients - 3 unseen: (1,6),(1,7),(2,3)).
+  EXPECT_EQ(checked, 4u * 13u);
+  EXPECT_EQ(synopsis.size(), 4u * 13u);
+}
+
+TEST(StandardStreamSynopsisTest, OpenSetIsConstCellsTimesLogT) {
+  const std::vector<uint32_t> const_dims{3};  // 8 constant cells
+  StandardStreamSynopsis stream(const_dims, /*m=*/0, /*k=*/4);
+  for (uint64_t s = 0; s < 64; ++s) {
+    Tensor slab(TensorShape({8, 1}), RandomVector(8, s));
+    ASSERT_OK(stream.Push(slab));
+    // Result 4's bound: open <= N^(d-1) * (log T + 1).
+    EXPECT_LE(stream.open_coefficients(),
+              8u * (stream.log_t() + 1));
+  }
+  EXPECT_EQ(stream.log_t(), 6u);
+}
+
+TEST(StandardStreamSynopsisTest, RejectsBadSlabs) {
+  StandardStreamSynopsis stream({2}, 1, 4);
+  Tensor wrong_thickness(TensorShape({4, 4}));
+  EXPECT_FALSE(stream.Push(wrong_thickness).ok());
+  Tensor wrong_const(TensorShape({8, 2}));
+  EXPECT_FALSE(stream.Push(wrong_const).ok());
+  Tensor wrong_ndim(TensorShape({4}));
+  EXPECT_FALSE(stream.Push(wrong_ndim).ok());
+}
+
+TEST(NonstandardStreamSynopsisTest, KeepAllEqualsDirectTransforms) {
+  // Cubes of 8x8 arriving as 2x2 sub-cubes in z-order; 3 cubes.
+  const uint32_t d = 2, n = 3, m = 1;
+  const uint64_t kCubes = 3;
+  const Normalization norm = Normalization::kAverage;
+  NonstandardStreamSynopsis stream(d, n, m, /*k=*/1u << 12, norm);
+
+  std::vector<Tensor> cubes;
+  TensorShape cube_shape = TensorShape::Cube(d, 8);
+  TensorShape sub_shape = TensorShape::Cube(d, 2);
+  for (uint64_t t = 0; t < kCubes; ++t) {
+    cubes.emplace_back(cube_shape,
+                       RandomVector(cube_shape.num_elements(), 200 + t));
+    for (uint64_t z = 0; z < 16; ++z) {
+      const auto pos = MortonDecode(z, d, n - m);
+      Tensor sub(sub_shape);
+      std::vector<uint64_t> local(d, 0);
+      do {
+        std::vector<uint64_t> cell{pos[0] * 2 + local[0],
+                                   pos[1] * 2 + local[1]};
+        sub.At(local) = cubes[t].At(cell);
+      } while (sub_shape.Next(local));
+      ASSERT_OK(stream.Push(sub));
+    }
+  }
+  ASSERT_OK(stream.Finish());
+  EXPECT_EQ(stream.cubes_completed(), kCubes);
+
+  const auto synopsis = FullMap(stream.synopsis());
+  // In-cube coefficients match each cube's direct non-standard transform.
+  std::vector<double> averages;
+  for (uint64_t t = 0; t < kCubes; ++t) {
+    Tensor direct = cubes[t];
+    ASSERT_OK(ForwardNonstandard(&direct, norm));
+    averages.push_back(direct[0]);
+    std::vector<uint64_t> address(d, 0);
+    do {
+      bool is_root = true;
+      for (uint64_t c : address) is_root = is_root && (c == 0);
+      if (is_root) continue;
+      const uint64_t key =
+          stream.EncodeCubeKey(t, cube_shape.FlatIndex(address));
+      auto it = synopsis.find(key);
+      ASSERT_NE(it, synopsis.end());
+      EXPECT_NEAR(it->second, direct.At(address), 1e-9);
+    } while (cube_shape.Next(address));
+  }
+  // Time-tree coefficients match the 1-d transform of the cube averages
+  // (padded to the power-of-two capacity).
+  const uint32_t log_t = 2;  // 3 cubes -> capacity 4
+  std::vector<double> time_data(1u << log_t, 0.0);
+  std::copy(averages.begin(), averages.end(), time_data.begin());
+  ASSERT_OK(ForwardHaar1D(time_data, norm));
+  for (uint64_t idx = 0; idx < time_data.size(); ++idx) {
+    const WaveletCoord wc = CoordOfIndex(log_t, idx);
+    const uint64_t key = stream.EncodeTimeKey(wc.is_scaling ? 0 : wc.level,
+                                              wc.is_scaling ? 0 : wc.pos);
+    auto it = synopsis.find(key);
+    ASSERT_NE(it, synopsis.end()) << "missing time coefficient " << idx;
+    EXPECT_NEAR(it->second, time_data[idx], 1e-9);
+  }
+}
+
+TEST(NonstandardStreamSynopsisTest, OpenSetMatchesResult5Bound) {
+  const uint32_t d = 2, n = 5, m = 1;
+  NonstandardStreamSynopsis stream(d, n, m, 4);
+  TensorShape sub_shape = TensorShape::Cube(d, 2);
+  const uint64_t kSubcubes = 1u << (d * (n - m));
+  for (uint64_t cube = 0; cube < 2; ++cube) {
+    for (uint64_t z = 0; z < kSubcubes; ++z) {
+      Tensor sub(sub_shape, RandomVector(4, cube * kSubcubes + z));
+      ASSERT_OK(stream.Push(sub));
+      // (2^d - 1) log(N/M) + cube root + log T + time root.
+      EXPECT_LE(stream.open_coefficients(),
+                3u * (n - m) + 1u + 40u /* generous log T */);
+    }
+  }
+  EXPECT_EQ(stream.cubes_completed(), 2u);
+}
+
+TEST(NonstandardStreamSynopsisTest, RejectsBadSubcubesAndEarlyFinish) {
+  NonstandardStreamSynopsis stream(2, 3, 1, 4);
+  Tensor wrong_shape(TensorShape({2, 4}));
+  EXPECT_FALSE(stream.Push(wrong_shape).ok());
+  Tensor wrong_edge(TensorShape::Cube(2, 4));
+  EXPECT_FALSE(stream.Push(wrong_edge).ok());
+  Tensor ok_sub(TensorShape::Cube(2, 2));
+  ASSERT_OK(stream.Push(ok_sub));
+  EXPECT_EQ(stream.Finish().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,176 @@
+#include "shiftsplit/core/reconstruct.h"
+
+#include <gtest/gtest.h>
+
+#include "shiftsplit/core/md_shift_split.h"
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "shiftsplit/tile/nonstandard_tiling.h"
+#include "shiftsplit/tile/standard_tiling.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::RandomVector;
+
+Tensor RandomTensor(TensorShape shape, uint64_t seed) {
+  auto v = RandomVector(shape.num_elements(), seed);
+  return Tensor(std::move(shape), std::move(v));
+}
+
+struct Bundle {
+  std::unique_ptr<MemoryBlockManager> manager;
+  std::unique_ptr<TiledStore> store;
+  Tensor data;
+};
+
+Bundle LoadedStandard(std::vector<uint32_t> log_dims, Normalization norm,
+                      uint64_t seed, uint32_t b = 2) {
+  Bundle bundle;
+  std::vector<uint64_t> dims;
+  for (uint32_t n : log_dims) dims.push_back(uint64_t{1} << n);
+  bundle.data = RandomTensor(TensorShape(dims), seed);
+  auto layout = std::make_unique<StandardTiling>(log_dims, b);
+  bundle.manager =
+      std::make_unique<MemoryBlockManager>(layout->block_capacity());
+  auto r = TiledStore::Create(std::move(layout), bundle.manager.get(), 256);
+  EXPECT_TRUE(r.ok());
+  bundle.store = std::move(r).value();
+  std::vector<uint64_t> zero(log_dims.size(), 0);
+  EXPECT_OK(ApplyChunkStandard(bundle.data, zero, log_dims,
+                               bundle.store.get(), norm));
+  return bundle;
+}
+
+Bundle LoadedNonstandard(uint32_t d, uint32_t n, Normalization norm,
+                         uint64_t seed, uint32_t b = 2) {
+  Bundle bundle;
+  bundle.data = RandomTensor(TensorShape::Cube(d, uint64_t{1} << n), seed);
+  auto layout = std::make_unique<NonstandardTiling>(d, n, b);
+  bundle.manager =
+      std::make_unique<MemoryBlockManager>(layout->block_capacity());
+  auto r = TiledStore::Create(std::move(layout), bundle.manager.get(), 256);
+  EXPECT_TRUE(r.ok());
+  bundle.store = std::move(r).value();
+  std::vector<uint64_t> zero(d, 0);
+  EXPECT_OK(ApplyChunkNonstandard(bundle.data, zero, n, bundle.store.get(),
+                                  norm));
+  return bundle;
+}
+
+class ReconstructTest : public ::testing::TestWithParam<Normalization> {};
+
+TEST_P(ReconstructTest, DyadicStandardRecoversEveryBox) {
+  const Normalization norm = GetParam();
+  const std::vector<uint32_t> log_dims{4, 3};
+  Bundle bundle = LoadedStandard(log_dims, norm, 11);
+  for (uint32_t m0 : {0u, 1u, 2u, 4u}) {
+    for (uint32_t m1 : {0u, 2u, 3u}) {
+      const uint64_t p0 = (uint64_t{1} << (4 - m0)) - 1;
+      const uint64_t p1 = (uint64_t{1} << (3 - m1)) / 2;
+      std::vector<uint32_t> range_log{m0, m1};
+      std::vector<uint64_t> range_pos{p0, p1};
+      ASSERT_OK_AND_ASSIGN(
+          Tensor box, ReconstructDyadicStandard(bundle.store.get(), log_dims,
+                                                range_log, range_pos, norm));
+      std::vector<uint64_t> local(2, 0), cell(2);
+      do {
+        cell[0] = (p0 << m0) + local[0];
+        cell[1] = (p1 << m1) + local[1];
+        ASSERT_NEAR(box.At(local), bundle.data.At(cell), 1e-9)
+            << "m0=" << m0 << " m1=" << m1;
+      } while (box.shape().Next(local));
+    }
+  }
+}
+
+TEST_P(ReconstructTest, DyadicNonstandardRecoversEveryCube) {
+  const Normalization norm = GetParam();
+  const uint32_t d = 2, n = 4;
+  Bundle bundle = LoadedNonstandard(d, n, norm, 12);
+  for (uint32_t m : {0u, 1u, 2u, 4u}) {
+    const uint64_t grid = uint64_t{1} << (n - m);
+    std::vector<uint64_t> range_pos{grid - 1, grid / 2};
+    ASSERT_OK_AND_ASSIGN(
+        Tensor box, ReconstructDyadicNonstandard(bundle.store.get(), n, m,
+                                                 range_pos, norm));
+    std::vector<uint64_t> local(d, 0), cell(d);
+    do {
+      cell[0] = (range_pos[0] << m) + local[0];
+      cell[1] = (range_pos[1] << m) + local[1];
+      ASSERT_NEAR(box.At(local), bundle.data.At(cell), 1e-9) << "m=" << m;
+    } while (box.shape().Next(local));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Norms, ReconstructTest,
+                         ::testing::Values(Normalization::kAverage,
+                                           Normalization::kOrthonormal));
+
+TEST(ReconstructTest, ArbitraryRangeStandard) {
+  const std::vector<uint32_t> log_dims{4, 4};
+  Bundle bundle = LoadedStandard(log_dims, Normalization::kAverage, 13);
+  std::vector<uint64_t> lo{3, 5};
+  std::vector<uint64_t> hi{11, 9};
+  ASSERT_OK_AND_ASSIGN(
+      Tensor box, ReconstructRangeStandard(bundle.store.get(), log_dims, lo,
+                                           hi, Normalization::kAverage));
+  for (uint64_t x = lo[0]; x <= hi[0]; ++x) {
+    for (uint64_t y = lo[1]; y <= hi[1]; ++y) {
+      std::vector<uint64_t> local{x - lo[0], y - lo[1]};
+      std::vector<uint64_t> cell{x, y};
+      ASSERT_NEAR(box.At(local), bundle.data.At(cell), 1e-9);
+    }
+  }
+}
+
+TEST(ReconstructTest, Result6IoCost) {
+  // Result 6: reconstructing a dyadic range of size M from a 1-d transform
+  // costs M + log(N/M) coefficient reads (standard form, d=1).
+  const std::vector<uint32_t> log_dims{10};
+  Bundle bundle = LoadedStandard(log_dims, Normalization::kAverage, 14, 3);
+  bundle.manager->stats().Reset();
+  std::vector<uint32_t> range_log{4};
+  std::vector<uint64_t> range_pos{17};
+  ASSERT_OK(ReconstructDyadicStandard(bundle.store.get(), log_dims, range_log,
+                                      range_pos, Normalization::kAverage)
+                .status());
+  // 15 shifted details + local scaling from 6 covering details + root = 22.
+  EXPECT_EQ(bundle.manager->stats().coeff_reads, 22u);
+}
+
+TEST(ReconstructTest, NonstandardIoCostMatchesResult6) {
+  const uint32_t d = 2, n = 5;
+  Bundle bundle = LoadedNonstandard(d, n, Normalization::kAverage, 15);
+  bundle.manager->stats().Reset();
+  const uint32_t m = 2;
+  std::vector<uint64_t> range_pos{3, 3};
+  ASSERT_OK(ReconstructDyadicNonstandard(bundle.store.get(), n, m, range_pos,
+                                         Normalization::kAverage)
+                .status());
+  // M^d - 1 details + (2^d - 1)(n - m) path details + root = 15 + 9 + 1.
+  EXPECT_EQ(bundle.manager->stats().coeff_reads, 25u);
+}
+
+TEST(ReconstructTest, ValidatesArguments) {
+  const std::vector<uint32_t> log_dims{3, 3};
+  Bundle bundle = LoadedStandard(log_dims, Normalization::kAverage, 16);
+  std::vector<uint32_t> too_big{4, 0};
+  std::vector<uint64_t> pos{0, 0};
+  EXPECT_FALSE(ReconstructDyadicStandard(bundle.store.get(), log_dims,
+                                         too_big, pos,
+                                         Normalization::kAverage)
+                   .ok());
+  std::vector<uint32_t> ok_log{2, 2};
+  std::vector<uint64_t> bad_pos{2, 0};
+  EXPECT_FALSE(ReconstructDyadicStandard(bundle.store.get(), log_dims, ok_log,
+                                         bad_pos, Normalization::kAverage)
+                   .ok());
+  std::vector<uint64_t> lo{5, 0}, hi{3, 7};
+  EXPECT_FALSE(ReconstructRangeStandard(bundle.store.get(), log_dims, lo, hi,
+                                        Normalization::kAverage)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace shiftsplit

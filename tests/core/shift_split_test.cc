@@ -1,0 +1,312 @@
+#include "shiftsplit/core/shift_split.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "shiftsplit/tile/naive_tiling.h"
+#include "shiftsplit/tile/tree_tiling.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::ExpectNear;
+using testing::RandomVector;
+
+TEST(Split1DTest, ContributionsMatchBruteForce) {
+  // A vector that is zero outside one dyadic chunk: the full transform's
+  // above-chunk coefficients must equal the SPLIT contributions exactly
+  // (paper Example 1).
+  const uint32_t n = 6, m = 3;
+  for (Normalization norm :
+       {Normalization::kAverage, Normalization::kOrthonormal}) {
+    for (uint64_t k = 0; k < 8; ++k) {
+      std::vector<double> data(1u << n, 0.0);
+      auto chunk = RandomVector(1u << m, 100 + k);
+      std::copy(chunk.begin(), chunk.end(), data.begin() + (k << m));
+      ASSERT_OK(ForwardHaar1D(data, norm));
+
+      auto local = chunk;
+      ASSERT_OK(ForwardHaar1D(local, norm));
+      const auto contributions = Split1D(n, m, k, local[0], norm);
+      ASSERT_EQ(contributions.size(), n - m + 1);
+      for (const auto& c : contributions) {
+        EXPECT_NEAR(c.delta, data[c.index], 1e-10)
+            << "norm=" << NormalizationToString(norm) << " k=" << k
+            << " index=" << c.index;
+      }
+    }
+  }
+}
+
+TEST(Split1DTest, SignAlternatesWithPosition) {
+  // Chunk in the left half of its parent contributes positively.
+  const auto left = Split1D(3, 2, 0, 1.0, Normalization::kAverage);
+  const auto right = Split1D(3, 2, 1, 1.0, Normalization::kAverage);
+  ASSERT_EQ(left.size(), 2u);
+  EXPECT_GT(left[0].delta, 0.0);
+  EXPECT_LT(right[0].delta, 0.0);
+  // Both contribute the same (positive) amount to the overall average.
+  EXPECT_DOUBLE_EQ(left[1].delta, right[1].delta);
+  EXPECT_DOUBLE_EQ(left[1].delta, 0.5);
+}
+
+TEST(Split1DTest, MagnitudeDecaysGeometrically) {
+  const auto cs = Split1D(8, 2, 0, 1.0, Normalization::kAverage);
+  for (size_t i = 0; i + 2 < cs.size(); ++i) {
+    EXPECT_NEAR(std::abs(cs[i + 1].delta), std::abs(cs[i].delta) / 2, 1e-12);
+  }
+  const auto co = Split1D(8, 2, 0, 1.0, Normalization::kOrthonormal);
+  for (size_t i = 0; i + 2 < co.size(); ++i) {
+    EXPECT_NEAR(std::abs(co[i + 1].delta),
+                std::abs(co[i].delta) / std::sqrt(2.0), 1e-12);
+  }
+}
+
+TEST(ScalingExpansionTest, ReconstructsIntermediateScalings) {
+  const uint32_t m = 5;
+  for (Normalization norm :
+       {Normalization::kAverage, Normalization::kOrthonormal}) {
+    auto data = RandomVector(1u << m, 7);
+    std::vector<std::vector<double>> pyramid;
+    std::vector<double> transform;
+    ASSERT_OK(HaarPyramid(data, norm, &pyramid, &transform));
+    for (uint32_t level = 0; level <= m; ++level) {
+      for (uint64_t pos = 0; pos < (uint64_t{1} << (m - level)); ++pos) {
+        const auto expansion = ScalingExpansion(m, level, pos, norm);
+        double value = 0.0;
+        for (const auto& [idx, w] : expansion) value += w * transform[idx];
+        EXPECT_NEAR(value, pyramid[level][pos], 1e-10)
+            << "level=" << level << " pos=" << pos;
+      }
+    }
+  }
+}
+
+TEST(HaarPyramidTest, TransformMatchesForwardHaarAndLevelsAreAverages) {
+  auto data = RandomVector(64, 3);
+  std::vector<std::vector<double>> pyramid;
+  std::vector<double> transform;
+  ASSERT_OK(HaarPyramid(data, Normalization::kAverage, &pyramid, &transform));
+  auto expected = data;
+  ASSERT_OK(ForwardHaar1D(expected, Normalization::kAverage));
+  ExpectNear(expected, transform, 1e-12);
+  ASSERT_EQ(pyramid.size(), 7u);
+  // pyramid[j][k] is the plain average of data over [k*2^j, (k+1)*2^j).
+  for (uint32_t j = 0; j <= 6; ++j) {
+    for (uint64_t k = 0; k < (64u >> j); ++k) {
+      double sum = 0.0;
+      for (uint64_t i = 0; i < (1u << j); ++i) sum += data[(k << j) + i];
+      EXPECT_NEAR(pyramid[j][k], sum / (1u << j), 1e-12);
+    }
+  }
+}
+
+TEST(HaarPyramidTest, RejectsNonPowerOfTwo) {
+  std::vector<double> data(5, 0.0);
+  std::vector<std::vector<double>> pyramid;
+  std::vector<double> transform;
+  EXPECT_FALSE(
+      HaarPyramid(data, Normalization::kAverage, &pyramid, &transform).ok());
+}
+
+class ApplyChunk1DTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t,
+                                                 Normalization>> {};
+
+TEST_P(ApplyChunk1DTest, AllChunksReproduceDirectTransform) {
+  const auto [n, m, norm] = GetParam();
+  const auto data = RandomVector(1u << n, n * 10 + m);
+  auto expected = data;
+  ASSERT_OK(ForwardHaar1D(expected, norm));
+
+  std::vector<double> built(1u << n, 0.0);
+  for (uint64_t k = 0; k < (uint64_t{1} << (n - m)); ++k) {
+    std::vector<double> chunk(data.begin() + (k << m),
+                              data.begin() + ((k + 1) << m));
+    ASSERT_OK(ForwardHaar1D(chunk, norm));
+    ASSERT_OK(ApplyChunk1D(chunk, n, k, built, norm));
+  }
+  ExpectNear(expected, built, 1e-9);
+}
+
+TEST_P(ApplyChunk1DTest, UpdateModeAppliesDeltas) {
+  // Paper Example 2: transform of (data + delta in one chunk) equals the
+  // stored transform after an update-mode apply of the delta chunk.
+  const auto [n, m, norm] = GetParam();
+  if (m == n) return;  // position 1 used below needs n > m
+  const auto data = RandomVector(1u << n, 5);
+  auto transformed = data;
+  ASSERT_OK(ForwardHaar1D(transformed, norm));
+
+  const uint64_t k = 1;
+  auto delta = RandomVector(1u << m, 6);
+  auto updated = data;
+  for (uint64_t i = 0; i < delta.size(); ++i) updated[(k << m) + i] += delta[i];
+  ASSERT_OK(ForwardHaar1D(updated, norm));
+
+  auto delta_t = delta;
+  ASSERT_OK(ForwardHaar1D(delta_t, norm));
+  ASSERT_OK(ApplyChunk1D(delta_t, n, k, transformed, norm,
+                         ApplyMode::kUpdate));
+  ExpectNear(updated, transformed, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndNorms, ApplyChunk1DTest,
+    ::testing::Combine(::testing::Values(4u, 6u, 8u),
+                       ::testing::Values(0u, 1u, 2u, 4u),
+                       ::testing::Values(Normalization::kAverage,
+                                         Normalization::kOrthonormal)));
+
+TEST(ApplyChunk1DTest, ValidatesArguments) {
+  std::vector<double> chunk(4, 0.0), global(16, 0.0), odd(5, 0.0);
+  EXPECT_FALSE(ApplyChunk1D(odd, 4, 0, global, Normalization::kAverage).ok());
+  EXPECT_FALSE(
+      ApplyChunk1D(global, 2, 0, chunk, Normalization::kAverage).ok());
+  EXPECT_FALSE(
+      ApplyChunk1D(chunk, 4, 4, global, Normalization::kAverage).ok());
+}
+
+class StoreApply1DTest : public ::testing::TestWithParam<Normalization> {};
+
+TEST_P(StoreApply1DTest, ChunkedConstructionMatchesDirectTransform) {
+  const Normalization norm = GetParam();
+  const uint32_t n = 6, m = 2, b = 2;
+  const auto data = RandomVector(1u << n, 11);
+  auto expected = data;
+  ASSERT_OK(ForwardHaar1D(expected, norm));
+
+  MemoryBlockManager manager(uint64_t{1} << b);
+  ASSERT_OK_AND_ASSIGN(
+      auto store, TiledStore::Create(std::make_unique<TreeTilingLayout>(n, b),
+                                     &manager, 4));
+  for (uint64_t k = 0; k < (uint64_t{1} << (n - m)); ++k) {
+    ASSERT_OK(TransformAndApplyChunk1D(
+        std::span<const double>(data.data() + (k << m), uint64_t{1} << m), n,
+        k, store.get(), norm));
+  }
+  for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+    std::vector<uint64_t> addr{idx};
+    ASSERT_OK_AND_ASSIGN(const double v, store->Get(addr));
+    EXPECT_NEAR(v, expected[idx], 1e-9) << "index " << idx;
+  }
+}
+
+TEST_P(StoreApply1DTest, ScalingSlotsHoldTrueScalingCoefficients) {
+  const Normalization norm = GetParam();
+  const uint32_t n = 6, m = 2, b = 2;
+  const auto data = RandomVector(1u << n, 12);
+  std::vector<std::vector<double>> pyramid;
+  std::vector<double> transform;
+  ASSERT_OK(HaarPyramid(data, norm, &pyramid, &transform));
+
+  MemoryBlockManager manager(uint64_t{1} << b);
+  auto layout = std::make_unique<TreeTilingLayout>(n, b);
+  const TreeTiling& tiling = layout->tiling();
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       TiledStore::Create(std::move(layout), &manager, 4));
+  for (uint64_t k = 0; k < (uint64_t{1} << (n - m)); ++k) {
+    ASSERT_OK(TransformAndApplyChunk1D(
+        std::span<const double>(data.data() + (k << m), uint64_t{1} << m), n,
+        k, store.get(), norm));
+  }
+  // Band-root levels for n=6, b=2 are 6, 4, 2; level 6 is the primary
+  // overall average, 4 and 2 are redundant slots.
+  for (uint32_t level : {4u, 2u}) {
+    for (uint64_t pos = 0; pos < (uint64_t{1} << (n - level)); ++pos) {
+      ASSERT_OK_AND_ASSIGN(const BlockSlot at,
+                           tiling.LocateScaling(level, pos));
+      ASSERT_OK_AND_ASSIGN(const double v, store->GetAt(at));
+      EXPECT_NEAR(v, pyramid[level][pos], 1e-9)
+          << "level=" << level << " pos=" << pos;
+    }
+  }
+}
+
+TEST_P(StoreApply1DTest, UpdateModeOnStore) {
+  const Normalization norm = GetParam();
+  const uint32_t n = 5, m = 2, b = 2;
+  const auto data = RandomVector(1u << n, 13);
+
+  MemoryBlockManager manager(uint64_t{1} << b);
+  ASSERT_OK_AND_ASSIGN(
+      auto store, TiledStore::Create(std::make_unique<TreeTilingLayout>(n, b),
+                                     &manager, 8));
+  for (uint64_t k = 0; k < (uint64_t{1} << (n - m)); ++k) {
+    ASSERT_OK(TransformAndApplyChunk1D(
+        std::span<const double>(data.data() + (k << m), uint64_t{1} << m), n,
+        k, store.get(), norm));
+  }
+  // Batch-update chunk 3.
+  const auto delta = RandomVector(1u << m, 14);
+  ApplyOptions update;
+  update.mode = ApplyMode::kUpdate;
+  ASSERT_OK(
+      TransformAndApplyChunk1D(delta, n, 3, store.get(), norm, update));
+
+  auto updated = data;
+  for (uint64_t i = 0; i < delta.size(); ++i) updated[(3u << m) + i] += delta[i];
+  ASSERT_OK(ForwardHaar1D(updated, norm));
+  for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+    std::vector<uint64_t> addr{idx};
+    ASSERT_OK_AND_ASSIGN(const double v, store->Get(addr));
+    EXPECT_NEAR(v, updated[idx], 1e-9) << "index " << idx;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Norms, StoreApply1DTest,
+                         ::testing::Values(Normalization::kAverage,
+                                           Normalization::kOrthonormal));
+
+TEST(StoreApply1DTest, WorksOnNaiveLayoutWithoutScalingSlots) {
+  const uint32_t n = 5, m = 2;
+  const auto data = RandomVector(1u << n, 15);
+  auto expected = data;
+  ASSERT_OK(ForwardHaar1D(expected, Normalization::kAverage));
+
+  MemoryBlockManager manager(4);
+  ASSERT_OK_AND_ASSIGN(
+      auto store,
+      TiledStore::Create(
+          std::make_unique<NaiveTiling>(std::vector<uint32_t>{n}, 4), &manager,
+          4));
+  for (uint64_t k = 0; k < (uint64_t{1} << (n - m)); ++k) {
+    ASSERT_OK(TransformAndApplyChunk1D(
+        std::span<const double>(data.data() + (k << m), uint64_t{1} << m), n,
+        k, store.get(), Normalization::kAverage));
+  }
+  for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+    std::vector<uint64_t> addr{idx};
+    ASSERT_OK_AND_ASSIGN(const double v, store->Get(addr));
+    EXPECT_NEAR(v, expected[idx], 1e-9);
+  }
+}
+
+TEST(StoreApply1DTest, BlockIoMatchesTable1) {
+  // Paper Table 1 (1-d): SHIFT touches M/B tiles; SPLIT touches
+  // ~ceil(log(N/M)/log B) tiles. Total distinct tiles per chunk is
+  // M/B + (path above the chunk) and must be far below M + log(N/M).
+  const uint32_t n = 12, m = 6, b = 3;  // N=4096, M=64, B=8
+  MemoryBlockManager manager(uint64_t{1} << b);
+  ASSERT_OK_AND_ASSIGN(
+      auto store, TiledStore::Create(std::make_unique<TreeTilingLayout>(n, b),
+                                     &manager, 64));
+  const auto chunk = RandomVector(1u << m, 16);
+  ASSERT_OK(TransformAndApplyChunk1D(chunk, n, 5, store.get(),
+                                     Normalization::kAverage));
+  ASSERT_OK(store->Flush());
+  // Distinct blocks touched = block misses (fresh pool, no evictions).
+  const uint64_t touched = manager.stats().block_reads;
+  // SHIFT part: the chunk's details occupy rows 6..11 = bands 2,3 -> the
+  // chunk subtree has 1 + 8 = 9 tiles... rows 6..8 (band 2): 1 tile rooted
+  // at row 6; rows 9..11 (band 3): 8 tiles. SPLIT path rows 0..5: bands 0,1
+  // -> 2 tiles. Total 11.
+  EXPECT_EQ(touched, 11u);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,227 @@
+#include "shiftsplit/core/stream_synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "shiftsplit/baseline/gilbert_stream.h"
+#include "shiftsplit/wavelet/haar.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::RandomVector;
+
+// Collects the full coefficient map of a synopsis with K = N (keep all).
+std::map<uint64_t, double> FullMap(const TopKSynopsis& synopsis) {
+  std::map<uint64_t, double> out;
+  for (const auto& [key, value] : synopsis.Extract()) out[key] = value;
+  return out;
+}
+
+class BufferedStreamTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, Normalization>> {};
+
+TEST_P(BufferedStreamTest, KeepAllEqualsDirectTransform) {
+  const auto [b, norm] = GetParam();
+  const uint32_t n = 7;
+  auto data = RandomVector(1u << n, 31 + b);
+  BufferedStreamSynopsis stream(n, 1u << n, b, norm);
+  for (double x : data) ASSERT_OK(stream.Push(x));
+  ASSERT_OK(stream.Finish());
+
+  auto transformed = data;
+  ASSERT_OK(ForwardHaar1D(transformed, norm));
+  const auto synopsis = FullMap(stream.synopsis());
+  ASSERT_EQ(synopsis.size(), transformed.size());
+  for (const auto& [key, value] : synopsis) {
+    EXPECT_NEAR(value, transformed[key], 1e-9) << "coefficient " << key;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    BuffersAndNorms, BufferedStreamTest,
+    ::testing::Combine(::testing::Values(0u, 1u, 3u, 5u, 7u),
+                       ::testing::Values(Normalization::kAverage,
+                                         Normalization::kOrthonormal)));
+
+TEST(BufferedStreamTest, MatchesGilbertBaselineSynopsis) {
+  // Both maintainers compute the same coefficients, so with the same K and
+  // no magnitude ties they retain the same set.
+  const uint32_t n = 9;
+  auto data = RandomVector(1u << n, 41);
+  BufferedStreamSynopsis buffered(n, 20, 4);
+  GilbertStreamSynopsis gilbert(n, 20);
+  for (double x : data) {
+    ASSERT_OK(buffered.Push(x));
+    ASSERT_OK(gilbert.Push(x));
+  }
+  ASSERT_OK(buffered.Finish());
+  ASSERT_OK(gilbert.Finish());
+  // The maintainers sum contributions in different orders, so compare the
+  // retained coefficient sets with a floating-point tolerance.
+  const auto from_buffered = FullMap(buffered.synopsis());
+  const auto from_gilbert = FullMap(gilbert.synopsis());
+  ASSERT_EQ(from_buffered.size(), from_gilbert.size());
+  for (const auto& [key, value] : from_buffered) {
+    auto it = from_gilbert.find(key);
+    ASSERT_NE(it, from_gilbert.end()) << "coefficient " << key;
+    EXPECT_NEAR(value, it->second, 1e-9);
+  }
+}
+
+TEST(BufferedStreamTest, Result3CostReduction) {
+  // Per-item touches: Gilbert ~ log N + 1; buffered ~ 1 + log(N/B)/B.
+  const uint32_t n = 14;
+  const uint64_t kItems = uint64_t{1} << n;
+  auto data = RandomVector(kItems, 42);
+
+  GilbertStreamSynopsis gilbert(n, 10);
+  BufferedStreamSynopsis buffered(n, 10, /*b=*/6);
+  for (double x : data) {
+    ASSERT_OK(gilbert.Push(x));
+    ASSERT_OK(buffered.Push(x));
+  }
+  const double gilbert_per_item =
+      static_cast<double>(gilbert.coeff_touches()) / kItems;
+  const double buffered_per_item =
+      static_cast<double>(buffered.coeff_touches()) / kItems;
+  EXPECT_NEAR(gilbert_per_item, n + 1, 0.01);
+  EXPECT_LT(buffered_per_item, 1.5);
+  EXPECT_GT(gilbert_per_item / buffered_per_item, 8.0);
+}
+
+TEST(BufferedStreamTest, OpenCoefficientsBoundedByCrest) {
+  const uint32_t n = 12, b = 4;
+  BufferedStreamSynopsis stream(n, 8, b);
+  auto data = RandomVector(1u << n, 43);
+  for (double x : data) {
+    ASSERT_OK(stream.Push(x));
+    EXPECT_LE(stream.open_coefficients(), n - b + 1);
+  }
+}
+
+TEST(BufferedStreamTest, RejectsOverflowAndUnalignedFinish) {
+  BufferedStreamSynopsis stream(2, 4, 1);
+  for (int i = 0; i < 4; ++i) ASSERT_OK(stream.Push(1.0));
+  EXPECT_EQ(stream.Push(1.0).code(), StatusCode::kOutOfRange);
+
+  BufferedStreamSynopsis partial(4, 4, 2);
+  ASSERT_OK(partial.Push(1.0));
+  EXPECT_EQ(partial.Finish().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(BufferedStreamTest, PushAfterFinishRejected) {
+  BufferedStreamSynopsis stream(4, 4, 1);
+  ASSERT_OK(stream.Push(1.0));
+  ASSERT_OK(stream.Push(2.0));
+  ASSERT_OK(stream.Finish());
+  EXPECT_FALSE(stream.Push(3.0).ok());
+}
+
+TEST(UnboundedStreamTest, KeepAllEqualsDirectTransformOfGrownDomain) {
+  // 11 buffers of 8 items: the domain expands 8 -> 16 -> 32 -> 64 -> 128;
+  // the final synopsis must equal the transform of the zero-padded stream.
+  const uint32_t b = 3;
+  const uint64_t kItems = 11 * 8;
+  for (Normalization norm :
+       {Normalization::kAverage, Normalization::kOrthonormal}) {
+    auto data = RandomVector(kItems, 51);
+    UnboundedStreamSynopsis stream(1u << 12, b, norm);
+    for (double x : data) ASSERT_OK(stream.Push(x));
+    ASSERT_OK(stream.Finish());
+    EXPECT_EQ(stream.log_n(), 7u);
+
+    std::vector<double> padded(1u << stream.log_n(), 0.0);
+    std::copy(data.begin(), data.end(), padded.begin());
+    ASSERT_OK(ForwardHaar1D(padded, norm));
+    const auto synopsis = FullMap(stream.synopsis());
+    for (uint64_t idx = 0; idx < padded.size(); ++idx) {
+      const WaveletCoord wc = CoordOfIndex(stream.log_n(), idx);
+      const uint64_t key = UnboundedStreamSynopsis::EncodeKey(
+          wc.is_scaling ? 0 : wc.level, wc.is_scaling ? 0 : wc.pos);
+      auto it = synopsis.find(key);
+      if (it == synopsis.end()) {
+        // Coefficients over entirely-unseen data were never created.
+        EXPECT_NEAR(padded[idx], 0.0, 1e-9) << "missing coefficient " << idx;
+      } else {
+        EXPECT_NEAR(it->second, padded[idx], 1e-9) << "coefficient " << idx;
+      }
+    }
+  }
+}
+
+TEST(UnboundedStreamTest, OpenStateStaysLogarithmic) {
+  UnboundedStreamSynopsis stream(8, /*b=*/2);
+  Xoshiro256 rng(52);
+  for (uint64_t i = 0; i < 4096; ++i) {
+    ASSERT_OK(stream.Push(rng.NextGaussian()));
+    // crest <= log(N/B) levels + root.
+    EXPECT_LE(stream.open_coefficients(), stream.log_n() - 2 + 1);
+  }
+  EXPECT_EQ(stream.log_n(), 12u);
+}
+
+TEST(UnboundedStreamTest, MatchesFixedDomainMaintainer) {
+  // On a stream that exactly fills a power-of-two domain, the unbounded
+  // maintainer's synopsis equals the fixed-domain one's (same coefficients,
+  // same K), modulo the key encoding.
+  const uint32_t n = 8, b = 2;
+  auto data = RandomVector(1u << n, 53);
+  BufferedStreamSynopsis fixed(n, 1u << n, b);
+  UnboundedStreamSynopsis unbounded(1u << n, b);
+  for (double x : data) {
+    ASSERT_OK(fixed.Push(x));
+    ASSERT_OK(unbounded.Push(x));
+  }
+  ASSERT_OK(fixed.Finish());
+  ASSERT_OK(unbounded.Finish());
+  ASSERT_EQ(unbounded.log_n(), n);
+  const auto from_fixed = FullMap(fixed.synopsis());
+  const auto from_unbounded = FullMap(unbounded.synopsis());
+  ASSERT_EQ(from_fixed.size(), from_unbounded.size());
+  for (const auto& [flat, value] : from_fixed) {
+    const WaveletCoord wc = CoordOfIndex(n, flat);
+    const uint64_t key = UnboundedStreamSynopsis::EncodeKey(
+        wc.is_scaling ? 0 : wc.level, wc.is_scaling ? 0 : wc.pos);
+    auto it = from_unbounded.find(key);
+    ASSERT_NE(it, from_unbounded.end());
+    EXPECT_NEAR(it->second, value, 1e-9);
+  }
+}
+
+TEST(UnboundedStreamTest, RejectsUnalignedFinishAndPushAfterFinish) {
+  UnboundedStreamSynopsis stream(4, 2);
+  ASSERT_OK(stream.Push(1.0));
+  EXPECT_FALSE(stream.Finish().ok());
+  for (int i = 0; i < 3; ++i) ASSERT_OK(stream.Push(1.0));
+  ASSERT_OK(stream.Finish());
+  EXPECT_FALSE(stream.Push(1.0).ok());
+}
+
+TEST(BufferedStreamTest, TopKIsTrueTopK) {
+  // With the orthonormal normalization the retained set must equal the
+  // offline top-K of the full transform.
+  const uint32_t n = 10;
+  const uint64_t kK = 12;
+  auto data = RandomVector(1u << n, 44);
+  BufferedStreamSynopsis stream(n, kK, 3, Normalization::kOrthonormal);
+  for (double x : data) ASSERT_OK(stream.Push(x));
+  ASSERT_OK(stream.Finish());
+
+  auto transformed = data;
+  ASSERT_OK(ForwardHaar1D(transformed, Normalization::kOrthonormal));
+  std::vector<std::pair<double, uint64_t>> ranked;
+  for (uint64_t i = 0; i < transformed.size(); ++i) {
+    ranked.emplace_back(std::abs(transformed[i]), i);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (uint64_t i = 0; i < kK; ++i) {
+    EXPECT_TRUE(stream.synopsis().Contains(ranked[i].second));
+  }
+}
+
+}  // namespace
+}  // namespace shiftsplit

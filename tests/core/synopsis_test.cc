@@ -1,0 +1,76 @@
+#include "shiftsplit/core/synopsis.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(TopKSynopsisTest, KeepsEverythingBelowCapacity) {
+  TopKSynopsis synopsis(5);
+  EXPECT_TRUE(synopsis.Offer(1, 0.5));
+  EXPECT_TRUE(synopsis.Offer(2, -3.0));
+  EXPECT_TRUE(synopsis.Offer(3, 0.0));
+  EXPECT_EQ(synopsis.size(), 3u);
+  EXPECT_TRUE(synopsis.Contains(2));
+  EXPECT_DOUBLE_EQ(synopsis.ValueOrZero(2), -3.0);
+  EXPECT_DOUBLE_EQ(synopsis.ValueOrZero(99), 0.0);
+  EXPECT_DOUBLE_EQ(synopsis.MinMagnitude(), 0.0);  // not full yet
+}
+
+TEST(TopKSynopsisTest, EvictsSmallestMagnitude) {
+  TopKSynopsis synopsis(2);
+  EXPECT_TRUE(synopsis.Offer(1, 1.0));
+  EXPECT_TRUE(synopsis.Offer(2, -5.0));
+  EXPECT_TRUE(synopsis.Offer(3, 2.0));  // evicts key 1
+  EXPECT_FALSE(synopsis.Contains(1));
+  EXPECT_TRUE(synopsis.Contains(2));
+  EXPECT_TRUE(synopsis.Contains(3));
+  EXPECT_FALSE(synopsis.Offer(4, 1.5));  // too small
+  EXPECT_EQ(synopsis.size(), 2u);
+  EXPECT_DOUBLE_EQ(synopsis.MinMagnitude(), 2.0);
+}
+
+TEST(TopKSynopsisTest, ExtractIsSortedByMagnitude) {
+  TopKSynopsis synopsis(4);
+  synopsis.Offer(10, 1.0);
+  synopsis.Offer(11, -4.0);
+  synopsis.Offer(12, 2.5);
+  synopsis.Offer(13, -0.5);
+  const auto all = synopsis.Extract();
+  ASSERT_EQ(all.size(), 4u);
+  EXPECT_EQ(all[0].first, 11u);
+  EXPECT_EQ(all[1].first, 12u);
+  EXPECT_EQ(all[2].first, 10u);
+  EXPECT_EQ(all[3].first, 13u);
+}
+
+TEST(TopKSynopsisTest, MatchesOfflineTopKOnRandomStream) {
+  const uint64_t kK = 16;
+  TopKSynopsis synopsis(kK);
+  auto values = testing::RandomVector(512, 77);
+  for (uint64_t i = 0; i < values.size(); ++i) synopsis.Offer(i, values[i]);
+  EXPECT_EQ(synopsis.offers(), 512u);
+
+  std::vector<std::pair<double, uint64_t>> ranked;
+  for (uint64_t i = 0; i < values.size(); ++i) {
+    ranked.emplace_back(std::abs(values[i]), i);
+  }
+  std::sort(ranked.rbegin(), ranked.rend());
+  for (uint64_t i = 0; i < kK; ++i) {
+    EXPECT_TRUE(synopsis.Contains(ranked[i].second))
+        << "missing rank-" << i << " coefficient";
+  }
+}
+
+TEST(TopKSynopsisTest, ZeroCapacityKeepsNothing) {
+  TopKSynopsis synopsis(0);
+  EXPECT_FALSE(synopsis.Offer(1, 100.0));
+  EXPECT_EQ(synopsis.size(), 0u);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,207 @@
+#include "shiftsplit/core/updater.h"
+
+#include <gtest/gtest.h>
+
+#include "shiftsplit/core/md_shift_split.h"
+#include "shiftsplit/core/reconstruct.h"
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "shiftsplit/tile/nonstandard_tiling.h"
+#include "shiftsplit/tile/standard_tiling.h"
+#include "shiftsplit/wavelet/nonstandard_transform.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::RandomVector;
+
+Tensor RandomTensor(TensorShape shape, uint64_t seed) {
+  auto v = RandomVector(shape.num_elements(), seed);
+  return Tensor(std::move(shape), std::move(v));
+}
+
+TEST(DyadicCoverTest, CoversExactlyOnce) {
+  for (uint64_t lo = 0; lo < 32; ++lo) {
+    for (uint64_t hi = lo; hi < 32; ++hi) {
+      const auto cover = DyadicCover(lo, hi);
+      std::vector<int> hits(64, 0);
+      for (const auto& iv : cover) {
+        for (uint64_t x = iv.begin(); x <= iv.last(); ++x) hits[x]++;
+      }
+      for (uint64_t x = 0; x < 64; ++x) {
+        EXPECT_EQ(hits[x], (x >= lo && x <= hi) ? 1 : 0)
+            << "lo=" << lo << " hi=" << hi << " x=" << x;
+      }
+      EXPECT_LE(cover.size(), 2u * 6u);
+    }
+  }
+}
+
+TEST(DyadicCoverTest, AlignedRangeIsOneInterval) {
+  const auto cover = DyadicCover(8, 15);
+  ASSERT_EQ(cover.size(), 1u);
+  EXPECT_EQ(cover[0].level, 3u);
+  EXPECT_EQ(cover[0].index, 1u);
+}
+
+struct Bundle {
+  std::unique_ptr<MemoryBlockManager> manager;
+  std::unique_ptr<TiledStore> store;
+};
+
+Bundle StandardBundle(std::vector<uint32_t> log_dims, uint32_t b = 2) {
+  Bundle bundle;
+  auto layout = std::make_unique<StandardTiling>(std::move(log_dims), b);
+  bundle.manager =
+      std::make_unique<MemoryBlockManager>(layout->block_capacity());
+  auto r = TiledStore::Create(std::move(layout), bundle.manager.get(), 64);
+  EXPECT_TRUE(r.ok());
+  bundle.store = std::move(r).value();
+  return bundle;
+}
+
+// Builds a store holding the transform of `data`.
+void Load(TiledStore* store, const Tensor& data,
+          std::span<const uint32_t> log_dims, Normalization norm) {
+  std::vector<uint64_t> zero(data.shape().ndim(), 0);
+  ASSERT_OK(ApplyChunkStandard(data, zero, log_dims, store, norm));
+}
+
+TEST(UpdaterTest, UnalignedRangeUpdateMatchesRetransform) {
+  const std::vector<uint32_t> log_dims{4, 4};
+  const Normalization norm = Normalization::kAverage;
+  Tensor data = RandomTensor(TensorShape({16, 16}), 1);
+  auto bundle = StandardBundle(log_dims);
+  Load(bundle.store.get(), data, log_dims, norm);
+
+  // An 8x4 delta box anchored at the unaligned origin (3, 5).
+  Tensor deltas = RandomTensor(TensorShape({8, 4}), 2);
+  std::vector<uint64_t> origin{3, 5};
+  ASSERT_OK(UpdateRangeStandard(bundle.store.get(), log_dims, deltas, origin,
+                                norm));
+
+  Tensor updated = data;
+  std::vector<uint64_t> local(2, 0), cell(2);
+  do {
+    cell[0] = origin[0] + local[0];
+    cell[1] = origin[1] + local[1];
+    updated.At(cell) += deltas.At(local);
+  } while (deltas.shape().Next(local));
+  ASSERT_OK(ForwardStandard(&updated, norm));
+
+  std::vector<uint64_t> address(2, 0);
+  do {
+    ASSERT_OK_AND_ASSIGN(const double v, bundle.store->Get(address));
+    ASSERT_NEAR(v, updated.At(address), 1e-9);
+  } while (updated.shape().Next(address));
+}
+
+TEST(UpdaterTest, DyadicUpdateTouchesFewCoefficients) {
+  const std::vector<uint32_t> log_dims{6};
+  auto bundle = StandardBundle(log_dims, 2);
+  Tensor deltas = RandomTensor(TensorShape({8}), 3);
+  std::vector<uint64_t> pos{3};
+  bundle.manager->stats().Reset();
+  ASSERT_OK(UpdateDyadicStandard(bundle.store.get(), log_dims, deltas, pos,
+                                 Normalization::kAverage,
+                                 /*maintain_scaling_slots=*/false));
+  // Example 2: M - 1 shifted + (n - m + 1) split = 7 + 4 writes.
+  EXPECT_EQ(bundle.manager->stats().coeff_writes, 11u);
+}
+
+TEST(UpdaterTest, NonstandardDyadicUpdate) {
+  const uint32_t d = 2, n = 3;
+  const Normalization norm = Normalization::kOrthonormal;
+  Tensor data = RandomTensor(TensorShape::Cube(d, 8), 4);
+  auto layout = std::make_unique<NonstandardTiling>(d, n, 2);
+  MemoryBlockManager manager(layout->block_capacity());
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       TiledStore::Create(std::move(layout), &manager, 32));
+  std::vector<uint64_t> zero(d, 0);
+  ASSERT_OK(ApplyChunkNonstandard(data, zero, n, store.get(), norm));
+
+  Tensor deltas = RandomTensor(TensorShape::Cube(d, 2), 5);
+  std::vector<uint64_t> pos{1, 3};
+  ASSERT_OK(UpdateDyadicNonstandard(store.get(), n, deltas, pos, norm));
+
+  Tensor updated = data;
+  std::vector<uint64_t> local(d, 0), cell(d);
+  do {
+    cell[0] = pos[0] * 2 + local[0];
+    cell[1] = pos[1] * 2 + local[1];
+    updated.At(cell) += deltas.At(local);
+  } while (deltas.shape().Next(local));
+  ASSERT_OK(ForwardNonstandard(&updated, norm));
+
+  std::vector<uint64_t> address(d, 0);
+  do {
+    ASSERT_OK_AND_ASSIGN(const double v, store->Get(address));
+    ASSERT_NEAR(v, updated.At(address), 1e-9);
+  } while (updated.shape().Next(address));
+}
+
+TEST(UpdaterTest, UnalignedNonstandardRangeUpdateMatchesRetransform) {
+  const uint32_t d = 2, n = 4;
+  const Normalization norm = Normalization::kAverage;
+  Tensor data = RandomTensor(TensorShape::Cube(d, 16), 6);
+  auto layout = std::make_unique<NonstandardTiling>(d, n, 2);
+  MemoryBlockManager manager(layout->block_capacity());
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       TiledStore::Create(std::move(layout), &manager, 128));
+  std::vector<uint64_t> zero(d, 0);
+  ASSERT_OK(ApplyChunkNonstandard(data, zero, n, store.get(), norm));
+
+  // An 8x4 delta box at the unaligned origin (3, 9).
+  Tensor deltas = RandomTensor(TensorShape({8, 4}), 7);
+  std::vector<uint64_t> origin{3, 9};
+  ASSERT_OK(UpdateRangeNonstandard(store.get(), n, deltas, origin, norm));
+
+  Tensor updated = data;
+  std::vector<uint64_t> local(2, 0), cell(2);
+  do {
+    cell[0] = origin[0] + local[0];
+    cell[1] = origin[1] + local[1];
+    updated.At(cell) += deltas.At(local);
+  } while (deltas.shape().Next(local));
+  ASSERT_OK(ForwardNonstandard(&updated, norm));
+
+  std::vector<uint64_t> address(2, 0);
+  do {
+    ASSERT_OK_AND_ASSIGN(const double v, store->Get(address));
+    ASSERT_NEAR(v, updated.At(address), 1e-9);
+  } while (updated.shape().Next(address));
+}
+
+TEST(UpdaterTest, NonstandardRangeUpdateValidates) {
+  auto layout = std::make_unique<NonstandardTiling>(2, 3, 2);
+  MemoryBlockManager manager(layout->block_capacity());
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       TiledStore::Create(std::move(layout), &manager, 8));
+  Tensor deltas(TensorShape({4, 4}));
+  std::vector<uint64_t> beyond{6, 0};
+  EXPECT_FALSE(UpdateRangeNonstandard(store.get(), 3, deltas, beyond,
+                                      Normalization::kAverage)
+                   .ok());
+  std::vector<uint64_t> wrong_d{0};
+  EXPECT_FALSE(UpdateRangeNonstandard(store.get(), 3, deltas, wrong_d,
+                                      Normalization::kAverage)
+                   .ok());
+}
+
+TEST(UpdaterTest, ValidatesBounds) {
+  const std::vector<uint32_t> log_dims{3, 3};
+  auto bundle = StandardBundle(log_dims);
+  Tensor deltas(TensorShape({4, 4}));
+  std::vector<uint64_t> bad_origin{6, 0};  // 6 + 4 > 8
+  EXPECT_FALSE(UpdateRangeStandard(bundle.store.get(), log_dims, deltas,
+                                   bad_origin, Normalization::kAverage)
+                   .ok());
+  std::vector<uint64_t> wrong_d{0};
+  EXPECT_FALSE(UpdateRangeStandard(bundle.store.get(), log_dims, deltas,
+                                   wrong_d, Normalization::kAverage)
+                   .ok());
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,125 @@
+#include "shiftsplit/core/wavelet_cube.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+
+#include "shiftsplit/data/synthetic.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+class WaveletCubeTest : public ::testing::TestWithParam<StoreForm> {};
+
+TEST_P(WaveletCubeTest, FullLifecycleInMemory) {
+  const StoreForm form = GetParam();
+  auto dataset = MakeUniformDataset(TensorShape({16, 16}), -2.0, 2.0, 71);
+
+  WaveletCube::Options options;
+  options.form = form;
+  ASSERT_OK_AND_ASSIGN(auto cube,
+                       WaveletCube::CreateInMemory({4, 4}, options));
+  ASSERT_OK(cube->Ingest(dataset.get(), 2));
+
+  // Point queries.
+  Xoshiro256 rng(72);
+  for (int i = 0; i < 30; ++i) {
+    std::vector<uint64_t> p{rng.NextBounded(16), rng.NextBounded(16)};
+    ASSERT_OK_AND_ASSIGN(const double v, cube->PointQuery(p));
+    ASSERT_NEAR(v, dataset->Cell(p), 1e-9);
+  }
+
+  // Range sum.
+  std::vector<uint64_t> lo{3, 5}, hi{11, 14};
+  double brute = 0.0;
+  std::vector<uint64_t> c(2);
+  for (c[0] = lo[0]; c[0] <= hi[0]; ++c[0]) {
+    for (c[1] = lo[1]; c[1] <= hi[1]; ++c[1]) brute += dataset->Cell(c);
+  }
+  ASSERT_OK_AND_ASSIGN(const double sum, cube->RangeSum(lo, hi));
+  EXPECT_NEAR(sum, brute, 1e-8);
+
+  // Update an unaligned box and re-check.
+  Tensor deltas(TensorShape({4, 2}));
+  deltas.Fill(0.5);
+  std::vector<uint64_t> origin{5, 9};
+  ASSERT_OK(cube->Update(deltas, origin));
+  std::vector<uint64_t> probe{6, 10};
+  ASSERT_OK_AND_ASSIGN(const double updated, cube->PointQuery(probe));
+  EXPECT_NEAR(updated, dataset->Cell(probe) + 0.5, 1e-9);
+
+  // Extract a box and verify cell-by-cell.
+  std::vector<uint64_t> elo{4, 8}, ehi{9, 12};
+  ASSERT_OK_AND_ASSIGN(Tensor box, cube->Extract(elo, ehi));
+  for (uint64_t x = elo[0]; x <= ehi[0]; ++x) {
+    for (uint64_t y = elo[1]; y <= ehi[1]; ++y) {
+      std::vector<uint64_t> local{x - elo[0], y - elo[1]};
+      std::vector<uint64_t> cell{x, y};
+      double expected = dataset->Cell(cell);
+      if (x >= 5 && x < 9 && y >= 9 && y < 11) expected += 0.5;
+      ASSERT_NEAR(box.At(local), expected, 1e-9) << x << "," << y;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Forms, WaveletCubeTest,
+                         ::testing::Values(StoreForm::kStandard,
+                                           StoreForm::kNonstandard));
+
+TEST(WaveletCubeTest, OnDiskRoundTrip) {
+  namespace fs = std::filesystem;
+  const std::string dir =
+      (fs::temp_directory_path() /
+       ("shiftsplit_cube_" + std::to_string(::getpid())))
+          .string();
+  fs::remove_all(dir);
+  auto dataset = MakeSmoothDataset(TensorShape({8, 16}), 73);
+  {
+    WaveletCube::Options options;
+    options.b = 3;
+    options.norm = Normalization::kOrthonormal;
+    ASSERT_OK_AND_ASSIGN(auto cube,
+                         WaveletCube::CreateOnDisk(dir, {3, 4}, options));
+    ASSERT_OK(cube->Ingest(dataset.get(), 2));
+    ASSERT_OK(cube->Flush());
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(auto cube, WaveletCube::OpenOnDisk(dir));
+    EXPECT_EQ(cube->manifest().b, 3u);
+    EXPECT_EQ(cube->manifest().norm, Normalization::kOrthonormal);
+    std::vector<uint64_t> p{5, 11};
+    ASSERT_OK_AND_ASSIGN(const double v, cube->PointQuery(p));
+    EXPECT_NEAR(v, dataset->Cell(p), 1e-9);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(WaveletCubeTest, CompressProducesUsableSynopsis) {
+  auto dataset = MakeSmoothDataset(TensorShape({16, 16}), 74);
+  ASSERT_OK_AND_ASSIGN(auto cube, WaveletCube::CreateInMemory(
+                                      {4, 4}, WaveletCube::Options{}));
+  ASSERT_OK(cube->Ingest(dataset.get(), 3));
+  ASSERT_OK_AND_ASSIGN(const CompressedSynopsis synopsis,
+                       cube->Compress(256));
+  std::vector<uint64_t> p{7, 9};
+  EXPECT_NEAR(synopsis.PointEstimate(p), dataset->Cell(p), 1e-9);
+}
+
+TEST(WaveletCubeTest, Validates) {
+  WaveletCube::Options naive;
+  naive.form = StoreForm::kNaive;
+  EXPECT_FALSE(WaveletCube::CreateInMemory({3}, naive).ok());
+  EXPECT_FALSE(WaveletCube::OpenOnDisk("/definitely/missing/path").ok());
+  // Compress on a non-standard cube is unimplemented.
+  WaveletCube::Options ns;
+  ns.form = StoreForm::kNonstandard;
+  auto cube_r = WaveletCube::CreateInMemory({3, 3}, ns);
+  ASSERT_TRUE(cube_r.ok());
+  EXPECT_EQ((*cube_r)->Compress(4).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,75 @@
+#include "shiftsplit/data/dataset.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(FunctionDatasetTest, ReadsChunksFromTheFunction) {
+  TensorShape shape({4, 8});
+  FunctionDataset dataset(shape, [](std::span<const uint64_t> c) {
+    return static_cast<double>(c[0] * 100 + c[1]);
+  });
+  Tensor chunk(TensorShape({2, 4}));
+  std::vector<uint64_t> pos{1, 1};
+  ASSERT_OK(dataset.ReadChunk(pos, &chunk));
+  std::vector<uint64_t> c00{0, 0};
+  EXPECT_DOUBLE_EQ(chunk.At(c00), 204.0);  // cell (2, 4)
+  std::vector<uint64_t> c13{1, 3};
+  EXPECT_DOUBLE_EQ(chunk.At(c13), 307.0);  // cell (3, 7)
+  EXPECT_EQ(dataset.cells_read(), 8u);
+}
+
+TEST(FunctionDatasetTest, MaterializeEqualsCellFunction) {
+  TensorShape shape({4, 4});
+  FunctionDataset dataset(shape, [](std::span<const uint64_t> c) {
+    return static_cast<double>(c[0]) - static_cast<double>(c[1]);
+  });
+  ASSERT_OK_AND_ASSIGN(Tensor all, dataset.Materialize());
+  std::vector<uint64_t> c(2, 0);
+  do {
+    EXPECT_DOUBLE_EQ(all.At(c), dataset.Cell(c));
+  } while (shape.Next(c));
+}
+
+TEST(FunctionDatasetTest, ValidatesChunks) {
+  TensorShape shape({4, 4});
+  FunctionDataset dataset(shape, [](std::span<const uint64_t>) { return 0.0; });
+  Tensor too_big(TensorShape({8, 4}));
+  std::vector<uint64_t> zero{0, 0};
+  EXPECT_FALSE(dataset.ReadChunk(zero, &too_big).ok());
+  Tensor ok_chunk(TensorShape({2, 2}));
+  std::vector<uint64_t> beyond{2, 0};
+  EXPECT_FALSE(dataset.ReadChunk(beyond, &ok_chunk).ok());
+  Tensor wrong_d(TensorShape({4}));
+  std::vector<uint64_t> zero1{0};
+  EXPECT_FALSE(dataset.ReadChunk(zero1, &wrong_d).ok());
+}
+
+TEST(TensorDatasetTest, ChunksMirrorTheTensor) {
+  Tensor data(TensorShape({4, 4}), testing::RandomVector(16, 91));
+  TensorDataset dataset(data);
+  Tensor chunk(TensorShape({2, 2}));
+  std::vector<uint64_t> pos{1, 0};
+  ASSERT_OK(dataset.ReadChunk(pos, &chunk));
+  std::vector<uint64_t> local(2, 0);
+  do {
+    std::vector<uint64_t> cell{2 + local[0], local[1]};
+    EXPECT_DOUBLE_EQ(chunk.At(local), data.At(cell));
+  } while (chunk.shape().Next(local));
+}
+
+TEST(ChunkSourceTest, CellsReadAccumulates) {
+  Tensor data(TensorShape({4, 4}));
+  TensorDataset dataset(std::move(data));
+  Tensor chunk(TensorShape({2, 2}));
+  std::vector<uint64_t> pos{0, 0};
+  ASSERT_OK(dataset.ReadChunk(pos, &chunk));
+  ASSERT_OK(dataset.ReadChunk(pos, &chunk));
+  EXPECT_EQ(dataset.cells_read(), 8u);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,75 @@
+#include "shiftsplit/data/precipitation.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "shiftsplit/util/stats.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(PrecipitationTest, MonthSlabShape) {
+  Tensor slab = MakePrecipitationMonth(0);
+  EXPECT_EQ(slab.shape().dims(), (std::vector<uint64_t>{8, 8, 32}));
+}
+
+TEST(PrecipitationTest, NonNegativeAndBursty) {
+  Tensor slab = MakePrecipitationMonth(3);
+  uint64_t dry = 0;
+  double max = 0.0;
+  for (uint64_t i = 0; i < slab.size(); ++i) {
+    EXPECT_GE(slab[i], 0.0);
+    if (slab[i] == 0.0) ++dry;
+    max = std::max(max, slab[i]);
+  }
+  // Rainfall has dry days and real wet events.
+  EXPECT_GT(dry, slab.size() / 10);
+  EXPECT_LT(dry, slab.size() * 9 / 10);
+  EXPECT_GT(max, 1.0);
+}
+
+TEST(PrecipitationTest, DeterministicPerMonth) {
+  Tensor a = MakePrecipitationMonth(7);
+  Tensor b = MakePrecipitationMonth(7);
+  for (uint64_t i = 0; i < a.size(); ++i) EXPECT_DOUBLE_EQ(a[i], b[i]);
+  Tensor c = MakePrecipitationMonth(8);
+  double diff = 0.0;
+  for (uint64_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - c[i]);
+  EXPECT_GT(diff, 0.0);
+}
+
+TEST(PrecipitationTest, DatasetAgreesWithMonthSlabs) {
+  const uint64_t kMonths = 3;
+  auto dataset = MakePrecipitationDataset(kMonths);
+  // 3 months * 32 days = 96 -> padded to 128.
+  EXPECT_EQ(dataset->shape().dims(), (std::vector<uint64_t>{8, 8, 128}));
+  for (uint64_t month = 0; month < kMonths; ++month) {
+    Tensor slab = MakePrecipitationMonth(month);
+    std::vector<uint64_t> c(3, 0);
+    do {
+      std::vector<uint64_t> cell{c[0], c[1], month * 32 + c[2]};
+      ASSERT_DOUBLE_EQ(dataset->Cell(cell), slab.At(c));
+    } while (slab.shape().Next(c));
+  }
+  // The padded tail is zero.
+  std::vector<uint64_t> tail{0, 0, 100};
+  EXPECT_DOUBLE_EQ(dataset->Cell(tail), 0.0);
+}
+
+TEST(PrecipitationTest, WinterWetterThanSummer) {
+  PrecipitationOptions options;
+  double winter = 0.0, summer = 0.0;
+  // Month 0 (winter) vs month 6 (summer) of year one.
+  Tensor w = MakePrecipitationMonth(0, options);
+  Tensor s = MakePrecipitationMonth(6, options);
+  for (uint64_t i = 0; i < w.size(); ++i) {
+    winter += w[i];
+    summer += s[i];
+  }
+  EXPECT_GT(winter, summer);
+}
+
+}  // namespace
+}  // namespace shiftsplit

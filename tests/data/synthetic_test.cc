@@ -1,0 +1,71 @@
+#include "shiftsplit/data/synthetic.h"
+
+#include <gtest/gtest.h>
+
+#include "shiftsplit/util/stats.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(UniformDatasetTest, ValuesInRangeAndDeterministic) {
+  auto dataset = MakeUniformDataset(TensorShape({8, 8}), -3.0, 5.0, 7);
+  auto again = MakeUniformDataset(TensorShape({8, 8}), -3.0, 5.0, 7);
+  std::vector<uint64_t> c(2, 0);
+  do {
+    const double v = dataset->Cell(c);
+    EXPECT_GE(v, -3.0);
+    EXPECT_LT(v, 5.0);
+    EXPECT_DOUBLE_EQ(v, again->Cell(c));
+  } while (dataset->shape().Next(c));
+}
+
+TEST(UniformDatasetTest, NeighboursDiffer) {
+  auto dataset = MakeUniformDataset(TensorShape({16}), 0.0, 1.0, 8);
+  std::vector<uint64_t> a{3}, b{4};
+  EXPECT_NE(dataset->Cell(a), dataset->Cell(b));
+}
+
+TEST(SparseDatasetTest, DensityRoughlyRespected) {
+  auto dataset = MakeSparseDataset(TensorShape({64, 64}), 0.05, 0.0, 9);
+  uint64_t nonzero = 0;
+  std::vector<uint64_t> c(2, 0);
+  do {
+    if (dataset->Cell(c) != 0.0) ++nonzero;
+  } while (dataset->shape().Next(c));
+  EXPECT_GT(nonzero, 4096u * 0.05 * 0.5);
+  EXPECT_LT(nonzero, 4096u * 0.05 * 2.0);
+}
+
+TEST(SparseDatasetTest, SkewConcentratesMassAtLowRows) {
+  auto dataset = MakeSparseDataset(TensorShape({64, 16}), 0.02, 1.5, 10);
+  uint64_t head = 0, tail = 0;
+  std::vector<uint64_t> c(2, 0);
+  do {
+    if (dataset->Cell(c) != 0.0) {
+      (c[0] < 8 ? head : tail) += 1;
+    }
+  } while (dataset->shape().Next(c));
+  EXPECT_GT(head, tail);
+}
+
+TEST(SmoothDatasetTest, IsCompressible) {
+  // A smooth field's wavelet energy concentrates in few coefficients: the
+  // top 5% of coefficients must hold almost all the energy.
+  auto dataset = MakeSmoothDataset(TensorShape({32, 32}), 11);
+  ASSERT_OK_AND_ASSIGN(Tensor t, dataset->Materialize());
+  ASSERT_OK(ForwardStandard(&t, Normalization::kOrthonormal));
+  std::vector<double> mags(t.data().begin(), t.data().end());
+  for (auto& m : mags) m = m * m;
+  std::sort(mags.rbegin(), mags.rend());
+  double total = 0.0, top = 0.0;
+  for (size_t i = 0; i < mags.size(); ++i) {
+    total += mags[i];
+    if (i < mags.size() / 20) top += mags[i];
+  }
+  EXPECT_GT(top / total, 0.95);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,77 @@
+#include "shiftsplit/data/temperature.h"
+
+#include <gtest/gtest.h>
+
+#include "shiftsplit/util/stats.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(TemperatureTest, ShapeMatchesOptions) {
+  TemperatureOptions options;
+  options.log_lat = 3;
+  options.log_lon = 4;
+  options.log_alt = 2;
+  options.log_time = 5;
+  auto dataset = MakeTemperatureDataset(options);
+  EXPECT_EQ(dataset->shape().dims(),
+            (std::vector<uint64_t>{8, 16, 4, 32}));
+}
+
+TEST(TemperatureTest, DeterministicForSeed) {
+  TemperatureOptions options;
+  options.log_lat = options.log_lon = options.log_alt = options.log_time = 2;
+  auto a = MakeTemperatureDataset(options);
+  auto b = MakeTemperatureDataset(options);
+  std::vector<uint64_t> cell{1, 2, 3, 0};
+  EXPECT_DOUBLE_EQ(a->Cell(cell), b->Cell(cell));
+  options.seed = 999;
+  auto c = MakeTemperatureDataset(options);
+  EXPECT_NE(a->Cell(cell), c->Cell(cell));
+}
+
+TEST(TemperatureTest, ValuesArePhysicallyPlausible) {
+  TemperatureOptions options;
+  options.log_lat = 4;
+  options.log_lon = 4;
+  options.log_alt = 2;
+  options.log_time = 4;
+  auto dataset = MakeTemperatureDataset(options);
+  RunningStats stats;
+  std::vector<uint64_t> c(4, 0);
+  do {
+    stats.Add(dataset->Cell(c));
+  } while (dataset->shape().Next(c));
+  // Earth-ish temperatures in Celsius.
+  EXPECT_GT(stats.min(), -120.0);
+  EXPECT_LT(stats.max(), 70.0);
+  EXPECT_GT(stats.stddev(), 5.0);  // real variation, not a constant field
+}
+
+TEST(TemperatureTest, EquatorWarmerThanPoles) {
+  TemperatureOptions options;
+  options.log_lat = 5;
+  options.log_lon = 2;
+  options.log_alt = 1;
+  options.log_time = 2;
+  auto dataset = MakeTemperatureDataset(options);
+  double pole = 0.0, equator = 0.0;
+  for (uint64_t lon = 0; lon < 4; ++lon) {
+    std::vector<uint64_t> p{0, lon, 0, 0};
+    std::vector<uint64_t> e{16, lon, 0, 0};
+    pole += dataset->Cell(p);
+    equator += dataset->Cell(e);
+  }
+  EXPECT_GT(equator, pole + 20.0);
+}
+
+TEST(TemperatureTest, AltitudeCoolsTheColumn) {
+  auto dataset = MakeTemperatureDataset();
+  std::vector<uint64_t> surface{16, 10, 0, 6};
+  std::vector<uint64_t> aloft{16, 10, 7, 6};
+  EXPECT_GT(dataset->Cell(surface), dataset->Cell(aloft) + 10.0);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,174 @@
+// Measured-I/O tests of the paper's analytical results: Table 1 (tiles
+// touched by SHIFT and SPLIT), Table 2 / Results 1-2 (transformation
+// complexities) and the appending costs of §5.2. These pin the *counts* the
+// benchmarks later sweep.
+
+#include <gtest/gtest.h>
+
+#include "shiftsplit/core/appender.h"
+#include "shiftsplit/core/chunked_transform.h"
+#include "shiftsplit/core/md_shift_split.h"
+#include "shiftsplit/data/synthetic.h"
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "shiftsplit/tile/nonstandard_tiling.h"
+#include "shiftsplit/tile/standard_tiling.h"
+#include "shiftsplit/util/bitops.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::RandomVector;
+
+TEST(Table1Test, StandardTilesTouchedByOneChunk) {
+  // d=2, N=2^8, M=2^4, B=2^2. Table 1: SHIFT touches (M/B)^d tiles; SPLIT
+  // touches about (M/B + log_B(N/M))^d - (M/B)^d more.
+  const uint32_t d = 2, n = 8, m = 4, b = 2;
+  const std::vector<uint32_t> log_dims(d, n);
+  auto layout = std::make_unique<StandardTiling>(log_dims, b);
+  MemoryBlockManager manager(layout->block_capacity());
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       TiledStore::Create(std::move(layout), &manager, 4096));
+  Tensor chunk(TensorShape::Cube(d, uint64_t{1} << m),
+               RandomVector(1u << (d * m), 1));
+  std::vector<uint64_t> pos{2, 3};
+  ApplyOptions options;
+  options.maintain_scaling_slots = false;
+  manager.stats().Reset();
+  ASSERT_OK(ApplyChunkStandard(chunk, pos, log_dims, store.get(),
+                               Normalization::kAverage, options));
+  ASSERT_OK(store->Flush());
+  // Distinct blocks touched (fresh pool; every touched block missed once).
+  const uint64_t touched = manager.stats().block_reads;
+  // Per dim: the chunk's subtree rows 4..7 cover bands 2,3 -> 1 + 4 = 5
+  // tiles; the path above (rows 0..3, bands 0,1) adds 2. So 7 per dim ->
+  // SHIFT block area 5x5 = 25, total (5+2)^2 = 49.
+  EXPECT_EQ(touched, 49u);
+}
+
+TEST(Table1Test, NonstandardTilesTouchedByOneChunk) {
+  const uint32_t d = 2, n = 8, m = 4, b = 2;
+  auto layout = std::make_unique<NonstandardTiling>(d, n, b);
+  MemoryBlockManager manager(layout->block_capacity());
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       TiledStore::Create(std::move(layout), &manager, 4096));
+  Tensor chunk(TensorShape::Cube(d, uint64_t{1} << m),
+               RandomVector(1u << (d * m), 2));
+  std::vector<uint64_t> pos{2, 3};
+  ApplyOptions options;
+  options.maintain_scaling_slots = false;
+  manager.stats().Reset();
+  ASSERT_OK(ApplyChunkNonstandard(chunk, pos, n, store.get(),
+                                  Normalization::kAverage, options));
+  ASSERT_OK(store->Flush());
+  const uint64_t touched = manager.stats().block_reads;
+  // Quadtree rows 4..7 within the chunk: band 2 root (1 tile) + band 3
+  // (16 tiles) = 17; path above: bands 0 and 1 -> 2 tiles. Total 19 —
+  // Table 1: SHIFT (M/B)^d + SPLIT path, much less than the standard form's
+  // multiplicative cross product.
+  EXPECT_EQ(touched, 19u);
+}
+
+TEST(Result1Test, StandardTransformCoefficientCount) {
+  // Result 1 in coefficient units: per chunk (M + log(N/M))^d writes.
+  const uint32_t d = 2, n = 6, m = 3;
+  auto dataset = MakeUniformDataset(TensorShape::Cube(d, 1u << n), 0.0, 1.0,
+                                    3);
+  const std::vector<uint32_t> log_dims(d, n);
+  auto layout = std::make_unique<StandardTiling>(log_dims, 2);
+  MemoryBlockManager manager(layout->block_capacity());
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       TiledStore::Create(std::move(layout), &manager, 4096));
+  TransformOptions options;
+  options.maintain_scaling_slots = false;
+  ASSERT_OK_AND_ASSIGN(
+      const TransformResult result,
+      TransformDatasetStandard(dataset.get(), m, store.get(), options));
+  const uint64_t chunks = uint64_t{1} << (d * (n - m));
+  const uint64_t per_chunk = IPow((uint64_t{1} << m) + (n - m), d);
+  EXPECT_EQ(result.store_io.coeff_writes, chunks * per_chunk);
+}
+
+TEST(Result2Test, NonstandardTransformCoefficientCount) {
+  // Result 2 in coefficient units: per chunk M^d + (2^d - 1)(n - m) + 1.
+  const uint32_t d = 2, n = 6, m = 2;
+  auto dataset = MakeUniformDataset(TensorShape::Cube(d, 1u << n), 0.0, 1.0,
+                                    4);
+  auto layout = std::make_unique<NonstandardTiling>(d, n, 2);
+  MemoryBlockManager manager(layout->block_capacity());
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       TiledStore::Create(std::move(layout), &manager, 4096));
+  TransformOptions options;
+  options.maintain_scaling_slots = false;
+  ASSERT_OK_AND_ASSIGN(
+      const TransformResult result,
+      TransformDatasetNonstandard(dataset.get(), m, store.get(), options));
+  const uint64_t chunks = uint64_t{1} << (d * (n - m));
+  const uint64_t per_chunk =
+      (uint64_t{1} << (d * m)) - 1 + 3 * (n - m) + 1;
+  EXPECT_EQ(result.store_io.coeff_writes, chunks * per_chunk);
+}
+
+TEST(Result2Test, ZOrderBlockIoApproachesOptimal) {
+  // Result 2: with z-order and a pool holding the path, block I/O is
+  // O((N/B)^d): every block written back once plus the bounded path reuse.
+  const uint32_t d = 2, n = 7, m = 2, b = 2;
+  auto dataset = MakeUniformDataset(TensorShape::Cube(d, 1u << n), 0.0, 1.0,
+                                    5);
+  auto layout = std::make_unique<NonstandardTiling>(d, n, b);
+  const uint64_t num_blocks = layout->num_blocks();
+  MemoryBlockManager manager(layout->block_capacity());
+  // Pool: enough for the quadtree path plus the working tile.
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       TiledStore::Create(std::move(layout), &manager, 8));
+  TransformOptions options;
+  options.maintain_scaling_slots = false;
+  options.zorder = true;
+  ASSERT_OK_AND_ASSIGN(
+      const TransformResult result,
+      TransformDatasetNonstandard(dataset.get(), m, store.get(), options));
+  EXPECT_LE(result.store_io.block_writes, num_blocks + 64);
+  EXPECT_LE(result.store_io.block_reads, 2 * num_blocks);
+}
+
+TEST(AppendingTest, ExpansionCostIsLinearInStoredCoefficients) {
+  // §5.2: expansion shifts every stored coefficient once — O(N^d) coeff I/O,
+  // O(N^d / B^d) block I/O.
+  Appender::Options options;
+  options.b = 2;
+  options.pool_blocks = 256;
+  ASSERT_OK_AND_ASSIGN(auto appender, Appender::Create({4, 4}, 1, options));
+  Tensor slab(TensorShape({16, 16}), RandomVector(256, 6));
+  ASSERT_OK(appender->Append(slab));
+  const IoStats before = appender->total_io();
+  ASSERT_OK(appender->Expand());
+  const IoStats delta = appender->total_io() - before;
+  EXPECT_EQ(delta.coeff_reads, 256u);
+  // 16 rows x (15 shifted + 2 split) = 272.
+  EXPECT_EQ(delta.coeff_writes, 272u);
+  // Block I/O bounded by old blocks read + new blocks first-touched.
+  const uint64_t old_blocks = 25;   // (1 + 4)^2: 5 tiles per dimension
+  const uint64_t new_blocks = 105;  // 5 x 21 (dim 1 grew to n=5: 1+4+16)
+  EXPECT_LE(delta.block_reads, old_blocks + new_blocks);
+}
+
+TEST(AppendingTest, InCapacityAppendIsCheap) {
+  // Appends that fit the allocated domain cost only the chunk apply:
+  // (M + path)^d-ish writes, no expansion.
+  Appender::Options options;
+  options.b = 2;
+  options.pool_blocks = 256;
+  ASSERT_OK_AND_ASSIGN(auto appender, Appender::Create({3, 5}, 1, options));
+  Tensor slab(TensorShape({8, 8}), RandomVector(64, 7));
+  ASSERT_OK(appender->Append(slab));
+  const IoStats first = appender->total_io();
+  ASSERT_OK(appender->Append(slab));
+  const IoStats delta = appender->total_io() - first;
+  EXPECT_EQ(appender->expansions(), 0u);
+  // Per Result 1 with per-dim (8 + 0) x (8 + 2): shifted details plus the
+  // dim-1 path above the slab.
+  EXPECT_EQ(delta.coeff_writes, 8u * 10u);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <vector>
+
+#include "shiftsplit/storage/file_block_manager.h"
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("shiftsplit_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
+
+// Both backends must satisfy the same contract.
+enum class Backend { kMemory, kFile };
+
+class BlockManagerContractTest : public ::testing::TestWithParam<Backend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == Backend::kMemory) {
+      manager_ = std::make_unique<MemoryBlockManager>(kBlockSize, 4);
+    } else {
+      auto r = FileBlockManager::Open(dir_.File("blocks.bin"), kBlockSize);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      file_manager_ = std::move(r).value();
+      ASSERT_OK(file_manager_->Resize(4));
+      manager_.reset(file_manager_.release());
+    }
+  }
+
+  static constexpr uint64_t kBlockSize = 8;
+  TempDir dir_;
+  std::unique_ptr<FileBlockManager> file_manager_;
+  std::unique_ptr<BlockManager> manager_;
+};
+
+TEST_P(BlockManagerContractTest, FreshBlocksReadZero) {
+  std::vector<double> buf(kBlockSize, 99.0);
+  ASSERT_OK(manager_->ReadBlock(2, buf));
+  for (double x : buf) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST_P(BlockManagerContractTest, WriteThenReadRoundTrips) {
+  std::vector<double> in{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<double> out(kBlockSize);
+  ASSERT_OK(manager_->WriteBlock(1, in));
+  ASSERT_OK(manager_->ReadBlock(1, out));
+  testing::ExpectNear(in, out);
+  // Other blocks untouched.
+  ASSERT_OK(manager_->ReadBlock(0, out));
+  for (double x : out) EXPECT_DOUBLE_EQ(x, 0.0);
+}
+
+TEST_P(BlockManagerContractTest, OutOfRangeAndBadSizesRejected) {
+  std::vector<double> buf(kBlockSize);
+  EXPECT_EQ(manager_->ReadBlock(4, buf).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(manager_->WriteBlock(4, buf).code(), StatusCode::kOutOfRange);
+  std::vector<double> small(kBlockSize - 1);
+  EXPECT_EQ(manager_->ReadBlock(0, small).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager_->WriteBlock(0, small).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_P(BlockManagerContractTest, ResizeGrowsAndRejectsShrink) {
+  ASSERT_OK(manager_->Resize(10));
+  EXPECT_EQ(manager_->num_blocks(), 10u);
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(manager_->ReadBlock(9, buf));
+  EXPECT_EQ(manager_->Resize(3).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_P(BlockManagerContractTest, StatsCountBlockIo) {
+  std::vector<double> buf(kBlockSize, 1.0);
+  ASSERT_OK(manager_->WriteBlock(0, buf));
+  ASSERT_OK(manager_->WriteBlock(1, buf));
+  ASSERT_OK(manager_->ReadBlock(0, buf));
+  EXPECT_EQ(manager_->stats().block_writes, 2u);
+  EXPECT_EQ(manager_->stats().block_reads, 1u);
+  manager_->stats().Reset();
+  EXPECT_EQ(manager_->stats().total_blocks(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, BlockManagerContractTest,
+                         ::testing::Values(Backend::kMemory, Backend::kFile));
+
+TEST(FileBlockManagerTest, PersistsAcrossReopen) {
+  TempDir dir;
+  const std::string path = dir.File("persist.bin");
+  std::vector<double> in{3.5, -1.25};
+  {
+    ASSERT_OK_AND_ASSIGN(auto manager, FileBlockManager::Open(path, 2));
+    ASSERT_OK(manager->Resize(3));
+    ASSERT_OK(manager->WriteBlock(2, in));
+    ASSERT_OK(manager->Sync());
+  }
+  {
+    ASSERT_OK_AND_ASSIGN(auto manager, FileBlockManager::Open(path, 2));
+    EXPECT_EQ(manager->num_blocks(), 3u);
+    std::vector<double> out(2);
+    ASSERT_OK(manager->ReadBlock(2, out));
+    testing::ExpectNear(in, out);
+  }
+}
+
+TEST(FileBlockManagerTest, RejectsMisalignedExistingFile) {
+  TempDir dir;
+  const std::string path = dir.File("misaligned.bin");
+  {
+    ASSERT_OK_AND_ASSIGN(auto manager, FileBlockManager::Open(path, 3));
+    ASSERT_OK(manager->Resize(1));  // 24 bytes
+  }
+  EXPECT_FALSE(FileBlockManager::Open(path, 2).ok());  // 24 % 16 != 0
+}
+
+TEST(FileBlockManagerTest, RejectsZeroBlockSize) {
+  TempDir dir;
+  EXPECT_FALSE(FileBlockManager::Open(dir.File("z.bin"), 0).ok());
+}
+
+TEST(IoStatsTest, Arithmetic) {
+  IoStats a{10, 5, 100, 50};
+  IoStats b{4, 2, 40, 20};
+  const IoStats diff = a - b;
+  EXPECT_EQ(diff.block_reads, 6u);
+  EXPECT_EQ(diff.block_writes, 3u);
+  EXPECT_EQ(diff.coeff_reads, 60u);
+  EXPECT_EQ(diff.coeff_writes, 30u);
+  EXPECT_EQ(diff.total_blocks(), 9u);
+  EXPECT_EQ(diff.total_coeffs(), 90u);
+  IoStats sum = b;
+  sum += b;
+  EXPECT_EQ(sum.block_reads, 8u);
+  EXPECT_FALSE(sum == b);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,120 @@
+#include "shiftsplit/storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+constexpr uint64_t kBlockSize = 4;
+
+TEST(BufferPoolTest, HitAvoidsBlockIo) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(3, false));
+  (void)frame;
+  EXPECT_EQ(manager.stats().block_reads, 1u);
+  ASSERT_OK_AND_ASSIGN(frame, pool.GetBlock(3, false));
+  EXPECT_EQ(manager.stats().block_reads, 1u);  // served from cache
+  EXPECT_EQ(pool.hits(), 1u);
+  EXPECT_EQ(pool.misses(), 1u);
+}
+
+TEST(BufferPoolTest, DirtyFrameWrittenBackOnEviction) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  {
+    BufferPool pool(&manager, 1);
+    ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(0, true));
+    frame[2] = 7.5;
+    // Capacity 1: touching another block evicts block 0 (dirty -> write).
+    ASSERT_OK_AND_ASSIGN(frame, pool.GetBlock(1, false));
+    EXPECT_EQ(manager.stats().block_writes, 1u);
+  }
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(manager.ReadBlock(0, buf));
+  EXPECT_DOUBLE_EQ(buf[2], 7.5);
+}
+
+TEST(BufferPoolTest, CleanEvictionDoesNotWrite) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 1);
+  ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(0, false));
+  (void)frame;
+  ASSERT_OK_AND_ASSIGN(frame, pool.GetBlock(1, false));
+  EXPECT_EQ(manager.stats().block_writes, 0u);
+}
+
+TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  ASSERT_OK(pool.GetBlock(0, false).status());
+  ASSERT_OK(pool.GetBlock(1, false).status());
+  // Touch 0 so 1 becomes LRU.
+  ASSERT_OK(pool.GetBlock(0, false).status());
+  ASSERT_OK(pool.GetBlock(2, false).status());  // evicts 1
+  manager.stats().Reset();
+  ASSERT_OK(pool.GetBlock(0, false).status());  // still cached
+  EXPECT_EQ(manager.stats().block_reads, 0u);
+  ASSERT_OK(pool.GetBlock(1, false).status());  // was evicted -> re-read
+  EXPECT_EQ(manager.stats().block_reads, 1u);
+}
+
+TEST(BufferPoolTest, FlushWritesDirtyOnceAndKeepsCache) {
+  MemoryBlockManager manager(kBlockSize, 4);
+  BufferPool pool(&manager, 4);
+  ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(0, true));
+  frame[0] = 1.0;
+  ASSERT_OK(pool.GetBlock(1, false).status());
+  ASSERT_OK(pool.Flush());
+  EXPECT_EQ(manager.stats().block_writes, 1u);  // only the dirty frame
+  ASSERT_OK(pool.Flush());
+  EXPECT_EQ(manager.stats().block_writes, 1u);  // now clean: no rewrite
+  manager.stats().Reset();
+  ASSERT_OK(pool.GetBlock(0, false).status());
+  EXPECT_EQ(manager.stats().block_reads, 0u);  // still cached after flush
+}
+
+TEST(BufferPoolTest, ClearDropsCache) {
+  MemoryBlockManager manager(kBlockSize, 4);
+  BufferPool pool(&manager, 4);
+  ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(0, true));
+  frame[1] = 2.0;
+  ASSERT_OK(pool.Clear());
+  EXPECT_EQ(pool.cached_blocks(), 0u);
+  EXPECT_EQ(manager.stats().block_writes, 1u);
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(manager.ReadBlock(0, buf));
+  EXPECT_DOUBLE_EQ(buf[1], 2.0);
+}
+
+TEST(BufferPoolTest, DestructorFlushes) {
+  MemoryBlockManager manager(kBlockSize, 4);
+  {
+    BufferPool pool(&manager, 2);
+    ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(3, true));
+    frame[3] = -4.0;
+  }
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(manager.ReadBlock(3, buf));
+  EXPECT_DOUBLE_EQ(buf[3], -4.0);
+}
+
+TEST(BufferPoolTest, ErrorsPropagateFromManager) {
+  MemoryBlockManager manager(kBlockSize, 2);
+  BufferPool pool(&manager, 2);
+  EXPECT_FALSE(pool.GetBlock(5, false).ok());  // beyond device
+}
+
+TEST(BufferPoolTest, CapacityBoundIsRespected) {
+  MemoryBlockManager manager(kBlockSize, 16);
+  BufferPool pool(&manager, 3);
+  for (uint64_t i = 0; i < 16; ++i) {
+    ASSERT_OK(pool.GetBlock(i, false).status());
+    EXPECT_LE(pool.cached_blocks(), 3u);
+  }
+}
+
+}  // namespace
+}  // namespace shiftsplit

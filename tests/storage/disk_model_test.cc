@@ -1,0 +1,37 @@
+#include "shiftsplit/storage/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace shiftsplit {
+namespace {
+
+TEST(DiskModelTest, ZeroIoCostsNothing) {
+  EXPECT_DOUBLE_EQ(DiskModel::Circa2005(4096).EstimateMs(IoStats{}), 0.0);
+}
+
+TEST(DiskModelTest, AccessDominatedRegime) {
+  // 1000 block accesses on the 2005 model: positioning dominates.
+  DiskModel disk = DiskModel::Circa2005(4096);
+  IoStats stats{600, 400, 0, 0};
+  const double ms = disk.EstimateMs(stats);
+  EXPECT_GT(ms, 1000 * disk.access_ms * 0.99);
+  // Transfer of 4 MiB at 60 MiB/s adds ~65 ms.
+  EXPECT_NEAR(ms, 1000 * disk.access_ms + 65.1, 1.0);
+}
+
+TEST(DiskModelTest, SsdIsOrdersOfMagnitudeFaster) {
+  IoStats stats{5000, 5000, 0, 0};
+  const double hdd = DiskModel::Circa2005(4096).EstimateMs(stats);
+  const double ssd = DiskModel::ModernSsd(4096).EstimateMs(stats);
+  EXPECT_GT(hdd / ssd, 50.0);
+}
+
+TEST(DiskModelTest, ScalesLinearlyWithBlocks) {
+  DiskModel disk = DiskModel::Circa2005(8192);
+  IoStats one{1, 0, 0, 0};
+  IoStats ten{10, 0, 0, 0};
+  EXPECT_NEAR(disk.EstimateMs(ten), 10.0 * disk.EstimateMs(one), 1e-9);
+}
+
+}  // namespace
+}  // namespace shiftsplit

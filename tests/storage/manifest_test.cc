@@ -1,0 +1,132 @@
+#include "shiftsplit/storage/manifest.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "shiftsplit/tile/nonstandard_tiling.h"
+#include "shiftsplit/tile/standard_tiling.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+class ManifestTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("shiftsplit_manifest_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override { std::filesystem::remove_all(dir_); }
+  std::string File(const std::string& name) {
+    return (dir_ / name).string();
+  }
+  std::filesystem::path dir_;
+};
+
+TEST_F(ManifestTest, SaveLoadRoundTrip) {
+  StoreManifest manifest;
+  manifest.form = StoreForm::kNonstandard;
+  manifest.norm = Normalization::kOrthonormal;
+  manifest.b = 3;
+  manifest.log_dims = {5, 5, 5};
+  manifest.filled = 12;
+  const std::string path = File("store.manifest");
+  ASSERT_OK(manifest.Save(path));
+  ASSERT_OK_AND_ASSIGN(const StoreManifest loaded,
+                       StoreManifest::Load(path));
+  EXPECT_EQ(loaded, manifest);
+}
+
+TEST_F(ManifestTest, DefaultsRoundTrip) {
+  StoreManifest manifest;
+  manifest.log_dims = {4};
+  const std::string path = File("defaults.manifest");
+  ASSERT_OK(manifest.Save(path));
+  ASSERT_OK_AND_ASSIGN(const StoreManifest loaded,
+                       StoreManifest::Load(path));
+  EXPECT_EQ(loaded, manifest);
+  EXPECT_EQ(loaded.form, StoreForm::kStandard);
+  EXPECT_EQ(loaded.norm, Normalization::kAverage);
+}
+
+TEST_F(ManifestTest, LoadRejectsBadFiles) {
+  EXPECT_EQ(StoreManifest::Load(File("missing")).status().code(),
+            StatusCode::kNotFound);
+
+  std::ofstream(File("noformat")) << "b=2\nlog_dims=3\n";
+  EXPECT_FALSE(StoreManifest::Load(File("noformat")).ok());
+
+  std::ofstream(File("badline"))
+      << "format=shiftsplit-store-v1\nthis is not a key value line\n";
+  EXPECT_FALSE(StoreManifest::Load(File("badline")).ok());
+
+  std::ofstream(File("badkey"))
+      << "format=shiftsplit-store-v1\nlog_dims=3\nwhatever=1\n";
+  EXPECT_FALSE(StoreManifest::Load(File("badkey")).ok());
+
+  std::ofstream(File("nodims")) << "format=shiftsplit-store-v1\nb=2\n";
+  EXPECT_FALSE(StoreManifest::Load(File("nodims")).ok());
+
+  std::ofstream(File("badform"))
+      << "format=shiftsplit-store-v1\nform=fancy\nlog_dims=3\n";
+  EXPECT_FALSE(StoreManifest::Load(File("badform")).ok());
+}
+
+TEST_F(ManifestTest, CommentsAndBlankLinesIgnored) {
+  std::ofstream(File("comments"))
+      << "# a comment\nformat=shiftsplit-store-v1\n\nlog_dims=2,3\n";
+  ASSERT_OK_AND_ASSIGN(const StoreManifest loaded,
+                       StoreManifest::Load(File("comments")));
+  EXPECT_EQ(loaded.log_dims, (std::vector<uint32_t>{2, 3}));
+}
+
+TEST_F(ManifestTest, MakeLayoutStandard) {
+  StoreManifest manifest;
+  manifest.form = StoreForm::kStandard;
+  manifest.b = 2;
+  manifest.log_dims = {4, 4};
+  ASSERT_OK_AND_ASSIGN(const auto layout, manifest.MakeLayout());
+  EXPECT_NE(dynamic_cast<const StandardTiling*>(layout.get()), nullptr);
+  EXPECT_EQ(layout->block_capacity(), 16u);
+}
+
+TEST_F(ManifestTest, MakeLayoutNonstandardRequiresCube) {
+  StoreManifest manifest;
+  manifest.form = StoreForm::kNonstandard;
+  manifest.b = 2;
+  manifest.log_dims = {4, 4};
+  ASSERT_OK_AND_ASSIGN(const auto layout, manifest.MakeLayout());
+  EXPECT_NE(dynamic_cast<const NonstandardTiling*>(layout.get()), nullptr);
+  manifest.log_dims = {4, 5};
+  EXPECT_FALSE(manifest.MakeLayout().ok());
+}
+
+TEST_F(ManifestTest, MakeLayoutNaiveNeedsCapacity) {
+  StoreManifest manifest;
+  manifest.form = StoreForm::kNaive;
+  manifest.log_dims = {4};
+  EXPECT_FALSE(manifest.MakeLayout().ok());
+  manifest.block_capacity = 8;
+  ASSERT_OK_AND_ASSIGN(const auto layout, manifest.MakeLayout());
+  EXPECT_EQ(layout->block_capacity(), 8u);
+}
+
+TEST(StoreFormTest, StringConversions) {
+  EXPECT_STREQ(StoreFormToString(StoreForm::kStandard), "standard");
+  EXPECT_STREQ(StoreFormToString(StoreForm::kNonstandard), "nonstandard");
+  EXPECT_STREQ(StoreFormToString(StoreForm::kNaive), "naive");
+  for (StoreForm form : {StoreForm::kStandard, StoreForm::kNonstandard,
+                         StoreForm::kNaive}) {
+    ASSERT_OK_AND_ASSIGN(const StoreForm back,
+                         StoreFormFromString(StoreFormToString(form)));
+    EXPECT_EQ(back, form);
+  }
+  EXPECT_FALSE(StoreFormFromString("bogus").ok());
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,56 @@
+// Shared gtest helpers for the shiftsplit test suites.
+
+#ifndef SHIFTSPLIT_TESTS_TESTING_H_
+#define SHIFTSPLIT_TESTS_TESTING_H_
+
+#include <gtest/gtest.h>
+
+#include <span>
+#include <vector>
+
+#include "shiftsplit/util/random.h"
+#include "shiftsplit/util/status.h"
+
+#define ASSERT_OK(expr)                          \
+  do {                                           \
+    const ::shiftsplit::Status _st = (expr);     \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();     \
+  } while (false)
+
+#define EXPECT_OK(expr)                          \
+  do {                                           \
+    const ::shiftsplit::Status _st = (expr);     \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();     \
+  } while (false)
+
+#define ASSERT_OK_AND_ASSIGN(lhs, rexpr)            \
+  ASSERT_OK_AND_ASSIGN_IMPL(                        \
+      SS_CONCAT(_ss_test_result_, __LINE__), lhs, rexpr)
+
+#define ASSERT_OK_AND_ASSIGN_IMPL(tmp, lhs, rexpr)      \
+  auto tmp = (rexpr);                                   \
+  ASSERT_TRUE(tmp.ok()) << tmp.status().ToString();     \
+  lhs = std::move(tmp).value()
+
+namespace shiftsplit::testing {
+
+/// Element-wise near-equality for spans of doubles.
+inline void ExpectNear(std::span<const double> expected,
+                       std::span<const double> actual, double tol = 1e-9) {
+  ASSERT_EQ(expected.size(), actual.size());
+  for (size_t i = 0; i < expected.size(); ++i) {
+    EXPECT_NEAR(expected[i], actual[i], tol) << "at index " << i;
+  }
+}
+
+/// Deterministic pseudo-random vector in [-1, 1).
+inline std::vector<double> RandomVector(size_t size, uint64_t seed) {
+  ::shiftsplit::Xoshiro256 rng(seed);
+  std::vector<double> v(size);
+  for (auto& x : v) x = rng.NextUniform(-1.0, 1.0);
+  return v;
+}
+
+}  // namespace shiftsplit::testing
+
+#endif  // SHIFTSPLIT_TESTS_TESTING_H_

@@ -1,0 +1,181 @@
+#include "shiftsplit/tile/nonstandard_tiling.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(NonstandardTilingTest, PaperFigure7Geometry) {
+  // 8x8 array, disk blocks of 4x4 (b=2). The short band sits at the top
+  // (rows {0}, {1,2}): 1 tile + (2^1)^2 = 4 tiles.
+  NonstandardTiling tiling(2, 3, 2);
+  EXPECT_EQ(tiling.ndim(), 2u);
+  EXPECT_EQ(tiling.num_bands(), 2u);
+  EXPECT_EQ(tiling.num_blocks(), 5u);
+  EXPECT_EQ(tiling.block_capacity(), 16u);  // B^d
+}
+
+TEST(NonstandardTilingTest, AlignedGeometry) {
+  // 16x16 array, 4x4 blocks: bands rows {0,1},{2,3}; 1 + 16 tiles, each a
+  // full height-2 quadtree subtree of B^d = 16 coefficients (Figure 7).
+  NonstandardTiling tiling(2, 4, 2);
+  EXPECT_EQ(tiling.num_bands(), 2u);
+  EXPECT_EQ(tiling.num_blocks(), 17u);
+  EXPECT_EQ(tiling.block_capacity(), 16u);
+}
+
+TEST(NonstandardTilingTest, RootSharesTopTile) {
+  NonstandardTiling tiling(2, 3, 2);
+  std::vector<uint64_t> zero{0, 0};
+  ASSERT_OK_AND_ASSIGN(const BlockSlot at, tiling.Locate(zero));
+  EXPECT_EQ(at, (BlockSlot{0, 0}));
+}
+
+TEST(NonstandardTilingTest, LocateIsInjectiveAndInRange) {
+  const uint32_t d = 2, n = 3, b = 2;
+  NonstandardTiling tiling(d, n, b);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  std::vector<uint64_t> address(d);
+  for (address[0] = 0; address[0] < 8; ++address[0]) {
+    for (address[1] = 0; address[1] < 8; ++address[1]) {
+      ASSERT_OK_AND_ASSIGN(const BlockSlot at, tiling.Locate(address));
+      EXPECT_LT(at.block, tiling.num_blocks());
+      EXPECT_LT(at.slot, tiling.block_capacity());
+      EXPECT_TRUE(seen.insert({at.block, at.slot}).second)
+          << "collision at (" << address[0] << "," << address[1] << ")";
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(NonstandardTilingTest, NodeCoefficientsShareTile) {
+  // The 2^d - 1 subband coefficients of one quadtree node always share a
+  // tile, at consecutive slots.
+  NonstandardTiling tiling(2, 4, 2);
+  NsCoeffId id;
+  id.level = 2;
+  id.node = {1, 3};
+  std::set<uint64_t> blocks;
+  std::vector<uint64_t> slots;
+  for (uint64_t sigma = 1; sigma < 4; ++sigma) {
+    id.subband = sigma;
+    ASSERT_OK_AND_ASSIGN(const BlockSlot at, tiling.LocateCoeff(id));
+    blocks.insert(at.block);
+    slots.push_back(at.slot);
+  }
+  EXPECT_EQ(blocks.size(), 1u);
+  EXPECT_EQ(slots[1], slots[0] + 1);
+  EXPECT_EQ(slots[2], slots[1] + 1);
+}
+
+TEST(NonstandardTilingTest, QuadtreePathTouchesOneTilePerBand) {
+  const uint32_t d = 2, n = 4, b = 2;
+  NonstandardTiling tiling(d, n, b);
+  // Reconstructing point (5, 11) uses nodes (j, point >> j) at every level.
+  std::set<uint64_t> tiles;
+  NsCoeffId id;
+  for (uint32_t j = 1; j <= n; ++j) {
+    id.level = j;
+    id.node = {uint64_t{5} >> j, uint64_t{11} >> j};
+    for (uint64_t sigma = 1; sigma < 4; ++sigma) {
+      id.subband = sigma;
+      ASSERT_OK_AND_ASSIGN(const BlockSlot at, tiling.LocateCoeff(id));
+      tiles.insert(at.block);
+    }
+  }
+  EXPECT_EQ(tiles.size(), tiling.num_bands());
+}
+
+TEST(NonstandardTilingTest, SubtreeMembersHaveAncestorsInTile) {
+  // All coefficients in a tile belong to one height-b quadtree subtree.
+  const uint32_t d = 2, n = 4, b = 2;
+  NonstandardTiling tiling(d, n, b);
+  std::map<uint64_t, std::set<std::pair<uint32_t, std::vector<uint64_t>>>>
+      nodes_by_tile;
+  std::vector<uint64_t> address(d);
+  for (address[0] = 0; address[0] < 16; ++address[0]) {
+    for (address[1] = 0; address[1] < 16; ++address[1]) {
+      const NsCoeffId id = NsCoeffOfAddress(n, address);
+      if (id.is_scaling) continue;
+      ASSERT_OK_AND_ASSIGN(const BlockSlot at, tiling.LocateCoeff(id));
+      nodes_by_tile[at.block].insert({id.level, id.node});
+    }
+  }
+  for (const auto& [tile, nodes] : nodes_by_tile) {
+    // Node count of a full height-b subtree: (D^b - 1) / (D - 1) = 5,
+    // or 1 for the short leaf band... here both bands have height 2.
+    EXPECT_EQ(nodes.size(), 5u) << "tile " << tile;
+  }
+}
+
+TEST(NonstandardTilingTest, ScalingSlots) {
+  NonstandardTiling tiling(2, 4, 2);
+  EXPECT_TRUE(tiling.IsScalingLevel(4));
+  EXPECT_TRUE(tiling.IsScalingLevel(2));
+  EXPECT_FALSE(tiling.IsScalingLevel(3));
+  EXPECT_FALSE(tiling.IsScalingLevel(1));
+
+  std::vector<uint64_t> node{2, 3};
+  ASSERT_OK_AND_ASSIGN(const BlockSlot at, tiling.LocateScaling(2, node));
+  EXPECT_EQ(at.slot, 0u);
+  // Slot 0 of the tile containing that node's coefficients.
+  NsCoeffId id;
+  id.level = 2;
+  id.node = {2, 3};
+  id.subband = 1;
+  ASSERT_OK_AND_ASSIGN(const BlockSlot coeff_at, tiling.LocateCoeff(id));
+  EXPECT_EQ(at.block, coeff_at.block);
+
+  EXPECT_FALSE(tiling.LocateScaling(3, node).ok());
+  std::vector<uint64_t> big{4, 0};
+  EXPECT_FALSE(tiling.LocateScaling(2, big).ok());
+}
+
+TEST(NonstandardTilingTest, ScalingNodesWithinAndAbove) {
+  NonstandardTiling tiling(2, 4, 2);
+  std::vector<uint64_t> chunk{1, 0};  // chunk cube edge 2^3 at (1, 0)
+  const auto within = tiling.ScalingNodesWithin(3, chunk);
+  // Band-root levels <= 3: level 2. Nodes: 2x2 grid at (2..3, 0..1).
+  ASSERT_EQ(within.size(), 4u);
+  EXPECT_EQ(within[0].first, 2u);
+  EXPECT_EQ(within[0].second, (std::vector<uint64_t>{2, 0}));
+  EXPECT_EQ(within[3].second, (std::vector<uint64_t>{3, 1}));
+  const auto above = tiling.ScalingNodesAbove(3, chunk);
+  ASSERT_EQ(above.size(), 1u);
+  EXPECT_EQ(above[0].first, 4u);
+  EXPECT_EQ(above[0].second, (std::vector<uint64_t>{0, 0}));
+}
+
+TEST(NonstandardTilingTest, ThreeDimensional) {
+  NonstandardTiling tiling(3, 2, 1);
+  // d=3, n=2, b=1: bands rows {0},{1}; blocks 1 + 8; capacity 2^3.
+  EXPECT_EQ(tiling.num_blocks(), 9u);
+  EXPECT_EQ(tiling.block_capacity(), 8u);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  std::vector<uint64_t> address(3);
+  for (address[0] = 0; address[0] < 4; ++address[0]) {
+    for (address[1] = 0; address[1] < 4; ++address[1]) {
+      for (address[2] = 0; address[2] < 4; ++address[2]) {
+        ASSERT_OK_AND_ASSIGN(const BlockSlot at, tiling.Locate(address));
+        EXPECT_TRUE(seen.insert({at.block, at.slot}).second);
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);
+}
+
+TEST(NonstandardTilingTest, RejectsBadInput) {
+  NonstandardTiling tiling(2, 3, 2);
+  std::vector<uint64_t> wrong_d{0};
+  EXPECT_FALSE(tiling.Locate(wrong_d).ok());
+  std::vector<uint64_t> too_big{8, 0};
+  EXPECT_FALSE(tiling.Locate(too_big).ok());
+}
+
+}  // namespace
+}  // namespace shiftsplit

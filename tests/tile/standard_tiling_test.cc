@@ -1,0 +1,98 @@
+#include "shiftsplit/tile/standard_tiling.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shiftsplit/wavelet/wavelet_index.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(StandardTilingTest, BlockAndCapacityCounts) {
+  StandardTiling tiling({4, 4}, 2);
+  // Per dim: bands {0,1},{2,3} -> 1 + 4 = 5 tiles.
+  EXPECT_EQ(tiling.ndim(), 2u);
+  EXPECT_EQ(tiling.num_blocks(), 25u);
+  EXPECT_EQ(tiling.block_capacity(), 16u);  // B^d = 4^2
+}
+
+TEST(StandardTilingTest, MixedDimensionSizes) {
+  StandardTiling tiling({3, 5}, 2);
+  // Short top bands: dim0 rows {0},{1,2} -> 1 + 2 = 3 tiles; dim1 rows
+  // {0},{1,2},{3,4} -> 1 + 2 + 8 = 11 tiles.
+  EXPECT_EQ(tiling.num_blocks(), 3u * 11u);
+  EXPECT_EQ(tiling.block_capacity(), 16u);
+}
+
+TEST(StandardTilingTest, LocateIsInjective) {
+  StandardTiling tiling({3, 4}, 2);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  std::vector<uint64_t> address(2);
+  for (address[0] = 0; address[0] < 8; ++address[0]) {
+    for (address[1] = 0; address[1] < 16; ++address[1]) {
+      ASSERT_OK_AND_ASSIGN(const BlockSlot at, tiling.Locate(address));
+      EXPECT_LT(at.block, tiling.num_blocks());
+      EXPECT_LT(at.slot, tiling.block_capacity());
+      EXPECT_TRUE(seen.insert({at.block, at.slot}).second);
+    }
+  }
+  EXPECT_EQ(seen.size(), 8u * 16u);
+}
+
+TEST(StandardTilingTest, CombinesPerDimensionLocations) {
+  StandardTiling tiling({4, 4}, 2);
+  const TreeTiling& dim0 = tiling.dim_tiling(0);
+  const TreeTiling& dim1 = tiling.dim_tiling(1);
+  std::vector<uint64_t> address{DetailIndex(4, 2, 1), DetailIndex(4, 1, 5)};
+  ASSERT_OK_AND_ASSIGN(const BlockSlot at, tiling.Locate(address));
+  const BlockSlot p0 = dim0.Locate(address[0]);
+  const BlockSlot p1 = dim1.Locate(address[1]);
+  EXPECT_EQ(at.block, p0.block * dim1.num_tiles() + p1.block);
+  EXPECT_EQ(at.slot, p0.slot * dim1.tile_capacity() + p1.slot);
+  const BlockSlot parts[] = {p0, p1};
+  EXPECT_EQ(tiling.Combine(parts), at);
+}
+
+TEST(StandardTilingTest, CrossProductOfSameSupportStaysInOneBlock) {
+  // Coefficients whose two 1-d indices fall in the same per-dim tiles share
+  // a block — the access-pattern property the allocation optimizes for.
+  StandardTiling tiling({4, 4}, 2);
+  std::vector<uint64_t> a{DetailIndex(4, 2, 0), DetailIndex(4, 2, 1)};
+  std::vector<uint64_t> b{DetailIndex(4, 1, 1), DetailIndex(4, 1, 3)};
+  ASSERT_OK_AND_ASSIGN(const BlockSlot at_a, tiling.Locate(a));
+  ASSERT_OK_AND_ASSIGN(const BlockSlot at_b, tiling.Locate(b));
+  // dim tree (n=4, b=2): w_{2,0} and w_{1,0..1} share tile 1; w_{2,1} and
+  // w_{1,2..3} share tile 2.
+  EXPECT_EQ(at_a.block, at_b.block);
+}
+
+TEST(StandardTilingTest, RejectsBadAddresses) {
+  StandardTiling tiling({3, 3}, 2);
+  std::vector<uint64_t> wrong_d{1};
+  EXPECT_FALSE(tiling.Locate(wrong_d).ok());
+  std::vector<uint64_t> too_big{8, 0};
+  EXPECT_FALSE(tiling.Locate(too_big).ok());
+}
+
+TEST(StandardTilingTest, PointPathTilesAreBandProducts) {
+  // A point reconstruction touches prod_i ceil(n_i/b) blocks when using the
+  // redundant scalings, or exactly the cross product of per-dim band counts
+  // when walking full paths.
+  StandardTiling tiling({4, 4}, 2);
+  std::set<uint64_t> blocks;
+  std::vector<uint64_t> address(2);
+  for (uint64_t i0 : PathToRoot(4, 9)) {
+    for (uint64_t i1 : PathToRoot(4, 3)) {
+      address[0] = i0;
+      address[1] = i1;
+      ASSERT_OK_AND_ASSIGN(const BlockSlot at, tiling.Locate(address));
+      blocks.insert(at.block);
+    }
+  }
+  EXPECT_EQ(blocks.size(), 4u);  // 2 bands per dim -> 2*2 blocks
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,147 @@
+#include "shiftsplit/tile/tiled_store.h"
+
+#include <gtest/gtest.h>
+
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "shiftsplit/tile/naive_tiling.h"
+#include "shiftsplit/tile/tree_tiling.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+std::unique_ptr<TiledStore> MakeStore(MemoryBlockManager* manager,
+                                      uint64_t pool_blocks = 4) {
+  auto layout = std::make_unique<TreeTilingLayout>(4, 2);
+  auto r = TiledStore::Create(std::move(layout), manager, pool_blocks);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return std::move(r).value();
+}
+
+TEST(TiledStoreTest, CreateValidates) {
+  MemoryBlockManager manager(4);
+  EXPECT_FALSE(
+      TiledStore::Create(nullptr, &manager, 1).ok());
+  EXPECT_FALSE(TiledStore::Create(std::make_unique<TreeTilingLayout>(4, 2),
+                                  nullptr, 1)
+                   .ok());
+  EXPECT_FALSE(TiledStore::Create(std::make_unique<TreeTilingLayout>(4, 2),
+                                  &manager, 0)
+                   .ok());
+  MemoryBlockManager wrong_size(8);
+  EXPECT_FALSE(TiledStore::Create(std::make_unique<TreeTilingLayout>(4, 2),
+                                  &wrong_size, 1)
+                   .ok());
+}
+
+TEST(TiledStoreTest, CreateResizesManagerToLayout) {
+  MemoryBlockManager manager(4);
+  auto store = MakeStore(&manager);
+  // n=4, b=2: bands {0,1},{2,3} -> 1 + 4 = 5 tiles.
+  EXPECT_EQ(manager.num_blocks(), 5u);
+}
+
+TEST(TiledStoreTest, GetSetAddRoundTrip) {
+  MemoryBlockManager manager(4);
+  auto store = MakeStore(&manager);
+  std::vector<uint64_t> addr{5};
+  ASSERT_OK(store->Set(addr, 2.5));
+  ASSERT_OK_AND_ASSIGN(double v, store->Get(addr));
+  EXPECT_DOUBLE_EQ(v, 2.5);
+  ASSERT_OK(store->Add(addr, -1.0));
+  ASSERT_OK_AND_ASSIGN(v, store->Get(addr));
+  EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(TiledStoreTest, UnwrittenCoefficientsReadZero) {
+  MemoryBlockManager manager(4);
+  auto store = MakeStore(&manager);
+  for (uint64_t i = 0; i < 16; ++i) {
+    std::vector<uint64_t> addr{i};
+    ASSERT_OK_AND_ASSIGN(const double v, store->Get(addr));
+    EXPECT_DOUBLE_EQ(v, 0.0);
+  }
+}
+
+TEST(TiledStoreTest, FlushPersistsThroughManager) {
+  MemoryBlockManager manager(4);
+  {
+    auto store = MakeStore(&manager, 2);
+    for (uint64_t i = 0; i < 16; ++i) {
+      std::vector<uint64_t> addr{i};
+      ASSERT_OK(store->Set(addr, static_cast<double>(i)));
+    }
+    ASSERT_OK(store->Flush());
+  }
+  // Re-open over the same manager: values must be there.
+  auto store = MakeStore(&manager);
+  for (uint64_t i = 0; i < 16; ++i) {
+    std::vector<uint64_t> addr{i};
+    ASSERT_OK_AND_ASSIGN(const double v, store->Get(addr));
+    EXPECT_DOUBLE_EQ(v, static_cast<double>(i));
+  }
+}
+
+TEST(TiledStoreTest, CoefficientIoIsCounted) {
+  MemoryBlockManager manager(4);
+  auto store = MakeStore(&manager);
+  std::vector<uint64_t> addr{3};
+  ASSERT_OK(store->Set(addr, 1.0));
+  ASSERT_OK(store->Add(addr, 1.0));
+  ASSERT_OK(store->Get(addr).status());
+  EXPECT_EQ(store->stats().coeff_writes, 2u);
+  EXPECT_EQ(store->stats().coeff_reads, 1u);
+}
+
+TEST(TiledStoreTest, BlockIoReflectsPoolBudget) {
+  MemoryBlockManager manager(4);
+  auto store = MakeStore(&manager, /*pool_blocks=*/1);
+  // Indices 4 and 15 are in different tiles (band-1 tiles 1 and 4); a
+  // single-frame pool must re-read on every alternation.
+  std::vector<uint64_t> a{4}, b{15};
+  manager.stats().Reset();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(store->Get(a).status());
+    ASSERT_OK(store->Get(b).status());
+  }
+  EXPECT_EQ(manager.stats().block_reads, 6u);
+
+  // A two-frame pool reads each tile once.
+  MemoryBlockManager manager2(4);
+  auto store2 = MakeStore(&manager2, /*pool_blocks=*/2);
+  manager2.stats().Reset();
+  for (int i = 0; i < 3; ++i) {
+    ASSERT_OK(store2->Get(a).status());
+    ASSERT_OK(store2->Get(b).status());
+  }
+  EXPECT_EQ(manager2.stats().block_reads, 2u);
+}
+
+TEST(TiledStoreTest, SlotAccessMatchesAddressAccess) {
+  MemoryBlockManager manager(4);
+  auto store = MakeStore(&manager);
+  std::vector<uint64_t> addr{9};
+  ASSERT_OK_AND_ASSIGN(const BlockSlot at, store->layout().Locate(addr));
+  ASSERT_OK(store->SetAt(at, 4.5));
+  ASSERT_OK_AND_ASSIGN(double v, store->Get(addr));
+  EXPECT_DOUBLE_EQ(v, 4.5);
+  ASSERT_OK(store->AddAt(at, 0.5));
+  ASSERT_OK_AND_ASSIGN(v, store->GetAt(at));
+  EXPECT_DOUBLE_EQ(v, 5.0);
+}
+
+TEST(TiledStoreTest, WorksWithNaiveLayout) {
+  MemoryBlockManager manager(8);
+  auto layout = std::make_unique<NaiveTiling>(std::vector<uint32_t>{3, 2}, 8);
+  ASSERT_OK_AND_ASSIGN(auto store,
+                       TiledStore::Create(std::move(layout), &manager, 2));
+  std::vector<uint64_t> addr{7, 3};
+  ASSERT_OK(store->Set(addr, 1.25));
+  ASSERT_OK_AND_ASSIGN(const double v, store->Get(addr));
+  EXPECT_DOUBLE_EQ(v, 1.25);
+  std::vector<uint64_t> bad{8, 0};
+  EXPECT_FALSE(store->Get(bad).ok());
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,223 @@
+#include "shiftsplit/tile/tree_tiling.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "shiftsplit/wavelet/wavelet_index.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(TreeTilingTest, PaperFigure4Geometry) {
+  // A 32-coefficient tree with B = 2^2. The top band is the short one when
+  // b does not divide n (so the leaf bands stay full): bands of rows
+  // {0}, {1,2}, {3,4}; tiles 1 + 2 + 8 = 11.
+  TreeTiling tiling(5, 2);
+  EXPECT_EQ(tiling.num_bands(), 3u);
+  EXPECT_EQ(tiling.TilesInBand(0), 1u);
+  EXPECT_EQ(tiling.TilesInBand(1), 2u);
+  EXPECT_EQ(tiling.TilesInBand(2), 8u);
+  EXPECT_EQ(tiling.num_tiles(), 11u);
+  EXPECT_EQ(tiling.tile_capacity(), 4u);
+  EXPECT_EQ(tiling.BandHeight(0), 1u);  // short top band
+  EXPECT_EQ(tiling.BandHeight(1), 2u);
+  EXPECT_EQ(tiling.BandHeight(2), 2u);
+  EXPECT_EQ(tiling.BandRootRow(1), 1u);
+  EXPECT_EQ(tiling.BandRootRow(2), 3u);
+}
+
+TEST(TreeTilingTest, AlignedGeometryMatchesFigure4) {
+  // With b | n every band has height b: n=6, b=2 -> rows {0,1},{2,3},{4,5},
+  // tiles 1 + 4 + 16 = 21 — the paper's Figure 4 shape.
+  TreeTiling tiling(6, 2);
+  EXPECT_EQ(tiling.num_bands(), 3u);
+  EXPECT_EQ(tiling.TilesInBand(0), 1u);
+  EXPECT_EQ(tiling.TilesInBand(1), 4u);
+  EXPECT_EQ(tiling.TilesInBand(2), 16u);
+  EXPECT_EQ(tiling.num_tiles(), 21u);
+  EXPECT_EQ(tiling.BandHeight(0), 2u);
+  EXPECT_EQ(tiling.BandHeight(2), 2u);
+}
+
+TEST(TreeTilingTest, TopTileContents) {
+  TreeTiling tiling(6, 2);
+  // Scaling root and w_{6,0}, w_{5,0}, w_{5,1} share tile 0.
+  EXPECT_EQ(tiling.Locate(0), (BlockSlot{0, 0}));
+  EXPECT_EQ(tiling.Locate(DetailIndex(6, 6, 0)), (BlockSlot{0, 1}));
+  EXPECT_EQ(tiling.Locate(DetailIndex(6, 5, 0)), (BlockSlot{0, 2}));
+  EXPECT_EQ(tiling.Locate(DetailIndex(6, 5, 1)), (BlockSlot{0, 3}));
+}
+
+TEST(TreeTilingTest, SecondBandTiles) {
+  TreeTiling tiling(6, 2);
+  // Band 1 roots: w_{4,q}, q in [0,4). Tile of w_{4,2} is 1 + 2 = 3; its
+  // children w_{3,4} and w_{3,5} share it.
+  EXPECT_EQ(tiling.Locate(DetailIndex(6, 4, 2)), (BlockSlot{3, 1}));
+  EXPECT_EQ(tiling.Locate(DetailIndex(6, 3, 4)), (BlockSlot{3, 2}));
+  EXPECT_EQ(tiling.Locate(DetailIndex(6, 3, 5)), (BlockSlot{3, 3}));
+}
+
+TEST(TreeTilingTest, ShortTopBandKeepsLeafBandsFull) {
+  // n=5, b=2: band 0 holds only w_{5,0} (plus the scaling); band 1 subtrees
+  // are full-height, e.g. tile of w_{4,1} holds w_{3,2} and w_{3,3}.
+  TreeTiling tiling(5, 2);
+  EXPECT_EQ(tiling.Locate(0), (BlockSlot{0, 0}));
+  EXPECT_EQ(tiling.Locate(DetailIndex(5, 5, 0)), (BlockSlot{0, 1}));
+  EXPECT_EQ(tiling.Locate(DetailIndex(5, 4, 1)), (BlockSlot{2, 1}));
+  EXPECT_EQ(tiling.Locate(DetailIndex(5, 3, 2)), (BlockSlot{2, 2}));
+  EXPECT_EQ(tiling.Locate(DetailIndex(5, 3, 3)), (BlockSlot{2, 3}));
+}
+
+TEST(TreeTilingTest, EveryIndexGetsDistinctSlot) {
+  const uint32_t n = 7, b = 3;
+  TreeTiling tiling(n, b);
+  std::set<std::pair<uint64_t, uint64_t>> seen;
+  for (uint64_t idx = 0; idx < (uint64_t{1} << n); ++idx) {
+    const BlockSlot at = tiling.Locate(idx);
+    EXPECT_LT(at.block, tiling.num_tiles());
+    EXPECT_LT(at.slot, tiling.tile_capacity());
+    EXPECT_TRUE(seen.insert({at.block, at.slot}).second)
+        << "slot collision for index " << idx;
+  }
+}
+
+TEST(TreeTilingTest, PrimaryCoefficientsNeverUseSlotZeroExceptRoot) {
+  // Slot 0 is reserved for the subtree-root scaling; only flat index 0 (the
+  // overall average, which IS the top tile's scaling) may use it.
+  TreeTiling tiling(6, 2);
+  for (uint64_t idx = 1; idx < 64; ++idx) {
+    EXPECT_NE(tiling.Locate(idx).slot, 0u) << "index " << idx;
+  }
+}
+
+TEST(TreeTilingTest, TileContentsAreSubtrees) {
+  // All details mapped to one tile form a connected subtree: each non-root
+  // member's parent lives in the same tile.
+  const uint32_t n = 6, b = 2;
+  TreeTiling tiling(n, b);
+  std::map<uint64_t, std::vector<uint64_t>> members;
+  for (uint64_t idx = 1; idx < (uint64_t{1} << n); ++idx) {
+    members[tiling.Locate(idx).block].push_back(idx);
+  }
+  for (const auto& [block, indices] : members) {
+    int roots = 0;
+    for (uint64_t idx : indices) {
+      const uint64_t parent = ParentIndex(idx);
+      if (parent >= 1 && tiling.Locate(parent).block == block) continue;
+      ++roots;
+    }
+    EXPECT_EQ(roots, 1) << "tile " << block << " is not a single subtree";
+  }
+}
+
+TEST(TreeTilingTest, PathToRootTouchesOneTilePerBand) {
+  // The block-allocation goal: a point query's path costs ceil(n/b) tiles.
+  const uint32_t n = 8, b = 3;
+  TreeTiling tiling(n, b);
+  for (uint64_t t = 0; t < (uint64_t{1} << n); t += 7) {
+    std::set<uint64_t> tiles;
+    for (uint64_t idx : PathToRoot(n, t)) {
+      tiles.insert(tiling.Locate(idx).block);
+    }
+    EXPECT_EQ(tiles.size(), tiling.num_bands());
+  }
+}
+
+TEST(TreeTilingTest, ScalingSlots) {
+  TreeTiling tiling(6, 2);
+  // Band-root levels are 6, 4, 2.
+  EXPECT_TRUE(tiling.IsScalingLevel(6));
+  EXPECT_TRUE(tiling.IsScalingLevel(4));
+  EXPECT_TRUE(tiling.IsScalingLevel(2));
+  EXPECT_FALSE(tiling.IsScalingLevel(5));
+  EXPECT_FALSE(tiling.IsScalingLevel(3));
+  EXPECT_FALSE(tiling.IsScalingLevel(1));
+
+  ASSERT_OK_AND_ASSIGN(BlockSlot at, tiling.LocateScaling(4, 2));
+  EXPECT_EQ(at.slot, 0u);
+  // u_{4,2} sits at slot 0 of the tile rooted at w_{4,2} (band 1, tile 1+2).
+  EXPECT_EQ(at.block, tiling.Locate(DetailIndex(6, 4, 2)).block);
+
+  EXPECT_FALSE(tiling.LocateScaling(3, 0).ok());
+  EXPECT_FALSE(tiling.LocateScaling(4, 4).ok());  // beyond level width
+}
+
+TEST(TreeTilingTest, ScalingSlotsWithinAndAbove) {
+  TreeTiling tiling(6, 2);
+  // Chunk m=3, k=5 covers [40, 47]. Band-root levels <= 3: level 2.
+  const auto within = tiling.ScalingSlotsWithin(3, 5);
+  ASSERT_EQ(within.size(), 2u);
+  EXPECT_EQ(within[0], (std::pair<uint32_t, uint64_t>{2, 10}));
+  EXPECT_EQ(within[1], (std::pair<uint32_t, uint64_t>{2, 11}));
+  // Levels above 3 at band roots: 6 (pos 0) and 4 (pos 5>>1 = 2).
+  const auto above = tiling.ScalingSlotsAbove(3, 5);
+  ASSERT_EQ(above.size(), 2u);
+  EXPECT_EQ(above[0], (std::pair<uint32_t, uint64_t>{6, 0}));
+  EXPECT_EQ(above[1], (std::pair<uint32_t, uint64_t>{4, 2}));
+}
+
+TEST(TreeTilingTest, DegenerateSingleCoefficient) {
+  TreeTiling tiling(0, 2);
+  EXPECT_EQ(tiling.num_tiles(), 1u);
+  EXPECT_EQ(tiling.Locate(0), (BlockSlot{0, 0}));
+}
+
+TEST(TreeTilingTest, BlockLargerThanTree) {
+  // b > n: one tile holds the entire tree.
+  TreeTiling tiling(3, 5);
+  EXPECT_EQ(tiling.num_bands(), 1u);
+  EXPECT_EQ(tiling.num_tiles(), 1u);
+  EXPECT_EQ(tiling.BandHeight(0), 3u);
+  std::set<uint64_t> slots;
+  for (uint64_t idx = 0; idx < 8; ++idx) {
+    const BlockSlot at = tiling.Locate(idx);
+    EXPECT_EQ(at.block, 0u);
+    EXPECT_TRUE(slots.insert(at.slot).second);
+  }
+}
+
+TEST(TreeTilingLayoutTest, ValidatesAddresses) {
+  TreeTilingLayout layout(4, 2);
+  EXPECT_EQ(layout.ndim(), 1u);
+  EXPECT_EQ(layout.block_capacity(), 4u);
+  std::vector<uint64_t> good{7};
+  EXPECT_TRUE(layout.Locate(good).ok());
+  std::vector<uint64_t> big{16};
+  EXPECT_FALSE(layout.Locate(big).ok());
+  std::vector<uint64_t> wrong_d{1, 2};
+  EXPECT_FALSE(layout.Locate(wrong_d).ok());
+}
+
+class TreeTilingPropertyTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(TreeTilingPropertyTest, SlotsArePackedTightlyPerBand) {
+  const auto [n, b] = GetParam();
+  TreeTiling tiling(n, b);
+  // Within full-height bands every non-zero slot is used exactly once.
+  std::map<uint64_t, std::set<uint64_t>> used;
+  for (uint64_t idx = 1; idx < (uint64_t{1} << n); ++idx) {
+    const BlockSlot at = tiling.Locate(idx);
+    EXPECT_TRUE(used[at.block].insert(at.slot).second);
+  }
+  for (uint32_t band = 0; band < tiling.num_bands(); ++band) {
+    const uint64_t expected = (uint64_t{1} << tiling.BandHeight(band)) - 1;
+    for (uint64_t tile = tiling.BandFirstTile(band);
+         tile < tiling.BandFirstTile(band) + tiling.TilesInBand(band);
+         ++tile) {
+      // Tile 0 also holds flat index 0 at slot 0, not counted here.
+      EXPECT_EQ(used[tile].size(), expected) << "tile " << tile;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, TreeTilingPropertyTest,
+    ::testing::Combine(::testing::Values(1u, 3u, 4u, 6u, 9u),
+                       ::testing::Values(1u, 2u, 3u)));
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,84 @@
+#include "shiftsplit/util/bitops.h"
+
+#include <gtest/gtest.h>
+
+namespace shiftsplit {
+namespace {
+
+TEST(BitopsTest, IsPowerOfTwo) {
+  EXPECT_FALSE(IsPowerOfTwo(0));
+  EXPECT_TRUE(IsPowerOfTwo(1));
+  EXPECT_TRUE(IsPowerOfTwo(2));
+  EXPECT_FALSE(IsPowerOfTwo(3));
+  EXPECT_TRUE(IsPowerOfTwo(uint64_t{1} << 63));
+  EXPECT_FALSE(IsPowerOfTwo((uint64_t{1} << 63) + 1));
+}
+
+TEST(BitopsTest, Log2) {
+  EXPECT_EQ(Log2(1), 0u);
+  EXPECT_EQ(Log2(2), 1u);
+  EXPECT_EQ(Log2(3), 1u);
+  EXPECT_EQ(Log2(4), 2u);
+  EXPECT_EQ(Log2(1023), 9u);
+  EXPECT_EQ(Log2(1024), 10u);
+  EXPECT_EQ(Log2(~uint64_t{0}), 63u);
+}
+
+TEST(BitopsTest, CeilLog2AndNextPowerOfTwo) {
+  EXPECT_EQ(CeilLog2(1), 0u);
+  EXPECT_EQ(CeilLog2(2), 1u);
+  EXPECT_EQ(CeilLog2(3), 2u);
+  EXPECT_EQ(CeilLog2(1025), 11u);
+  EXPECT_EQ(NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(NextPowerOfTwo(1024), 1024u);
+}
+
+TEST(BitopsTest, CeilDivAndIPow) {
+  EXPECT_EQ(CeilDiv(10, 3), 4u);
+  EXPECT_EQ(CeilDiv(9, 3), 3u);
+  EXPECT_EQ(CeilDiv(1, 8), 1u);
+  EXPECT_EQ(IPow(2, 10), 1024u);
+  EXPECT_EQ(IPow(3, 4), 81u);
+  EXPECT_EQ(IPow(7, 0), 1u);
+}
+
+TEST(DyadicIntervalTest, Geometry) {
+  // [k*2^j, (k+1)*2^j - 1] with j=3, k=2 -> [16, 23].
+  DyadicInterval iv{3, 2};
+  EXPECT_EQ(iv.length(), 8u);
+  EXPECT_EQ(iv.begin(), 16u);
+  EXPECT_EQ(iv.last(), 23u);
+  EXPECT_EQ(iv.end(), 24u);
+  EXPECT_TRUE(iv.Contains(16));
+  EXPECT_TRUE(iv.Contains(23));
+  EXPECT_FALSE(iv.Contains(15));
+  EXPECT_FALSE(iv.Contains(24));
+}
+
+TEST(DyadicIntervalTest, Covers) {
+  DyadicInterval big{3, 0};    // [0, 7]
+  DyadicInterval left{2, 0};   // [0, 3]
+  DyadicInterval right{2, 1};  // [4, 7]
+  DyadicInterval next{2, 2};   // [8, 11]
+  EXPECT_TRUE(big.Covers(left));
+  EXPECT_TRUE(big.Covers(right));
+  EXPECT_FALSE(big.Covers(next));
+  EXPECT_TRUE(big.Covers(big));
+  EXPECT_FALSE(left.Covers(big));
+}
+
+TEST(DyadicIntervalTest, InLeftHalf) {
+  // Child intervals of level 1 within a level-3 parent: positions 0..3;
+  // 0 and 1 are in the left half, 2 and 3 in the right half.
+  EXPECT_TRUE(InLeftHalf(1, 0, 3));
+  EXPECT_TRUE(InLeftHalf(1, 1, 3));
+  EXPECT_FALSE(InLeftHalf(1, 2, 3));
+  EXPECT_FALSE(InLeftHalf(1, 3, 3));
+  // Immediate parent: alternates with position parity.
+  EXPECT_TRUE(InLeftHalf(1, 4, 2));
+  EXPECT_FALSE(InLeftHalf(1, 5, 2));
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,45 @@
+#include "shiftsplit/util/morton.h"
+
+#include <gtest/gtest.h>
+
+namespace shiftsplit {
+namespace {
+
+TEST(MortonTest, KnownCodes2D) {
+  // Classic 2-d z-order: (x, y) with x in bit 0.
+  EXPECT_EQ(MortonEncode({0, 0}, 2), 0u);
+  EXPECT_EQ(MortonEncode({1, 0}, 2), 1u);
+  EXPECT_EQ(MortonEncode({0, 1}, 2), 2u);
+  EXPECT_EQ(MortonEncode({1, 1}, 2), 3u);
+  EXPECT_EQ(MortonEncode({2, 0}, 2), 4u);
+  EXPECT_EQ(MortonEncode({3, 3}, 2), 15u);
+}
+
+TEST(MortonTest, RoundTrip3D) {
+  const uint32_t bits = 5;
+  for (uint64_t code = 0; code < (uint64_t{1} << (3 * bits)); code += 37) {
+    auto coords = MortonDecode(code, 3, bits);
+    EXPECT_EQ(MortonEncode(coords, bits), code);
+  }
+}
+
+TEST(MortonTest, RoundTrip1D) {
+  // In 1-d the morton code is the coordinate itself.
+  for (uint64_t x = 0; x < 64; ++x) {
+    EXPECT_EQ(MortonEncode({x}, 6), x);
+    EXPECT_EQ(MortonDecode(x, 1, 6)[0], x);
+  }
+}
+
+TEST(MortonTest, ConsecutiveCodesShareHighBits) {
+  // The first 2^d codes enumerate one 2x...x2 block (locality property the
+  // z-ordered chunk traversal relies on).
+  const uint32_t d = 3;
+  for (uint64_t code = 0; code < 8; ++code) {
+    auto coords = MortonDecode(code, d, 4);
+    for (auto c : coords) EXPECT_LE(c, 1u);
+  }
+}
+
+}  // namespace
+}  // namespace shiftsplit

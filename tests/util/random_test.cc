@@ -1,0 +1,88 @@
+#include "shiftsplit/util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace shiftsplit {
+namespace {
+
+TEST(Xoshiro256Test, DeterministicForSeed) {
+  Xoshiro256 a(123), b(123), c(124);
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t va = a();
+    EXPECT_EQ(va, b());
+    // Different seeds diverge almost surely.
+    if (va != c()) return;
+  }
+  FAIL() << "seeds 123 and 124 produced identical streams";
+}
+
+TEST(Xoshiro256Test, NextDoubleInUnitInterval) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(Xoshiro256Test, NextBoundedIsUnbiasedish) {
+  Xoshiro256 rng(42);
+  std::vector<int> counts(10, 0);
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) counts[rng.NextBounded(10)]++;
+  for (int c : counts) {
+    EXPECT_GT(c, kDraws / 10 * 0.9);
+    EXPECT_LT(c, kDraws / 10 * 1.1);
+  }
+}
+
+TEST(Xoshiro256Test, GaussianMoments) {
+  Xoshiro256 rng(99);
+  double sum = 0.0, sum2 = 0.0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double x = rng.NextGaussian();
+    sum += x;
+    sum2 += x * x;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum2 / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Xoshiro256Test, ExponentialMean) {
+  Xoshiro256 rng(5);
+  double sum = 0.0;
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) sum += rng.NextExponential(3.0);
+  EXPECT_NEAR(sum / kDraws, 3.0, 0.05);
+}
+
+TEST(ZipfSamplerTest, AlphaZeroIsUniform) {
+  Xoshiro256 rng(1);
+  ZipfSampler zipf(4, 0.0);
+  std::vector<int> counts(4, 0);
+  for (int i = 0; i < 40000; ++i) counts[zipf.Sample(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, 10000, 500);
+}
+
+TEST(ZipfSamplerTest, SkewPrefersLowRanks) {
+  Xoshiro256 rng(2);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 50000; ++i) counts[zipf.Sample(rng)]++;
+  EXPECT_GT(counts[0], counts[9]);
+  EXPECT_GT(counts[0], 5 * counts[50] + 1);
+}
+
+TEST(ZipfSamplerTest, SamplesStayInRange) {
+  Xoshiro256 rng(3);
+  ZipfSampler zipf(7, 2.0);
+  for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,61 @@
+#include "shiftsplit/util/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace shiftsplit {
+namespace {
+
+TEST(RunningStatsTest, Empty) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.mean(), 0.0);
+  EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.variance(), 4.0);  // population variance
+  EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.sum(), 40.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(-3.5);
+  EXPECT_DOUBLE_EQ(s.mean(), -3.5);
+  EXPECT_DOUBLE_EQ(s.variance(), 0.0);
+  EXPECT_DOUBLE_EQ(s.min(), -3.5);
+  EXPECT_DOUBLE_EQ(s.max(), -3.5);
+}
+
+TEST(ErrorMetricsTest, SseRmseMaxAbs) {
+  std::vector<double> a{1.0, 2.0, 3.0, 4.0};
+  std::vector<double> b{1.0, 2.5, 2.0, 4.0};
+  EXPECT_DOUBLE_EQ(SumSquaredError(a, b), 0.25 + 1.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(a, b), std::sqrt(1.25 / 4.0));
+  EXPECT_DOUBLE_EQ(MaxAbsoluteError(a, b), 1.0);
+}
+
+TEST(ErrorMetricsTest, IdenticalSpansAreZeroError) {
+  std::vector<double> a{5.0, -1.0, 0.0};
+  EXPECT_DOUBLE_EQ(SumSquaredError(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(RootMeanSquaredError(a, a), 0.0);
+  EXPECT_DOUBLE_EQ(MaxAbsoluteError(a, a), 0.0);
+}
+
+TEST(ErrorMetricsTest, Energy) {
+  std::vector<double> a{3.0, 4.0};
+  EXPECT_DOUBLE_EQ(Energy(a), 25.0);
+  EXPECT_DOUBLE_EQ(Energy(std::vector<double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace shiftsplit

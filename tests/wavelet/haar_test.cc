@@ -1,0 +1,159 @@
+#include "shiftsplit/wavelet/haar.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "shiftsplit/util/stats.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::ExpectNear;
+using testing::RandomVector;
+
+TEST(HaarFilterTest, AverageNormalizationPairs) {
+  EXPECT_DOUBLE_EQ(HaarAverage(3, 5, Normalization::kAverage), 4.0);
+  EXPECT_DOUBLE_EQ(HaarDetail(3, 5, Normalization::kAverage), -1.0);
+  EXPECT_DOUBLE_EQ(
+      HaarReconstructLeft(4, -1, Normalization::kAverage), 3.0);
+  EXPECT_DOUBLE_EQ(
+      HaarReconstructRight(4, -1, Normalization::kAverage), 5.0);
+}
+
+TEST(HaarFilterTest, OrthonormalNormalizationPairs) {
+  const double s = std::sqrt(2.0);
+  EXPECT_DOUBLE_EQ(HaarAverage(3, 5, Normalization::kOrthonormal), 8 / s);
+  EXPECT_DOUBLE_EQ(HaarDetail(3, 5, Normalization::kOrthonormal), -2 / s);
+  EXPECT_NEAR(HaarReconstructLeft(8 / s, -2 / s, Normalization::kOrthonormal),
+              3.0, 1e-12);
+  EXPECT_NEAR(HaarReconstructRight(8 / s, -2 / s, Normalization::kOrthonormal),
+              5.0, 1e-12);
+}
+
+TEST(HaarTest, PaperSection21Example) {
+  // {3, 5, 7, 5} -> {5, -1, -1, 1} under the paper's normalization.
+  std::vector<double> v{3, 5, 7, 5};
+  ASSERT_OK(ForwardHaar1D(v, Normalization::kAverage));
+  ExpectNear(std::vector<double>{5, -1, -1, 1}, v);
+}
+
+TEST(HaarTest, SizeMustBePowerOfTwo) {
+  std::vector<double> v(6, 1.0);
+  EXPECT_EQ(ForwardHaar1D(v, Normalization::kAverage).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(InverseHaar1D(v, Normalization::kAverage).code(),
+            StatusCode::kInvalidArgument);
+  std::vector<double> empty;
+  EXPECT_EQ(ForwardHaar1D(empty, Normalization::kAverage).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HaarTest, SizeOneIsIdentity) {
+  std::vector<double> v{42.0};
+  ASSERT_OK(ForwardHaar1D(v, Normalization::kAverage));
+  EXPECT_DOUBLE_EQ(v[0], 42.0);
+  ASSERT_OK(InverseHaar1D(v, Normalization::kOrthonormal));
+  EXPECT_DOUBLE_EQ(v[0], 42.0);
+}
+
+TEST(HaarTest, ConstantVectorHasOnlyAverage) {
+  std::vector<double> v(64, 2.5);
+  ASSERT_OK(ForwardHaar1D(v, Normalization::kAverage));
+  EXPECT_DOUBLE_EQ(v[0], 2.5);
+  for (size_t i = 1; i < v.size(); ++i) EXPECT_DOUBLE_EQ(v[i], 0.0);
+}
+
+class HaarRoundTripTest
+    : public ::testing::TestWithParam<std::tuple<size_t, Normalization>> {};
+
+TEST_P(HaarRoundTripTest, InverseRecoversInput) {
+  const auto [size, norm] = GetParam();
+  std::vector<double> original = RandomVector(size, size * 31 + 7);
+  std::vector<double> v = original;
+  ASSERT_OK(ForwardHaar1D(v, norm));
+  ASSERT_OK(InverseHaar1D(v, norm));
+  ExpectNear(original, v, 1e-10);
+}
+
+TEST_P(HaarRoundTripTest, FirstCoefficientSummarizesData) {
+  const auto [size, norm] = GetParam();
+  std::vector<double> v = RandomVector(size, size + 1);
+  double sum = 0.0;
+  for (double x : v) sum += x;
+  ASSERT_OK(ForwardHaar1D(v, norm));
+  if (norm == Normalization::kAverage) {
+    EXPECT_NEAR(v[0], sum / static_cast<double>(size), 1e-10);
+  } else {
+    EXPECT_NEAR(v[0], sum / std::sqrt(static_cast<double>(size)), 1e-10);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndNorms, HaarRoundTripTest,
+    ::testing::Combine(::testing::Values(1, 2, 4, 8, 32, 256, 1024),
+                       ::testing::Values(Normalization::kAverage,
+                                         Normalization::kOrthonormal)));
+
+TEST(HaarTest, OrthonormalPreservesEnergy) {
+  std::vector<double> v = RandomVector(512, 11);
+  const double before = Energy(v);
+  ASSERT_OK(ForwardHaar1D(v, Normalization::kOrthonormal));
+  EXPECT_NEAR(Energy(v), before, 1e-8);
+}
+
+TEST(HaarTest, TransformIsLinear) {
+  const size_t kSize = 128;
+  auto a = RandomVector(kSize, 1);
+  auto b = RandomVector(kSize, 2);
+  std::vector<double> combo(kSize);
+  for (size_t i = 0; i < kSize; ++i) combo[i] = 2.0 * a[i] - 3.0 * b[i];
+  ASSERT_OK(ForwardHaar1D(a, Normalization::kAverage));
+  ASSERT_OK(ForwardHaar1D(b, Normalization::kAverage));
+  ASSERT_OK(ForwardHaar1D(combo, Normalization::kAverage));
+  for (size_t i = 0; i < kSize; ++i) {
+    EXPECT_NEAR(combo[i], 2.0 * a[i] - 3.0 * b[i], 1e-10);
+  }
+}
+
+TEST(HaarLevelsTest, ZeroLevelsIsIdentity) {
+  std::vector<double> v = RandomVector(16, 3);
+  std::vector<double> original = v;
+  ASSERT_OK(ForwardHaar1DLevels(v, 0, Normalization::kAverage));
+  ExpectNear(original, v);
+}
+
+TEST(HaarLevelsTest, PartialThenRemainingEqualsFull) {
+  std::vector<double> full = RandomVector(64, 4);
+  std::vector<double> partial = full;
+  ASSERT_OK(ForwardHaar1D(full, Normalization::kAverage));
+  ASSERT_OK(ForwardHaar1DLevels(partial, 2, Normalization::kAverage));
+  // Finishing the decomposition on the 16-long scaling prefix must equal the
+  // one-shot transform.
+  ASSERT_OK(ForwardHaar1D(std::span<double>(partial.data(), 16),
+                          Normalization::kAverage));
+  ExpectNear(full, partial, 1e-10);
+}
+
+TEST(HaarLevelsTest, PartialRoundTrip) {
+  for (uint32_t levels = 0; levels <= 5; ++levels) {
+    std::vector<double> original = RandomVector(32, levels + 10);
+    std::vector<double> v = original;
+    ASSERT_OK(ForwardHaar1DLevels(v, levels, Normalization::kOrthonormal));
+    ASSERT_OK(InverseHaar1DLevels(v, levels, Normalization::kOrthonormal));
+    ExpectNear(original, v, 1e-10);
+  }
+}
+
+TEST(HaarLevelsTest, TooManyLevelsRejected) {
+  std::vector<double> v(8, 0.0);
+  EXPECT_EQ(ForwardHaar1DLevels(v, 4, Normalization::kAverage).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(InverseHaar1DLevels(v, 4, Normalization::kAverage).code(),
+            StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiftsplit

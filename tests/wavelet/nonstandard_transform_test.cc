@@ -1,0 +1,173 @@
+#include "shiftsplit/wavelet/nonstandard_transform.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shiftsplit/util/stats.h"
+#include "shiftsplit/wavelet/standard_transform.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::ExpectNear;
+using testing::RandomVector;
+
+Tensor RandomCube(uint32_t d, uint64_t extent, uint64_t seed) {
+  TensorShape shape = TensorShape::Cube(d, extent);
+  auto v = RandomVector(shape.num_elements(), seed);
+  return Tensor(std::move(shape), std::move(v));
+}
+
+TEST(NsSignTest, ParityOfSharedBits) {
+  EXPECT_EQ(NsSign(0b00, 0b11), 1);
+  EXPECT_EQ(NsSign(0b01, 0b01), -1);
+  EXPECT_EQ(NsSign(0b11, 0b01), -1);
+  EXPECT_EQ(NsSign(0b11, 0b11), 1);
+  EXPECT_EQ(NsSign(0b101, 0b100), -1);
+}
+
+TEST(NsAddressTest, BijectionOverAllCells) {
+  const uint32_t n = 3, d = 2;
+  std::set<std::vector<uint64_t>> seen;
+  // Root.
+  NsCoeffId root;
+  root.is_scaling = true;
+  root.level = n;
+  root.node.assign(d, 0);
+  seen.insert(NsAddress(n, root));
+  // All details.
+  for (uint32_t j = 1; j <= n; ++j) {
+    const uint64_t nodes = uint64_t{1} << (n - j);
+    for (uint64_t p0 = 0; p0 < nodes; ++p0) {
+      for (uint64_t p1 = 0; p1 < nodes; ++p1) {
+        for (uint64_t sigma = 1; sigma < 4; ++sigma) {
+          NsCoeffId id;
+          id.level = j;
+          id.node = {p0, p1};
+          id.subband = sigma;
+          const auto addr = NsAddress(n, id);
+          EXPECT_TRUE(seen.insert(addr).second)
+              << "address collision at level " << j;
+          // Round trip.
+          const NsCoeffId back = NsCoeffOfAddress(n, addr);
+          EXPECT_EQ(back, id);
+        }
+      }
+    }
+  }
+  EXPECT_EQ(seen.size(), 64u);  // fills the whole 8x8 tensor
+}
+
+TEST(NsAddressTest, RootDecodes) {
+  const NsCoeffId id = NsCoeffOfAddress(4, std::vector<uint64_t>{0, 0, 0});
+  EXPECT_TRUE(id.is_scaling);
+  EXPECT_EQ(id.level, 4u);
+}
+
+class NonstandardTransformTest
+    : public ::testing::TestWithParam<
+          std::tuple<uint32_t, uint64_t, Normalization>> {};
+
+TEST_P(NonstandardTransformTest, RoundTrip) {
+  const auto [d, extent, norm] = GetParam();
+  Tensor t = RandomCube(d, extent, d * 100 + extent);
+  std::vector<double> original(t.data().begin(), t.data().end());
+  ASSERT_OK(ForwardNonstandard(&t, norm));
+  ASSERT_OK(InverseNonstandard(&t, norm));
+  ExpectNear(original, t.data(), 1e-9);
+}
+
+TEST_P(NonstandardTransformTest, PointReconstruction) {
+  const auto [d, extent, norm] = GetParam();
+  Tensor t = RandomCube(d, extent, d * 7 + extent);
+  Tensor original = t;
+  ASSERT_OK(ForwardNonstandard(&t, norm));
+  std::vector<uint64_t> point(d, 0);
+  do {
+    EXPECT_NEAR(NsReconstructPoint(t, point, norm), original.At(point), 1e-9);
+  } while (original.shape().Next(point));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    DimsExtentsNorms, NonstandardTransformTest,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u),
+                       ::testing::Values(uint64_t{2}, uint64_t{4}, uint64_t{8}),
+                       ::testing::Values(Normalization::kAverage,
+                                         Normalization::kOrthonormal)));
+
+TEST(NonstandardTransformTest, RequiresCube) {
+  Tensor t(TensorShape({4, 8}));
+  EXPECT_EQ(ForwardNonstandard(&t, Normalization::kAverage).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(InverseNonstandard(&t, Normalization::kAverage).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(NonstandardTransformTest, OneDimEqualsStandard) {
+  // In 1-d the two forms coincide.
+  Tensor a = RandomCube(1, 32, 21);
+  Tensor b = a;
+  ASSERT_OK(ForwardNonstandard(&a, Normalization::kAverage));
+  ASSERT_OK(ForwardStandard(&b, Normalization::kAverage));
+  ExpectNear(b.data(), a.data(), 1e-10);
+}
+
+TEST(NonstandardTransformTest, RootIsGrandAverage) {
+  Tensor t = RandomCube(2, 16, 22);
+  double sum = 0.0;
+  for (double x : t.data()) sum += x;
+  ASSERT_OK(ForwardNonstandard(&t, Normalization::kAverage));
+  EXPECT_NEAR(t[0], sum / 256.0, 1e-10);
+}
+
+TEST(NonstandardTransformTest, ConstantInputHasOnlyRoot) {
+  Tensor t(TensorShape::Cube(3, 4));
+  t.Fill(1.5);
+  ASSERT_OK(ForwardNonstandard(&t, Normalization::kAverage));
+  EXPECT_NEAR(t[0], 1.5, 1e-12);
+  for (uint64_t i = 1; i < t.size(); ++i) EXPECT_NEAR(t[i], 0.0, 1e-12);
+}
+
+TEST(NonstandardTransformTest, OrthonormalPreservesEnergy) {
+  Tensor t = RandomCube(2, 32, 23);
+  const double before = Energy(t.data());
+  ASSERT_OK(ForwardNonstandard(&t, Normalization::kOrthonormal));
+  EXPECT_NEAR(Energy(t.data()), before, 1e-8);
+}
+
+TEST(NonstandardTransformTest, DiffersFromStandardIn2D) {
+  // Sanity: the two forms are genuinely different decompositions for d >= 2.
+  Tensor a = RandomCube(2, 8, 24);
+  Tensor b = a;
+  ASSERT_OK(ForwardNonstandard(&a, Normalization::kAverage));
+  ASSERT_OK(ForwardStandard(&b, Normalization::kAverage));
+  double max_diff = 0.0;
+  for (uint64_t i = 0; i < a.size(); ++i) {
+    max_diff = std::max(max_diff, std::abs(a[i] - b[i]));
+  }
+  EXPECT_GT(max_diff, 1e-6);
+}
+
+TEST(NonstandardTransformTest, LevelOneDetailIsLocalBlockDifference) {
+  // For a 2x2 input the three subband coefficients are the 2-d Haar block
+  // combinations of the four cells.
+  Tensor t(TensorShape::Cube(2, 2), {1.0, 2.0, 3.0, 4.0});  // rows: (1 2),(3 4)
+  ASSERT_OK(ForwardNonstandard(&t, Normalization::kAverage));
+  // Average.
+  EXPECT_NEAR(t.At(std::vector<uint64_t>{0, 0}), 2.5, 1e-12);
+  // sigma = 01 (dim1 bit... subband in dim 0? sigma bit t addresses dim t):
+  // address {0,1} <-> sigma with bit on dim 1: (x00 - x01 + x10 - x11)/4.
+  EXPECT_NEAR(t.At(std::vector<uint64_t>{0, 1}), (1.0 - 2.0 + 3.0 - 4.0) / 4,
+              1e-12);
+  // address {1,0}: (x00 + x01 - x10 - x11)/4.
+  EXPECT_NEAR(t.At(std::vector<uint64_t>{1, 0}), (1.0 + 2.0 - 3.0 - 4.0) / 4,
+              1e-12);
+  // address {1,1}: (x00 - x01 - x10 + x11)/4.
+  EXPECT_NEAR(t.At(std::vector<uint64_t>{1, 1}), (1.0 - 2.0 - 3.0 + 4.0) / 4,
+              1e-12);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,134 @@
+#include "shiftsplit/wavelet/standard_transform.h"
+
+#include <gtest/gtest.h>
+
+#include "shiftsplit/util/stats.h"
+#include "shiftsplit/wavelet/haar.h"
+#include "shiftsplit/wavelet/wavelet_index.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using testing::ExpectNear;
+using testing::RandomVector;
+
+Tensor RandomTensor(TensorShape shape, uint64_t seed) {
+  auto v = RandomVector(shape.num_elements(), seed);
+  return Tensor(std::move(shape), std::move(v));
+}
+
+class StandardTransformTest
+    : public ::testing::TestWithParam<
+          std::tuple<std::vector<uint64_t>, Normalization>> {};
+
+TEST_P(StandardTransformTest, RoundTrip) {
+  const auto& [dims, norm] = GetParam();
+  Tensor t = RandomTensor(TensorShape(dims), 3);
+  std::vector<double> original(t.data().begin(), t.data().end());
+  ASSERT_OK(ForwardStandard(&t, norm));
+  ASSERT_OK(InverseStandard(&t, norm));
+  ExpectNear(original, t.data(), 1e-9);
+}
+
+TEST_P(StandardTransformTest, PointReconstruction) {
+  const auto& [dims, norm] = GetParam();
+  Tensor t = RandomTensor(TensorShape(dims), 4);
+  Tensor original = t;
+  ASSERT_OK(ForwardStandard(&t, norm));
+  std::vector<uint64_t> point(dims.size(), 0);
+  do {
+    EXPECT_NEAR(StandardReconstructPoint(t, point, norm), original.At(point),
+                1e-9);
+  } while (original.shape().Next(point));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndNorms, StandardTransformTest,
+    ::testing::Combine(
+        ::testing::Values(std::vector<uint64_t>{16},
+                          std::vector<uint64_t>{8, 8},
+                          std::vector<uint64_t>{4, 16},
+                          std::vector<uint64_t>{4, 4, 4},
+                          std::vector<uint64_t>{2, 4, 2, 8}),
+        ::testing::Values(Normalization::kAverage,
+                          Normalization::kOrthonormal)));
+
+TEST(StandardTransformTest, OneDimMatchesHaar) {
+  auto v = RandomVector(64, 9);
+  Tensor t(TensorShape({64}), v);
+  ASSERT_OK(ForwardStandard(&t, Normalization::kAverage));
+  ASSERT_OK(ForwardHaar1D(v, Normalization::kAverage));
+  ExpectNear(v, t.data(), 1e-12);
+}
+
+TEST(StandardTransformTest, SeparabilityAgainstManualRowsThenCols) {
+  // For a 2-d array the standard transform equals transforming every row,
+  // then every column of the result.
+  const uint64_t rows = 8, cols = 16;
+  Tensor t = RandomTensor(TensorShape({rows, cols}), 10);
+  Tensor manual = t;
+
+  ASSERT_OK(ForwardStandard(&t, Normalization::kAverage));
+
+  // Rows are dim 0 fibers? No: a "row" is fixed dim0, varying dim1.
+  std::vector<double> row(cols);
+  for (uint64_t r = 0; r < rows; ++r) {
+    std::vector<uint64_t> base{r, 0};
+    manual.GatherFiber(1, base, row);
+    ASSERT_OK(ForwardHaar1D(row, Normalization::kAverage));
+    manual.ScatterFiber(1, base, row);
+  }
+  std::vector<double> col(rows);
+  for (uint64_t c = 0; c < cols; ++c) {
+    std::vector<uint64_t> base{0, c};
+    manual.GatherFiber(0, base, col);
+    ASSERT_OK(ForwardHaar1D(col, Normalization::kAverage));
+    manual.ScatterFiber(0, base, col);
+  }
+  ExpectNear(manual.data(), t.data(), 1e-10);
+}
+
+TEST(StandardTransformTest, TopLeftIsGrandAverage) {
+  Tensor t = RandomTensor(TensorShape({8, 8}), 11);
+  double sum = 0.0;
+  for (double x : t.data()) sum += x;
+  ASSERT_OK(ForwardStandard(&t, Normalization::kAverage));
+  EXPECT_NEAR(t[0], sum / 64.0, 1e-10);
+}
+
+TEST(StandardTransformTest, OrthonormalPreservesEnergy) {
+  Tensor t = RandomTensor(TensorShape({16, 8, 4}), 12);
+  const double before = Energy(t.data());
+  ASSERT_OK(ForwardStandard(&t, Normalization::kOrthonormal));
+  EXPECT_NEAR(Energy(t.data()), before, 1e-8);
+}
+
+TEST(ReconstructionWeightTest, AverageWeightsAreSigns) {
+  const uint32_t n = 4;
+  for (uint64_t idx = 0; idx < 16; ++idx) {
+    for (uint64_t t = 0; t < 16; ++t) {
+      EXPECT_DOUBLE_EQ(
+          ReconstructionWeight(n, idx, t, Normalization::kAverage),
+          ReconstructionSign(n, idx, t));
+    }
+  }
+}
+
+TEST(ReconstructionWeightTest, OrthonormalWeightsReconstruct) {
+  const uint32_t n = 5;
+  auto data = RandomVector(1u << n, 13);
+  auto transformed = data;
+  ASSERT_OK(ForwardHaar1D(transformed, Normalization::kOrthonormal));
+  for (uint64_t t = 0; t < data.size(); t += 3) {
+    double v = 0.0;
+    for (uint64_t idx : PathToRoot(n, t)) {
+      v += ReconstructionWeight(n, idx, t, Normalization::kOrthonormal) *
+           transformed[idx];
+    }
+    EXPECT_NEAR(v, data[t], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -1,0 +1,102 @@
+#include "shiftsplit/wavelet/tensor.h"
+
+#include <gtest/gtest.h>
+
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(TensorShapeTest, StridesAreRowMajor) {
+  TensorShape s({4, 2, 8});
+  EXPECT_EQ(s.ndim(), 3u);
+  EXPECT_EQ(s.num_elements(), 64u);
+  EXPECT_EQ(s.stride(2), 1u);
+  EXPECT_EQ(s.stride(1), 8u);
+  EXPECT_EQ(s.stride(0), 16u);
+}
+
+TEST(TensorShapeTest, MakeValidates) {
+  EXPECT_FALSE(TensorShape::Make({}).ok());
+  EXPECT_FALSE(TensorShape::Make({4, 3}).ok());
+  EXPECT_FALSE(TensorShape::Make({0}).ok());
+  EXPECT_TRUE(TensorShape::Make({4, 8}).ok());
+}
+
+TEST(TensorShapeTest, FlatIndexRoundTrip) {
+  TensorShape s({4, 8, 2});
+  for (uint64_t flat = 0; flat < s.num_elements(); ++flat) {
+    EXPECT_EQ(s.FlatIndex(s.Coords(flat)), flat);
+  }
+}
+
+TEST(TensorShapeTest, NextEnumeratesRowMajor) {
+  TensorShape s({2, 2});
+  std::vector<uint64_t> c(2, 0);
+  std::vector<std::vector<uint64_t>> seen;
+  do {
+    seen.push_back(c);
+  } while (s.Next(c));
+  ASSERT_EQ(seen.size(), 4u);
+  EXPECT_EQ(seen[0], (std::vector<uint64_t>{0, 0}));
+  EXPECT_EQ(seen[1], (std::vector<uint64_t>{0, 1}));
+  EXPECT_EQ(seen[2], (std::vector<uint64_t>{1, 0}));
+  EXPECT_EQ(seen[3], (std::vector<uint64_t>{1, 1}));
+  // Wrapped back to the origin.
+  EXPECT_EQ(c, (std::vector<uint64_t>{0, 0}));
+}
+
+TEST(TensorShapeTest, CubeAndLogDims) {
+  TensorShape s = TensorShape::Cube(3, 16);
+  EXPECT_TRUE(s.IsCube());
+  EXPECT_EQ(s.LogDims(), (std::vector<uint32_t>{4, 4, 4}));
+  EXPECT_FALSE(TensorShape({4, 8}).IsCube());
+  EXPECT_EQ(s.ToString(), "[16x16x16]");
+}
+
+TEST(TensorTest, AtMatchesFlatIndexing) {
+  TensorShape shape({2, 4});
+  Tensor t(shape);
+  for (uint64_t i = 0; i < t.size(); ++i) t[i] = static_cast<double>(i);
+  EXPECT_DOUBLE_EQ(t.At(std::vector<uint64_t>{1, 2}), 6.0);
+  t.At(std::vector<uint64_t>{0, 3}) = -1.0;
+  EXPECT_DOUBLE_EQ(t[3], -1.0);
+}
+
+TEST(TensorTest, FillAndConstruction) {
+  Tensor t(TensorShape({4, 4}));
+  t.Fill(3.25);
+  for (uint64_t i = 0; i < t.size(); ++i) EXPECT_DOUBLE_EQ(t[i], 3.25);
+  Tensor u(TensorShape({2}), {1.0, 2.0});
+  EXPECT_DOUBLE_EQ(u[1], 2.0);
+}
+
+TEST(TensorTest, FiberGatherScatterRoundTrip) {
+  TensorShape shape({4, 2, 8});
+  Tensor t(shape);
+  auto values = testing::RandomVector(t.size(), 5);
+  std::copy(values.begin(), values.end(), t.data().begin());
+
+  for (uint32_t dim = 0; dim < 3; ++dim) {
+    std::vector<double> fiber(shape.dim(dim));
+    std::vector<uint64_t> base{1, 1, 3};
+    t.GatherFiber(dim, base, fiber);
+    // Check gathered values against direct addressing.
+    for (uint64_t k = 0; k < fiber.size(); ++k) {
+      std::vector<uint64_t> c = base;
+      c[dim] = k;
+      EXPECT_DOUBLE_EQ(fiber[k], t.At(c));
+    }
+    // Scatter modified values and verify.
+    for (auto& x : fiber) x += 1.0;
+    t.ScatterFiber(dim, base, fiber);
+    for (uint64_t k = 0; k < fiber.size(); ++k) {
+      std::vector<uint64_t> c = base;
+      c[dim] = k;
+      EXPECT_DOUBLE_EQ(t.At(c), fiber[k]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace shiftsplit

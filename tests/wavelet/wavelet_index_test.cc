@@ -1,0 +1,198 @@
+#include "shiftsplit/wavelet/wavelet_index.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "shiftsplit/wavelet/haar.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(WaveletIndexTest, DetailIndexMatchesPaperOrdering) {
+  // N = 8 (n = 3): [u_{3,0}, w_{3,0}, w_{2,0}, w_{2,1}, w_{1,0..3}].
+  EXPECT_EQ(DetailIndex(3, 3, 0), 1u);
+  EXPECT_EQ(DetailIndex(3, 2, 0), 2u);
+  EXPECT_EQ(DetailIndex(3, 2, 1), 3u);
+  EXPECT_EQ(DetailIndex(3, 1, 0), 4u);
+  EXPECT_EQ(DetailIndex(3, 1, 3), 7u);
+}
+
+TEST(WaveletIndexTest, CoordOfIndexRoundTrip) {
+  const uint32_t n = 6;
+  std::set<uint64_t> seen;
+  for (uint32_t j = 1; j <= n; ++j) {
+    for (uint64_t k = 0; k < (uint64_t{1} << (n - j)); ++k) {
+      const uint64_t idx = DetailIndex(n, j, k);
+      EXPECT_TRUE(seen.insert(idx).second) << "index collision at " << idx;
+      const WaveletCoord c = CoordOfIndex(n, idx);
+      EXPECT_FALSE(c.is_scaling);
+      EXPECT_EQ(c.level, j);
+      EXPECT_EQ(c.pos, k);
+    }
+  }
+  // All indices 1..N-1 are details; 0 is the scaling root.
+  EXPECT_EQ(seen.size(), (uint64_t{1} << n) - 1);
+  EXPECT_TRUE(CoordOfIndex(n, 0).is_scaling);
+  EXPECT_EQ(CoordOfIndex(n, 0).level, n);
+}
+
+TEST(WaveletIndexTest, SupportIntervals) {
+  // Figure 2 of the paper: w_{2,0} of N=8 covers [0,3].
+  const DyadicInterval s = SupportOfIndex(3, DetailIndex(3, 2, 0));
+  EXPECT_EQ(s.begin(), 0u);
+  EXPECT_EQ(s.last(), 3u);
+  // w_{1,2} covers [4,5].
+  const DyadicInterval s2 = SupportOfIndex(3, DetailIndex(3, 1, 2));
+  EXPECT_EQ(s2.begin(), 4u);
+  EXPECT_EQ(s2.last(), 5u);
+  // The scaling root covers everything.
+  const DyadicInterval sr = SupportOfIndex(3, 0);
+  EXPECT_EQ(sr.begin(), 0u);
+  EXPECT_EQ(sr.last(), 7u);
+}
+
+TEST(WaveletIndexTest, ParentChildRelationship) {
+  // w_{2,0} (idx 2) has children w_{1,0} (idx 4) and w_{1,1} (idx 5).
+  EXPECT_EQ(LeftChildIndex(2), 4u);
+  EXPECT_EQ(RightChildIndex(2), 5u);
+  EXPECT_EQ(ParentIndex(4), 2u);
+  EXPECT_EQ(ParentIndex(5), 2u);
+  // w_{n,0} (idx 1) is the child of the scaling root (idx 0).
+  EXPECT_EQ(ParentIndex(1), 0u);
+}
+
+TEST(WaveletIndexTest, ParentCoversChild) {
+  const uint32_t n = 5;
+  for (uint64_t idx = 2; idx < (uint64_t{1} << n); ++idx) {
+    EXPECT_TRUE(SupportOfIndex(n, ParentIndex(idx))
+                    .Covers(SupportOfIndex(n, idx)))
+        << "parent of " << idx << " does not cover it";
+  }
+}
+
+TEST(WaveletIndexTest, PathToRootHasLemma1Length) {
+  const uint32_t n = 7;
+  for (uint64_t t : {uint64_t{0}, uint64_t{1}, uint64_t{63}, uint64_t{127}}) {
+    const auto path = PathToRoot(n, t);
+    ASSERT_EQ(path.size(), n + 1);  // Lemma 1: log N + 1 coefficients.
+    EXPECT_EQ(path[0], 0u);
+    // Each detail on the path covers t, and levels decrease root-to-leaf.
+    for (size_t i = 1; i < path.size(); ++i) {
+      EXPECT_TRUE(SupportOfIndex(n, path[i]).Contains(t));
+      EXPECT_EQ(CoordOfIndex(n, path[i]).level, n + 1 - i);
+    }
+  }
+}
+
+TEST(WaveletIndexTest, ReconstructionSign) {
+  // w_{2,0} of N=8 covers [0,3]: + for 0,1 and - for 2,3; 0 outside.
+  const uint64_t idx = DetailIndex(3, 2, 0);
+  EXPECT_EQ(ReconstructionSign(3, idx, 0), 1);
+  EXPECT_EQ(ReconstructionSign(3, idx, 1), 1);
+  EXPECT_EQ(ReconstructionSign(3, idx, 2), -1);
+  EXPECT_EQ(ReconstructionSign(3, idx, 3), -1);
+  EXPECT_EQ(ReconstructionSign(3, idx, 4), 0);
+  EXPECT_EQ(ReconstructionSign(3, 0, 5), 1);
+}
+
+TEST(WaveletIndexTest, SignsReconstructPoint) {
+  // sum over path of sign * coefficient == data value (kAverage).
+  const uint32_t n = 5;
+  auto data = testing::RandomVector(1u << n, 17);
+  auto transformed = data;
+  ASSERT_OK(ForwardHaar1D(transformed, Normalization::kAverage));
+  for (uint64_t t = 0; t < data.size(); ++t) {
+    double v = 0.0;
+    for (uint64_t idx : PathToRoot(n, t)) {
+      v += ReconstructionSign(n, idx, t) * transformed[idx];
+    }
+    EXPECT_NEAR(v, data[t], 1e-10);
+  }
+}
+
+TEST(ShiftIndexTest, MapsChunkDetailsToPaperPositions) {
+  // N=16 (n=4), chunk size M=4 (m=2), chunk k=2 covering [8,11].
+  // Local w_{2,0} (idx 1) -> global w_{2,2} = idx 2^2 + 2 = 6.
+  EXPECT_EQ(ShiftIndex(4, 2, 2, 1), 6u);
+  // Local w_{1,0} (idx 2) -> global w_{1,4} = idx 2^3 + 4 = 12.
+  EXPECT_EQ(ShiftIndex(4, 2, 2, 2), 12u);
+  // Local w_{1,1} (idx 3) -> global w_{1,5} = 13.
+  EXPECT_EQ(ShiftIndex(4, 2, 2, 3), 13u);
+}
+
+TEST(ShiftIndexTest, ShiftedSupportsAreTranslatedLocals) {
+  const uint32_t n = 8, m = 4;
+  for (uint64_t k = 0; k < (uint64_t{1} << (n - m)); ++k) {
+    for (uint64_t local = 1; local < (uint64_t{1} << m); ++local) {
+      const uint64_t global = ShiftIndex(n, m, k, local);
+      const DyadicInterval ls = SupportOfIndex(m, local);
+      const DyadicInterval gs = SupportOfIndex(n, global);
+      EXPECT_EQ(gs.level, ls.level);
+      EXPECT_EQ(gs.begin(), ls.begin() + k * (uint64_t{1} << m));
+    }
+  }
+}
+
+TEST(ShiftIndexTest, ImagesOfDistinctChunksAreDisjoint) {
+  const uint32_t n = 6, m = 3;
+  std::set<uint64_t> seen;
+  for (uint64_t k = 0; k < (uint64_t{1} << (n - m)); ++k) {
+    for (uint64_t local = 1; local < (uint64_t{1} << m); ++local) {
+      EXPECT_TRUE(seen.insert(ShiftIndex(n, m, k, local)).second);
+    }
+  }
+  // The images fill exactly the levels <= m part of the tree.
+  EXPECT_EQ(seen.size(),
+            ((uint64_t{1} << m) - 1) * (uint64_t{1} << (n - m)));
+}
+
+TEST(UnshiftIndexTest, InvertsShift) {
+  const uint32_t n = 7, m = 3;
+  for (uint64_t k = 0; k < (uint64_t{1} << (n - m)); ++k) {
+    for (uint64_t local = 1; local < (uint64_t{1} << m); ++local) {
+      const uint64_t global = ShiftIndex(n, m, k, local);
+      auto r = UnshiftIndex(n, m, k, global);
+      ASSERT_TRUE(r.ok());
+      EXPECT_EQ(*r, local);
+    }
+  }
+}
+
+TEST(UnshiftIndexTest, RejectsCoefficientsOutsideChunk) {
+  // Global w_{1,0} (N=16) is in chunk 0, not chunk 1.
+  EXPECT_FALSE(UnshiftIndex(4, 2, 1, DetailIndex(4, 1, 0)).ok());
+  // Levels above the chunk cannot be unshifted.
+  EXPECT_FALSE(UnshiftIndex(4, 2, 0, DetailIndex(4, 3, 0)).ok());
+  // The scaling root is split, not shifted.
+  EXPECT_FALSE(UnshiftIndex(4, 2, 0, 0).ok());
+}
+
+TEST(SplitTargetsTest, TargetsLieOnPathAboveChunk) {
+  // N=16, M=4, chunk k=2 (range [8,11]): targets are w_{3,1}, w_{4,0}, u.
+  const auto targets = SplitTargetIndices(4, 2, 2);
+  ASSERT_EQ(targets.size(), 3u);  // n - m + 1
+  EXPECT_EQ(targets[0], DetailIndex(4, 3, 1));
+  EXPECT_EQ(targets[1], DetailIndex(4, 4, 0));
+  EXPECT_EQ(targets[2], 0u);
+}
+
+TEST(SplitTargetsTest, EveryTargetCoversTheChunk) {
+  const uint32_t n = 9, m = 4;
+  for (uint64_t k = 0; k < (uint64_t{1} << (n - m)); k += 3) {
+    const DyadicInterval chunk{m, k};
+    for (uint64_t idx : SplitTargetIndices(n, m, k)) {
+      EXPECT_TRUE(SupportOfIndex(n, idx).Covers(chunk));
+    }
+  }
+}
+
+TEST(SplitTargetsTest, WholeVectorChunkHasOnlyRootTarget) {
+  const auto targets = SplitTargetIndices(5, 5, 0);
+  ASSERT_EQ(targets.size(), 1u);
+  EXPECT_EQ(targets[0], 0u);
+}
+
+}  // namespace
+}  // namespace shiftsplit

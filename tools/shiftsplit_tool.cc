@@ -1,0 +1,334 @@
+// shiftsplit_tool — command-line front end for disk-resident wavelet stores.
+//
+//   create   <dir> --form F --dims A,B,.. [--b N] [--norm average|orthonormal]
+//   ingest   <dir> --dataset NAME [--chunk LOG] [--zorder] [--sparse] [--seed S]
+//   info     <dir>
+//   point    <dir> --at X,Y,..  [--slots]
+//   sum      <dir> --lo X,Y,.. --hi X,Y,..
+//   extract  <dir> --lo X,Y,.. --hi X,Y,..
+//   selftest [dir]
+//
+// A store directory holds `store.manifest` (see storage/manifest.h) and
+// `blocks.bin` (the tile device). Datasets: temperature, uniform, smooth,
+// sparse (synthetic; see src/shiftsplit/data/).
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "shiftsplit/core/wavelet_cube.h"
+#include "shiftsplit/data/synthetic.h"
+#include "shiftsplit/data/temperature.h"
+#include "shiftsplit/storage/manifest.h"
+
+namespace shiftsplit::tool {
+namespace {
+
+constexpr char kUsage[] =
+    "usage: shiftsplit_tool <create|ingest|info|point|sum|extract|selftest> "
+    "<store-dir> [flags]\n"
+    "  create  --form standard|nonstandard --dims 4,4,6 [--b 2]\n"
+    "          [--norm average|orthonormal]\n"
+    "  ingest  --dataset temperature|uniform|smooth|sparse [--chunk 3]\n"
+    "          [--zorder] [--sparse] [--seed 1]\n"
+    "  info\n"
+    "  point   --at 1,2,3 [--slots]\n"
+    "  sum     --lo 0,0,0 --hi 3,3,3\n"
+    "  extract --lo 0,0,0 --hi 3,3,3\n";
+
+struct Args {
+  std::string command;
+  std::string dir;
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> bare;  // leftover positionals
+};
+
+Result<Args> ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc < 2) return Status::InvalidArgument("missing command");
+  args.command = argv[1];
+  int i = 2;
+  if (args.command != "selftest") {
+    if (argc < 3) return Status::InvalidArgument("missing store directory");
+    args.dir = argv[2];
+    i = 3;
+  } else if (argc >= 3 && argv[2][0] != '-') {
+    args.dir = argv[2];
+    i = 3;
+  }
+  for (; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      const std::string key = a.substr(2);
+      if (key == "zorder" || key == "sparse" || key == "slots") {
+        args.flags[key] = "1";
+      } else if (i + 1 < argc) {
+        args.flags[key] = argv[++i];
+      } else {
+        return Status::InvalidArgument("flag --" + key + " needs a value");
+      }
+    } else {
+      args.bare.push_back(std::move(a));
+    }
+  }
+  return args;
+}
+
+Result<std::vector<uint64_t>> ParseList(const std::string& csv) {
+  std::vector<uint64_t> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string part =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (part.empty()) return Status::InvalidArgument("bad list: " + csv);
+    out.push_back(std::stoull(part));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+Status CmdCreate(const Args& args) {
+  WaveletCube::Options options;
+  if (auto it = args.flags.find("form"); it != args.flags.end()) {
+    SS_ASSIGN_OR_RETURN(options.form, StoreFormFromString(it->second));
+  }
+  if (auto it = args.flags.find("norm"); it != args.flags.end()) {
+    if (it->second == "orthonormal") {
+      options.norm = Normalization::kOrthonormal;
+    } else if (it->second != "average") {
+      return Status::InvalidArgument("unknown normalization " + it->second);
+    }
+  }
+  if (auto it = args.flags.find("b"); it != args.flags.end()) {
+    options.b = static_cast<uint32_t>(std::stoul(it->second));
+  }
+  auto dims_it = args.flags.find("dims");
+  if (dims_it == args.flags.end()) {
+    return Status::InvalidArgument("create needs --dims (log2 extents)");
+  }
+  SS_ASSIGN_OR_RETURN(const auto dims, ParseList(dims_it->second));
+  std::vector<uint32_t> log_dims;
+  for (uint64_t d : dims) log_dims.push_back(static_cast<uint32_t>(d));
+  SS_ASSIGN_OR_RETURN(auto cube,
+                      WaveletCube::CreateOnDisk(args.dir, log_dims, options));
+  std::printf("created %s store %s: %llu blocks of %llu coefficients\n",
+              StoreFormToString(cube->manifest().form), args.dir.c_str(),
+              static_cast<unsigned long long>(
+                  cube->store()->layout().num_blocks()),
+              static_cast<unsigned long long>(
+                  cube->store()->layout().block_capacity()));
+  return cube->Flush();
+}
+
+Result<std::unique_ptr<ChunkSource>> MakeDataset(const StoreManifest& manifest,
+                                                 const std::string& name,
+                                                 uint64_t seed) {
+  std::vector<uint64_t> dims;
+  for (uint32_t n : manifest.log_dims) dims.push_back(uint64_t{1} << n);
+  TensorShape shape(dims);
+  if (name == "uniform") {
+    return std::unique_ptr<ChunkSource>(
+        MakeUniformDataset(shape, -1.0, 1.0, seed));
+  }
+  if (name == "smooth") {
+    return std::unique_ptr<ChunkSource>(MakeSmoothDataset(shape, seed));
+  }
+  if (name == "sparse") {
+    return std::unique_ptr<ChunkSource>(
+        MakeSparseDataset(shape, 0.05, 1.0, seed));
+  }
+  if (name == "temperature") {
+    if (manifest.log_dims.size() != 4) {
+      return Status::InvalidArgument(
+          "the temperature dataset is 4-dimensional");
+    }
+    TemperatureOptions options;
+    options.log_lat = manifest.log_dims[0];
+    options.log_lon = manifest.log_dims[1];
+    options.log_alt = manifest.log_dims[2];
+    options.log_time = manifest.log_dims[3];
+    options.seed = seed;
+    return std::unique_ptr<ChunkSource>(MakeTemperatureDataset(options));
+  }
+  return Status::InvalidArgument("unknown dataset " + name);
+}
+
+Status CmdIngest(const Args& args) {
+  SS_ASSIGN_OR_RETURN(auto cube, WaveletCube::OpenOnDisk(args.dir, 1024));
+  auto it = args.flags.find("dataset");
+  if (it == args.flags.end()) {
+    return Status::InvalidArgument("ingest needs --dataset");
+  }
+  uint64_t seed = 1;
+  if (auto s = args.flags.find("seed"); s != args.flags.end()) {
+    seed = std::stoull(s->second);
+  }
+  SS_ASSIGN_OR_RETURN(auto dataset,
+                      MakeDataset(cube->manifest(), it->second, seed));
+  uint32_t log_chunk = 3;
+  if (auto c = args.flags.find("chunk"); c != args.flags.end()) {
+    log_chunk = static_cast<uint32_t>(std::stoul(c->second));
+  }
+  TransformOptions options;
+  options.zorder = args.flags.contains("zorder");
+  options.sparse = args.flags.contains("sparse");
+  SS_RETURN_IF_ERROR(cube->Ingest(dataset.get(), log_chunk, &options));
+  SS_RETURN_IF_ERROR(cube->Flush());
+  std::printf("ingested %s: %s\n", it->second.c_str(),
+              cube->stats().ToString().c_str());
+  return Status::OK();
+}
+
+Status CmdInfo(const Args& args) {
+  SS_ASSIGN_OR_RETURN(auto cube, WaveletCube::OpenOnDisk(args.dir, 2));
+  const StoreManifest& manifest = cube->manifest();
+  std::printf("store:       %s\n", args.dir.c_str());
+  std::printf("form:        %s\n", StoreFormToString(manifest.form));
+  std::printf("norm:        %s\n", NormalizationToString(manifest.norm));
+  std::printf("tile edge:   2^%u\n", manifest.b);
+  std::printf("dims (log2):");
+  for (uint32_t n : manifest.log_dims) std::printf(" %u", n);
+  std::printf("\n");
+  BlockManager& device = cube->store()->manager();
+  std::printf("blocks:      %llu x %llu coefficients (%.2f MiB)\n",
+              static_cast<unsigned long long>(device.num_blocks()),
+              static_cast<unsigned long long>(device.block_size()),
+              static_cast<double>(device.num_blocks() * device.block_size() *
+                                  8) /
+                  (1024.0 * 1024.0));
+  return Status::OK();
+}
+
+Status CmdPoint(const Args& args) {
+  SS_ASSIGN_OR_RETURN(auto cube, WaveletCube::OpenOnDisk(args.dir, 64));
+  auto it = args.flags.find("at");
+  if (it == args.flags.end()) return Status::InvalidArgument("need --at");
+  SS_ASSIGN_OR_RETURN(const auto point, ParseList(it->second));
+  SS_ASSIGN_OR_RETURN(const double value,
+                      cube->PointQuery(point, args.flags.contains("slots")));
+  std::printf("%.10g\n", value);
+  std::printf("# block reads: %llu\n",
+              static_cast<unsigned long long>(cube->stats().block_reads));
+  return Status::OK();
+}
+
+Status CmdSum(const Args& args) {
+  SS_ASSIGN_OR_RETURN(auto cube, WaveletCube::OpenOnDisk(args.dir, 64));
+  auto lo_it = args.flags.find("lo");
+  auto hi_it = args.flags.find("hi");
+  if (lo_it == args.flags.end() || hi_it == args.flags.end()) {
+    return Status::InvalidArgument("need --lo and --hi");
+  }
+  SS_ASSIGN_OR_RETURN(const auto lo, ParseList(lo_it->second));
+  SS_ASSIGN_OR_RETURN(const auto hi, ParseList(hi_it->second));
+  SS_ASSIGN_OR_RETURN(const double value, cube->RangeSum(lo, hi));
+  std::printf("%.10g\n", value);
+  return Status::OK();
+}
+
+Status CmdExtract(const Args& args) {
+  SS_ASSIGN_OR_RETURN(auto cube, WaveletCube::OpenOnDisk(args.dir, 256));
+  auto lo_it = args.flags.find("lo");
+  auto hi_it = args.flags.find("hi");
+  if (lo_it == args.flags.end() || hi_it == args.flags.end()) {
+    return Status::InvalidArgument("need --lo and --hi");
+  }
+  SS_ASSIGN_OR_RETURN(const auto lo, ParseList(lo_it->second));
+  SS_ASSIGN_OR_RETURN(const auto hi, ParseList(hi_it->second));
+  SS_ASSIGN_OR_RETURN(Tensor box, cube->Extract(lo, hi));
+  std::vector<uint64_t> local(lo.size(), 0);
+  for (;;) {
+    bool in_box = true;
+    for (size_t i = 0; i < lo.size(); ++i) {
+      in_box = in_box && lo[i] + local[i] <= hi[i];
+    }
+    if (in_box) {
+      for (size_t i = 0; i < lo.size(); ++i) {
+        std::printf("%llu%s",
+                    static_cast<unsigned long long>(lo[i] + local[i]),
+                    i + 1 < lo.size() ? "," : "");
+      }
+      std::printf("\t%.10g\n", box.At(local));
+    }
+    if (!box.shape().Next(local)) break;
+  }
+  return Status::OK();
+}
+
+Status CmdSelftest(const Args& args) {
+  const std::string dir =
+      args.dir.empty()
+          ? (std::filesystem::temp_directory_path() / "shiftsplit_selftest")
+                .string()
+          : args.dir;
+  std::filesystem::remove_all(dir);
+
+  Args create;
+  create.dir = dir;
+  create.flags = {{"form", "standard"}, {"dims", "3,3,4"}, {"b", "2"}};
+  SS_RETURN_IF_ERROR(CmdCreate(create));
+
+  Args ingest;
+  ingest.dir = dir;
+  ingest.flags = {{"dataset", "smooth"}, {"chunk", "2"}, {"seed", "7"}};
+  SS_RETURN_IF_ERROR(CmdIngest(ingest));
+
+  // Query and verify against the generator.
+  SS_ASSIGN_OR_RETURN(auto cube, WaveletCube::OpenOnDisk(dir, 64));
+  auto dataset = MakeSmoothDataset(TensorShape({8, 8, 16}), 7);
+  std::vector<uint64_t> point{3, 5, 9};
+  SS_ASSIGN_OR_RETURN(const double v, cube->PointQuery(point));
+  const double expected = dataset->Cell(point);
+  if (std::abs(v - expected) > 1e-8) {
+    return Status::Internal("selftest point mismatch");
+  }
+  std::filesystem::remove_all(dir);
+  std::printf("selftest OK\n");
+  return Status::OK();
+}
+
+int Main(int argc, char** argv) {
+  auto args_result = ParseArgs(argc, argv);
+  if (!args_result.ok()) {
+    std::fprintf(stderr, "%s\n%s", args_result.status().ToString().c_str(),
+                 kUsage);
+    return 2;
+  }
+  const Args& args = *args_result;
+  Status status;
+  if (args.command == "create") {
+    status = CmdCreate(args);
+  } else if (args.command == "ingest") {
+    status = CmdIngest(args);
+  } else if (args.command == "info") {
+    status = CmdInfo(args);
+  } else if (args.command == "point") {
+    status = CmdPoint(args);
+  } else if (args.command == "sum") {
+    status = CmdSum(args);
+  } else if (args.command == "extract") {
+    status = CmdExtract(args);
+  } else if (args.command == "selftest") {
+    status = CmdSelftest(args);
+  } else {
+    std::fprintf(stderr, "unknown command %s\n%s", args.command.c_str(),
+                 kUsage);
+    return 2;
+  }
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace shiftsplit::tool
+
+int main(int argc, char** argv) { return shiftsplit::tool::Main(argc, argv); }
