@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig12_tiles.dir/bench_fig12_tiles.cpp.o"
+  "CMakeFiles/bench_fig12_tiles.dir/bench_fig12_tiles.cpp.o.d"
+  "bench_fig12_tiles"
+  "bench_fig12_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig12_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

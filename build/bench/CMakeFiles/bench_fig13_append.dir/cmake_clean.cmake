@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_append.dir/bench_fig13_append.cpp.o"
+  "CMakeFiles/bench_fig13_append.dir/bench_fig13_append.cpp.o.d"
+  "bench_fig13_append"
+  "bench_fig13_append.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_append.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

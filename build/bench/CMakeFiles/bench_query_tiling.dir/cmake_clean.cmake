@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_query_tiling.dir/bench_query_tiling.cpp.o"
+  "CMakeFiles/bench_query_tiling.dir/bench_query_tiling.cpp.o.d"
+  "bench_query_tiling"
+  "bench_query_tiling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_query_tiling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

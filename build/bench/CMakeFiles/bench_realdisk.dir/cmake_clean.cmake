@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_realdisk.dir/bench_realdisk.cpp.o"
+  "CMakeFiles/bench_realdisk.dir/bench_realdisk.cpp.o.d"
+  "bench_realdisk"
+  "bench_realdisk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_realdisk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

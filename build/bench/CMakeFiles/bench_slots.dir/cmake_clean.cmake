@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slots.dir/bench_slots.cpp.o"
+  "CMakeFiles/bench_slots.dir/bench_slots.cpp.o.d"
+  "bench_slots"
+  "bench_slots.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slots.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_buffer.dir/bench_stream_buffer.cpp.o"
+  "CMakeFiles/bench_stream_buffer.dir/bench_stream_buffer.cpp.o.d"
+  "bench_stream_buffer"
+  "bench_stream_buffer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_buffer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

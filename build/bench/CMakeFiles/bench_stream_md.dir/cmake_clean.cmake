@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stream_md.dir/bench_stream_md.cpp.o"
+  "CMakeFiles/bench_stream_md.dir/bench_stream_md.cpp.o.d"
+  "bench_stream_md"
+  "bench_stream_md.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stream_md.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

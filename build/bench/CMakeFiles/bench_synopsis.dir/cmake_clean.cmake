@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_synopsis.dir/bench_synopsis.cpp.o"
+  "CMakeFiles/bench_synopsis.dir/bench_synopsis.cpp.o.d"
+  "bench_synopsis"
+  "bench_synopsis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_synopsis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

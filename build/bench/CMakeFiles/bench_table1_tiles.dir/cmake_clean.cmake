@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_tiles.dir/bench_table1_tiles.cpp.o"
+  "CMakeFiles/bench_table1_tiles.dir/bench_table1_tiles.cpp.o.d"
+  "bench_table1_tiles"
+  "bench_table1_tiles.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_tiles.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

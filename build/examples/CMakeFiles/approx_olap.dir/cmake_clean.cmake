@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/approx_olap.dir/approx_olap.cpp.o"
+  "CMakeFiles/approx_olap.dir/approx_olap.cpp.o.d"
+  "approx_olap"
+  "approx_olap.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/approx_olap.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/precipitation_append.dir/precipitation_append.cpp.o"
+  "CMakeFiles/precipitation_append.dir/precipitation_append.cpp.o.d"
+  "precipitation_append"
+  "precipitation_append.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/precipitation_append.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

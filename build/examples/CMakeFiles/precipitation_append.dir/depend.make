@@ -1,0 +1,2 @@
+# Empty dependencies file for precipitation_append.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/temperature_cube.dir/temperature_cube.cpp.o"
+  "CMakeFiles/temperature_cube.dir/temperature_cube.cpp.o.d"
+  "temperature_cube"
+  "temperature_cube.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/temperature_cube.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

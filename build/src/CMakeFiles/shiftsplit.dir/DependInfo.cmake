@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/shiftsplit/baseline/gilbert_stream.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/baseline/gilbert_stream.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/baseline/gilbert_stream.cc.o.d"
+  "/root/repo/src/shiftsplit/baseline/naive_reconstruct.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/baseline/naive_reconstruct.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/baseline/naive_reconstruct.cc.o.d"
+  "/root/repo/src/shiftsplit/baseline/naive_update.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/baseline/naive_update.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/baseline/naive_update.cc.o.d"
+  "/root/repo/src/shiftsplit/baseline/vitter_transform.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/baseline/vitter_transform.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/baseline/vitter_transform.cc.o.d"
+  "/root/repo/src/shiftsplit/core/aggregate.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/aggregate.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/aggregate.cc.o.d"
+  "/root/repo/src/shiftsplit/core/appender.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/appender.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/appender.cc.o.d"
+  "/root/repo/src/shiftsplit/core/approx.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/approx.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/approx.cc.o.d"
+  "/root/repo/src/shiftsplit/core/chunked_transform.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/chunked_transform.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/chunked_transform.cc.o.d"
+  "/root/repo/src/shiftsplit/core/md_shift_split.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/md_shift_split.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/md_shift_split.cc.o.d"
+  "/root/repo/src/shiftsplit/core/md_stream_synopsis.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/md_stream_synopsis.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/md_stream_synopsis.cc.o.d"
+  "/root/repo/src/shiftsplit/core/query.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/query.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/query.cc.o.d"
+  "/root/repo/src/shiftsplit/core/reconstruct.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/reconstruct.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/reconstruct.cc.o.d"
+  "/root/repo/src/shiftsplit/core/shift_split.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/shift_split.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/shift_split.cc.o.d"
+  "/root/repo/src/shiftsplit/core/stream_synopsis.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/stream_synopsis.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/stream_synopsis.cc.o.d"
+  "/root/repo/src/shiftsplit/core/synopsis.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/synopsis.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/synopsis.cc.o.d"
+  "/root/repo/src/shiftsplit/core/updater.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/updater.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/updater.cc.o.d"
+  "/root/repo/src/shiftsplit/core/wavelet_cube.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/wavelet_cube.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/core/wavelet_cube.cc.o.d"
+  "/root/repo/src/shiftsplit/data/dataset.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/data/dataset.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/data/dataset.cc.o.d"
+  "/root/repo/src/shiftsplit/data/precipitation.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/data/precipitation.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/data/precipitation.cc.o.d"
+  "/root/repo/src/shiftsplit/data/synthetic.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/data/synthetic.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/data/synthetic.cc.o.d"
+  "/root/repo/src/shiftsplit/data/temperature.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/data/temperature.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/data/temperature.cc.o.d"
+  "/root/repo/src/shiftsplit/storage/buffer_pool.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/shiftsplit/storage/file_block_manager.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/storage/file_block_manager.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/storage/file_block_manager.cc.o.d"
+  "/root/repo/src/shiftsplit/storage/manifest.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/storage/manifest.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/storage/manifest.cc.o.d"
+  "/root/repo/src/shiftsplit/storage/memory_block_manager.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/storage/memory_block_manager.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/storage/memory_block_manager.cc.o.d"
+  "/root/repo/src/shiftsplit/tile/naive_tiling.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/tile/naive_tiling.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/tile/naive_tiling.cc.o.d"
+  "/root/repo/src/shiftsplit/tile/nonstandard_tiling.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/tile/nonstandard_tiling.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/tile/nonstandard_tiling.cc.o.d"
+  "/root/repo/src/shiftsplit/tile/standard_tiling.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/tile/standard_tiling.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/tile/standard_tiling.cc.o.d"
+  "/root/repo/src/shiftsplit/tile/tiled_store.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/tile/tiled_store.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/tile/tiled_store.cc.o.d"
+  "/root/repo/src/shiftsplit/tile/tree_tiling.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/tile/tree_tiling.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/tile/tree_tiling.cc.o.d"
+  "/root/repo/src/shiftsplit/util/random.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/util/random.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/util/random.cc.o.d"
+  "/root/repo/src/shiftsplit/util/stats.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/util/stats.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/util/stats.cc.o.d"
+  "/root/repo/src/shiftsplit/util/status.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/util/status.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/util/status.cc.o.d"
+  "/root/repo/src/shiftsplit/wavelet/haar.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/wavelet/haar.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/wavelet/haar.cc.o.d"
+  "/root/repo/src/shiftsplit/wavelet/nonstandard_transform.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/wavelet/nonstandard_transform.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/wavelet/nonstandard_transform.cc.o.d"
+  "/root/repo/src/shiftsplit/wavelet/standard_transform.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/wavelet/standard_transform.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/wavelet/standard_transform.cc.o.d"
+  "/root/repo/src/shiftsplit/wavelet/tensor.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/wavelet/tensor.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/wavelet/tensor.cc.o.d"
+  "/root/repo/src/shiftsplit/wavelet/wavelet_index.cc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/wavelet/wavelet_index.cc.o" "gcc" "src/CMakeFiles/shiftsplit.dir/shiftsplit/wavelet/wavelet_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

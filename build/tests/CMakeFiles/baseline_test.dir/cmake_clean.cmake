@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/baseline_test.dir/baseline/gilbert_stream_test.cc.o"
+  "CMakeFiles/baseline_test.dir/baseline/gilbert_stream_test.cc.o.d"
+  "CMakeFiles/baseline_test.dir/baseline/naive_reconstruct_test.cc.o"
+  "CMakeFiles/baseline_test.dir/baseline/naive_reconstruct_test.cc.o.d"
+  "CMakeFiles/baseline_test.dir/baseline/naive_update_test.cc.o"
+  "CMakeFiles/baseline_test.dir/baseline/naive_update_test.cc.o.d"
+  "CMakeFiles/baseline_test.dir/baseline/vitter_transform_test.cc.o"
+  "CMakeFiles/baseline_test.dir/baseline/vitter_transform_test.cc.o.d"
+  "baseline_test"
+  "baseline_test.pdb"
+  "baseline_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/baseline_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/aggregate_test.cc" "tests/CMakeFiles/core_test.dir/core/aggregate_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/aggregate_test.cc.o.d"
+  "/root/repo/tests/core/appender_test.cc" "tests/CMakeFiles/core_test.dir/core/appender_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/appender_test.cc.o.d"
+  "/root/repo/tests/core/approx_test.cc" "tests/CMakeFiles/core_test.dir/core/approx_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/approx_test.cc.o.d"
+  "/root/repo/tests/core/chunked_transform_test.cc" "tests/CMakeFiles/core_test.dir/core/chunked_transform_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/chunked_transform_test.cc.o.d"
+  "/root/repo/tests/core/md_shift_split_test.cc" "tests/CMakeFiles/core_test.dir/core/md_shift_split_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/md_shift_split_test.cc.o.d"
+  "/root/repo/tests/core/md_stream_synopsis_test.cc" "tests/CMakeFiles/core_test.dir/core/md_stream_synopsis_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/md_stream_synopsis_test.cc.o.d"
+  "/root/repo/tests/core/progressive_test.cc" "tests/CMakeFiles/core_test.dir/core/progressive_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/progressive_test.cc.o.d"
+  "/root/repo/tests/core/query_test.cc" "tests/CMakeFiles/core_test.dir/core/query_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/query_test.cc.o.d"
+  "/root/repo/tests/core/reconstruct_test.cc" "tests/CMakeFiles/core_test.dir/core/reconstruct_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/reconstruct_test.cc.o.d"
+  "/root/repo/tests/core/shift_split_test.cc" "tests/CMakeFiles/core_test.dir/core/shift_split_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/shift_split_test.cc.o.d"
+  "/root/repo/tests/core/stream_synopsis_test.cc" "tests/CMakeFiles/core_test.dir/core/stream_synopsis_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/stream_synopsis_test.cc.o.d"
+  "/root/repo/tests/core/synopsis_test.cc" "tests/CMakeFiles/core_test.dir/core/synopsis_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/synopsis_test.cc.o.d"
+  "/root/repo/tests/core/updater_test.cc" "tests/CMakeFiles/core_test.dir/core/updater_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/updater_test.cc.o.d"
+  "/root/repo/tests/core/wavelet_cube_test.cc" "tests/CMakeFiles/core_test.dir/core/wavelet_cube_test.cc.o" "gcc" "tests/CMakeFiles/core_test.dir/core/wavelet_cube_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shiftsplit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

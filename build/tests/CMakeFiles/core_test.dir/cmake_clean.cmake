@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_test.dir/core/aggregate_test.cc.o"
+  "CMakeFiles/core_test.dir/core/aggregate_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/appender_test.cc.o"
+  "CMakeFiles/core_test.dir/core/appender_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/approx_test.cc.o"
+  "CMakeFiles/core_test.dir/core/approx_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/chunked_transform_test.cc.o"
+  "CMakeFiles/core_test.dir/core/chunked_transform_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/md_shift_split_test.cc.o"
+  "CMakeFiles/core_test.dir/core/md_shift_split_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/md_stream_synopsis_test.cc.o"
+  "CMakeFiles/core_test.dir/core/md_stream_synopsis_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/progressive_test.cc.o"
+  "CMakeFiles/core_test.dir/core/progressive_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/query_test.cc.o"
+  "CMakeFiles/core_test.dir/core/query_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/reconstruct_test.cc.o"
+  "CMakeFiles/core_test.dir/core/reconstruct_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/shift_split_test.cc.o"
+  "CMakeFiles/core_test.dir/core/shift_split_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/stream_synopsis_test.cc.o"
+  "CMakeFiles/core_test.dir/core/stream_synopsis_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/synopsis_test.cc.o"
+  "CMakeFiles/core_test.dir/core/synopsis_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/updater_test.cc.o"
+  "CMakeFiles/core_test.dir/core/updater_test.cc.o.d"
+  "CMakeFiles/core_test.dir/core/wavelet_cube_test.cc.o"
+  "CMakeFiles/core_test.dir/core/wavelet_cube_test.cc.o.d"
+  "core_test"
+  "core_test.pdb"
+  "core_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/storage/block_manager_test.cc" "tests/CMakeFiles/storage_test.dir/storage/block_manager_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/block_manager_test.cc.o.d"
+  "/root/repo/tests/storage/buffer_pool_test.cc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/storage/disk_model_test.cc" "tests/CMakeFiles/storage_test.dir/storage/disk_model_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/disk_model_test.cc.o.d"
+  "/root/repo/tests/storage/manifest_test.cc" "tests/CMakeFiles/storage_test.dir/storage/manifest_test.cc.o" "gcc" "tests/CMakeFiles/storage_test.dir/storage/manifest_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shiftsplit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

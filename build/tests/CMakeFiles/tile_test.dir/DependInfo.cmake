@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/tile/nonstandard_tiling_test.cc" "tests/CMakeFiles/tile_test.dir/tile/nonstandard_tiling_test.cc.o" "gcc" "tests/CMakeFiles/tile_test.dir/tile/nonstandard_tiling_test.cc.o.d"
+  "/root/repo/tests/tile/standard_tiling_test.cc" "tests/CMakeFiles/tile_test.dir/tile/standard_tiling_test.cc.o" "gcc" "tests/CMakeFiles/tile_test.dir/tile/standard_tiling_test.cc.o.d"
+  "/root/repo/tests/tile/tiled_store_test.cc" "tests/CMakeFiles/tile_test.dir/tile/tiled_store_test.cc.o" "gcc" "tests/CMakeFiles/tile_test.dir/tile/tiled_store_test.cc.o.d"
+  "/root/repo/tests/tile/tiling_property_test.cc" "tests/CMakeFiles/tile_test.dir/tile/tiling_property_test.cc.o" "gcc" "tests/CMakeFiles/tile_test.dir/tile/tiling_property_test.cc.o.d"
+  "/root/repo/tests/tile/tree_tiling_test.cc" "tests/CMakeFiles/tile_test.dir/tile/tree_tiling_test.cc.o" "gcc" "tests/CMakeFiles/tile_test.dir/tile/tree_tiling_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shiftsplit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tile_test.dir/tile/nonstandard_tiling_test.cc.o"
+  "CMakeFiles/tile_test.dir/tile/nonstandard_tiling_test.cc.o.d"
+  "CMakeFiles/tile_test.dir/tile/standard_tiling_test.cc.o"
+  "CMakeFiles/tile_test.dir/tile/standard_tiling_test.cc.o.d"
+  "CMakeFiles/tile_test.dir/tile/tiled_store_test.cc.o"
+  "CMakeFiles/tile_test.dir/tile/tiled_store_test.cc.o.d"
+  "CMakeFiles/tile_test.dir/tile/tiling_property_test.cc.o"
+  "CMakeFiles/tile_test.dir/tile/tiling_property_test.cc.o.d"
+  "CMakeFiles/tile_test.dir/tile/tree_tiling_test.cc.o"
+  "CMakeFiles/tile_test.dir/tile/tree_tiling_test.cc.o.d"
+  "tile_test"
+  "tile_test.pdb"
+  "tile_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tile_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

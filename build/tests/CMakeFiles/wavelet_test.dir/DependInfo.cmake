@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/wavelet/haar_test.cc" "tests/CMakeFiles/wavelet_test.dir/wavelet/haar_test.cc.o" "gcc" "tests/CMakeFiles/wavelet_test.dir/wavelet/haar_test.cc.o.d"
+  "/root/repo/tests/wavelet/nonstandard_transform_test.cc" "tests/CMakeFiles/wavelet_test.dir/wavelet/nonstandard_transform_test.cc.o" "gcc" "tests/CMakeFiles/wavelet_test.dir/wavelet/nonstandard_transform_test.cc.o.d"
+  "/root/repo/tests/wavelet/standard_transform_test.cc" "tests/CMakeFiles/wavelet_test.dir/wavelet/standard_transform_test.cc.o" "gcc" "tests/CMakeFiles/wavelet_test.dir/wavelet/standard_transform_test.cc.o.d"
+  "/root/repo/tests/wavelet/tensor_test.cc" "tests/CMakeFiles/wavelet_test.dir/wavelet/tensor_test.cc.o" "gcc" "tests/CMakeFiles/wavelet_test.dir/wavelet/tensor_test.cc.o.d"
+  "/root/repo/tests/wavelet/wavelet_index_test.cc" "tests/CMakeFiles/wavelet_test.dir/wavelet/wavelet_index_test.cc.o" "gcc" "tests/CMakeFiles/wavelet_test.dir/wavelet/wavelet_index_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/shiftsplit.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wavelet_test.dir/wavelet/haar_test.cc.o"
+  "CMakeFiles/wavelet_test.dir/wavelet/haar_test.cc.o.d"
+  "CMakeFiles/wavelet_test.dir/wavelet/nonstandard_transform_test.cc.o"
+  "CMakeFiles/wavelet_test.dir/wavelet/nonstandard_transform_test.cc.o.d"
+  "CMakeFiles/wavelet_test.dir/wavelet/standard_transform_test.cc.o"
+  "CMakeFiles/wavelet_test.dir/wavelet/standard_transform_test.cc.o.d"
+  "CMakeFiles/wavelet_test.dir/wavelet/tensor_test.cc.o"
+  "CMakeFiles/wavelet_test.dir/wavelet/tensor_test.cc.o.d"
+  "CMakeFiles/wavelet_test.dir/wavelet/wavelet_index_test.cc.o"
+  "CMakeFiles/wavelet_test.dir/wavelet/wavelet_index_test.cc.o.d"
+  "wavelet_test"
+  "wavelet_test.pdb"
+  "wavelet_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wavelet_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

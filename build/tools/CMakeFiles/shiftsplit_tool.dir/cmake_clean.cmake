@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/shiftsplit_tool.dir/shiftsplit_tool.cc.o"
+  "CMakeFiles/shiftsplit_tool.dir/shiftsplit_tool.cc.o.d"
+  "shiftsplit_tool"
+  "shiftsplit_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/shiftsplit_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
