@@ -81,6 +81,8 @@ class WaveletCube {
   const StoreManifest& manifest() const { return manifest_; }
   TiledStore* store() { return store_.get(); }
   const IoStats& stats() const { return store_->stats(); }
+  /// Buffer-pool behaviour (hit rate, evictions, write-backs, pins).
+  BufferPool::Stats pool_stats() const { return store_->pool_stats(); }
   const std::vector<uint32_t>& log_dims() const {
     return manifest_.log_dims;
   }

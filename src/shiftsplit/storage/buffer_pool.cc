@@ -1,8 +1,18 @@
 #include "shiftsplit/storage/buffer_pool.h"
 
 #include <cassert>
+#include <cstdio>
+#include <string>
 
 namespace shiftsplit {
+
+void PageGuard::Release() {
+  if (frame_ == nullptr) return;
+  pool_->Unpin(frame_, dirty_);
+  pool_ = nullptr;
+  frame_ = nullptr;
+  dirty_ = false;
+}
 
 BufferPool::BufferPool(BlockManager* manager, uint64_t capacity_blocks)
     : manager_(manager), capacity_(capacity_blocks) {
@@ -11,60 +21,131 @@ BufferPool::BufferPool(BlockManager* manager, uint64_t capacity_blocks)
 }
 
 BufferPool::~BufferPool() {
+  // Guards hold raw frame pointers; one outliving the pool is a caller bug.
+  assert(pinned_frames_ == 0 && "PageGuard outlived its BufferPool");
   // Best effort; callers that care about durability call Flush explicitly.
-  (void)Flush();
+  const uint64_t dropped = FlushBestEffort();
+  if (dropped != 0) {
+    std::fprintf(stderr,
+                 "shiftsplit: BufferPool dropped %llu dirty frame(s) whose "
+                 "write-back failed during destruction\n",
+                 static_cast<unsigned long long>(dropped));
+  }
 }
 
-Result<std::span<double>> BufferPool::GetBlock(uint64_t block_id,
-                                               bool for_write) {
+PageGuard BufferPool::Pin(internal::PoolFrame* frame, bool for_write) {
+  if (frame->pins == 0) ++pinned_frames_;
+  ++frame->pins;
+  return PageGuard(this, frame, for_write);
+}
+
+void BufferPool::Unpin(internal::PoolFrame* frame, bool dirty) {
+  assert(frame->pins > 0);
+  frame->dirty = frame->dirty || dirty;
+  --frame->pins;
+  if (frame->pins == 0) {
+    assert(pinned_frames_ > 0);
+    --pinned_frames_;
+  }
+}
+
+Result<PageGuard> BufferPool::GetBlock(uint64_t block_id, bool for_write) {
   auto it = frames_.find(block_id);
   if (it != frames_.end()) {
     ++hits_;
     lru_.splice(lru_.begin(), lru_, it->second);  // move to MRU
-    Frame& frame = *it->second;
-    frame.dirty = frame.dirty || for_write;
-    return std::span<double>(frame.data);
+    return Pin(&*it->second, for_write);
   }
   ++misses_;
-  while (frames_.size() >= capacity_) {
-    SS_RETURN_IF_ERROR(EvictOne());
+  // Choose the victim up front so a full-of-pins pool fails before any I/O.
+  auto victim = lru_.end();
+  if (frames_.size() >= capacity_) {
+    victim = FindVictim();
+    if (victim == lru_.end()) {
+      return Status::ResourceExhausted(
+          "all " + std::to_string(capacity_) +
+          " buffer-pool frames are pinned; release a PageGuard or enlarge "
+          "the pool");
+    }
   }
-  Frame frame;
-  frame.block_id = block_id;
-  frame.dirty = for_write;
-  frame.data.resize(manager_->block_size());
-  SS_RETURN_IF_ERROR(manager_->ReadBlock(block_id, frame.data));
-  lru_.push_front(std::move(frame));
+  // Read the incoming block before touching the victim: a failed read leaves
+  // cache contents, dirty bits and recency order unchanged.
+  std::vector<double> data(manager_->block_size());
+  SS_RETURN_IF_ERROR(manager_->ReadBlock(block_id, data));
+  ++io_.block_reads;
+  if (victim != lru_.end()) {
+    // A failed write-back also leaves the cache unchanged: the victim stays
+    // resident and dirty, and the just-read data is discarded.
+    SS_RETURN_IF_ERROR(WriteBack(*victim));
+    frames_.erase(victim->block_id);
+    lru_.erase(victim);
+    ++evictions_;
+  }
+  lru_.push_front(internal::PoolFrame{block_id, false, 0, std::move(data)});
   frames_[block_id] = lru_.begin();
-  return std::span<double>(lru_.front().data);
+  return Pin(&lru_.front(), for_write);
 }
 
-Status BufferPool::EvictOne() {
-  assert(!lru_.empty());
-  Frame& victim = lru_.back();
-  if (victim.dirty) {
-    SS_RETURN_IF_ERROR(manager_->WriteBlock(victim.block_id, victim.data));
+BufferPool::FrameList::iterator BufferPool::FindVictim() {
+  for (auto it = std::prev(lru_.end());; --it) {
+    if (it->pins == 0) return it;
+    if (it == lru_.begin()) break;
   }
-  frames_.erase(victim.block_id);
-  lru_.pop_back();
+  return lru_.end();
+}
+
+Status BufferPool::WriteBack(internal::PoolFrame& frame) {
+  if (!frame.dirty) return Status::OK();
+  SS_RETURN_IF_ERROR(manager_->WriteBlock(frame.block_id, frame.data));
+  ++io_.block_writes;
+  ++write_backs_;
+  frame.dirty = false;
   return Status::OK();
 }
 
 Status BufferPool::Flush() {
-  for (Frame& frame : lru_) {
-    if (frame.dirty) {
-      SS_RETURN_IF_ERROR(manager_->WriteBlock(frame.block_id, frame.data));
-      frame.dirty = false;
-    }
+  for (internal::PoolFrame& frame : lru_) {
+    SS_RETURN_IF_ERROR(WriteBack(frame));
   }
   return Status::OK();
 }
 
+uint64_t BufferPool::FlushBestEffort() {
+  uint64_t failures = 0;
+  for (internal::PoolFrame& frame : lru_) {
+    if (!WriteBack(frame).ok()) {
+      ++failures;
+      ++flush_failures_;
+    }
+  }
+  return failures;
+}
+
 Status BufferPool::Clear() {
+  if (pinned_frames_ != 0) {
+    return Status::ResourceExhausted(
+        std::to_string(pinned_frames_) +
+        " buffer-pool frame(s) still pinned; release all PageGuards before "
+        "Clear");
+  }
   SS_RETURN_IF_ERROR(Flush());
   lru_.clear();
   frames_.clear();
   return Status::OK();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.write_backs = write_backs_;
+  s.flush_failures = flush_failures_;
+  s.pinned_frames = pinned_frames_;
+  s.cached_blocks = frames_.size();
+  s.capacity = capacity_;
+  s.io = io_;
+  return s;
 }
 
 }  // namespace shiftsplit

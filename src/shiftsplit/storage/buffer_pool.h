@@ -1,6 +1,7 @@
-// LRU buffer pool over a BlockManager. The pool capacity (in blocks) is the
-// memory budget the paper's algorithms operate under; a hit costs no block
-// I/O, a miss reads the block and may evict (writing back a dirty frame).
+// Pinning, write-back LRU buffer pool over a BlockManager. The pool capacity
+// (in blocks) is the memory budget the paper's algorithms operate under; a
+// hit costs no block I/O, a miss reads the block and may evict (writing back
+// a dirty frame).
 
 #ifndef SHIFTSPLIT_STORAGE_BUFFER_POOL_H_
 #define SHIFTSPLIT_STORAGE_BUFFER_POOL_H_
@@ -9,64 +10,201 @@
 #include <list>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "shiftsplit/storage/block_manager.h"
+#include "shiftsplit/storage/io_stats.h"
 
 namespace shiftsplit {
 
-/// \brief Single-threaded LRU block cache.
+class BufferPool;
+
+namespace internal {
+// One cached block. Frames live in a std::list, so their addresses are
+// stable for the lifetime of the frame — PageGuard relies on this.
+struct PoolFrame {
+  uint64_t block_id = 0;
+  bool dirty = false;
+  uint32_t pins = 0;
+  std::vector<double> data;
+};
+}  // namespace internal
+
+/// \brief RAII pin on a buffer-pool frame.
 ///
-/// GetBlock returns a span into the frame, valid until the next GetBlock /
-/// Flush / Invalidate call (a subsequent get may evict the frame). Callers
-/// therefore use the span immediately — the usage pattern of all wavelet
-/// operations (fetch tile, touch a few slots, move on).
+/// While a PageGuard is alive its frame is pinned: the pool will not evict
+/// it, so the span returned by span() stays valid no matter how many other
+/// blocks are fetched in the meantime. The destructor (or Release()) unpins
+/// the frame and, for guards obtained with `for_write` (or after MarkDirty()),
+/// carries the dirty bit onto the frame so the block is written back on
+/// eviction or Flush.
+///
+/// Guards are move-only and must not outlive their pool.
+class PageGuard {
+ public:
+  /// Constructs an empty guard (valid() == false).
+  PageGuard() = default;
+
+  PageGuard(PageGuard&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)),
+        frame_(std::exchange(other.frame_, nullptr)),
+        dirty_(std::exchange(other.dirty_, false)) {}
+
+  PageGuard& operator=(PageGuard&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = std::exchange(other.pool_, nullptr);
+      frame_ = std::exchange(other.frame_, nullptr);
+      dirty_ = std::exchange(other.dirty_, false);
+    }
+    return *this;
+  }
+
+  PageGuard(const PageGuard&) = delete;
+  PageGuard& operator=(const PageGuard&) = delete;
+
+  ~PageGuard() { Release(); }
+
+  /// \brief True when the guard pins a frame.
+  bool valid() const { return frame_ != nullptr; }
+  explicit operator bool() const { return valid(); }
+
+  /// \brief Block id of the pinned frame. Guard must be valid.
+  uint64_t block_id() const { return frame_->block_id; }
+
+  /// \brief The frame's coefficients; stays valid while the guard is alive.
+  std::span<double> span() const { return std::span<double>(frame_->data); }
+
+  double& operator[](uint64_t slot) const { return frame_->data[slot]; }
+
+  /// \brief Marks the frame for write-back when the guard is released.
+  /// Writes through a guard that is neither `for_write` nor marked dirty are
+  /// not written back and may be lost on eviction.
+  void MarkDirty() { dirty_ = true; }
+
+  /// \brief Unpins the frame early (applying the dirty bit); the guard
+  /// becomes empty. Safe to call on an empty guard.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  PageGuard(BufferPool* pool, internal::PoolFrame* frame, bool dirty)
+      : pool_(pool), frame_(frame), dirty_(dirty) {}
+
+  BufferPool* pool_ = nullptr;
+  internal::PoolFrame* frame_ = nullptr;
+  bool dirty_ = false;  // applied to the frame on Release
+};
+
+/// \brief Single-threaded pinning LRU block cache with write-back.
+///
+/// Contract:
+///  - GetBlock returns a PageGuard pinning the frame; pinned frames are
+///    never eviction victims, so any number of concurrently held guards stay
+///    valid (bounded by the pool capacity — when every frame is pinned a
+///    miss fails with ResourceExhausted instead of invalidating anything).
+///  - Write-back is lazy: dirty frames are written on eviction, Flush, or
+///    pool destruction (best effort; see flush_failures()).
+///  - Failure atomicity on the miss path: the incoming block is read before
+///    the victim frame is touched. A failed ReadBlock leaves cache contents,
+///    dirty bits and recency order bit-for-bit unchanged; a failed victim
+///    write-back leaves the victim resident and still dirty.
 class BufferPool {
  public:
+  /// \brief Counters describing pool behaviour since construction.
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;       ///< frames dropped to make room
+    uint64_t write_backs = 0;     ///< dirty frames written (eviction + flush)
+    uint64_t flush_failures = 0;  ///< dirty frames dropped unwritten
+    uint64_t pinned_frames = 0;   ///< frames currently pinned
+    uint64_t cached_blocks = 0;   ///< frames currently resident
+    uint64_t capacity = 0;
+    IoStats io;                   ///< block I/O issued by this pool
+
+    /// Fraction of GetBlock calls served without block I/O (1.0 when idle).
+    double hit_rate() const {
+      const uint64_t total = hits + misses;
+      return total == 0 ? 1.0 : static_cast<double>(hits) / total;
+    }
+  };
+
   /// \param manager         backing device (not owned; must outlive the pool)
   /// \param capacity_blocks positive frame budget
   BufferPool(BlockManager* manager, uint64_t capacity_blocks);
+
+  /// Writes back dirty frames best-effort (failures are counted and logged,
+  /// never thrown). All guards must have been released before destruction.
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  /// \brief Returns the cached frame for `block_id`, reading it on a miss.
-  /// With `for_write` the frame is marked dirty and written back on eviction
-  /// or Flush.
-  Result<std::span<double>> GetBlock(uint64_t block_id, bool for_write);
+  /// \brief Pins and returns the frame caching `block_id`, reading it on a
+  /// miss. With `for_write` the frame is marked dirty when the guard is
+  /// released and written back on eviction or Flush.
+  ///
+  /// Errors: ResourceExhausted when the pool is full of pinned frames;
+  /// any Status from the backing manager's ReadBlock/WriteBlock.
+  Result<PageGuard> GetBlock(uint64_t block_id, bool for_write);
 
   /// \brief Writes back all dirty frames (keeps them cached and clean).
+  /// Stops at the first failing write, leaving that frame dirty.
   Status Flush();
 
-  /// \brief Drops every frame, writing dirty ones back first.
+  /// \brief Writes back all dirty frames, continuing past failures. Failed
+  /// frames stay dirty; each failure increments flush_failures(). Returns
+  /// the number of failures (0 = fully flushed).
+  uint64_t FlushBestEffort();
+
+  /// \brief Drops every frame, writing dirty ones back first. Fails with
+  /// ResourceExhausted (dropping nothing) while any frame is pinned.
   Status Clear();
 
-  /// \brief Number of cache hits / misses since construction.
+  /// \brief Full counter snapshot (see Stats).
+  Stats stats() const;
+
   uint64_t hits() const { return hits_; }
   uint64_t misses() const { return misses_; }
+  /// \brief Dirty frames that could not be written back by best-effort
+  /// flushes (FlushBestEffort and the destructor).
+  uint64_t flush_failures() const { return flush_failures_; }
   uint64_t capacity() const { return capacity_; }
   uint64_t cached_blocks() const { return frames_.size(); }
+  uint64_t pinned_frames() const { return pinned_frames_; }
 
   BlockManager* manager() { return manager_; }
 
  private:
-  struct Frame {
-    uint64_t block_id;
-    bool dirty = false;
-    std::vector<double> data;
-  };
+  friend class PageGuard;
+  using FrameList = std::list<internal::PoolFrame>;
 
-  // Evicts the least-recently-used frame (list back), writing back if dirty.
-  Status EvictOne();
+  // Pins `frame` (recording the 0->1 transition) and wraps it in a guard.
+  PageGuard Pin(internal::PoolFrame* frame, bool for_write);
+  // PageGuard::Release calls this: applies `dirty`, drops one pin.
+  void Unpin(internal::PoolFrame* frame, bool dirty);
+
+  // Least-recently-used unpinned frame, or lru_.end() if all are pinned.
+  FrameList::iterator FindVictim();
+
+  // Writes `frame` back if dirty (counting the write-back); on success the
+  // frame is clean.
+  Status WriteBack(internal::PoolFrame& frame);
 
   BlockManager* manager_;
   uint64_t capacity_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
-  // MRU at front. unordered_map points into the list.
-  std::list<Frame> lru_;
-  std::unordered_map<uint64_t, std::list<Frame>::iterator> frames_;
+  uint64_t evictions_ = 0;
+  uint64_t write_backs_ = 0;
+  uint64_t flush_failures_ = 0;
+  uint64_t pinned_frames_ = 0;
+  IoStats io_;  // block reads/writes issued by this pool
+  // MRU at front. unordered_map points into the list (stable iterators).
+  FrameList lru_;
+  std::unordered_map<uint64_t, FrameList::iterator> frames_;
 };
 
 }  // namespace shiftsplit

@@ -6,6 +6,7 @@
 
 #include <cerrno>
 #include <cstring>
+#include <limits>
 #include <memory>
 
 namespace shiftsplit {
@@ -13,6 +14,17 @@ namespace shiftsplit {
 namespace {
 std::string Errno(const std::string& prefix) {
   return prefix + ": " + std::strerror(errno);
+}
+
+// True iff blocks * block_bytes overflows uint64_t or exceeds what ::pread /
+// ::pwrite / ::ftruncate can address through a (signed) off_t byte offset.
+bool ByteSizeOverflows(uint64_t blocks, uint64_t block_bytes) {
+  if (block_bytes != 0 &&
+      blocks > std::numeric_limits<uint64_t>::max() / block_bytes) {
+    return true;
+  }
+  const uint64_t bytes = blocks * block_bytes;
+  return bytes > static_cast<uint64_t>(std::numeric_limits<off_t>::max());
 }
 }  // namespace
 
@@ -28,7 +40,11 @@ Result<std::unique_ptr<FileBlockManager>> FileBlockManager::Open(
   if (block_size == 0) {
     return Status::InvalidArgument("block size must be positive");
   }
-  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (block_size >
+      std::numeric_limits<uint64_t>::max() / sizeof(double)) {
+    return Status::InvalidArgument("block byte size overflows uint64_t");
+  }
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) {
     return Status::IOError(Errno("open " + path));
   }
@@ -55,6 +71,11 @@ FileBlockManager::~FileBlockManager() {
 Status FileBlockManager::Resize(uint64_t num_blocks) {
   if (num_blocks < num_blocks_) {
     return Status::InvalidArgument("block devices only grow");
+  }
+  if (ByteSizeOverflows(num_blocks, block_size_ * sizeof(double))) {
+    return Status::InvalidArgument(
+        "resize to " + std::to_string(num_blocks) +
+        " blocks overflows the addressable byte range");
   }
   const uint64_t bytes = num_blocks * block_size_ * sizeof(double);
   if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
@@ -111,6 +132,10 @@ Status FileBlockManager::WriteBlock(uint64_t id, std::span<const double> data) {
     if (w < 0) {
       if (errno == EINTR) continue;
       return Status::IOError(Errno("pwrite " + path_));
+    }
+    if (w == 0) {
+      // A zero-byte write (e.g. disk full / quota edge) would loop forever.
+      return Status::IOError("pwrite " + path_ + ": wrote 0 bytes");
     }
     done += static_cast<uint64_t>(w);
   }

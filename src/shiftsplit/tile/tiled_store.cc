@@ -43,26 +43,30 @@ Status TiledStore::Add(std::span<const uint64_t> address, double delta) {
 }
 
 Result<double> TiledStore::GetAt(BlockSlot at) {
-  SS_ASSIGN_OR_RETURN(std::span<double> frame,
+  SS_ASSIGN_OR_RETURN(const PageGuard page,
                       pool_.GetBlock(at.block, /*for_write=*/false));
   ++manager_->stats().coeff_reads;
-  return frame[at.slot];
+  return page[at.slot];
 }
 
 Status TiledStore::SetAt(BlockSlot at, double value) {
-  SS_ASSIGN_OR_RETURN(std::span<double> frame,
+  SS_ASSIGN_OR_RETURN(const PageGuard page,
                       pool_.GetBlock(at.block, /*for_write=*/true));
   ++manager_->stats().coeff_writes;
-  frame[at.slot] = value;
+  page[at.slot] = value;
   return Status::OK();
 }
 
 Status TiledStore::AddAt(BlockSlot at, double delta) {
-  SS_ASSIGN_OR_RETURN(std::span<double> frame,
+  SS_ASSIGN_OR_RETURN(const PageGuard page,
                       pool_.GetBlock(at.block, /*for_write=*/true));
   ++manager_->stats().coeff_writes;
-  frame[at.slot] += delta;
+  page[at.slot] += delta;
   return Status::OK();
+}
+
+Result<PageGuard> TiledStore::PinBlock(uint64_t block, bool for_write) {
+  return pool_.GetBlock(block, for_write);
 }
 
 Status TiledStore::Flush() { return pool_.Flush(); }

@@ -40,13 +40,22 @@ class TiledStore {
   Status SetAt(BlockSlot at, double value);
   Status AddAt(BlockSlot at, double delta);
 
+  /// \brief Pins a whole tile for bulk access. The returned guard keeps the
+  /// frame valid (never an eviction victim) until it is released, so callers
+  /// may hold several tiles at once — bounded by the pool capacity, beyond
+  /// which GetBlock fails with ResourceExhausted.
+  Result<PageGuard> PinBlock(uint64_t block, bool for_write);
+
   /// \brief Writes back all dirty cached blocks.
   Status Flush();
 
   const TileLayout& layout() const { return *layout_; }
   BufferPool& pool() { return pool_; }
   BlockManager& manager() { return *manager_; }
+  /// Block + coefficient I/O as counted by the backing device.
   const IoStats& stats() const { return manager_->stats(); }
+  /// Cache behaviour (hit rate, evictions, write-backs, pins) of the pool.
+  BufferPool::Stats pool_stats() const { return pool_.stats(); }
 
  private:
   TiledStore(std::unique_ptr<TileLayout> layout, BlockManager* manager,

@@ -13,48 +13,27 @@
 #include "shiftsplit/storage/memory_block_manager.h"
 #include "shiftsplit/tile/standard_tiling.h"
 #include "shiftsplit/tile/tree_tiling.h"
+#include "storage/fault_injection_block_manager.h"
 #include "testing.h"
 
 namespace shiftsplit {
 namespace {
 
-// Fails every operation once `budget` block operations have happened.
-class FaultyBlockManager : public BlockManager {
- public:
-  FaultyBlockManager(uint64_t block_size, uint64_t budget)
-      : inner_(block_size), budget_(budget) {}
-
-  uint64_t block_size() const override { return inner_.block_size(); }
-  uint64_t num_blocks() const override { return inner_.num_blocks(); }
-  Status Resize(uint64_t num_blocks) override {
-    return inner_.Resize(num_blocks);
-  }
-  Status ReadBlock(uint64_t id, std::span<double> out) override {
-    SS_RETURN_IF_ERROR(Consume());
-    return inner_.ReadBlock(id, out);
-  }
-  Status WriteBlock(uint64_t id, std::span<const double> data) override {
-    SS_RETURN_IF_ERROR(Consume());
-    return inner_.WriteBlock(id, data);
+// Wraps a fresh in-memory device in the shared fault-injection decorator
+// with `budget` operations before the device "dies" (see FailAfter).
+struct FaultyDevice {
+  FaultyDevice(uint64_t block_size, uint64_t budget)
+      : inner(block_size), manager(&inner) {
+    manager.FailAfter(budget);
   }
 
-  void Refill(uint64_t budget) { budget_ = budget; }
-
- private:
-  Status Consume() {
-    if (budget_ == 0) {
-      return Status::IOError("injected device failure");
-    }
-    --budget_;
-    return Status::OK();
-  }
-
-  MemoryBlockManager inner_;
-  uint64_t budget_;
+  MemoryBlockManager inner;
+  testing::FaultInjectionBlockManager manager;
 };
 
 TEST(FaultInjectionTest, ChunkApplyPropagatesWriteFailure) {
-  FaultyBlockManager manager(4, /*budget=*/3);
+  FaultyDevice device(4, /*budget=*/3);
+  auto& manager = device.manager;
   ASSERT_OK_AND_ASSIGN(
       auto store, TiledStore::Create(std::make_unique<TreeTilingLayout>(6, 2),
                                      &manager, 2));
@@ -71,7 +50,8 @@ TEST(FaultInjectionTest, ChunkApplyPropagatesWriteFailure) {
 
 TEST(FaultInjectionTest, TransformDatasetPropagatesFailure) {
   auto dataset = MakeUniformDataset(TensorShape({16, 16}), 0, 1, 2);
-  FaultyBlockManager manager(16, /*budget=*/10);
+  FaultyDevice device(16, /*budget=*/10);
+  auto& manager = device.manager;
   ASSERT_OK_AND_ASSIGN(
       auto store,
       TiledStore::Create(
@@ -84,7 +64,8 @@ TEST(FaultInjectionTest, TransformDatasetPropagatesFailure) {
 
 TEST(FaultInjectionTest, QueriesPropagateReadFailure) {
   const std::vector<uint32_t> log_dims{4, 4};
-  FaultyBlockManager manager(16, /*budget=*/1u << 20);
+  FaultyDevice device(16, /*budget=*/1u << 20);
+  auto& manager = device.manager;
   ASSERT_OK_AND_ASSIGN(
       auto store,
       TiledStore::Create(std::make_unique<StandardTiling>(log_dims, 2),
@@ -117,7 +98,8 @@ TEST(FaultInjectionTest, RecoveryAfterTransientFailure) {
   // A failed operation must leave the store usable once the device heals:
   // re-running the whole construction yields a correct transform.
   const std::vector<uint32_t> log_dims{4, 4};
-  FaultyBlockManager manager(16, /*budget=*/7);
+  FaultyDevice device(16, /*budget=*/7);
+  auto& manager = device.manager;
   ASSERT_OK_AND_ASSIGN(
       auto store,
       TiledStore::Create(std::make_unique<StandardTiling>(log_dims, 2),
@@ -139,15 +121,18 @@ TEST(FaultInjectionTest, RecoveryAfterTransientFailure) {
 TEST(FaultInjectionTest, PoolEvictionFailureSurfacesOnLaterAccess) {
   // Even when the failing write happens on an eviction of an unrelated
   // dirty frame, the caller of the triggering access sees the error.
-  FaultyBlockManager manager(4, /*budget=*/2);
+  MemoryBlockManager inner(4, 4);
+  testing::FaultInjectionBlockManager manager(&inner);
   BufferPool pool(&manager, 1);
-  ASSERT_OK(manager.Resize(4));
-  auto frame = pool.GetBlock(0, true);  // consumes 1 (read miss)
-  ASSERT_TRUE(frame.ok());
-  (*frame)[0] = 1.0;
-  // Next get evicts dirty block 0 (write, consumes 2) then reads block 1 —
-  // which exceeds the budget.
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+    page[0] = 1.0;
+  }
+  manager.FailNthWrite(1);
+  // The next get reads block 1, then evicts dirty block 0 — whose injected
+  // write-back failure surfaces here (and block 0 stays cached and dirty).
   EXPECT_FALSE(pool.GetBlock(1, false).ok());
+  EXPECT_EQ(pool.cached_blocks(), 1u);
 }
 
 }  // namespace

@@ -137,6 +137,27 @@ TEST(FileBlockManagerTest, RejectsZeroBlockSize) {
   EXPECT_FALSE(FileBlockManager::Open(dir.File("z.bin"), 0).ok());
 }
 
+TEST(FileBlockManagerTest, RejectsBlockSizeWhoseByteSizeOverflows) {
+  TempDir dir;
+  const auto result =
+      FileBlockManager::Open(dir.File("huge.bin"), ~uint64_t{0} / 2);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(FileBlockManagerTest, RejectsResizeBeyondAddressableRange) {
+  TempDir dir;
+  ASSERT_OK_AND_ASSIGN(auto manager,
+                       FileBlockManager::Open(dir.File("r.bin"), 1024));
+  // 2^61 blocks * 8 KiB each overflows both uint64_t and off_t; the old
+  // arithmetic wrapped around and ftruncate silently shrank the mapping.
+  const Status status = manager->Resize(uint64_t{1} << 61);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(manager->num_blocks(), 0u);  // device unchanged
+  ASSERT_OK(manager->Resize(2));         // still usable
+  EXPECT_EQ(manager->num_blocks(), 2u);
+}
+
 TEST(IoStatsTest, Arithmetic) {
   IoStats a{10, 5, 100, 50};
   IoStats b{4, 2, 40, 20};

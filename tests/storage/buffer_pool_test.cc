@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <utility>
+#include <vector>
+
 #include "shiftsplit/storage/memory_block_manager.h"
+#include "storage/fault_injection_block_manager.h"
 #include "testing.h"
 
 namespace shiftsplit {
@@ -13,24 +17,29 @@ constexpr uint64_t kBlockSize = 4;
 TEST(BufferPoolTest, HitAvoidsBlockIo) {
   MemoryBlockManager manager(kBlockSize, 8);
   BufferPool pool(&manager, 2);
-  ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(3, false));
-  (void)frame;
+  ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(3, false));
+  EXPECT_EQ(page.block_id(), 3u);
   EXPECT_EQ(manager.stats().block_reads, 1u);
-  ASSERT_OK_AND_ASSIGN(frame, pool.GetBlock(3, false));
+  ASSERT_OK_AND_ASSIGN(page, pool.GetBlock(3, false));
   EXPECT_EQ(manager.stats().block_reads, 1u);  // served from cache
   EXPECT_EQ(pool.hits(), 1u);
   EXPECT_EQ(pool.misses(), 1u);
+  EXPECT_DOUBLE_EQ(pool.stats().hit_rate(), 0.5);
 }
 
 TEST(BufferPoolTest, DirtyFrameWrittenBackOnEviction) {
   MemoryBlockManager manager(kBlockSize, 8);
   {
     BufferPool pool(&manager, 1);
-    ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(0, true));
-    frame[2] = 7.5;
+    {
+      ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+      page[2] = 7.5;
+    }
     // Capacity 1: touching another block evicts block 0 (dirty -> write).
-    ASSERT_OK_AND_ASSIGN(frame, pool.GetBlock(1, false));
+    ASSERT_OK(pool.GetBlock(1, false).status());
     EXPECT_EQ(manager.stats().block_writes, 1u);
+    EXPECT_EQ(pool.stats().evictions, 1u);
+    EXPECT_EQ(pool.stats().write_backs, 1u);
   }
   std::vector<double> buf(kBlockSize);
   ASSERT_OK(manager.ReadBlock(0, buf));
@@ -40,9 +49,8 @@ TEST(BufferPoolTest, DirtyFrameWrittenBackOnEviction) {
 TEST(BufferPoolTest, CleanEvictionDoesNotWrite) {
   MemoryBlockManager manager(kBlockSize, 8);
   BufferPool pool(&manager, 1);
-  ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(0, false));
-  (void)frame;
-  ASSERT_OK_AND_ASSIGN(frame, pool.GetBlock(1, false));
+  ASSERT_OK(pool.GetBlock(0, false).status());
+  ASSERT_OK(pool.GetBlock(1, false).status());
   EXPECT_EQ(manager.stats().block_writes, 0u);
 }
 
@@ -64,8 +72,10 @@ TEST(BufferPoolTest, LruEvictsLeastRecentlyUsed) {
 TEST(BufferPoolTest, FlushWritesDirtyOnceAndKeepsCache) {
   MemoryBlockManager manager(kBlockSize, 4);
   BufferPool pool(&manager, 4);
-  ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(0, true));
-  frame[0] = 1.0;
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+    page[0] = 1.0;
+  }
   ASSERT_OK(pool.GetBlock(1, false).status());
   ASSERT_OK(pool.Flush());
   EXPECT_EQ(manager.stats().block_writes, 1u);  // only the dirty frame
@@ -79,8 +89,10 @@ TEST(BufferPoolTest, FlushWritesDirtyOnceAndKeepsCache) {
 TEST(BufferPoolTest, ClearDropsCache) {
   MemoryBlockManager manager(kBlockSize, 4);
   BufferPool pool(&manager, 4);
-  ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(0, true));
-  frame[1] = 2.0;
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+    page[1] = 2.0;
+  }
   ASSERT_OK(pool.Clear());
   EXPECT_EQ(pool.cached_blocks(), 0u);
   EXPECT_EQ(manager.stats().block_writes, 1u);
@@ -89,12 +101,25 @@ TEST(BufferPoolTest, ClearDropsCache) {
   EXPECT_DOUBLE_EQ(buf[1], 2.0);
 }
 
+TEST(BufferPoolTest, ClearRefusesWhilePinned) {
+  MemoryBlockManager manager(kBlockSize, 4);
+  BufferPool pool(&manager, 4);
+  ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+  page[1] = 2.0;
+  const Status status = pool.Clear();
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(pool.cached_blocks(), 1u);  // nothing was dropped
+  page.Release();
+  ASSERT_OK(pool.Clear());
+}
+
 TEST(BufferPoolTest, DestructorFlushes) {
   MemoryBlockManager manager(kBlockSize, 4);
   {
     BufferPool pool(&manager, 2);
-    ASSERT_OK_AND_ASSIGN(auto frame, pool.GetBlock(3, true));
-    frame[3] = -4.0;
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(3, true));
+    page[3] = -4.0;
+    page.Release();  // guards must not outlive the pool
   }
   std::vector<double> buf(kBlockSize);
   ASSERT_OK(manager.ReadBlock(3, buf));
@@ -114,6 +139,199 @@ TEST(BufferPoolTest, CapacityBoundIsRespected) {
     ASSERT_OK(pool.GetBlock(i, false).status());
     EXPECT_LE(pool.cached_blocks(), 3u);
   }
+}
+
+// Regression for the headline bug: before pinning, the second GetBlock could
+// evict the first frame at small capacities and the first span dangled. Both
+// guards must stay valid simultaneously (ASan verifies the memory safety).
+TEST(BufferPoolTest, TwoGuardsAtCapacityTwoStayValid) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  std::vector<double> buf(kBlockSize, 1.25);
+  ASSERT_OK(manager.WriteBlock(0, buf));
+  buf.assign(kBlockSize, -3.5);
+  ASSERT_OK(manager.WriteBlock(1, buf));
+
+  BufferPool pool(&manager, 2);
+  ASSERT_OK_AND_ASSIGN(auto a, pool.GetBlock(0, true));
+  ASSERT_OK_AND_ASSIGN(auto b, pool.GetBlock(1, true));
+  EXPECT_EQ(pool.pinned_frames(), 2u);
+  // Interleaved writes through both guards: neither span may dangle.
+  for (uint64_t i = 0; i < kBlockSize; ++i) {
+    a[i] += 1.0;
+    b[i] += 1.0;
+  }
+  EXPECT_DOUBLE_EQ(a.span()[0], 2.25);
+  EXPECT_DOUBLE_EQ(b.span()[0], -2.5);
+  a.Release();
+  b.Release();
+  ASSERT_OK(pool.Flush());
+  ASSERT_OK(manager.ReadBlock(0, buf));
+  EXPECT_DOUBLE_EQ(buf[0], 2.25);
+  ASSERT_OK(manager.ReadBlock(1, buf));
+  EXPECT_DOUBLE_EQ(buf[0], -2.5);
+}
+
+TEST(BufferPoolTest, PinnedFrameIsNeverTheVictim) {
+  MemoryBlockManager manager(kBlockSize, 16);
+  std::vector<double> buf(kBlockSize, 9.0);
+  ASSERT_OK(manager.WriteBlock(0, buf));
+
+  BufferPool pool(&manager, 2);
+  ASSERT_OK_AND_ASSIGN(auto pinned, pool.GetBlock(0, false));
+  // Stream many blocks through the single unpinned frame; block 0 is LRU
+  // from the second fetch on, yet must never be chosen as victim.
+  for (uint64_t i = 1; i < 12; ++i) {
+    ASSERT_OK(pool.GetBlock(i, false).status());
+    ASSERT_DOUBLE_EQ(pinned[0], 9.0);  // span still backed by live memory
+  }
+  manager.stats().Reset();
+  ASSERT_OK(pool.GetBlock(0, false).status());
+  EXPECT_EQ(manager.stats().block_reads, 0u);  // 0 was resident all along
+}
+
+TEST(BufferPoolTest, AllFramesPinnedGivesResourceExhausted) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  ASSERT_OK_AND_ASSIGN(auto a, pool.GetBlock(0, false));
+  ASSERT_OK_AND_ASSIGN(auto b, pool.GetBlock(1, false));
+  auto third = pool.GetBlock(2, false);
+  ASSERT_FALSE(third.ok());
+  EXPECT_EQ(third.status().code(), StatusCode::kResourceExhausted);
+  // The failure must not have read anything or disturbed the cache.
+  EXPECT_EQ(manager.stats().block_reads, 2u);
+  EXPECT_EQ(pool.cached_blocks(), 2u);
+  // Releasing one pin makes room again.
+  a.Release();
+  ASSERT_OK(pool.GetBlock(2, false).status());
+}
+
+TEST(BufferPoolTest, RepinningSameBlockDoesNotExhaustThePool) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 1);
+  ASSERT_OK_AND_ASSIGN(auto a, pool.GetBlock(0, false));
+  ASSERT_OK_AND_ASSIGN(auto b, pool.GetBlock(0, true));  // hit: same frame
+  EXPECT_EQ(pool.pinned_frames(), 1u);
+  EXPECT_EQ(pool.hits(), 1u);
+  a.Release();
+  EXPECT_EQ(pool.pinned_frames(), 1u);  // b still pins the frame
+  b.Release();
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+TEST(BufferPoolTest, MoveTransfersThePin) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  ASSERT_OK_AND_ASSIGN(auto a, pool.GetBlock(0, false));
+  EXPECT_EQ(pool.pinned_frames(), 1u);
+  PageGuard moved = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): tested on purpose
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(pool.pinned_frames(), 1u);
+  moved.Release();
+  EXPECT_EQ(pool.pinned_frames(), 0u);
+}
+
+// Eviction-order contract: on a miss the new block is read *before* the
+// victim is touched, so a failed read leaves cache contents, dirty bits and
+// recency order bit-for-bit unchanged.
+TEST(BufferPoolTest, FailedMissReadLeavesCacheUnchanged) {
+  MemoryBlockManager inner(kBlockSize, 8);
+  testing::FaultInjectionBlockManager manager(&inner);
+  BufferPool pool(&manager, 2);
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+    page[0] = 42.0;
+  }
+  ASSERT_OK(pool.GetBlock(1, false).status());
+
+  manager.FailNthRead(1);
+  const auto result = pool.GetBlock(2, false);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+
+  // No eviction happened: both blocks are still resident (no re-reads)...
+  EXPECT_EQ(pool.cached_blocks(), 2u);
+  const uint64_t reads_before = manager.reads_seen();
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, false));
+    EXPECT_DOUBLE_EQ(page[0], 42.0);  // ...with contents intact...
+  }
+  ASSERT_OK(pool.GetBlock(1, false).status());
+  EXPECT_EQ(manager.reads_seen(), reads_before);
+  // ...and block 0 is still dirty: Flush writes exactly it.
+  ASSERT_OK(pool.Flush());
+  EXPECT_EQ(inner.stats().block_writes, 1u);
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(inner.ReadBlock(0, buf));
+  EXPECT_DOUBLE_EQ(buf[0], 42.0);
+}
+
+TEST(BufferPoolTest, FailedVictimWriteBackKeepsVictimResidentAndDirty) {
+  MemoryBlockManager inner(kBlockSize, 8);
+  testing::FaultInjectionBlockManager manager(&inner);
+  BufferPool pool(&manager, 1);
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+    page[3] = 5.0;
+  }
+  manager.FailNthWrite(1);
+  const auto result = pool.GetBlock(1, false);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIOError);
+  // The victim survived with its dirty payload; once the device heals the
+  // eviction completes and nothing was lost.
+  EXPECT_EQ(pool.cached_blocks(), 1u);
+  ASSERT_OK(pool.GetBlock(1, false).status());
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(inner.ReadBlock(0, buf));
+  EXPECT_DOUBLE_EQ(buf[3], 5.0);
+}
+
+TEST(BufferPoolTest, FlushBestEffortCountsFailures) {
+  MemoryBlockManager inner(kBlockSize, 8);
+  testing::FaultInjectionBlockManager manager(&inner);
+  BufferPool pool(&manager, 4);
+  for (uint64_t i = 0; i < 3; ++i) {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(i, true));
+    page[0] = static_cast<double>(i) + 0.5;
+  }
+  manager.FailNthWrite(2);
+  EXPECT_EQ(pool.FlushBestEffort(), 1u);  // kept going past the failure
+  EXPECT_EQ(pool.flush_failures(), 1u);
+  EXPECT_EQ(inner.stats().block_writes, 2u);
+  // The failed frame stayed dirty; a healthy flush completes the job.
+  ASSERT_OK(pool.Flush());
+  EXPECT_EQ(inner.stats().block_writes, 3u);
+  for (uint64_t i = 0; i < 3; ++i) {
+    std::vector<double> buf(kBlockSize);
+    ASSERT_OK(inner.ReadBlock(i, buf));
+    EXPECT_DOUBLE_EQ(buf[0], static_cast<double>(i) + 0.5);
+  }
+}
+
+TEST(BufferPoolTest, StatsAggregateAcrossOperations) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+    page[0] = 1.0;
+  }
+  ASSERT_OK(pool.GetBlock(1, false).status());
+  ASSERT_OK(pool.GetBlock(0, false).status());  // hit
+  ASSERT_OK(pool.GetBlock(2, false).status());  // evicts 1 (clean)
+  ASSERT_OK(pool.Flush());                      // writes 0
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.write_backs, 1u);
+  EXPECT_EQ(stats.flush_failures, 0u);
+  EXPECT_EQ(stats.pinned_frames, 0u);
+  EXPECT_EQ(stats.cached_blocks, 2u);
+  EXPECT_EQ(stats.capacity, 2u);
+  EXPECT_EQ(stats.io.block_reads, 3u);
+  EXPECT_EQ(stats.io.block_writes, 1u);
+  EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.25);
 }
 
 }  // namespace

@@ -1,0 +1,83 @@
+// Test double: decorates a BlockManager and injects I/O failures, so storage
+// and integration tests can exercise error paths deterministically. Failures
+// are injected *before* the inner call, so a failed operation has no side
+// effects on the device — exactly the situation the buffer pool's
+// failure-atomicity contract is written for.
+
+#ifndef SHIFTSPLIT_TESTS_STORAGE_FAULT_INJECTION_BLOCK_MANAGER_H_
+#define SHIFTSPLIT_TESTS_STORAGE_FAULT_INJECTION_BLOCK_MANAGER_H_
+
+#include <optional>
+
+#include "shiftsplit/storage/block_manager.h"
+
+namespace shiftsplit {
+namespace testing {
+
+/// \brief BlockManager decorator with two failure modes:
+///  - FailNthRead / FailNthWrite: exactly the nth (1-based) subsequent
+///    ReadBlock / WriteBlock fails with IOError; everything else passes.
+///  - FailAfter(budget): every read/write past `budget` successful
+///    operations fails until Refill (a "device died" simulation).
+class FaultInjectionBlockManager : public BlockManager {
+ public:
+  /// \param inner real device (not owned; must outlive the decorator)
+  explicit FaultInjectionBlockManager(BlockManager* inner) : inner_(inner) {}
+
+  void FailNthRead(uint64_t n) { fail_read_at_ = reads_seen_ + n; }
+  void FailNthWrite(uint64_t n) { fail_write_at_ = writes_seen_ + n; }
+
+  /// Read/write operations beyond `budget` fail until Refill.
+  void FailAfter(uint64_t budget) { budget_ = budget; }
+  void Refill(uint64_t budget) { budget_ = budget; }
+  void DisableBudget() { budget_.reset(); }
+
+  uint64_t reads_seen() const { return reads_seen_; }
+  uint64_t writes_seen() const { return writes_seen_; }
+
+  uint64_t block_size() const override { return inner_->block_size(); }
+  uint64_t num_blocks() const override { return inner_->num_blocks(); }
+  Status Resize(uint64_t num_blocks) override {
+    return inner_->Resize(num_blocks);
+  }
+
+  Status ReadBlock(uint64_t id, std::span<double> out) override {
+    ++reads_seen_;
+    if (reads_seen_ == fail_read_at_) {
+      return Status::IOError("injected read failure");
+    }
+    SS_RETURN_IF_ERROR(ConsumeBudget());
+    ++stats_.block_reads;
+    return inner_->ReadBlock(id, out);
+  }
+
+  Status WriteBlock(uint64_t id, std::span<const double> data) override {
+    ++writes_seen_;
+    if (writes_seen_ == fail_write_at_) {
+      return Status::IOError("injected write failure");
+    }
+    SS_RETURN_IF_ERROR(ConsumeBudget());
+    ++stats_.block_writes;
+    return inner_->WriteBlock(id, data);
+  }
+
+ private:
+  Status ConsumeBudget() {
+    if (!budget_.has_value()) return Status::OK();
+    if (*budget_ == 0) return Status::IOError("injected device failure");
+    --*budget_;
+    return Status::OK();
+  }
+
+  BlockManager* inner_;
+  uint64_t reads_seen_ = 0;
+  uint64_t writes_seen_ = 0;
+  uint64_t fail_read_at_ = 0;   // 0 = disabled
+  uint64_t fail_write_at_ = 0;  // 0 = disabled
+  std::optional<uint64_t> budget_;
+};
+
+}  // namespace testing
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_TESTS_STORAGE_FAULT_INJECTION_BLOCK_MANAGER_H_

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Builds the `default` and `asan` CMake presets and runs the full test suite
+# under both. The asan preset (-fsanitize=address,undefined) makes the
+# span-use-after-free bug class in the storage layer fail loudly instead of
+# silently corrupting results — run this before merging storage/tile changes.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+for preset in default asan; do
+  echo "==> configure [$preset]"
+  cmake --preset "$preset"
+  echo "==> build [$preset]"
+  cmake --build --preset "$preset" -j "$jobs"
+  echo "==> test [$preset]"
+  ctest --preset "$preset" -j "$jobs"
+done
+
+echo "All presets built and tested."

@@ -182,6 +182,14 @@ Status CmdIngest(const Args& args) {
   SS_RETURN_IF_ERROR(cube->Flush());
   std::printf("ingested %s: %s\n", it->second.c_str(),
               cube->stats().ToString().c_str());
+  const BufferPool::Stats cache = cube->pool_stats();
+  std::printf("cache: %.1f%% hit rate (%llu hits, %llu misses), "
+              "%llu evictions, %llu write-backs\n",
+              100.0 * cache.hit_rate(),
+              static_cast<unsigned long long>(cache.hits),
+              static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.evictions),
+              static_cast<unsigned long long>(cache.write_backs));
   return Status::OK();
 }
 
