@@ -1,10 +1,13 @@
 #include "shiftsplit/core/chunked_transform.h"
 
 #include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <thread>
 
 #include "shiftsplit/core/md_shift_split.h"
 #include "shiftsplit/util/bitops.h"
-#include "shiftsplit/util/morton.h"
 
 namespace shiftsplit {
 
@@ -22,20 +25,26 @@ std::vector<std::vector<uint64_t>> ChunkOrder(const TensorShape& grid,
     } while (grid.Next(pos));
     return order;
   }
-  // Z-order: enumerate morton codes over the bounding cube and keep the
-  // positions inside the (possibly non-cubic) grid.
-  uint32_t bits = 0;
-  for (uint32_t i = 0; i < grid.ndim(); ++i) {
-    bits = std::max(bits, Log2(grid.dim(i)));
-  }
-  const uint64_t codes = uint64_t{1} << (bits * grid.ndim());
-  for (uint64_t code = 0; code < codes; ++code) {
-    auto pos = MortonDecode(code, grid.ndim(), bits);
-    bool inside = true;
-    for (uint32_t i = 0; i < grid.ndim(); ++i) {
-      inside = inside && pos[i] < grid.dim(i);
+  // Z-order: distribute each rank's bits over the (bit, dim) pairs of the
+  // Morton code, least significant first, skipping pairs beyond a
+  // dimension's extent. This is the ascending Morton enumeration restricted
+  // to the (possibly non-cubic) grid — identical order to filtering the
+  // bounding cube's codes, but O(grid cells) instead of O(cube cells).
+  const uint32_t d = grid.ndim();
+  const std::vector<uint32_t> log_dims = grid.LogDims();
+  uint32_t max_bits = 0;
+  for (uint32_t i = 0; i < d; ++i) max_bits = std::max(max_bits, log_dims[i]);
+  for (uint64_t rank = 0; rank < grid.num_elements(); ++rank) {
+    std::vector<uint64_t> pos(d, 0);
+    uint64_t rest = rank;
+    for (uint32_t bit = 0; bit < max_bits && rest != 0; ++bit) {
+      for (uint32_t dim = 0; dim < d; ++dim) {
+        if (bit >= log_dims[dim]) continue;
+        pos[dim] |= (rest & 1u) << bit;
+        rest >>= 1;
+      }
     }
-    if (inside) order.push_back(std::move(pos));
+    order.push_back(std::move(pos));
   }
   return order;
 }
@@ -45,6 +54,143 @@ bool AllZero(const Tensor& chunk) {
     if (x != 0.0) return false;
   }
   return true;
+}
+
+// Parallel ingest: workers claim chunk indices, read the chunk (concurrently
+// when the source allows it, serialized otherwise), transform and plan it
+// concurrently, then commit plans to the store strictly in chunk order — so
+// the store ends up byte-identical to a single-threaded run (floating-point
+// accumulation order is preserved). A chunk that fails (or is skipped as
+// all-zero) still takes its commit turn, so the turn chain never stalls; the
+// error surfaced is the one of the lowest-index failing chunk.
+template <typename PlanFn>
+Status ParallelIngest(ChunkSource* source, const TensorShape& chunk_shape,
+                      const std::vector<std::vector<uint64_t>>& order,
+                      TiledStore* store, const TransformOptions& options,
+                      uint32_t threads, const PlanFn& plan_chunk,
+                      uint64_t* chunks_applied) {
+  const bool lock_source = !source->thread_safe_reads();
+  std::mutex source_mu;  // serializes thread-compatible sources only
+  std::mutex commit_mu;  // guards commit_turn, first_error, committed
+  std::condition_variable commit_cv;
+  std::atomic<uint64_t> next_index{0};
+  std::atomic<bool> failed{false};
+  uint64_t commit_turn = 0;
+  uint64_t committed = 0;
+  Status first_error;
+
+  // The pool's frame table is shared across workers from here on. Writes go
+  // through ApplyChunkPlan under the ordered commit, so pinned spans are
+  // never touched concurrently.
+  store->pool().set_thread_safe(true);
+
+  auto work = [&]() {
+    Tensor chunk(chunk_shape);
+    for (;;) {
+      const uint64_t idx = next_index.fetch_add(1);
+      if (idx >= order.size()) return;
+      Status status;
+      ChunkApplyPlan plan;
+      bool have_plan = false;
+      if (!failed.load(std::memory_order_relaxed)) {
+        {
+          std::unique_lock<std::mutex> lock;
+          if (lock_source) lock = std::unique_lock(source_mu);
+          status = source->ReadChunk(order[idx], &chunk);
+        }
+        if (status.ok() && !(options.sparse && AllZero(chunk))) {
+          Result<ChunkApplyPlan> planned = plan_chunk(chunk, order[idx]);
+          if (planned.ok()) {
+            plan = std::move(planned).value();
+            have_plan = true;
+          } else {
+            status = planned.status();
+          }
+        }
+      }
+      std::unique_lock lock(commit_mu);
+      commit_cv.wait(lock, [&] { return commit_turn == idx; });
+      if (first_error.ok()) {
+        if (!status.ok()) {
+          first_error = status;
+          failed.store(true, std::memory_order_relaxed);
+        } else if (have_plan) {
+          const Status applied = ApplyChunkPlan(plan, store, options.prefetch);
+          if (applied.ok()) {
+            ++committed;
+          } else {
+            first_error = applied;
+            failed.store(true, std::memory_order_relaxed);
+          }
+        }
+      }
+      ++commit_turn;
+      commit_cv.notify_all();
+    }
+  };
+
+  std::vector<std::thread> workers;
+  workers.reserve(threads);
+  for (uint32_t t = 0; t < threads; ++t) workers.emplace_back(work);
+  for (std::thread& w : workers) w.join();
+  store->pool().set_thread_safe(false);
+
+  SS_RETURN_IF_ERROR(first_error);
+  *chunks_applied = committed;
+  return Status::OK();
+}
+
+// Shared driver of both transform forms: serial per-chunk apply for one
+// thread, the ordered-commit pipeline otherwise.
+template <typename PlanFn, typename ApplyFn>
+Result<TransformResult> DriveTransform(
+    ChunkSource* source, const TensorShape& chunk_shape,
+    const std::vector<std::vector<uint64_t>>& order, TiledStore* store,
+    const TransformOptions& options, const PlanFn& plan_chunk,
+    const ApplyFn& apply_chunk) {
+  if (options.num_threads > 1 && !options.batched) {
+    return Status::InvalidArgument(
+        "num_threads > 1 requires the batched apply path");
+  }
+  // Clamp the worker count to the work available and (unless the caller
+  // forces oversubscription) to the hardware concurrency; a clamped count of
+  // one takes the cheaper serial path below.
+  uint32_t threads = static_cast<uint32_t>(
+      std::min<uint64_t>(options.num_threads, order.size()));
+  if (!options.oversubscribe) {
+    threads = std::min(threads,
+                       std::max(1u, std::thread::hardware_concurrency()));
+  }
+  TransformResult result;
+  const IoStats before = store->stats();
+  const uint64_t cells_before = source->cells_read();
+  if (threads > 1) {
+    SS_RETURN_IF_ERROR(ParallelIngest(source, chunk_shape, order, store,
+                                      options, threads, plan_chunk,
+                                      &result.chunks));
+  } else {
+    Tensor chunk(chunk_shape);
+    for (const auto& pos : order) {
+      SS_RETURN_IF_ERROR(source->ReadChunk(pos, &chunk));
+      if (options.sparse && AllZero(chunk)) continue;
+      SS_RETURN_IF_ERROR(apply_chunk(chunk, pos));
+      ++result.chunks;
+    }
+  }
+  SS_RETURN_IF_ERROR(store->Flush());
+  result.store_io = store->stats() - before;
+  result.cells_read = source->cells_read() - cells_before;
+  return result;
+}
+
+ApplyOptions MakeApplyOptions(const TransformOptions& options) {
+  ApplyOptions apply;
+  apply.mode = ApplyMode::kConstruct;
+  apply.maintain_scaling_slots = options.maintain_scaling_slots;
+  apply.skip_zero_writes = options.sparse;
+  apply.batched = options.batched;
+  apply.prefetch = options.prefetch;
+  return apply;
 }
 
 }  // namespace
@@ -64,26 +210,18 @@ Result<TransformResult> TransformDatasetStandard(
   TensorShape chunk_shape(chunk_dims);
   TensorShape grid(grid_dims);
 
-  ApplyOptions apply;
-  apply.mode = ApplyMode::kConstruct;
-  apply.maintain_scaling_slots = options.maintain_scaling_slots;
-  apply.skip_zero_writes = options.sparse;
-
-  TransformResult result;
-  const IoStats before = store->stats();
-  const uint64_t cells_before = source->cells_read();
-  Tensor chunk(chunk_shape);
-  for (const auto& pos : ChunkOrder(grid, options.zorder)) {
-    SS_RETURN_IF_ERROR(source->ReadChunk(pos, &chunk));
-    if (options.sparse && AllZero(chunk)) continue;
-    SS_RETURN_IF_ERROR(ApplyChunkStandard(chunk, pos, log_dims, store,
-                                          options.norm, apply));
-    ++result.chunks;
-  }
-  SS_RETURN_IF_ERROR(store->Flush());
-  result.store_io = store->stats() - before;
-  result.cells_read = source->cells_read() - cells_before;
-  return result;
+  const ApplyOptions apply = MakeApplyOptions(options);
+  const auto order = ChunkOrder(grid, options.zorder);
+  return DriveTransform(
+      source, chunk_shape, order, store, options,
+      [&](const Tensor& chunk, const std::vector<uint64_t>& pos) {
+        return PlanChunkStandard(chunk, pos, log_dims, store->layout(),
+                                 options.norm, apply);
+      },
+      [&](const Tensor& chunk, const std::vector<uint64_t>& pos) {
+        return ApplyChunkStandard(chunk, pos, log_dims, store, options.norm,
+                                  apply);
+      });
 }
 
 Result<TransformResult> TransformDatasetNonstandard(
@@ -100,26 +238,18 @@ Result<TransformResult> TransformDatasetNonstandard(
   TensorShape chunk_shape = TensorShape::Cube(d, uint64_t{1} << m);
   TensorShape grid = TensorShape::Cube(d, uint64_t{1} << (n - m));
 
-  ApplyOptions apply;
-  apply.mode = ApplyMode::kConstruct;
-  apply.maintain_scaling_slots = options.maintain_scaling_slots;
-  apply.skip_zero_writes = options.sparse;
-
-  TransformResult result;
-  const IoStats before = store->stats();
-  const uint64_t cells_before = source->cells_read();
-  Tensor chunk(chunk_shape);
-  for (const auto& pos : ChunkOrder(grid, options.zorder)) {
-    SS_RETURN_IF_ERROR(source->ReadChunk(pos, &chunk));
-    if (options.sparse && AllZero(chunk)) continue;
-    SS_RETURN_IF_ERROR(
-        ApplyChunkNonstandard(chunk, pos, n, store, options.norm, apply));
-    ++result.chunks;
-  }
-  SS_RETURN_IF_ERROR(store->Flush());
-  result.store_io = store->stats() - before;
-  result.cells_read = source->cells_read() - cells_before;
-  return result;
+  const ApplyOptions apply = MakeApplyOptions(options);
+  const auto order = ChunkOrder(grid, options.zorder);
+  return DriveTransform(
+      source, chunk_shape, order, store, options,
+      [&](const Tensor& chunk, const std::vector<uint64_t>& pos) {
+        return PlanChunkNonstandard(chunk, pos, n, store->layout(),
+                                    options.norm, apply);
+      },
+      [&](const Tensor& chunk, const std::vector<uint64_t>& pos) {
+        return ApplyChunkNonstandard(chunk, pos, n, store, options.norm,
+                                     apply);
+      });
 }
 
 }  // namespace shiftsplit

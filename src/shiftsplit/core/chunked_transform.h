@@ -32,6 +32,24 @@ struct TransformOptions {
   /// chunks are skipped outright and zero coefficients are never written,
   /// giving O(z + z log(N/z))-style coefficient I/O on clustered data.
   bool sparse = false;
+  /// Tile-batched apply: each chunk's writes are grouped by destination
+  /// block and applied with one buffer-pool GetBlock per distinct block
+  /// (instead of one per coefficient). Bit-identical results; false selects
+  /// the per-coefficient reference path.
+  bool batched = true;
+  /// Warm the buffer pool with each chunk's exact block set in one vectored
+  /// device read before applying it (batched path only).
+  bool prefetch = false;
+  /// Worker threads for the ingest pipeline. Workers read, transform and
+  /// plan chunks concurrently; plans commit to the store strictly in chunk
+  /// order, so any thread count produces a byte-identical store (floating-
+  /// point accumulation order never changes). Values > 1 require `batched`.
+  uint32_t num_threads = 1;
+  /// By default the worker count is additionally clamped to the hardware
+  /// concurrency — oversubscribing a CPU-bound pipeline only adds scheduling
+  /// overhead. Set true to force exactly `num_threads` workers (tests use
+  /// this to exercise the ordered-commit machinery on any machine).
+  bool oversubscribe = false;
 };
 
 /// \brief Outcome counters of a chunked transformation.

@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
 #include "shiftsplit/core/shift_split.h"
 #include "shiftsplit/tile/tiled_store.h"
@@ -49,6 +50,52 @@ Status ApplyChunkNonstandard(const Tensor& chunk_data,
                              uint32_t global_log_extent, TiledStore* store,
                              Normalization norm,
                              const ApplyOptions& options = {});
+
+/// \brief All writes one chunk apply makes to one block, in generation
+/// order. Each (block, slot) appears at most once per chunk, so batched
+/// application is bit-identical to the per-coefficient path.
+struct ChunkBlockOps {
+  uint64_t block = 0;
+  std::vector<SlotUpdate> ops;
+};
+
+/// \brief The complete write set of one chunk apply, grouped by destination
+/// block in ascending block-id (layout) order. Building a plan is pure CPU —
+/// it touches the layout but never the store — so plans for different chunks
+/// can be built concurrently and committed later (the parallel chunked
+/// transform does exactly that).
+struct ChunkApplyPlan {
+  std::vector<ChunkBlockOps> blocks;
+  uint64_t total_ops = 0;
+
+  /// The distinct destination blocks, ascending (the prefetch set).
+  std::vector<uint64_t> BlockIds() const;
+};
+
+/// \brief Computes the SHIFT/SPLIT write set of a standard-form chunk apply
+/// against `layout` without touching any store.
+Result<ChunkApplyPlan> PlanChunkStandard(const Tensor& chunk_data,
+                                         std::span<const uint64_t> chunk_pos,
+                                         std::span<const uint32_t>
+                                             global_log_dims,
+                                         const TileLayout& layout,
+                                         Normalization norm,
+                                         const ApplyOptions& options = {});
+
+/// \brief Non-standard-form counterpart of PlanChunkStandard.
+Result<ChunkApplyPlan> PlanChunkNonstandard(const Tensor& chunk_data,
+                                            std::span<const uint64_t>
+                                                chunk_pos,
+                                            uint32_t global_log_extent,
+                                            const TileLayout& layout,
+                                            Normalization norm,
+                                            const ApplyOptions& options = {});
+
+/// \brief Commits a plan: optionally prefetches the plan's block set in one
+/// vectored read, then pins each destination block exactly once and applies
+/// its ops through the pinned span.
+Status ApplyChunkPlan(const ChunkApplyPlan& plan, TiledStore* store,
+                      bool prefetch = false);
 
 }  // namespace shiftsplit
 

@@ -51,6 +51,15 @@ struct ApplyOptions {
   /// because untouched coefficients read as zero; in kConstruct mode this
   /// assumes the written region starts zeroed (fresh store or expansion).
   bool skip_zero_writes = false;
+  /// Tile-batched apply (md_shift_split only): group the chunk's writes by
+  /// destination block, pin each block once and write through the pinned
+  /// span, visiting blocks in layout order — one GetBlock per distinct block
+  /// instead of one per coefficient. Produces bit-identical stores; set to
+  /// false for the per-coefficient reference path.
+  bool batched = true;
+  /// Warm the buffer pool with the chunk's exact block set in one vectored
+  /// read before applying (batched path only).
+  bool prefetch = false;
 };
 
 /// \brief SPLIT (paper Definition of SPLIT): contributions of the sub-range's

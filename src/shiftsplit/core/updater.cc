@@ -50,7 +50,12 @@ Status UpdateRangeStandard(TiledStore* store,
     }
     covers[i] = DyadicCover(origin[i], hi);
   }
-  // Apply each dyadic sub-box.
+  // Apply each dyadic sub-box. Sub-boxes share most of their SPLIT path, so
+  // the dirty blocks stay pooled across applies and one flush at the end
+  // writes each touched block back once — not once per sub-box.
+  ApplyOptions options;
+  options.mode = ApplyMode::kUpdate;
+  options.maintain_scaling_slots = maintain_scaling_slots;
   std::vector<size_t> pick(d, 0);
   for (;;) {
     std::vector<uint64_t> sub_dims(d), sub_pos(d);
@@ -66,8 +71,8 @@ Status UpdateRangeStandard(TiledStore* store,
       }
       sub.At(local) = deltas.At(src);
     } while (sub.shape().Next(local));
-    SS_RETURN_IF_ERROR(UpdateDyadicStandard(store, log_dims, sub, sub_pos,
-                                            norm, maintain_scaling_slots));
+    SS_RETURN_IF_ERROR(ApplyChunkStandard(sub, sub_pos, log_dims, store,
+                                          norm, options));
     uint32_t i = d;
     bool advanced = false;
     while (i-- > 0) {
@@ -79,7 +84,7 @@ Status UpdateRangeStandard(TiledStore* store,
     }
     if (!advanced) break;
   }
-  return Status::OK();
+  return store->Flush();
 }
 
 Status UpdateRangeNonstandard(TiledStore* store, uint32_t n,
@@ -98,6 +103,10 @@ Status UpdateRangeNonstandard(TiledStore* store, uint32_t n,
       return Status::OutOfRange("update box beyond the domain");
     }
   }
+  // One flush for the whole cover (see UpdateRangeStandard).
+  ApplyOptions options;
+  options.mode = ApplyMode::kUpdate;
+  options.maintain_scaling_slots = maintain_scaling_slots;
   for (const DyadicCube& cube : CubeCover(d, n, origin, hi)) {
     Tensor sub(TensorShape::Cube(d, uint64_t{1} << cube.level));
     std::vector<uint64_t> local(d, 0), src(d);
@@ -107,10 +116,10 @@ Status UpdateRangeNonstandard(TiledStore* store, uint32_t n,
       }
       sub.At(local) = deltas.At(src);
     } while (sub.shape().Next(local));
-    SS_RETURN_IF_ERROR(UpdateDyadicNonstandard(store, n, sub, cube.node,
-                                               norm, maintain_scaling_slots));
+    SS_RETURN_IF_ERROR(ApplyChunkNonstandard(sub, cube.node, n, store, norm,
+                                             options));
   }
-  return Status::OK();
+  return store->Flush();
 }
 
 }  // namespace shiftsplit

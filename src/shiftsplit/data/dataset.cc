@@ -1,5 +1,7 @@
 #include "shiftsplit/data/dataset.h"
 
+#include <algorithm>
+
 namespace shiftsplit {
 
 namespace {
@@ -28,15 +30,35 @@ FunctionDataset::FunctionDataset(TensorShape shape, CellFn fn)
 Status FunctionDataset::ReadChunk(std::span<const uint64_t> chunk_pos,
                                   Tensor* out) {
   SS_RETURN_IF_ERROR(ValidateChunk(shape_, out->shape(), chunk_pos));
-  std::vector<uint64_t> local(shape_.ndim(), 0);
-  std::vector<uint64_t> global(shape_.ndim());
-  do {
-    for (uint32_t i = 0; i < shape_.ndim(); ++i) {
-      global[i] = chunk_pos[i] * out->shape().dim(i) + local[i];
+  // Row-wise fill: cells are generated in flat row-major order, so only the
+  // innermost coordinate changes per cell and the row prefix advances like
+  // an odometer once per row.
+  const TensorShape& chunk = out->shape();
+  const uint32_t d = chunk.ndim();
+  const uint32_t inner = d - 1;
+  const uint64_t width = chunk.dim(inner);
+  const uint64_t rows = out->size() / width;
+  std::vector<uint64_t> base(d), local(d, 0), global(d);
+  for (uint32_t i = 0; i < d; ++i) {
+    base[i] = chunk_pos[i] * chunk.dim(i);
+  }
+  const std::span<double> dst = out->data();
+  uint64_t flat = 0;
+  for (uint64_t row = 0; row < rows; ++row) {
+    for (uint32_t i = 0; i < inner; ++i) {
+      global[i] = base[i] + local[i];
     }
-    out->At(local) = fn_(global);
-    ++cells_read_;
-  } while (out->shape().Next(local));
+    for (uint64_t x = 0; x < width; ++x) {
+      global[inner] = base[inner] + x;
+      dst[flat++] = fn_(global);
+    }
+    uint32_t i = inner;
+    while (i-- > 0) {
+      if (++local[i] < chunk.dim(i)) break;
+      local[i] = 0;
+    }
+  }
+  CountCellsRead(out->size());
   return Status::OK();
 }
 
@@ -50,15 +72,32 @@ Result<Tensor> FunctionDataset::Materialize() {
 Status TensorDataset::ReadChunk(std::span<const uint64_t> chunk_pos,
                                 Tensor* out) {
   SS_RETURN_IF_ERROR(ValidateChunk(tensor_.shape(), out->shape(), chunk_pos));
-  std::vector<uint64_t> local(tensor_.shape().ndim(), 0);
-  std::vector<uint64_t> global(tensor_.shape().ndim());
-  do {
-    for (uint32_t i = 0; i < tensor_.shape().ndim(); ++i) {
-      global[i] = chunk_pos[i] * out->shape().dim(i) + local[i];
+  // Both tensors are row-major, so each chunk row is one contiguous copy
+  // from the backing tensor; the row prefix advances like an odometer.
+  const TensorShape& full = tensor_.shape();
+  const TensorShape& chunk = out->shape();
+  const uint32_t d = chunk.ndim();
+  const uint32_t inner = d - 1;
+  const uint64_t width = chunk.dim(inner);
+  const uint64_t rows = out->size() / width;
+  std::vector<uint64_t> local(d, 0);
+  const std::span<const double> src = tensor_.data();
+  const std::span<double> dst = out->data();
+  uint64_t flat = 0;
+  for (uint64_t row = 0; row < rows; ++row) {
+    uint64_t src_off = 0;
+    for (uint32_t i = 0; i < d; ++i) {
+      src_off += (chunk_pos[i] * chunk.dim(i) + local[i]) * full.stride(i);
     }
-    out->At(local) = tensor_.At(global);
-    ++cells_read_;
-  } while (out->shape().Next(local));
+    std::copy_n(src.begin() + src_off, width, dst.begin() + flat);
+    flat += width;
+    uint32_t i = inner;
+    while (i-- > 0) {
+      if (++local[i] < chunk.dim(i)) break;
+      local[i] = 0;
+    }
+  }
+  CountCellsRead(out->size());
   return Status::OK();
 }
 

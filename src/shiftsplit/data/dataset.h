@@ -6,6 +6,7 @@
 #ifndef SHIFTSPLIT_DATA_DATASET_H_
 #define SHIFTSPLIT_DATA_DATASET_H_
 
+#include <atomic>
 #include <functional>
 #include <memory>
 
@@ -28,11 +29,24 @@ class ChunkSource {
   virtual Status ReadChunk(std::span<const uint64_t> chunk_pos,
                            Tensor* out) = 0;
 
+  /// \brief True when concurrent ReadChunk calls (into distinct output
+  /// tensors) are safe. Sources default to thread-compatible; the parallel
+  /// ingest pipeline serializes reads unless this returns true.
+  virtual bool thread_safe_reads() const { return false; }
+
   /// Number of data cells read so far (the source side of the I/O cost).
-  uint64_t cells_read() const { return cells_read_; }
+  uint64_t cells_read() const {
+    return cells_read_.load(std::memory_order_relaxed);
+  }
 
  protected:
-  uint64_t cells_read_ = 0;
+  /// Implementations accumulate per-chunk cell counts with one call.
+  void CountCellsRead(uint64_t cells) {
+    cells_read_.fetch_add(cells, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> cells_read_{0};
 };
 
 /// \brief Dataset defined by a coordinate function — deterministic, zero
@@ -45,6 +59,10 @@ class FunctionDataset : public ChunkSource {
 
   const TensorShape& shape() const override { return shape_; }
   Status ReadChunk(std::span<const uint64_t> chunk_pos, Tensor* out) override;
+
+  /// The cell function is required to be a pure function of coordinates, so
+  /// concurrent reads into distinct tensors are safe.
+  bool thread_safe_reads() const override { return true; }
 
   /// \brief Direct cell access (used by tests and quality checks).
   double Cell(std::span<const uint64_t> coords) const { return fn_(coords); }
@@ -64,6 +82,9 @@ class TensorDataset : public ChunkSource {
 
   const TensorShape& shape() const override { return tensor_.shape(); }
   Status ReadChunk(std::span<const uint64_t> chunk_pos, Tensor* out) override;
+
+  /// Reads only touch the immutable backing tensor.
+  bool thread_safe_reads() const override { return true; }
 
   const Tensor& tensor() const { return tensor_; }
 

@@ -16,8 +16,9 @@ namespace shiftsplit {
 /// \brief Abstract array of fixed-size blocks of doubles.
 ///
 /// Implementations count every ReadBlock/WriteBlock in stats(). Blocks that
-/// were never written read back as all-zero. Not thread-safe; the library is
-/// single-threaded by design (the paper's algorithms are sequential).
+/// were never written read back as all-zero. Thread-compatible, not
+/// thread-safe: concurrent callers must serialize externally (the BufferPool
+/// does so in its mutex-guarded mode).
 class BlockManager {
  public:
   virtual ~BlockManager() = default;
@@ -37,6 +38,24 @@ class BlockManager {
 
   /// \brief Writes block `id` from `data` (size must equal block_size()).
   virtual Status WriteBlock(uint64_t id, std::span<const double> data) = 0;
+
+  /// \brief Vectored read: fills `out` (size ids.size() * block_size()) with
+  /// the blocks `ids`, concatenated in order. Each block is counted in
+  /// stats() exactly as if read individually; backends with batched I/O
+  /// primitives (FileBlockManager's preadv) override this to coalesce runs
+  /// of consecutive ids into single system calls. On error, the contents of
+  /// `out` are unspecified but the device is unchanged.
+  virtual Status ReadBlocks(std::span<const uint64_t> ids,
+                            std::span<double> out) {
+    if (out.size() != ids.size() * block_size()) {
+      return Status::InvalidArgument("read buffer size != ids * block size");
+    }
+    for (uint64_t i = 0; i < ids.size(); ++i) {
+      SS_RETURN_IF_ERROR(
+          ReadBlock(ids[i], out.subspan(i * block_size(), block_size())));
+    }
+    return Status::OK();
+  }
 
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }

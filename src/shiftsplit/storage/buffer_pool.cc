@@ -1,5 +1,6 @@
 #include "shiftsplit/storage/buffer_pool.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstdio>
 #include <string>
@@ -24,7 +25,7 @@ BufferPool::~BufferPool() {
   // Guards hold raw frame pointers; one outliving the pool is a caller bug.
   assert(pinned_frames_ == 0 && "PageGuard outlived its BufferPool");
   // Best effort; callers that care about durability call Flush explicitly.
-  const uint64_t dropped = FlushBestEffort();
+  const uint64_t dropped = FlushBestEffortLocked();
   if (dropped != 0) {
     std::fprintf(stderr,
                  "shiftsplit: BufferPool dropped %llu dirty frame(s) whose "
@@ -40,6 +41,7 @@ PageGuard BufferPool::Pin(internal::PoolFrame* frame, bool for_write) {
 }
 
 void BufferPool::Unpin(internal::PoolFrame* frame, bool dirty) {
+  const auto lock = Lock();
   assert(frame->pins > 0);
   frame->dirty = frame->dirty || dirty;
   --frame->pins;
@@ -50,6 +52,7 @@ void BufferPool::Unpin(internal::PoolFrame* frame, bool dirty) {
 }
 
 Result<PageGuard> BufferPool::GetBlock(uint64_t block_id, bool for_write) {
+  const auto lock = Lock();
   auto it = frames_.find(block_id);
   if (it != frames_.end()) {
     ++hits_;
@@ -70,20 +73,38 @@ Result<PageGuard> BufferPool::GetBlock(uint64_t block_id, bool for_write) {
   }
   // Read the incoming block before touching the victim: a failed read leaves
   // cache contents, dirty bits and recency order unchanged.
-  std::vector<double> data(manager_->block_size());
+  std::vector<double> data = TakeBuffer();
   SS_RETURN_IF_ERROR(manager_->ReadBlock(block_id, data));
   ++io_.block_reads;
-  if (victim != lru_.end()) {
-    // A failed write-back also leaves the cache unchanged: the victim stays
-    // resident and dirty, and the just-read data is discarded.
-    SS_RETURN_IF_ERROR(WriteBack(*victim));
-    frames_.erase(victim->block_id);
-    lru_.erase(victim);
-    ++evictions_;
+  if (victim == lru_.end()) {
+    lru_.push_front(internal::PoolFrame{block_id, false, 0, std::move(data)});
+    frames_[block_id] = lru_.begin();
+    return Pin(&lru_.front(), for_write);
   }
-  lru_.push_front(internal::PoolFrame{block_id, false, 0, std::move(data)});
-  frames_[block_id] = lru_.begin();
-  return Pin(&lru_.front(), for_write);
+  // A failed write-back also leaves the cache unchanged: the victim stays
+  // resident and dirty, and the just-read data is discarded. On success the
+  // victim's list node and storage are recycled in place — the steady-state
+  // miss path allocates nothing.
+  SS_RETURN_IF_ERROR(WriteBack(*victim));
+  frames_.erase(victim->block_id);
+  ++evictions_;
+  victim->block_id = block_id;
+  victim->dirty = false;
+  victim->pins = 0;
+  std::swap(victim->data, data);
+  free_buffers_.push_back(std::move(data));
+  lru_.splice(lru_.begin(), lru_, victim);
+  frames_[block_id] = victim;
+  return Pin(&*victim, for_write);
+}
+
+std::vector<double> BufferPool::TakeBuffer() {
+  if (free_buffers_.empty()) {
+    return std::vector<double>(manager_->block_size());
+  }
+  std::vector<double> buffer = std::move(free_buffers_.back());
+  free_buffers_.pop_back();
+  return buffer;
 }
 
 BufferPool::FrameList::iterator BufferPool::FindVictim() {
@@ -103,7 +124,61 @@ Status BufferPool::WriteBack(internal::PoolFrame& frame) {
   return Status::OK();
 }
 
+Status BufferPool::Prefetch(std::span<const uint64_t> block_ids) {
+  const auto lock = Lock();
+  // Distinct not-yet-cached ids, first-to-last, capped at the number of
+  // frames the pool can actually hold alongside the pinned ones.
+  const uint64_t room = capacity_ - pinned_frames_;
+  std::vector<uint64_t> missing;
+  missing.reserve(std::min<uint64_t>(block_ids.size(), room));
+  for (uint64_t id : block_ids) {
+    if (missing.size() >= room) break;
+    if (frames_.contains(id)) continue;
+    if (std::find(missing.begin(), missing.end(), id) != missing.end()) {
+      continue;
+    }
+    missing.push_back(id);
+  }
+  if (missing.empty()) return Status::OK();
+  // One vectored read for the whole missing set; a failure here leaves the
+  // cache untouched.
+  std::vector<double> data(missing.size() * manager_->block_size());
+  SS_RETURN_IF_ERROR(manager_->ReadBlocks(missing, data));
+  io_.block_reads += missing.size();
+  prefetched_ += missing.size();
+  for (size_t i = 0; i < missing.size(); ++i) {
+    const std::span<const double> src(
+        data.data() + i * manager_->block_size(), manager_->block_size());
+    if (frames_.size() >= capacity_) {
+      auto victim = FindVictim();
+      if (victim == lru_.end()) break;  // everything pinned; stop warming
+      SS_RETURN_IF_ERROR(WriteBack(*victim));
+      frames_.erase(victim->block_id);
+      ++evictions_;
+      // Recycle the victim's node and storage in place.
+      victim->block_id = missing[i];
+      victim->dirty = false;
+      victim->pins = 0;
+      std::copy(src.begin(), src.end(), victim->data.begin());
+      lru_.splice(lru_.begin(), lru_, victim);
+      frames_[missing[i]] = victim;
+      continue;
+    }
+    std::vector<double> buffer = TakeBuffer();
+    std::copy(src.begin(), src.end(), buffer.begin());
+    lru_.push_front(
+        internal::PoolFrame{missing[i], false, 0, std::move(buffer)});
+    frames_[missing[i]] = lru_.begin();
+  }
+  return Status::OK();
+}
+
 Status BufferPool::Flush() {
+  const auto lock = Lock();
+  return FlushLocked();
+}
+
+Status BufferPool::FlushLocked() {
   for (internal::PoolFrame& frame : lru_) {
     SS_RETURN_IF_ERROR(WriteBack(frame));
   }
@@ -111,6 +186,11 @@ Status BufferPool::Flush() {
 }
 
 uint64_t BufferPool::FlushBestEffort() {
+  const auto lock = Lock();
+  return FlushBestEffortLocked();
+}
+
+uint64_t BufferPool::FlushBestEffortLocked() {
   uint64_t failures = 0;
   for (internal::PoolFrame& frame : lru_) {
     if (!WriteBack(frame).ok()) {
@@ -122,25 +202,28 @@ uint64_t BufferPool::FlushBestEffort() {
 }
 
 Status BufferPool::Clear() {
+  const auto lock = Lock();
   if (pinned_frames_ != 0) {
     return Status::ResourceExhausted(
         std::to_string(pinned_frames_) +
         " buffer-pool frame(s) still pinned; release all PageGuards before "
         "Clear");
   }
-  SS_RETURN_IF_ERROR(Flush());
+  SS_RETURN_IF_ERROR(FlushLocked());
   lru_.clear();
   frames_.clear();
   return Status::OK();
 }
 
 BufferPool::Stats BufferPool::stats() const {
+  const auto lock = Lock();
   Stats s;
   s.hits = hits_;
   s.misses = misses_;
   s.evictions = evictions_;
   s.write_backs = write_backs_;
   s.flush_failures = flush_failures_;
+  s.prefetched = prefetched_;
   s.pinned_frames = pinned_frames_;
   s.cached_blocks = frames_.size();
   s.capacity = capacity_;

@@ -8,6 +8,7 @@
 
 #include <cstdint>
 #include <list>
+#include <mutex>
 #include <span>
 #include <unordered_map>
 #include <utility>
@@ -110,6 +111,14 @@ class PageGuard {
 ///    the victim frame is touched. A failed ReadBlock leaves cache contents,
 ///    dirty bits and recency order bit-for-bit unchanged; a failed victim
 ///    write-back leaves the victim resident and still dirty.
+///
+/// Threading: the pool is thread-compatible by default (zero locking
+/// overhead, single-threaded callers only). set_thread_safe(true) switches
+/// every public operation — including guard release — behind an internal
+/// mutex, making the frame table, recency order and all counters safe to
+/// drive from multiple threads. Writes through a pinned span are NOT covered
+/// by the pool mutex: concurrent writers must touch disjoint blocks or
+/// serialize externally (the parallel chunked transform serializes commits).
 class BufferPool {
  public:
   /// \brief Counters describing pool behaviour since construction.
@@ -119,6 +128,7 @@ class BufferPool {
     uint64_t evictions = 0;       ///< frames dropped to make room
     uint64_t write_backs = 0;     ///< dirty frames written (eviction + flush)
     uint64_t flush_failures = 0;  ///< dirty frames dropped unwritten
+    uint64_t prefetched = 0;      ///< frames loaded by Prefetch
     uint64_t pinned_frames = 0;   ///< frames currently pinned
     uint64_t cached_blocks = 0;   ///< frames currently resident
     uint64_t capacity = 0;
@@ -149,6 +159,23 @@ class BufferPool {
   /// Errors: ResourceExhausted when the pool is full of pinned frames;
   /// any Status from the backing manager's ReadBlock/WriteBlock.
   Result<PageGuard> GetBlock(uint64_t block_id, bool for_write);
+
+  /// \brief Warms the cache with `block_ids` in one vectored read
+  /// (BlockManager::ReadBlocks). Already-cached and duplicate ids are
+  /// skipped; the remaining ids are loaded first-to-last until the pool has
+  /// no more unpinned room, evicting LRU victims (write-backs included) as
+  /// needed. Purely a cache warm-up: a prefetched frame carries no pin and
+  /// may be evicted again before use, in which case the later GetBlock
+  /// simply re-reads it — correctness never depends on a prefetch.
+  ///
+  /// Errors: a failed batch read leaves the cache unchanged; a failed victim
+  /// write-back stops the insertion, leaving earlier ids warmed.
+  Status Prefetch(std::span<const uint64_t> block_ids);
+
+  /// \brief Toggles the internal mutex (see class comment). Must be called
+  /// while no operation is in flight on another thread.
+  void set_thread_safe(bool on) { thread_safe_ = on; }
+  bool thread_safe() const { return thread_safe_; }
 
   /// \brief Writes back all dirty frames (keeps them cached and clean).
   /// Stops at the first failing write, leaving that frame dirty.
@@ -181,6 +208,12 @@ class BufferPool {
   friend class PageGuard;
   using FrameList = std::list<internal::PoolFrame>;
 
+  // Locked when thread-safe mode is on; an empty (no-op) lock otherwise.
+  std::unique_lock<std::mutex> Lock() const {
+    return thread_safe_ ? std::unique_lock<std::mutex>(mu_)
+                        : std::unique_lock<std::mutex>();
+  }
+
   // Pins `frame` (recording the 0->1 transition) and wraps it in a guard.
   PageGuard Pin(internal::PoolFrame* frame, bool for_write);
   // PageGuard::Release calls this: applies `dirty`, drops one pin.
@@ -193,18 +226,32 @@ class BufferPool {
   // frame is clean.
   Status WriteBack(internal::PoolFrame& frame);
 
+  // A block-sized buffer: recycled from a previous eviction when available,
+  // freshly allocated otherwise. Contents are unspecified.
+  std::vector<double> TakeBuffer();
+
+  // Unlocked bodies of the public entry points (caller holds Lock()).
+  Status FlushLocked();
+  uint64_t FlushBestEffortLocked();
+
   BlockManager* manager_;
   uint64_t capacity_;
+  bool thread_safe_ = false;
+  mutable std::mutex mu_;
   uint64_t hits_ = 0;
   uint64_t misses_ = 0;
   uint64_t evictions_ = 0;
   uint64_t write_backs_ = 0;
   uint64_t flush_failures_ = 0;
+  uint64_t prefetched_ = 0;
   uint64_t pinned_frames_ = 0;
   IoStats io_;  // block reads/writes issued by this pool
   // MRU at front. unordered_map points into the list (stable iterators).
   FrameList lru_;
   std::unordered_map<uint64_t, FrameList::iterator> frames_;
+  // Block-sized buffers recycled across evictions so the steady-state miss
+  // path performs no heap allocation.
+  std::vector<std::vector<double>> free_buffers_;
 };
 
 }  // namespace shiftsplit

@@ -2,12 +2,15 @@
 
 #include <fcntl.h>
 #include <sys/stat.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <vector>
 
 namespace shiftsplit {
 
@@ -110,6 +113,59 @@ Status FileBlockManager::ReadBlock(uint64_t id, std::span<double> out) {
       break;
     }
     done += static_cast<uint64_t>(r);
+  }
+  return Status::OK();
+}
+
+Status FileBlockManager::ReadBlocks(std::span<const uint64_t> ids,
+                                    std::span<double> out) {
+  const uint64_t block_bytes = block_size_ * sizeof(double);
+  if (out.size() != ids.size() * block_size_) {
+    return Status::InvalidArgument("read buffer size != ids * block size");
+  }
+  for (uint64_t id : ids) {
+    if (id >= num_blocks_) {
+      return Status::OutOfRange("block id beyond device size");
+    }
+  }
+  char* base = reinterpret_cast<char*>(out.data());
+  size_t i = 0;
+  while (i < ids.size()) {
+    // Maximal run of consecutive ids (one preadv), capped at IOV_MAX.
+    size_t j = i + 1;
+    while (j < ids.size() && ids[j] == ids[j - 1] + 1 &&
+           j - i < static_cast<size_t>(IOV_MAX)) {
+      ++j;
+    }
+    const uint64_t run_bytes = (j - i) * block_bytes;
+    const off_t run_offset = static_cast<off_t>(ids[i] * block_bytes);
+    char* run_dst = base + i * block_bytes;
+    uint64_t done = 0;
+    while (done < run_bytes) {
+      // Rebuild the iovec list past the already-read prefix (partial reads).
+      std::vector<struct iovec> iov;
+      for (uint64_t off = done;
+           off < run_bytes && iov.size() < static_cast<size_t>(IOV_MAX);
+           off += block_bytes - off % block_bytes) {
+        const uint64_t len =
+            std::min(block_bytes - off % block_bytes, run_bytes - off);
+        iov.push_back({run_dst + off, static_cast<size_t>(len)});
+      }
+      const ssize_t r = ::preadv(fd_, iov.data(), static_cast<int>(iov.size()),
+                                 run_offset + static_cast<off_t>(done));
+      if (r < 0) {
+        if (errno == EINTR) continue;
+        return Status::IOError(Errno("preadv " + path_));
+      }
+      if (r == 0) {
+        // Sparse tail (ftruncate-extended): remaining bytes read as zero.
+        std::memset(run_dst + done, 0, run_bytes - done);
+        break;
+      }
+      done += static_cast<uint64_t>(r);
+    }
+    stats_.block_reads += j - i;
+    i = j;
   }
   return Status::OK();
 }

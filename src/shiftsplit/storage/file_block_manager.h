@@ -32,6 +32,11 @@ class FileBlockManager : public BlockManager {
   Status ReadBlock(uint64_t id, std::span<double> out) override;
   Status WriteBlock(uint64_t id, std::span<const double> data) override;
 
+  /// \brief Vectored read: runs of consecutive block ids become single
+  /// preadv calls (one iovec per block, capped at IOV_MAX per call).
+  Status ReadBlocks(std::span<const uint64_t> ids,
+                    std::span<double> out) override;
+
   /// \brief fsyncs the backing file.
   Status Sync();
 

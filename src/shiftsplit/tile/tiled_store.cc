@@ -69,6 +69,26 @@ Result<PageGuard> TiledStore::PinBlock(uint64_t block, bool for_write) {
   return pool_.GetBlock(block, for_write);
 }
 
+Status TiledStore::ApplyToBlock(uint64_t block,
+                                std::span<const SlotUpdate> ops) {
+  SS_ASSIGN_OR_RETURN(const PageGuard page,
+                      pool_.GetBlock(block, /*for_write=*/true));
+  const std::span<double> slots = page.span();
+  for (const SlotUpdate& op : ops) {
+    if (op.overwrite) {
+      slots[op.slot] = op.value;
+    } else {
+      slots[op.slot] += op.value;
+    }
+  }
+  manager_->stats().coeff_writes += ops.size();
+  return Status::OK();
+}
+
+Status TiledStore::Prefetch(std::span<const uint64_t> blocks) {
+  return pool_.Prefetch(blocks);
+}
+
 Status TiledStore::Flush() { return pool_.Flush(); }
 
 }  // namespace shiftsplit

@@ -7,11 +7,19 @@
 #define SHIFTSPLIT_TILE_TILED_STORE_H_
 
 #include <memory>
+#include <span>
 
 #include "shiftsplit/storage/buffer_pool.h"
 #include "shiftsplit/tile/tile_layout.h"
 
 namespace shiftsplit {
+
+/// \brief One coefficient write of a batched (per-block) apply.
+struct SlotUpdate {
+  uint64_t slot = 0;
+  double value = 0.0;
+  bool overwrite = false;  ///< true: slot = value (SHIFT); false: slot += value
+};
 
 /// \brief Coefficient store over tiles.
 class TiledStore {
@@ -45,6 +53,16 @@ class TiledStore {
   /// may hold several tiles at once — bounded by the pool capacity, beyond
   /// which GetBlock fails with ResourceExhausted.
   Result<PageGuard> PinBlock(uint64_t block, bool for_write);
+
+  /// \brief Bulk write: pins `block` once and applies every SlotUpdate
+  /// through the pinned span (one GetBlock for the whole batch; each update
+  /// is counted as one coefficient write).
+  Status ApplyToBlock(uint64_t block, std::span<const SlotUpdate> ops);
+
+  /// \brief Warms the buffer pool with the exact block set a batched apply
+  /// will touch (one vectored device read; see BufferPool::Prefetch for the
+  /// eviction contract).
+  Status Prefetch(std::span<const uint64_t> blocks);
 
   /// \brief Writes back all dirty cached blocks.
   Status Flush();

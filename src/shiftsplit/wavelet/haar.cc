@@ -64,13 +64,21 @@ Status ValidateSize(size_t size) {
 
 Status ForwardHaar1DLevels(std::span<double> data, uint32_t levels,
                            Normalization norm) {
+  std::vector<double> scratch(data.size());
+  return ForwardHaar1DLevels(data, levels, norm, scratch);
+}
+
+Status ForwardHaar1DLevels(std::span<double> data, uint32_t levels,
+                           Normalization norm, std::span<double> scratch) {
   SS_RETURN_IF_ERROR(ValidateSize(data.size()));
   const uint32_t n = Log2(data.size());
   if (levels > n) {
     return Status::InvalidArgument("more decomposition levels than log2(N)");
   }
+  if (scratch.size() < data.size()) {
+    return Status::InvalidArgument("scratch smaller than the data");
+  }
   if (levels == 0) return Status::OK();
-  std::vector<double> scratch(data.size());
   size_t s = data.size();
   for (uint32_t level = 0; level < levels; ++level) {
     const size_t half = s / 2;

@@ -71,6 +71,12 @@ Status InverseHaar1D(std::span<double> data, Normalization norm);
 Status ForwardHaar1DLevels(std::span<double> data, uint32_t levels,
                            Normalization norm);
 
+/// \brief ForwardHaar1DLevels against caller-provided scratch space (at least
+/// data.size() entries) — lets bulk callers transform many fibers without a
+/// heap allocation per fiber. Identical arithmetic and results.
+Status ForwardHaar1DLevels(std::span<double> data, uint32_t levels,
+                           Normalization norm, std::span<double> scratch);
+
 /// \brief Inverse of ForwardHaar1DLevels.
 Status InverseHaar1DLevels(std::span<double> data, uint32_t levels,
                            Normalization norm);

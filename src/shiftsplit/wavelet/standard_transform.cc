@@ -1,5 +1,6 @@
 #include "shiftsplit/wavelet/standard_transform.h"
 
+#include <algorithm>
 #include <cmath>
 #include <vector>
 
@@ -11,10 +12,20 @@ namespace shiftsplit {
 namespace {
 
 // Applies `op` (a 1-d in-place transform) along every fiber of `dim`.
+// Innermost-dimension fibers are contiguous rows and are transformed in
+// place; strided fibers are gathered into a reused buffer.
 template <typename Op>
 Status TransformAlongDim(Tensor* tensor, uint32_t dim, Op op) {
   const TensorShape& shape = tensor->shape();
-  std::vector<double> fiber(shape.dim(dim));
+  const uint64_t extent = shape.dim(dim);
+  if (shape.stride(dim) == 1) {
+    const std::span<double> data = tensor->data();
+    for (uint64_t off = 0; off < data.size(); off += extent) {
+      SS_RETURN_IF_ERROR(op(data.subspan(off, extent)));
+    }
+    return Status::OK();
+  }
+  std::vector<double> fiber(extent);
   std::vector<uint64_t> base(shape.ndim(), 0);
   // Iterate over all coordinates with base[dim] fixed at 0.
   for (;;) {
@@ -40,10 +51,18 @@ Status TransformAlongDim(Tensor* tensor, uint32_t dim, Op op) {
 }  // namespace
 
 Status ForwardStandard(Tensor* tensor, Normalization norm) {
+  uint64_t max_extent = 0;
+  for (uint32_t i = 0; i < tensor->shape().ndim(); ++i) {
+    max_extent = std::max(max_extent, tensor->shape().dim(i));
+  }
+  std::vector<double> scratch(max_extent);
   for (uint32_t dim = 0; dim < tensor->shape().ndim(); ++dim) {
     SS_RETURN_IF_ERROR(TransformAlongDim(
-        tensor, dim,
-        [norm](std::span<double> f) { return ForwardHaar1D(f, norm); }));
+        tensor, dim, [norm, &scratch](std::span<double> f) {
+          return ForwardHaar1DLevels(
+              f, Log2(f.size()), norm,
+              std::span<double>(scratch.data(), f.size()));
+        }));
   }
   return Status::OK();
 }

@@ -89,6 +89,43 @@ TEST_P(BlockManagerContractTest, ResizeGrowsAndRejectsShrink) {
   EXPECT_EQ(manager_->Resize(3).code(), StatusCode::kInvalidArgument);
 }
 
+TEST_P(BlockManagerContractTest, ReadBlocksConcatenatesInRequestOrder) {
+  ASSERT_OK(manager_->Resize(8));
+  for (const uint64_t id : {1, 2, 3, 6}) {
+    std::vector<double> in(kBlockSize);
+    for (uint64_t s = 0; s < kBlockSize; ++s) {
+      in[s] = static_cast<double>(id * 100 + s);
+    }
+    ASSERT_OK(manager_->WriteBlock(id, in));
+  }
+  // A consecutive run (vectored on the file backend), a scattered id, a
+  // repeat and a fresh (zero) block.
+  const std::vector<uint64_t> ids{1, 2, 3, 6, 1, 5};
+  std::vector<double> out(ids.size() * kBlockSize, -1.0);
+  ASSERT_OK(manager_->ReadBlocks(ids, out));
+  for (size_t i = 0; i < ids.size(); ++i) {
+    for (uint64_t s = 0; s < kBlockSize; ++s) {
+      const double expected =
+          ids[i] == 5 ? 0.0 : static_cast<double>(ids[i] * 100 + s);
+      EXPECT_DOUBLE_EQ(out[i * kBlockSize + s], expected)
+          << "segment " << i << " slot " << s;
+    }
+  }
+  EXPECT_EQ(manager_->stats().block_reads, ids.size());
+}
+
+TEST_P(BlockManagerContractTest, ReadBlocksValidatesSizeAndRange) {
+  const std::vector<uint64_t> ids{0, 1};
+  std::vector<double> small(kBlockSize);
+  EXPECT_EQ(manager_->ReadBlocks(ids, small).code(),
+            StatusCode::kInvalidArgument);
+  const std::vector<uint64_t> bad{0, 4};
+  std::vector<double> out(2 * kBlockSize);
+  EXPECT_EQ(manager_->ReadBlocks(bad, out).code(), StatusCode::kOutOfRange);
+  // The empty request is a no-op.
+  ASSERT_OK(manager_->ReadBlocks({}, {}));
+}
+
 TEST_P(BlockManagerContractTest, StatsCountBlockIo) {
   std::vector<double> buf(kBlockSize, 1.0);
   ASSERT_OK(manager_->WriteBlock(0, buf));

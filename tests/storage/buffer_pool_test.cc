@@ -309,6 +309,96 @@ TEST(BufferPoolTest, FlushBestEffortCountsFailures) {
   }
 }
 
+TEST(BufferPoolTest, PrefetchWarmsTheCache) {
+  MemoryBlockManager manager(kBlockSize, 16);
+  BufferPool pool(&manager, 8);
+  const std::vector<uint64_t> ids{3, 4, 5, 9, 3};  // dup must count once
+  ASSERT_OK(pool.Prefetch(ids));
+  EXPECT_EQ(pool.cached_blocks(), 4u);
+  EXPECT_EQ(pool.stats().prefetched, 4u);
+  EXPECT_EQ(manager.stats().block_reads, 4u);
+  // Every prefetched block is now a hit; no further device reads.
+  manager.stats().Reset();
+  for (const uint64_t id : {3, 4, 5, 9}) {
+    ASSERT_OK(pool.GetBlock(id, false).status());
+  }
+  EXPECT_EQ(pool.hits(), 4u);
+  EXPECT_EQ(pool.misses(), 0u);
+  EXPECT_EQ(manager.stats().block_reads, 0u);
+  // A second prefetch of resident blocks is a no-op.
+  ASSERT_OK(pool.Prefetch(ids));
+  EXPECT_EQ(pool.stats().prefetched, 4u);
+  EXPECT_EQ(manager.stats().block_reads, 0u);
+}
+
+TEST(BufferPoolTest, PrefetchIsCappedByCapacityMinusPins) {
+  MemoryBlockManager manager(kBlockSize, 16);
+  BufferPool pool(&manager, 3);
+  ASSERT_OK_AND_ASSIGN(auto pinned, pool.GetBlock(0, false));
+  // Room for 2 unpinned frames: only the first two missing ids are warmed.
+  const std::vector<uint64_t> ids{1, 2, 3, 4};
+  ASSERT_OK(pool.Prefetch(ids));
+  EXPECT_EQ(pool.stats().prefetched, 2u);
+  EXPECT_EQ(pool.cached_blocks(), 3u);
+  manager.stats().Reset();
+  ASSERT_OK(pool.GetBlock(1, false).status());
+  ASSERT_OK(pool.GetBlock(2, false).status());
+  EXPECT_EQ(manager.stats().block_reads, 0u);
+  ASSERT_DOUBLE_EQ(pinned[0], 0.0);  // the pin stayed valid throughout
+}
+
+TEST(BufferPoolTest, PrefetchEvictsWithWriteBack) {
+  MemoryBlockManager manager(kBlockSize, 16);
+  BufferPool pool(&manager, 2);
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+    page[1] = 6.5;
+  }
+  // Warming two new blocks at capacity 2 evicts the dirty frame.
+  ASSERT_OK(pool.Prefetch(std::vector<uint64_t>{1, 2}));
+  EXPECT_EQ(pool.stats().write_backs, 1u);
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(manager.ReadBlock(0, buf));
+  EXPECT_DOUBLE_EQ(buf[1], 6.5);
+}
+
+TEST(BufferPoolTest, FailedPrefetchReadLeavesCacheUnchanged) {
+  MemoryBlockManager inner(kBlockSize, 8);
+  testing::FaultInjectionBlockManager manager(&inner);
+  BufferPool pool(&manager, 4);
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+    page[0] = 42.0;
+  }
+  manager.FailNthRead(1);
+  const Status status = pool.Prefetch(std::vector<uint64_t>{1, 2});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  EXPECT_EQ(pool.cached_blocks(), 1u);
+  EXPECT_EQ(pool.stats().prefetched, 0u);
+  // The resident dirty frame kept its payload.
+  ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, false));
+  EXPECT_DOUBLE_EQ(page[0], 42.0);
+}
+
+TEST(BufferPoolTest, ThreadSafeModeTogglesAndBehavesIdentically) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  EXPECT_FALSE(pool.thread_safe());
+  pool.set_thread_safe(true);
+  EXPECT_TRUE(pool.thread_safe());
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+    page[0] = 3.0;
+  }
+  ASSERT_OK(pool.Prefetch(std::vector<uint64_t>{1, 2}));
+  ASSERT_OK(pool.Flush());
+  pool.set_thread_safe(false);
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(manager.ReadBlock(0, buf));
+  EXPECT_DOUBLE_EQ(buf[0], 3.0);
+}
+
 TEST(BufferPoolTest, StatsAggregateAcrossOperations) {
   MemoryBlockManager manager(kBlockSize, 8);
   BufferPool pool(&manager, 2);

@@ -1,14 +1,17 @@
 #!/usr/bin/env bash
-# Builds the `default` and `asan` CMake presets and runs the full test suite
-# under both. The asan preset (-fsanitize=address,undefined) makes the
-# span-use-after-free bug class in the storage layer fail loudly instead of
-# silently corrupting results — run this before merging storage/tile changes.
+# Builds the `default`, `asan` and `tsan` CMake presets and runs the full
+# test suite under each. The asan preset (-fsanitize=address,undefined) makes
+# the span-use-after-free bug class in the storage layer fail loudly instead
+# of silently corrupting results; the tsan preset (-fsanitize=thread) does
+# the same for data races in the parallel ingest pipeline and the buffer
+# pool's thread-safe mode — run this before merging storage/tile/core
+# changes.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-for preset in default asan; do
+for preset in default asan tsan; do
   echo "==> configure [$preset]"
   cmake --preset "$preset"
   echo "==> build [$preset]"

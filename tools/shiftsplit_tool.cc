@@ -34,7 +34,8 @@ constexpr char kUsage[] =
     "  create  --form standard|nonstandard --dims 4,4,6 [--b 2]\n"
     "          [--norm average|orthonormal]\n"
     "  ingest  --dataset temperature|uniform|smooth|sparse [--chunk 3]\n"
-    "          [--zorder] [--sparse] [--seed 1]\n"
+    "          [--zorder] [--sparse] [--seed 1] [--threads T] [--prefetch]\n"
+    "          [--per-coeff]\n"
     "  info\n"
     "  point   --at 1,2,3 [--slots]\n"
     "  sum     --lo 0,0,0 --hi 3,3,3\n"
@@ -64,7 +65,8 @@ Result<Args> ParseArgs(int argc, char** argv) {
     std::string a = argv[i];
     if (a.rfind("--", 0) == 0) {
       const std::string key = a.substr(2);
-      if (key == "zorder" || key == "sparse" || key == "slots") {
+      if (key == "zorder" || key == "sparse" || key == "slots" ||
+          key == "prefetch" || key == "per-coeff") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];
@@ -178,16 +180,24 @@ Status CmdIngest(const Args& args) {
   TransformOptions options;
   options.zorder = args.flags.contains("zorder");
   options.sparse = args.flags.contains("sparse");
+  options.batched = !args.flags.contains("per-coeff");
+  options.prefetch = args.flags.contains("prefetch");
+  if (auto t = args.flags.find("threads"); t != args.flags.end()) {
+    options.num_threads = static_cast<uint32_t>(std::stoul(t->second));
+  }
   SS_RETURN_IF_ERROR(cube->Ingest(dataset.get(), log_chunk, &options));
   SS_RETURN_IF_ERROR(cube->Flush());
   std::printf("ingested %s: %s\n", it->second.c_str(),
               cube->stats().ToString().c_str());
   const BufferPool::Stats cache = cube->pool_stats();
-  std::printf("cache: %.1f%% hit rate (%llu hits, %llu misses), "
-              "%llu evictions, %llu write-backs\n",
+  std::printf("cache: %.1f%% hit rate (%llu GetBlock calls: %llu hits, "
+              "%llu misses), %llu prefetched, %llu evictions, "
+              "%llu write-backs\n",
               100.0 * cache.hit_rate(),
+              static_cast<unsigned long long>(cache.hits + cache.misses),
               static_cast<unsigned long long>(cache.hits),
               static_cast<unsigned long long>(cache.misses),
+              static_cast<unsigned long long>(cache.prefetched),
               static_cast<unsigned long long>(cache.evictions),
               static_cast<unsigned long long>(cache.write_backs));
   return Status::OK();
