@@ -49,7 +49,7 @@ int main() {
     const TransformResult result = DieOnError(
         TransformDatasetStandard(dataset.get(), 4, store.get(), options),
         "transform");
-    DieOnError(manager->Sync(), "sync");
+    DieOnError(store->Close(), "close");
     const double wall_ms =
         std::chrono::duration<double, std::milli>(
             std::chrono::steady_clock::now() - start)

@@ -4,10 +4,15 @@
 //     naive:       M (log N + 1)
 //     SHIFT-SPLIT: (M - 1) + log(N/M) + 1
 
+#include <chrono>
+#include <filesystem>
+
 #include "bench_util.h"
 #include "shiftsplit/baseline/naive_update.h"
 #include "shiftsplit/core/reconstruct.h"
 #include "shiftsplit/core/updater.h"
+#include "shiftsplit/storage/file_block_manager.h"
+#include "shiftsplit/storage/journal.h"
 #include "shiftsplit/util/random.h"
 
 using namespace shiftsplit;
@@ -93,5 +98,68 @@ int main() {
     PrintRow({U(size), U(cover.size()), U(flush_each), U(flush_once),
               U(flush_each - flush_once)});
   }
+
+  // Durability tax: the journaled atomic commit writes every dirty block
+  // twice (journal image + in-place) plus two fsyncs, versus the raw
+  // write-back flush of a v1 store. Both stores are file-backed so the
+  // comparison includes the real syscall cost.
+  std::printf(
+      "\nAtomic-commit overhead: file-backed range updates, journaled (v2,\n"
+      "checksummed) vs raw flush (v1), %s\n",
+      "wall time per update incl. flush");
+  PrintRow({"range size", "raw ms", "journaled ms", "overhead"});
+  namespace fs = std::filesystem;
+  const fs::path bench_dir =
+      fs::temp_directory_path() / "shiftsplit_bench_update";
+  for (uint32_t m = 4; m <= 12; m += 4) {
+    const uint64_t size = (uint64_t{1} << m) + 3;
+    const uint64_t lo = (uint64_t{5} << m) + 1;
+    Tensor deltas(TensorShape({size}));
+    for (uint64_t i = 0; i < deltas.size(); ++i) {
+      deltas[i] = rng.NextGaussian();
+    }
+    const std::vector<uint64_t> origin{lo};
+    constexpr int kReps = 5;
+
+    double elapsed[2] = {0.0, 0.0};
+    for (int journaled = 0; journaled < 2; ++journaled) {
+      fs::remove_all(bench_dir);
+      fs::create_directories(bench_dir);
+      FileBlockManager::Options device_options;
+      device_options.checksums = journaled != 0;
+      device_options.epoch = 1;
+      auto layout = std::make_unique<StandardTiling>(log_dims, b);
+      const uint64_t capacity = layout->block_capacity();
+      auto device = DieOnError(
+          FileBlockManager::Open((bench_dir / "blocks.bin").string(),
+                                 capacity, device_options),
+          "device open");
+      auto store = DieOnError(
+          journaled
+              ? TiledStore::Open(std::move(layout), device.get(), 1u << 10,
+                                 std::make_unique<Journal>(
+                                     (bench_dir / "store.journal").string()))
+              : TiledStore::Create(std::move(layout), device.get(),
+                                   1u << 10),
+          "store open");
+      const auto start = std::chrono::steady_clock::now();
+      for (int rep = 0; rep < kReps; ++rep) {
+        DieOnError(UpdateRangeStandard(store.get(), log_dims, deltas, origin,
+                                       Normalization::kAverage),
+                   "timed range update");
+      }
+      DieOnError(store->Close(), "store close");
+      elapsed[journaled] = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count() /
+                           kReps;
+    }
+    PrintRow({U(size), F(elapsed[0], 2), F(elapsed[1], 2),
+              F(elapsed[1] / elapsed[0], 2) + "x"});
+  }
+  fs::remove_all(bench_dir);
+  std::printf(
+      "\nThe journaled commit stays atomic under power cuts: the overhead\n"
+      "buys all-or-nothing multi-block updates and per-block checksums.\n");
   return 0;
 }

@@ -56,6 +56,18 @@ Status Appender::OpenStore() {
   if (manager_ == nullptr) {
     return Status::Internal("block manager factory returned null");
   }
+  if (!options_.journal_path.empty()) {
+    SS_ASSIGN_OR_RETURN(
+        store_, TiledStore::Open(std::move(layout), manager_.get(),
+                                 options_.pool_blocks,
+                                 std::make_unique<Journal>(
+                                     options_.journal_path)));
+    if (store_->read_only()) {
+      return Status::IOError("appender store " + options_.journal_path +
+                             " opened read-only after failed recovery");
+    }
+    return Status::OK();
+  }
   SS_ASSIGN_OR_RETURN(store_,
                       TiledStore::Create(std::move(layout), manager_.get(),
                                          options_.pool_blocks));

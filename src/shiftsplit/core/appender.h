@@ -12,6 +12,7 @@
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "shiftsplit/core/shift_split.h"
@@ -38,6 +39,13 @@ class Appender {
     bool maintain_scaling_slots = false;
     /// Device factory; defaults to in-memory devices.
     BlockManagerFactory factory;
+    /// When non-empty, the store is opened through TiledStore::Open with an
+    /// intent journal at this path: every Append/Expand flush becomes an
+    /// atomic multi-block commit, and an interrupted commit is repaired on
+    /// the next open. Expansion reuses the same journal path for the new
+    /// device (any pending commit is recovered before the old store is
+    /// migrated).
+    std::string journal_path;
   };
 
   /// \param initial_log_dims per-dimension log2 extents of the initial

@@ -1,6 +1,7 @@
 #include "shiftsplit/core/wavelet_cube.h"
 
 #include <filesystem>
+#include <random>
 
 #include "shiftsplit/core/query.h"
 #include "shiftsplit/core/reconstruct.h"
@@ -17,6 +18,20 @@ std::string ManifestPath(const std::string& dir) {
 }
 std::string BlocksPath(const std::string& dir) {
   return (std::filesystem::path(dir) / "blocks.bin").string();
+}
+std::string JournalPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / "store.journal").string();
+}
+
+// Nonzero random epoch stamped into every v2 block footer, so blocks from a
+// deleted-and-recreated store at the same path can never verify.
+uint64_t RandomEpoch() {
+  std::random_device rd;
+  uint64_t epoch = 0;
+  do {
+    epoch = (static_cast<uint64_t>(rd()) << 32) | rd();
+  } while (epoch == 0);
+  return epoch;
 }
 
 StoreManifest MakeManifest(std::vector<uint32_t> log_dims,
@@ -36,10 +51,25 @@ Status WaveletCube::OpenStore(uint64_t pool_blocks) {
   if (dir_.empty()) {
     device_ =
         std::make_unique<MemoryBlockManager>(layout->block_capacity());
-  } else {
-    SS_ASSIGN_OR_RETURN(device_,
-                        FileBlockManager::Open(BlocksPath(dir_),
-                                               layout->block_capacity()));
+    SS_ASSIGN_OR_RETURN(
+        store_,
+        TiledStore::Create(std::move(layout), device_.get(), pool_blocks));
+    return Status::OK();
+  }
+  FileBlockManager::Options file_options;
+  file_options.checksums = manifest_.format_version >= 2;
+  file_options.epoch = manifest_.store_epoch;
+  SS_ASSIGN_OR_RETURN(device_,
+                      FileBlockManager::Open(BlocksPath(dir_),
+                                             layout->block_capacity(),
+                                             file_options));
+  if (manifest_.format_version >= 2) {
+    SS_ASSIGN_OR_RETURN(
+        store_, TiledStore::Open(std::move(layout), device_.get(),
+                                 pool_blocks,
+                                 std::make_unique<Journal>(
+                                     JournalPath(dir_))));
+    return Status::OK();
   }
   SS_ASSIGN_OR_RETURN(store_, TiledStore::Create(std::move(layout),
                                                  device_.get(), pool_blocks));
@@ -75,6 +105,10 @@ Result<std::unique_ptr<WaveletCube>> WaveletCube::CreateOnDisk(
   std::unique_ptr<WaveletCube> cube(new WaveletCube());
   cube->dir_ = dir;
   cube->manifest_ = MakeManifest(std::move(log_dims), options);
+  cube->manifest_.format_version = options.format_version;
+  if (options.format_version >= 2) {
+    cube->manifest_.store_epoch = RandomEpoch();
+  }
   SS_RETURN_IF_ERROR(cube->manifest_.Save(ManifestPath(dir)));
   SS_RETURN_IF_ERROR(cube->OpenStore(options.pool_blocks));
   return cube;
@@ -158,10 +192,13 @@ Result<CompressedSynopsis> WaveletCube::Compress(uint64_t k) {
 
 Status WaveletCube::Flush() {
   SS_RETURN_IF_ERROR(store_->Flush());
-  if (auto* file = dynamic_cast<FileBlockManager*>(device_.get())) {
-    SS_RETURN_IF_ERROR(file->Sync());
-  }
-  return Status::OK();
+  return device_->Sync();
+}
+
+Status WaveletCube::Close() { return store_->Close(); }
+
+Result<std::vector<uint64_t>> WaveletCube::Scrub() {
+  return store_->Scrub();
 }
 
 }  // namespace shiftsplit

@@ -34,6 +34,10 @@ class WaveletCube {
     Normalization norm = Normalization::kAverage;
     uint32_t b = 2;              ///< log2 tile edge
     uint64_t pool_blocks = 256;  ///< buffer-pool budget
+    /// Manifest format for CreateOnDisk: 2 (default) gives per-block CRC32C
+    /// footers, an atomic-commit journal, and crash recovery on open; 1
+    /// writes the legacy raw format. Ignored for in-memory cubes.
+    uint32_t format_version = 2;
   };
 
   /// \brief Creates an empty in-memory cube.
@@ -76,7 +80,24 @@ class WaveletCube {
   Result<CompressedSynopsis> Compress(uint64_t k);
 
   /// \brief Writes dirty blocks back (and fsyncs file-backed devices).
+  /// An atomic multi-block commit for v2 on-disk cubes.
   Status Flush();
+
+  /// \brief Flushes and syncs, propagating the first failure (the
+  /// destructor can only write back best-effort). Call before dropping a
+  /// cube whose contents matter; idempotent.
+  Status Close();
+
+  /// \brief Verifies every on-disk block's checksum; returns the corrupt
+  /// block ids (empty = clean). Corruption flips the store to read-only
+  /// with quarantined blocks read as zeros. v1/in-memory cubes are
+  /// trivially clean.
+  Result<std::vector<uint64_t>> Scrub();
+
+  /// \brief Checksum/journal/recovery counters (see DurabilityStats).
+  DurabilityStats durability_stats() const {
+    return store_->durability_stats();
+  }
 
   const StoreManifest& manifest() const { return manifest_; }
   TiledStore* store() { return store_.get(); }

@@ -7,7 +7,9 @@
 
 #include <cstdint>
 #include <span>
+#include <vector>
 
+#include "shiftsplit/storage/durability.h"
 #include "shiftsplit/storage/io_stats.h"
 #include "shiftsplit/util/status.h"
 
@@ -55,6 +57,28 @@ class BlockManager {
           ReadBlock(ids[i], out.subspan(i * block_size(), block_size())));
     }
     return Status::OK();
+  }
+
+  /// \brief Makes all completed writes durable (fsync on file backends).
+  /// Backends without a durability boundary (memory) succeed trivially.
+  virtual Status Sync() { return Status::OK(); }
+
+  /// \brief Verifies the integrity of every block, quarantining and
+  /// returning the ids that fail. Backends without checksums have nothing to
+  /// verify and return an empty list.
+  virtual Result<std::vector<uint64_t>> Scrub() {
+    return std::vector<uint64_t>{};
+  }
+
+  /// \brief Toggles degraded reads: when on, a block that fails verification
+  /// is quarantined and served as zeros instead of erroring — the read-only
+  /// salvage mode. No-op on backends without checksums.
+  virtual void set_degraded_reads(bool on) { (void)on; }
+
+  /// \brief Corruption/recovery counters (all-zero for backends without
+  /// checksums).
+  virtual DurabilityStats durability_stats() const {
+    return DurabilityStats{};
   }
 
   IoStats& stats() { return stats_; }

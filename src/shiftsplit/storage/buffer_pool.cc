@@ -178,6 +178,52 @@ Status BufferPool::Flush() {
   return FlushLocked();
 }
 
+Status BufferPool::FlushAtomic(Journal* journal) {
+  const auto lock = Lock();
+  if (journal == nullptr) return FlushLocked();
+  // Snapshot the dirty set, ordered by block id so the commit record (and
+  // the in-place write order) is deterministic.
+  std::vector<internal::PoolFrame*> dirty;
+  for (internal::PoolFrame& frame : lru_) {
+    if (frame.dirty) dirty.push_back(&frame);
+  }
+  if (dirty.empty()) return Status::OK();
+  std::sort(dirty.begin(), dirty.end(),
+            [](const internal::PoolFrame* a, const internal::PoolFrame* b) {
+              return a->block_id < b->block_id;
+            });
+  std::vector<JournalEntry> entries;
+  entries.reserve(dirty.size());
+  for (const internal::PoolFrame* frame : dirty) {
+    entries.push_back({frame->block_id, std::span<const double>(frame->data)});
+  }
+  // 1. Durable intent: the whole batch (with checksums) hits the journal
+  //    before any block is touched in place.
+  SS_RETURN_IF_ERROR(journal->AppendCommit(entries, manager_->block_size()));
+  // 2. In-place writes + device sync. A failure here leaves the journal in
+  //    place: reopen replays the full batch (idempotent redo).
+  for (internal::PoolFrame* frame : dirty) {
+    SS_RETURN_IF_ERROR(WriteBack(*frame));
+    ++journaled_write_backs_;
+  }
+  SS_RETURN_IF_ERROR(manager_->Sync());
+  // 3. Retire the intent; the commit is complete.
+  return journal->Truncate();
+}
+
+Status BufferPool::Discard() {
+  const auto lock = Lock();
+  if (pinned_frames_ != 0) {
+    return Status::ResourceExhausted(
+        std::to_string(pinned_frames_) +
+        " buffer-pool frame(s) still pinned; release all PageGuards before "
+        "Discard");
+  }
+  lru_.clear();
+  frames_.clear();
+  return Status::OK();
+}
+
 Status BufferPool::FlushLocked() {
   for (internal::PoolFrame& frame : lru_) {
     SS_RETURN_IF_ERROR(WriteBack(frame));

@@ -16,6 +16,7 @@
 
 #include "shiftsplit/storage/block_manager.h"
 #include "shiftsplit/storage/io_stats.h"
+#include "shiftsplit/storage/journal.h"
 
 namespace shiftsplit {
 
@@ -181,6 +182,25 @@ class BufferPool {
   /// Stops at the first failing write, leaving that frame dirty.
   Status Flush();
 
+  /// \brief Atomic multi-block commit of all dirty frames through `journal`:
+  /// the dirty block set (ids + images + checksums) is first appended to
+  /// the journal and fsynced, then the blocks are written in place and the
+  /// device synced, then the journal is truncated. A crash anywhere in
+  /// between is repaired by Journal::Recover on reopen — the whole batch
+  /// lands or none of it does. With a null journal this degrades to Flush().
+  ///
+  /// The all-or-nothing guarantee covers the frames dirty at call time;
+  /// dirty frames evicted *between* commits are written back unjournaled
+  /// (tracked by journaled_write_backs() vs write_backs) — size the pool to
+  /// hold each commit's dirty working set (no-steal), as the tests and
+  /// benches do.
+  Status FlushAtomic(Journal* journal);
+
+  /// \brief Drops every frame without writing dirty ones back — for
+  /// abandoning a store after a failed commit (the journal will repair it
+  /// on reopen). Fails with ResourceExhausted while any frame is pinned.
+  Status Discard();
+
   /// \brief Writes back all dirty frames, continuing past failures. Failed
   /// frames stay dirty; each failure increments flush_failures(). Returns
   /// the number of failures (0 = fully flushed).
@@ -198,6 +218,10 @@ class BufferPool {
   /// \brief Dirty frames that could not be written back by best-effort
   /// flushes (FlushBestEffort and the destructor).
   uint64_t flush_failures() const { return flush_failures_; }
+  /// \brief Write-backs performed inside FlushAtomic commits; the
+  /// difference to Stats::write_backs is eviction traffic outside any
+  /// commit (zero when the pool never steals dirty frames between commits).
+  uint64_t journaled_write_backs() const { return journaled_write_backs_; }
   uint64_t capacity() const { return capacity_; }
   uint64_t cached_blocks() const { return frames_.size(); }
   uint64_t pinned_frames() const { return pinned_frames_; }
@@ -243,6 +267,7 @@ class BufferPool {
   uint64_t evictions_ = 0;
   uint64_t write_backs_ = 0;
   uint64_t flush_failures_ = 0;
+  uint64_t journaled_write_backs_ = 0;
   uint64_t prefetched_ = 0;
   uint64_t pinned_frames_ = 0;
   IoStats io_;  // block reads/writes issued by this pool

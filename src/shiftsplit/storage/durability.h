@@ -1,0 +1,57 @@
+// Durability accounting: counters describing how a store has fared against
+// corruption and crashes — checksum verification failures, quarantined
+// blocks, journal recovery actions, transient-I/O retries, and whether the
+// store has degraded to read-only. Surfaced next to BufferPool::Stats via
+// TiledStore::durability_stats().
+
+#ifndef SHIFTSPLIT_STORAGE_DURABILITY_H_
+#define SHIFTSPLIT_STORAGE_DURABILITY_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace shiftsplit {
+
+/// \brief Counters describing crash/corruption handling since open.
+struct DurabilityStats {
+  uint64_t checksum_failures = 0;   ///< reads that failed verification
+  uint64_t quarantined_blocks = 0;  ///< distinct blocks currently quarantined
+  uint64_t zero_filled_reads = 0;   ///< degraded reads served as zeros
+  uint64_t io_retries = 0;          ///< transient-I/O retries attempted
+  uint64_t journal_commits = 0;     ///< atomic flush batches committed
+  uint64_t journal_replays = 0;     ///< recoveries that redid a commit
+  uint64_t journal_rollbacks = 0;   ///< recoveries that discarded a torn one
+  uint64_t unjournaled_write_backs = 0;  ///< evictions outside any commit
+  bool read_only = false;           ///< store degraded to read-only
+
+  DurabilityStats& operator+=(const DurabilityStats& other) {
+    checksum_failures += other.checksum_failures;
+    quarantined_blocks += other.quarantined_blocks;
+    zero_filled_reads += other.zero_filled_reads;
+    io_retries += other.io_retries;
+    journal_commits += other.journal_commits;
+    journal_replays += other.journal_replays;
+    journal_rollbacks += other.journal_rollbacks;
+    unjournaled_write_backs += other.unjournaled_write_backs;
+    read_only = read_only || other.read_only;
+    return *this;
+  }
+
+  std::string ToString() const {
+    std::ostringstream os;
+    os << "checksum failures=" << checksum_failures
+       << " quarantined=" << quarantined_blocks
+       << " zero-filled reads=" << zero_filled_reads
+       << " retries=" << io_retries << " journal c/r/b=" << journal_commits
+       << "/" << journal_replays << "/" << journal_rollbacks
+       << (read_only ? " [read-only]" : "");
+    return os.str();
+  }
+
+  bool operator==(const DurabilityStats&) const = default;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_STORAGE_DURABILITY_H_

@@ -7,44 +7,87 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <thread>
 #include <vector>
+
+#include "shiftsplit/util/crc32c.h"
 
 namespace shiftsplit {
 
 namespace {
+
 std::string Errno(const std::string& prefix) {
   return prefix + ": " + std::strerror(errno);
 }
 
-// True iff blocks * block_bytes overflows uint64_t or exceeds what ::pread /
+// True iff blocks * stride_bytes overflows uint64_t or exceeds what ::pread /
 // ::pwrite / ::ftruncate can address through a (signed) off_t byte offset.
-bool ByteSizeOverflows(uint64_t blocks, uint64_t block_bytes) {
-  if (block_bytes != 0 &&
-      blocks > std::numeric_limits<uint64_t>::max() / block_bytes) {
+bool ByteSizeOverflows(uint64_t blocks, uint64_t stride_bytes) {
+  if (stride_bytes != 0 &&
+      blocks > std::numeric_limits<uint64_t>::max() / stride_bytes) {
     return true;
   }
-  const uint64_t bytes = blocks * block_bytes;
+  const uint64_t bytes = blocks * stride_bytes;
   return bytes > static_cast<uint64_t>(std::numeric_limits<off_t>::max());
 }
+
+// Per-block integrity footer (checksummed format only). An all-zero footer
+// marks a never-written block, whose payload must also be all zero.
+constexpr uint32_t kFooterMagic = 0x53534246u;  // "FBSS"
+constexpr uint64_t kFooterBytes = 16;
+
+struct BlockFooter {
+  uint32_t magic = 0;
+  uint32_t crc = 0;
+  uint64_t epoch = 0;
+};
+static_assert(sizeof(BlockFooter) == kFooterBytes,
+              "footer must be exactly 16 bytes");
+
+bool AllZero(const char* data, uint64_t bytes) {
+  for (uint64_t i = 0; i < bytes; ++i) {
+    if (data[i] != 0) return false;
+  }
+  return true;
+}
+
+// Blocks per scratch chunk on the checksummed vectored-read path: bounds the
+// staging buffer while keeping runs down to few syscalls.
+constexpr uint64_t kReadRunChunk = 64;
+
 }  // namespace
 
 FileBlockManager::FileBlockManager(std::string path, int fd,
-                                   uint64_t block_size, uint64_t num_blocks)
+                                   uint64_t block_size, uint64_t num_blocks,
+                                   const Options& options)
     : path_(std::move(path)),
       fd_(fd),
       block_size_(block_size),
-      num_blocks_(num_blocks) {}
+      num_blocks_(num_blocks),
+      checksums_(options.checksums),
+      epoch_(options.epoch),
+      degraded_reads_(options.degraded_reads),
+      retry_attempts_(options.retry_attempts),
+      retry_backoff_us_(options.retry_backoff_us) {
+  if (checksums_) scratch_.resize(stride());
+}
+
+uint64_t FileBlockManager::stride() const {
+  return block_size_ * sizeof(double) + (checksums_ ? kFooterBytes : 0);
+}
 
 Result<std::unique_ptr<FileBlockManager>> FileBlockManager::Open(
-    const std::string& path, uint64_t block_size) {
+    const std::string& path, uint64_t block_size, const Options& options) {
   if (block_size == 0) {
     return Status::InvalidArgument("block size must be positive");
   }
   if (block_size >
-      std::numeric_limits<uint64_t>::max() / sizeof(double)) {
+      (std::numeric_limits<uint64_t>::max() - kFooterBytes) /
+          sizeof(double)) {
     return Status::InvalidArgument("block byte size overflows uint64_t");
   }
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
@@ -56,15 +99,18 @@ Result<std::unique_ptr<FileBlockManager>> FileBlockManager::Open(
     ::close(fd);
     return Status::IOError(Errno("fstat " + path));
   }
-  const uint64_t block_bytes = block_size * sizeof(double);
-  if (static_cast<uint64_t>(st.st_size) % block_bytes != 0) {
+  const uint64_t stride_bytes =
+      block_size * sizeof(double) + (options.checksums ? kFooterBytes : 0);
+  if (static_cast<uint64_t>(st.st_size) % stride_bytes != 0) {
     ::close(fd);
     return Status::InvalidArgument(
-        "existing file size is not a multiple of the block size");
+        "existing file size is not a multiple of the block stride (was the "
+        "store written with a different checksum setting?)");
   }
-  const uint64_t num_blocks = static_cast<uint64_t>(st.st_size) / block_bytes;
+  const uint64_t num_blocks =
+      static_cast<uint64_t>(st.st_size) / stride_bytes;
   return std::unique_ptr<FileBlockManager>(
-      new FileBlockManager(path, fd, block_size, num_blocks));
+      new FileBlockManager(path, fd, block_size, num_blocks, options));
 }
 
 FileBlockManager::~FileBlockManager() {
@@ -75,12 +121,12 @@ Status FileBlockManager::Resize(uint64_t num_blocks) {
   if (num_blocks < num_blocks_) {
     return Status::InvalidArgument("block devices only grow");
   }
-  if (ByteSizeOverflows(num_blocks, block_size_ * sizeof(double))) {
+  if (ByteSizeOverflows(num_blocks, stride())) {
     return Status::InvalidArgument(
         "resize to " + std::to_string(num_blocks) +
         " blocks overflows the addressable byte range");
   }
-  const uint64_t bytes = num_blocks * block_size_ * sizeof(double);
+  const uint64_t bytes = num_blocks * stride();
   if (::ftruncate(fd_, static_cast<off_t>(bytes)) != 0) {
     return Status::IOError(Errno("ftruncate " + path_));
   }
@@ -88,23 +134,22 @@ Status FileBlockManager::Resize(uint64_t num_blocks) {
   return Status::OK();
 }
 
-Status FileBlockManager::ReadBlock(uint64_t id, std::span<double> out) {
-  if (id >= num_blocks_) {
-    return Status::OutOfRange("block id beyond device size");
-  }
-  if (out.size() != block_size_) {
-    return Status::InvalidArgument("read buffer size != block size");
-  }
-  ++stats_.block_reads;
-  const uint64_t bytes = block_size_ * sizeof(double);
-  const off_t offset = static_cast<off_t>(id * bytes);
+Status FileBlockManager::ReadRaw(uint64_t offset, char* dst, uint64_t bytes) {
   uint64_t done = 0;
-  char* dst = reinterpret_cast<char*>(out.data());
+  uint32_t retries_left = retry_attempts_;
+  uint32_t backoff_us = retry_backoff_us_;
   while (done < bytes) {
     const ssize_t r = ::pread(fd_, dst + done, bytes - done,
-                              offset + static_cast<off_t>(done));
+                              static_cast<off_t>(offset + done));
     if (r < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN && retries_left > 0) {
+        --retries_left;
+        ++durability_.io_retries;
+        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+        backoff_us *= 2;
+        continue;
+      }
       return Status::IOError(Errno("pread " + path_));
     }
     if (r == 0) {
@@ -117,6 +162,83 @@ Status FileBlockManager::ReadBlock(uint64_t id, std::span<double> out) {
   return Status::OK();
 }
 
+Status FileBlockManager::WriteRaw(uint64_t offset, const char* src,
+                                  uint64_t bytes) {
+  uint64_t done = 0;
+  uint32_t retries_left = retry_attempts_;
+  uint32_t backoff_us = retry_backoff_us_;
+  while (done < bytes) {
+    const ssize_t w = ::pwrite(fd_, src + done, bytes - done,
+                               static_cast<off_t>(offset + done));
+    if (w > 0) {
+      done += static_cast<uint64_t>(w);
+      continue;
+    }
+    if (w < 0 && errno == EINTR) continue;
+    // A zero-byte write (disk full / quota edge) or EAGAIN may be
+    // transient: back off a bounded number of times before giving up.
+    if ((w == 0 || errno == EAGAIN) && retries_left > 0) {
+      --retries_left;
+      ++durability_.io_retries;
+      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
+      backoff_us *= 2;
+      continue;
+    }
+    if (w == 0) {
+      return Status::IOError("pwrite " + path_ + ": wrote 0 bytes after " +
+                             std::to_string(retry_attempts_) + " retries");
+    }
+    return Status::IOError(Errno("pwrite " + path_));
+  }
+  return Status::OK();
+}
+
+Status FileBlockManager::VerifyInto(uint64_t id, const char* raw,
+                                    std::span<double> out) {
+  const uint64_t payload_bytes = block_size_ * sizeof(double);
+  BlockFooter footer;
+  std::memcpy(&footer, raw + payload_bytes, kFooterBytes);
+  bool valid;
+  if (footer.magic == 0 && footer.crc == 0 && footer.epoch == 0) {
+    valid = AllZero(raw, payload_bytes);  // never-written block
+  } else {
+    valid = footer.magic == kFooterMagic &&
+            footer.crc == Crc32c(raw, payload_bytes) &&
+            footer.epoch == epoch_;
+  }
+  if (valid) {
+    quarantined_.erase(id);
+    std::memcpy(out.data(), raw, payload_bytes);
+    return Status::OK();
+  }
+  ++durability_.checksum_failures;
+  quarantined_.insert(id);
+  if (degraded_reads_) {
+    ++durability_.zero_filled_reads;
+    std::fill(out.begin(), out.end(), 0.0);
+    return Status::OK();
+  }
+  return Status::ChecksumMismatch("block " + std::to_string(id) +
+                                  " failed checksum verification in " +
+                                  path_);
+}
+
+Status FileBlockManager::ReadBlock(uint64_t id, std::span<double> out) {
+  if (id >= num_blocks_) {
+    return Status::OutOfRange("block id beyond device size");
+  }
+  if (out.size() != block_size_) {
+    return Status::InvalidArgument("read buffer size != block size");
+  }
+  ++stats_.block_reads;
+  if (!checksums_) {
+    return ReadRaw(id * stride(), reinterpret_cast<char*>(out.data()),
+                   block_size_ * sizeof(double));
+  }
+  SS_RETURN_IF_ERROR(ReadRaw(id * stride(), scratch_.data(), stride()));
+  return VerifyInto(id, scratch_.data(), out);
+}
+
 Status FileBlockManager::ReadBlocks(std::span<const uint64_t> ids,
                                     std::span<double> out) {
   const uint64_t block_bytes = block_size_ * sizeof(double);
@@ -127,6 +249,32 @@ Status FileBlockManager::ReadBlocks(std::span<const uint64_t> ids,
     if (id >= num_blocks_) {
       return Status::OutOfRange("block id beyond device size");
     }
+  }
+  if (checksums_) {
+    // Runs of consecutive ids are read through a bounded staging buffer
+    // (footers are interleaved with payloads on disk), then verified and
+    // stripped block by block.
+    std::vector<char> staging;
+    size_t i = 0;
+    while (i < ids.size()) {
+      size_t j = i + 1;
+      while (j < ids.size() && ids[j] == ids[j - 1] + 1 &&
+             j - i < kReadRunChunk) {
+        ++j;
+      }
+      const uint64_t run = j - i;
+      staging.resize(run * stride());
+      SS_RETURN_IF_ERROR(
+          ReadRaw(ids[i] * stride(), staging.data(), run * stride()));
+      for (uint64_t k = 0; k < run; ++k) {
+        SS_RETURN_IF_ERROR(
+            VerifyInto(ids[i + k], staging.data() + k * stride(),
+                       out.subspan((i + k) * block_size_, block_size_)));
+      }
+      stats_.block_reads += run;
+      i = j;
+    }
+    return Status::OK();
   }
   char* base = reinterpret_cast<char*>(out.data());
   size_t i = 0;
@@ -178,23 +326,20 @@ Status FileBlockManager::WriteBlock(uint64_t id, std::span<const double> data) {
     return Status::InvalidArgument("write buffer size != block size");
   }
   ++stats_.block_writes;
-  const uint64_t bytes = block_size_ * sizeof(double);
-  const off_t offset = static_cast<off_t>(id * bytes);
-  uint64_t done = 0;
-  const char* src = reinterpret_cast<const char*>(data.data());
-  while (done < bytes) {
-    const ssize_t w = ::pwrite(fd_, src + done, bytes - done,
-                               offset + static_cast<off_t>(done));
-    if (w < 0) {
-      if (errno == EINTR) continue;
-      return Status::IOError(Errno("pwrite " + path_));
-    }
-    if (w == 0) {
-      // A zero-byte write (e.g. disk full / quota edge) would loop forever.
-      return Status::IOError("pwrite " + path_ + ": wrote 0 bytes");
-    }
-    done += static_cast<uint64_t>(w);
+  const uint64_t payload_bytes = block_size_ * sizeof(double);
+  if (!checksums_) {
+    return WriteRaw(id * stride(),
+                    reinterpret_cast<const char*>(data.data()),
+                    payload_bytes);
   }
+  std::memcpy(scratch_.data(), data.data(), payload_bytes);
+  BlockFooter footer;
+  footer.magic = kFooterMagic;
+  footer.crc = Crc32c(scratch_.data(), payload_bytes);
+  footer.epoch = epoch_;
+  std::memcpy(scratch_.data() + payload_bytes, &footer, kFooterBytes);
+  SS_RETURN_IF_ERROR(WriteRaw(id * stride(), scratch_.data(), stride()));
+  quarantined_.erase(id);  // a rewrite heals a quarantined block
   return Status::OK();
 }
 
@@ -203,6 +348,32 @@ Status FileBlockManager::Sync() {
     return Status::IOError(Errno("fsync " + path_));
   }
   return Status::OK();
+}
+
+Result<std::vector<uint64_t>> FileBlockManager::Scrub() {
+  std::vector<uint64_t> corrupt;
+  if (!checksums_) return corrupt;
+  std::vector<double> payload(block_size_);
+  for (uint64_t id = 0; id < num_blocks_; ++id) {
+    SS_RETURN_IF_ERROR(ReadRaw(id * stride(), scratch_.data(), stride()));
+    ++stats_.block_reads;
+    // Verify without degraded zero-fill: scrubbing reports, never masks.
+    const bool was_degraded = degraded_reads_;
+    degraded_reads_ = false;
+    const Status verified = VerifyInto(id, scratch_.data(), payload);
+    degraded_reads_ = was_degraded;
+    if (!verified.ok()) {
+      if (verified.code() != StatusCode::kChecksumMismatch) return verified;
+      corrupt.push_back(id);
+    }
+  }
+  return corrupt;
+}
+
+DurabilityStats FileBlockManager::durability_stats() const {
+  DurabilityStats stats = durability_;
+  stats.quarantined_blocks = quarantined_.size();
+  return stats;
 }
 
 }  // namespace shiftsplit

@@ -2,12 +2,22 @@
 // are "accurate implementations of the operations on real disks with real
 // disk blocks" — this backend provides that fidelity; I/O counts are
 // identical to the in-memory backend by construction.
+//
+// With Options::checksums the on-disk format grows a 16-byte footer per
+// block (magic + CRC32C of the payload + store epoch) that is written on
+// every WriteBlock and verified on every read. A block that fails
+// verification is quarantined and the read fails with ChecksumMismatch —
+// or, in degraded mode, is served as zeros so a corrupt store can still be
+// salvaged read-only. Never-written blocks (all-zero payload and footer)
+// verify trivially, so sparse ftruncate-extended tails stay valid.
 
 #ifndef SHIFTSPLIT_STORAGE_FILE_BLOCK_MANAGER_H_
 #define SHIFTSPLIT_STORAGE_FILE_BLOCK_MANAGER_H_
 
 #include <memory>
+#include <set>
 #include <string>
+#include <vector>
 
 #include "shiftsplit/storage/block_manager.h"
 
@@ -16,11 +26,44 @@ namespace shiftsplit {
 /// \brief Block device stored in a single flat file.
 class FileBlockManager : public BlockManager {
  public:
+  struct Options {
+    /// Append a per-block integrity footer (CRC32C + epoch) to every block
+    /// and verify it on every read. Changes the on-disk stride; a file
+    /// written with checksums cannot be opened without them (and vice
+    /// versa) — the store manifest's format version records which.
+    bool checksums = false;
+
+    /// Store epoch stamped into every footer and required on read; detects
+    /// a block file spliced in from a different store generation. Ignored
+    /// without checksums.
+    uint64_t epoch = 0;
+
+    /// Degraded mode: a block failing verification is quarantined and read
+    /// as zeros instead of failing — for read-only salvage of a corrupt
+    /// store. Also settable later via set_degraded_reads().
+    bool degraded_reads = false;
+
+    /// Transient-I/O retry budget: a short read/write that makes no
+    /// progress (0 bytes, or EAGAIN) is retried up to this many times with
+    /// exponential backoff before surfacing IOError. EINTR is always
+    /// retried and does not consume the budget.
+    uint32_t retry_attempts = 3;
+    /// Initial backoff before the first retry, doubling per attempt.
+    uint32_t retry_backoff_us = 100;
+  };
+
   /// \brief Creates or opens the backing file. If the file exists it is
   /// opened with its current contents; its size must be a multiple of the
-  /// block byte size.
+  /// on-disk block stride (payload bytes, plus the footer when checksums
+  /// are on).
   static Result<std::unique_ptr<FileBlockManager>> Open(
-      const std::string& path, uint64_t block_size);
+      const std::string& path, uint64_t block_size, const Options& options);
+
+  /// \brief Legacy unchecksummed open (format v1 stores).
+  static Result<std::unique_ptr<FileBlockManager>> Open(
+      const std::string& path, uint64_t block_size) {
+    return Open(path, block_size, Options{});
+  }
 
   ~FileBlockManager() override;
   FileBlockManager(const FileBlockManager&) = delete;
@@ -34,22 +77,61 @@ class FileBlockManager : public BlockManager {
 
   /// \brief Vectored read: runs of consecutive block ids become single
   /// preadv calls (one iovec per block, capped at IOV_MAX per call).
+  /// Checksummed files read runs through a bounded scratch buffer instead
+  /// (same syscall coalescing) so footers can be stripped and verified.
   Status ReadBlocks(std::span<const uint64_t> ids,
                     std::span<double> out) override;
 
   /// \brief fsyncs the backing file.
-  Status Sync();
+  Status Sync() override;
 
+  /// \brief Verifies every block's footer, quarantining and returning the
+  /// ids that fail (empty without checksums). Reads the whole file; each
+  /// block is counted as one block read.
+  Result<std::vector<uint64_t>> Scrub() override;
+
+  void set_degraded_reads(bool on) override { degraded_reads_ = on; }
+  bool degraded_reads() const { return degraded_reads_; }
+
+  DurabilityStats durability_stats() const override;
+
+  /// \brief Blocks currently quarantined (failed verification and not
+  /// rewritten since), ascending.
+  std::vector<uint64_t> quarantined() const {
+    return std::vector<uint64_t>(quarantined_.begin(), quarantined_.end());
+  }
+
+  bool checksums() const { return checksums_; }
   const std::string& path() const { return path_; }
 
  private:
   FileBlockManager(std::string path, int fd, uint64_t block_size,
-                   uint64_t num_blocks);
+                   uint64_t num_blocks, const Options& options);
+
+  // On-disk bytes per block: payload plus footer (when checksummed).
+  uint64_t stride() const;
+  // pread/pwrite loops with EINTR handling and the bounded transient-error
+  // retry policy. Fill `sparse_zero` semantics: a read hitting EOF zero
+  // fills the remainder (ftruncate-extended tail).
+  Status ReadRaw(uint64_t offset, char* dst, uint64_t bytes);
+  Status WriteRaw(uint64_t offset, const char* src, uint64_t bytes);
+  // Verifies one block image (payload + footer at `raw`); on failure either
+  // quarantines + zero-fills (degraded) or returns ChecksumMismatch.
+  // `payload_out` receives block_size_ doubles.
+  Status VerifyInto(uint64_t id, const char* raw, std::span<double> out);
 
   std::string path_;
   int fd_;
   uint64_t block_size_;
   uint64_t num_blocks_;
+  bool checksums_;
+  uint64_t epoch_;
+  bool degraded_reads_;
+  uint32_t retry_attempts_;
+  uint32_t retry_backoff_us_;
+  DurabilityStats durability_;
+  std::set<uint64_t> quarantined_;
+  std::vector<char> scratch_;  // one-block staging (read verify, write image)
 };
 
 }  // namespace shiftsplit

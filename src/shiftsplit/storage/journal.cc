@@ -1,0 +1,257 @@
+#include "shiftsplit/storage/journal.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "shiftsplit/util/crc32c.h"
+
+namespace shiftsplit {
+
+namespace {
+
+std::string Errno(const std::string& prefix) {
+  return prefix + ": " + std::strerror(errno);
+}
+
+// Commit record layout (single record per journal file):
+//   RecordHeader
+//   num_entries x EntryHeader
+//   num_entries x block_size doubles (payload images, entry order)
+//   RecordTrailer (commit marker: magic + CRC32C of all preceding bytes)
+constexpr uint32_t kRecordMagic = 0x314A5353u;   // "SSJ1"
+constexpr uint32_t kTrailerMagic = 0x434A5353u;  // "SSJC"
+
+struct RecordHeader {
+  uint32_t magic = kRecordMagic;
+  uint32_t version = 1;
+  uint64_t block_size = 0;
+  uint64_t num_entries = 0;
+};
+
+struct EntryHeader {
+  uint64_t block_id = 0;
+  uint32_t crc = 0;  // CRC32C of this entry's payload bytes
+  uint32_t pad = 0;
+};
+
+struct RecordTrailer {
+  uint32_t magic = kTrailerMagic;
+  uint32_t crc = 0;  // CRC32C of every byte before the trailer
+};
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t w = ::write(fd, data + done, size - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(Errno("journal write"));
+    }
+    if (w == 0) return Status::IOError("journal write: wrote 0 bytes");
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status Journal::SyncParentDir() {
+  std::filesystem::path parent = std::filesystem::path(path_).parent_path();
+  if (parent.empty()) parent = ".";
+  const int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (dfd < 0) {
+    return Status::IOError(Errno("open dir " + parent.string()));
+  }
+  const int rc = ::fsync(dfd);
+  ::close(dfd);
+  if (rc != 0) {
+    return Status::IOError(Errno("fsync dir " + parent.string()));
+  }
+  return Status::OK();
+}
+
+Status Journal::AppendCommit(std::span<const JournalEntry> entries,
+                             uint64_t block_size) {
+  if (entries.empty()) {
+    return Status::InvalidArgument("empty commit record");
+  }
+  const uint64_t payload_bytes = block_size * sizeof(double);
+  for (const JournalEntry& entry : entries) {
+    if (entry.data.size() != block_size) {
+      return Status::InvalidArgument(
+          "journal entry payload size != block size");
+    }
+  }
+  // Serialize the whole record up front so the file sees at most two writes
+  // (the test hook between them exercises genuinely torn records).
+  const size_t record_bytes = sizeof(RecordHeader) +
+                              entries.size() * sizeof(EntryHeader) +
+                              entries.size() * payload_bytes +
+                              sizeof(RecordTrailer);
+  std::vector<char> record(record_bytes);
+  char* out = record.data();
+  RecordHeader header;
+  header.block_size = block_size;
+  header.num_entries = entries.size();
+  std::memcpy(out, &header, sizeof(header));
+  out += sizeof(header);
+  for (const JournalEntry& entry : entries) {
+    EntryHeader eh;
+    eh.block_id = entry.block_id;
+    eh.crc = Crc32c(entry.data.data(), payload_bytes);
+    std::memcpy(out, &eh, sizeof(eh));
+    out += sizeof(eh);
+  }
+  for (const JournalEntry& entry : entries) {
+    std::memcpy(out, entry.data.data(), payload_bytes);
+    out += payload_bytes;
+  }
+  RecordTrailer trailer;
+  trailer.crc = Crc32c(record.data(),
+                       record_bytes - sizeof(RecordTrailer));
+  std::memcpy(out, &trailer, sizeof(trailer));
+
+  const int fd = ::open(path_.c_str(),
+                        O_WRONLY | O_CREAT | O_TRUNC | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IOError(Errno("open journal " + path_));
+  }
+  const size_t head = record_bytes / 2;
+  Status status = CallHook("append");
+  if (status.ok()) status = WriteAll(fd, record.data(), head);
+  if (status.ok()) status = CallHook("append-tail");
+  if (status.ok()) {
+    status = WriteAll(fd, record.data() + head, record_bytes - head);
+  }
+  if (status.ok()) status = CallHook("fsync");
+  if (status.ok() && ::fsync(fd) != 0) {
+    status = Status::IOError(Errno("fsync journal " + path_));
+  }
+  ::close(fd);
+  SS_RETURN_IF_ERROR(status);
+  SS_RETURN_IF_ERROR(SyncParentDir());
+  ++commits_;
+  return Status::OK();
+}
+
+Status Journal::Truncate() {
+  SS_RETURN_IF_ERROR(CallHook("truncate"));
+  if (::unlink(path_.c_str()) != 0) {
+    if (errno == ENOENT) return Status::OK();
+    return Status::IOError(Errno("unlink journal " + path_));
+  }
+  return SyncParentDir();
+}
+
+Result<Journal::RecoveryResult> Journal::Recover(BlockManager* device) {
+  RecoveryResult result;
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return result;  // no journal: clean open
+    return Status::IOError(Errno("open journal " + path_));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("fstat journal " + path_));
+  }
+  std::vector<char> record(static_cast<size_t>(st.st_size));
+  size_t done = 0;
+  while (done < record.size()) {
+    const ssize_t r = ::read(fd, record.data() + done, record.size() - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError(Errno("read journal " + path_));
+    }
+    if (r == 0) break;  // shrank under us; validation below rejects it
+    done += static_cast<size_t>(r);
+  }
+  ::close(fd);
+
+  // Validate: any inconsistency means the record never committed — the
+  // in-place writes never started, so discarding it restores the
+  // pre-commit state.
+  const auto rollback = [&]() -> Result<RecoveryResult> {
+    // No hook on the recovery path: recovery is not a crash point of the
+    // commit protocol under test, it is the repair step.
+    if (::unlink(path_.c_str()) != 0 && errno != ENOENT) {
+      return Status::IOError(Errno("unlink journal " + path_));
+    }
+    SS_RETURN_IF_ERROR(SyncParentDir());
+    ++rollbacks_;
+    result.rolled_back = true;
+    return result;
+  };
+
+  if (done != record.size() || record.size() < sizeof(RecordHeader)) {
+    return rollback();
+  }
+  RecordHeader header;
+  std::memcpy(&header, record.data(), sizeof(header));
+  if (header.magic != kRecordMagic || header.version != 1 ||
+      header.block_size != device->block_size() || header.num_entries == 0) {
+    return rollback();
+  }
+  const uint64_t payload_bytes = header.block_size * sizeof(double);
+  const size_t expect_bytes =
+      sizeof(RecordHeader) +
+      header.num_entries * (sizeof(EntryHeader) + payload_bytes) +
+      sizeof(RecordTrailer);
+  if (record.size() != expect_bytes) {
+    return rollback();
+  }
+  RecordTrailer trailer;
+  std::memcpy(&trailer, record.data() + expect_bytes - sizeof(trailer),
+              sizeof(trailer));
+  if (trailer.magic != kTrailerMagic ||
+      trailer.crc != Crc32c(record.data(), expect_bytes - sizeof(trailer))) {
+    return rollback();
+  }
+  const char* entry_base = record.data() + sizeof(RecordHeader);
+  const char* payload_base =
+      entry_base + header.num_entries * sizeof(EntryHeader);
+  for (uint64_t i = 0; i < header.num_entries; ++i) {
+    EntryHeader eh;
+    std::memcpy(&eh, entry_base + i * sizeof(EntryHeader), sizeof(eh));
+    if (eh.crc != Crc32c(payload_base + i * payload_bytes, payload_bytes)) {
+      return rollback();
+    }
+  }
+
+  // The record committed: redo every block image in place (idempotent), make
+  // it durable, then retire the journal.
+  uint64_t max_id = 0;
+  for (uint64_t i = 0; i < header.num_entries; ++i) {
+    EntryHeader eh;
+    std::memcpy(&eh, entry_base + i * sizeof(EntryHeader), sizeof(eh));
+    max_id = std::max(max_id, eh.block_id);
+  }
+  if (max_id >= device->num_blocks()) {
+    SS_RETURN_IF_ERROR(device->Resize(max_id + 1));
+  }
+  std::vector<double> payload(header.block_size);
+  for (uint64_t i = 0; i < header.num_entries; ++i) {
+    EntryHeader eh;
+    std::memcpy(&eh, entry_base + i * sizeof(EntryHeader), sizeof(eh));
+    std::memcpy(payload.data(), payload_base + i * payload_bytes,
+                payload_bytes);
+    SS_RETURN_IF_ERROR(device->WriteBlock(eh.block_id, payload));
+  }
+  SS_RETURN_IF_ERROR(device->Sync());
+  if (::unlink(path_.c_str()) != 0 && errno != ENOENT) {
+    return Status::IOError(Errno("unlink journal " + path_));
+  }
+  SS_RETURN_IF_ERROR(SyncParentDir());
+  ++replays_;
+  result.replayed = true;
+  result.blocks = header.num_entries;
+  return result;
+}
+
+}  // namespace shiftsplit

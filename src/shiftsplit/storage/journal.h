@@ -1,0 +1,95 @@
+// Intent journal: the redo log that makes multi-block flushes atomic.
+//
+// Commit protocol (BufferPool::FlushAtomic):
+//   1. AppendCommit — the full dirty block set (ids + payload images +
+//      CRC32Cs) is written to the sidecar journal file as one commit record
+//      and fsynced. From this point the commit is durable.
+//   2. The blocks are written in place and the device is fsynced.
+//   3. Truncate — the journal is removed; the commit is complete.
+//
+// Recovery (TiledStore::Open → Recover): a journal holding a complete,
+// checksum-valid commit record is replayed into the device (idempotent
+// redo — step 2 may have been interrupted anywhere); a torn or invalid
+// record means step 2 never started, so it is discarded (rollback). Either
+// way the store reopens in exactly the pre- or post-commit state — never a
+// mix.
+
+#ifndef SHIFTSPLIT_STORAGE_JOURNAL_H_
+#define SHIFTSPLIT_STORAGE_JOURNAL_H_
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "shiftsplit/storage/block_manager.h"
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+
+/// \brief One block image inside a commit record.
+struct JournalEntry {
+  uint64_t block_id = 0;
+  std::span<const double> data;  ///< block_size doubles, not owned
+};
+
+/// \brief Sidecar redo journal holding at most one commit record.
+class Journal {
+ public:
+  /// \brief Test hook called before every physical journal step ("append",
+  /// "append-tail", "fsync", "truncate"); returning an error aborts the
+  /// step, simulating a power cut at that point. Production journals have
+  /// no hook.
+  using Hook = std::function<Status(const char* op)>;
+
+  explicit Journal(std::string path) : path_(std::move(path)) {}
+
+  void set_hook(Hook hook) { hook_ = std::move(hook); }
+
+  /// \brief Durably writes one commit record: after OK, a crash at any later
+  /// point of the commit is recoverable by replay. Entries must all have
+  /// `block_size` doubles. Overwrites any previous (completed) record.
+  Status AppendCommit(std::span<const JournalEntry> entries,
+                      uint64_t block_size);
+
+  /// \brief Removes the journal once the in-place writes are durable,
+  /// completing the commit. Idempotent.
+  Status Truncate();
+
+  struct RecoveryResult {
+    bool replayed = false;     ///< a complete commit record was redone
+    bool rolled_back = false;  ///< a torn/invalid record was discarded
+    uint64_t blocks = 0;       ///< blocks rewritten by replay
+  };
+
+  /// \brief Replays or discards whatever the journal holds (see file
+  /// comment), removing it afterwards. A missing or empty journal is a
+  /// clean open. Fails only on real I/O errors reading the journal or
+  /// writing the device — corruption of the journal itself is a rollback,
+  /// not an error.
+  Result<RecoveryResult> Recover(BlockManager* device);
+
+  const std::string& path() const { return path_; }
+  uint64_t commits() const { return commits_; }
+  uint64_t replays() const { return replays_; }
+  uint64_t rollbacks() const { return rollbacks_; }
+
+ private:
+  Status CallHook(const char* op) {
+    return hook_ ? hook_(op) : Status::OK();
+  }
+  // fsyncs the directory containing the journal so creation/removal of the
+  // file itself is durable.
+  Status SyncParentDir();
+
+  std::string path_;
+  Hook hook_;
+  uint64_t commits_ = 0;
+  uint64_t replays_ = 0;
+  uint64_t rollbacks_ = 0;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_STORAGE_JOURNAL_H_

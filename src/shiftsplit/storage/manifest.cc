@@ -1,5 +1,12 @@
 #include "shiftsplit/storage/manifest.h"
 
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
 
@@ -8,6 +15,42 @@
 #include "shiftsplit/tile/standard_tiling.h"
 
 namespace shiftsplit {
+
+namespace {
+
+// fsyncs an already-written file by path, then closes it.
+Status FsyncPath(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("open for fsync " + path + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync " + path + ": " + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FsyncParentDir(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
+  if (parent.empty()) parent = ".";
+  const int fd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("open dir " + parent.string() + ": " +
+                           std::strerror(errno));
+  }
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) {
+    return Status::IOError("fsync dir " + parent.string() + ": " +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 const char* StoreFormToString(StoreForm form) {
   switch (form) {
@@ -29,27 +72,51 @@ Result<StoreForm> StoreFormFromString(const std::string& name) {
 }
 
 Status StoreManifest::Save(const std::string& path) const {
-  std::ofstream out(path, std::ios::trunc);
-  if (!out) {
-    return Status::IOError("cannot open manifest for writing: " + path);
+  if (format_version != 1 && format_version != 2) {
+    return Status::InvalidArgument("unsupported manifest format_version: " +
+                                   std::to_string(format_version));
   }
-  out << "format=shiftsplit-store-v1\n";
-  out << "form=" << StoreFormToString(form) << "\n";
-  out << "norm=" << NormalizationToString(norm) << "\n";
-  out << "b=" << b << "\n";
-  out << "block_capacity=" << block_capacity << "\n";
-  out << "log_dims=";
-  for (size_t i = 0; i < log_dims.size(); ++i) {
-    if (i > 0) out << ",";
-    out << log_dims[i];
+  // Write-temp + fsync + rename + fsync-dir so a crash mid-save leaves
+  // either the previous manifest or the complete new one.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open manifest for writing: " + tmp);
+    }
+    out << "format=shiftsplit-store-v" << format_version << "\n";
+    out << "form=" << StoreFormToString(form) << "\n";
+    out << "norm=" << NormalizationToString(norm) << "\n";
+    out << "b=" << b << "\n";
+    out << "block_capacity=" << block_capacity << "\n";
+    out << "log_dims=";
+    for (size_t i = 0; i < log_dims.size(); ++i) {
+      if (i > 0) out << ",";
+      out << log_dims[i];
+    }
+    out << "\n";
+    out << "filled=" << filled << "\n";
+    if (format_version >= 2) {
+      out << "epoch=" << store_epoch << "\n";
+    }
+    out.flush();
+    if (!out) {
+      const Status status =
+          Status::IOError("failed writing manifest: " + tmp);
+      std::remove(tmp.c_str());
+      return status;
+    }
   }
-  out << "\n";
-  out << "filled=" << filled << "\n";
-  out.flush();
-  if (!out) {
-    return Status::IOError("failed writing manifest: " + path);
+  Status status = FsyncPath(tmp);
+  if (status.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::IOError("rename " + tmp + " -> " + path + ": " +
+                             std::strerror(errno));
   }
-  return Status::OK();
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  return FsyncParentDir(path);
 }
 
 Result<StoreManifest> StoreManifest::Load(const std::string& path) {
@@ -69,11 +136,17 @@ Result<StoreManifest> StoreManifest::Load(const std::string& path) {
     const std::string key = line.substr(0, eq);
     const std::string value = line.substr(eq + 1);
     if (key == "format") {
-      if (value != "shiftsplit-store-v1") {
+      if (value == "shiftsplit-store-v1") {
+        manifest.format_version = 1;
+      } else if (value == "shiftsplit-store-v2") {
+        manifest.format_version = 2;
+      } else {
         return Status::InvalidArgument("unsupported manifest format: " +
                                        value);
       }
       saw_format = true;
+    } else if (key == "epoch") {
+      manifest.store_epoch = std::stoull(value);
     } else if (key == "form") {
       SS_ASSIGN_OR_RETURN(manifest.form, StoreFormFromString(value));
     } else if (key == "norm") {

@@ -27,6 +27,11 @@ const char* StoreFormToString(StoreForm form);
 Result<StoreForm> StoreFormFromString(const std::string& name);
 
 /// \brief Everything needed to reopen a store.
+///
+/// Format versions: v1 stores (format=shiftsplit-store-v1) have raw
+/// unchecksummed blocks and no journal; v2 stores carry a per-block CRC32C
+/// footer stamped with `store_epoch` and an atomic-commit journal. Load
+/// accepts both; Save writes the line matching `format_version`.
 struct StoreManifest {
   StoreForm form = StoreForm::kStandard;
   Normalization norm = Normalization::kAverage;
@@ -34,8 +39,13 @@ struct StoreManifest {
   uint64_t block_capacity = 0;       ///< slots per block (kNaive only)
   std::vector<uint32_t> log_dims;    ///< per-dimension log2 extents
   uint64_t filled = 0;               ///< appending fill level (0 = full)
+  uint32_t format_version = 1;       ///< 1 = legacy raw, 2 = checksummed
+  uint64_t store_epoch = 0;          ///< footer epoch (nonzero for v2)
 
-  /// \brief Serializes to a key=value text file.
+  /// \brief Serializes to a key=value text file, atomically: the content is
+  /// written to a temp file, fsynced, renamed over `path`, and the parent
+  /// directory fsynced — a crash leaves either the old or the new manifest,
+  /// never a truncated one.
   Status Save(const std::string& path) const;
 
   /// \brief Parses a manifest file.

@@ -7,9 +7,8 @@ TiledStore::TiledStore(std::unique_ptr<TileLayout> layout,
     : layout_(std::move(layout)), manager_(manager),
       pool_(manager, pool_blocks) {}
 
-Result<std::unique_ptr<TiledStore>> TiledStore::Create(
-    std::unique_ptr<TileLayout> layout, BlockManager* manager,
-    uint64_t pool_blocks) {
+Status TiledStore::Validate(const TileLayout* layout, BlockManager* manager,
+                            uint64_t pool_blocks) {
   if (layout == nullptr || manager == nullptr) {
     return Status::InvalidArgument("layout and manager are required");
   }
@@ -23,8 +22,37 @@ Result<std::unique_ptr<TiledStore>> TiledStore::Create(
   if (manager->num_blocks() < layout->num_blocks()) {
     SS_RETURN_IF_ERROR(manager->Resize(layout->num_blocks()));
   }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<TiledStore>> TiledStore::Create(
+    std::unique_ptr<TileLayout> layout, BlockManager* manager,
+    uint64_t pool_blocks) {
+  SS_RETURN_IF_ERROR(Validate(layout.get(), manager, pool_blocks));
   return std::unique_ptr<TiledStore>(
       new TiledStore(std::move(layout), manager, pool_blocks));
+}
+
+Result<std::unique_ptr<TiledStore>> TiledStore::Open(
+    std::unique_ptr<TileLayout> layout, BlockManager* manager,
+    uint64_t pool_blocks, std::unique_ptr<Journal> journal) {
+  SS_RETURN_IF_ERROR(Validate(layout.get(), manager, pool_blocks));
+  if (journal == nullptr) {
+    return Status::InvalidArgument("Open requires a journal (use Create)");
+  }
+  auto store = std::unique_ptr<TiledStore>(
+      new TiledStore(std::move(layout), manager, pool_blocks));
+  const Result<Journal::RecoveryResult> recovered =
+      journal->Recover(manager);
+  if (!recovered.ok()) {
+    // The journal itself could be read but the device refused the replay
+    // (or the journal is unreadable): salvage mode. Reads still work, with
+    // quarantined blocks as zeros; every write fails.
+    store->read_only_ = true;
+    manager->set_degraded_reads(true);
+  }
+  store->journal_ = std::move(journal);
+  return store;
 }
 
 Result<double> TiledStore::Get(std::span<const uint64_t> address) {
@@ -42,6 +70,13 @@ Status TiledStore::Add(std::span<const uint64_t> address, double delta) {
   return AddAt(at, delta);
 }
 
+Status TiledStore::FailIfReadOnly() const {
+  if (!read_only_) return Status::OK();
+  return Status::IOError(
+      "store is read-only (failed recovery or scrub corruption); writes are "
+      "rejected");
+}
+
 Result<double> TiledStore::GetAt(BlockSlot at) {
   SS_ASSIGN_OR_RETURN(const PageGuard page,
                       pool_.GetBlock(at.block, /*for_write=*/false));
@@ -50,6 +85,7 @@ Result<double> TiledStore::GetAt(BlockSlot at) {
 }
 
 Status TiledStore::SetAt(BlockSlot at, double value) {
+  SS_RETURN_IF_ERROR(FailIfReadOnly());
   SS_ASSIGN_OR_RETURN(const PageGuard page,
                       pool_.GetBlock(at.block, /*for_write=*/true));
   ++manager_->stats().coeff_writes;
@@ -58,6 +94,7 @@ Status TiledStore::SetAt(BlockSlot at, double value) {
 }
 
 Status TiledStore::AddAt(BlockSlot at, double delta) {
+  SS_RETURN_IF_ERROR(FailIfReadOnly());
   SS_ASSIGN_OR_RETURN(const PageGuard page,
                       pool_.GetBlock(at.block, /*for_write=*/true));
   ++manager_->stats().coeff_writes;
@@ -66,11 +103,13 @@ Status TiledStore::AddAt(BlockSlot at, double delta) {
 }
 
 Result<PageGuard> TiledStore::PinBlock(uint64_t block, bool for_write) {
+  if (for_write) SS_RETURN_IF_ERROR(FailIfReadOnly());
   return pool_.GetBlock(block, for_write);
 }
 
 Status TiledStore::ApplyToBlock(uint64_t block,
                                 std::span<const SlotUpdate> ops) {
+  SS_RETURN_IF_ERROR(FailIfReadOnly());
   SS_ASSIGN_OR_RETURN(const PageGuard page,
                       pool_.GetBlock(block, /*for_write=*/true));
   const std::span<double> slots = page.span();
@@ -89,6 +128,41 @@ Status TiledStore::Prefetch(std::span<const uint64_t> blocks) {
   return pool_.Prefetch(blocks);
 }
 
-Status TiledStore::Flush() { return pool_.Flush(); }
+Status TiledStore::Flush() {
+  if (read_only_) return Status::OK();  // nothing can be dirty
+  return journal_ ? pool_.FlushAtomic(journal_.get()) : pool_.Flush();
+}
+
+Status TiledStore::Close() {
+  SS_RETURN_IF_ERROR(Flush());
+  if (read_only_) return Status::OK();
+  return manager_->Sync();
+}
+
+Result<std::vector<uint64_t>> TiledStore::Scrub() {
+  // Scrub verifies the on-disk image; flush first so it covers this
+  // store's own pending writes too.
+  SS_RETURN_IF_ERROR(Flush());
+  SS_ASSIGN_OR_RETURN(std::vector<uint64_t> corrupt, manager_->Scrub());
+  if (!corrupt.empty()) {
+    read_only_ = true;
+    manager_->set_degraded_reads(true);
+  }
+  return corrupt;
+}
+
+DurabilityStats TiledStore::durability_stats() const {
+  DurabilityStats stats = manager_->durability_stats();
+  if (journal_) {
+    stats.journal_commits += journal_->commits();
+    stats.journal_replays += journal_->replays();
+    stats.journal_rollbacks += journal_->rollbacks();
+    const BufferPool::Stats pool = pool_.stats();
+    stats.unjournaled_write_backs +=
+        pool.write_backs - pool_.journaled_write_backs();
+  }
+  stats.read_only = stats.read_only || read_only_;
+  return stats;
+}
 
 }  // namespace shiftsplit

@@ -8,8 +8,10 @@
 
 #include <memory>
 #include <span>
+#include <vector>
 
 #include "shiftsplit/storage/buffer_pool.h"
+#include "shiftsplit/storage/journal.h"
 #include "shiftsplit/tile/tile_layout.h"
 
 namespace shiftsplit {
@@ -31,6 +33,20 @@ class TiledStore {
   static Result<std::unique_ptr<TiledStore>> Create(
       std::unique_ptr<TileLayout> layout, BlockManager* manager,
       uint64_t pool_blocks);
+
+  /// \brief Opens a store with crash recovery: any incomplete atomic commit
+  /// left in `journal` is replayed or rolled back before the first access
+  /// (see storage/journal.h), and the journal stays attached so every
+  /// Flush()/Close() becomes an atomic multi-block commit
+  /// (BufferPool::FlushAtomic).
+  ///
+  /// If recovery itself fails (the device rejects the replay writes), the
+  /// store opens *read-only* with degraded reads: quarantined blocks are
+  /// served as zeros, every write fails, and durability_stats() reports the
+  /// degradation — the salvage mode for pulling data off a damaged store.
+  static Result<std::unique_ptr<TiledStore>> Open(
+      std::unique_ptr<TileLayout> layout, BlockManager* manager,
+      uint64_t pool_blocks, std::unique_ptr<Journal> journal);
 
   /// \brief Reads the coefficient at a tuple address.
   Result<double> Get(std::span<const uint64_t> address);
@@ -64,8 +80,30 @@ class TiledStore {
   /// eviction contract).
   Status Prefetch(std::span<const uint64_t> blocks);
 
-  /// \brief Writes back all dirty cached blocks.
+  /// \brief Writes back all dirty cached blocks. With a journal attached
+  /// (Open) this is an atomic all-or-nothing commit of the dirty set.
   Status Flush();
+
+  /// \brief Flushes (atomically when journaled) and syncs the device,
+  /// propagating the first failure — unlike destruction, which can only
+  /// count failed write-backs. Callers that care about durability must
+  /// Close and check. Idempotent; a read-only store closes trivially.
+  Status Close();
+
+  /// \brief Verifies every device block's integrity (checksummed backends).
+  /// Corruption does not fail the call: the corrupt block ids are returned,
+  /// quarantined, and the store degrades to read-only with quarantined
+  /// blocks read as zeros.
+  Result<std::vector<uint64_t>> Scrub();
+
+  /// \brief True once the store has degraded (failed recovery or scrub
+  /// corruption); all write paths then fail.
+  bool read_only() const { return read_only_; }
+
+  /// \brief Corruption/recovery counters: device checksum + retry counters,
+  /// journal commit/replay/rollback counts, unjournaled eviction
+  /// write-backs, and the read-only flag.
+  DurabilityStats durability_stats() const;
 
   const TileLayout& layout() const { return *layout_; }
   BufferPool& pool() { return pool_; }
@@ -79,9 +117,16 @@ class TiledStore {
   TiledStore(std::unique_ptr<TileLayout> layout, BlockManager* manager,
              uint64_t pool_blocks);
 
+  // Shared validation + device sizing for Create/Open.
+  static Status Validate(const TileLayout* layout, BlockManager* manager,
+                         uint64_t pool_blocks);
+  Status FailIfReadOnly() const;
+
   std::unique_ptr<TileLayout> layout_;
   BlockManager* manager_;
   BufferPool pool_;
+  std::unique_ptr<Journal> journal_;  // null: plain (non-atomic) flushes
+  bool read_only_ = false;
 };
 
 }  // namespace shiftsplit

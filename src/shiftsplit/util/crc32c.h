@@ -1,0 +1,25 @@
+// CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
+// checksum guarding on-disk block payloads and journal records. Software
+// slicing-by-4 implementation; no hardware dependency.
+
+#ifndef SHIFTSPLIT_UTIL_CRC32C_H_
+#define SHIFTSPLIT_UTIL_CRC32C_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shiftsplit {
+
+/// \brief Extends `crc` (a running CRC32C, 0 for a fresh computation) over
+/// `size` bytes at `data`. The value is already pre/post-inverted, so chained
+/// calls compose: Crc32c(Crc32c(0, a, n), b, m) == Crc32c(0, concat(a,b)).
+uint32_t Crc32c(uint32_t crc, const void* data, size_t size);
+
+/// \brief One-shot CRC32C of a byte range.
+inline uint32_t Crc32c(const void* data, size_t size) {
+  return Crc32c(0, data, size);
+}
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_UTIL_CRC32C_H_

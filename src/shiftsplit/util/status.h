@@ -26,6 +26,7 @@ enum class StatusCode {
   kIOError,
   kUnimplemented,
   kInternal,
+  kChecksumMismatch,  ///< stored data failed its integrity check
 };
 
 /// \brief Human-readable name of a status code (e.g. "IOError").
@@ -68,6 +69,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ChecksumMismatch(std::string msg) {
+    return Status(StatusCode::kChecksumMismatch, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

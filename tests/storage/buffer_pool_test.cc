@@ -1,10 +1,14 @@
 #include "shiftsplit/storage/buffer_pool.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
+#include <filesystem>
+#include <string_view>
 #include <utility>
 #include <vector>
 
+#include "shiftsplit/storage/journal.h"
 #include "shiftsplit/storage/memory_block_manager.h"
 #include "storage/fault_injection_block_manager.h"
 #include "testing.h"
@@ -13,6 +17,25 @@ namespace shiftsplit {
 namespace {
 
 constexpr uint64_t kBlockSize = 4;
+
+// Scratch directory for journal-backed tests.
+class TempDir {
+ public:
+  TempDir() {
+    path_ = std::filesystem::temp_directory_path() /
+            ("shiftsplit_pool_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    std::filesystem::create_directories(path_);
+  }
+  ~TempDir() { std::filesystem::remove_all(path_); }
+  std::string File(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  std::filesystem::path path_;
+};
 
 TEST(BufferPoolTest, HitAvoidsBlockIo) {
   MemoryBlockManager manager(kBlockSize, 8);
@@ -422,6 +445,153 @@ TEST(BufferPoolTest, StatsAggregateAcrossOperations) {
   EXPECT_EQ(stats.io.block_reads, 3u);
   EXPECT_EQ(stats.io.block_writes, 1u);
   EXPECT_DOUBLE_EQ(stats.hit_rate(), 0.25);
+}
+
+TEST(BufferPoolTest, PrefetchVictimWriteBackFailureStopsInsertion) {
+  MemoryBlockManager inner(kBlockSize, 8);
+  testing::FaultInjectionBlockManager manager(&inner);
+  BufferPool pool(&manager, 2);
+  // Two resident dirty frames: inserting prefetched blocks needs evictions.
+  for (const uint64_t id : {0, 1}) {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(id, true));
+    page[0] = static_cast<double>(id) + 0.5;
+  }
+  manager.FailNthWrite(1);  // the first victim write-back fails
+  const Status status = pool.Prefetch(std::vector<uint64_t>{4, 5});
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kIOError);
+  // Insertion stopped before replacing anything: both dirty originals stay
+  // resident with their payloads, and the counters record exactly the batch
+  // read plus the failed write attempt.
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.cached_blocks, 2u);
+  EXPECT_EQ(stats.evictions, 0u);
+  EXPECT_EQ(stats.write_backs, 0u);
+  EXPECT_EQ(stats.io.block_reads, 4u);  // 2 misses + the 2-block batch
+  EXPECT_EQ(stats.io.block_writes, 0u);
+  EXPECT_EQ(inner.stats().block_writes, 0u);  // device untouched
+  for (const uint64_t id : {0, 1}) {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(id, false));
+    EXPECT_DOUBLE_EQ(page[0], static_cast<double>(id) + 0.5);
+  }
+  // The frames are still dirty: a later flush lands both.
+  ASSERT_OK(pool.Flush());
+  EXPECT_EQ(inner.stats().block_writes, 2u);
+}
+
+TEST(BufferPoolTest, PrefetchPartialFailureAfterOneInsertion) {
+  MemoryBlockManager inner(kBlockSize, 8);
+  testing::FaultInjectionBlockManager manager(&inner);
+  BufferPool pool(&manager, 2);
+  for (const uint64_t id : {0, 1}) {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(id, true));
+    page[0] = static_cast<double>(id) + 0.5;
+  }
+  manager.FailNthWrite(2);  // second victim write-back fails
+  const Status status = pool.Prefetch(std::vector<uint64_t>{4, 5});
+  ASSERT_FALSE(status.ok());
+  // Exactly one replacement happened: block 0 (the LRU victim) was written
+  // back and replaced by block 4; block 1 is still resident and dirty.
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.evictions, 1u);
+  EXPECT_EQ(stats.write_backs, 1u);
+  EXPECT_EQ(stats.cached_blocks, 2u);
+  EXPECT_EQ(inner.stats().block_writes, 1u);
+  ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(1, false));
+  EXPECT_DOUBLE_EQ(page[0], 1.5);
+}
+
+TEST(BufferPoolTest, FlushAtomicCommitsThroughTheJournal) {
+  TempDir dir;
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 4);
+  Journal journal(dir.File("store.journal"));
+  for (const uint64_t id : {2, 5}) {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(id, true));
+    page[1] = static_cast<double>(id) * 10.0;
+  }
+  ASSERT_OK(pool.FlushAtomic(&journal));
+  EXPECT_EQ(journal.commits(), 1u);
+  // Commit complete: journal retired, blocks in place, write-backs counted
+  // as journaled.
+  EXPECT_FALSE(std::filesystem::exists(journal.path()));
+  EXPECT_EQ(pool.journaled_write_backs(), 2u);
+  EXPECT_EQ(pool.stats().write_backs, 2u);
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(manager.ReadBlock(2, buf));
+  EXPECT_DOUBLE_EQ(buf[1], 20.0);
+  ASSERT_OK(manager.ReadBlock(5, buf));
+  EXPECT_DOUBLE_EQ(buf[1], 50.0);
+  // Nothing dirty: the next commit is a no-op, not an empty record.
+  ASSERT_OK(pool.FlushAtomic(&journal));
+  EXPECT_EQ(journal.commits(), 1u);
+}
+
+TEST(BufferPoolTest, FlushAtomicWithNullJournalDegradesToFlush) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+    page[0] = 1.25;
+  }
+  ASSERT_OK(pool.FlushAtomic(nullptr));
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(manager.ReadBlock(0, buf));
+  EXPECT_DOUBLE_EQ(buf[0], 1.25);
+  EXPECT_EQ(pool.journaled_write_backs(), 0u);
+}
+
+TEST(BufferPoolTest, FlushAtomicJournalFailureLeavesDeviceUntouched) {
+  TempDir dir;
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 4);
+  Journal journal(dir.File("store.journal"));
+  journal.set_hook([](const char* op) -> Status {
+    if (std::string_view(op) == "fsync") {
+      return Status::IOError("simulated power cut");
+    }
+    return Status::OK();
+  });
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(3, true));
+    page[0] = 9.0;
+  }
+  ASSERT_FALSE(pool.FlushAtomic(&journal).ok());
+  // The intent never became durable, so no block was written in place and
+  // the frame stays dirty for a retry.
+  EXPECT_EQ(manager.stats().block_writes, 0u);
+  EXPECT_EQ(pool.journaled_write_backs(), 0u);
+  journal.set_hook(nullptr);
+  ASSERT_OK(pool.FlushAtomic(&journal));
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(manager.ReadBlock(3, buf));
+  EXPECT_DOUBLE_EQ(buf[0], 9.0);
+}
+
+TEST(BufferPoolTest, DiscardDropsDirtyFramesWithoutWriteBack) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 4);
+  {
+    ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, true));
+    page[0] = 123.0;
+  }
+  ASSERT_OK(pool.Discard());
+  EXPECT_EQ(pool.cached_blocks(), 0u);
+  EXPECT_EQ(manager.stats().block_writes, 0u);
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(manager.ReadBlock(0, buf));
+  EXPECT_DOUBLE_EQ(buf[0], 0.0);  // the write never reached the device
+}
+
+TEST(BufferPoolTest, DiscardFailsWhilePinned) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 4);
+  ASSERT_OK_AND_ASSIGN(auto page, pool.GetBlock(0, false));
+  const Status status = pool.Discard();
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  page.Release();
+  ASSERT_OK(pool.Discard());
 }
 
 }  // namespace

@@ -1,0 +1,258 @@
+// Per-block integrity footers on FileBlockManager: verification on read,
+// quarantine + Scrub, degraded (zero-filled) reads, epoch pinning, and
+// compatibility with unchecksummed legacy files.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "shiftsplit/storage/file_block_manager.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+class ChecksumTest : public ::testing::Test {
+ protected:
+  ChecksumTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("shiftsplit_checksum_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "blocks.bin").string();
+  }
+  ~ChecksumTest() override { std::filesystem::remove_all(dir_); }
+
+  std::unique_ptr<FileBlockManager> OpenChecksummed(
+      uint64_t epoch = kEpoch, bool degraded = false) {
+    FileBlockManager::Options options;
+    options.checksums = true;
+    options.epoch = epoch;
+    options.degraded_reads = degraded;
+    auto r = FileBlockManager::Open(path_, kBlockSize, options);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return r.ok() ? std::move(r).value() : nullptr;
+  }
+
+  static std::vector<double> Pattern(uint64_t id) {
+    std::vector<double> data(kBlockSize);
+    for (uint64_t i = 0; i < kBlockSize; ++i) {
+      data[i] = static_cast<double>(id * 100 + i) + 0.5;
+    }
+    return data;
+  }
+
+  // Flips one byte of the payload of block `id` on disk.
+  void CorruptPayload(uint64_t id) {
+    const uint64_t stride = kBlockSize * sizeof(double) + 16;
+    const uint64_t offset = id * stride + 3;
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.is_open());
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x01);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&byte, 1);
+  }
+
+  static constexpr uint64_t kBlockSize = 8;
+  static constexpr uint64_t kEpoch = 42;
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+TEST_F(ChecksumTest, RoundTripAcrossReopen) {
+  {
+    auto manager = OpenChecksummed();
+    ASSERT_NE(manager, nullptr);
+    ASSERT_OK(manager->Resize(4));
+    ASSERT_OK(manager->WriteBlock(0, Pattern(0)));
+    ASSERT_OK(manager->WriteBlock(2, Pattern(2)));
+    ASSERT_OK(manager->Sync());
+  }
+  auto manager = OpenChecksummed();
+  ASSERT_NE(manager, nullptr);
+  EXPECT_EQ(manager->num_blocks(), 4u);
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(manager->ReadBlock(0, buf));
+  testing::ExpectNear(Pattern(0), buf);
+  ASSERT_OK(manager->ReadBlock(2, buf));
+  testing::ExpectNear(Pattern(2), buf);
+  // Never-written block: all-zero payload and footer verify trivially.
+  ASSERT_OK(manager->ReadBlock(3, buf));
+  for (double x : buf) EXPECT_DOUBLE_EQ(x, 0.0);
+  EXPECT_EQ(manager->durability_stats().checksum_failures, 0u);
+}
+
+TEST_F(ChecksumTest, FlippedByteFailsReadAndScrub) {
+  {
+    auto manager = OpenChecksummed();
+    ASSERT_OK(manager->Resize(4));
+    for (uint64_t id = 0; id < 4; ++id) {
+      ASSERT_OK(manager->WriteBlock(id, Pattern(id)));
+    }
+  }
+  CorruptPayload(1);
+
+  auto manager = OpenChecksummed();
+  std::vector<double> buf(kBlockSize);
+  const Status read = manager->ReadBlock(1, buf);
+  ASSERT_FALSE(read.ok());
+  EXPECT_EQ(read.code(), StatusCode::kChecksumMismatch);
+  // Intact neighbours still read fine.
+  ASSERT_OK(manager->ReadBlock(0, buf));
+  testing::ExpectNear(Pattern(0), buf);
+
+  ASSERT_OK_AND_ASSIGN(const std::vector<uint64_t> corrupt,
+                       manager->Scrub());
+  EXPECT_EQ(corrupt, std::vector<uint64_t>({1}));
+  const DurabilityStats stats = manager->durability_stats();
+  EXPECT_GE(stats.checksum_failures, 2u);  // the read and the scrub
+  EXPECT_EQ(stats.quarantined_blocks, 1u);
+  EXPECT_EQ(manager->quarantined(), std::vector<uint64_t>({1}));
+}
+
+TEST_F(ChecksumTest, EverySingleFlippedByteIsDetected) {
+  {
+    auto manager = OpenChecksummed();
+    ASSERT_OK(manager->Resize(1));
+    ASSERT_OK(manager->WriteBlock(0, Pattern(0)));
+  }
+  const uint64_t stride = kBlockSize * sizeof(double) + 16;
+  // Acceptance criterion: a flip at *any* byte offset — payload, CRC,
+  // magic or epoch — fails verification.
+  for (uint64_t offset = 0; offset < stride; ++offset) {
+    std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekg(static_cast<std::streamoff>(offset));
+    char byte = 0;
+    f.read(&byte, 1);
+    const char flipped = static_cast<char>(byte ^ 0x10);
+    f.seekp(static_cast<std::streamoff>(offset));
+    f.write(&flipped, 1);
+    f.close();
+
+    auto manager = OpenChecksummed();
+    std::vector<double> buf(kBlockSize);
+    EXPECT_EQ(manager->ReadBlock(0, buf).code(),
+              StatusCode::kChecksumMismatch)
+        << "flip at byte " << offset << " went undetected";
+
+    std::fstream g(path_, std::ios::in | std::ios::out | std::ios::binary);
+    g.seekp(static_cast<std::streamoff>(offset));
+    g.write(&byte, 1);  // restore
+  }
+}
+
+TEST_F(ChecksumTest, VectoredReadVerifiesEveryBlock) {
+  {
+    auto manager = OpenChecksummed();
+    ASSERT_OK(manager->Resize(6));
+    for (uint64_t id = 0; id < 6; ++id) {
+      ASSERT_OK(manager->WriteBlock(id, Pattern(id)));
+    }
+  }
+  CorruptPayload(4);
+  auto manager = OpenChecksummed();
+  const std::vector<uint64_t> ids = {0, 1, 2, 3, 4, 5};
+  std::vector<double> out(ids.size() * kBlockSize);
+  EXPECT_EQ(manager->ReadBlocks(ids, out).code(),
+            StatusCode::kChecksumMismatch);
+  // A clean subset still reads, concatenated in order.
+  const std::vector<uint64_t> clean = {5, 0, 3};
+  std::vector<double> subset(clean.size() * kBlockSize);
+  ASSERT_OK(manager->ReadBlocks(clean, subset));
+  testing::ExpectNear(Pattern(5),
+                      std::span<const double>(subset).subspan(0, kBlockSize));
+  testing::ExpectNear(
+      Pattern(0),
+      std::span<const double>(subset).subspan(kBlockSize, kBlockSize));
+  testing::ExpectNear(
+      Pattern(3),
+      std::span<const double>(subset).subspan(2 * kBlockSize, kBlockSize));
+}
+
+TEST_F(ChecksumTest, DegradedReadsServeZerosAndCount) {
+  {
+    auto manager = OpenChecksummed();
+    ASSERT_OK(manager->Resize(4));
+    for (uint64_t id = 0; id < 4; ++id) {
+      ASSERT_OK(manager->WriteBlock(id, Pattern(id)));
+    }
+  }
+  CorruptPayload(2);
+  auto manager = OpenChecksummed(kEpoch, /*degraded=*/true);
+  std::vector<double> buf(kBlockSize, 99.0);
+  ASSERT_OK(manager->ReadBlock(2, buf));
+  for (double x : buf) EXPECT_DOUBLE_EQ(x, 0.0);
+  ASSERT_OK(manager->ReadBlock(1, buf));
+  testing::ExpectNear(Pattern(1), buf);
+  const DurabilityStats stats = manager->durability_stats();
+  EXPECT_EQ(stats.zero_filled_reads, 1u);
+  EXPECT_EQ(stats.quarantined_blocks, 1u);
+}
+
+TEST_F(ChecksumTest, RewritingAQuarantinedBlockHealsIt) {
+  {
+    auto manager = OpenChecksummed();
+    ASSERT_OK(manager->Resize(2));
+    ASSERT_OK(manager->WriteBlock(0, Pattern(0)));
+  }
+  CorruptPayload(0);
+  auto manager = OpenChecksummed();
+  std::vector<double> buf(kBlockSize);
+  ASSERT_FALSE(manager->ReadBlock(0, buf).ok());
+  EXPECT_EQ(manager->durability_stats().quarantined_blocks, 1u);
+  ASSERT_OK(manager->WriteBlock(0, Pattern(9)));
+  EXPECT_EQ(manager->durability_stats().quarantined_blocks, 0u);
+  ASSERT_OK(manager->ReadBlock(0, buf));
+  testing::ExpectNear(Pattern(9), buf);
+  ASSERT_OK_AND_ASSIGN(const std::vector<uint64_t> corrupt,
+                       manager->Scrub());
+  EXPECT_TRUE(corrupt.empty());
+}
+
+TEST_F(ChecksumTest, WrongEpochFailsVerification) {
+  {
+    auto manager = OpenChecksummed(/*epoch=*/1);
+    ASSERT_OK(manager->Resize(1));
+    ASSERT_OK(manager->WriteBlock(0, Pattern(0)));
+  }
+  auto manager = OpenChecksummed(/*epoch=*/2);
+  std::vector<double> buf(kBlockSize);
+  EXPECT_EQ(manager->ReadBlock(0, buf).code(),
+            StatusCode::kChecksumMismatch);
+}
+
+TEST_F(ChecksumTest, StrideMismatchIsRejectedAtOpen) {
+  {
+    auto manager = OpenChecksummed();
+    ASSERT_OK(manager->Resize(3));
+    ASSERT_OK(manager->WriteBlock(0, Pattern(0)));
+  }
+  // Reopening a checksummed file without checksums (or vice versa) trips
+  // the stride check instead of serving garbage.
+  const auto raw = FileBlockManager::Open(path_, kBlockSize);
+  EXPECT_FALSE(raw.ok());
+}
+
+TEST_F(ChecksumTest, UnchecksummedFilesStillScrubClean) {
+  auto r = FileBlockManager::Open(path_, kBlockSize);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  auto manager = std::move(r).value();
+  ASSERT_OK(manager->Resize(2));
+  ASSERT_OK(manager->WriteBlock(0, Pattern(0)));
+  ASSERT_OK_AND_ASSIGN(const std::vector<uint64_t> corrupt,
+                       manager->Scrub());
+  EXPECT_TRUE(corrupt.empty());
+  EXPECT_EQ(manager->durability_stats().checksum_failures, 0u);
+}
+
+}  // namespace
+}  // namespace shiftsplit

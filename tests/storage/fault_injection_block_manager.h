@@ -7,18 +7,30 @@
 #ifndef SHIFTSPLIT_TESTS_STORAGE_FAULT_INJECTION_BLOCK_MANAGER_H_
 #define SHIFTSPLIT_TESTS_STORAGE_FAULT_INJECTION_BLOCK_MANAGER_H_
 
+#include <algorithm>
+#include <map>
 #include <optional>
+#include <vector>
 
 #include "shiftsplit/storage/block_manager.h"
 
 namespace shiftsplit {
 namespace testing {
 
-/// \brief BlockManager decorator with two failure modes:
+/// \brief BlockManager decorator with three failure modes:
 ///  - FailNthRead / FailNthWrite: exactly the nth (1-based) subsequent
 ///    ReadBlock / WriteBlock fails with IOError; everything else passes.
 ///  - FailAfter(budget): every read/write past `budget` successful
 ///    operations fails until Refill (a "device died" simulation).
+///  - CrashAfterNthOp(n): a power cut at durability op n. Durability ops
+///    are block writes, device syncs, and — via ConsumeCrashOp, which a
+///    Journal hook should call — the journal's own append/fsync/truncate
+///    steps, so the whole commit protocol shares one "power domain". The
+///    nth op fails and every subsequent operation (reads included) fails
+///    too: the machine is off. With `drop_unsynced`, writes are staged in a
+///    shadow map standing in for the OS page cache — only Sync publishes
+///    them to the inner device, and the crash discards whatever was staged,
+///    modelling a kernel that never flushed.
 class FaultInjectionBlockManager : public BlockManager {
  public:
   /// \param inner real device (not owned; must outlive the decorator)
@@ -32,12 +44,41 @@ class FaultInjectionBlockManager : public BlockManager {
   void Refill(uint64_t budget) { budget_ = budget; }
   void DisableBudget() { budget_.reset(); }
 
+  /// \brief Arms the power-cut mode: the nth (1-based) durability op fails
+  /// and the device is dead from then on.
+  void CrashAfterNthOp(uint64_t n, bool drop_unsynced) {
+    crash_at_ = n;
+    crash_ops_seen_ = 0;
+    crashed_ = false;
+    drop_unsynced_ = drop_unsynced;
+    unsynced_.clear();
+  }
+
+  /// \brief Counts one durability op against the crash budget (called by
+  /// WriteBlock/Sync internally, and by the Journal hook for journal-file
+  /// steps). Fails once the budget is exhausted.
+  Status ConsumeCrashOp() {
+    if (crashed_) return Status::IOError("simulated power cut: device off");
+    if (crash_at_ == 0) return Status::OK();
+    ++crash_ops_seen_;
+    if (crash_ops_seen_ >= crash_at_) {
+      crashed_ = true;
+      unsynced_.clear();  // staged page-cache contents are lost
+      return Status::IOError("simulated power cut");
+    }
+    return Status::OK();
+  }
+
+  bool crashed() const { return crashed_; }
+  uint64_t crash_ops_seen() const { return crash_ops_seen_; }
+
   uint64_t reads_seen() const { return reads_seen_; }
   uint64_t writes_seen() const { return writes_seen_; }
 
   uint64_t block_size() const override { return inner_->block_size(); }
   uint64_t num_blocks() const override { return inner_->num_blocks(); }
   Status Resize(uint64_t num_blocks) override {
+    if (crashed_) return Status::IOError("simulated power cut: device off");
     return inner_->Resize(num_blocks);
   }
 
@@ -46,8 +87,17 @@ class FaultInjectionBlockManager : public BlockManager {
     if (reads_seen_ == fail_read_at_) {
       return Status::IOError("injected read failure");
     }
+    if (crashed_) return Status::IOError("simulated power cut: device off");
     SS_RETURN_IF_ERROR(ConsumeBudget());
     ++stats_.block_reads;
+    // Read-your-writes for staged (not yet synced) blocks.
+    if (drop_unsynced_) {
+      const auto it = unsynced_.find(id);
+      if (it != unsynced_.end()) {
+        std::copy(it->second.begin(), it->second.end(), out.begin());
+        return Status::OK();
+      }
+    }
     return inner_->ReadBlock(id, out);
   }
 
@@ -56,9 +106,38 @@ class FaultInjectionBlockManager : public BlockManager {
     if (writes_seen_ == fail_write_at_) {
       return Status::IOError("injected write failure");
     }
+    SS_RETURN_IF_ERROR(ConsumeCrashOp());
     SS_RETURN_IF_ERROR(ConsumeBudget());
     ++stats_.block_writes;
+    if (drop_unsynced_) {
+      unsynced_[id].assign(data.begin(), data.end());
+      return Status::OK();
+    }
     return inner_->WriteBlock(id, data);
+  }
+
+  Status Sync() override {
+    SS_RETURN_IF_ERROR(ConsumeCrashOp());
+    if (drop_unsynced_) {
+      for (const auto& [id, data] : unsynced_) {
+        SS_RETURN_IF_ERROR(inner_->WriteBlock(id, data));
+      }
+      unsynced_.clear();
+    }
+    return inner_->Sync();
+  }
+
+  Result<std::vector<uint64_t>> Scrub() override {
+    if (crashed_) return Status::IOError("simulated power cut: device off");
+    return inner_->Scrub();
+  }
+
+  void set_degraded_reads(bool on) override {
+    inner_->set_degraded_reads(on);
+  }
+
+  DurabilityStats durability_stats() const override {
+    return inner_->durability_stats();
   }
 
  private:
@@ -75,6 +154,11 @@ class FaultInjectionBlockManager : public BlockManager {
   uint64_t fail_read_at_ = 0;   // 0 = disabled
   uint64_t fail_write_at_ = 0;  // 0 = disabled
   std::optional<uint64_t> budget_;
+  uint64_t crash_at_ = 0;  // 0 = crash mode disabled
+  uint64_t crash_ops_seen_ = 0;
+  bool crashed_ = false;
+  bool drop_unsynced_ = false;
+  std::map<uint64_t, std::vector<double>> unsynced_;  // staged "page cache"
 };
 
 }  // namespace testing

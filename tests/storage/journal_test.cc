@@ -1,0 +1,216 @@
+#include "shiftsplit/storage/journal.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "shiftsplit/storage/memory_block_manager.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+class JournalTest : public ::testing::Test {
+ protected:
+  JournalTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("shiftsplit_journal_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "store.journal").string();
+  }
+  ~JournalTest() override { std::filesystem::remove_all(dir_); }
+
+  // One committed record with two deterministic block images.
+  Status AppendTwoBlocks(Journal* journal) {
+    block3_.assign(kBlockSize, 0.0);
+    block7_.assign(kBlockSize, 0.0);
+    for (uint64_t i = 0; i < kBlockSize; ++i) {
+      block3_[i] = 3.0 + static_cast<double>(i);
+      block7_[i] = -7.0 * static_cast<double>(i + 1);
+    }
+    const JournalEntry entries[] = {
+        {3, std::span<const double>(block3_)},
+        {7, std::span<const double>(block7_)},
+    };
+    return journal->AppendCommit(entries, kBlockSize);
+  }
+
+  uint64_t FileSize() const {
+    return static_cast<uint64_t>(std::filesystem::file_size(path_));
+  }
+
+  static constexpr uint64_t kBlockSize = 4;
+  static inline int counter_ = 0;
+  std::filesystem::path dir_;
+  std::string path_;
+  std::vector<double> block3_;
+  std::vector<double> block7_;
+};
+
+TEST_F(JournalTest, MissingJournalIsCleanOpen) {
+  Journal journal(path_);
+  MemoryBlockManager device(kBlockSize, 8);
+  ASSERT_OK_AND_ASSIGN(const Journal::RecoveryResult result,
+                       journal.Recover(&device));
+  EXPECT_FALSE(result.replayed);
+  EXPECT_FALSE(result.rolled_back);
+  EXPECT_EQ(journal.replays(), 0u);
+  EXPECT_EQ(journal.rollbacks(), 0u);
+}
+
+TEST_F(JournalTest, CompleteRecordReplaysAndRetires) {
+  Journal journal(path_);
+  ASSERT_OK(AppendTwoBlocks(&journal));
+  EXPECT_EQ(journal.commits(), 1u);
+  ASSERT_TRUE(std::filesystem::exists(path_));
+
+  MemoryBlockManager device(kBlockSize, 8);
+  ASSERT_OK_AND_ASSIGN(const Journal::RecoveryResult result,
+                       journal.Recover(&device));
+  EXPECT_TRUE(result.replayed);
+  EXPECT_FALSE(result.rolled_back);
+  EXPECT_EQ(result.blocks, 2u);
+  EXPECT_FALSE(std::filesystem::exists(path_));
+
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(device.ReadBlock(3, buf));
+  testing::ExpectNear(block3_, buf);
+  ASSERT_OK(device.ReadBlock(7, buf));
+  testing::ExpectNear(block7_, buf);
+
+  // Recovery retired the journal: a second pass is a clean open.
+  ASSERT_OK_AND_ASSIGN(const Journal::RecoveryResult again,
+                       journal.Recover(&device));
+  EXPECT_FALSE(again.replayed);
+  EXPECT_FALSE(again.rolled_back);
+}
+
+TEST_F(JournalTest, ReplayGrowsTheDevice) {
+  Journal journal(path_);
+  ASSERT_OK(AppendTwoBlocks(&journal));
+  MemoryBlockManager device(kBlockSize, 2);  // block 7 is out of range
+  ASSERT_OK_AND_ASSIGN(const Journal::RecoveryResult result,
+                       journal.Recover(&device));
+  EXPECT_TRUE(result.replayed);
+  EXPECT_GE(device.num_blocks(), 8u);
+  std::vector<double> buf(kBlockSize);
+  ASSERT_OK(device.ReadBlock(7, buf));
+  testing::ExpectNear(block7_, buf);
+}
+
+TEST_F(JournalTest, TornRecordRollsBackUntouched) {
+  Journal journal(path_);
+  ASSERT_OK(AppendTwoBlocks(&journal));
+  // Tear the record: drop the trailing half, as a power cut mid-append
+  // would.
+  const uint64_t full = FileSize();
+  std::filesystem::resize_file(path_, full / 2);
+
+  MemoryBlockManager device(kBlockSize, 8);
+  ASSERT_OK_AND_ASSIGN(const Journal::RecoveryResult result,
+                       journal.Recover(&device));
+  EXPECT_FALSE(result.replayed);
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  EXPECT_EQ(device.stats().block_writes, 0u);  // device never touched
+}
+
+TEST_F(JournalTest, CorruptPayloadByteRollsBack) {
+  Journal journal(path_);
+  ASSERT_OK(AppendTwoBlocks(&journal));
+  // Flip one payload byte mid-file; the record-level CRC must catch it.
+  const uint64_t size = FileSize();
+  std::fstream f(path_, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(static_cast<std::streamoff>(size / 2));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(size / 2));
+  f.write(&byte, 1);
+  f.close();
+
+  MemoryBlockManager device(kBlockSize, 8);
+  ASSERT_OK_AND_ASSIGN(const Journal::RecoveryResult result,
+                       journal.Recover(&device));
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_EQ(device.stats().block_writes, 0u);
+}
+
+TEST_F(JournalTest, BlockSizeMismatchRollsBack) {
+  Journal journal(path_);
+  ASSERT_OK(AppendTwoBlocks(&journal));
+  MemoryBlockManager device(kBlockSize * 2, 8);
+  ASSERT_OK_AND_ASSIGN(const Journal::RecoveryResult result,
+                       journal.Recover(&device));
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_EQ(device.stats().block_writes, 0u);
+}
+
+TEST_F(JournalTest, TruncateIsIdempotent) {
+  Journal journal(path_);
+  ASSERT_OK(AppendTwoBlocks(&journal));
+  ASSERT_OK(journal.Truncate());
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  ASSERT_OK(journal.Truncate());  // nothing to remove: still OK
+}
+
+TEST_F(JournalTest, RejectsMalformedCommits) {
+  Journal journal(path_);
+  EXPECT_FALSE(journal.AppendCommit({}, kBlockSize).ok());
+  const std::vector<double> short_payload(kBlockSize - 1, 1.0);
+  const JournalEntry bad[] = {
+      {0, std::span<const double>(short_payload)},
+  };
+  EXPECT_FALSE(journal.AppendCommit(bad, kBlockSize).ok());
+  EXPECT_EQ(journal.commits(), 0u);
+}
+
+TEST_F(JournalTest, HookAbortLeavesRecoverableState) {
+  Journal journal(path_);
+  // Crash on the very first journal step: the file exists but holds no
+  // record; recovery must roll it back cleanly.
+  journal.set_hook([](const char* op) -> Status {
+    if (std::string(op) == "append") {
+      return Status::IOError("simulated power cut");
+    }
+    return Status::OK();
+  });
+  EXPECT_FALSE(AppendTwoBlocks(&journal).ok());
+  EXPECT_EQ(journal.commits(), 0u);
+
+  journal.set_hook(nullptr);
+  MemoryBlockManager device(kBlockSize, 8);
+  ASSERT_OK_AND_ASSIGN(const Journal::RecoveryResult result,
+                       journal.Recover(&device));
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_EQ(device.stats().block_writes, 0u);
+}
+
+TEST_F(JournalTest, HookAbortAfterTailTearsTheRecord) {
+  Journal journal(path_);
+  journal.set_hook([](const char* op) -> Status {
+    if (std::string(op) == "append-tail") {
+      return Status::IOError("simulated power cut");
+    }
+    return Status::OK();
+  });
+  EXPECT_FALSE(AppendTwoBlocks(&journal).ok());
+  ASSERT_TRUE(std::filesystem::exists(path_));
+  EXPECT_GT(FileSize(), 0u);  // a genuinely torn (half-written) record
+
+  journal.set_hook(nullptr);
+  MemoryBlockManager device(kBlockSize, 8);
+  ASSERT_OK_AND_ASSIGN(const Journal::RecoveryResult result,
+                       journal.Recover(&device));
+  EXPECT_TRUE(result.rolled_back);
+  EXPECT_EQ(device.stats().block_writes, 0u);
+}
+
+}  // namespace
+}  // namespace shiftsplit

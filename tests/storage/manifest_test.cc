@@ -115,6 +115,77 @@ TEST_F(ManifestTest, MakeLayoutNaiveNeedsCapacity) {
   EXPECT_EQ(layout->block_capacity(), 8u);
 }
 
+TEST_F(ManifestTest, V2RoundTripKeepsEpoch) {
+  StoreManifest manifest;
+  manifest.form = StoreForm::kStandard;
+  manifest.b = 2;
+  manifest.log_dims = {4, 4};
+  manifest.format_version = 2;
+  manifest.store_epoch = 0xDEADBEEFCAFEull;
+  const std::string path = File("v2.manifest");
+  ASSERT_OK(manifest.Save(path));
+  ASSERT_OK_AND_ASSIGN(const StoreManifest loaded,
+                       StoreManifest::Load(path));
+  EXPECT_EQ(loaded, manifest);
+  EXPECT_EQ(loaded.format_version, 2u);
+  EXPECT_EQ(loaded.store_epoch, 0xDEADBEEFCAFEull);
+  // The format line matches the version.
+  std::ifstream in(path);
+  std::string first;
+  std::getline(in, first);
+  EXPECT_EQ(first, "format=shiftsplit-store-v2");
+}
+
+TEST_F(ManifestTest, LegacyV1FilesStillLoad) {
+  std::ofstream(File("v1.manifest"))
+      << "format=shiftsplit-store-v1\nform=standard\nlog_dims=3,3\n";
+  ASSERT_OK_AND_ASSIGN(const StoreManifest loaded,
+                       StoreManifest::Load(File("v1.manifest")));
+  EXPECT_EQ(loaded.format_version, 1u);
+  EXPECT_EQ(loaded.store_epoch, 0u);
+}
+
+TEST_F(ManifestTest, LoadRejectsUnknownFormatVersion) {
+  std::ofstream(File("v9.manifest"))
+      << "format=shiftsplit-store-v9\nlog_dims=3\n";
+  EXPECT_FALSE(StoreManifest::Load(File("v9.manifest")).ok());
+}
+
+TEST_F(ManifestTest, SaveRejectsUnknownFormatVersion) {
+  StoreManifest manifest;
+  manifest.log_dims = {3};
+  manifest.format_version = 9;
+  EXPECT_FALSE(manifest.Save(File("v9.manifest")).ok());
+  EXPECT_FALSE(std::filesystem::exists(File("v9.manifest")));
+}
+
+TEST_F(ManifestTest, SaveIsAtomicUnderFaults) {
+  // Baseline manifest on disk.
+  StoreManifest original;
+  original.log_dims = {5, 5};
+  original.filled = 7;
+  const std::string path = File("store.manifest");
+  ASSERT_OK(original.Save(path));
+
+  // Fault: the temp file cannot be created (its name is taken by a
+  // directory). Save must fail and leave the previous manifest byte-intact.
+  std::filesystem::create_directories(path + ".tmp");
+  StoreManifest changed = original;
+  changed.filled = 99;
+  EXPECT_FALSE(changed.Save(path).ok());
+  ASSERT_OK_AND_ASSIGN(const StoreManifest still,
+                       StoreManifest::Load(path));
+  EXPECT_EQ(still, original);
+  std::filesystem::remove_all(path + ".tmp");
+
+  // A stale temp file from an interrupted save is simply overwritten.
+  std::ofstream(path + ".tmp") << "garbage from a crashed save\n";
+  ASSERT_OK(changed.Save(path));
+  ASSERT_OK_AND_ASSIGN(const StoreManifest now, StoreManifest::Load(path));
+  EXPECT_EQ(now, changed);
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
 TEST(StoreFormTest, StringConversions) {
   EXPECT_STREQ(StoreFormToString(StoreForm::kStandard), "standard");
   EXPECT_STREQ(StoreFormToString(StoreForm::kNonstandard), "nonstandard");

@@ -11,6 +11,37 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 4)"
 
+# End-to-end durability smoke with the CLI: a freshly ingested store must
+# scrub clean, and a single flipped byte in blocks.bin must make `scrub`
+# exit non-zero. Run for the presets whose sanitizers cover the storage
+# layer (tsan adds nothing here and triples the runtime).
+scrub_smoke() {
+  local build_dir="$1"
+  local tool="$build_dir/tools/shiftsplit_tool"
+  local store
+  store="$(mktemp -d)/store"
+  echo "==> scrub smoke [$build_dir]"
+  "$tool" create "$store" --form standard --dims 3,3 --b 1 >/dev/null
+  "$tool" ingest "$store" --dataset smooth --chunk 2 --seed 3 >/dev/null
+  "$tool" scrub "$store" >/dev/null || {
+    echo "scrub smoke: clean store failed scrub" >&2
+    exit 1
+  }
+  # Flip one payload byte of the first block (guaranteed to change: the
+  # replacement is the original plus one, mod 256).
+  local orig flip
+  orig="$(od -An -tu1 -j4 -N1 "$store/blocks.bin" | tr -d ' ')"
+  flip=$(( (orig + 1) % 256 ))
+  # shellcheck disable=SC2059
+  printf "$(printf '\\x%02x' "$flip")" | dd of="$store/blocks.bin" bs=1 \
+    seek=4 count=1 conv=notrunc status=none
+  if "$tool" scrub "$store" >/dev/null 2>&1; then
+    echo "scrub smoke: corruption went undetected" >&2
+    exit 1
+  fi
+  rm -rf "$(dirname "$store")"
+}
+
 for preset in default asan tsan; do
   echo "==> configure [$preset]"
   cmake --preset "$preset"
@@ -19,5 +50,8 @@ for preset in default asan tsan; do
   echo "==> test [$preset]"
   ctest --preset "$preset" -j "$jobs"
 done
+
+scrub_smoke build
+scrub_smoke build-asan
 
 echo "All presets built and tested."

@@ -6,6 +6,7 @@
 //   point    <dir> --at X,Y,..  [--slots]
 //   sum      <dir> --lo X,Y,.. --hi X,Y,..
 //   extract  <dir> --lo X,Y,.. --hi X,Y,..
+//   scrub    <dir>
 //   selftest [dir]
 //
 // A store directory holds `store.manifest` (see storage/manifest.h) and
@@ -29,7 +30,8 @@ namespace shiftsplit::tool {
 namespace {
 
 constexpr char kUsage[] =
-    "usage: shiftsplit_tool <create|ingest|info|point|sum|extract|selftest> "
+    "usage: shiftsplit_tool "
+    "<create|ingest|info|point|sum|extract|scrub|selftest> "
     "<store-dir> [flags]\n"
     "  create  --form standard|nonstandard --dims 4,4,6 [--b 2]\n"
     "          [--norm average|orthonormal]\n"
@@ -39,7 +41,8 @@ constexpr char kUsage[] =
     "  info\n"
     "  point   --at 1,2,3 [--slots]\n"
     "  sum     --lo 0,0,0 --hi 3,3,3\n"
-    "  extract --lo 0,0,0 --hi 3,3,3\n";
+    "  extract --lo 0,0,0 --hi 3,3,3\n"
+    "  scrub   (verify every block checksum; exits 1 on corruption)\n";
 
 struct Args {
   std::string command;
@@ -125,7 +128,7 @@ Status CmdCreate(const Args& args) {
                   cube->store()->layout().num_blocks()),
               static_cast<unsigned long long>(
                   cube->store()->layout().block_capacity()));
-  return cube->Flush();
+  return cube->Close();
 }
 
 Result<std::unique_ptr<ChunkSource>> MakeDataset(const StoreManifest& manifest,
@@ -186,7 +189,7 @@ Status CmdIngest(const Args& args) {
     options.num_threads = static_cast<uint32_t>(std::stoul(t->second));
   }
   SS_RETURN_IF_ERROR(cube->Ingest(dataset.get(), log_chunk, &options));
-  SS_RETURN_IF_ERROR(cube->Flush());
+  SS_RETURN_IF_ERROR(cube->Close());
   std::printf("ingested %s: %s\n", it->second.c_str(),
               cube->stats().ToString().c_str());
   const BufferPool::Stats cache = cube->pool_stats();
@@ -279,6 +282,30 @@ Status CmdExtract(const Args& args) {
   return Status::OK();
 }
 
+Status CmdScrub(const Args& args) {
+  SS_ASSIGN_OR_RETURN(auto cube, WaveletCube::OpenOnDisk(args.dir, 64));
+  SS_ASSIGN_OR_RETURN(const std::vector<uint64_t> corrupt, cube->Scrub());
+  const DurabilityStats stats = cube->durability_stats();
+  if (stats.journal_replays > 0 || stats.journal_rollbacks > 0) {
+    std::printf("recovery: %llu commit(s) replayed, %llu rolled back\n",
+                static_cast<unsigned long long>(stats.journal_replays),
+                static_cast<unsigned long long>(stats.journal_rollbacks));
+  }
+  if (corrupt.empty()) {
+    std::printf("scrub OK: %llu block(s) verified\n",
+                static_cast<unsigned long long>(
+                    cube->store()->manager().num_blocks()));
+    return Status::OK();
+  }
+  std::printf("scrub FAILED: %llu corrupt block(s):",
+              static_cast<unsigned long long>(corrupt.size()));
+  for (uint64_t id : corrupt) {
+    std::printf(" %llu", static_cast<unsigned long long>(id));
+  }
+  std::printf("\nstore degraded to read-only; corrupt blocks read as zeros\n");
+  return Status::ChecksumMismatch("store failed scrub");
+}
+
 Status CmdSelftest(const Args& args) {
   const std::string dir =
       args.dir.empty()
@@ -332,6 +359,8 @@ int Main(int argc, char** argv) {
     status = CmdSum(args);
   } else if (args.command == "extract") {
     status = CmdExtract(args);
+  } else if (args.command == "scrub") {
+    status = CmdScrub(args);
   } else if (args.command == "selftest") {
     status = CmdSelftest(args);
   } else {
