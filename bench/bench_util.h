@@ -4,6 +4,7 @@
 #ifndef SHIFTSPLIT_BENCH_BENCH_UTIL_H_
 #define SHIFTSPLIT_BENCH_BENCH_UTIL_H_
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
@@ -74,6 +75,19 @@ inline StoreBundle MakeNaiveStore(std::vector<uint32_t> log_dims,
 inline void PrintRow(const std::vector<std::string>& cells, int width = 14) {
   for (const auto& cell : cells) std::printf("%*s", width, cell.c_str());
   std::printf("\n");
+}
+
+/// The p-th percentile (0-100) of a sample, linearly interpolated between
+/// order statistics; sorts a copy. Used for query-latency p50/p99 rows.
+inline double Percentile(std::vector<double> samples, double p) {
+  if (samples.empty()) return 0.0;
+  std::sort(samples.begin(), samples.end());
+  const double rank =
+      p / 100.0 * static_cast<double>(samples.size() - 1);
+  const size_t lo = static_cast<size_t>(rank);
+  const size_t hi = std::min(lo + 1, samples.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return samples[lo] + (samples[hi] - samples[lo]) * frac;
 }
 
 inline std::string U(uint64_t v) { return std::to_string(v); }

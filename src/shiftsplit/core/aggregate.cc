@@ -60,9 +60,11 @@ Result<std::unique_ptr<AggregateCube>> AggregateCube::Build(
 }
 
 Result<AggregateCube::RangeAggregates> AggregateCube::Query(
-    std::span<const uint64_t> lo, std::span<const uint64_t> hi) {
+    std::span<const uint64_t> lo, std::span<const uint64_t> hi,
+    OperationContext* ctx) {
   QueryOptions q;
   q.norm = options_.norm;
+  q.context = ctx;
   RangeAggregates out;
   SS_ASSIGN_OR_RETURN(out.sum,
                       RangeSumStandard(values_.get(), log_dims_, lo, hi, q));

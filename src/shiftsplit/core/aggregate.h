@@ -40,8 +40,11 @@ class AggregateCube {
     double variance = 0.0;  ///< population variance
     double stddev = 0.0;
   };
+  /// A non-null `ctx` threads a deadline / cancellation / retry budget
+  /// through both underlying range sums.
   Result<RangeAggregates> Query(std::span<const uint64_t> lo,
-                                std::span<const uint64_t> hi);
+                                std::span<const uint64_t> hi,
+                                OperationContext* ctx = nullptr);
 
   /// \brief Adds a batch of deltas to a dyadic box, keeping both transforms
   /// consistent. Requires the current values of the box (`old_values`) to

@@ -2,6 +2,7 @@
 
 #include <cmath>
 #include <algorithm>
+#include <set>
 #include <vector>
 
 #include "shiftsplit/tile/nonstandard_tiling.h"
@@ -67,7 +68,7 @@ std::vector<DimRead> PointSlotReads(const TreeTiling& tiling, uint64_t t,
 // standard cross-product layout) or used directly (the 1-d tree layout).
 Result<double> EvaluateCrossProduct(
     TiledStore* store, const StandardTiling* tiling, bool slot_based,
-    const std::vector<std::vector<DimRead>>& reads) {
+    const std::vector<std::vector<DimRead>>& reads, OperationContext* ctx) {
   const uint32_t d = static_cast<uint32_t>(reads.size());
   std::vector<size_t> pick(d, 0);
   std::vector<uint64_t> address(d);
@@ -89,9 +90,9 @@ Result<double> EvaluateCrossProduct(
       if (slot_based) {
         const BlockSlot at =
             tiling != nullptr ? tiling->Combine(parts) : parts[0];
-        SS_ASSIGN_OR_RETURN(coeff, store->GetAt(at));
+        SS_ASSIGN_OR_RETURN(coeff, store->GetAt(at, ctx));
       } else {
-        SS_ASSIGN_OR_RETURN(coeff, store->Get(address));
+        SS_ASSIGN_OR_RETURN(coeff, store->Get(address, ctx));
       }
       value += weight * coeff;
     }
@@ -109,12 +110,129 @@ Result<double> EvaluateCrossProduct(
   return value;
 }
 
+// Errors a resilient query absorbs by skipping the term: corruption,
+// pool-pin exhaustion, transient I/O that outlasted its retries, and the
+// deadline itself. Cancellation and argument/layout errors propagate.
+bool IsDegradableError(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kChecksumMismatch:
+    case StatusCode::kResourceExhausted:
+    case StatusCode::kIOError:
+    case StatusCode::kUnavailable:
+    case StatusCode::kDeadlineExceeded:
+      return true;
+    default:
+      return false;
+  }
+}
+
+DegradedReason ReasonFor(StatusCode code) {
+  switch (code) {
+    case StatusCode::kChecksumMismatch:
+      return DegradedReason::kQuarantined;
+    case StatusCode::kResourceExhausted:
+      return DegradedReason::kPinExhaustion;
+    case StatusCode::kDeadlineExceeded:
+      return DegradedReason::kDeadline;
+    default:
+      return DegradedReason::kUnavailable;
+  }
+}
+
+// Degrading twin of EvaluateCrossProduct. Terms are enumerated in the SAME
+// order, and fetched coefficients accumulate identically — with no faults
+// the value is bit-identical to the exact evaluator. A degradable fetch
+// failure marks the term's block missing and adds |weight| × sqrt(E_block)
+// to the error bound; later terms on a missing block are skipped without
+// touching the store (so a dead block costs one failed fetch, not many).
+Result<DegradedResult> EvaluateCrossProductResilient(
+    TiledStore* store, const StandardTiling* tiling, bool slot_based,
+    const std::vector<std::vector<DimRead>>& reads, OperationContext* ctx) {
+  const uint32_t d = static_cast<uint32_t>(reads.size());
+  std::vector<size_t> pick(d, 0);
+  std::vector<uint64_t> address(d);
+  std::vector<BlockSlot> parts(d);
+  DegradedResult out;
+  std::set<uint64_t> missing;
+  for (;;) {
+    double weight = 1.0;
+    for (uint32_t i = 0; i < d; ++i) {
+      const DimRead& r = reads[i][pick[i]];
+      weight *= r.weight;
+      if (slot_based) {
+        parts[i] = r.part;
+      } else {
+        address[i] = r.index;
+      }
+    }
+    if (weight != 0.0) {
+      BlockSlot at;
+      if (slot_based) {
+        at = tiling != nullptr ? tiling->Combine(parts) : parts[0];
+      } else {
+        SS_ASSIGN_OR_RETURN(at, store->layout().Locate(address));
+      }
+      if (missing.contains(at.block)) {
+        out.error_bound +=
+            std::abs(weight) * store->BlockEnergyCeiling(at.block);
+      } else {
+        const Result<double> coeff = store->GetAt(at, ctx);
+        if (coeff.ok()) {
+          out.value += weight * *coeff;
+        } else if (IsDegradableError(coeff.status())) {
+          missing.insert(at.block);
+          if (out.reason == DegradedReason::kNone) {
+            out.reason = ReasonFor(coeff.status().code());
+          }
+          out.error_bound +=
+              std::abs(weight) * store->BlockEnergyCeiling(at.block);
+        } else {
+          return coeff.status();
+        }
+      }
+    }
+    uint32_t i = d;
+    bool advanced = false;
+    while (i-- > 0) {
+      if (++pick[i] < reads[i].size()) {
+        advanced = true;
+        break;
+      }
+      pick[i] = 0;
+    }
+    if (!advanced) break;
+  }
+  out.blocks_missing = missing.size();
+  return out;
+}
+
 }  // namespace
 
-Result<double> PointQueryStandard(TiledStore* store,
-                                  std::span<const uint32_t> log_dims,
-                                  std::span<const uint64_t> point,
-                                  const QueryOptions& options) {
+const char* DegradedReasonToString(DegradedReason reason) {
+  switch (reason) {
+    case DegradedReason::kNone:
+      return "None";
+    case DegradedReason::kQuarantined:
+      return "Quarantined";
+    case DegradedReason::kPinExhaustion:
+      return "PinExhaustion";
+    case DegradedReason::kDeadline:
+      return "Deadline";
+    case DegradedReason::kUnavailable:
+      return "Unavailable";
+  }
+  return "Unknown";
+}
+
+namespace {
+
+// Shared setup of PointQueryStandard{,Resilient}: validates the point and
+// builds the per-dimension read lists.
+Status BuildPointReads(TiledStore* store, std::span<const uint32_t> log_dims,
+                       std::span<const uint64_t> point,
+                       const QueryOptions& options,
+                       const StandardTiling** tiling_out, bool* slots_out,
+                       std::vector<std::vector<DimRead>>* reads) {
   const uint32_t d = static_cast<uint32_t>(log_dims.size());
   if (point.size() != d) {
     return Status::InvalidArgument("point dimensionality mismatch");
@@ -130,17 +248,79 @@ Result<double> PointQueryStandard(TiledStore* store,
              : nullptr;
   const bool slots = options.use_scaling_slots &&
                      (tiling != nullptr || tree_layout != nullptr);
-  std::vector<std::vector<DimRead>> reads(d);
+  reads->assign(d, {});
   for (uint32_t i = 0; i < d; ++i) {
     if (!slots) {
-      reads[i] = PointPathReads(log_dims[i], point[i], options.norm);
+      (*reads)[i] = PointPathReads(log_dims[i], point[i], options.norm);
     } else {
       const TreeTiling& dim_tiling =
           tiling != nullptr ? tiling->dim_tiling(i) : tree_layout->tiling();
-      reads[i] = PointSlotReads(dim_tiling, point[i], options.norm);
+      (*reads)[i] = PointSlotReads(dim_tiling, point[i], options.norm);
     }
   }
-  return EvaluateCrossProduct(store, tiling, slots, reads);
+  *tiling_out = tiling;
+  *slots_out = slots;
+  return Status::OK();
+}
+
+// Shared setup of RangeSumStandard{,Resilient}: validates the box and
+// builds the per-dimension boundary-path read lists (Lemma 2).
+Status BuildRangeReads(std::span<const uint32_t> log_dims,
+                       std::span<const uint64_t> lo,
+                       std::span<const uint64_t> hi,
+                       const QueryOptions& options,
+                       std::vector<std::vector<DimRead>>* reads) {
+  const uint32_t d = static_cast<uint32_t>(log_dims.size());
+  if (lo.size() != d || hi.size() != d) {
+    return Status::InvalidArgument("range dimensionality mismatch");
+  }
+  reads->assign(d, {});
+  for (uint32_t i = 0; i < d; ++i) {
+    const uint32_t n = log_dims[i];
+    if (lo[i] > hi[i] || hi[i] >= (uint64_t{1} << n)) {
+      return Status::OutOfRange("bad range bounds");
+    }
+    // Candidate indices: union of the two boundary paths (all other details
+    // have zero aggregate weight by the vanishing moment).
+    std::vector<uint64_t> candidates = PathToRoot(n, lo[i]);
+    for (uint64_t idx : PathToRoot(n, hi[i])) {
+      if (std::find(candidates.begin(), candidates.end(), idx) ==
+          candidates.end()) {
+        candidates.push_back(idx);
+      }
+    }
+    for (uint64_t idx : candidates) {
+      const double w = RangeSumWeight(n, idx, lo[i], hi[i], options.norm);
+      if (w != 0.0) (*reads)[i].push_back({idx, {}, w});
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<double> PointQueryStandard(TiledStore* store,
+                                  std::span<const uint32_t> log_dims,
+                                  std::span<const uint64_t> point,
+                                  const QueryOptions& options) {
+  const StandardTiling* tiling = nullptr;
+  bool slots = false;
+  std::vector<std::vector<DimRead>> reads;
+  SS_RETURN_IF_ERROR(BuildPointReads(store, log_dims, point, options,
+                                     &tiling, &slots, &reads));
+  return EvaluateCrossProduct(store, tiling, slots, reads, options.context);
+}
+
+Result<DegradedResult> PointQueryStandardResilient(
+    TiledStore* store, std::span<const uint32_t> log_dims,
+    std::span<const uint64_t> point, const QueryOptions& options) {
+  const StandardTiling* tiling = nullptr;
+  bool slots = false;
+  std::vector<std::vector<DimRead>> reads;
+  SS_RETURN_IF_ERROR(BuildPointReads(store, log_dims, point, options,
+                                     &tiling, &slots, &reads));
+  return EvaluateCrossProductResilient(store, tiling, slots, reads,
+                                       options.context);
 }
 
 Result<double> PointQueryNonstandard(TiledStore* store, uint32_t n,
@@ -171,12 +351,13 @@ Result<double> PointQueryNonstandard(TiledStore* store, uint32_t n,
     for (uint32_t i = 0; i < d; ++i) node[i] = point[i] >> top_level;
     SS_ASSIGN_OR_RETURN(const BlockSlot at,
                         tiling->LocateScaling(top_level, node));
-    SS_ASSIGN_OR_RETURN(const double scaling, store->GetAt(at));
+    SS_ASSIGN_OR_RETURN(const double scaling,
+                        store->GetAt(at, options.context));
     value = scaling * std::pow(g_d, static_cast<double>(top_level));
   } else {
     top_level = n;
     std::vector<uint64_t> zero(d, 0);
-    SS_ASSIGN_OR_RETURN(const double root, store->Get(zero));
+    SS_ASSIGN_OR_RETURN(const double root, store->Get(zero, options.context));
     value = root * std::pow(g_d, static_cast<double>(n));
   }
   std::vector<uint64_t> address(d);
@@ -191,18 +372,35 @@ Result<double> PointQueryNonstandard(TiledStore* store, uint32_t n,
     for (uint64_t sigma = 1; sigma < corners; ++sigma) {
       id.subband = sigma;
       address = NsAddress(n, id);
-      SS_ASSIGN_OR_RETURN(const double coeff, store->Get(address));
+      SS_ASSIGN_OR_RETURN(const double coeff,
+                          store->Get(address, options.context));
       value += NsSign(sigma, corner) * magnitude * coeff;
     }
   }
   return value;
 }
 
-Result<std::vector<double>> BatchPointQueryStandard(
+namespace {
+
+// Shared front end of BatchPointQueryStandard{,Resilient}: validates EVERY
+// point (dimensionality and domain) before any I/O — a bad point fails the
+// batch up front without disturbing the store or evaluating a prefix — then
+// computes the block-locality evaluation order.
+Result<std::vector<size_t>> BatchPointOrder(
     TiledStore* store, std::span<const uint32_t> log_dims,
     const std::vector<std::vector<uint64_t>>& points,
     const QueryOptions& options) {
   const uint32_t d = static_cast<uint32_t>(log_dims.size());
+  for (const std::vector<uint64_t>& point : points) {
+    if (point.size() != d) {
+      return Status::InvalidArgument("point dimensionality mismatch");
+    }
+    for (uint32_t i = 0; i < d; ++i) {
+      if (point[i] >= (uint64_t{1} << log_dims[i])) {
+        return Status::OutOfRange("point beyond the dataset domain");
+      }
+    }
+  }
   const auto* tiling = dynamic_cast<const StandardTiling*>(&store->layout());
   std::vector<size_t> order(points.size());
   for (size_t i = 0; i < points.size(); ++i) order[i] = i;
@@ -211,9 +409,6 @@ Result<std::vector<double>> BatchPointQueryStandard(
     std::vector<uint64_t> home(points.size());
     std::vector<BlockSlot> parts(d);
     for (size_t i = 0; i < points.size(); ++i) {
-      if (points[i].size() != d) {
-        return Status::InvalidArgument("point dimensionality mismatch");
-      }
       for (uint32_t j = 0; j < d; ++j) {
         const TreeTiling& dt = tiling->dim_tiling(j);
         const uint32_t root_level =
@@ -227,10 +422,35 @@ Result<std::vector<double>> BatchPointQueryStandard(
     std::sort(order.begin(), order.end(),
               [&](size_t a, size_t b) { return home[a] < home[b]; });
   }
+  return order;
+}
+
+}  // namespace
+
+Result<std::vector<double>> BatchPointQueryStandard(
+    TiledStore* store, std::span<const uint32_t> log_dims,
+    const std::vector<std::vector<uint64_t>>& points,
+    const QueryOptions& options) {
+  SS_ASSIGN_OR_RETURN(const std::vector<size_t> order,
+                      BatchPointOrder(store, log_dims, points, options));
   std::vector<double> out(points.size());
   for (size_t i : order) {
     SS_ASSIGN_OR_RETURN(
         out[i], PointQueryStandard(store, log_dims, points[i], options));
+  }
+  return out;
+}
+
+Result<std::vector<DegradedResult>> BatchPointQueryStandardResilient(
+    TiledStore* store, std::span<const uint32_t> log_dims,
+    const std::vector<std::vector<uint64_t>>& points,
+    const QueryOptions& options) {
+  SS_ASSIGN_OR_RETURN(const std::vector<size_t> order,
+                      BatchPointOrder(store, log_dims, points, options));
+  std::vector<DegradedResult> out(points.size());
+  for (size_t i : order) {
+    SS_ASSIGN_OR_RETURN(out[i], PointQueryStandardResilient(
+                                    store, log_dims, points[i], options));
   }
   return out;
 }
@@ -267,31 +487,19 @@ Result<double> RangeSumStandard(TiledStore* store,
                                 std::span<const uint64_t> lo,
                                 std::span<const uint64_t> hi,
                                 const QueryOptions& options) {
-  const uint32_t d = static_cast<uint32_t>(log_dims.size());
-  if (lo.size() != d || hi.size() != d) {
-    return Status::InvalidArgument("range dimensionality mismatch");
-  }
-  std::vector<std::vector<DimRead>> reads(d);
-  for (uint32_t i = 0; i < d; ++i) {
-    const uint32_t n = log_dims[i];
-    if (lo[i] > hi[i] || hi[i] >= (uint64_t{1} << n)) {
-      return Status::OutOfRange("bad range bounds");
-    }
-    // Candidate indices: union of the two boundary paths (all other details
-    // have zero aggregate weight by the vanishing moment).
-    std::vector<uint64_t> candidates = PathToRoot(n, lo[i]);
-    for (uint64_t idx : PathToRoot(n, hi[i])) {
-      if (std::find(candidates.begin(), candidates.end(), idx) ==
-          candidates.end()) {
-        candidates.push_back(idx);
-      }
-    }
-    for (uint64_t idx : candidates) {
-      const double w = RangeSumWeight(n, idx, lo[i], hi[i], options.norm);
-      if (w != 0.0) reads[i].push_back({idx, {}, w});
-    }
-  }
-  return EvaluateCrossProduct(store, nullptr, false, reads);
+  std::vector<std::vector<DimRead>> reads;
+  SS_RETURN_IF_ERROR(BuildRangeReads(log_dims, lo, hi, options, &reads));
+  return EvaluateCrossProduct(store, nullptr, false, reads, options.context);
+}
+
+Result<DegradedResult> RangeSumStandardResilient(
+    TiledStore* store, std::span<const uint32_t> log_dims,
+    std::span<const uint64_t> lo, std::span<const uint64_t> hi,
+    const QueryOptions& options) {
+  std::vector<std::vector<DimRead>> reads;
+  SS_RETURN_IF_ERROR(BuildRangeReads(log_dims, lo, hi, options, &reads));
+  return EvaluateCrossProductResilient(store, nullptr, false, reads,
+                                       options.context);
 }
 
 Result<std::vector<ProgressiveEstimate>> ProgressiveRangeSumStandard(
@@ -368,7 +576,8 @@ Result<std::vector<ProgressiveEstimate>> ProgressiveRangeSumStandard(
   uint64_t read = 0;
   for (uint32_t depth = 0; depth <= max_depth; ++depth) {
     for (const Term& term : by_depth[depth]) {
-      SS_ASSIGN_OR_RETURN(const double coeff, store->Get(term.address));
+      SS_ASSIGN_OR_RETURN(const double coeff,
+                          store->Get(term.address, options.context));
       estimate += term.weight * coeff;
       ++read;
     }
@@ -411,6 +620,7 @@ struct NsRangeSumState {
   std::span<const uint64_t> lo;
   std::span<const uint64_t> hi;
   Normalization norm;
+  OperationContext* ctx;
   // Per-depth accumulators (depth = n - level); sized n + 1.
   std::vector<double>* sum_by_depth;
   std::vector<uint64_t>* reads_by_depth;
@@ -435,7 +645,8 @@ Status VisitNode(const NsRangeSumState& st, uint32_t level,
     if (w == 0.0) continue;
     id.subband = sigma;
     const auto address = NsAddress(st.n, id);
-    SS_ASSIGN_OR_RETURN(const double coeff, st.store->Get(address));
+    SS_ASSIGN_OR_RETURN(const double coeff,
+                        st.store->Get(address, st.ctx));
     (*st.sum_by_depth)[depth] += w * coeff;
     ++(*st.reads_by_depth)[depth];
   }
@@ -484,7 +695,7 @@ Status NsRangeSumByDepth(TiledStore* store, uint32_t n,
   reads_by_depth->assign(n + 1, 0);
   // Root scaling contribution (depth 0).
   std::vector<uint64_t> zero(d, 0);
-  SS_ASSIGN_OR_RETURN(const double root, store->Get(zero));
+  SS_ASSIGN_OR_RETURN(const double root, store->Get(zero, options.context));
   double w = 1.0;
   for (uint32_t i = 0; i < d; ++i) {
     w *= NsFactorWeight(n, 0, false, lo[i], hi[i], options.norm);
@@ -492,10 +703,11 @@ Status NsRangeSumByDepth(TiledStore* store, uint32_t n,
   (*sum_by_depth)[0] += root * w;
   ++(*reads_by_depth)[0];
   if (n == 0) return Status::OK();
-  NsRangeSumState st{store,        n,
-                     d,            lo,
-                     hi,           options.norm,
-                     sum_by_depth, reads_by_depth};
+  NsRangeSumState st{store,           n,
+                     d,               lo,
+                     hi,              options.norm,
+                     options.context, sum_by_depth,
+                     reads_by_depth};
   std::vector<uint64_t> p(d, 0);
   return VisitNode(st, n, p);
 }

@@ -26,6 +26,40 @@ struct QueryOptions {
   /// tiling layout and maintained slots). Falls back to path mode when the
   /// store's layout has no such slots.
   bool use_scaling_slots = false;
+  /// Deadline / cancellation / retry budget for the query (not owned; may
+  /// be null). Checked between block fetches, so a query past its deadline
+  /// unwinds within one block read. Null: unbounded, as before.
+  OperationContext* context = nullptr;
+};
+
+/// \brief Why a resilient query fell back to an approximate answer.
+enum class DegradedReason {
+  kNone = 0,        ///< the answer is exact
+  kQuarantined,     ///< blocks failed checksum verification
+  kPinExhaustion,   ///< the buffer pool was full of pinned frames
+  kDeadline,        ///< the deadline passed mid-query
+  kUnavailable,     ///< transient I/O or admission failures outlasted retries
+};
+
+/// \brief Human-readable name of a DegradedReason (e.g. "Deadline").
+const char* DegradedReasonToString(DegradedReason reason);
+
+/// \brief Answer of a resilient query: exact when no block was skipped,
+/// otherwise the partial reconstruction plus a hard error bound.
+///
+/// Every skipped cross-product term contributes |term weight| × sqrt(E_b)
+/// to `error_bound`, where E_b is the skipped block's tracked energy
+/// (TiledStore::EnableEnergyTracking) — sqrt(E_b) bounds the magnitude of
+/// any coefficient in the block, the same Parseval argument behind
+/// CompressedSynopsis error bounds. Without energy tracking the bound is
+/// +infinity (degradation still answers, but unquantified).
+struct DegradedResult {
+  double value = 0.0;
+  double error_bound = 0.0;     ///< |true answer − value| ≤ error_bound
+  uint64_t blocks_missing = 0;  ///< distinct blocks skipped
+  DegradedReason reason = DegradedReason::kNone;
+
+  bool exact() const { return reason == DegradedReason::kNone; }
 };
 
 /// \brief Value of the data point `point` from a standard-form store.
@@ -63,6 +97,34 @@ Result<double> RangeSumNonstandard(TiledStore* store, uint32_t n,
                                    std::span<const uint64_t> lo,
                                    std::span<const uint64_t> hi,
                                    const QueryOptions& options = {});
+
+/// \brief Resilient point query (standard form): like PointQueryStandard,
+/// but degradable failures — quarantined blocks (ChecksumMismatch), pin
+/// exhaustion (ResourceExhausted), transient I/O that outlasts the retry
+/// budget (IOError/Unavailable) and mid-query deadlines — skip the affected
+/// term instead of failing, accumulating an error bound (see
+/// DegradedResult). Cancellation and argument errors still propagate. With
+/// no faults the result is bit-identical to PointQueryStandard (same term
+/// enumeration order).
+Result<DegradedResult> PointQueryStandardResilient(
+    TiledStore* store, std::span<const uint32_t> log_dims,
+    std::span<const uint64_t> point, const QueryOptions& options = {});
+
+/// \brief Resilient range sum (standard form); see
+/// PointQueryStandardResilient for the degradation contract.
+Result<DegradedResult> RangeSumStandardResilient(
+    TiledStore* store, std::span<const uint32_t> log_dims,
+    std::span<const uint64_t> lo, std::span<const uint64_t> hi,
+    const QueryOptions& options = {});
+
+/// \brief Resilient batch point query: every point is validated up front
+/// (dimensionality and domain) before any I/O, then evaluated with the
+/// per-point degradation contract of PointQueryStandardResilient. Results
+/// are in input order; a degradable failure degrades only its own point.
+Result<std::vector<DegradedResult>> BatchPointQueryStandardResilient(
+    TiledStore* store, std::span<const uint32_t> log_dims,
+    const std::vector<std::vector<uint64_t>>& points,
+    const QueryOptions& options = {});
 
 /// \brief The per-dimension aggregate weight with which the 1-d coefficient
 /// at `index` contributes to the sum over [lo, hi] (inclusive): the sum of

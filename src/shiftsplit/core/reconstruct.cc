@@ -46,7 +46,8 @@ Result<Tensor> ReconstructDyadicStandard(TiledStore* store,
                                          std::span<const uint32_t> log_dims,
                                          std::span<const uint32_t> range_log,
                                          std::span<const uint64_t> range_pos,
-                                         Normalization norm) {
+                                         Normalization norm,
+                                         OperationContext* ctx) {
   const uint32_t d = static_cast<uint32_t>(log_dims.size());
   if (range_log.size() != d || range_pos.size() != d) {
     return Status::InvalidArgument("range dimensionality mismatch");
@@ -78,7 +79,7 @@ Result<Tensor> ReconstructDyadicStandard(TiledStore* store,
         gaddr[i] = g_idx;
         weight *= w;
       }
-      SS_ASSIGN_OR_RETURN(const double coeff, store->Get(gaddr));
+      SS_ASSIGN_OR_RETURN(const double coeff, store->Get(gaddr, ctx));
       value += weight * coeff;
       uint32_t i = d;
       bool advanced = false;
@@ -100,7 +101,8 @@ Result<Tensor> ReconstructDyadicStandard(TiledStore* store,
 Result<Tensor> ReconstructDyadicNonstandard(TiledStore* store, uint32_t n,
                                             uint32_t m,
                                             std::span<const uint64_t> range_pos,
-                                            Normalization norm) {
+                                            Normalization norm,
+                                            OperationContext* ctx) {
   const uint32_t d = static_cast<uint32_t>(range_pos.size());
   if (m > n) {
     return Status::InvalidArgument("range larger than the dataset");
@@ -123,7 +125,7 @@ Result<Tensor> ReconstructDyadicNonstandard(TiledStore* store, uint32_t n,
       id.node[i] += range_pos[i] << (m - id.level);
     }
     const auto address = NsAddress(n, id);
-    SS_ASSIGN_OR_RETURN(const double coeff, store->Get(address));
+    SS_ASSIGN_OR_RETURN(const double coeff, store->Get(address, ctx));
     local.At(lidx) = coeff;
   } while (local.shape().Next(lidx));
   // Inverse SPLIT: rebuild the range's root average from the quadtree path.
@@ -131,7 +133,7 @@ Result<Tensor> ReconstructDyadicNonstandard(TiledStore* store, uint32_t n,
   const double g_d = std::pow(ReconstructionAttenuation(norm),
                               static_cast<double>(d));
   std::vector<uint64_t> zero(d, 0);
-  SS_ASSIGN_OR_RETURN(const double root, store->Get(zero));
+  SS_ASSIGN_OR_RETURN(const double root, store->Get(zero, ctx));
   double u = root * std::pow(g_d, static_cast<double>(n - m));
   id.is_scaling = false;
   for (uint32_t j = m + 1; j <= n; ++j) {
@@ -146,7 +148,7 @@ Result<Tensor> ReconstructDyadicNonstandard(TiledStore* store, uint32_t n,
     for (uint64_t sigma = 1; sigma < corners; ++sigma) {
       id.subband = sigma;
       const auto address = NsAddress(n, id);
-      SS_ASSIGN_OR_RETURN(const double coeff, store->Get(address));
+      SS_ASSIGN_OR_RETURN(const double coeff, store->Get(address, ctx));
       u += NsSign(sigma, corner) * magnitude * coeff;
     }
   }
@@ -217,7 +219,8 @@ std::vector<DyadicCube> CubeCover(uint32_t d, uint32_t n,
 Result<Tensor> ReconstructRangeNonstandard(TiledStore* store, uint32_t n,
                                            std::span<const uint64_t> lo,
                                            std::span<const uint64_t> hi,
-                                           Normalization norm) {
+                                           Normalization norm,
+                                           OperationContext* ctx) {
   const uint32_t d = static_cast<uint32_t>(lo.size());
   if (hi.size() != d) {
     return Status::InvalidArgument("range dimensionality mismatch");
@@ -233,7 +236,7 @@ Result<Tensor> ReconstructRangeNonstandard(TiledStore* store, uint32_t n,
   for (const DyadicCube& cube : CubeCover(d, n, lo, hi)) {
     SS_ASSIGN_OR_RETURN(Tensor piece,
                         ReconstructDyadicNonstandard(store, n, cube.level,
-                                                     cube.node, norm));
+                                                     cube.node, norm, ctx));
     std::vector<uint64_t> local(d, 0);
     std::vector<uint64_t> oidx(d);
     do {
@@ -250,7 +253,8 @@ Result<Tensor> ReconstructRangeStandard(TiledStore* store,
                                         std::span<const uint32_t> log_dims,
                                         std::span<const uint64_t> lo,
                                         std::span<const uint64_t> hi,
-                                        Normalization norm) {
+                                        Normalization norm,
+                                        OperationContext* ctx) {
   const uint32_t d = static_cast<uint32_t>(log_dims.size());
   if (lo.size() != d || hi.size() != d) {
     return Status::InvalidArgument("range dimensionality mismatch");
@@ -277,7 +281,7 @@ Result<Tensor> ReconstructRangeStandard(TiledStore* store,
     }
     SS_ASSIGN_OR_RETURN(
         Tensor piece, ReconstructDyadicStandard(store, log_dims, range_log,
-                                                range_pos, norm));
+                                                range_pos, norm, ctx));
     // Copy the piece into the output at its offset.
     std::vector<uint64_t> lidx(d, 0);
     std::vector<uint64_t> oidx(d);

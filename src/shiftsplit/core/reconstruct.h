@@ -24,19 +24,23 @@ namespace shiftsplit {
 
 /// \brief Reconstructs the dyadic box with per-dimension ranges
 /// [pos_i * 2^m_i, (pos_i + 1) * 2^m_i) from a standard-form store of a
-/// dataset with per-dimension log2 extents `log_dims`.
+/// dataset with per-dimension log2 extents `log_dims`. A non-null `ctx`
+/// threads a deadline / cancellation / retry budget down to every
+/// coefficient read (all Reconstruct* entry points alike).
 Result<Tensor> ReconstructDyadicStandard(TiledStore* store,
                                          std::span<const uint32_t> log_dims,
                                          std::span<const uint32_t> range_log,
                                          std::span<const uint64_t> range_pos,
-                                         Normalization norm);
+                                         Normalization norm,
+                                         OperationContext* ctx = nullptr);
 
 /// \brief Reconstructs the dyadic cube of edge 2^m at per-dimension dyadic
 /// position `range_pos` from a non-standard-form store (cube of edge 2^n).
 Result<Tensor> ReconstructDyadicNonstandard(TiledStore* store, uint32_t n,
                                             uint32_t m,
                                             std::span<const uint64_t> range_pos,
-                                            Normalization norm);
+                                            Normalization norm,
+                                            OperationContext* ctx = nullptr);
 
 /// \brief Reconstructs an arbitrary inclusive box [lo, hi] from a
 /// standard-form store by covering it with maximal dyadic boxes and invoking
@@ -45,7 +49,8 @@ Result<Tensor> ReconstructRangeStandard(TiledStore* store,
                                         std::span<const uint32_t> log_dims,
                                         std::span<const uint64_t> lo,
                                         std::span<const uint64_t> hi,
-                                        Normalization norm);
+                                        Normalization norm,
+                                        OperationContext* ctx = nullptr);
 
 /// \brief Decomposes [lo, hi] (inclusive) into maximal dyadic intervals —
 /// the 1-d building block of the arbitrary-range reconstruction. Exposed for
@@ -75,7 +80,8 @@ std::vector<DyadicCube> CubeCover(uint32_t d, uint32_t n,
 Result<Tensor> ReconstructRangeNonstandard(TiledStore* store, uint32_t n,
                                            std::span<const uint64_t> lo,
                                            std::span<const uint64_t> hi,
-                                           Normalization norm);
+                                           Normalization norm,
+                                           OperationContext* ctx = nullptr);
 
 }  // namespace shiftsplit
 

@@ -139,10 +139,12 @@ Status WaveletCube::Ingest(ChunkSource* source, uint32_t log_chunk,
 }
 
 Result<double> WaveletCube::PointQuery(std::span<const uint64_t> point,
-                                       bool use_scaling_slots) {
+                                       bool use_scaling_slots,
+                                       OperationContext* ctx) {
   QueryOptions q;
   q.norm = manifest_.norm;
   q.use_scaling_slots = use_scaling_slots;
+  q.context = ctx;
   if (manifest_.form == StoreForm::kNonstandard) {
     return PointQueryNonstandard(store_.get(), manifest_.log_dims[0], point,
                                  q);
@@ -151,9 +153,11 @@ Result<double> WaveletCube::PointQuery(std::span<const uint64_t> point,
 }
 
 Result<double> WaveletCube::RangeSum(std::span<const uint64_t> lo,
-                                     std::span<const uint64_t> hi) {
+                                     std::span<const uint64_t> hi,
+                                     OperationContext* ctx) {
   QueryOptions q;
   q.norm = manifest_.norm;
+  q.context = ctx;
   if (manifest_.form == StoreForm::kNonstandard) {
     return RangeSumNonstandard(store_.get(), manifest_.log_dims[0], lo, hi,
                                q);
@@ -161,14 +165,46 @@ Result<double> WaveletCube::RangeSum(std::span<const uint64_t> lo,
   return RangeSumStandard(store_.get(), manifest_.log_dims, lo, hi, q);
 }
 
+Result<DegradedResult> WaveletCube::PointQueryResilient(
+    std::span<const uint64_t> point, bool use_scaling_slots,
+    OperationContext* ctx) {
+  if (manifest_.form == StoreForm::kNonstandard) {
+    return Status::Unimplemented(
+        "graceful degradation currently supports standard-form cubes; "
+        "non-standard queries still honour deadlines via PointQuery");
+  }
+  QueryOptions q;
+  q.norm = manifest_.norm;
+  q.use_scaling_slots = use_scaling_slots;
+  q.context = ctx;
+  return PointQueryStandardResilient(store_.get(), manifest_.log_dims, point,
+                                     q);
+}
+
+Result<DegradedResult> WaveletCube::RangeSumResilient(
+    std::span<const uint64_t> lo, std::span<const uint64_t> hi,
+    OperationContext* ctx) {
+  if (manifest_.form == StoreForm::kNonstandard) {
+    return Status::Unimplemented(
+        "graceful degradation currently supports standard-form cubes; "
+        "non-standard queries still honour deadlines via RangeSum");
+  }
+  QueryOptions q;
+  q.norm = manifest_.norm;
+  q.context = ctx;
+  return RangeSumStandardResilient(store_.get(), manifest_.log_dims, lo, hi,
+                                   q);
+}
+
 Result<Tensor> WaveletCube::Extract(std::span<const uint64_t> lo,
-                                    std::span<const uint64_t> hi) {
+                                    std::span<const uint64_t> hi,
+                                    OperationContext* ctx) {
   if (manifest_.form == StoreForm::kNonstandard) {
     return ReconstructRangeNonstandard(store_.get(), manifest_.log_dims[0],
-                                       lo, hi, manifest_.norm);
+                                       lo, hi, manifest_.norm, ctx);
   }
   return ReconstructRangeStandard(store_.get(), manifest_.log_dims, lo, hi,
-                                  manifest_.norm);
+                                  manifest_.norm, ctx);
 }
 
 Status WaveletCube::Update(const Tensor& deltas,

@@ -21,6 +21,7 @@
 
 #include "shiftsplit/core/approx.h"
 #include "shiftsplit/core/chunked_transform.h"
+#include "shiftsplit/core/query.h"
 #include "shiftsplit/storage/manifest.h"
 #include "shiftsplit/tile/tiled_store.h"
 
@@ -59,18 +60,43 @@ class WaveletCube {
                 const TransformOptions* options = nullptr);
 
   /// \brief Value of one data point. Defaults to the single-block
-  /// scaling-slot strategy when the layout supports it.
+  /// scaling-slot strategy when the layout supports it. A non-null `ctx`
+  /// threads a deadline / cancellation / retry budget through every block
+  /// fetch (all query entry points alike).
   Result<double> PointQuery(std::span<const uint64_t> point,
-                            bool use_scaling_slots = true);
+                            bool use_scaling_slots = true,
+                            OperationContext* ctx = nullptr);
 
   /// \brief Sum of the inclusive box [lo, hi] (Lemma 2).
   Result<double> RangeSum(std::span<const uint64_t> lo,
-                          std::span<const uint64_t> hi);
+                          std::span<const uint64_t> hi,
+                          OperationContext* ctx = nullptr);
+
+  /// \brief Resilient point query (standard-form cubes): degradable
+  /// failures — quarantined blocks, pin exhaustion, transient I/O beyond
+  /// the retry budget, mid-query deadlines — skip the affected blocks and
+  /// return an approximate answer with a hard error bound instead of
+  /// failing (see DegradedResult). Call EnableEnergyTracking() first for
+  /// finite bounds. Unimplemented for non-standard-form cubes.
+  Result<DegradedResult> PointQueryResilient(std::span<const uint64_t> point,
+                                             bool use_scaling_slots = true,
+                                             OperationContext* ctx = nullptr);
+
+  /// \brief Resilient range sum; see PointQueryResilient.
+  Result<DegradedResult> RangeSumResilient(std::span<const uint64_t> lo,
+                                           std::span<const uint64_t> hi,
+                                           OperationContext* ctx = nullptr);
+
+  /// \brief Builds the per-block energy index that gives resilient queries
+  /// finite error bounds (one full scan; see
+  /// TiledStore::EnableEnergyTracking).
+  Status EnableEnergyTracking() { return store_->EnableEnergyTracking(); }
 
   /// \brief Reconstructs the inclusive box [lo, hi] (Result 6); the tensor
   /// extents are the box extents rounded up to powers of two.
   Result<Tensor> Extract(std::span<const uint64_t> lo,
-                         std::span<const uint64_t> hi);
+                         std::span<const uint64_t> hi,
+                         OperationContext* ctx = nullptr);
 
   /// \brief Adds `deltas` (anchored at `origin`) in the wavelet domain
   /// (Example 2).

@@ -11,6 +11,7 @@
 
 #include "shiftsplit/storage/durability.h"
 #include "shiftsplit/storage/io_stats.h"
+#include "shiftsplit/util/operation_context.h"
 #include "shiftsplit/util/status.h"
 
 namespace shiftsplit {
@@ -81,11 +82,46 @@ class BlockManager {
     return DurabilityStats{};
   }
 
+  /// \brief ReadBlock under an operation context: checks the deadline and
+  /// cancellation before issuing I/O, and retries transient failures
+  /// (IOError, Unavailable) under the context's retry budget with jittered
+  /// backoff. A null context degenerates to a plain ReadBlock. Non-virtual
+  /// on purpose — backends override the single-attempt primitives, and every
+  /// backend gets the same resilience envelope.
+  Status ReadBlockRetry(uint64_t id, std::span<double> out,
+                        OperationContext* ctx) {
+    return RetryLoop(ctx, [&] { return ReadBlock(id, out); });
+  }
+
+  /// \brief ReadBlocks under an operation context; see ReadBlockRetry.
+  Status ReadBlocksRetry(std::span<const uint64_t> ids, std::span<double> out,
+                         OperationContext* ctx) {
+    return RetryLoop(ctx, [&] { return ReadBlocks(ids, out); });
+  }
+
   IoStats& stats() { return stats_; }
   const IoStats& stats() const { return stats_; }
 
  protected:
   IoStats stats_;
+
+ private:
+  /// Runs `attempt` under the context's deadline/cancellation/retry budget.
+  template <typename Fn>
+  Status RetryLoop(OperationContext* ctx, Fn&& attempt) {
+    if (ctx == nullptr) return attempt();
+    for (;;) {
+      SS_RETURN_IF_ERROR(ctx->Check());
+      Status st = attempt();
+      if (st.ok() || !IsTransientError(st)) return st;
+      if (!ctx->BackoffBeforeRetry()) {
+        // Budget or deadline ended the retries: the deadline takes
+        // precedence in the reported status, the transient error otherwise.
+        Status gate = ctx->Check();
+        return gate.ok() ? st : gate;
+      }
+    }
+  }
 };
 
 }  // namespace shiftsplit

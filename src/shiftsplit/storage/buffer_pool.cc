@@ -15,6 +15,12 @@ void PageGuard::Release() {
   dirty_ = false;
 }
 
+void AdmissionTicket::Release() {
+  if (pool_ == nullptr) return;
+  pool_->ReleaseAdmission();
+  pool_ = nullptr;
+}
+
 BufferPool::BufferPool(BlockManager* manager, uint64_t capacity_blocks)
     : manager_(manager), capacity_(capacity_blocks) {
   assert(manager_ != nullptr);
@@ -51,7 +57,11 @@ void BufferPool::Unpin(internal::PoolFrame* frame, bool dirty) {
   }
 }
 
-Result<PageGuard> BufferPool::GetBlock(uint64_t block_id, bool for_write) {
+Result<PageGuard> BufferPool::GetBlock(uint64_t block_id, bool for_write,
+                                       OperationContext* ctx) {
+  // The gate sits before the lock: a caller past its deadline never queues
+  // on the pool mutex, so a wedged query unwinds within one block read.
+  if (ctx != nullptr) SS_RETURN_IF_ERROR(ctx->Check());
   const auto lock = Lock();
   auto it = frames_.find(block_id);
   if (it != frames_.end()) {
@@ -74,7 +84,7 @@ Result<PageGuard> BufferPool::GetBlock(uint64_t block_id, bool for_write) {
   // Read the incoming block before touching the victim: a failed read leaves
   // cache contents, dirty bits and recency order unchanged.
   std::vector<double> data = TakeBuffer();
-  SS_RETURN_IF_ERROR(manager_->ReadBlock(block_id, data));
+  SS_RETURN_IF_ERROR(manager_->ReadBlockRetry(block_id, data, ctx));
   ++io_.block_reads;
   if (victim == lru_.end()) {
     lru_.push_front(internal::PoolFrame{block_id, false, 0, std::move(data)});
@@ -124,7 +134,79 @@ Status BufferPool::WriteBack(internal::PoolFrame& frame) {
   return Status::OK();
 }
 
-Status BufferPool::Prefetch(std::span<const uint64_t> block_ids) {
+void BufferPool::SetAdmissionControl(uint64_t max_concurrent,
+                                     uint64_t max_queue_depth,
+                                     uint64_t queue_timeout_us) {
+  const std::lock_guard<std::mutex> lock(admission_mu_);
+  assert(admission_active_ == 0 && admission_queue_.empty() &&
+         "reconfigure admission control only while no operation is in flight");
+  admission_max_ = max_concurrent;
+  admission_queue_cap_ = max_queue_depth;
+  admission_timeout_us_ = queue_timeout_us;
+}
+
+Result<AdmissionTicket> BufferPool::AdmitOperation(OperationContext* ctx) {
+  std::unique_lock<std::mutex> lock(admission_mu_);
+  if (admission_max_ == 0) return AdmissionTicket();  // control disabled
+  if (ctx != nullptr) SS_RETURN_IF_ERROR(ctx->Check());
+  // Fast path: a free slot and nobody queued ahead of us.
+  if (admission_active_ < admission_max_ && admission_queue_.empty()) {
+    ++admission_active_;
+    ++admitted_;
+    return AdmissionTicket(this);
+  }
+  if (admission_queue_.size() >= admission_queue_cap_) {
+    ++admission_rejections_;
+    return Status::Unavailable(
+        "buffer pool at concurrency cap and its admission queue is full");
+  }
+  AdmissionWaiter waiter;
+  admission_queue_.push_back(&waiter);
+  const auto self = std::prev(admission_queue_.end());
+  auto wait_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::microseconds(admission_timeout_us_);
+  if (ctx != nullptr && ctx->has_deadline()) {
+    wait_deadline = std::min(wait_deadline, ctx->deadline());
+  }
+  while (!waiter.granted) {
+    if (ctx != nullptr && ctx->cancelled()) {
+      admission_queue_.erase(self);
+      return Status::Cancelled("operation cancelled");
+    }
+    if (waiter.cv.wait_until(lock, wait_deadline) ==
+            std::cv_status::timeout &&
+        !waiter.granted) {
+      admission_queue_.erase(self);
+      ++admission_timeouts_;
+      if (ctx != nullptr) {
+        Status gate = ctx->Check();
+        if (!gate.ok()) return gate;
+      }
+      return Status::Unavailable(
+          "timed out waiting for a buffer pool admission slot");
+    }
+  }
+  // The grantor incremented admission_active_ on our behalf.
+  ++admitted_;
+  return AdmissionTicket(this);
+}
+
+void BufferPool::ReleaseAdmission() {
+  const std::lock_guard<std::mutex> lock(admission_mu_);
+  assert(admission_active_ > 0);
+  --admission_active_;
+  while (admission_active_ < admission_max_ && !admission_queue_.empty()) {
+    AdmissionWaiter* next = admission_queue_.front();
+    admission_queue_.pop_front();
+    next->granted = true;
+    ++admission_active_;
+    next->cv.notify_one();
+  }
+}
+
+Status BufferPool::Prefetch(std::span<const uint64_t> block_ids,
+                            OperationContext* ctx) {
+  if (ctx != nullptr) SS_RETURN_IF_ERROR(ctx->Check());
   const auto lock = Lock();
   // Distinct not-yet-cached ids, first-to-last, capped at the number of
   // frames the pool can actually hold alongside the pinned ones.
@@ -143,7 +225,7 @@ Status BufferPool::Prefetch(std::span<const uint64_t> block_ids) {
   // One vectored read for the whole missing set; a failure here leaves the
   // cache untouched.
   std::vector<double> data(missing.size() * manager_->block_size());
-  SS_RETURN_IF_ERROR(manager_->ReadBlocks(missing, data));
+  SS_RETURN_IF_ERROR(manager_->ReadBlocksRetry(missing, data, ctx));
   io_.block_reads += missing.size();
   prefetched_ += missing.size();
   for (size_t i = 0; i < missing.size(); ++i) {
@@ -274,6 +356,12 @@ BufferPool::Stats BufferPool::stats() const {
   s.cached_blocks = frames_.size();
   s.capacity = capacity_;
   s.io = io_;
+  {
+    const std::lock_guard<std::mutex> admission_lock(admission_mu_);
+    s.admitted = admitted_;
+    s.admission_rejections = admission_rejections_;
+    s.admission_timeouts = admission_timeouts_;
+  }
   return s;
 }
 

@@ -6,6 +6,8 @@
 #ifndef SHIFTSPLIT_STORAGE_BUFFER_POOL_H_
 #define SHIFTSPLIT_STORAGE_BUFFER_POOL_H_
 
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <mutex>
@@ -17,6 +19,7 @@
 #include "shiftsplit/storage/block_manager.h"
 #include "shiftsplit/storage/io_stats.h"
 #include "shiftsplit/storage/journal.h"
+#include "shiftsplit/util/operation_context.h"
 
 namespace shiftsplit {
 
@@ -99,6 +102,41 @@ class PageGuard {
   bool dirty_ = false;  // applied to the frame on Release
 };
 
+/// \brief RAII admission slot granted by BufferPool::AdmitOperation.
+///
+/// One ticket is one logical operation (a query, a reconstruct) allowed to
+/// drive the pool concurrently; destroying (or Release()-ing) the ticket
+/// frees the slot for the next queued waiter. Tickets from a pool with
+/// admission control disabled are valid no-ops.
+class AdmissionTicket {
+ public:
+  AdmissionTicket() = default;
+
+  AdmissionTicket(AdmissionTicket&& other) noexcept
+      : pool_(std::exchange(other.pool_, nullptr)) {}
+  AdmissionTicket& operator=(AdmissionTicket&& other) noexcept {
+    if (this != &other) {
+      Release();
+      pool_ = std::exchange(other.pool_, nullptr);
+    }
+    return *this;
+  }
+
+  AdmissionTicket(const AdmissionTicket&) = delete;
+  AdmissionTicket& operator=(const AdmissionTicket&) = delete;
+
+  ~AdmissionTicket() { Release(); }
+
+  /// \brief Frees the admission slot early; safe to call repeatedly.
+  void Release();
+
+ private:
+  friend class BufferPool;
+  explicit AdmissionTicket(BufferPool* pool) : pool_(pool) {}
+
+  BufferPool* pool_ = nullptr;  // non-null while a slot is held
+};
+
 /// \brief Single-threaded pinning LRU block cache with write-back.
 ///
 /// Contract:
@@ -133,6 +171,9 @@ class BufferPool {
     uint64_t pinned_frames = 0;   ///< frames currently pinned
     uint64_t cached_blocks = 0;   ///< frames currently resident
     uint64_t capacity = 0;
+    uint64_t admitted = 0;             ///< operations granted an admission slot
+    uint64_t admission_rejections = 0; ///< fast rejections (queue full)
+    uint64_t admission_timeouts = 0;   ///< waiters that timed out in the queue
     IoStats io;                   ///< block I/O issued by this pool
 
     /// Fraction of GetBlock calls served without block I/O (1.0 when idle).
@@ -157,9 +198,16 @@ class BufferPool {
   /// miss. With `for_write` the frame is marked dirty when the guard is
   /// released and written back on eviction or Flush.
   ///
+  /// With a non-null `ctx` the miss-path read honours the context's
+  /// deadline, cancellation and retry budget (ReadBlockRetry); the
+  /// deadline/cancellation gate fires before the lock is taken, so a wedged
+  /// caller returns within one block read of its deadline.
+  ///
   /// Errors: ResourceExhausted when the pool is full of pinned frames;
-  /// any Status from the backing manager's ReadBlock/WriteBlock.
-  Result<PageGuard> GetBlock(uint64_t block_id, bool for_write);
+  /// DeadlineExceeded/Cancelled from `ctx`; any Status from the backing
+  /// manager's ReadBlock/WriteBlock.
+  Result<PageGuard> GetBlock(uint64_t block_id, bool for_write,
+                             OperationContext* ctx = nullptr);
 
   /// \brief Warms the cache with `block_ids` in one vectored read
   /// (BlockManager::ReadBlocks). Already-cached and duplicate ids are
@@ -170,8 +218,32 @@ class BufferPool {
   /// simply re-reads it — correctness never depends on a prefetch.
   ///
   /// Errors: a failed batch read leaves the cache unchanged; a failed victim
-  /// write-back stops the insertion, leaving earlier ids warmed.
-  Status Prefetch(std::span<const uint64_t> block_ids);
+  /// write-back stops the insertion, leaving earlier ids warmed. With a
+  /// non-null `ctx` the batch read retries transient failures under the
+  /// context's budget and the deadline gate fires on entry.
+  Status Prefetch(std::span<const uint64_t> block_ids,
+                  OperationContext* ctx = nullptr);
+
+  /// \brief Caps the number of operations concurrently driving the pool.
+  ///
+  /// When `max_concurrent` > 0, AdmitOperation grants at most that many
+  /// outstanding tickets; excess callers wait FIFO in a queue bounded by
+  /// `max_queue_depth`. A caller finding the queue full is rejected
+  /// immediately with Unavailable (fast failure instead of pin-exhaustion
+  /// livelock); a queued caller that waits longer than `queue_timeout_us`
+  /// (or its context deadline, whichever is sooner) is removed and rejected
+  /// the same way. `max_concurrent` = 0 disables admission control (the
+  /// default). Requires thread-safe mode when used concurrently; reconfigure
+  /// only while no operation is in flight.
+  void SetAdmissionControl(uint64_t max_concurrent, uint64_t max_queue_depth,
+                           uint64_t queue_timeout_us);
+
+  /// \brief Acquires an admission slot for one logical operation, waiting in
+  /// the bounded FIFO queue if the pool is at its concurrency cap. Returns
+  /// Unavailable on queue overflow or queue timeout, DeadlineExceeded /
+  /// Cancelled when the context ends the wait instead. With admission
+  /// control disabled this is a cheap no-op returning a valid ticket.
+  Result<AdmissionTicket> AdmitOperation(OperationContext* ctx = nullptr);
 
   /// \brief Toggles the internal mutex (see class comment). Must be called
   /// while no operation is in flight on another thread.
@@ -230,7 +302,18 @@ class BufferPool {
 
  private:
   friend class PageGuard;
+  friend class AdmissionTicket;
   using FrameList = std::list<internal::PoolFrame>;
+
+  // One queued admission waiter; lives on the waiter's stack.
+  struct AdmissionWaiter {
+    std::condition_variable cv;
+    bool granted = false;
+  };
+
+  // AdmissionTicket::Release calls this: frees a slot, grants the next
+  // queued waiter(s).
+  void ReleaseAdmission();
 
   // Locked when thread-safe mode is on; an empty (no-op) lock otherwise.
   std::unique_lock<std::mutex> Lock() const {
@@ -271,6 +354,17 @@ class BufferPool {
   uint64_t prefetched_ = 0;
   uint64_t pinned_frames_ = 0;
   IoStats io_;  // block reads/writes issued by this pool
+  // Admission control (separate mutex, acquired strictly before mu_ and
+  // never while holding it — tickets are taken before pool operations).
+  mutable std::mutex admission_mu_;
+  uint64_t admission_max_ = 0;  // 0 = admission control off
+  uint64_t admission_queue_cap_ = 0;
+  uint64_t admission_timeout_us_ = 0;
+  uint64_t admission_active_ = 0;
+  uint64_t admitted_ = 0;
+  uint64_t admission_rejections_ = 0;
+  uint64_t admission_timeouts_ = 0;
+  std::list<AdmissionWaiter*> admission_queue_;  // FIFO, front is next
   // MRU at front. unordered_map points into the list (stable iterators).
   FrameList lru_;
   std::unordered_map<uint64_t, FrameList::iterator> frames_;

@@ -71,9 +71,20 @@ FileBlockManager::FileBlockManager(std::string path, int fd,
       checksums_(options.checksums),
       epoch_(options.epoch),
       degraded_reads_(options.degraded_reads),
-      retry_attempts_(options.retry_attempts),
-      retry_backoff_us_(options.retry_backoff_us) {
+      retry_(RetryPolicy{options.retry_attempts, options.retry_backoff_us,
+                         std::max<uint32_t>(options.retry_backoff_us,
+                                            100'000u),
+                         0.5}),
+      jitter_state_(0x5353424du ^ block_size) {  // "SSBM" ^ geometry
   if (checksums_) scratch_.resize(stride());
+}
+
+void FileBlockManager::BackoffRetry(uint32_t attempt) {
+  ++durability_.io_retries;
+  const uint64_t delay_us = BackoffDelayUs(retry_, attempt, &jitter_state_);
+  if (delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+  }
 }
 
 uint64_t FileBlockManager::stride() const {
@@ -136,18 +147,14 @@ Status FileBlockManager::Resize(uint64_t num_blocks) {
 
 Status FileBlockManager::ReadRaw(uint64_t offset, char* dst, uint64_t bytes) {
   uint64_t done = 0;
-  uint32_t retries_left = retry_attempts_;
-  uint32_t backoff_us = retry_backoff_us_;
+  uint32_t attempt = 0;
   while (done < bytes) {
     const ssize_t r = ::pread(fd_, dst + done, bytes - done,
                               static_cast<off_t>(offset + done));
     if (r < 0) {
       if (errno == EINTR) continue;
-      if (errno == EAGAIN && retries_left > 0) {
-        --retries_left;
-        ++durability_.io_retries;
-        std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
-        backoff_us *= 2;
+      if (errno == EAGAIN && attempt < retry_.max_retries) {
+        BackoffRetry(attempt++);
         continue;
       }
       return Status::IOError(Errno("pread " + path_));
@@ -165,8 +172,7 @@ Status FileBlockManager::ReadRaw(uint64_t offset, char* dst, uint64_t bytes) {
 Status FileBlockManager::WriteRaw(uint64_t offset, const char* src,
                                   uint64_t bytes) {
   uint64_t done = 0;
-  uint32_t retries_left = retry_attempts_;
-  uint32_t backoff_us = retry_backoff_us_;
+  uint32_t attempt = 0;
   while (done < bytes) {
     const ssize_t w = ::pwrite(fd_, src + done, bytes - done,
                                static_cast<off_t>(offset + done));
@@ -177,16 +183,13 @@ Status FileBlockManager::WriteRaw(uint64_t offset, const char* src,
     if (w < 0 && errno == EINTR) continue;
     // A zero-byte write (disk full / quota edge) or EAGAIN may be
     // transient: back off a bounded number of times before giving up.
-    if ((w == 0 || errno == EAGAIN) && retries_left > 0) {
-      --retries_left;
-      ++durability_.io_retries;
-      std::this_thread::sleep_for(std::chrono::microseconds(backoff_us));
-      backoff_us *= 2;
+    if ((w == 0 || errno == EAGAIN) && attempt < retry_.max_retries) {
+      BackoffRetry(attempt++);
       continue;
     }
     if (w == 0) {
       return Status::IOError("pwrite " + path_ + ": wrote 0 bytes after " +
-                             std::to_string(retry_attempts_) + " retries");
+                             std::to_string(retry_.max_retries) + " retries");
     }
     return Status::IOError(Errno("pwrite " + path_));
   }
@@ -289,6 +292,7 @@ Status FileBlockManager::ReadBlocks(std::span<const uint64_t> ids,
     const off_t run_offset = static_cast<off_t>(ids[i] * block_bytes);
     char* run_dst = base + i * block_bytes;
     uint64_t done = 0;
+    uint32_t attempt = 0;
     while (done < run_bytes) {
       // Rebuild the iovec list past the already-read prefix (partial reads).
       std::vector<struct iovec> iov;
@@ -303,6 +307,12 @@ Status FileBlockManager::ReadBlocks(std::span<const uint64_t> ids,
                                  run_offset + static_cast<off_t>(done));
       if (r < 0) {
         if (errno == EINTR) continue;
+        // Same transient-error policy as the scalar loops: EAGAIN backs off
+        // under the bounded budget and is counted in io_retries.
+        if (errno == EAGAIN && attempt < retry_.max_retries) {
+          BackoffRetry(attempt++);
+          continue;
+        }
         return Status::IOError(Errno("preadv " + path_));
       }
       if (r == 0) {

@@ -45,10 +45,13 @@ class FileBlockManager : public BlockManager {
 
     /// Transient-I/O retry budget: a short read/write that makes no
     /// progress (0 bytes, or EAGAIN) is retried up to this many times with
-    /// exponential backoff before surfacing IOError. EINTR is always
-    /// retried and does not consume the budget.
+    /// capped exponential backoff and jitter before surfacing IOError.
+    /// EINTR is always retried and does not consume the budget. Applies to
+    /// the scalar pread/pwrite loops and the vectored preadv path alike;
+    /// every consumed retry is counted in DurabilityStats::io_retries.
     uint32_t retry_attempts = 3;
-    /// Initial backoff before the first retry, doubling per attempt.
+    /// Initial backoff before the first retry, doubling per attempt up to
+    /// RetryPolicy's cap.
     uint32_t retry_backoff_us = 100;
   };
 
@@ -115,6 +118,9 @@ class FileBlockManager : public BlockManager {
   // fills the remainder (ftruncate-extended tail).
   Status ReadRaw(uint64_t offset, char* dst, uint64_t bytes);
   Status WriteRaw(uint64_t offset, const char* src, uint64_t bytes);
+  // Counts one transient retry in durability_.io_retries and sleeps the
+  // jittered backoff for 0-based `attempt` (BackoffDelayUs on retry_).
+  void BackoffRetry(uint32_t attempt);
   // Verifies one block image (payload + footer at `raw`); on failure either
   // quarantines + zero-fills (degraded) or returns ChecksumMismatch.
   // `payload_out` receives block_size_ doubles.
@@ -127,8 +133,8 @@ class FileBlockManager : public BlockManager {
   bool checksums_;
   uint64_t epoch_;
   bool degraded_reads_;
-  uint32_t retry_attempts_;
-  uint32_t retry_backoff_us_;
+  RetryPolicy retry_;      // transient short-I/O retry (EAGAIN, zero writes)
+  uint64_t jitter_state_;  // backoff jitter stream (deterministically seeded)
   DurabilityStats durability_;
   std::set<uint64_t> quarantined_;
   std::vector<char> scratch_;  // one-block staging (read verify, write image)

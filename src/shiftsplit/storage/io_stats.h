@@ -1,22 +1,69 @@
 // I/O accounting. Every experiment in the paper plots I/O cost, measured
 // either in coefficients or in disk blocks; IoStats is the single source of
 // truth for both units.
+//
+// The counters are relaxed atomics: block-level I/O is serialized by the
+// buffer pool's mutex in thread-safe mode, but the coefficient counters are
+// bumped by TiledStore outside any lock, and a serving tier runs queries
+// concurrently. Relaxed increments keep the counts exact without ordering
+// cost; snapshots (copies) are not cross-field consistent, which is fine
+// for statistics.
 
 #ifndef SHIFTSPLIT_STORAGE_IO_STATS_H_
 #define SHIFTSPLIT_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 #include <sstream>
 #include <string>
 
 namespace shiftsplit {
 
+namespace internal {
+
+/// \brief uint64_t counter with relaxed atomic access and value semantics,
+/// so IoStats keeps behaving like a plain struct of integers.
+class RelaxedCounter {
+ public:
+  RelaxedCounter(uint64_t value = 0) : value_(value) {}  // NOLINT
+  RelaxedCounter(const RelaxedCounter& other) : value_(other.load()) {}
+  RelaxedCounter& operator=(const RelaxedCounter& other) {
+    store(other.load());
+    return *this;
+  }
+  RelaxedCounter& operator=(uint64_t value) {
+    store(value);
+    return *this;
+  }
+
+  operator uint64_t() const { return load(); }  // NOLINT(runtime/explicit)
+
+  RelaxedCounter& operator++() {
+    value_.fetch_add(1, std::memory_order_relaxed);
+    return *this;
+  }
+  RelaxedCounter& operator+=(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    return *this;
+  }
+
+  uint64_t load() const { return value_.load(std::memory_order_relaxed); }
+  void store(uint64_t value) {
+    value_.store(value, std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> value_;
+};
+
+}  // namespace internal
+
 /// \brief Counters of block-level and coefficient-level I/O.
 struct IoStats {
-  uint64_t block_reads = 0;
-  uint64_t block_writes = 0;
-  uint64_t coeff_reads = 0;   ///< individual coefficient fetches served
-  uint64_t coeff_writes = 0;  ///< individual coefficient stores issued
+  internal::RelaxedCounter block_reads = 0;
+  internal::RelaxedCounter block_writes = 0;
+  internal::RelaxedCounter coeff_reads = 0;   ///< coefficient fetches served
+  internal::RelaxedCounter coeff_writes = 0;  ///< coefficient stores issued
 
   uint64_t total_blocks() const { return block_reads + block_writes; }
   uint64_t total_coeffs() const { return coeff_reads + coeff_writes; }
@@ -45,7 +92,12 @@ struct IoStats {
     return os.str();
   }
 
-  bool operator==(const IoStats&) const = default;
+  bool operator==(const IoStats& other) const {
+    return block_reads.load() == other.block_reads.load() &&
+           block_writes.load() == other.block_writes.load() &&
+           coeff_reads.load() == other.coeff_reads.load() &&
+           coeff_writes.load() == other.coeff_writes.load();
+  }
 };
 
 }  // namespace shiftsplit

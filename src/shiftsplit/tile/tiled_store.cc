@@ -1,5 +1,9 @@
 #include "shiftsplit/tile/tiled_store.h"
 
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
 namespace shiftsplit {
 
 TiledStore::TiledStore(std::unique_ptr<TileLayout> layout,
@@ -55,9 +59,10 @@ Result<std::unique_ptr<TiledStore>> TiledStore::Open(
   return store;
 }
 
-Result<double> TiledStore::Get(std::span<const uint64_t> address) {
+Result<double> TiledStore::Get(std::span<const uint64_t> address,
+                               OperationContext* ctx) {
   SS_ASSIGN_OR_RETURN(const BlockSlot at, layout_->Locate(address));
-  return GetAt(at);
+  return GetAt(at, ctx);
 }
 
 Status TiledStore::Set(std::span<const uint64_t> address, double value) {
@@ -77,9 +82,9 @@ Status TiledStore::FailIfReadOnly() const {
       "rejected");
 }
 
-Result<double> TiledStore::GetAt(BlockSlot at) {
+Result<double> TiledStore::GetAt(BlockSlot at, OperationContext* ctx) {
   SS_ASSIGN_OR_RETURN(const PageGuard page,
-                      pool_.GetBlock(at.block, /*for_write=*/false));
+                      pool_.GetBlock(at.block, /*for_write=*/false, ctx));
   ++manager_->stats().coeff_reads;
   return page[at.slot];
 }
@@ -89,7 +94,9 @@ Status TiledStore::SetAt(BlockSlot at, double value) {
   SS_ASSIGN_OR_RETURN(const PageGuard page,
                       pool_.GetBlock(at.block, /*for_write=*/true));
   ++manager_->stats().coeff_writes;
+  const double old = page[at.slot];
   page[at.slot] = value;
+  UpdateEnergy(at.block, value * value - old * old);
   return Status::OK();
 }
 
@@ -98,13 +105,22 @@ Status TiledStore::AddAt(BlockSlot at, double delta) {
   SS_ASSIGN_OR_RETURN(const PageGuard page,
                       pool_.GetBlock(at.block, /*for_write=*/true));
   ++manager_->stats().coeff_writes;
-  page[at.slot] += delta;
+  const double old = page[at.slot];
+  const double updated = old + delta;
+  page[at.slot] = updated;
+  UpdateEnergy(at.block, updated * updated - old * old);
   return Status::OK();
 }
 
-Result<PageGuard> TiledStore::PinBlock(uint64_t block, bool for_write) {
-  if (for_write) SS_RETURN_IF_ERROR(FailIfReadOnly());
-  return pool_.GetBlock(block, for_write);
+Result<PageGuard> TiledStore::PinBlock(uint64_t block, bool for_write,
+                                       OperationContext* ctx) {
+  if (for_write) {
+    SS_RETURN_IF_ERROR(FailIfReadOnly());
+    // Span writes through the guard bypass the per-coefficient accounting:
+    // the block's tracked energy is no longer trustworthy.
+    UpdateEnergy(block, std::numeric_limits<double>::infinity());
+  }
+  return pool_.GetBlock(block, for_write, ctx);
 }
 
 Status TiledStore::ApplyToBlock(uint64_t block,
@@ -113,19 +129,63 @@ Status TiledStore::ApplyToBlock(uint64_t block,
   SS_ASSIGN_OR_RETURN(const PageGuard page,
                       pool_.GetBlock(block, /*for_write=*/true));
   const std::span<double> slots = page.span();
+  double energy_delta = 0.0;
   for (const SlotUpdate& op : ops) {
-    if (op.overwrite) {
-      slots[op.slot] = op.value;
-    } else {
-      slots[op.slot] += op.value;
-    }
+    const double old = slots[op.slot];
+    const double updated = op.overwrite ? op.value : old + op.value;
+    slots[op.slot] = updated;
+    energy_delta += updated * updated - old * old;
   }
   manager_->stats().coeff_writes += ops.size();
+  UpdateEnergy(block, energy_delta);
   return Status::OK();
 }
 
-Status TiledStore::Prefetch(std::span<const uint64_t> blocks) {
-  return pool_.Prefetch(blocks);
+Status TiledStore::Prefetch(std::span<const uint64_t> blocks,
+                            OperationContext* ctx) {
+  return pool_.Prefetch(blocks, ctx);
+}
+
+Status TiledStore::EnableEnergyTracking() {
+  std::vector<double> energy(layout_->num_blocks(), 0.0);
+  for (uint64_t block = 0; block < layout_->num_blocks(); ++block) {
+    auto page = pool_.GetBlock(block, /*for_write=*/false);
+    if (!page.ok()) {
+      // Best-effort scan: an unreadable (corrupt, quarantined, failing)
+      // block stays at the untracked +infinity ceiling so resilient
+      // queries can still degrade around it with an honest bound.
+      energy[block] = std::numeric_limits<double>::infinity();
+      continue;
+    }
+    double sum = 0.0;
+    for (const double v : page.value().span()) sum += v * v;
+    energy[block] = sum;
+  }
+  {
+    const std::lock_guard<std::mutex> lock(energy_mu_);
+    block_energy_ = std::move(energy);
+  }
+  energy_tracking_.store(true, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+double TiledStore::BlockEnergyCeiling(uint64_t block) const {
+  if (!energy_tracking()) return std::numeric_limits<double>::infinity();
+  double energy;
+  {
+    const std::lock_guard<std::mutex> lock(energy_mu_);
+    energy = block < block_energy_.size()
+                 ? block_energy_[block]
+                 : std::numeric_limits<double>::infinity();
+  }
+  // Maintained deltas can drift a hair below zero in floating point.
+  return std::sqrt(std::max(energy, 0.0));
+}
+
+void TiledStore::UpdateEnergy(uint64_t block, double delta) {
+  if (!energy_tracking()) return;
+  const std::lock_guard<std::mutex> lock(energy_mu_);
+  if (block < block_energy_.size()) block_energy_[block] += delta;
 }
 
 Status TiledStore::Flush() {

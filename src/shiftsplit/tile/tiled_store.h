@@ -6,13 +6,16 @@
 #ifndef SHIFTSPLIT_TILE_TILED_STORE_H_
 #define SHIFTSPLIT_TILE_TILED_STORE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <vector>
 
 #include "shiftsplit/storage/buffer_pool.h"
 #include "shiftsplit/storage/journal.h"
 #include "shiftsplit/tile/tile_layout.h"
+#include "shiftsplit/util/operation_context.h"
 
 namespace shiftsplit {
 
@@ -48,8 +51,11 @@ class TiledStore {
       std::unique_ptr<TileLayout> layout, BlockManager* manager,
       uint64_t pool_blocks, std::unique_ptr<Journal> journal);
 
-  /// \brief Reads the coefficient at a tuple address.
-  Result<double> Get(std::span<const uint64_t> address);
+  /// \brief Reads the coefficient at a tuple address. A non-null `ctx`
+  /// threads a deadline / cancellation / retry budget down to the device
+  /// read (see OperationContext); null keeps the pre-resilience semantics.
+  Result<double> Get(std::span<const uint64_t> address,
+                     OperationContext* ctx = nullptr);
 
   /// \brief Writes the coefficient at a tuple address.
   Status Set(std::span<const uint64_t> address, double value);
@@ -60,15 +66,18 @@ class TiledStore {
 
   /// \brief Physical-slot access (for pre-located positions such as the
   /// redundant scaling slots).
-  Result<double> GetAt(BlockSlot at);
+  Result<double> GetAt(BlockSlot at, OperationContext* ctx = nullptr);
   Status SetAt(BlockSlot at, double value);
   Status AddAt(BlockSlot at, double delta);
 
   /// \brief Pins a whole tile for bulk access. The returned guard keeps the
   /// frame valid (never an eviction victim) until it is released, so callers
   /// may hold several tiles at once — bounded by the pool capacity, beyond
-  /// which GetBlock fails with ResourceExhausted.
-  Result<PageGuard> PinBlock(uint64_t block, bool for_write);
+  /// which GetBlock fails with ResourceExhausted. Pinning for write
+  /// invalidates the block's energy-index entry (see EnableEnergyTracking):
+  /// writes through the pinned span bypass per-coefficient accounting.
+  Result<PageGuard> PinBlock(uint64_t block, bool for_write,
+                             OperationContext* ctx = nullptr);
 
   /// \brief Bulk write: pins `block` once and applies every SlotUpdate
   /// through the pinned span (one GetBlock for the whole batch; each update
@@ -78,7 +87,31 @@ class TiledStore {
   /// \brief Warms the buffer pool with the exact block set a batched apply
   /// will touch (one vectored device read; see BufferPool::Prefetch for the
   /// eviction contract).
-  Status Prefetch(std::span<const uint64_t> blocks);
+  Status Prefetch(std::span<const uint64_t> blocks,
+                  OperationContext* ctx = nullptr);
+
+  /// \brief Builds the per-block energy index: one full scan recording each
+  /// block's sum of squared coefficients, then maintained exactly by the
+  /// per-coefficient write paths (Set/Add/ApplyToBlock track new² − old²).
+  /// Bulk writes through PinBlock(for_write) bypass the accounting and
+  /// invalidate the block's entry to +infinity — conservative, never wrong.
+  /// The scan is best-effort: a block that cannot be read (corrupt,
+  /// quarantined, device failure) keeps the +infinity ceiling instead of
+  /// failing the call, so degradation still works on damaged stores.
+  ///
+  /// The index powers graceful degradation: sqrt(E_b) bounds the magnitude
+  /// of any single coefficient in block b, so a query that skips a block can
+  /// bound the error it introduced (core/query.h, DegradedResult).
+  Status EnableEnergyTracking();
+
+  bool energy_tracking() const {
+    return energy_tracking_.load(std::memory_order_relaxed);
+  }
+
+  /// \brief Upper bound on |coefficient| for any slot of `block`:
+  /// sqrt(block energy). +infinity when tracking is off or the entry was
+  /// invalidated by a bulk write.
+  double BlockEnergyCeiling(uint64_t block) const;
 
   /// \brief Writes back all dirty cached blocks. With a journal attached
   /// (Open) this is an atomic all-or-nothing commit of the dirty set.
@@ -121,12 +154,20 @@ class TiledStore {
   static Status Validate(const TileLayout* layout, BlockManager* manager,
                          uint64_t pool_blocks);
   Status FailIfReadOnly() const;
+  // Adds `delta` to block b's tracked energy (no-op when tracking is off).
+  void UpdateEnergy(uint64_t block, double delta);
 
   std::unique_ptr<TileLayout> layout_;
   BlockManager* manager_;
   BufferPool pool_;
   std::unique_ptr<Journal> journal_;  // null: plain (non-atomic) flushes
   bool read_only_ = false;
+  // Per-block sum of squared coefficients (energy index). Guarded by its
+  // own mutex so concurrent queries can read ceilings while a (separately
+  // serialized) writer maintains deltas.
+  std::atomic<bool> energy_tracking_{false};
+  mutable std::mutex energy_mu_;
+  std::vector<double> block_energy_;
 };
 
 }  // namespace shiftsplit

@@ -1,0 +1,77 @@
+#include "shiftsplit/util/operation_context.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace shiftsplit {
+
+namespace {
+
+// splitmix64 step — the same mixer Xoshiro256 seeds from; one 64-bit state
+// word is plenty for jitter.
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+uint64_t BackoffDelayUs(const RetryPolicy& policy, uint32_t attempt,
+                        uint64_t* jitter_state) {
+  uint64_t delay = policy.initial_backoff_us;
+  // Shift with saturation: attempt counts are small but unbounded in
+  // principle.
+  for (uint32_t i = 0; i < attempt && delay < policy.max_backoff_us; ++i) {
+    delay <<= 1;
+  }
+  delay = std::min<uint64_t>(delay, policy.max_backoff_us);
+  if (policy.jitter > 0.0 && delay > 0) {
+    const double u =
+        static_cast<double>(SplitMix64(jitter_state) >> 11) * 0x1.0p-53;
+    delay = static_cast<uint64_t>(
+        static_cast<double>(delay) * (1.0 - policy.jitter * u));
+  }
+  return delay;
+}
+
+bool IsTransientError(const Status& status) {
+  return status.code() == StatusCode::kIOError ||
+         status.code() == StatusCode::kUnavailable;
+}
+
+Status OperationContext::Check() const {
+  if (cancelled()) return Status::Cancelled("operation cancelled");
+  if (deadline_exceeded()) {
+    return Status::DeadlineExceeded("operation deadline exceeded");
+  }
+  return Status::OK();
+}
+
+bool OperationContext::BackoffBeforeRetry() {
+  // The increment is refunded on every refusal below, so retries_used()
+  // counts exactly the retries that were granted.
+  const uint32_t used = retries_used_.fetch_add(1, std::memory_order_relaxed);
+  const auto refuse = [this] {
+    retries_used_.fetch_sub(1, std::memory_order_relaxed);
+    return false;
+  };
+  if (used >= retry_.max_retries || cancelled()) return refuse();
+  uint64_t state = jitter_state_.load(std::memory_order_relaxed);
+  const uint64_t delay_us = BackoffDelayUs(retry_, used, &state);
+  jitter_state_.store(state, std::memory_order_relaxed);
+  auto delay = std::chrono::microseconds(delay_us);
+  if (has_deadline_) {
+    const auto remaining = deadline_ - Clock::now();
+    if (remaining <= remaining.zero()) return refuse();  // no time left
+    delay = std::min(
+        delay, std::chrono::duration_cast<std::chrono::microseconds>(
+                   remaining));
+  }
+  if (delay.count() > 0) std::this_thread::sleep_for(delay);
+  if (cancelled() || deadline_exceeded()) return refuse();
+  return true;
+}
+
+}  // namespace shiftsplit

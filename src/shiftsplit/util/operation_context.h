@@ -1,0 +1,125 @@
+// Per-operation resilience envelope for the query/reconstruct path: a
+// deadline, a cooperative cancellation flag, and a transient-I/O retry
+// budget with capped exponential backoff and jitter.
+//
+// A context is created per logical operation (one query, one reconstruct,
+// one batch) and threaded by pointer through TiledStore, the BufferPool and
+// the BlockManager read path. A null context means "no deadline, no
+// cancellation, single I/O attempt" — exactly the pre-resilience behaviour,
+// so every existing call site keeps its semantics.
+//
+// Contexts are shared by pointer, never copied: the cancellation flag and
+// the retry counters are atomics so one thread can RequestCancel() while
+// another is inside the operation.
+
+#ifndef SHIFTSPLIT_UTIL_OPERATION_CONTEXT_H_
+#define SHIFTSPLIT_UTIL_OPERATION_CONTEXT_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+
+/// \brief Bounded retry with capped exponential backoff and jitter.
+///
+/// The delay before retry `attempt` (0-based) is
+///   min(initial_backoff_us << attempt, max_backoff_us)
+/// shrunk by a uniformly random factor in [1 - jitter, 1], so concurrent
+/// retriers do not stampede in lockstep.
+struct RetryPolicy {
+  uint32_t max_retries = 3;          ///< retries after the first attempt
+  uint32_t initial_backoff_us = 100;
+  uint32_t max_backoff_us = 100'000;
+  double jitter = 0.5;               ///< fraction of the delay randomized away
+
+  /// A policy that never retries (the default for null contexts).
+  static RetryPolicy None() { return RetryPolicy{0, 0, 0, 0.0}; }
+};
+
+/// \brief Jittered delay in microseconds before retry `attempt` (0-based).
+/// Advances `jitter_state` (splitmix64), so repeated calls with the same
+/// state pointer draw independent jitters; deterministic for a fixed seed.
+uint64_t BackoffDelayUs(const RetryPolicy& policy, uint32_t attempt,
+                        uint64_t* jitter_state);
+
+/// \brief True for status codes worth retrying: transient device or
+/// admission failures (IOError, Unavailable). Corruption, pin exhaustion,
+/// deadline, cancellation and argument errors are not transient.
+bool IsTransientError(const Status& status);
+
+/// \brief Deadline + cancellation + retry budget for one operation.
+class OperationContext {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// No deadline, not cancelled, default retry policy.
+  OperationContext() = default;
+
+  /// Deadline `timeout` from now.
+  explicit OperationContext(std::chrono::nanoseconds timeout) {
+    set_timeout(timeout);
+  }
+
+  OperationContext(const OperationContext&) = delete;
+  OperationContext& operator=(const OperationContext&) = delete;
+
+  void set_deadline(Clock::time_point deadline) {
+    deadline_ = deadline;
+    has_deadline_ = true;
+  }
+  void set_timeout(std::chrono::nanoseconds timeout) {
+    set_deadline(Clock::now() + timeout);
+  }
+  bool has_deadline() const { return has_deadline_; }
+  Clock::time_point deadline() const { return deadline_; }
+  bool deadline_exceeded() const {
+    return has_deadline_ && Clock::now() >= deadline_;
+  }
+
+  /// \brief Requests cooperative cancellation; safe from any thread. The
+  /// operation observes it at its next Check() — between block fetches.
+  void RequestCancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+  void set_retry_policy(const RetryPolicy& policy) { retry_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_; }
+
+  /// \brief Reseeds the jitter stream (deterministic tests).
+  void set_jitter_seed(uint64_t seed) {
+    jitter_state_.store(seed, std::memory_order_relaxed);
+  }
+
+  /// \brief The cheap gate called between block fetches: Cancelled if
+  /// cancellation was requested, DeadlineExceeded past the deadline, OK
+  /// otherwise. Cancellation wins when both hold.
+  Status Check() const;
+
+  /// \brief Called after a transient failure: consumes one unit of the
+  /// retry budget and sleeps the jittered backoff (clipped to the time
+  /// remaining before the deadline). Returns true when the caller should
+  /// retry; false when the budget, the deadline, or cancellation ends the
+  /// operation instead.
+  bool BackoffBeforeRetry();
+
+  /// Transient-failure retries consumed so far.
+  uint64_t retries_used() const {
+    return retries_used_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  bool has_deadline_ = false;
+  Clock::time_point deadline_{};
+  std::atomic<bool> cancelled_{false};
+  RetryPolicy retry_;
+  std::atomic<uint32_t> retries_used_{0};
+  std::atomic<uint64_t> jitter_state_{0x9e3779b97f4a7c15ull};
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_UTIL_OPERATION_CONTEXT_H_

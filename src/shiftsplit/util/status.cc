@@ -24,8 +24,21 @@ const char* StatusCodeToString(StatusCode code) {
       return "Internal";
     case StatusCode::kChecksumMismatch:
       return "ChecksumMismatch";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kDeadlineExceeded:
+      return "DeadlineExceeded";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
+}
+
+std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
+  for (StatusCode code : kAllStatusCodes) {
+    if (name == StatusCodeToString(code)) return code;
+  }
+  return std::nullopt;
 }
 
 std::string Status::ToString() const {

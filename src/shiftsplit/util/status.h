@@ -11,6 +11,7 @@
 #include <optional>
 #include <ostream>
 #include <string>
+#include <string_view>
 #include <utility>
 
 namespace shiftsplit {
@@ -26,11 +27,29 @@ enum class StatusCode {
   kIOError,
   kUnimplemented,
   kInternal,
-  kChecksumMismatch,  ///< stored data failed its integrity check
+  kChecksumMismatch,   ///< stored data failed its integrity check
+  kUnavailable,        ///< transiently overloaded or unreachable; retry later
+  kDeadlineExceeded,   ///< the operation's deadline passed before completion
+  kCancelled,          ///< the operation was cancelled cooperatively
+};
+
+/// \brief Every StatusCode, in declaration order — the canonical list the
+/// code→string round-trip test iterates so new codes cannot dodge it.
+inline constexpr StatusCode kAllStatusCodes[] = {
+    StatusCode::kOk,           StatusCode::kInvalidArgument,
+    StatusCode::kOutOfRange,   StatusCode::kNotFound,
+    StatusCode::kAlreadyExists, StatusCode::kResourceExhausted,
+    StatusCode::kIOError,      StatusCode::kUnimplemented,
+    StatusCode::kInternal,     StatusCode::kChecksumMismatch,
+    StatusCode::kUnavailable,  StatusCode::kDeadlineExceeded,
+    StatusCode::kCancelled,
 };
 
 /// \brief Human-readable name of a status code (e.g. "IOError").
 const char* StatusCodeToString(StatusCode code);
+
+/// \brief Inverse of StatusCodeToString; nullopt for unknown names.
+std::optional<StatusCode> StatusCodeFromString(std::string_view name);
 
 /// \brief The outcome of a fallible operation: a code plus a message.
 ///
@@ -72,6 +91,15 @@ class Status {
   }
   static Status ChecksumMismatch(std::string msg) {
     return Status(StatusCode::kChecksumMismatch, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

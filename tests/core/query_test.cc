@@ -340,6 +340,121 @@ TEST(BatchPointQueryTest, ValidatesPoints) {
                    .ok());
 }
 
+TEST(BatchPointQueryTest, EmptyBatchSucceedsWithoutIo) {
+  const std::vector<uint32_t> log_dims{3, 3};
+  Bundle bundle = LoadedStandard(log_dims, Normalization::kAverage, 36);
+  ASSERT_OK(bundle.store->Flush());
+  bundle.manager->stats().Reset();
+  const std::vector<std::vector<uint64_t>> none;
+  for (bool slots : {false, true}) {
+    QueryOptions options;
+    options.use_scaling_slots = slots;
+    ASSERT_OK_AND_ASSIGN(const auto batch,
+                         BatchPointQueryStandard(bundle.store.get(),
+                                                 log_dims, none, options));
+    EXPECT_TRUE(batch.empty());
+    ASSERT_OK_AND_ASSIGN(
+        const auto resilient,
+        BatchPointQueryStandardResilient(bundle.store.get(), log_dims, none,
+                                         options));
+    EXPECT_TRUE(resilient.empty());
+  }
+  EXPECT_EQ(bundle.manager->stats().block_reads, 0u);
+}
+
+TEST(BatchPointQueryTest, DuplicatePointsAllAnswerInInputOrder) {
+  const std::vector<uint32_t> log_dims{4, 4};
+  Bundle bundle = LoadedStandard(log_dims, Normalization::kAverage, 37);
+  // The same point several times, interleaved with distinct ones: every
+  // occurrence must answer, in input order, regardless of the block-
+  // locality schedule.
+  const std::vector<std::vector<uint64_t>> points{
+      {3, 7}, {12, 1}, {3, 7}, {0, 0}, {3, 7}, {12, 1}};
+  QueryOptions slot_mode;
+  slot_mode.use_scaling_slots = true;
+  ASSERT_OK_AND_ASSIGN(
+      const auto batch,
+      BatchPointQueryStandard(bundle.store.get(), log_dims, points,
+                              slot_mode));
+  ASSERT_EQ(batch.size(), points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    EXPECT_NEAR(batch[i], bundle.data.At(points[i]), 1e-9) << "point " << i;
+  }
+  EXPECT_EQ(batch[0], batch[2]);
+  EXPECT_EQ(batch[2], batch[4]);
+  EXPECT_EQ(batch[1], batch[5]);
+}
+
+TEST(BatchPointQueryTest, OutOfRangePointFailsUpFrontWithoutIo) {
+  const std::vector<uint32_t> log_dims{3, 3};
+  Bundle bundle = LoadedStandard(log_dims, Normalization::kAverage, 38);
+  ASSERT_OK(bundle.store->Flush());
+  bundle.manager->stats().Reset();
+  // Valid points surround the bad one: validation is up front, so no
+  // prefix of the batch is evaluated and the store sees zero reads.
+  const std::vector<std::vector<uint64_t>> points{
+      {1, 1}, {2, 2}, {8, 0}, {3, 3}};
+  QueryOptions slot_mode;
+  slot_mode.use_scaling_slots = true;
+  const auto r = BatchPointQueryStandard(bundle.store.get(), log_dims,
+                                         points, slot_mode);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(bundle.manager->stats().block_reads, 0u);
+
+  const auto resilient = BatchPointQueryStandardResilient(
+      bundle.store.get(), log_dims, points, slot_mode);
+  ASSERT_FALSE(resilient.ok());
+  EXPECT_EQ(resilient.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(bundle.manager->stats().block_reads, 0u);
+
+  const std::vector<std::vector<uint64_t>> wrong_d{{1, 1}, {1}};
+  const auto mismatch = BatchPointQueryStandard(bundle.store.get(), log_dims,
+                                                wrong_d, slot_mode);
+  ASSERT_FALSE(mismatch.ok());
+  EXPECT_EQ(mismatch.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResilientQueryTest, MatchesExactPathBitForBitWhenHealthy) {
+  const std::vector<uint32_t> log_dims{4, 3};
+  Bundle bundle = LoadedStandard(log_dims, Normalization::kAverage, 39);
+  QueryOptions options;
+  std::vector<uint64_t> point(2, 0);
+  do {
+    ASSERT_OK_AND_ASSIGN(
+        const double exact,
+        PointQueryStandard(bundle.store.get(), log_dims, point, options));
+    ASSERT_OK_AND_ASSIGN(const DegradedResult r,
+                         PointQueryStandardResilient(bundle.store.get(),
+                                                     log_dims, point,
+                                                     options));
+    EXPECT_TRUE(r.exact());
+    EXPECT_EQ(r.value, exact);
+  } while (bundle.data.shape().Next(point));
+
+  const std::vector<uint64_t> lo{1, 2}, hi{13, 6};
+  ASSERT_OK_AND_ASSIGN(
+      const double exact_sum,
+      RangeSumStandard(bundle.store.get(), log_dims, lo, hi, options));
+  ASSERT_OK_AND_ASSIGN(const DegradedResult sum,
+                       RangeSumStandardResilient(bundle.store.get(),
+                                                 log_dims, lo, hi, options));
+  EXPECT_TRUE(sum.exact());
+  EXPECT_EQ(sum.value, exact_sum);
+}
+
+TEST(ResilientQueryTest, DegradedReasonNamesAreStable) {
+  EXPECT_STREQ(DegradedReasonToString(DegradedReason::kNone), "None");
+  EXPECT_STREQ(DegradedReasonToString(DegradedReason::kQuarantined),
+               "Quarantined");
+  EXPECT_STREQ(DegradedReasonToString(DegradedReason::kPinExhaustion),
+               "PinExhaustion");
+  EXPECT_STREQ(DegradedReasonToString(DegradedReason::kDeadline),
+               "Deadline");
+  EXPECT_STREQ(DegradedReasonToString(DegradedReason::kUnavailable),
+               "Unavailable");
+}
+
 TEST(QueryTest, ValidatesArguments) {
   const std::vector<uint32_t> log_dims{3, 3};
   Bundle bundle = LoadedStandard(log_dims, Normalization::kAverage, 30);

@@ -3,8 +3,11 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <chrono>
 #include <filesystem>
 #include <string_view>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -581,6 +584,149 @@ TEST(BufferPoolTest, DiscardDropsDirtyFramesWithoutWriteBack) {
   std::vector<double> buf(kBlockSize);
   ASSERT_OK(manager.ReadBlock(0, buf));
   EXPECT_DOUBLE_EQ(buf[0], 0.0);  // the write never reached the device
+}
+
+TEST(BufferPoolTest, ExpiredContextFailsGetBlockBeforeIo) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  OperationContext ctx(std::chrono::nanoseconds(0));
+  auto r = pool.GetBlock(0, false, &ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(manager.stats().block_reads, 0u);  // gate fires before the read
+  OperationContext cancelled;
+  cancelled.RequestCancel();
+  EXPECT_EQ(pool.Prefetch(std::vector<uint64_t>{1}, &cancelled).code(),
+            StatusCode::kCancelled);
+  EXPECT_EQ(manager.stats().block_reads, 0u);
+}
+
+TEST(BufferPoolTest, ContextRetriesTransientMissReadFailures) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  testing::FaultInjectionBlockManager faults(&manager);
+  BufferPool pool(&faults, 2);
+  faults.FailNthRead(1);  // the first read fails once, then passes
+
+  OperationContext ctx;
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.initial_backoff_us = 1;
+  policy.max_backoff_us = 1;
+  policy.jitter = 0.0;
+  ctx.set_retry_policy(policy);
+  ASSERT_OK(pool.GetBlock(5, false, &ctx).status());
+  EXPECT_EQ(ctx.retries_used(), 1u);
+  EXPECT_EQ(faults.reads_seen(), 2u);
+
+  // Without a context the same failure is fatal (single attempt).
+  faults.FailNthRead(1);
+  auto r = pool.GetBlock(6, false);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(BufferPoolTest, ContextRetryBudgetExhaustionSurfacesTheError) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  testing::FaultInjectionBlockManager faults(&manager);
+  BufferPool pool(&faults, 2);
+  faults.FailAfter(0);  // every read fails: the device died
+
+  OperationContext ctx;
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.initial_backoff_us = 1;
+  policy.max_backoff_us = 1;
+  policy.jitter = 0.0;
+  ctx.set_retry_policy(policy);
+  auto r = pool.GetBlock(0, false, &ctx);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+  EXPECT_EQ(ctx.retries_used(), 2u);
+  EXPECT_EQ(faults.reads_seen(), 3u);  // first attempt + two retries
+}
+
+TEST(BufferPoolTest, AdmissionDisabledGrantsNoOpTickets) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  ASSERT_OK_AND_ASSIGN(auto ticket, pool.AdmitOperation());
+  ticket.Release();
+  EXPECT_EQ(pool.stats().admitted, 0u);  // disabled: nothing counted
+}
+
+TEST(BufferPoolTest, AdmissionCapRejectsWhenQueueIsFull) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  // Cap of 1 with no queue: the second concurrent operation is rejected
+  // immediately instead of waiting.
+  pool.SetAdmissionControl(1, 0, 1'000);
+  ASSERT_OK_AND_ASSIGN(auto first, pool.AdmitOperation());
+  auto second = pool.AdmitOperation();
+  ASSERT_FALSE(second.ok());
+  EXPECT_EQ(second.status().code(), StatusCode::kUnavailable);
+  first.Release();
+  // The slot is free again.
+  ASSERT_OK_AND_ASSIGN(auto third, pool.AdmitOperation());
+  third.Release();
+  const BufferPool::Stats stats = pool.stats();
+  EXPECT_EQ(stats.admitted, 2u);
+  EXPECT_EQ(stats.admission_rejections, 1u);
+}
+
+TEST(BufferPoolTest, AdmissionQueueTimesOutWithUnavailable) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  pool.set_thread_safe(true);
+  pool.SetAdmissionControl(1, 1, 5'000);  // 5 ms queue timeout
+  ASSERT_OK_AND_ASSIGN(auto held, pool.AdmitOperation());
+  const auto t0 = std::chrono::steady_clock::now();
+  auto waited = pool.AdmitOperation();  // queues, then times out
+  const auto elapsed = std::chrono::steady_clock::now() - t0;
+  ASSERT_FALSE(waited.ok());
+  EXPECT_EQ(waited.status().code(), StatusCode::kUnavailable);
+  EXPECT_GE(elapsed, std::chrono::milliseconds(4));
+  EXPECT_EQ(pool.stats().admission_timeouts, 1u);
+  held.Release();
+}
+
+TEST(BufferPoolTest, AdmissionQueueGrantsFifoToWaiters) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  pool.set_thread_safe(true);
+  pool.SetAdmissionControl(1, 2, 2'000'000);
+  auto held = pool.AdmitOperation();
+  ASSERT_TRUE(held.ok());
+
+  std::atomic<int> granted{0};
+  auto waiter = [&] {
+    auto t = pool.AdmitOperation();
+    if (t.ok()) {
+      ++granted;
+      t->Release();
+    }
+  };
+  std::thread a(waiter);
+  std::thread b(waiter);
+  // Give both waiters time to queue, then free the slot; each waiter
+  // hands the slot to the next on release.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  held->Release();
+  a.join();
+  b.join();
+  EXPECT_EQ(granted.load(), 2);
+  EXPECT_EQ(pool.stats().admitted, 3u);
+}
+
+TEST(BufferPoolTest, AdmissionWaiterHonoursContextDeadline) {
+  MemoryBlockManager manager(kBlockSize, 8);
+  BufferPool pool(&manager, 2);
+  pool.set_thread_safe(true);
+  pool.SetAdmissionControl(1, 1, 10'000'000);  // 10 s queue timeout
+  ASSERT_OK_AND_ASSIGN(auto held, pool.AdmitOperation());
+  OperationContext ctx(std::chrono::milliseconds(5));
+  auto waited = pool.AdmitOperation(&ctx);  // deadline fires first
+  ASSERT_FALSE(waited.ok());
+  EXPECT_EQ(waited.status().code(), StatusCode::kDeadlineExceeded);
+  held.Release();
 }
 
 TEST(BufferPoolTest, DiscardFailsWhilePinned) {

@@ -8,8 +8,11 @@
 #define SHIFTSPLIT_TESTS_STORAGE_FAULT_INJECTION_BLOCK_MANAGER_H_
 
 #include <algorithm>
+#include <chrono>
 #include <map>
+#include <mutex>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "shiftsplit/storage/block_manager.h"
@@ -38,6 +41,41 @@ class FaultInjectionBlockManager : public BlockManager {
 
   void FailNthRead(uint64_t n) { fail_read_at_ = reads_seen_ + n; }
   void FailNthWrite(uint64_t n) { fail_write_at_ = writes_seen_ + n; }
+
+  // ---- Chaos knobs (integration/chaos_soak_test.cc) ---------------------
+  // Deterministic under a fixed arrival order; the soak test serializes
+  // device access through one buffer pool, so they are also race-free.
+
+  /// \brief Every nth read (by arrival order) fails with a transient
+  /// IOError; the immediate retry passes — exercising the retry budget.
+  /// 0 disables.
+  void FailEveryNthRead(uint64_t n) {
+    std::lock_guard<std::mutex> lock(chaos_mu_);
+    transient_every_ = n;
+  }
+
+  /// \brief All reads of block `id` fail with `status` until cleared —
+  /// e.g. ChecksumMismatch to model a quarantined block.
+  void InjectReadStatus(uint64_t id, Status status) {
+    std::lock_guard<std::mutex> lock(chaos_mu_);
+    injected_status_[id] = std::move(status);
+  }
+  void ClearReadStatus(uint64_t id) {
+    std::lock_guard<std::mutex> lock(chaos_mu_);
+    injected_status_.erase(id);
+  }
+  void ClearAllReadStatus() {
+    std::lock_guard<std::mutex> lock(chaos_mu_);
+    injected_status_.clear();
+  }
+
+  /// \brief Every nth read stalls `micros` before completing — a latency
+  /// spike a deadline must cut short. 0 disables.
+  void SetReadLatency(uint64_t every_nth, uint64_t micros) {
+    std::lock_guard<std::mutex> lock(chaos_mu_);
+    latency_every_ = every_nth;
+    latency_us_ = micros;
+  }
 
   /// Read/write operations beyond `budget` fail until Refill.
   void FailAfter(uint64_t budget) { budget_ = budget; }
@@ -86,6 +124,19 @@ class FaultInjectionBlockManager : public BlockManager {
     ++reads_seen_;
     if (reads_seen_ == fail_read_at_) {
       return Status::IOError("injected read failure");
+    }
+    {
+      std::lock_guard<std::mutex> lock(chaos_mu_);
+      if (const auto it = injected_status_.find(id);
+          it != injected_status_.end()) {
+        return it->second;
+      }
+      if (transient_every_ != 0 && reads_seen_ % transient_every_ == 0) {
+        return Status::IOError("injected transient read failure");
+      }
+      if (latency_every_ != 0 && reads_seen_ % latency_every_ == 0) {
+        std::this_thread::sleep_for(std::chrono::microseconds(latency_us_));
+      }
     }
     if (crashed_) return Status::IOError("simulated power cut: device off");
     SS_RETURN_IF_ERROR(ConsumeBudget());
@@ -159,6 +210,12 @@ class FaultInjectionBlockManager : public BlockManager {
   bool crashed_ = false;
   bool drop_unsynced_ = false;
   std::map<uint64_t, std::vector<double>> unsynced_;  // staged "page cache"
+
+  std::mutex chaos_mu_;  // knob setters may race the device thread
+  uint64_t transient_every_ = 0;  // 0 = off
+  uint64_t latency_every_ = 0;    // 0 = off
+  uint64_t latency_us_ = 0;
+  std::map<uint64_t, Status> injected_status_;
 };
 
 }  // namespace testing

@@ -1,0 +1,124 @@
+#include "shiftsplit/util/operation_context.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using namespace std::chrono_literals;
+
+TEST(RetryPolicyTest, BackoffGrowsExponentiallyAndCaps) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 100;
+  policy.max_backoff_us = 500;
+  policy.jitter = 0.0;  // deterministic: no shrink
+  uint64_t state = 1;
+  EXPECT_EQ(BackoffDelayUs(policy, 0, &state), 100u);
+  EXPECT_EQ(BackoffDelayUs(policy, 1, &state), 200u);
+  EXPECT_EQ(BackoffDelayUs(policy, 2, &state), 400u);
+  EXPECT_EQ(BackoffDelayUs(policy, 3, &state), 500u);  // capped
+  EXPECT_EQ(BackoffDelayUs(policy, 60, &state), 500u);  // no shift overflow
+}
+
+TEST(RetryPolicyTest, JitterShrinksWithinBoundsDeterministically) {
+  RetryPolicy policy;
+  policy.initial_backoff_us = 1000;
+  policy.max_backoff_us = 1000;
+  policy.jitter = 0.5;
+  uint64_t state = 42;
+  uint64_t replay_state = 42;
+  for (uint32_t attempt = 0; attempt < 8; ++attempt) {
+    const uint64_t d = BackoffDelayUs(policy, attempt, &state);
+    EXPECT_GE(d, 500u);
+    EXPECT_LE(d, 1000u);
+    // Same seed, same stream.
+    EXPECT_EQ(BackoffDelayUs(policy, attempt, &replay_state), d);
+  }
+}
+
+TEST(OperationContextTest, TransientErrorClassification) {
+  EXPECT_TRUE(IsTransientError(Status::IOError("")));
+  EXPECT_TRUE(IsTransientError(Status::Unavailable("")));
+  EXPECT_FALSE(IsTransientError(Status::OK()));
+  EXPECT_FALSE(IsTransientError(Status::ChecksumMismatch("")));
+  EXPECT_FALSE(IsTransientError(Status::ResourceExhausted("")));
+  EXPECT_FALSE(IsTransientError(Status::DeadlineExceeded("")));
+  EXPECT_FALSE(IsTransientError(Status::Cancelled("")));
+  EXPECT_FALSE(IsTransientError(Status::InvalidArgument("")));
+}
+
+TEST(OperationContextTest, NullDeadlineAlwaysPasses) {
+  OperationContext ctx;
+  EXPECT_FALSE(ctx.has_deadline());
+  EXPECT_FALSE(ctx.deadline_exceeded());
+  EXPECT_OK(ctx.Check());
+}
+
+TEST(OperationContextTest, ExpiredDeadlineFailsCheck) {
+  OperationContext ctx(0ns);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_TRUE(ctx.deadline_exceeded());
+  const Status st = ctx.Check();
+  EXPECT_EQ(st.code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(OperationContextTest, FutureDeadlinePassesCheck) {
+  OperationContext ctx(1h);
+  EXPECT_TRUE(ctx.has_deadline());
+  EXPECT_OK(ctx.Check());
+}
+
+TEST(OperationContextTest, CancellationWinsOverDeadline) {
+  OperationContext ctx(0ns);
+  ctx.RequestCancel();
+  EXPECT_TRUE(ctx.cancelled());
+  const Status st = ctx.Check();
+  EXPECT_EQ(st.code(), StatusCode::kCancelled);
+}
+
+TEST(OperationContextTest, BackoffConsumesTheRetryBudget) {
+  OperationContext ctx;
+  RetryPolicy policy;
+  policy.max_retries = 2;
+  policy.initial_backoff_us = 1;
+  policy.max_backoff_us = 1;
+  policy.jitter = 0.0;
+  ctx.set_retry_policy(policy);
+  EXPECT_TRUE(ctx.BackoffBeforeRetry());
+  EXPECT_TRUE(ctx.BackoffBeforeRetry());
+  EXPECT_FALSE(ctx.BackoffBeforeRetry());  // budget of 2 exhausted
+  EXPECT_EQ(ctx.retries_used(), 2u);
+}
+
+TEST(OperationContextTest, BackoffRefusesPastDeadline) {
+  OperationContext ctx(0ns);
+  RetryPolicy policy;
+  policy.max_retries = 10;
+  ctx.set_retry_policy(policy);
+  EXPECT_FALSE(ctx.BackoffBeforeRetry());
+  EXPECT_EQ(ctx.retries_used(), 0u);
+}
+
+TEST(OperationContextTest, BackoffRefusesWhenCancelled) {
+  OperationContext ctx;
+  RetryPolicy policy;
+  policy.max_retries = 10;
+  ctx.set_retry_policy(policy);
+  ctx.RequestCancel();
+  EXPECT_FALSE(ctx.BackoffBeforeRetry());
+}
+
+TEST(OperationContextTest, CancelFromAnotherThreadIsObserved) {
+  OperationContext ctx;
+  std::thread canceller([&ctx] { ctx.RequestCancel(); });
+  canceller.join();
+  EXPECT_EQ(ctx.Check().code(), StatusCode::kCancelled);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -34,6 +34,31 @@ TEST(StatusTest, AllFactoriesProduceMatchingCodes) {
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
 }
 
+TEST(StatusTest, NewResilienceFactoriesProduceMatchingCodes) {
+  EXPECT_EQ(Status::Unavailable("").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DeadlineExceeded("").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("").code(), StatusCode::kCancelled);
+}
+
+TEST(StatusTest, EveryCodeRoundTripsThroughItsName) {
+  size_t checked = 0;
+  for (const StatusCode code : kAllStatusCodes) {
+    const char* name = StatusCodeToString(code);
+    ASSERT_NE(name, nullptr);
+    EXPECT_STRNE(name, "Unknown") << static_cast<int>(code);
+    const auto parsed = StatusCodeFromString(name);
+    ASSERT_TRUE(parsed.has_value()) << name;
+    EXPECT_EQ(*parsed, code) << name;
+    ++checked;
+  }
+  // The table itself must be exhaustive: every enumerator appears once.
+  EXPECT_EQ(checked, std::size(kAllStatusCodes));
+  EXPECT_EQ(StatusCodeFromString("NoSuchCode"), std::nullopt);
+  EXPECT_EQ(StatusCodeFromString(""), std::nullopt);
+  EXPECT_EQ(StatusCodeFromString("ok"), std::nullopt);  // case-sensitive
+}
+
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_EQ(Status::OK(), Status());
   EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));

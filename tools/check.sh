@@ -42,6 +42,18 @@ scrub_smoke() {
   rm -rf "$(dirname "$store")"
 }
 
+# Replayable chaos soak: `-L chaos` selects the fault-injection soak alone,
+# with the seed pinned so a failure reproduces bit-for-bit. Runs under the
+# plain build (fast, exercises the timing assertions at real speed) and
+# under tsan (the concurrent phase is where races would hide).
+chaos_seed=20260806
+chaos_soak() {
+  local build_dir="$1"
+  echo "==> chaos soak [$build_dir] (seed $chaos_seed)"
+  SHIFTSPLIT_CHAOS_SEED="$chaos_seed" \
+    ctest --test-dir "$build_dir" -L chaos -j "$jobs" --output-on-failure
+}
+
 for preset in default asan tsan; do
   echo "==> configure [$preset]"
   cmake --preset "$preset"
@@ -53,5 +65,8 @@ done
 
 scrub_smoke build
 scrub_smoke build-asan
+
+chaos_soak build
+chaos_soak build-tsan
 
 echo "All presets built and tested."

@@ -13,9 +13,11 @@
 // `blocks.bin` (the tile device). Datasets: temperature, uniform, smooth,
 // sparse (synthetic; see src/shiftsplit/data/).
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstring>
+#include <exception>
 #include <filesystem>
 #include <map>
 #include <string>
@@ -39,8 +41,8 @@ constexpr char kUsage[] =
     "          [--zorder] [--sparse] [--seed 1] [--threads T] [--prefetch]\n"
     "          [--per-coeff]\n"
     "  info\n"
-    "  point   --at 1,2,3 [--slots]\n"
-    "  sum     --lo 0,0,0 --hi 3,3,3\n"
+    "  point   --at 1,2,3 [--slots] [--deadline-ms MS] [--approx-ok]\n"
+    "  sum     --lo 0,0,0 --hi 3,3,3 [--deadline-ms MS] [--approx-ok]\n"
     "  extract --lo 0,0,0 --hi 3,3,3\n"
     "  scrub   (verify every block checksum; exits 1 on corruption)\n";
 
@@ -69,7 +71,7 @@ Result<Args> ParseArgs(int argc, char** argv) {
     if (a.rfind("--", 0) == 0) {
       const std::string key = a.substr(2);
       if (key == "zorder" || key == "sparse" || key == "slots" ||
-          key == "prefetch" || key == "per-coeff") {
+          key == "prefetch" || key == "per-coeff" || key == "approx-ok") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];
@@ -226,14 +228,51 @@ Status CmdInfo(const Args& args) {
   return Status::OK();
 }
 
+// --deadline-ms arms `ctx` and returns it; otherwise returns null (no
+// deadline, no retries — the pre-resilience behaviour).
+Result<OperationContext*> QueryContext(const Args& args,
+                                       OperationContext* ctx) {
+  auto it = args.flags.find("deadline-ms");
+  if (it == args.flags.end()) return static_cast<OperationContext*>(nullptr);
+  uint64_t ms = 0;
+  try {
+    ms = std::stoull(it->second);
+  } catch (const std::exception&) {
+    return Status::InvalidArgument("bad --deadline-ms: " + it->second);
+  }
+  ctx->set_timeout(std::chrono::milliseconds(ms));
+  return ctx;
+}
+
+void PrintDegraded(const DegradedResult& r) {
+  std::printf("%.10g\n", r.value);
+  if (!r.exact()) {
+    std::printf("# degraded: %s, %llu block(s) skipped, |error| <= %.10g\n",
+                DegradedReasonToString(r.reason),
+                static_cast<unsigned long long>(r.blocks_missing),
+                r.error_bound);
+  }
+}
+
 Status CmdPoint(const Args& args) {
   SS_ASSIGN_OR_RETURN(auto cube, WaveletCube::OpenOnDisk(args.dir, 64));
   auto it = args.flags.find("at");
   if (it == args.flags.end()) return Status::InvalidArgument("need --at");
   SS_ASSIGN_OR_RETURN(const auto point, ParseList(it->second));
-  SS_ASSIGN_OR_RETURN(const double value,
-                      cube->PointQuery(point, args.flags.contains("slots")));
-  std::printf("%.10g\n", value);
+  OperationContext deadline_ctx;
+  SS_ASSIGN_OR_RETURN(OperationContext* ctx,
+                      QueryContext(args, &deadline_ctx));
+  const bool slots = args.flags.contains("slots");
+  if (args.flags.contains("approx-ok")) {
+    SS_RETURN_IF_ERROR(cube->EnableEnergyTracking());
+    SS_ASSIGN_OR_RETURN(const DegradedResult r,
+                        cube->PointQueryResilient(point, slots, ctx));
+    PrintDegraded(r);
+  } else {
+    SS_ASSIGN_OR_RETURN(const double value,
+                        cube->PointQuery(point, slots, ctx));
+    std::printf("%.10g\n", value);
+  }
   std::printf("# block reads: %llu\n",
               static_cast<unsigned long long>(cube->stats().block_reads));
   return Status::OK();
@@ -248,8 +287,18 @@ Status CmdSum(const Args& args) {
   }
   SS_ASSIGN_OR_RETURN(const auto lo, ParseList(lo_it->second));
   SS_ASSIGN_OR_RETURN(const auto hi, ParseList(hi_it->second));
-  SS_ASSIGN_OR_RETURN(const double value, cube->RangeSum(lo, hi));
-  std::printf("%.10g\n", value);
+  OperationContext deadline_ctx;
+  SS_ASSIGN_OR_RETURN(OperationContext* ctx,
+                      QueryContext(args, &deadline_ctx));
+  if (args.flags.contains("approx-ok")) {
+    SS_RETURN_IF_ERROR(cube->EnableEnergyTracking());
+    SS_ASSIGN_OR_RETURN(const DegradedResult r,
+                        cube->RangeSumResilient(lo, hi, ctx));
+    PrintDegraded(r);
+  } else {
+    SS_ASSIGN_OR_RETURN(const double value, cube->RangeSum(lo, hi, ctx));
+    std::printf("%.10g\n", value);
+  }
   return Status::OK();
 }
 
