@@ -1,0 +1,177 @@
+// Serving-layer throughput: sustained updates/sec through the buffered
+// ServingCube (durable group-commit acks, background maintenance draining
+// batches through the tile-batched SHIFT-SPLIT path) versus the synchronous
+// per-call Updater path (one apply + one atomic flush per delta — the only
+// way a plain WaveletCube can make each update durable before acking).
+// Readers run concurrently against the serving configuration, so the p50/p99
+// rows show query latency while maintenance is actively draining.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "shiftsplit/core/wavelet_cube.h"
+#include "shiftsplit/service/serving_cube.h"
+#include "shiftsplit/util/random.h"
+
+using namespace shiftsplit;
+using namespace shiftsplit::bench;
+
+namespace {
+
+constexpr uint32_t kLogDim = 5;  // 32 x 32 domain
+constexpr uint64_t kDim = uint64_t{1} << kLogDim;
+constexpr int kSyncDeltas = 200;      // per-call fsync makes these expensive
+constexpr int kServingDeltas = 2000;  // spread over the writer threads
+constexpr int kWriterThreads = 8;     // deep enough for real commit groups
+
+std::string FreshStore(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("shiftsplit_bench_serving_") + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  WaveletCube::Options options;
+  auto cube = DieOnError(
+      WaveletCube::CreateOnDisk(dir.string(), {kLogDim, kLogDim}, options),
+      "create store");
+  DieOnError(cube->Close(), "close fresh store");
+  return dir.string();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+  BenchJson report("bench_serving");
+
+  // Baseline: the per-call Updater path. Every delta is applied through the
+  // store and committed atomically before the next one — durable, but each
+  // call pays the full journal + fsync round trip.
+  const std::string sync_dir = FreshStore("sync");
+  double sync_per_sec = 0.0;
+  {
+    auto cube =
+        DieOnError(WaveletCube::OpenOnDisk(sync_dir, 256), "open sync store");
+    Xoshiro256 rng(7);
+    Tensor one(TensorShape({1, 1}));
+    const auto start = std::chrono::steady_clock::now();
+    for (int i = 0; i < kSyncDeltas; ++i) {
+      one[0] = rng.NextUniform(-1.0, 1.0);
+      const std::vector<uint64_t> at{rng.NextBounded(kDim),
+                                     rng.NextBounded(kDim)};
+      DieOnError(cube->Update(one, at), "sync update");
+      DieOnError(cube->Flush(), "sync flush");
+    }
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    DieOnError(cube->Close(), "close sync store");
+    sync_per_sec = 1000.0 * kSyncDeltas / wall_ms;
+    report.Row("synchronous_updater")
+        .Field("deltas", uint64_t{kSyncDeltas})
+        .Field("wall_ms", wall_ms, 1)
+        .Field("updates_per_sec", sync_per_sec, 1);
+    std::printf("synchronous per-call updater: %d deltas, %.1f ms, "
+                "%.0f updates/sec\n",
+                kSyncDeltas, wall_ms, sync_per_sec);
+  }
+
+  // Serving path: concurrent writers ack through the group-committed delta
+  // log while maintenance workers drain coalesced batches; readers sample
+  // merged-query latency the whole time.
+  const std::string serve_dir = FreshStore("serve");
+  double serve_per_sec = 0.0;
+  std::vector<double> read_us;
+  {
+    ServingCube::Options options;
+    options.oversubscribe = true;  // real concurrency on 1-CPU hosts too
+    options.num_workers = 2;
+    options.drain_min_deltas = 64;
+    options.max_delta_age = std::chrono::milliseconds(5);
+    auto serving = DieOnError(ServingCube::OpenOnDisk(serve_dir, 256, options),
+                              "open serving store");
+
+    std::mutex lat_mu;
+    std::atomic<bool> writers_done{false};
+    const auto writer = [&](int id) {
+      Xoshiro256 rng(100 + static_cast<uint64_t>(id));
+      for (int i = 0; i < kServingDeltas / kWriterThreads; ++i) {
+        const std::vector<uint64_t> at{rng.NextBounded(kDim),
+                                       rng.NextBounded(kDim)};
+        DieOnError(serving->Add(at, rng.NextUniform(-1.0, 1.0)),
+                   "serving add");
+      }
+    };
+    const auto reader = [&] {
+      Xoshiro256 rng(999);
+      std::vector<double> local;
+      while (!writers_done.load()) {
+        const std::vector<uint64_t> at{rng.NextBounded(kDim),
+                                       rng.NextBounded(kDim)};
+        const auto start = std::chrono::steady_clock::now();
+        DieOnError(serving->PointQuery(at).status(), "serving point query");
+        local.push_back(std::chrono::duration<double, std::micro>(
+                            std::chrono::steady_clock::now() - start)
+                            .count());
+        // Sample, don't saturate: a free-spinning reader would monopolize a
+        // single-CPU host and measure contention instead of latency.
+        std::this_thread::sleep_for(std::chrono::microseconds(250));
+      }
+      std::lock_guard<std::mutex> lock(lat_mu);
+      read_us.insert(read_us.end(), local.begin(), local.end());
+    };
+
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriterThreads; ++w) threads.emplace_back(writer, w);
+    std::thread sampler(reader);
+    for (auto& t : threads) t.join();
+    const double wall_ms = std::chrono::duration<double, std::milli>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    writers_done.store(true);
+    sampler.join();
+    DieOnError(serving->DrainAll(), "final drain");
+    const ServingStats stats = serving->stats();
+    DieOnError(serving->Close(), "close serving store");
+
+    serve_per_sec = 1000.0 * kServingDeltas / wall_ms;
+    report.Row("serving_buffered")
+        .Field("deltas", uint64_t{kServingDeltas})
+        .Field("writer_threads", uint64_t{kWriterThreads})
+        .Field("wall_ms", wall_ms, 1)
+        .Field("updates_per_sec", serve_per_sec, 1)
+        .Field("speedup_vs_synchronous", serve_per_sec / sync_per_sec, 2)
+        .Field("apply_batches", stats.apply_batches)
+        .Field("coalesced_deltas", stats.coalesced_deltas)
+        .Field("log_appends", stats.log_appends)
+        .Field("log_syncs", stats.log_syncs)
+        .Field("read_p50_us", Percentile(read_us, 50), 2)
+        .Field("read_p99_us", Percentile(read_us, 99), 2);
+    std::printf(
+        "buffered serving path:        %d deltas, %.1f ms, %.0f updates/sec "
+        "(%.1fx)\n",
+        kServingDeltas, wall_ms, serve_per_sec, serve_per_sec / sync_per_sec);
+    std::printf(
+        "reads during maintenance:     %zu samples, p50 %.1f us, p99 %.1f us\n",
+        read_us.size(), Percentile(read_us, 50), Percentile(read_us, 99));
+    std::printf(
+        "maintenance:                  %llu batch(es), %llu coalesced, "
+        "%llu log appends in %llu fsync group(s)\n",
+        static_cast<unsigned long long>(stats.apply_batches),
+        static_cast<unsigned long long>(stats.coalesced_deltas),
+        static_cast<unsigned long long>(stats.log_appends),
+        static_cast<unsigned long long>(stats.log_syncs));
+  }
+
+  std::filesystem::remove_all(sync_dir);
+  std::filesystem::remove_all(serve_dir);
+  report.Write(json_path);
+  return 0;
+}

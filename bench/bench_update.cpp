@@ -19,7 +19,9 @@
 using namespace shiftsplit;
 using namespace shiftsplit::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+  BenchJson report("bench_update");
   const uint32_t n = 20, b = 3;  // one-dimensional, N = 2^20
   const std::vector<uint32_t> log_dims{n};
   auto bundle = MakeStandardStore(log_dims, b, 1u << 10);
@@ -52,6 +54,10 @@ int main() {
 
     PrintRow({U(uint64_t{1} << m), U(naive), U(batched),
               F(static_cast<double>(naive) / batched, 1)});
+    report.Row("dyadic_batch_M" + U(uint64_t{1} << m))
+        .Field("naive_coeff_writes", naive)
+        .Field("shift_split_coeff_writes", batched)
+        .Field("speedup", static_cast<double>(naive) / batched, 2);
   }
   std::printf(
       "\nClaim check: the naive cost is M (log N + 1); SHIFT-SPLIT batches\n"
@@ -98,6 +104,10 @@ int main() {
 
     PrintRow({U(size), U(cover.size()), U(flush_each), U(flush_once),
               U(flush_each - flush_once)});
+    report.Row("range_update_size" + U(size))
+        .Field("sub_boxes", cover.size())
+        .Field("write_backs_flush_each", flush_each)
+        .Field("write_backs_flush_once", flush_once);
   }
 
   // Durability tax: the journaled atomic commit writes every dirty block
@@ -157,6 +167,10 @@ int main() {
     }
     PrintRow({U(size), F(elapsed[0], 2), F(elapsed[1], 2),
               F(elapsed[1] / elapsed[0], 2) + "x"});
+    report.Row("journaled_commit_size" + U(size))
+        .Field("raw_wall_ms", elapsed[0], 2)
+        .Field("journaled_wall_ms", elapsed[1], 2)
+        .Field("overhead", elapsed[1] / elapsed[0], 2);
   }
   fs::remove_all(bench_dir);
   std::printf(
@@ -217,5 +231,12 @@ int main() {
   std::printf(
       "\nThe armed deadline adds one steady-clock check per block fetch;\n"
       "its rows should sit within noise of the no-deadline baseline.\n");
+  report.Row("latency_no_deadline")
+      .Field("p50_us", Percentile(plain, 50), 2)
+      .Field("p99_us", Percentile(plain, 99), 2);
+  report.Row("latency_deadline_10s")
+      .Field("p50_us", Percentile(gated, 50), 2)
+      .Field("p99_us", Percentile(gated, 99), 2);
+  report.Write(json_path);
   return 0;
 }

@@ -98,6 +98,73 @@ inline std::string F(double v, int precision = 2) {
   return buf;
 }
 
+/// Machine-readable benchmark output for `--json <path>`: one object per
+/// file, `{"name": ..., "results": [{"config": ..., <fields>}, ...]}`, so CI
+/// can diff wall times and I/O counters across runs. Row() starts a result
+/// object; Field() appends counters to the current one; Write() is a no-op
+/// without a path, so benches stay zero-configuration by default.
+class BenchJson {
+ public:
+  explicit BenchJson(std::string name) : name_(std::move(name)) {}
+
+  BenchJson& Row(const std::string& config) {
+    rows_.push_back("\"config\": \"" + config + "\"");
+    return *this;
+  }
+  BenchJson& Field(const std::string& key, uint64_t value) {
+    return Raw(key, std::to_string(value));
+  }
+  BenchJson& Field(const std::string& key, double value, int precision = 3) {
+    return Raw(key, F(value, precision));
+  }
+  BenchJson& Field(const std::string& key, const std::string& value) {
+    return Raw(key, "\"" + value + "\"");
+  }
+
+  void Write(const std::string& path) const {
+    if (path.empty()) return;
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", path.c_str());
+      std::exit(1);
+    }
+    std::fprintf(f, "{\"name\": \"%s\", \"results\": [\n", name_.c_str());
+    for (size_t i = 0; i < rows_.size(); ++i) {
+      std::fprintf(f, "  {%s}%s\n", rows_[i].c_str(),
+                   i + 1 < rows_.size() ? "," : "");
+    }
+    std::fprintf(f, "]}\n");
+    std::fclose(f);
+    std::printf("wrote %s\n", path.c_str());
+  }
+
+ private:
+  BenchJson& Raw(const std::string& key, std::string rendered) {
+    rows_.back() += ", \"" + key + "\": " + std::move(rendered);
+    return *this;
+  }
+
+  std::string name_;
+  std::vector<std::string> rows_;
+};
+
+/// Parses the one flag the JSON-emitting benches share; exits on misuse so
+/// a typo can't silently discard the requested report.
+inline std::string JsonPathFromArgs(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json" && i + 1 < argc) return argv[i + 1];
+  }
+  if (argc > 1 && std::string(argv[1]) != "--json") {
+    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    std::exit(2);
+  }
+  if (argc == 2) {
+    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
+    std::exit(2);
+  }
+  return "";
+}
+
 }  // namespace shiftsplit::bench
 
 #endif  // SHIFTSPLIT_BENCH_BENCH_UTIL_H_

@@ -66,9 +66,13 @@ std::vector<DimRead> PointSlotReads(const TreeTiling& tiling, uint64_t t,
 // Cross-product evaluation of per-dimension read lists. In slot-based mode
 // the per-dimension parts are combined by `tiling` when present (the
 // standard cross-product layout) or used directly (the 1-d tree layout).
+// A non-null overlay folds pending contributions into every fetched
+// coefficient; the address-mode fetch then goes through Locate + GetAt
+// (exactly what Get does internally) so the physical slot is known.
 Result<double> EvaluateCrossProduct(
     TiledStore* store, const StandardTiling* tiling, bool slot_based,
-    const std::vector<std::vector<DimRead>>& reads, OperationContext* ctx) {
+    const std::vector<std::vector<DimRead>>& reads, OperationContext* ctx,
+    const CoefficientOverlay* overlay) {
   const uint32_t d = static_cast<uint32_t>(reads.size());
   std::vector<size_t> pick(d, 0);
   std::vector<uint64_t> address(d);
@@ -91,6 +95,12 @@ Result<double> EvaluateCrossProduct(
         const BlockSlot at =
             tiling != nullptr ? tiling->Combine(parts) : parts[0];
         SS_ASSIGN_OR_RETURN(coeff, store->GetAt(at, ctx));
+        if (overlay != nullptr) coeff = overlay->Adjust(at, coeff);
+      } else if (overlay != nullptr) {
+        SS_ASSIGN_OR_RETURN(const BlockSlot at,
+                            store->layout().Locate(address));
+        SS_ASSIGN_OR_RETURN(coeff, store->GetAt(at, ctx));
+        coeff = overlay->Adjust(at, coeff);
       } else {
         SS_ASSIGN_OR_RETURN(coeff, store->Get(address, ctx));
       }
@@ -147,7 +157,8 @@ DegradedReason ReasonFor(StatusCode code) {
 // touching the store (so a dead block costs one failed fetch, not many).
 Result<DegradedResult> EvaluateCrossProductResilient(
     TiledStore* store, const StandardTiling* tiling, bool slot_based,
-    const std::vector<std::vector<DimRead>>& reads, OperationContext* ctx) {
+    const std::vector<std::vector<DimRead>>& reads, OperationContext* ctx,
+    const CoefficientOverlay* overlay) {
   const uint32_t d = static_cast<uint32_t>(reads.size());
   std::vector<size_t> pick(d, 0);
   std::vector<uint64_t> address(d);
@@ -178,7 +189,9 @@ Result<DegradedResult> EvaluateCrossProductResilient(
       } else {
         const Result<double> coeff = store->GetAt(at, ctx);
         if (coeff.ok()) {
-          out.value += weight * *coeff;
+          const double merged =
+              overlay != nullptr ? overlay->Adjust(at, *coeff) : *coeff;
+          out.value += weight * merged;
         } else if (IsDegradableError(coeff.status())) {
           missing.insert(at.block);
           if (out.reason == DegradedReason::kNone) {
@@ -308,7 +321,8 @@ Result<double> PointQueryStandard(TiledStore* store,
   std::vector<std::vector<DimRead>> reads;
   SS_RETURN_IF_ERROR(BuildPointReads(store, log_dims, point, options,
                                      &tiling, &slots, &reads));
-  return EvaluateCrossProduct(store, tiling, slots, reads, options.context);
+  return EvaluateCrossProduct(store, tiling, slots, reads, options.context,
+                              options.overlay);
 }
 
 Result<DegradedResult> PointQueryStandardResilient(
@@ -320,7 +334,7 @@ Result<DegradedResult> PointQueryStandardResilient(
   SS_RETURN_IF_ERROR(BuildPointReads(store, log_dims, point, options,
                                      &tiling, &slots, &reads));
   return EvaluateCrossProductResilient(store, tiling, slots, reads,
-                                       options.context);
+                                       options.context, options.overlay);
 }
 
 Result<double> PointQueryNonstandard(TiledStore* store, uint32_t n,
@@ -489,7 +503,8 @@ Result<double> RangeSumStandard(TiledStore* store,
                                 const QueryOptions& options) {
   std::vector<std::vector<DimRead>> reads;
   SS_RETURN_IF_ERROR(BuildRangeReads(log_dims, lo, hi, options, &reads));
-  return EvaluateCrossProduct(store, nullptr, false, reads, options.context);
+  return EvaluateCrossProduct(store, nullptr, false, reads,
+                              options.context, options.overlay);
 }
 
 Result<DegradedResult> RangeSumStandardResilient(
@@ -499,7 +514,7 @@ Result<DegradedResult> RangeSumStandardResilient(
   std::vector<std::vector<DimRead>> reads;
   SS_RETURN_IF_ERROR(BuildRangeReads(log_dims, lo, hi, options, &reads));
   return EvaluateCrossProductResilient(store, nullptr, false, reads,
-                                       options.context);
+                                       options.context, options.overlay);
 }
 
 Result<std::vector<ProgressiveEstimate>> ProgressiveRangeSumStandard(

@@ -19,6 +19,25 @@
 
 namespace shiftsplit {
 
+/// \brief Read-side merge hook: folds pending (buffered but not yet applied)
+/// contributions into a fetched coefficient. Implemented by the serving
+/// layer's DeltaBuffer; a query evaluated with a non-null overlay answers as
+/// if every pending delta were already applied to the store.
+///
+/// Adjust must reproduce the store's own accumulation arithmetic: starting
+/// from `stored`, add each pending contribution for the physical slot `at`
+/// with `+=` in arrival order — the same floating-point chain ApplyToBlock
+/// would execute — so merged answers are bit-identical to a fully-applied
+/// store. Implementations must be safe to call from the querying thread
+/// while writers keep buffering (the serving DeltaBuffer locks internally).
+class CoefficientOverlay {
+ public:
+  virtual ~CoefficientOverlay() = default;
+
+  /// \brief Returns `stored` with the slot's pending contributions folded in.
+  virtual double Adjust(BlockSlot at, double stored) const = 0;
+};
+
 /// \brief Options shared by the query entry points.
 struct QueryOptions {
   Normalization norm = Normalization::kAverage;
@@ -30,6 +49,10 @@ struct QueryOptions {
   /// be null). Checked between block fetches, so a query past its deadline
   /// unwinds within one block read. Null: unbounded, as before.
   OperationContext* context = nullptr;
+  /// Pending-delta merge hook (not owned; may be null). Applied to every
+  /// fetched coefficient of the standard-form point/range/batch evaluators
+  /// (exact and resilient alike); null keeps the store-only semantics.
+  const CoefficientOverlay* overlay = nullptr;
 };
 
 /// \brief Why a resilient query fell back to an approximate answer.

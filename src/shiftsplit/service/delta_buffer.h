@@ -1,0 +1,211 @@
+// In-memory buffer of pending cell deltas — the write side of the serving
+// layer. Writers deposit per-cell SHIFT-SPLIT write sets (planned against
+// the store's layout, never touching the store); maintenance drains a
+// sequence-number prefix of the buffer into the store; queries fold the
+// still-pending contributions into every fetched coefficient through the
+// CoefficientOverlay hook.
+//
+// Exactness invariant: every contribution is kept at its own sequence
+// number, per physical (block, slot). The overlay folds a slot's pending
+// contributions with `+=` in sequence order starting from the stored value —
+// the same floating-point chain ApplyToBlock executes when the drain later
+// commits those contributions in the same order — so a merged answer is
+// bit-identical to a store that had applied every buffered delta
+// synchronously, and the applied_seq watermark stays an exact boundary for
+// crash-recovery replay (nothing past it is ever partially applied).
+//
+// Coalescing is by coordinate at the cell-index level: repeated deltas to
+// one cell share a single pending-cell entry (one unit of backpressure, one
+// unit of drain-trigger pressure) and their contributions land adjacently in
+// the per-slot maps, so a drain still pins each affected block exactly once
+// per batch. Values are deliberately NOT pre-summed across sequence numbers
+// — that would apply later deltas ahead of the watermark and break both the
+// exactness invariant and replay.
+
+#ifndef SHIFTSPLIT_SERVICE_DELTA_BUFFER_H_
+#define SHIFTSPLIT_SERVICE_DELTA_BUFFER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <span>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "shiftsplit/core/md_shift_split.h"
+#include "shiftsplit/core/query.h"
+#include "shiftsplit/service/serving_stats.h"
+#include "shiftsplit/storage/journal.h"
+#include "shiftsplit/tile/tile_layout.h"
+#include "shiftsplit/util/operation_context.h"
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+
+/// \brief Bounded, journaled buffer of pending per-cell delta write sets.
+/// Thread-safe; see the file comment for the exactness invariant.
+class DeltaBuffer {
+ public:
+  struct Config {
+    /// Backpressure bound: Add blocks (or fails with kUnavailable under an
+    /// armed deadline) while this many distinct cells are pending.
+    uint64_t max_pending_deltas = 4096;
+  };
+
+  /// \brief `log` (may be null) receives one record per accepted delta,
+  /// appended in sequence order under the buffer lock; not owned.
+  DeltaBuffer(Config config, DeltaLog* log)
+      : config_(config), log_(log) {}
+
+  /// \brief RAII registration of a read snapshot: queries evaluated under a
+  /// snapshot fold exactly the pending deltas with seq <= seq(), and the
+  /// maintenance drain horizon never passes an active snapshot — so a query
+  /// sees each delta exactly once even while a worker is mid-apply.
+  class Snapshot {
+   public:
+    explicit Snapshot(DeltaBuffer* buffer);
+    ~Snapshot();
+    Snapshot(const Snapshot&) = delete;
+    Snapshot& operator=(const Snapshot&) = delete;
+
+    uint64_t seq() const { return seq_; }
+
+   private:
+    DeltaBuffer* buffer_;
+    std::multiset<uint64_t>::iterator it_;
+    uint64_t seq_ = 0;
+  };
+
+  /// \brief CoefficientOverlay over the buffer at a snapshot: folds each
+  /// probed slot's pending contributions with seq <= the snapshot, in
+  /// sequence order. The referenced Snapshot must outlive the view.
+  class OverlayView : public CoefficientOverlay {
+   public:
+    OverlayView(const DeltaBuffer* buffer, const Snapshot& snapshot)
+        : buffer_(buffer), snap_(snapshot.seq()) {}
+
+    double Adjust(BlockSlot at, double stored) const override;
+
+   private:
+    const DeltaBuffer* buffer_;
+    uint64_t snap_;
+  };
+
+  /// \brief One block's drained write set, ops grouped per slot in sequence
+  /// order (the ApplyToBlock input).
+  struct DrainBlock {
+    uint64_t block = 0;
+    std::vector<SlotUpdate> ops;
+  };
+
+  /// \brief A begun drain: every pending contribution with seq <= upto,
+  /// grouped by destination block in ascending block order.
+  struct DrainBatch {
+    uint64_t upto = 0;
+    std::vector<DrainBlock> blocks;
+    std::vector<uint64_t> block_ids;  ///< ascending; the prefetch set
+  };
+
+  /// \brief Accepts one cell delta whose planned write set is `plan`
+  /// (PlanChunkStandard of the single cell, ApplyMode::kUpdate — accumulate
+  /// ops only). Blocks while the buffer is full: under an armed `ctx`
+  /// deadline the wait is bounded and times out as kUnavailable. On success
+  /// assigns the next sequence number (returned via `out_seq`), records the
+  /// write set, and appends the delta to the log — the caller makes it
+  /// durable with DeltaLog::Sync(*out_seq) before acknowledging.
+  Status Add(std::span<const uint64_t> coords, double value,
+             std::span<const ChunkBlockOps> plan, OperationContext* ctx,
+             uint64_t* out_seq);
+
+  /// \brief Re-inserts a delta recovered from the log at its original
+  /// sequence number (no backpressure, no re-journaling). Call in log order
+  /// before any Add.
+  void Restore(std::span<const uint64_t> coords, uint64_t seq,
+               std::span<const ChunkBlockOps> plan);
+
+  /// \brief Seeds the sequence watermarks from the persisted applied
+  /// watermark; call once on open, before any Restore or Add, so fresh
+  /// sequence numbers continue strictly after everything already logged or
+  /// applied.
+  void InitWatermarks(uint64_t applied_seq);
+
+  /// \brief Starts a drain: picks the horizon `b = min(last_seq, oldest
+  /// active snapshot)` and returns every pending contribution with
+  /// seq <= b, or nullopt when nothing is drainable (empty buffer, or all
+  /// pending deltas are pinned by active snapshots). At most one drain may
+  /// be in flight; the caller serializes BeginDrain..FinishDrain.
+  std::optional<DrainBatch> BeginDrain();
+
+  /// \brief Removes one block's contributions with seq <= upto. Must be
+  /// called after the drain applied that block to the store, while still
+  /// holding the exclusive store latch — queries then see either the
+  /// pre-apply store plus the pending contributions or the post-apply store
+  /// without them, identical bits either way.
+  void EraseBlockPrefix(uint64_t block, uint64_t upto);
+
+  /// \brief Completes the drain begun at `upto`: advances applied_seq,
+  /// retires fully-applied cell entries, and wakes blocked writers.
+  void FinishDrain(uint64_t upto);
+
+  /// \brief Truncates the delta log iff every accepted delta is applied and
+  /// no drain is in flight (checked atomically with the log operation, so a
+  /// concurrent Add cannot slip an unapplied record into the doomed file).
+  Status TruncateLogIfIdle();
+
+  uint64_t pending_deltas() const;
+  uint64_t last_seq() const;
+  uint64_t applied_seq() const;
+
+  /// \brief True when a pending delta has been waiting longer than `age`.
+  bool OldestPendingOlderThan(std::chrono::microseconds age) const;
+
+  /// \brief Fills the buffer-owned fields of `out` (write path, maintenance
+  /// counters, overlay counters, last/applied watermarks).
+  void StatsInto(ServingStats* out) const;
+
+ private:
+  struct CellEntry {
+    uint64_t last_seq = 0;  ///< newest sequence number of this cell
+  };
+
+  void InsertPlanLocked(std::span<const ChunkBlockOps> plan, uint64_t seq);
+
+  const Config config_;
+  DeltaLog* const log_;  // may be null (in-memory serving)
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  // block -> slot -> (seq -> contribution). Sequence-ordered per slot.
+  std::unordered_map<uint64_t,
+                     std::unordered_map<uint64_t, std::map<uint64_t, double>>>
+      slots_;
+  // Cell coordinate -> pending entry (the coalescing index).
+  std::map<std::vector<uint64_t>, CellEntry> cells_;
+  std::multiset<uint64_t> snapshots_;
+  std::deque<std::pair<uint64_t, std::chrono::steady_clock::time_point>>
+      arrivals_;
+  uint64_t last_seq_ = 0;
+  uint64_t applied_seq_ = 0;
+  uint64_t draining_upto_ = 0;  ///< nonzero while a drain is in flight
+  uint64_t slot_entries_ = 0;
+  // Counters (mutable: the read-side overlay updates them under mu_).
+  uint64_t acked_deltas_ = 0;
+  uint64_t coalesced_deltas_ = 0;
+  uint64_t rejected_unavailable_ = 0;
+  uint64_t stall_waits_ = 0;
+  uint64_t stall_us_ = 0;
+  uint64_t apply_batches_ = 0;
+  uint64_t applied_deltas_ = 0;
+  mutable uint64_t overlay_probes_ = 0;
+  mutable uint64_t overlay_hits_ = 0;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_SERVICE_DELTA_BUFFER_H_

@@ -1,0 +1,63 @@
+// Observability for the serving layer (ServingCube + DeltaBuffer): how many
+// deltas are buffered, how maintenance is keeping up, and what the read-side
+// merge costs. Modeled on DurabilityStats — a plain snapshot struct the cube
+// assembles on demand.
+
+#ifndef SHIFTSPLIT_SERVICE_SERVING_STATS_H_
+#define SHIFTSPLIT_SERVICE_SERVING_STATS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+
+namespace shiftsplit {
+
+/// \brief Counters of the serving layer, snapshotted by ServingCube::stats().
+struct ServingStats {
+  // Write path.
+  uint64_t acked_deltas = 0;      ///< Add/Update cells accepted (and acked)
+  uint64_t coalesced_deltas = 0;  ///< adds that hit an already-pending cell
+  uint64_t pending_deltas = 0;    ///< distinct cells currently buffered
+  uint64_t pending_slots = 0;     ///< buffered per-slot contributions
+  uint64_t rejected_unavailable = 0;  ///< backpressure kUnavailable rejections
+  uint64_t stall_waits = 0;       ///< writer waits caused by a full buffer
+  uint64_t stall_us = 0;          ///< total writer stall time, microseconds
+
+  // Maintenance.
+  uint64_t apply_batches = 0;     ///< background drain batches committed
+  uint64_t applied_deltas = 0;    ///< cells drained into the store
+  uint64_t replayed_deltas = 0;   ///< deltas recovered from the log on open
+
+  // Read-side merge.
+  uint64_t overlay_probes = 0;    ///< coefficients checked against the buffer
+  uint64_t overlay_hits = 0;      ///< probes that folded pending contributions
+
+  // Delta log.
+  uint64_t log_appends = 0;       ///< records staged to the delta log
+  uint64_t log_syncs = 0;         ///< group-commit fsync batches
+  uint64_t log_torn_records = 0;  ///< torn tails dropped during replay
+
+  // Watermarks.
+  uint64_t last_seq = 0;          ///< newest assigned delta sequence number
+  uint64_t durable_seq = 0;       ///< newest fsynced sequence number
+  uint64_t applied_seq = 0;       ///< newest store-applied sequence number
+
+  std::string ToString() const {
+    std::ostringstream out;
+    out << "acked=" << acked_deltas << " coalesced=" << coalesced_deltas
+        << " pending=" << pending_deltas << " pending_slots=" << pending_slots
+        << " rejected=" << rejected_unavailable << " stalls=" << stall_waits
+        << " stall_us=" << stall_us << " batches=" << apply_batches
+        << " applied=" << applied_deltas << " replayed=" << replayed_deltas
+        << " overlay_probes=" << overlay_probes
+        << " overlay_hits=" << overlay_hits << " log_appends=" << log_appends
+        << " log_syncs=" << log_syncs << " torn=" << log_torn_records
+        << " last_seq=" << last_seq << " durable_seq=" << durable_seq
+        << " applied_seq=" << applied_seq;
+    return out.str();
+  }
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_SERVICE_SERVING_STATS_H_

@@ -58,10 +58,10 @@ Status WriteAll(int fd, const char* data, size_t size) {
   return Status::OK();
 }
 
-}  // namespace
-
-Status Journal::SyncParentDir() {
-  std::filesystem::path parent = std::filesystem::path(path_).parent_path();
+// fsyncs the directory containing `path` so creation/removal of the file
+// itself is durable.
+Status SyncParentDirOf(const std::string& path) {
+  std::filesystem::path parent = std::filesystem::path(path).parent_path();
   if (parent.empty()) parent = ".";
   const int dfd = ::open(parent.c_str(), O_RDONLY | O_DIRECTORY | O_CLOEXEC);
   if (dfd < 0) {
@@ -74,6 +74,10 @@ Status Journal::SyncParentDir() {
   }
   return Status::OK();
 }
+
+}  // namespace
+
+Status Journal::SyncParentDir() { return SyncParentDirOf(path_); }
 
 Status Journal::AppendCommit(std::span<const JournalEntry> entries,
                              uint64_t block_size) {
@@ -252,6 +256,216 @@ Result<Journal::RecoveryResult> Journal::Recover(BlockManager* device) {
   result.replayed = true;
   result.blocks = header.num_entries;
   return result;
+}
+
+// ---------------------------------------------------------------------------
+// DeltaLog
+
+namespace {
+
+constexpr uint32_t kDeltaMagic = 0x52445353u;  // "SSDR"
+constexpr uint32_t kDeltaMaxDims = 64;         // sanity bound for replay
+
+// Fixed-size prefix of a record, before the coords array.
+constexpr size_t kDeltaPrefixBytes =
+    sizeof(uint32_t) + sizeof(uint32_t) + sizeof(uint64_t) + sizeof(double);
+// Fixed-size suffix after the coords array: crc + pad.
+constexpr size_t kDeltaSuffixBytes = sizeof(uint32_t) + sizeof(uint32_t);
+
+void AppendRaw(std::vector<uint8_t>* out, const void* data, size_t size) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  out->insert(out->end(), bytes, bytes + size);
+}
+
+void EncodeDelta(const DeltaRecord& record, std::vector<uint8_t>* out) {
+  const size_t start = out->size();
+  const uint32_t ndim = static_cast<uint32_t>(record.coords.size());
+  AppendRaw(out, &kDeltaMagic, sizeof(kDeltaMagic));
+  AppendRaw(out, &ndim, sizeof(ndim));
+  AppendRaw(out, &record.seq, sizeof(record.seq));
+  AppendRaw(out, &record.value, sizeof(record.value));
+  for (const uint64_t coord : record.coords) {
+    AppendRaw(out, &coord, sizeof(coord));
+  }
+  const uint32_t crc = Crc32c(reinterpret_cast<const char*>(out->data()) +
+                                  start,
+                              out->size() - start);
+  const uint32_t pad = 0;
+  AppendRaw(out, &crc, sizeof(crc));
+  AppendRaw(out, &pad, sizeof(pad));
+}
+
+}  // namespace
+
+void DeltaLog::Append(const DeltaRecord& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  EncodeDelta(record, &pending_);
+  if (record.seq > pending_max_seq_) pending_max_seq_ = record.seq;
+  ++appends_;
+}
+
+Status DeltaLog::FlushPendingLocked(std::unique_lock<std::mutex>& lock) {
+  flushing_ = true;
+  std::vector<uint8_t> batch = std::move(pending_);
+  pending_.clear();
+  const uint64_t batch_seq = pending_max_seq_;
+  const bool sync_parent = !created_synced_;
+  lock.unlock();
+
+  Status status = Status::OK();
+  const int fd = ::open(path_.c_str(),
+                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    status = Status::IOError(Errno("open delta log " + path_));
+  } else {
+    status = WriteAll(fd, reinterpret_cast<const char*>(batch.data()),
+                      batch.size());
+    if (status.ok() && ::fsync(fd) != 0) {
+      status = Status::IOError(Errno("fsync delta log " + path_));
+    }
+    ::close(fd);
+  }
+  if (status.ok() && sync_parent) status = SyncParentDirOf(path_);
+
+  lock.lock();
+  flushing_ = false;
+  if (status.ok()) {
+    if (batch_seq > durable_seq_) durable_seq_ = batch_seq;
+    created_synced_ = true;
+    ++syncs_;
+  } else {
+    // Keep the unwritten batch at the front so a retry preserves seq order.
+    // (O_APPEND writes are all-or-nothing on local filesystems in practice;
+    // a genuinely partial write would leave a torn record that Replay drops.)
+    batch.insert(batch.end(), pending_.begin(), pending_.end());
+    pending_ = std::move(batch);
+  }
+  cv_.notify_all();
+  return status;
+}
+
+Status DeltaLog::Sync(uint64_t seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (durable_seq_ >= seq) return Status::OK();
+    if (flushing_) {
+      // Another caller is the flush leader: wait for its batch (which
+      // includes every record staged before ours) and re-check.
+      cv_.wait(lock, [this] { return !flushing_; });
+      continue;
+    }
+    SS_RETURN_IF_ERROR(FlushPendingLocked(lock));
+  }
+}
+
+Result<std::vector<DeltaRecord>> DeltaLog::Replay() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<DeltaRecord> records;
+  const int fd = ::open(path_.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    if (errno == ENOENT) return records;  // no log: nothing buffered
+    return Status::IOError(Errno("open delta log " + path_));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IOError(Errno("fstat delta log " + path_));
+  }
+  std::vector<uint8_t> bytes(static_cast<size_t>(st.st_size));
+  size_t done = 0;
+  while (done < bytes.size()) {
+    const ssize_t r = ::read(fd, bytes.data() + done, bytes.size() - done);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::IOError(Errno("read delta log " + path_));
+    }
+    if (r == 0) break;
+    done += static_cast<size_t>(r);
+  }
+  ::close(fd);
+  bytes.resize(done);
+
+  // Parse sequentially; the first torn or invalid record ends the valid
+  // prefix (a crash mid-append tore the tail — that record was never
+  // acknowledged, so dropping it loses nothing).
+  size_t offset = 0;
+  while (bytes.size() - offset >= kDeltaPrefixBytes + kDeltaSuffixBytes) {
+    const uint8_t* base = bytes.data() + offset;
+    uint32_t magic = 0;
+    uint32_t ndim = 0;
+    std::memcpy(&magic, base, sizeof(magic));
+    std::memcpy(&ndim, base + sizeof(magic), sizeof(ndim));
+    if (magic != kDeltaMagic || ndim == 0 || ndim > kDeltaMaxDims) break;
+    const size_t record_bytes =
+        kDeltaPrefixBytes + ndim * sizeof(uint64_t) + kDeltaSuffixBytes;
+    if (bytes.size() - offset < record_bytes) break;
+    const size_t crc_covered = record_bytes - kDeltaSuffixBytes;
+    uint32_t crc = 0;
+    std::memcpy(&crc, base + crc_covered, sizeof(crc));
+    if (crc != Crc32c(reinterpret_cast<const char*>(base), crc_covered)) {
+      break;
+    }
+    DeltaRecord record;
+    std::memcpy(&record.seq, base + 2 * sizeof(uint32_t), sizeof(record.seq));
+    std::memcpy(&record.value,
+                base + 2 * sizeof(uint32_t) + sizeof(uint64_t),
+                sizeof(record.value));
+    record.coords.resize(ndim);
+    std::memcpy(record.coords.data(), base + kDeltaPrefixBytes,
+                ndim * sizeof(uint64_t));
+    records.push_back(std::move(record));
+    offset += record_bytes;
+  }
+
+  if (offset < bytes.size()) {
+    // Truncate the torn tail so later appends are not stranded behind it.
+    ++torn_records_;
+    const int wfd = ::open(path_.c_str(), O_WRONLY | O_CLOEXEC);
+    if (wfd < 0) {
+      return Status::IOError(Errno("open delta log " + path_));
+    }
+    Status status = Status::OK();
+    if (::ftruncate(wfd, static_cast<off_t>(offset)) != 0) {
+      status = Status::IOError(Errno("ftruncate delta log " + path_));
+    }
+    if (status.ok() && ::fsync(wfd) != 0) {
+      status = Status::IOError(Errno("fsync delta log " + path_));
+    }
+    ::close(wfd);
+    SS_RETURN_IF_ERROR(status);
+  }
+
+  if (!records.empty()) {
+    durable_seq_ = std::max(durable_seq_, records.back().seq);
+  }
+  created_synced_ = done > 0 || !records.empty();
+  return records;
+}
+
+Status DeltaLog::Truncate() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (::unlink(path_.c_str()) != 0) {
+    if (errno == ENOENT) return Status::OK();
+    return Status::IOError(Errno("unlink delta log " + path_));
+  }
+  created_synced_ = false;
+  return SyncParentDirOf(path_);
+}
+
+uint64_t DeltaLog::appends() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return appends_;
+}
+
+uint64_t DeltaLog::syncs() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return syncs_;
+}
+
+uint64_t DeltaLog::durable_seq() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return durable_seq_;
 }
 
 }  // namespace shiftsplit

@@ -17,8 +17,10 @@
 #ifndef SHIFTSPLIT_STORAGE_JOURNAL_H_
 #define SHIFTSPLIT_STORAGE_JOURNAL_H_
 
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -88,6 +90,76 @@ class Journal {
   uint64_t commits_ = 0;
   uint64_t replays_ = 0;
   uint64_t rollbacks_ = 0;
+};
+
+/// \brief One buffered cell delta as persisted by DeltaLog.
+struct DeltaRecord {
+  uint64_t seq = 0;                    ///< global arrival sequence number
+  double value = 0.0;                  ///< additive delta for the cell
+  std::vector<uint64_t> coords;        ///< cell coordinates (ndim entries)
+};
+
+/// \brief Append-only sidecar log of individual cell deltas — the durability
+/// companion of the serving layer's DeltaBuffer.
+///
+/// Unlike Journal (one redo record per atomic flush, truncated after every
+/// commit), DeltaLog accumulates many small records between maintenance
+/// drains: a delta is acknowledged to the writer once its record is fsynced,
+/// and the log is truncated only when every logged delta has been applied to
+/// the store. Recovery therefore replays `seq > applied_seq` records back
+/// into the buffer (ServingCube::OpenOnDisk), making buffered-but-unapplied
+/// deltas crash-safe.
+///
+/// Record layout (little-endian): u32 magic 'SSDR', u32 ndim, u64 seq,
+/// f64 value, ndim×u64 coords, u32 crc32c(all preceding record bytes),
+/// u32 zero pad. Replay stops at the first torn or checksum-invalid record
+/// and truncates the file there, so a torn tail (crash mid-append, never
+/// acknowledged) cannot strand later appends behind garbage.
+class DeltaLog {
+ public:
+  explicit DeltaLog(std::string path) : path_(std::move(path)) {}
+
+  /// \brief Stages one record in memory, in call order. Thread-compatible
+  /// with Sync; the caller serializes Append calls (the serving buffer lock)
+  /// so file order equals seq order.
+  void Append(const DeltaRecord& record);
+
+  /// \brief Durably persists every staged record with seq ≤ `seq` (group
+  /// commit: one writer flushes the whole pending batch on behalf of
+  /// concurrent callers, which wait). After OK, those records survive a
+  /// crash. On a write/fsync failure the batch is retained and the error
+  /// returned; callers that were waiting on the failed flush retry it
+  /// themselves (and surface their own error if the fault persists).
+  Status Sync(uint64_t seq);
+
+  /// \brief Reads the log, returning every valid record in file order. A
+  /// torn or invalid tail is dropped and the file truncated to the last
+  /// valid boundary; a missing file yields an empty vector.
+  Result<std::vector<DeltaRecord>> Replay();
+
+  /// \brief Removes the log (all records applied). Idempotent.
+  Status Truncate();
+
+  const std::string& path() const { return path_; }
+  uint64_t appends() const;
+  uint64_t syncs() const;
+  uint64_t durable_seq() const;
+  uint64_t torn_records() const { return torn_records_; }
+
+ private:
+  Status FlushPendingLocked(std::unique_lock<std::mutex>& lock);
+
+  std::string path_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<uint8_t> pending_;       ///< encoded, not yet written bytes
+  uint64_t pending_max_seq_ = 0;       ///< highest seq staged in pending_
+  uint64_t durable_seq_ = 0;           ///< highest seq known fsynced
+  bool flushing_ = false;              ///< a leader flush is in flight
+  bool created_synced_ = false;        ///< parent dir fsynced after creation
+  uint64_t appends_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t torn_records_ = 0;          ///< invalid tail records dropped
 };
 
 }  // namespace shiftsplit

@@ -1,0 +1,396 @@
+#include "shiftsplit/service/serving_cube.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <bit>
+#include <filesystem>
+#include <numeric>
+#include <vector>
+
+#include "shiftsplit/core/wavelet_cube.h"
+#include "shiftsplit/util/random.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+std::filesystem::path MakeTempDir(const char* tag) {
+  auto dir = std::filesystem::temp_directory_path() /
+             (std::string("shiftsplit_serving_") + tag + "_" +
+              std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+Result<std::unique_ptr<WaveletCube>> MakeCube() {
+  WaveletCube::Options options;  // standard form, b = 2
+  return WaveletCube::CreateInMemory({4, 4}, options);
+}
+
+// One randomized delta at a distinct cell per index (5 is coprime to 256,
+// so i*5 mod 256 enumerates every cell exactly once).
+struct Delta {
+  std::vector<uint64_t> coords;
+  double value = 0.0;
+};
+
+std::vector<Delta> MakeDeltas(uint64_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Delta> deltas;
+  deltas.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t flat = (i * 5) % 256;
+    deltas.push_back(
+        {{flat / 16, flat % 16}, rng.NextDouble() * 4.0 - 2.0});
+  }
+  return deltas;
+}
+
+// Applies one delta to the reference cube exactly the way ServingCube
+// decomposes it: a single-cell kUpdate chunk.
+Status ApplyReference(WaveletCube* cube, const Delta& delta) {
+  Tensor cell(TensorShape({1, 1}));
+  cell[0] = delta.value;
+  return cube->Update(cell, delta.coords);
+}
+
+// The acceptance-criterion test: freeze a genuine mid-apply state (a prefix
+// of the accepted deltas applied to the store, the rest still pending) and
+// check thousands of randomized point/range answers are bit-identical to a
+// reference cube that applied every delta synchronously.
+TEST(ServingCubeTest, MidApplyAnswersBitIdenticalToFullyApplied) {
+  ASSERT_OK_AND_ASSIGN(auto base, MakeCube());
+  ServingCube::Options options;
+  options.start_workers = false;
+  ASSERT_OK_AND_ASSIGN(auto serving,
+                       ServingCube::Attach(std::move(base), options));
+  ASSERT_OK_AND_ASSIGN(auto reference, MakeCube());
+
+  const std::vector<Delta> deltas = MakeDeltas(200, 20260806);
+  constexpr uint64_t kPrefix = 120;  // deltas applied to the store
+
+  for (uint64_t i = 0; i < kPrefix; ++i) {
+    ASSERT_OK(serving->Add(deltas[i].coords, deltas[i].value));
+  }
+  // Pin the drain horizon at the current sequence number, then keep
+  // writing: the drain below applies exactly the prefix and must leave the
+  // rest pending — the state a worker is in mid-apply.
+  {
+    DeltaBuffer::Snapshot pin(serving->buffer_for_test());
+    for (uint64_t i = kPrefix; i < deltas.size(); ++i) {
+      ASSERT_OK(serving->Add(deltas[i].coords, deltas[i].value));
+    }
+    const Status drained = serving->DrainAll();
+    ASSERT_EQ(drained.code(), StatusCode::kUnavailable)
+        << drained.ToString();
+  }
+  EXPECT_EQ(serving->stats().applied_seq, kPrefix);
+  EXPECT_GT(serving->pending_deltas(), 0u);
+
+  for (const Delta& delta : deltas) {
+    ASSERT_OK(ApplyReference(reference.get(), delta));
+  }
+
+  Xoshiro256 rng(7);
+  uint64_t checked = 0;
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<uint64_t> p{rng.NextBounded(16), rng.NextBounded(16)};
+    ASSERT_OK_AND_ASSIGN(const double got, serving->PointQuery(p));
+    ASSERT_OK_AND_ASSIGN(const double want, reference->PointQuery(p));
+    ASSERT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(want))
+        << "point (" << p[0] << "," << p[1] << "): " << got << " vs "
+        << want;
+    ++checked;
+  }
+  for (int i = 0; i < 5000; ++i) {
+    std::vector<uint64_t> lo{rng.NextBounded(16), rng.NextBounded(16)};
+    std::vector<uint64_t> hi{lo[0] + rng.NextBounded(16 - lo[0]),
+                             lo[1] + rng.NextBounded(16 - lo[1])};
+    ASSERT_OK_AND_ASSIGN(const double got, serving->RangeSum(lo, hi));
+    ASSERT_OK_AND_ASSIGN(const double want, reference->RangeSum(lo, hi));
+    ASSERT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(want))
+        << "range sum [" << lo[0] << "," << lo[1] << "]..[" << hi[0] << ","
+        << hi[1] << "]: " << got << " vs " << want;
+    ++checked;
+  }
+  EXPECT_EQ(checked, 10000u);
+
+  // Snapshot released: draining the rest must keep answers identical.
+  ASSERT_OK(serving->DrainAll());
+  EXPECT_EQ(serving->pending_deltas(), 0u);
+  for (int i = 0; i < 200; ++i) {
+    std::vector<uint64_t> p{rng.NextBounded(16), rng.NextBounded(16)};
+    ASSERT_OK_AND_ASSIGN(const double got, serving->PointQuery(p));
+    ASSERT_OK_AND_ASSIGN(const double want, reference->PointQuery(p));
+    ASSERT_EQ(std::bit_cast<uint64_t>(got), std::bit_cast<uint64_t>(want));
+  }
+}
+
+TEST(ServingCubeTest, CoalescesRepeatedCellsAndCountsStats) {
+  ASSERT_OK_AND_ASSIGN(auto base, MakeCube());
+  ServingCube::Options options;
+  options.start_workers = false;
+  ASSERT_OK_AND_ASSIGN(auto serving,
+                       ServingCube::Attach(std::move(base), options));
+
+  const std::vector<uint64_t> cell{3, 7};
+  const std::vector<uint64_t> other{9, 1};
+  ASSERT_OK(serving->Add(cell, 1.0));
+  ASSERT_OK(serving->Add(cell, 2.0));
+  ASSERT_OK(serving->Add(cell, 0.5));
+  ASSERT_OK(serving->Add(other, -1.0));
+
+  ServingStats stats = serving->stats();
+  EXPECT_EQ(stats.acked_deltas, 4u);
+  EXPECT_EQ(stats.coalesced_deltas, 2u);
+  EXPECT_EQ(stats.pending_deltas, 2u);  // two distinct cells
+  EXPECT_EQ(serving->pending_deltas(), 2u);
+
+  ASSERT_OK_AND_ASSIGN(const double merged, serving->PointQuery(cell));
+  EXPECT_DOUBLE_EQ(merged, 3.5);
+  stats = serving->stats();
+  EXPECT_GT(stats.overlay_probes, 0u);
+  EXPECT_GT(stats.overlay_hits, 0u);
+
+  ASSERT_OK(serving->DrainAll());
+  stats = serving->stats();
+  EXPECT_EQ(stats.pending_deltas, 0u);
+  EXPECT_EQ(stats.applied_deltas, 4u);
+  EXPECT_EQ(stats.apply_batches, 1u);
+  EXPECT_EQ(stats.applied_seq, stats.last_seq);
+  ASSERT_OK_AND_ASSIGN(const double applied, serving->PointQuery(cell));
+  EXPECT_DOUBLE_EQ(applied, 3.5);
+}
+
+TEST(ServingCubeTest, BackpressureRejectsUnderDeadlineAndUnblocksAfterDrain) {
+  ASSERT_OK_AND_ASSIGN(auto base, MakeCube());
+  ServingCube::Options options;
+  options.start_workers = false;
+  options.max_pending_deltas = 4;
+  ASSERT_OK_AND_ASSIGN(auto serving,
+                       ServingCube::Attach(std::move(base), options));
+
+  for (uint64_t i = 0; i < 4; ++i) {
+    const std::vector<uint64_t> cell{i, i};
+    ASSERT_OK(serving->Add(cell, 1.0));
+  }
+  // A delta to an already-pending cell coalesces and passes despite the
+  // full buffer.
+  const std::vector<uint64_t> pending_cell{2, 2};
+  ASSERT_OK(serving->Add(pending_cell, 1.0));
+
+  const std::vector<uint64_t> fresh_cell{9, 9};
+  OperationContext ctx;
+  ctx.set_timeout(std::chrono::milliseconds(30));
+  const Status rejected = serving->Add(fresh_cell, 1.0, &ctx);
+  ASSERT_EQ(rejected.code(), StatusCode::kUnavailable)
+      << rejected.ToString();
+  ServingStats stats = serving->stats();
+  EXPECT_EQ(stats.rejected_unavailable, 1u);
+  EXPECT_GE(stats.stall_waits, 1u);
+  EXPECT_GT(stats.stall_us, 0u);
+
+  ASSERT_OK(serving->DrainAll());
+  ASSERT_OK(serving->Add(fresh_cell, 1.0));  // room again
+  ASSERT_OK_AND_ASSIGN(const double v, serving->PointQuery(fresh_cell));
+  EXPECT_DOUBLE_EQ(v, 1.0);
+}
+
+TEST(ServingCubeTest, CrashBeforeDrainReplaysAcknowledgedDeltas) {
+  const auto dir = MakeTempDir("crash");
+  {
+    WaveletCube::Options options;
+    ASSERT_OK_AND_ASSIGN(
+        auto cube, WaveletCube::CreateOnDisk(dir.string(), {4, 4}, options));
+    ASSERT_OK(cube->Close());
+  }
+
+  const std::vector<Delta> first = MakeDeltas(40, 11);
+  ServingCube::Options serve_options;
+  serve_options.start_workers = false;
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto serving,
+        ServingCube::OpenOnDisk(dir.string(), 256, serve_options));
+    // Apply a prefix so the watermark is nonzero, buffer the rest, crash.
+    for (uint64_t i = 0; i < 15; ++i) {
+      ASSERT_OK(serving->Add(first[i].coords, first[i].value));
+    }
+    ASSERT_OK(serving->DrainAll());
+    for (uint64_t i = 15; i < first.size(); ++i) {
+      ASSERT_OK(serving->Add(first[i].coords, first[i].value));
+    }
+    EXPECT_EQ(serving->pending_deltas(), 25u);
+    ASSERT_OK(serving->CrashForTest());
+    // Poisoned: no more writes.
+    const std::vector<uint64_t> origin_cell{0, 0};
+    EXPECT_FALSE(serving->Add(origin_cell, 1.0).ok());
+  }
+
+  // Reopen: the acknowledged-but-unapplied deltas must be back, and every
+  // answer must match a reference cube holding all 40.
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto serving,
+        ServingCube::OpenOnDisk(dir.string(), 256, serve_options));
+    ServingStats stats = serving->stats();
+    EXPECT_EQ(stats.replayed_deltas, 25u);
+    EXPECT_EQ(stats.pending_deltas, 25u);
+    EXPECT_EQ(stats.applied_seq, 15u);
+
+    ASSERT_OK_AND_ASSIGN(auto reference, MakeCube());
+    for (const Delta& delta : first) {
+      ASSERT_OK(ApplyReference(reference.get(), delta));
+    }
+    for (const Delta& delta : first) {
+      ASSERT_OK_AND_ASSIGN(const double got,
+                           serving->PointQuery(delta.coords));
+      ASSERT_OK_AND_ASSIGN(const double want,
+                           reference->PointQuery(delta.coords));
+      ASSERT_EQ(std::bit_cast<uint64_t>(got),
+                std::bit_cast<uint64_t>(want));
+    }
+    ASSERT_OK(serving->DrainAll());
+    EXPECT_EQ(serving->pending_deltas(), 0u);
+    ASSERT_OK(serving->Close());
+  }
+  // After an orderly close the log is gone and nothing replays.
+  EXPECT_FALSE(std::filesystem::exists(dir / "deltas.log"));
+  {
+    ASSERT_OK_AND_ASSIGN(
+        auto serving,
+        ServingCube::OpenOnDisk(dir.string(), 256, serve_options));
+    ServingStats stats = serving->stats();
+    EXPECT_EQ(stats.replayed_deltas, 0u);
+    EXPECT_EQ(stats.pending_deltas, 0u);
+    ASSERT_OK(serving->Close());
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// Satellite: Updater->Appender interleaving through the buffer. Point
+// updates to already-filled cells stay buffered while a whole new slice
+// arrives via Update; after draining, every block must be byte-identical to
+// a store that applied the same operations synchronously in the same order.
+TEST(ServingCubeTest, UpdaterAppenderInterleaveMatchesSynchronousBytes) {
+  ASSERT_OK_AND_ASSIGN(auto base, MakeCube());
+  ServingCube::Options options;
+  options.start_workers = false;
+  ASSERT_OK_AND_ASSIGN(auto serving,
+                       ServingCube::Attach(std::move(base), options));
+  ASSERT_OK_AND_ASSIGN(auto reference, MakeCube());
+
+  Xoshiro256 rng(99);
+  // "Old" data: rows 0..7 get scattered point updates; the "appended"
+  // slice is rows 8..11, arriving as one dense Update mid-stream.
+  std::vector<Delta> old_updates;
+  for (int i = 0; i < 24; ++i) {
+    old_updates.push_back(
+        {{rng.NextBounded(8), rng.NextBounded(16)},
+         rng.NextDouble() * 2.0 - 1.0});
+  }
+  Tensor slice(TensorShape({4, 16}));
+  for (uint64_t i = 0; i < slice.size(); ++i) {
+    slice[i] = rng.NextDouble() * 2.0 - 1.0;
+  }
+  const std::vector<uint64_t> slice_origin{8, 0};
+
+  // Interleave: half the point updates, the slice, the other half — the
+  // same order on both sides.
+  for (int i = 0; i < 12; ++i) {
+    ASSERT_OK(serving->Add(old_updates[i].coords, old_updates[i].value));
+    ASSERT_OK(ApplyReference(reference.get(), old_updates[i]));
+  }
+  ASSERT_OK(serving->Update(slice, slice_origin));
+  {
+    // Reference applies the slice cell-by-cell in row-major order — the
+    // documented serving decomposition.
+    std::vector<uint64_t> coords(2, 0);
+    do {
+      Tensor cell(TensorShape({1, 1}));
+      cell[0] = slice.At(coords);
+      std::vector<uint64_t> absolute{slice_origin[0] + coords[0],
+                                     slice_origin[1] + coords[1]};
+      ASSERT_OK(reference->Update(cell, absolute));
+    } while (slice.shape().Next(coords));
+  }
+  for (size_t i = 12; i < old_updates.size(); ++i) {
+    ASSERT_OK(serving->Add(old_updates[i].coords, old_updates[i].value));
+    ASSERT_OK(ApplyReference(reference.get(), old_updates[i]));
+  }
+
+  ASSERT_OK(serving->DrainAll());
+  EXPECT_EQ(serving->pending_deltas(), 0u);
+
+  TiledStore* got_store = serving->cube()->store();
+  TiledStore* want_store = reference->store();
+  const uint64_t num_blocks = got_store->layout().num_blocks();
+  ASSERT_EQ(num_blocks, want_store->layout().num_blocks());
+  for (uint64_t block = 0; block < num_blocks; ++block) {
+    ASSERT_OK_AND_ASSIGN(PageGuard got,
+                         got_store->PinBlock(block, /*for_write=*/false));
+    ASSERT_OK_AND_ASSIGN(PageGuard want,
+                         want_store->PinBlock(block, /*for_write=*/false));
+    ASSERT_EQ(got.span().size(), want.span().size());
+    for (size_t slot = 0; slot < got.span().size(); ++slot) {
+      ASSERT_EQ(std::bit_cast<uint64_t>(got.span()[slot]),
+                std::bit_cast<uint64_t>(want.span()[slot]))
+          << "block " << block << " slot " << slot;
+    }
+  }
+}
+
+TEST(ServingCubeTest, StatsSurfaceDurableCounters) {
+  const auto dir = MakeTempDir("stats");
+  {
+    WaveletCube::Options options;
+    ASSERT_OK_AND_ASSIGN(
+        auto cube, WaveletCube::CreateOnDisk(dir.string(), {4, 4}, options));
+    ASSERT_OK(cube->Close());
+  }
+  ServingCube::Options serve_options;
+  serve_options.start_workers = false;
+  ASSERT_OK_AND_ASSIGN(
+      auto serving,
+      ServingCube::OpenOnDisk(dir.string(), 256, serve_options));
+  const std::vector<uint64_t> cell_a{1, 2};
+  const std::vector<uint64_t> cell_b{3, 4};
+  ASSERT_OK(serving->Add(cell_a, 1.5));
+  ASSERT_OK(serving->Add(cell_b, -0.5));
+
+  ServingStats stats = serving->stats();
+  EXPECT_EQ(stats.acked_deltas, 2u);
+  EXPECT_EQ(stats.log_appends, 2u);
+  EXPECT_GE(stats.log_syncs, 1u);
+  EXPECT_EQ(stats.durable_seq, 2u);
+  EXPECT_EQ(stats.last_seq, 2u);
+  EXPECT_EQ(stats.applied_seq, 0u);
+  EXPECT_FALSE(stats.ToString().empty());
+
+  ASSERT_OK(serving->DrainAll());
+  stats = serving->stats();
+  EXPECT_EQ(stats.applied_seq, 2u);
+  EXPECT_EQ(stats.applied_deltas, 2u);
+  ASSERT_OK(serving->Close());
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ServingCubeTest, RejectsNonstandardAndNullCubes) {
+  WaveletCube::Options options;
+  options.form = StoreForm::kNonstandard;
+  ASSERT_OK_AND_ASSIGN(auto cube,
+                       WaveletCube::CreateInMemory({4, 4}, options));
+  const auto nonstandard = ServingCube::Attach(std::move(cube));
+  ASSERT_FALSE(nonstandard.ok());
+  EXPECT_EQ(nonstandard.status().code(), StatusCode::kUnimplemented);
+
+  const auto null_cube = ServingCube::Attach(nullptr);
+  ASSERT_FALSE(null_cube.ok());
+  EXPECT_EQ(null_cube.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace shiftsplit

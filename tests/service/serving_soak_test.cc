@@ -1,0 +1,131 @@
+// Concurrent serving soak: writers, readers and maintenance workers running
+// together against one on-disk ServingCube. Built to run under tsan (the
+// `service` ctest label); every thread is real — the worker pool is
+// oversubscribed so the soak genuinely interleaves even on a 1-CPU host.
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cmath>
+#include <filesystem>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "shiftsplit/core/wavelet_cube.h"
+#include "shiftsplit/service/serving_cube.h"
+#include "shiftsplit/util/random.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+TEST(ServingSoakTest, ConcurrentWritersReadersAndMaintenance) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   ("shiftsplit_serving_soak_" + std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  {
+    WaveletCube::Options options;
+    ASSERT_OK_AND_ASSIGN(
+        auto cube, WaveletCube::CreateOnDisk(dir.string(), {4, 4}, options));
+    ASSERT_OK(cube->Close());
+  }
+
+  ServingCube::Options options;
+  options.oversubscribe = true;  // real threads even on 1-CPU CI hosts
+  options.num_workers = 2;
+  options.drain_min_deltas = 16;
+  options.max_delta_age = std::chrono::milliseconds(5);
+  options.max_pending_deltas = 512;
+  ASSERT_OK_AND_ASSIGN(auto serving,
+                       ServingCube::OpenOnDisk(dir.string(), 256, options));
+
+  constexpr int kWriters = 2;
+  constexpr int kReaders = 2;
+  constexpr int kDeltasPerWriter = 300;
+  constexpr int kQueriesPerReader = 400;
+
+  std::atomic<uint64_t> accepted{0};
+  std::atomic<uint64_t> rejected{0};
+  std::atomic<uint64_t> read_failures{0};
+  std::atomic<bool> writers_done{false};
+  std::mutex sum_mu;
+  double accepted_sum = 0.0;
+
+  const auto writer = [&](int id) {
+    Xoshiro256 rng(1000 + static_cast<uint64_t>(id));
+    double local_sum = 0.0;
+    for (int i = 0; i < kDeltasPerWriter; ++i) {
+      const std::vector<uint64_t> cell{rng.NextBounded(16),
+                                       rng.NextBounded(16)};
+      const double value = rng.NextUniform(-1.0, 1.0);
+      OperationContext ctx;
+      ctx.set_timeout(std::chrono::seconds(5));
+      const Status status = serving->Add(cell, value, &ctx);
+      if (status.ok()) {
+        accepted.fetch_add(1);
+        local_sum += value;
+      } else {
+        ASSERT_EQ(status.code(), StatusCode::kUnavailable)
+            << status.ToString();
+        rejected.fetch_add(1);
+      }
+    }
+    std::lock_guard<std::mutex> lock(sum_mu);
+    accepted_sum += local_sum;
+  };
+
+  const auto reader = [&](int id) {
+    Xoshiro256 rng(2000 + static_cast<uint64_t>(id));
+    for (int i = 0; i < kQueriesPerReader; ++i) {
+      if (i % 2 == 0) {
+        const std::vector<uint64_t> p{rng.NextBounded(16),
+                                      rng.NextBounded(16)};
+        const auto v = serving->PointQuery(p);
+        if (!v.ok() || !std::isfinite(*v)) read_failures.fetch_add(1);
+      } else {
+        std::vector<uint64_t> lo{rng.NextBounded(16), rng.NextBounded(16)};
+        std::vector<uint64_t> hi{lo[0] + rng.NextBounded(16 - lo[0]),
+                                 lo[1] + rng.NextBounded(16 - lo[1])};
+        const auto v = serving->RangeSum(lo, hi);
+        if (!v.ok() || !std::isfinite(*v)) read_failures.fetch_add(1);
+      }
+      if (writers_done.load() && i % 16 == 0) break;
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) threads.emplace_back(writer, w);
+  for (int r = 0; r < kReaders; ++r) threads.emplace_back(reader, r);
+  for (size_t t = 0; t < static_cast<size_t>(kWriters); ++t) {
+    threads[t].join();
+  }
+  writers_done.store(true);
+  for (size_t t = kWriters; t < threads.size(); ++t) threads[t].join();
+
+  EXPECT_EQ(read_failures.load(), 0u);
+  EXPECT_GT(accepted.load(), 0u);
+
+  ASSERT_OK(serving->DrainAll());
+  EXPECT_EQ(serving->pending_deltas(), 0u);
+  const ServingStats stats = serving->stats();
+  EXPECT_EQ(stats.acked_deltas, accepted.load());
+  EXPECT_EQ(stats.applied_seq, stats.last_seq);
+  EXPECT_GE(stats.apply_batches, 1u);
+
+  // The whole-domain sum equals the sum of every accepted delta
+  // (mathematically; thread interleaving permutes the FP order, hence the
+  // tolerance).
+  const std::vector<uint64_t> lo{0, 0};
+  const std::vector<uint64_t> hi{15, 15};
+  ASSERT_OK_AND_ASSIGN(const double total, serving->RangeSum(lo, hi));
+  EXPECT_NEAR(total, accepted_sum, 1e-6);
+
+  ASSERT_OK(serving->Close());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -212,5 +212,107 @@ TEST_F(JournalTest, HookAbortAfterTailTearsTheRecord) {
   EXPECT_EQ(device.stats().block_writes, 0u);
 }
 
+class DeltaLogTest : public ::testing::Test {
+ protected:
+  DeltaLogTest() {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("shiftsplit_deltalog_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    std::filesystem::create_directories(dir_);
+    path_ = (dir_ / "deltas.log").string();
+  }
+  ~DeltaLogTest() override { std::filesystem::remove_all(dir_); }
+
+  static DeltaRecord MakeRecord(uint64_t seq) {
+    DeltaRecord record;
+    record.seq = seq;
+    record.value = 0.5 * static_cast<double>(seq);
+    record.coords = {seq, seq + 1, seq + 2};
+    return record;
+  }
+
+  static uint64_t counter_;
+  std::filesystem::path dir_;
+  std::string path_;
+};
+
+uint64_t DeltaLogTest::counter_ = 0;
+
+TEST_F(DeltaLogTest, MissingLogReplaysEmpty) {
+  DeltaLog log(path_);
+  ASSERT_OK_AND_ASSIGN(const auto records, log.Replay());
+  EXPECT_TRUE(records.empty());
+  EXPECT_EQ(log.durable_seq(), 0u);
+}
+
+TEST_F(DeltaLogTest, AppendSyncReplayRoundtrip) {
+  {
+    DeltaLog log(path_);
+    for (uint64_t seq = 1; seq <= 5; ++seq) log.Append(MakeRecord(seq));
+    ASSERT_OK(log.Sync(5));
+    EXPECT_EQ(log.appends(), 5u);
+    EXPECT_GE(log.syncs(), 1u);
+    EXPECT_EQ(log.durable_seq(), 5u);
+    // Sync below the durable watermark is a no-op.
+    ASSERT_OK(log.Sync(3));
+  }
+  DeltaLog reopened(path_);
+  ASSERT_OK_AND_ASSIGN(const auto records, reopened.Replay());
+  ASSERT_EQ(records.size(), 5u);
+  for (uint64_t i = 0; i < records.size(); ++i) {
+    const DeltaRecord want = MakeRecord(i + 1);
+    EXPECT_EQ(records[i].seq, want.seq);
+    EXPECT_EQ(records[i].value, want.value);
+    EXPECT_EQ(records[i].coords, want.coords);
+  }
+  EXPECT_EQ(reopened.durable_seq(), 5u);
+  // Appends continue past the replayed tail.
+  reopened.Append(MakeRecord(6));
+  ASSERT_OK(reopened.Sync(6));
+  ASSERT_OK_AND_ASSIGN(const auto grown, DeltaLog(path_).Replay());
+  EXPECT_EQ(grown.size(), 6u);
+}
+
+TEST_F(DeltaLogTest, TornTailIsDroppedAndTruncated) {
+  {
+    DeltaLog log(path_);
+    for (uint64_t seq = 1; seq <= 3; ++seq) log.Append(MakeRecord(seq));
+    ASSERT_OK(log.Sync(3));
+  }
+  // Simulate a crash mid-append: a valid prefix plus half a record of
+  // garbage.
+  const uint64_t valid_size =
+      static_cast<uint64_t>(std::filesystem::file_size(path_));
+  {
+    std::ofstream f(path_, std::ios::app | std::ios::binary);
+    const char garbage[] = "SSDR\x01torn-tail-bytes";
+    f.write(garbage, sizeof(garbage));
+  }
+  DeltaLog log(path_);
+  ASSERT_OK_AND_ASSIGN(const auto records, log.Replay());
+  EXPECT_EQ(records.size(), 3u);
+  EXPECT_EQ(log.torn_records(), 1u);
+  // The torn bytes are gone from disk, so later appends are not stranded
+  // behind garbage.
+  EXPECT_EQ(std::filesystem::file_size(path_), valid_size);
+  log.Append(MakeRecord(4));
+  ASSERT_OK(log.Sync(4));
+  ASSERT_OK_AND_ASSIGN(const auto after, DeltaLog(path_).Replay());
+  ASSERT_EQ(after.size(), 4u);
+  EXPECT_EQ(after.back().seq, 4u);
+}
+
+TEST_F(DeltaLogTest, TruncateRemovesAndIsIdempotent) {
+  DeltaLog log(path_);
+  log.Append(MakeRecord(1));
+  ASSERT_OK(log.Sync(1));
+  ASSERT_TRUE(std::filesystem::exists(path_));
+  ASSERT_OK(log.Truncate());
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  ASSERT_OK(log.Truncate());
+  ASSERT_OK_AND_ASSIGN(const auto records, DeltaLog(path_).Replay());
+  EXPECT_TRUE(records.empty());
+}
+
 }  // namespace
 }  // namespace shiftsplit

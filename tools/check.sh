@@ -42,6 +42,25 @@ scrub_smoke() {
   rm -rf "$(dirname "$store")"
 }
 
+# Serving-layer crash recovery with the CLI: buffer deltas durably, crash
+# the process before any drain (serve-sim --crash uses _Exit, so nothing is
+# flushed), then reopen and assert every acknowledged delta is replayed,
+# visible to queries, and survives a full drain (serve-sim --verify).
+serve_sim_smoke() {
+  local build_dir="$1"
+  local tool="$build_dir/tools/shiftsplit_tool"
+  local store
+  store="$(mktemp -d)/store"
+  echo "==> serve-sim smoke [$build_dir]"
+  "$tool" create "$store" --form standard --dims 4,4 --b 2 >/dev/null
+  "$tool" serve-sim "$store" --deltas 24 --seed 9 --crash >/dev/null
+  "$tool" serve-sim "$store" --deltas 24 --seed 9 --verify >/dev/null || {
+    echo "serve-sim smoke: crash recovery lost acknowledged deltas" >&2
+    exit 1
+  }
+  rm -rf "$(dirname "$store")"
+}
+
 # Replayable chaos soak: `-L chaos` selects the fault-injection soak alone,
 # with the seed pinned so a failure reproduces bit-for-bit. Runs under the
 # plain build (fast, exercises the timing assertions at real speed) and
@@ -66,7 +85,15 @@ done
 scrub_smoke build
 scrub_smoke build-asan
 
+serve_sim_smoke build
+serve_sim_smoke build-asan
+
 chaos_soak build
 chaos_soak build-tsan
+
+# The concurrent serving soak is where writer/reader/maintenance races would
+# hide; run the service label under tsan explicitly.
+echo "==> serving soak [build-tsan]"
+ctest --test-dir build-tsan -L service -j "$jobs" --output-on-failure
 
 echo "All presets built and tested."

@@ -7,15 +7,19 @@
 //   sum      <dir> --lo X,Y,.. --hi X,Y,..
 //   extract  <dir> --lo X,Y,.. --hi X,Y,..
 //   scrub    <dir>
+//   serve-sim <dir> [--deltas N] [--seed S] [--crash] [--verify]
+//   stats    <dir>
 //   selftest [dir]
 //
 // A store directory holds `store.manifest` (see storage/manifest.h) and
 // `blocks.bin` (the tile device). Datasets: temperature, uniform, smooth,
 // sparse (synthetic; see src/shiftsplit/data/).
 
+#include <bit>
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <exception>
 #include <filesystem>
@@ -26,6 +30,7 @@
 #include "shiftsplit/core/wavelet_cube.h"
 #include "shiftsplit/data/synthetic.h"
 #include "shiftsplit/data/temperature.h"
+#include "shiftsplit/service/serving_cube.h"
 #include "shiftsplit/storage/manifest.h"
 
 namespace shiftsplit::tool {
@@ -33,7 +38,7 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: shiftsplit_tool "
-    "<create|ingest|info|point|sum|extract|scrub|selftest> "
+    "<create|ingest|info|point|sum|extract|scrub|serve-sim|stats|selftest> "
     "<store-dir> [flags]\n"
     "  create  --form standard|nonstandard --dims 4,4,6 [--b 2]\n"
     "          [--norm average|orthonormal]\n"
@@ -44,7 +49,11 @@ constexpr char kUsage[] =
     "  point   --at 1,2,3 [--slots] [--deadline-ms MS] [--approx-ok]\n"
     "  sum     --lo 0,0,0 --hi 3,3,3 [--deadline-ms MS] [--approx-ok]\n"
     "  extract --lo 0,0,0 --hi 3,3,3\n"
-    "  scrub   (verify every block checksum; exits 1 on corruption)\n";
+    "  scrub   (verify every block checksum; exits 1 on corruption)\n"
+    "  serve-sim [--deltas 32] [--seed 1] [--crash] [--verify]\n"
+    "          (buffer deltas through the serving layer; --crash exits\n"
+    "          before draining, --verify replays and checks them)\n"
+    "  stats   (pool + durability + serving counters in one table)\n";
 
 struct Args {
   std::string command;
@@ -71,7 +80,8 @@ Result<Args> ParseArgs(int argc, char** argv) {
     if (a.rfind("--", 0) == 0) {
       const std::string key = a.substr(2);
       if (key == "zorder" || key == "sparse" || key == "slots" ||
-          key == "prefetch" || key == "per-coeff" || key == "approx-ok") {
+          key == "prefetch" || key == "per-coeff" || key == "approx-ok" ||
+          key == "crash" || key == "verify") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];
@@ -189,6 +199,9 @@ Status CmdIngest(const Args& args) {
   options.prefetch = args.flags.contains("prefetch");
   if (auto t = args.flags.find("threads"); t != args.flags.end()) {
     options.num_threads = static_cast<uint32_t>(std::stoul(t->second));
+    // An explicit --threads T means T workers, even on boxes with fewer
+    // hardware threads (otherwise the count silently clamps to 1 there).
+    options.oversubscribe = options.num_threads > 1;
   }
   SS_RETURN_IF_ERROR(cube->Ingest(dataset.get(), log_chunk, &options));
   SS_RETURN_IF_ERROR(cube->Close());
@@ -355,6 +368,147 @@ Status CmdScrub(const Args& args) {
   return Status::ChecksumMismatch("store failed scrub");
 }
 
+// Deterministic serve-sim cell schedule: distinct cells (odd-stride walk of
+// the power-of-two domain) and a value derived from the index, so a later
+// --verify run can recompute exactly what an earlier run buffered.
+struct SimDelta {
+  std::vector<uint64_t> coords;
+  double value;
+};
+
+SimDelta SimDeltaAt(const StoreManifest& manifest, uint64_t i, uint64_t seed) {
+  uint64_t total = 1;
+  std::vector<uint64_t> dims;
+  for (uint32_t n : manifest.log_dims) {
+    dims.push_back(uint64_t{1} << n);
+    total *= uint64_t{1} << n;
+  }
+  uint64_t flat = (i * 5 + seed) % total;  // odd stride => bijective mod 2^k
+  std::vector<uint64_t> coords(dims.size());
+  for (size_t d = dims.size(); d-- > 0;) {
+    coords[d] = flat % dims[d];
+    flat /= dims[d];
+  }
+  return {std::move(coords), 1.0 + 0.5 * static_cast<double>(i % 97)};
+}
+
+// serve-sim: push N deltas through the serving layer. Default run drains and
+// closes cleanly; --crash exits the process after the deltas are acked but
+// before any drain (simulating kill -9); --verify reopens, checks that every
+// acked delta was replayed and is visible, then drains and re-checks.
+Status CmdServeSim(const Args& args) {
+  uint64_t deltas = 32;
+  if (auto it = args.flags.find("deltas"); it != args.flags.end()) {
+    deltas = std::stoull(it->second);
+  }
+  uint64_t seed = 1;
+  if (auto it = args.flags.find("seed"); it != args.flags.end()) {
+    seed = std::stoull(it->second);
+  }
+
+  ServingCube::Options options;
+  options.start_workers = false;  // drains happen only where the sim says
+  SS_ASSIGN_OR_RETURN(auto serving,
+                      ServingCube::OpenOnDisk(args.dir, 256, options));
+  const StoreManifest& manifest = serving->cube()->manifest();
+
+  if (args.flags.contains("verify")) {
+    const ServingStats stats = serving->stats();
+    if (stats.replayed_deltas != deltas || stats.pending_deltas != deltas) {
+      return Status::Internal(
+          "serve-sim verify: expected " + std::to_string(deltas) +
+          " replayed+pending deltas, got replayed=" +
+          std::to_string(stats.replayed_deltas) +
+          " pending=" + std::to_string(stats.pending_deltas));
+    }
+    // The base store under the crashed deltas is arbitrary (it may have been
+    // ingested), so check the serving layer's exactness contract instead of
+    // absolute values: answers with the replayed deltas merged from the
+    // buffer must be bit-identical to the same answers after every delta is
+    // drained into the store.
+    std::vector<double> merged(deltas);
+    for (uint64_t i = 0; i < deltas; ++i) {
+      const SimDelta d = SimDeltaAt(manifest, i, seed);
+      SS_ASSIGN_OR_RETURN(merged[i], serving->PointQuery(d.coords));
+    }
+    SS_RETURN_IF_ERROR(serving->DrainAll());
+    if (serving->pending_deltas() != 0) {
+      return Status::Internal("serve-sim verify: deltas left after drain");
+    }
+    for (uint64_t i = 0; i < deltas; ++i) {
+      const SimDelta d = SimDeltaAt(manifest, i, seed);
+      SS_ASSIGN_OR_RETURN(const double applied, serving->PointQuery(d.coords));
+      if (std::bit_cast<uint64_t>(applied) !=
+          std::bit_cast<uint64_t>(merged[i])) {
+        return Status::Internal(
+            "serve-sim verify: merged/applied mismatch at #" +
+            std::to_string(i));
+      }
+    }
+    SS_RETURN_IF_ERROR(serving->Close());
+    std::printf("serve-sim verify OK: %llu delta(s) recovered and applied\n",
+                static_cast<unsigned long long>(deltas));
+    return Status::OK();
+  }
+
+  for (uint64_t i = 0; i < deltas; ++i) {
+    const SimDelta d = SimDeltaAt(manifest, i, seed);
+    SS_RETURN_IF_ERROR(serving->Add(d.coords, d.value));
+  }
+  if (args.flags.contains("crash")) {
+    // Every delta above is fsynced in the log; nothing is drained. Exit
+    // without unwinding so no destructor flushes state — the closest a
+    // process can get to kill -9 on itself.
+    std::printf("serve-sim: %llu delta(s) acked durably; crashing now\n",
+                static_cast<unsigned long long>(deltas));
+    std::fflush(stdout);
+    std::_Exit(0);
+  }
+  SS_RETURN_IF_ERROR(serving->DrainAll());
+  const ServingStats stats = serving->stats();
+  SS_RETURN_IF_ERROR(serving->Close());
+  std::printf("serve-sim: %s\n", stats.ToString().c_str());
+  return Status::OK();
+}
+
+Status CmdStats(const Args& args) {
+  ServingCube::Options options;
+  options.start_workers = false;  // observe; never drain as a side effect
+  SS_ASSIGN_OR_RETURN(auto serving,
+                      ServingCube::OpenOnDisk(args.dir, 64, options));
+  WaveletCube* cube = serving->cube();
+  const BufferPool::Stats pool = cube->pool_stats();
+  const DurabilityStats durability = cube->durability_stats();
+  const ServingStats serve = serving->stats();
+  const auto row = [](const char* name, uint64_t value) {
+    std::printf("  %-24s %llu\n", name,
+                static_cast<unsigned long long>(value));
+  };
+  std::printf("pool:\n");
+  row("hits", pool.hits);
+  row("misses", pool.misses);
+  row("prefetched", pool.prefetched);
+  row("evictions", pool.evictions);
+  row("write_backs", pool.write_backs);
+  std::printf("durability:\n");
+  row("checksum_failures", durability.checksum_failures);
+  row("quarantined_blocks", durability.quarantined_blocks);
+  row("io_retries", durability.io_retries);
+  row("journal_commits", durability.journal_commits);
+  row("journal_replays", durability.journal_replays);
+  row("journal_rollbacks", durability.journal_rollbacks);
+  row("read_only", durability.read_only ? 1 : 0);
+  std::printf("serving:\n");
+  row("pending_deltas", serve.pending_deltas);
+  row("pending_slots", serve.pending_slots);
+  row("replayed_deltas", serve.replayed_deltas);
+  row("log_torn_records", serve.log_torn_records);
+  row("last_seq", serve.last_seq);
+  row("durable_seq", serve.durable_seq);
+  row("applied_seq", serve.applied_seq);
+  return Status::OK();
+}
+
 Status CmdSelftest(const Args& args) {
   const std::string dir =
       args.dir.empty()
@@ -410,6 +564,10 @@ int Main(int argc, char** argv) {
     status = CmdExtract(args);
   } else if (args.command == "scrub") {
     status = CmdScrub(args);
+  } else if (args.command == "serve-sim") {
+    status = CmdServeSim(args);
+  } else if (args.command == "stats") {
+    status = CmdStats(args);
   } else if (args.command == "selftest") {
     status = CmdSelftest(args);
   } else {
