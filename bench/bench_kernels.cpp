@@ -1,0 +1,164 @@
+// Kernel-tier throughput: runs every dispatch tier the build and the CPU
+// support (scalar plus sse4.2/avx2/neon, see src/shiftsplit/kernels) over
+// the hot inner loops — Haar level passes, contiguous and strided folds,
+// CRC32C — and reports per-tier throughput with speedup over the scalar
+// reference. Before timing, every tier's output is checked bit-identical to
+// scalar on the same input (the cheap in-bench echo of the differential
+// tests). Emits one JSON object per (kernel, tier) pair.
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <vector>
+
+#include "bench_util.h"
+#include "shiftsplit/kernels/kernels.h"
+
+using namespace shiftsplit;
+using namespace shiftsplit::bench;
+
+namespace {
+
+constexpr size_t kHaarHalf = 1 << 15;    // 2^16-element level pass
+constexpr size_t kFoldN = 1 << 16;       // contiguous fold elements
+constexpr size_t kStride = 3;            // the SlotUpdate AoS stride
+constexpr size_t kCrcBytes = 1 << 16;    // 64 KiB CRC buffer
+constexpr int kReps = 400;
+
+std::vector<double> RandomDoubles(size_t n, uint32_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> dist(-1.0, 1.0);
+  std::vector<double> out(n);
+  for (double& v : out) v = dist(rng);
+  return out;
+}
+
+double Seconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+bool BitsEqual(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+// Keeps results alive across reps so the timed loops cannot be elided.
+volatile double g_sink_d = 0.0;
+volatile uint32_t g_sink_u = 0;
+
+struct Timed {
+  double wall_ms = 0.0;
+  double throughput = 0.0;  // elements (or bytes) per second
+};
+
+template <typename Body>
+Timed Time(size_t units_per_rep, Body body) {
+  body();  // warm up (and fault in the buffers)
+  const auto start = std::chrono::steady_clock::now();
+  for (int r = 0; r < kReps; ++r) body();
+  Timed t;
+  const double secs = Seconds(start);
+  t.wall_ms = secs * 1e3;
+  t.throughput = static_cast<double>(units_per_rep) * kReps / secs;
+  return t;
+}
+
+void Report(BenchJson& report, const char* kernel, const char* tier,
+            const Timed& t, double scalar_ms, const char* unit) {
+  std::printf("  %-18s %-8s %9.2f ms   %8.1f M%s/s   %5.2fx\n", kernel, tier,
+              t.wall_ms, t.throughput / 1e6, unit, scalar_ms / t.wall_ms);
+  report.Row(std::string(kernel) + "/" + tier)
+      .Field("kernel", std::string(kernel))
+      .Field("tier", std::string(tier))
+      .Field("wall_ms", t.wall_ms, 3)
+      .Field("throughput_m_per_s", t.throughput / 1e6, 1)
+      .Field("speedup_vs_scalar", scalar_ms / t.wall_ms, 2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+  BenchJson report("bench_kernels");
+  const auto tiers = kernels::AvailableTiers();
+  const kernels::KernelOps& scalar = kernels::Scalar();
+
+  const std::vector<double> haar_in = RandomDoubles(2 * kHaarHalf, 1);
+  const std::vector<double> fold_src = RandomDoubles(kFoldN * kStride, 2);
+  std::vector<uint8_t> crc_buf(kCrcBytes);
+  {
+    std::mt19937_64 rng(3);
+    for (uint8_t& b : crc_buf) b = static_cast<uint8_t>(rng());
+  }
+
+  // Scalar reference outputs for the pre-timing bit-identity check.
+  std::vector<double> ref_avg(kHaarHalf), ref_det(kHaarHalf);
+  std::vector<double> ref_inv(2 * kHaarHalf);
+  scalar.haar_forward_level(haar_in.data(), ref_avg.data(), ref_det.data(),
+                            kHaarHalf, 0.5);
+  scalar.haar_inverse_level(ref_avg.data(), ref_det.data(), ref_inv.data(),
+                            kHaarHalf, 1.0);
+  std::vector<double> ref_fold(kFoldN, 0.25);
+  scalar.fold_add_strided(ref_fold.data(), fold_src.data(), kStride, kFoldN);
+  const uint32_t ref_crc = scalar.crc32c(0, crc_buf.data(), crc_buf.size());
+
+  std::printf("  %-18s %-8s %12s   %14s   %7s\n", "kernel", "tier", "wall",
+              "throughput", "speedup");
+  double scalar_ms[5] = {0, 0, 0, 0, 0};
+  for (const kernels::KernelOps* tier : tiers) {
+    // Parity gate: a tier that is not bit-identical to scalar must never
+    // publish a throughput number.
+    std::vector<double> avg(kHaarHalf), det(kHaarHalf), inv(2 * kHaarHalf);
+    tier->haar_forward_level(haar_in.data(), avg.data(), det.data(),
+                             kHaarHalf, 0.5);
+    tier->haar_inverse_level(ref_avg.data(), ref_det.data(), inv.data(),
+                             kHaarHalf, 1.0);
+    std::vector<double> fold(kFoldN, 0.25);
+    tier->fold_add_strided(fold.data(), fold_src.data(), kStride, kFoldN);
+    if (!BitsEqual(avg, ref_avg) || !BitsEqual(det, ref_det) ||
+        !BitsEqual(inv, ref_inv) || !BitsEqual(fold, ref_fold) ||
+        tier->crc32c(0, crc_buf.data(), crc_buf.size()) != ref_crc) {
+      std::fprintf(stderr, "tier %s diverges from scalar\n", tier->name);
+      return 1;
+    }
+
+    std::vector<double> dst(2 * kHaarHalf, 0.0);
+    const Timed fwd = Time(kHaarHalf, [&] {
+      tier->haar_forward_level(haar_in.data(), avg.data(), det.data(),
+                               kHaarHalf, 0.5);
+      g_sink_d = avg[0];
+    });
+    const Timed bwd = Time(kHaarHalf, [&] {
+      tier->haar_inverse_level(ref_avg.data(), ref_det.data(), inv.data(),
+                               kHaarHalf, 1.0);
+      g_sink_d = inv[0];
+    });
+    const Timed fa = Time(kFoldN, [&] {
+      tier->fold_add(dst.data(), haar_in.data(), kFoldN);
+      g_sink_d = dst[0];
+    });
+    const Timed fas = Time(kFoldN, [&] {
+      tier->fold_add_strided(fold.data(), fold_src.data(), kStride, kFoldN);
+      g_sink_d = fold[0];
+    });
+    const Timed crc = Time(kCrcBytes, [&] {
+      g_sink_u = tier->crc32c(0, crc_buf.data(), crc_buf.size());
+    });
+
+    const Timed* all[5] = {&fwd, &bwd, &fa, &fas, &crc};
+    const char* names[5] = {"haar_forward", "haar_inverse", "fold_add",
+                            "fold_add_strided", "crc32c"};
+    const char* units[5] = {"pair", "pair", "elem", "elem", "B"};
+    for (int k = 0; k < 5; ++k) {
+      if (tier == &scalar) scalar_ms[k] = all[k]->wall_ms;
+      Report(report, names[k], tier->name, *all[k], scalar_ms[k], units[k]);
+    }
+  }
+  std::printf("active tier: %s\n", kernels::Active().name);
+  report.Row("active").Field("tier", std::string(kernels::Active().name));
+  report.Write(json_path);
+  return 0;
+}

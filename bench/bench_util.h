@@ -140,6 +140,13 @@ class BenchJson {
 
  private:
   BenchJson& Raw(const std::string& key, std::string rendered) {
+    if (rows_.empty()) {
+      std::fprintf(stderr,
+                   "BenchJson: Field(\"%s\") before any Row(); start a result "
+                   "object first\n",
+                   key.c_str());
+      std::exit(1);
+    }
     rows_.back() += ", \"" + key + "\": " + std::move(rendered);
     return *this;
   }
@@ -148,21 +155,30 @@ class BenchJson {
   std::vector<std::string> rows_;
 };
 
-/// Parses the one flag the JSON-emitting benches share; exits on misuse so
-/// a typo can't silently discard the requested report.
+/// Parses the one flag the JSON-emitting benches share. Accepts exactly two
+/// argv shapes — no arguments, or the pair `--json <path>` — and reports
+/// anything else via the false return. `*out_path` is set to the path, or to
+/// "" for the bare invocation. Split from the exiting wrapper below so the
+/// accept/reject matrix is unit-testable.
+inline bool TryParseJsonPath(int argc, char** argv, std::string* out_path) {
+  out_path->clear();
+  if (argc <= 1) return true;
+  if (argc != 3) return false;
+  if (std::string(argv[1]) != "--json") return false;
+  *out_path = argv[2];
+  return !out_path->empty();
+}
+
+/// Exits on misuse so a typo can't silently discard the requested report —
+/// every token must be part of the `--json <path>` pair; stray arguments
+/// anywhere in argv are rejected, not ignored.
 inline std::string JsonPathFromArgs(int argc, char** argv) {
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json" && i + 1 < argc) return argv[i + 1];
-  }
-  if (argc > 1 && std::string(argv[1]) != "--json") {
+  std::string path;
+  if (!TryParseJsonPath(argc, argv, &path)) {
     std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
     std::exit(2);
   }
-  if (argc == 2) {
-    std::fprintf(stderr, "usage: %s [--json <path>]\n", argv[0]);
-    std::exit(2);
-  }
-  return "";
+  return path;
 }
 
 }  // namespace shiftsplit::bench

@@ -1,6 +1,7 @@
 #include "shiftsplit/baseline/vitter_transform.h"
 
 #include "shiftsplit/tile/naive_tiling.h"
+#include "shiftsplit/util/bitops.h"
 #include "shiftsplit/wavelet/haar.h"
 
 namespace shiftsplit {
@@ -40,10 +41,13 @@ Result<TransformResult> VitterTransformStandard(ChunkSource* source,
     } while (rows.Next(pos));
   }
 
-  // Phase 2: one full decomposition pass per dimension.
+  // Phase 2: one full decomposition pass per dimension. One scratch buffer
+  // serves every fiber of the pass — no per-fiber allocation.
   std::vector<double> fiber;
+  std::vector<double> scratch;
   for (uint32_t dim = 0; dim < d; ++dim) {
     fiber.resize(shape.dim(dim));
+    scratch.resize(shape.dim(dim));
     std::vector<uint64_t> base_dims(shape.dims());
     base_dims[dim] = 1;
     TensorShape bases(base_dims);
@@ -55,7 +59,8 @@ Result<TransformResult> VitterTransformStandard(ChunkSource* source,
         address[dim] = x;
         SS_ASSIGN_OR_RETURN(fiber[x], store->Get(address));
       }
-      SS_RETURN_IF_ERROR(ForwardHaar1D(fiber, norm));
+      SS_RETURN_IF_ERROR(ForwardHaar1DLevels(
+          fiber, Log2(fiber.size()), norm, scratch));
       for (uint64_t x = 0; x < shape.dim(dim); ++x) {
         address[dim] = x;
         SS_RETURN_IF_ERROR(store->Set(address, fiber[x]));

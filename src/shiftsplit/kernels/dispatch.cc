@@ -1,0 +1,74 @@
+// Tier selection: build the list of tiers this CPU can run (narrowest to
+// widest), pick the widest once per process, honor the scalar override.
+
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "shiftsplit/kernels/kernels.h"
+
+namespace shiftsplit::kernels {
+
+namespace {
+
+// Runtime CPU feature checks for tiers whose code was compiled in. A tier
+// accessor returning non-null only proves the *binary* carries the code;
+// the CPU still has to advertise the ISA before we may execute it.
+bool CpuHasSse42() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("sse4.2") != 0;
+#else
+  return false;
+#endif
+}
+
+bool CpuHasAvx2() {
+#if defined(__GNUC__) && (defined(__x86_64__) || defined(__i386__))
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+std::vector<const KernelOps*> BuildAvailableTiers() {
+  std::vector<const KernelOps*> tiers{&Scalar()};
+  if (const KernelOps* sse42 = GetSse42Kernels();
+      sse42 != nullptr && CpuHasSse42()) {
+    tiers.push_back(sse42);
+  }
+  if (const KernelOps* avx2 = GetAvx2Kernels();
+      avx2 != nullptr && CpuHasAvx2()) {
+    tiers.push_back(avx2);
+  }
+  // AdvSIMD is architecturally mandatory on AArch64: compiled == runnable.
+  // (The tier resolves its own CRC entry from HWCAP_CRC32.)
+  if (const KernelOps* neon = GetNeonKernels(); neon != nullptr) {
+    tiers.push_back(neon);
+  }
+  return tiers;
+}
+
+bool ForceScalarFromEnv() {
+  const char* value = std::getenv("SHIFTSPLIT_FORCE_SCALAR");
+  return value != nullptr && value[0] != '\0' &&
+         std::strcmp(value, "0") != 0;
+}
+
+}  // namespace
+
+std::span<const KernelOps* const> AvailableTiers() {
+  static const std::vector<const KernelOps*> kTiers = BuildAvailableTiers();
+  return {kTiers.data(), kTiers.size()};
+}
+
+const KernelOps& Choose(bool force_scalar) {
+  if (force_scalar) return Scalar();
+  return *AvailableTiers().back();
+}
+
+const KernelOps& Active() {
+  static const KernelOps& kActive = Choose(ForceScalarFromEnv());
+  return kActive;
+}
+
+}  // namespace shiftsplit::kernels

@@ -1,0 +1,118 @@
+// Runtime-dispatched hot-loop kernels: the 1-d Haar level passes, the
+// contiguous accumulate/copy folds of the batched apply path, and CRC32C.
+//
+// Tiering. Every kernel has a scalar reference implementation plus, where
+// the ISA helps, SSE4.2/AVX2 (x86-64) and NEON/ARMv8-CRC (aarch64)
+// variants. One tier is selected at first use from CPUID/auxv feature bits
+// (the widest tier the CPU supports wins) and never changes afterwards;
+// setting SHIFTSPLIT_FORCE_SCALAR=1 in the environment pins the scalar
+// tier regardless of the hardware — the escape hatch for benchmarking the
+// fallback and for keeping both tiers green in CI.
+//
+// Bit-exactness contract. Every vector implementation computes each output
+// element with exactly the scalar reference's operations in the scalar
+// reference's order — lanes only batch *independent* elements, they never
+// reassociate a dependent chain. Consequences:
+//  * the Haar level passes and the fold kernels are vectorized (each
+//    output element depends only on its own inputs);
+//  * fold_chain — the overlay's sequence-ordered `stored + c1 + c2 + ...`
+//    merge — is a serial dependency chain and therefore stays scalar in
+//    every tier, by design and not as an omission: any SIMD evaluation
+//    would reassociate the sum and break the serving layer's
+//    merged-read-equals-applied-store guarantee;
+//  * CRC32C is an exact integer function, so the hardware instruction and
+//    the software table must (and do) agree on every input.
+// The `kernels` ctest label holds the randomized differential suite that
+// asserts tier-vs-scalar equality bit for bit.
+//
+// Adding an ISA tier: add a kernels_<isa>.cc translation unit compiled
+// with the ISA's flags (see src/CMakeLists.txt), guard the implementation
+// with the compiler's ISA macro and export Get<Isa>Kernels() returning
+// nullptr when the TU was built without the ISA, then order it into the
+// candidate list in dispatch.cc behind its runtime CPU feature check.
+// DESIGN.md §8 documents the scheme.
+
+#ifndef SHIFTSPLIT_KERNELS_KERNELS_H_
+#define SHIFTSPLIT_KERNELS_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+namespace shiftsplit::kernels {
+
+/// \brief One dispatch tier: a named table of kernel entry points.
+/// All pointers are always non-null.
+struct KernelOps {
+  /// Tier name for logs/benches: "scalar", "sse4.2", "avx2", "neon", ...
+  const char* name;
+
+  /// One forward Haar level over `half` input pairs:
+  ///   avg[k] = (in[2k] + in[2k+1]) * scale
+  ///   det[k] = (in[2k] - in[2k+1]) * scale
+  /// `in` must not alias `avg`/`det`; `avg` and `det` must not overlap.
+  /// scale is 0.5 (kAverage) or 1/sqrt(2) (kOrthonormal).
+  void (*haar_forward_level)(const double* in, double* avg, double* det,
+                             size_t half, double scale);
+
+  /// One inverse Haar level over `half` (average, detail) pairs:
+  ///   out[2k]     = (avg[k] + det[k]) * scale
+  ///   out[2k + 1] = (avg[k] - det[k]) * scale
+  /// `out` must not alias `avg`/`det`. scale is 1.0 (kAverage; the
+  /// multiplication by 1.0 is exact) or 1/sqrt(2) (kOrthonormal).
+  void (*haar_inverse_level)(const double* avg, const double* det,
+                             double* out, size_t half, double scale);
+
+  /// Contiguous accumulate: dst[i] += src[i] for i in [0, n).
+  void (*fold_add)(double* dst, const double* src, size_t n);
+
+  /// Strided-source accumulate over an AoS run: dst[i] += src[i * stride]
+  /// for i in [0, n), stride counted in doubles. The batched-apply path
+  /// uses it to fold a consecutive-slot run of SlotUpdates (stride 3)
+  /// without materializing the values.
+  void (*fold_add_strided)(double* dst, const double* src, size_t stride,
+                           size_t n);
+
+  /// Strided-source copy (the SHIFT overwrite analogue of
+  /// fold_add_strided): dst[i] = src[i * stride] for i in [0, n).
+  void (*fold_copy_strided)(double* dst, const double* src, size_t stride,
+                            size_t n);
+
+  /// Sequence-ordered merge chain: returns
+  ///   (((init + src[0]) + src[stride]) + ...) + src[(n-1) * stride].
+  /// Scalar in every tier — see the bit-exactness contract above.
+  double (*fold_chain_strided)(double init, const double* src, size_t stride,
+                               size_t n);
+
+  /// CRC32C (Castagnoli), pre/post-inverted so chained calls compose.
+  uint32_t (*crc32c)(uint32_t crc, const void* data, size_t size);
+};
+
+/// \brief The scalar reference tier (always available).
+const KernelOps& Scalar();
+
+/// \brief The tier selected for this process: the widest tier the CPU
+/// supports, or Scalar() when SHIFTSPLIT_FORCE_SCALAR=1 is set. Selected
+/// once on first call, thread-safe, stable for the process lifetime.
+const KernelOps& Active();
+
+/// \brief Every tier usable on this CPU, scalar first — the differential
+/// tests and bench_kernels iterate this to cover tiers the dispatcher
+/// would skip (e.g. sse4.2 on an AVX2 machine).
+std::span<const KernelOps* const> AvailableTiers();
+
+/// \brief Dispatch decision without the cached singleton: the widest
+/// available tier, or Scalar() when `force_scalar`. Exposed so tests can
+/// exercise both outcomes in one process (Active() caches the env lookup).
+const KernelOps& Choose(bool force_scalar);
+
+// Per-ISA tier accessors; each returns nullptr when its translation unit
+// was compiled without the ISA (wrong architecture or unsupported flags).
+// Runtime CPU support is the dispatcher's job, not theirs.
+const KernelOps* GetSse42Kernels();
+const KernelOps* GetAvx2Kernels();
+const KernelOps* GetNeonKernels();
+
+}  // namespace shiftsplit::kernels
+
+#endif  // SHIFTSPLIT_KERNELS_KERNELS_H_

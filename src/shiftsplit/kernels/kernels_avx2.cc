@@ -1,0 +1,123 @@
+// AVX2 tier: 4-wide double lanes for the Haar level passes and folds,
+// 64-bit gathers for the strided (AoS) folds, and the SSE4.2 crc32
+// instruction (implied by -mavx2). Compiled with -mavx2 on x86-64 (see
+// src/CMakeLists.txt); elsewhere this TU only provides the nullptr
+// accessor. Runtime CPU support is checked by dispatch.cc.
+
+#include "shiftsplit/kernels/kernels.h"
+#include "shiftsplit/kernels/kernels_internal.h"
+
+#if defined(__AVX2__) && defined(__SSE4_2__)
+
+#include <immintrin.h>
+
+namespace shiftsplit::kernels {
+
+namespace {
+
+void HaarForwardLevelAvx2(const double* in, double* avg, double* det,
+                          size_t half, double scale) {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  size_t k = 0;
+  for (; k + 4 <= half; k += 4) {
+    const __m256d v0 = _mm256_loadu_pd(in + 2 * k);      // i0 i1 i2 i3
+    const __m256d v1 = _mm256_loadu_pd(in + 2 * k + 4);  // i4 i5 i6 i7
+    // Cross-lane regroup so unpack yields all lefts / all rights.
+    const __m256d t0 = _mm256_permute2f128_pd(v0, v1, 0x20);  // i0 i1 i4 i5
+    const __m256d t1 = _mm256_permute2f128_pd(v0, v1, 0x31);  // i2 i3 i6 i7
+    const __m256d a = _mm256_unpacklo_pd(t0, t1);             // i0 i2 i4 i6
+    const __m256d b = _mm256_unpackhi_pd(t0, t1);             // i1 i3 i5 i7
+    _mm256_storeu_pd(avg + k, _mm256_mul_pd(_mm256_add_pd(a, b), vscale));
+    _mm256_storeu_pd(det + k, _mm256_mul_pd(_mm256_sub_pd(a, b), vscale));
+  }
+  internal::HaarForwardLevelScalar(in + 2 * k, avg + k, det + k, half - k,
+                                   scale);
+}
+
+void HaarInverseLevelAvx2(const double* avg, const double* det, double* out,
+                          size_t half, double scale) {
+  const __m256d vscale = _mm256_set1_pd(scale);
+  size_t k = 0;
+  for (; k + 4 <= half; k += 4) {
+    const __m256d a = _mm256_loadu_pd(avg + k);
+    const __m256d d = _mm256_loadu_pd(det + k);
+    const __m256d l = _mm256_mul_pd(_mm256_add_pd(a, d), vscale);
+    const __m256d r = _mm256_mul_pd(_mm256_sub_pd(a, d), vscale);
+    const __m256d lo = _mm256_unpacklo_pd(l, r);  // l0 r0 l2 r2
+    const __m256d hi = _mm256_unpackhi_pd(l, r);  // l1 r1 l3 r3
+    _mm256_storeu_pd(out + 2 * k, _mm256_permute2f128_pd(lo, hi, 0x20));
+    _mm256_storeu_pd(out + 2 * k + 4, _mm256_permute2f128_pd(lo, hi, 0x31));
+  }
+  internal::HaarInverseLevelScalar(avg + k, det + k, out + 2 * k, half - k,
+                                   scale);
+}
+
+void FoldAddAvx2(double* dst, const double* src, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(
+        dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i),
+                               _mm256_loadu_pd(src + i)));
+  }
+  internal::FoldAddScalar(dst + i, src + i, n - i);
+}
+
+// Gather indices {0, s, 2s, 3s} advanced by 4s per iteration; the gather's
+// element scale is sizeof(double).
+inline __m256i StrideIndices(size_t stride) {
+  const auto s = static_cast<long long>(stride);
+  return _mm256_set_epi64x(3 * s, 2 * s, s, 0);
+}
+
+void FoldAddStridedAvx2(double* dst, const double* src, size_t stride,
+                        size_t n) {
+  __m256i idx = StrideIndices(stride);
+  const __m256i step = _mm256_set1_epi64x(static_cast<long long>(4 * stride));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m256d v = _mm256_i64gather_pd(src, idx, 8);
+    _mm256_storeu_pd(dst + i, _mm256_add_pd(_mm256_loadu_pd(dst + i), v));
+    idx = _mm256_add_epi64(idx, step);
+  }
+  internal::FoldAddStridedScalar(dst + i, src + i * stride, stride, n - i);
+}
+
+void FoldCopyStridedAvx2(double* dst, const double* src, size_t stride,
+                         size_t n) {
+  __m256i idx = StrideIndices(stride);
+  const __m256i step = _mm256_set1_epi64x(static_cast<long long>(4 * stride));
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    _mm256_storeu_pd(dst + i, _mm256_i64gather_pd(src, idx, 8));
+    idx = _mm256_add_epi64(idx, step);
+  }
+  internal::FoldCopyStridedScalar(dst + i, src + i * stride, stride, n - i);
+}
+
+}  // namespace
+
+const KernelOps* GetAvx2Kernels() {
+  static constexpr KernelOps kAvx2 = {
+      "avx2",
+      HaarForwardLevelAvx2,
+      HaarInverseLevelAvx2,
+      FoldAddAvx2,
+      FoldAddStridedAvx2,
+      FoldCopyStridedAvx2,
+      internal::FoldChainStridedScalar,  // serial chain: scalar by contract
+      internal::Crc32cHwX86,
+  };
+  return &kAvx2;
+}
+
+}  // namespace shiftsplit::kernels
+
+#else  // !(defined(__AVX2__) && defined(__SSE4_2__))
+
+namespace shiftsplit::kernels {
+
+const KernelOps* GetAvx2Kernels() { return nullptr; }
+
+}  // namespace shiftsplit::kernels
+
+#endif  // defined(__AVX2__) && defined(__SSE4_2__)

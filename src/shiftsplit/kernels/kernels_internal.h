@@ -1,0 +1,98 @@
+// Scalar reference bodies shared across dispatch tiers. The vector tiers
+// reuse these for loop tails (the < vector-width remainder) and for the
+// deliberately-scalar serial chain, so "tier == scalar on every element"
+// holds by construction wherever the tail runs.
+//
+// Internal to src/shiftsplit/kernels/ — include kernels.h everywhere else.
+
+#ifndef SHIFTSPLIT_KERNELS_KERNELS_INTERNAL_H_
+#define SHIFTSPLIT_KERNELS_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace shiftsplit::kernels::internal {
+
+inline void HaarForwardLevelScalar(const double* in, double* avg, double* det,
+                                   size_t half, double scale) {
+  for (size_t k = 0; k < half; ++k) {
+    const double left = in[2 * k];
+    const double right = in[2 * k + 1];
+    avg[k] = (left + right) * scale;
+    det[k] = (left - right) * scale;
+  }
+}
+
+inline void HaarInverseLevelScalar(const double* avg, const double* det,
+                                   double* out, size_t half, double scale) {
+  for (size_t k = 0; k < half; ++k) {
+    const double a = avg[k];
+    const double d = det[k];
+    out[2 * k] = (a + d) * scale;
+    out[2 * k + 1] = (a - d) * scale;
+  }
+}
+
+inline void FoldAddScalar(double* dst, const double* src, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i];
+}
+
+inline void FoldAddStridedScalar(double* dst, const double* src,
+                                 size_t stride, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] += src[i * stride];
+}
+
+inline void FoldCopyStridedScalar(double* dst, const double* src,
+                                  size_t stride, size_t n) {
+  for (size_t i = 0; i < n; ++i) dst[i] = src[i * stride];
+}
+
+inline double FoldChainStridedScalar(double init, const double* src,
+                                     size_t stride, size_t n) {
+  double value = init;
+  for (size_t i = 0; i < n; ++i) value += src[i * stride];
+  return value;
+}
+
+/// Software slicing-by-4 CRC32C (the scalar tier and the fallback the
+/// hardware tiers are verified against). Defined in kernels_scalar.cc.
+uint32_t Crc32cSoftware(uint32_t crc, const void* data, size_t size);
+
+#if defined(__SSE4_2__)
+}  // namespace shiftsplit::kernels::internal
+
+#include <nmmintrin.h>
+
+#include <cstring>
+
+namespace shiftsplit::kernels::internal {
+
+/// Hardware CRC32C via the SSE4.2 crc32 instruction. Shared by every x86
+/// tier TU compiled with -msse4.2 or wider; the instruction computes the
+/// same reflected-Castagnoli function as Crc32cSoftware, byte for byte.
+inline uint32_t Crc32cHwX86(uint32_t crc, const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t c = ~crc;  // zero-extended; the u64 step only uses the low 32 bits
+  // Byte prologue up to 8-byte alignment, then the 8-bytes-per-instruction
+  // main loop, then the byte tail.
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    c = _mm_crc32_u8(static_cast<uint32_t>(c), *p++);
+    --size;
+  }
+  while (size >= 8) {
+    uint64_t v;
+    std::memcpy(&v, p, sizeof(v));
+    c = _mm_crc32_u64(c, v);
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    c = _mm_crc32_u8(static_cast<uint32_t>(c), *p++);
+  }
+  return ~static_cast<uint32_t>(c);
+}
+#endif  // defined(__SSE4_2__)
+
+}  // namespace shiftsplit::kernels::internal
+
+#endif  // SHIFTSPLIT_KERNELS_KERNELS_INTERNAL_H_

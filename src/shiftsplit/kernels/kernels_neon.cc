@@ -1,0 +1,130 @@
+// ARMv8 tier: NEON (AdvSIMD — architecturally mandatory on AArch64)
+// 2-wide double lanes with ld2/st2 de/interleave for the Haar passes, and
+// the ARMv8 CRC32 extension when the CPU reports it (HWCAP_CRC32) —
+// otherwise this tier keeps the software CRC. Compiled with
+// -march=armv8-a+crc on aarch64 (see src/CMakeLists.txt); elsewhere this
+// TU only provides the nullptr accessor.
+
+#include "shiftsplit/kernels/kernels.h"
+#include "shiftsplit/kernels/kernels_internal.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+#if defined(__ARM_FEATURE_CRC32)
+#include <arm_acle.h>
+#endif
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+
+namespace shiftsplit::kernels {
+
+namespace {
+
+void HaarForwardLevelNeon(const double* in, double* avg, double* det,
+                          size_t half, double scale) {
+  const float64x2_t vscale = vdupq_n_f64(scale);
+  size_t k = 0;
+  for (; k + 2 <= half; k += 2) {
+    // ld2 deinterleaves: val[0] = lefts, val[1] = rights.
+    const float64x2x2_t pairs = vld2q_f64(in + 2 * k);
+    const float64x2_t a = pairs.val[0];
+    const float64x2_t b = pairs.val[1];
+    vst1q_f64(avg + k, vmulq_f64(vaddq_f64(a, b), vscale));
+    vst1q_f64(det + k, vmulq_f64(vsubq_f64(a, b), vscale));
+  }
+  internal::HaarForwardLevelScalar(in + 2 * k, avg + k, det + k, half - k,
+                                   scale);
+}
+
+void HaarInverseLevelNeon(const double* avg, const double* det, double* out,
+                          size_t half, double scale) {
+  const float64x2_t vscale = vdupq_n_f64(scale);
+  size_t k = 0;
+  for (; k + 2 <= half; k += 2) {
+    const float64x2_t a = vld1q_f64(avg + k);
+    const float64x2_t d = vld1q_f64(det + k);
+    float64x2x2_t pair;
+    pair.val[0] = vmulq_f64(vaddq_f64(a, d), vscale);  // lefts
+    pair.val[1] = vmulq_f64(vsubq_f64(a, d), vscale);  // rights
+    vst2q_f64(out + 2 * k, pair);  // st2 interleaves
+  }
+  internal::HaarInverseLevelScalar(avg + k, det + k, out + 2 * k, half - k,
+                                   scale);
+}
+
+void FoldAddNeon(double* dst, const double* src, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    vst1q_f64(dst + i, vaddq_f64(vld1q_f64(dst + i), vld1q_f64(src + i)));
+  }
+  internal::FoldAddScalar(dst + i, src + i, n - i);
+}
+
+#if defined(__ARM_FEATURE_CRC32)
+
+uint32_t Crc32cHwArm(uint32_t crc, const void* data, size_t size) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint32_t c = ~crc;
+  while (size > 0 && (reinterpret_cast<uintptr_t>(p) & 7u) != 0) {
+    c = __crc32cb(c, *p++);
+    --size;
+  }
+  while (size >= 8) {
+    uint64_t v;
+    __builtin_memcpy(&v, p, sizeof(v));
+    c = __crc32cd(c, v);
+    p += 8;
+    size -= 8;
+  }
+  while (size-- > 0) {
+    c = __crc32cb(c, *p++);
+  }
+  return ~c;
+}
+
+bool HaveArmCrc() {
+#if defined(__linux__) && defined(HWCAP_CRC32)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#else
+  return false;
+#endif
+}
+
+#endif  // defined(__ARM_FEATURE_CRC32)
+
+}  // namespace
+
+const KernelOps* GetNeonKernels() {
+  // The CRC entry is resolved once: hardware CRC32C only when both the TU
+  // was built with the extension and the CPU reports it.
+  static const KernelOps kNeon = {
+      "neon",
+      HaarForwardLevelNeon,
+      HaarInverseLevelNeon,
+      FoldAddNeon,
+      internal::FoldAddStridedScalar,  // no gather on NEON
+      internal::FoldCopyStridedScalar,
+      internal::FoldChainStridedScalar,  // serial chain: scalar by contract
+#if defined(__ARM_FEATURE_CRC32)
+      HaveArmCrc() ? Crc32cHwArm : internal::Crc32cSoftware,
+#else
+      internal::Crc32cSoftware,
+#endif
+  };
+  return &kNeon;
+}
+
+}  // namespace shiftsplit::kernels
+
+#else  // !defined(__aarch64__)
+
+namespace shiftsplit::kernels {
+
+const KernelOps* GetNeonKernels() { return nullptr; }
+
+}  // namespace shiftsplit::kernels
+
+#endif  // defined(__aarch64__)

@@ -1,0 +1,78 @@
+// The scalar reference tier: portable, no ISA requirements, and the
+// ground truth the vector tiers are differentially tested against.
+
+#include <array>
+
+#include "shiftsplit/kernels/kernels.h"
+#include "shiftsplit/kernels/kernels_internal.h"
+
+namespace shiftsplit::kernels {
+
+namespace internal {
+
+namespace {
+
+// Four 256-entry tables for slicing-by-4, generated at static init time.
+struct Tables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Tables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // reflected Castagnoli
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+uint32_t Crc32cSoftware(uint32_t crc, const void* data, size_t size) {
+  const Tables& tb = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tb.t[3][crc & 0xFFu] ^ tb.t[2][(crc >> 8) & 0xFFu] ^
+          tb.t[1][(crc >> 16) & 0xFFu] ^ tb.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace internal
+
+const KernelOps& Scalar() {
+  static constexpr KernelOps kScalar = {
+      "scalar",
+      internal::HaarForwardLevelScalar,
+      internal::HaarInverseLevelScalar,
+      internal::FoldAddScalar,
+      internal::FoldAddStridedScalar,
+      internal::FoldCopyStridedScalar,
+      internal::FoldChainStridedScalar,
+      internal::Crc32cSoftware,
+  };
+  return kScalar;
+}
+
+}  // namespace shiftsplit::kernels

@@ -1,0 +1,87 @@
+// SSE4.2 tier: 2-wide double lanes (SSE2 registers) for the Haar level
+// passes and the contiguous fold, plus the crc32 instruction. Compiled
+// with -msse4.2 on x86-64 (see src/CMakeLists.txt); on other targets this
+// TU only provides the nullptr accessor. Runtime CPU support is checked
+// by dispatch.cc, not here.
+
+#include "shiftsplit/kernels/kernels.h"
+#include "shiftsplit/kernels/kernels_internal.h"
+
+#if defined(__SSE4_2__)
+
+#include <emmintrin.h>
+
+namespace shiftsplit::kernels {
+
+namespace {
+
+void HaarForwardLevelSse(const double* in, double* avg, double* det,
+                         size_t half, double scale) {
+  const __m128d vscale = _mm_set1_pd(scale);
+  size_t k = 0;
+  for (; k + 2 <= half; k += 2) {
+    const __m128d p0 = _mm_loadu_pd(in + 2 * k);      // in[2k]   in[2k+1]
+    const __m128d p1 = _mm_loadu_pd(in + 2 * k + 2);  // in[2k+2] in[2k+3]
+    const __m128d a = _mm_unpacklo_pd(p0, p1);        // lefts
+    const __m128d b = _mm_unpackhi_pd(p0, p1);        // rights
+    _mm_storeu_pd(avg + k, _mm_mul_pd(_mm_add_pd(a, b), vscale));
+    _mm_storeu_pd(det + k, _mm_mul_pd(_mm_sub_pd(a, b), vscale));
+  }
+  internal::HaarForwardLevelScalar(in + 2 * k, avg + k, det + k, half - k,
+                                   scale);
+}
+
+void HaarInverseLevelSse(const double* avg, const double* det, double* out,
+                         size_t half, double scale) {
+  const __m128d vscale = _mm_set1_pd(scale);
+  size_t k = 0;
+  for (; k + 2 <= half; k += 2) {
+    const __m128d a = _mm_loadu_pd(avg + k);
+    const __m128d d = _mm_loadu_pd(det + k);
+    const __m128d l = _mm_mul_pd(_mm_add_pd(a, d), vscale);
+    const __m128d r = _mm_mul_pd(_mm_sub_pd(a, d), vscale);
+    _mm_storeu_pd(out + 2 * k, _mm_unpacklo_pd(l, r));
+    _mm_storeu_pd(out + 2 * k + 2, _mm_unpackhi_pd(l, r));
+  }
+  internal::HaarInverseLevelScalar(avg + k, det + k, out + 2 * k, half - k,
+                                   scale);
+}
+
+void FoldAddSse(double* dst, const double* src, size_t n) {
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    _mm_storeu_pd(dst + i,
+                  _mm_add_pd(_mm_loadu_pd(dst + i), _mm_loadu_pd(src + i)));
+  }
+  internal::FoldAddScalar(dst + i, src + i, n - i);
+}
+
+}  // namespace
+
+const KernelOps* GetSse42Kernels() {
+  // Strided folds gain nothing below gather-capable ISAs; they stay scalar
+  // in this tier (bit-exact trivially). The chain is scalar by contract.
+  static constexpr KernelOps kSse42 = {
+      "sse4.2",
+      HaarForwardLevelSse,
+      HaarInverseLevelSse,
+      FoldAddSse,
+      internal::FoldAddStridedScalar,
+      internal::FoldCopyStridedScalar,
+      internal::FoldChainStridedScalar,
+      internal::Crc32cHwX86,
+  };
+  return &kSse42;
+}
+
+}  // namespace shiftsplit::kernels
+
+#else  // !defined(__SSE4_2__)
+
+namespace shiftsplit::kernels {
+
+const KernelOps* GetSse42Kernels() { return nullptr; }
+
+}  // namespace shiftsplit::kernels
+
+#endif  // defined(__SSE4_2__)

@@ -1,8 +1,20 @@
 #include "shiftsplit/service/delta_buffer.h"
 
 #include <algorithm>
+#include <cstddef>
+#include <iterator>
+
+#include "shiftsplit/kernels/kernels.h"
 
 namespace shiftsplit {
+
+std::vector<DeltaBuffer::SeqContribution>::const_iterator
+DeltaBuffer::UpperBound(const std::vector<SeqContribution>& pending,
+                        uint64_t bound) {
+  return std::upper_bound(
+      pending.begin(), pending.end(), bound,
+      [](uint64_t seq, const SeqContribution& c) { return seq < c.seq; });
+}
 
 DeltaBuffer::Snapshot::Snapshot(DeltaBuffer* buffer) : buffer_(buffer) {
   std::lock_guard<std::mutex> lock(buffer_->mu_);
@@ -16,6 +28,13 @@ DeltaBuffer::Snapshot::~Snapshot() {
 }
 
 double DeltaBuffer::OverlayView::Adjust(BlockSlot at, double stored) const {
+  // The chain fold reads SeqContribution::value straight out of the vector
+  // as a strided (AoS) double stream.
+  static_assert(sizeof(SeqContribution) == 2 * sizeof(double),
+                "SeqContribution must stay 2 doubles wide for the chain fold");
+  static_assert(offsetof(SeqContribution, value) == sizeof(uint64_t),
+                "SeqContribution::value must sit at the second lane");
+  constexpr size_t kStride = sizeof(SeqContribution) / sizeof(double);
   std::lock_guard<std::mutex> lock(buffer_->mu_);
   ++buffer_->overlay_probes_;
   const auto block_it = buffer_->slots_.find(at.block);
@@ -24,15 +43,16 @@ double DeltaBuffer::OverlayView::Adjust(BlockSlot at, double stored) const {
   if (slot_it == block_it->second.end()) return stored;
   // Fold the pending contributions with seq <= snapshot in sequence order —
   // the exact += chain the drain will later run against the stored value.
-  double value = stored;
-  bool hit = false;
-  for (const auto& [seq, contribution] : slot_it->second) {
-    if (seq > snap_) break;
-    value += contribution;
-    hit = true;
-  }
-  if (hit) ++buffer_->overlay_hits_;
-  return value;
+  // The entries are seq-sorted, so the in-snapshot ones are a prefix.
+  // fold_chain_strided is scalar in every dispatch tier by design: a serial
+  // dependent sum cannot be vectorized without reassociating it.
+  const std::vector<SeqContribution>& pending = slot_it->second;
+  const size_t count =
+      static_cast<size_t>(UpperBound(pending, snap_) - pending.begin());
+  if (count == 0) return stored;
+  ++buffer_->overlay_hits_;
+  return kernels::Active().fold_chain_strided(stored, &pending[0].value,
+                                              kStride, count);
 }
 
 void DeltaBuffer::InsertPlanLocked(std::span<const ChunkBlockOps> plan,
@@ -41,8 +61,17 @@ void DeltaBuffer::InsertPlanLocked(std::span<const ChunkBlockOps> plan,
     auto& slot_map = slots_[block_ops.block];
     for (const SlotUpdate& op : block_ops.ops) {
       // kUpdate-mode plans are accumulate-only; each (block, slot) appears
-      // at most once per plan, so this seq is new to the slot.
-      slot_map[op.slot].emplace(seq, op.value);
+      // at most once per plan, so this seq is new to the slot. Sequence
+      // numbers arrive ascending (Restore runs in log order before any
+      // Add), so appending keeps the vector sorted; the insert branch only
+      // defends against an out-of-order restore.
+      auto& pending = slot_map[op.slot];
+      if (pending.empty() || pending.back().seq < seq) {
+        pending.push_back(SeqContribution{seq, op.value});
+      } else {
+        pending.insert(UpperBound(pending, seq),
+                       SeqContribution{seq, op.value});
+      }
       ++slot_entries_;
     }
   }
@@ -155,10 +184,9 @@ std::optional<DeltaBuffer::DrainBatch> DeltaBuffer::BeginDrain() {
     for (const uint64_t slot : slot_ids) {
       // Individual contributions in sequence order, NOT pre-summed: the
       // store must run the same += chain the overlay advertised.
-      for (const auto& [seq, contribution] : slot_map.at(slot)) {
-        if (seq > upto) break;
-        out.ops.push_back(
-            SlotUpdate{slot, contribution, /*overwrite=*/false});
+      for (const SeqContribution& c : slot_map.at(slot)) {
+        if (c.seq > upto) break;
+        out.ops.push_back(SlotUpdate{slot, c.value, /*overwrite=*/false});
       }
     }
     if (!out.ops.empty()) batch.blocks.push_back(std::move(out));
@@ -180,10 +208,10 @@ void DeltaBuffer::EraseBlockPrefix(uint64_t block, uint64_t upto) {
   auto& slot_map = block_it->second;
   for (auto slot_it = slot_map.begin(); slot_it != slot_map.end();) {
     auto& contributions = slot_it->second;
-    const auto end = contributions.upper_bound(upto);
+    const auto end = UpperBound(contributions, upto);
     slot_entries_ -= static_cast<uint64_t>(
-        std::distance(contributions.begin(), end));
-    contributions.erase(contributions.begin(), end);
+        std::distance(contributions.cbegin(), end));
+    contributions.erase(contributions.cbegin(), end);
     slot_it = contributions.empty() ? slot_map.erase(slot_it) : ++slot_it;
   }
   if (slot_map.empty()) slots_.erase(block_it);

@@ -17,10 +17,10 @@
 // Coalescing is by coordinate at the cell-index level: repeated deltas to
 // one cell share a single pending-cell entry (one unit of backpressure, one
 // unit of drain-trigger pressure) and their contributions land adjacently in
-// the per-slot maps, so a drain still pins each affected block exactly once
-// per batch. Values are deliberately NOT pre-summed across sequence numbers
-// — that would apply later deltas ahead of the watermark and break both the
-// exactness invariant and replay.
+// the per-slot contribution vectors, so a drain still pins each affected
+// block exactly once per batch. Values are deliberately NOT pre-summed
+// across sequence numbers — that would apply later deltas ahead of the
+// watermark and break both the exactness invariant and replay.
 
 #ifndef SHIFTSPLIT_SERVICE_DELTA_BUFFER_H_
 #define SHIFTSPLIT_SERVICE_DELTA_BUFFER_H_
@@ -174,6 +174,18 @@ class DeltaBuffer {
     uint64_t last_seq = 0;  ///< newest sequence number of this cell
   };
 
+  /// One pending contribution at its sequence number. Two 8-byte lanes, so
+  /// a slot's pending values form a stride-2 double stream the overlay can
+  /// hand to the kernel-layer chain fold.
+  struct SeqContribution {
+    uint64_t seq = 0;
+    double value = 0.0;
+  };
+
+  /// First entry with seq > bound in a seq-sorted contribution vector.
+  static std::vector<SeqContribution>::const_iterator UpperBound(
+      const std::vector<SeqContribution>& pending, uint64_t bound);
+
   void InsertPlanLocked(std::span<const ChunkBlockOps> plan, uint64_t seq);
 
   const Config config_;
@@ -181,9 +193,10 @@ class DeltaBuffer {
 
   mutable std::mutex mu_;
   std::condition_variable cv_;
-  // block -> slot -> (seq -> contribution). Sequence-ordered per slot.
-  std::unordered_map<uint64_t,
-                     std::unordered_map<uint64_t, std::map<uint64_t, double>>>
+  // block -> slot -> contributions, seq-ascending per slot (appends arrive
+  // in sequence order; Restore runs in log order, which is seq order).
+  std::unordered_map<
+      uint64_t, std::unordered_map<uint64_t, std::vector<SeqContribution>>>
       slots_;
   // Cell coordinate -> pending entry (the coalescing index).
   std::map<std::vector<uint64_t>, CellEntry> cells_;

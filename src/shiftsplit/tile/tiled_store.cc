@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstddef>
 #include <limits>
+
+#include "shiftsplit/kernels/kernels.h"
 
 namespace shiftsplit {
 
@@ -123,12 +126,67 @@ Result<PageGuard> TiledStore::PinBlock(uint64_t block, bool for_write,
   return pool_.GetBlock(block, for_write, ctx);
 }
 
+namespace {
+
+// The kernel fold reads SlotUpdate::value straight out of the ops array as
+// a strided (AoS) double stream.
+static_assert(sizeof(SlotUpdate) == 3 * sizeof(double),
+              "SlotUpdate must stay 3 doubles wide for the strided folds");
+static_assert(offsetof(SlotUpdate, value) == sizeof(uint64_t),
+              "SlotUpdate::value must sit at the second double lane");
+constexpr size_t kSlotUpdateStride = sizeof(SlotUpdate) / sizeof(double);
+
+// Shortest consecutive-slot run worth a kernel call: below this the
+// per-call overhead beats the lane win.
+constexpr size_t kMinFoldRun = 4;
+
+}  // namespace
+
 Status TiledStore::ApplyToBlock(uint64_t block,
                                 std::span<const SlotUpdate> ops) {
   SS_RETURN_IF_ERROR(FailIfReadOnly());
   SS_ASSIGN_OR_RETURN(const PageGuard page,
                       pool_.GetBlock(block, /*for_write=*/true));
   const std::span<double> slots = page.span();
+  if (!energy_tracking_.load(std::memory_order_relaxed)) {
+    // Hot path (no per-op energy accounting): batch maximal runs of ops
+    // whose slots ascend by exactly one and share the op kind through the
+    // strided fold/copy kernels. Every slot still receives exactly the
+    // operations of the scalar loop in the same per-slot order — runs
+    // never reorder ops, and a repeated slot terminates the run (equal,
+    // not +1) — so the stored bits are identical to the scalar path.
+    const kernels::KernelOps& kernel = kernels::Active();
+    const size_t n = ops.size();
+    size_t i = 0;
+    while (i < n) {
+      size_t j = i + 1;
+      while (j < n && ops[j].overwrite == ops[i].overwrite &&
+             ops[j].slot == ops[j - 1].slot + 1) {
+        ++j;
+      }
+      const size_t run = j - i;
+      if (run >= kMinFoldRun) {
+        if (ops[i].overwrite) {
+          kernel.fold_copy_strided(slots.data() + ops[i].slot, &ops[i].value,
+                                   kSlotUpdateStride, run);
+        } else {
+          kernel.fold_add_strided(slots.data() + ops[i].slot, &ops[i].value,
+                                  kSlotUpdateStride, run);
+        }
+      } else {
+        for (size_t t = i; t < j; ++t) {
+          const SlotUpdate& op = ops[t];
+          slots[op.slot] = op.overwrite ? op.value : slots[op.slot] + op.value;
+        }
+      }
+      i = j;
+    }
+    manager_->stats().coeff_writes += ops.size();
+    return Status::OK();
+  }
+  // Energy-tracked path: the energy delta is a sequence-ordered serial sum
+  // (new² − old² per op, accumulated in op order), so it stays scalar —
+  // reassociating it would change the tracked energy bits.
   double energy_delta = 0.0;
   for (const SlotUpdate& op : ops) {
     const double old = slots[op.slot];

@@ -1,6 +1,10 @@
 // CRC32C (Castagnoli, polynomial 0x1EDC6F41, reflected 0x82F63B78) — the
-// checksum guarding on-disk block payloads and journal records. Software
-// slicing-by-4 implementation; no hardware dependency.
+// checksum guarding on-disk block payloads and journal records. Routed
+// through the kernel dispatch layer (src/shiftsplit/kernels/): the SSE4.2
+// crc32 / ARMv8 CRC instructions when the CPU supports them, the software
+// slicing-by-4 table otherwise (or under SHIFTSPLIT_FORCE_SCALAR=1). Every
+// implementation computes the identical checksum, so stores written on one
+// tier verify on any other.
 
 #ifndef SHIFTSPLIT_UTIL_CRC32C_H_
 #define SHIFTSPLIT_UTIL_CRC32C_H_

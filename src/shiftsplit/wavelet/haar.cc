@@ -3,6 +3,7 @@
 #include <cmath>
 #include <vector>
 
+#include "shiftsplit/kernels/kernels.h"
 #include "shiftsplit/util/bitops.h"
 
 namespace shiftsplit {
@@ -10,6 +11,18 @@ namespace shiftsplit {
 namespace {
 const double kInvSqrt2 = 1.0 / std::sqrt(2.0);
 const double kSqrt2 = std::sqrt(2.0);
+
+// Per-pair multipliers of the level passes, chosen so the kernel's
+// (a ± b) * scale matches the Haar{Average,Detail} / HaarReconstruct{Left,
+// Right} arithmetic bit for bit (for kAverage the inverse scale is 1.0 and
+// the multiplication is exact).
+double ForwardScale(Normalization norm) {
+  return norm == Normalization::kAverage ? 0.5 : kInvSqrt2;
+}
+
+double InverseScale(Normalization norm) {
+  return norm == Normalization::kAverage ? 1.0 : kInvSqrt2;
+}
 }  // namespace
 
 const char* NormalizationToString(Normalization norm) {
@@ -79,15 +92,13 @@ Status ForwardHaar1DLevels(std::span<double> data, uint32_t levels,
     return Status::InvalidArgument("scratch smaller than the data");
   }
   if (levels == 0) return Status::OK();
+  const kernels::KernelOps& kernel = kernels::Active();
+  const double scale = ForwardScale(norm);
   size_t s = data.size();
   for (uint32_t level = 0; level < levels; ++level) {
     const size_t half = s / 2;
-    for (size_t k = 0; k < half; ++k) {
-      const double left = data[2 * k];
-      const double right = data[2 * k + 1];
-      scratch[k] = HaarAverage(left, right, norm);
-      scratch[half + k] = HaarDetail(left, right, norm);
-    }
+    kernel.haar_forward_level(data.data(), scratch.data(),
+                              scratch.data() + half, half, scale);
     std::copy(scratch.begin(), scratch.begin() + s, data.begin());
     s = half;
   }
@@ -96,22 +107,28 @@ Status ForwardHaar1DLevels(std::span<double> data, uint32_t levels,
 
 Status InverseHaar1DLevels(std::span<double> data, uint32_t levels,
                            Normalization norm) {
+  std::vector<double> scratch(data.size());
+  return InverseHaar1DLevels(data, levels, norm, scratch);
+}
+
+Status InverseHaar1DLevels(std::span<double> data, uint32_t levels,
+                           Normalization norm, std::span<double> scratch) {
   SS_RETURN_IF_ERROR(ValidateSize(data.size()));
   const uint32_t n = Log2(data.size());
   if (levels > n) {
     return Status::InvalidArgument("more decomposition levels than log2(N)");
   }
+  if (scratch.size() < data.size()) {
+    return Status::InvalidArgument("scratch smaller than the data");
+  }
   if (levels == 0) return Status::OK();
-  std::vector<double> scratch(data.size());
+  const kernels::KernelOps& kernel = kernels::Active();
+  const double scale = InverseScale(norm);
   size_t s = data.size() >> (levels - 1);
   for (uint32_t level = 0; level < levels; ++level) {
     const size_t half = s / 2;
-    for (size_t k = 0; k < half; ++k) {
-      const double average = data[k];
-      const double detail = data[half + k];
-      scratch[2 * k] = HaarReconstructLeft(average, detail, norm);
-      scratch[2 * k + 1] = HaarReconstructRight(average, detail, norm);
-    }
+    kernel.haar_inverse_level(data.data(), data.data() + half, scratch.data(),
+                              half, scale);
     std::copy(scratch.begin(), scratch.begin() + s, data.begin());
     s *= 2;
   }

@@ -81,6 +81,12 @@ Status ForwardHaar1DLevels(std::span<double> data, uint32_t levels,
 Status InverseHaar1DLevels(std::span<double> data, uint32_t levels,
                            Normalization norm);
 
+/// \brief InverseHaar1DLevels against caller-provided scratch space (at
+/// least data.size() entries) — the inverse counterpart of the scratch
+/// ForwardHaar1DLevels overload, for bulk callers transforming many fibers.
+Status InverseHaar1DLevels(std::span<double> data, uint32_t levels,
+                           Normalization norm, std::span<double> scratch);
+
 }  // namespace shiftsplit
 
 #endif  // SHIFTSPLIT_WAVELET_HAAR_H_

@@ -68,10 +68,18 @@ Status ForwardStandard(Tensor* tensor, Normalization norm) {
 }
 
 Status InverseStandard(Tensor* tensor, Normalization norm) {
+  uint64_t max_extent = 0;
+  for (uint32_t i = 0; i < tensor->shape().ndim(); ++i) {
+    max_extent = std::max(max_extent, tensor->shape().dim(i));
+  }
+  std::vector<double> scratch(max_extent);
   for (uint32_t dim = 0; dim < tensor->shape().ndim(); ++dim) {
     SS_RETURN_IF_ERROR(TransformAlongDim(
-        tensor, dim,
-        [norm](std::span<double> f) { return InverseHaar1D(f, norm); }));
+        tensor, dim, [norm, &scratch](std::span<double> f) {
+          return InverseHaar1DLevels(
+              f, Log2(f.size()), norm,
+              std::span<double>(scratch.data(), f.size()));
+        }));
   }
   return Status::OK();
 }

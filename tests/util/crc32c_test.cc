@@ -6,6 +6,8 @@
 #include <string>
 #include <vector>
 
+#include "shiftsplit/kernels/kernels.h"
+
 namespace shiftsplit {
 namespace {
 
@@ -25,6 +27,32 @@ TEST(Crc32cTest, KnownVectors) {
     ascending[i] = static_cast<unsigned char>(i);
   }
   EXPECT_EQ(Crc32c(ascending.data(), ascending.size()), 0x46DD794Eu);
+}
+
+TEST(Crc32cTest, KnownVectorsOnEveryCompiledImplementation) {
+  // The RFC 3720 vectors must hold for EVERY runnable kernel tier, not just
+  // whichever one Crc32c dispatched to — on-disk checksums written by a
+  // hardware-CRC binary are verified by table-fallback binaries and vice
+  // versa.
+  const std::string digits = "123456789";
+  const std::vector<char> zeros(32, 0);
+  const std::vector<unsigned char> ones(32, 0xFF);
+  std::vector<unsigned char> ascending(32);
+  for (size_t i = 0; i < ascending.size(); ++i) {
+    ascending[i] = static_cast<unsigned char>(i);
+  }
+  for (const kernels::KernelOps* tier : kernels::AvailableTiers()) {
+    EXPECT_EQ(tier->crc32c(0, digits.data(), digits.size()), 0xE3069283u)
+        << tier->name;
+    EXPECT_EQ(tier->crc32c(0, zeros.data(), zeros.size()), 0x8A9136AAu)
+        << tier->name;
+    EXPECT_EQ(tier->crc32c(0, ones.data(), ones.size()), 0x62A8AB43u)
+        << tier->name;
+    EXPECT_EQ(tier->crc32c(0, ascending.data(), ascending.size()),
+              0x46DD794Eu)
+        << tier->name;
+    EXPECT_EQ(tier->crc32c(0, nullptr, 0), 0u) << tier->name;
+  }
 }
 
 TEST(Crc32cTest, EmptyInputIsZero) {

@@ -6,6 +6,15 @@
 # the same for data races in the parallel ingest pipeline and the buffer
 # pool's thread-safe mode — run this before merging storage/tile/core
 # changes.
+#
+# Every preset's suite runs twice: once with the default kernel dispatch
+# (the widest SIMD tier the build and CPU support) and once with
+# SHIFTSPLIT_FORCE_SCALAR=1, which pins kernels::Active() to the scalar
+# reference tier. Both runs must be green — the dispatch tiers are
+# bit-identical by contract, so a test that passes under one and fails
+# under the other is a kernel bug, not flakiness. Set
+# SHIFTSPLIT_FORCE_SCALAR=1 yourself to reproduce the scalar-only run of
+# any single test or bench.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -73,6 +82,27 @@ chaos_soak() {
     ctest --test-dir "$build_dir" -L chaos -j "$jobs" --output-on-failure
 }
 
+# The committed BENCH_kernels.json is CI's schema reference for the kernel
+# bench: regenerate it from the freshly built binary and diff the key sets
+# (values change run to run; the shape must not drift silently).
+bench_schema() {
+  local build_dir="$1"
+  local fresh
+  fresh="$(mktemp -d)/BENCH_kernels.json"
+  echo "==> bench_kernels schema [$build_dir]"
+  "$build_dir/bench/bench_kernels" --json "$fresh" >/dev/null
+  local want got
+  want="$(grep -o '"[a-zA-Z0-9_]*":' BENCH_kernels.json | sort -u)"
+  got="$(grep -o '"[a-zA-Z0-9_]*":' "$fresh" | sort -u)"
+  if [ "$want" != "$got" ]; then
+    echo "bench_kernels schema drifted from the committed BENCH_kernels.json:" >&2
+    diff <(echo "$want") <(echo "$got") >&2 || true
+    echo "regenerate it with: $build_dir/bench/bench_kernels --json BENCH_kernels.json" >&2
+    exit 1
+  fi
+  rm -rf "$(dirname "$fresh")"
+}
+
 for preset in default asan tsan; do
   echo "==> configure [$preset]"
   cmake --preset "$preset"
@@ -80,6 +110,8 @@ for preset in default asan tsan; do
   cmake --build --preset "$preset" -j "$jobs"
   echo "==> test [$preset]"
   ctest --preset "$preset" -j "$jobs"
+  echo "==> test [$preset, SHIFTSPLIT_FORCE_SCALAR=1]"
+  SHIFTSPLIT_FORCE_SCALAR=1 ctest --preset "$preset" -j "$jobs"
 done
 
 scrub_smoke build
@@ -90,6 +122,8 @@ serve_sim_smoke build-asan
 
 chaos_soak build
 chaos_soak build-tsan
+
+bench_schema build
 
 # The concurrent serving soak is where writer/reader/maintenance races would
 # hide; run the service label under tsan explicitly.
