@@ -8,6 +8,7 @@
 #include <chrono>
 #include <cstdio>
 #include <iterator>
+#include <thread>
 
 #include "bench_util.h"
 #include "shiftsplit/core/chunked_transform.h"
@@ -79,15 +80,25 @@ int main(int argc, char** argv) {
             .count();
     if (i == 0) base_ms = wall_ms;
 
+    // Context for cross-machine comparisons: a "4 threads" row means
+    // something very different on a 1-core host, where the workers time-slice
+    // one CPU — the oversubscribed flag marks exactly that situation.
+    const uint64_t hardware =
+        std::max(1u, std::thread::hardware_concurrency());
+    const bool oversubscribed = c.threads > hardware;
+
     const BufferPool::Stats pool = bundle.store->pool_stats();
     std::printf(
-        "  {\"config\": \"%s\", \"threads\": %u, \"wall_ms\": %.1f, "
+        "  {\"config\": \"%s\", \"threads\": %u, "
+        "\"hardware_concurrency\": %llu, \"oversubscribed\": %s, "
+        "\"wall_ms\": %.1f, "
         "\"speedup_vs_per_coefficient\": %.2f, \"chunks\": %llu, "
         "\"get_block_calls\": %llu, \"hit_rate\": %.4f, "
         "\"prefetched\": %llu, \"write_backs\": %llu, "
         "\"block_reads\": %llu, \"block_writes\": %llu, "
         "\"coeff_writes\": %llu}%s\n",
-        c.name, c.threads, wall_ms, base_ms / wall_ms,
+        c.name, c.threads, static_cast<unsigned long long>(hardware),
+        oversubscribed ? "true" : "false", wall_ms, base_ms / wall_ms,
         static_cast<unsigned long long>(result.chunks),
         static_cast<unsigned long long>(pool.hits + pool.misses),
         pool.hit_rate(), static_cast<unsigned long long>(pool.prefetched),
@@ -98,6 +109,8 @@ int main(int argc, char** argv) {
         i + 1 < std::size(configs) ? "," : "");
     report.Row(c.name)
         .Field("threads", uint64_t{c.threads})
+        .Field("hardware_concurrency", hardware)
+        .Field("oversubscribed", oversubscribed)
         .Field("wall_ms", wall_ms, 1)
         .Field("speedup_vs_per_coefficient", base_ms / wall_ms, 2)
         .Field("chunks", result.chunks)

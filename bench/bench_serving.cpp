@@ -2,14 +2,18 @@
 // ServingCube (durable group-commit acks, background maintenance draining
 // batches through the tile-batched SHIFT-SPLIT path) versus the synchronous
 // per-call Updater path (one apply + one atomic flush per delta — the only
-// way a plain WaveletCube can make each update durable before acking).
-// Readers run concurrently against the serving configuration, so the p50/p99
-// rows show query latency while maintenance is actively draining.
+// way a plain WaveletCube can make each update durable before acking), and
+// versus the sharded configurations (2 and 4 dyadic shards, each with its
+// own delta log, latch and maintenance worker). Readers run concurrently
+// against every serving configuration, so the p50/p99 rows show query
+// latency while maintenance is actively draining — the read tail a
+// monolithic cube's exclusive latch inflates and sharding is meant to cut.
 
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <functional>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -18,6 +22,7 @@
 #include "bench_util.h"
 #include "shiftsplit/core/wavelet_cube.h"
 #include "shiftsplit/service/serving_cube.h"
+#include "shiftsplit/service/sharded_cube.h"
 #include "shiftsplit/util/random.h"
 
 using namespace shiftsplit;
@@ -30,18 +35,118 @@ constexpr uint64_t kDim = uint64_t{1} << kLogDim;
 constexpr int kSyncDeltas = 200;      // per-call fsync makes these expensive
 constexpr int kServingDeltas = 2000;  // spread over the writer threads
 constexpr int kWriterThreads = 8;     // deep enough for real commit groups
+constexpr int kReaderThreads = 1;     // latency sampler
 
-std::string FreshStore(const char* tag) {
+std::string FreshDir(const char* tag) {
   const auto dir = std::filesystem::temp_directory_path() /
                    (std::string("shiftsplit_bench_serving_") + tag);
   std::filesystem::remove_all(dir);
   std::filesystem::create_directories(dir);
-  WaveletCube::Options options;
-  auto cube = DieOnError(
-      WaveletCube::CreateOnDisk(dir.string(), {kLogDim, kLogDim}, options),
-      "create store");
-  DieOnError(cube->Close(), "close fresh store");
   return dir.string();
+}
+
+// One serving configuration under test: the monolithic ServingCube and the
+// ShardedCube behind the same four calls the workload needs.
+struct Target {
+  std::function<Status(std::span<const uint64_t>, double)> add;
+  std::function<Result<double>(std::span<const uint64_t>)> point;
+  std::function<Status()> drain_all;
+  std::function<ServingStats()> stats;
+  std::function<Status()> close;
+};
+
+struct RunResult {
+  double wall_ms = 0.0;
+  double updates_per_sec = 0.0;
+  std::vector<double> read_us;
+  ServingStats stats;
+};
+
+// Concurrent writers stream random cell deltas while readers sample merged
+// point-query latency; returns wall time over the write phase.
+RunResult RunWorkload(Target& target) {
+  RunResult out;
+  std::mutex lat_mu;
+  std::atomic<bool> writers_done{false};
+  const auto writer = [&](int id) {
+    Xoshiro256 rng(100 + static_cast<uint64_t>(id));
+    for (int i = 0; i < kServingDeltas / kWriterThreads; ++i) {
+      const std::vector<uint64_t> at{rng.NextBounded(kDim),
+                                     rng.NextBounded(kDim)};
+      DieOnError(target.add(at, rng.NextUniform(-1.0, 1.0)), "serving add");
+    }
+  };
+  const auto reader = [&](int id) {
+    Xoshiro256 rng(999 + static_cast<uint64_t>(id));
+    std::vector<double> local;
+    while (!writers_done.load()) {
+      const std::vector<uint64_t> at{rng.NextBounded(kDim),
+                                     rng.NextBounded(kDim)};
+      const auto start = std::chrono::steady_clock::now();
+      DieOnError(target.point(at).status(), "serving point query");
+      local.push_back(std::chrono::duration<double, std::micro>(
+                          std::chrono::steady_clock::now() - start)
+                          .count());
+      // Sample, don't saturate: a free-spinning reader would monopolize a
+      // single-CPU host and measure contention instead of latency.
+      std::this_thread::sleep_for(std::chrono::microseconds(250));
+    }
+    std::lock_guard<std::mutex> lock(lat_mu);
+    out.read_us.insert(out.read_us.end(), local.begin(), local.end());
+  };
+
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriterThreads; ++w) threads.emplace_back(writer, w);
+  std::vector<std::thread> samplers;
+  for (int r = 0; r < kReaderThreads; ++r) samplers.emplace_back(reader, r);
+  for (auto& t : threads) t.join();
+  out.wall_ms = std::chrono::duration<double, std::milli>(
+                    std::chrono::steady_clock::now() - start)
+                    .count();
+  writers_done.store(true);
+  for (auto& t : samplers) t.join();
+  DieOnError(target.drain_all(), "final drain");
+  out.stats = target.stats();
+  DieOnError(target.close(), "close serving store");
+  out.updates_per_sec = 1000.0 * kServingDeltas / out.wall_ms;
+  return out;
+}
+
+void ReportRow(BenchJson& report, const char* config, uint32_t shards,
+               const RunResult& run, double sync_per_sec) {
+  report.Row(config)
+      .Field("deltas", uint64_t{kServingDeltas})
+      .Field("writer_threads", uint64_t{kWriterThreads})
+      .Field("reader_threads", uint64_t{kReaderThreads})
+      .Field("shards", uint64_t{shards})
+      .Field("wall_ms", run.wall_ms, 1)
+      .Field("updates_per_sec", run.updates_per_sec, 1)
+      .Field("speedup_vs_synchronous", run.updates_per_sec / sync_per_sec, 2)
+      .Field("apply_batches", run.stats.apply_batches)
+      .Field("coalesced_deltas", run.stats.coalesced_deltas)
+      .Field("log_appends", run.stats.log_appends)
+      .Field("log_syncs", run.stats.log_syncs)
+      .Field("latch_wait_us", run.stats.latch_wait_us_total)
+      .Field("latch_hold_us_max", run.stats.latch_hold_us_max)
+      .Field("read_p50_us", Percentile(run.read_us, 50), 2)
+      .Field("read_p99_us", Percentile(run.read_us, 99), 2);
+  std::printf(
+      "%-18s %d shard(s): %.1f ms, %6.0f updates/sec (%.1fx), read p50 "
+      "%.1f us p99 %.1f us, max latch hold %llu us\n",
+      config, shards, run.wall_ms, run.updates_per_sec,
+      run.updates_per_sec / sync_per_sec, Percentile(run.read_us, 50),
+      Percentile(run.read_us, 99),
+      static_cast<unsigned long long>(run.stats.latch_hold_us_max));
+}
+
+ServingCube::Options ServingOptions(uint32_t num_workers) {
+  ServingCube::Options options;
+  options.oversubscribe = true;  // real concurrency on 1-CPU hosts too
+  options.num_workers = num_workers;
+  options.drain_min_deltas = 64;
+  options.max_delta_age = std::chrono::milliseconds(5);
+  return options;
 }
 
 }  // namespace
@@ -49,15 +154,24 @@ std::string FreshStore(const char* tag) {
 int main(int argc, char** argv) {
   const std::string json_path = JsonPathFromArgs(argc, argv);
   BenchJson report("bench_serving");
+  std::vector<std::string> dirs;
 
   // Baseline: the per-call Updater path. Every delta is applied through the
   // store and committed atomically before the next one — durable, but each
   // call pays the full journal + fsync round trip.
-  const std::string sync_dir = FreshStore("sync");
   double sync_per_sec = 0.0;
   {
+    const std::string dir = FreshDir("sync");
+    dirs.push_back(dir);
+    WaveletCube::Options options;
+    {
+      auto fresh = DieOnError(
+          WaveletCube::CreateOnDisk(dir, {kLogDim, kLogDim}, options),
+          "create sync store");
+      DieOnError(fresh->Close(), "close fresh sync store");
+    }
     auto cube =
-        DieOnError(WaveletCube::OpenOnDisk(sync_dir, 256), "open sync store");
+        DieOnError(WaveletCube::OpenOnDisk(dir, 256), "open sync store");
     Xoshiro256 rng(7);
     Tensor one(TensorShape({1, 1}));
     const auto start = std::chrono::steady_clock::now();
@@ -75,6 +189,9 @@ int main(int argc, char** argv) {
     sync_per_sec = 1000.0 * kSyncDeltas / wall_ms;
     report.Row("synchronous_updater")
         .Field("deltas", uint64_t{kSyncDeltas})
+        .Field("writer_threads", uint64_t{1})
+        .Field("reader_threads", uint64_t{0})
+        .Field("shards", uint64_t{1})
         .Field("wall_ms", wall_ms, 1)
         .Field("updates_per_sec", sync_per_sec, 1);
     std::printf("synchronous per-call updater: %d deltas, %.1f ms, "
@@ -82,96 +199,61 @@ int main(int argc, char** argv) {
                 kSyncDeltas, wall_ms, sync_per_sec);
   }
 
-  // Serving path: concurrent writers ack through the group-committed delta
-  // log while maintenance workers drain coalesced batches; readers sample
-  // merged-query latency the whole time.
-  const std::string serve_dir = FreshStore("serve");
-  double serve_per_sec = 0.0;
-  std::vector<double> read_us;
+  // Monolithic serving path: concurrent writers ack through one
+  // group-committed delta log while maintenance drains under one latch.
   {
-    ServingCube::Options options;
-    options.oversubscribe = true;  // real concurrency on 1-CPU hosts too
-    options.num_workers = 2;
-    options.drain_min_deltas = 64;
-    options.max_delta_age = std::chrono::milliseconds(5);
-    auto serving = DieOnError(ServingCube::OpenOnDisk(serve_dir, 256, options),
-                              "open serving store");
-
-    std::mutex lat_mu;
-    std::atomic<bool> writers_done{false};
-    const auto writer = [&](int id) {
-      Xoshiro256 rng(100 + static_cast<uint64_t>(id));
-      for (int i = 0; i < kServingDeltas / kWriterThreads; ++i) {
-        const std::vector<uint64_t> at{rng.NextBounded(kDim),
-                                       rng.NextBounded(kDim)};
-        DieOnError(serving->Add(at, rng.NextUniform(-1.0, 1.0)),
-                   "serving add");
-      }
-    };
-    const auto reader = [&] {
-      Xoshiro256 rng(999);
-      std::vector<double> local;
-      while (!writers_done.load()) {
-        const std::vector<uint64_t> at{rng.NextBounded(kDim),
-                                       rng.NextBounded(kDim)};
-        const auto start = std::chrono::steady_clock::now();
-        DieOnError(serving->PointQuery(at).status(), "serving point query");
-        local.push_back(std::chrono::duration<double, std::micro>(
-                            std::chrono::steady_clock::now() - start)
-                            .count());
-        // Sample, don't saturate: a free-spinning reader would monopolize a
-        // single-CPU host and measure contention instead of latency.
-        std::this_thread::sleep_for(std::chrono::microseconds(250));
-      }
-      std::lock_guard<std::mutex> lock(lat_mu);
-      read_us.insert(read_us.end(), local.begin(), local.end());
-    };
-
-    const auto start = std::chrono::steady_clock::now();
-    std::vector<std::thread> threads;
-    for (int w = 0; w < kWriterThreads; ++w) threads.emplace_back(writer, w);
-    std::thread sampler(reader);
-    for (auto& t : threads) t.join();
-    const double wall_ms = std::chrono::duration<double, std::milli>(
-                               std::chrono::steady_clock::now() - start)
-                               .count();
-    writers_done.store(true);
-    sampler.join();
-    DieOnError(serving->DrainAll(), "final drain");
-    const ServingStats stats = serving->stats();
-    DieOnError(serving->Close(), "close serving store");
-
-    serve_per_sec = 1000.0 * kServingDeltas / wall_ms;
-    report.Row("serving_buffered")
-        .Field("deltas", uint64_t{kServingDeltas})
-        .Field("writer_threads", uint64_t{kWriterThreads})
-        .Field("wall_ms", wall_ms, 1)
-        .Field("updates_per_sec", serve_per_sec, 1)
-        .Field("speedup_vs_synchronous", serve_per_sec / sync_per_sec, 2)
-        .Field("apply_batches", stats.apply_batches)
-        .Field("coalesced_deltas", stats.coalesced_deltas)
-        .Field("log_appends", stats.log_appends)
-        .Field("log_syncs", stats.log_syncs)
-        .Field("read_p50_us", Percentile(read_us, 50), 2)
-        .Field("read_p99_us", Percentile(read_us, 99), 2);
-    std::printf(
-        "buffered serving path:        %d deltas, %.1f ms, %.0f updates/sec "
-        "(%.1fx)\n",
-        kServingDeltas, wall_ms, serve_per_sec, serve_per_sec / sync_per_sec);
-    std::printf(
-        "reads during maintenance:     %zu samples, p50 %.1f us, p99 %.1f us\n",
-        read_us.size(), Percentile(read_us, 50), Percentile(read_us, 99));
-    std::printf(
-        "maintenance:                  %llu batch(es), %llu coalesced, "
-        "%llu log appends in %llu fsync group(s)\n",
-        static_cast<unsigned long long>(stats.apply_batches),
-        static_cast<unsigned long long>(stats.coalesced_deltas),
-        static_cast<unsigned long long>(stats.log_appends),
-        static_cast<unsigned long long>(stats.log_syncs));
+    const std::string dir = FreshDir("serve");
+    dirs.push_back(dir);
+    WaveletCube::Options options;
+    {
+      auto fresh = DieOnError(
+          WaveletCube::CreateOnDisk(dir, {kLogDim, kLogDim}, options),
+          "create serving store");
+      DieOnError(fresh->Close(), "close fresh serving store");
+    }
+    auto serving = DieOnError(
+        ServingCube::OpenOnDisk(dir, 256, ServingOptions(/*num_workers=*/2)),
+        "open serving store");
+    Target target{
+        [&](std::span<const uint64_t> at, double v) {
+          return serving->Add(at, v);
+        },
+        [&](std::span<const uint64_t> at) { return serving->PointQuery(at); },
+        [&] { return serving->DrainAll(); },
+        [&] { return serving->stats(); },
+        [&] { return serving->Close(); }};
+    ReportRow(report, "serving_buffered", 1, RunWorkload(target),
+              sync_per_sec);
   }
 
-  std::filesystem::remove_all(sync_dir);
-  std::filesystem::remove_all(serve_dir);
+  // Sharded serving: 2^k independent sub-domain cubes behind the router —
+  // per-shard delta logs parallelize group commit, and a drain's exclusive
+  // latch stalls only the readers of that one shard.
+  for (const uint32_t shards : {uint32_t{2}, uint32_t{4}}) {
+    const std::string dir =
+        FreshDir(("sharded" + std::to_string(shards)).c_str());
+    dirs.push_back(dir);
+    WaveletCube::Options cube_options;
+    ShardedCube::Options options;
+    options.serving = ServingOptions(/*num_workers=*/1);  // one per shard
+    auto sharded = DieOnError(
+        ShardedCube::CreateOnDisk(dir, {kLogDim, kLogDim}, shards,
+                                  cube_options, options),
+        "create sharded store");
+    Target target{
+        [&](std::span<const uint64_t> at, double v) {
+          return sharded->Add(at, v);
+        },
+        [&](std::span<const uint64_t> at) { return sharded->PointQuery(at); },
+        [&] { return sharded->DrainAll(); },
+        [&] { return sharded->stats(); },
+        [&] { return sharded->Close(); }};
+    const std::string config = "sharded_" + std::to_string(shards);
+    ReportRow(report, config.c_str(), shards, RunWorkload(target),
+              sync_per_sec);
+  }
+
+  for (const std::string& dir : dirs) std::filesystem::remove_all(dir);
   report.Write(json_path);
   return 0;
 }

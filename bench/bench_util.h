@@ -120,6 +120,9 @@ class BenchJson {
   BenchJson& Field(const std::string& key, const std::string& value) {
     return Raw(key, "\"" + value + "\"");
   }
+  BenchJson& Field(const std::string& key, bool value) {
+    return Raw(key, value ? "true" : "false");
+  }
 
   void Write(const std::string& path) const {
     if (path.empty()) return;

@@ -762,4 +762,16 @@ Result<std::vector<ProgressiveEstimate>> ProgressiveRangeSumNonstandard(
   return rounds;
 }
 
+bool ClipBoxToSlab(std::span<const uint64_t> lo, std::span<const uint64_t> hi,
+                   uint32_t dim, uint64_t slab_lo, uint64_t slab_hi,
+                   std::vector<uint64_t>* clipped_lo,
+                   std::vector<uint64_t>* clipped_hi) {
+  if (lo[dim] > slab_hi || hi[dim] < slab_lo) return false;
+  clipped_lo->assign(lo.begin(), lo.end());
+  clipped_hi->assign(hi.begin(), hi.end());
+  (*clipped_lo)[dim] = std::max(lo[dim], slab_lo);
+  (*clipped_hi)[dim] = std::min(hi[dim], slab_hi);
+  return true;
+}
+
 }  // namespace shiftsplit

@@ -149,6 +149,19 @@ Result<std::vector<DegradedResult>> BatchPointQueryStandardResilient(
     const std::vector<std::vector<uint64_t>>& points,
     const QueryOptions& options = {});
 
+/// \brief Clips the inclusive box [lo, hi] to the slab
+/// `slab_lo <= x[dim] <= slab_hi` along dimension `dim`. Returns false when
+/// the box and the slab are disjoint; otherwise writes the clipped inclusive
+/// bounds (equal to the input bounds in every other dimension). The serving
+/// layer's shard router uses this to decompose a range sum into exact
+/// per-shard sub-ranges: a box clipped to a dyadic sub-domain lies entirely
+/// inside that sub-domain, so the sub-domain's self-contained transform
+/// answers it exactly and the global sum is the sum of the parts.
+bool ClipBoxToSlab(std::span<const uint64_t> lo, std::span<const uint64_t> hi,
+                   uint32_t dim, uint64_t slab_lo, uint64_t slab_hi,
+                   std::vector<uint64_t>* clipped_lo,
+                   std::vector<uint64_t>* clipped_hi);
+
 /// \brief The per-dimension aggregate weight with which the 1-d coefficient
 /// at `index` contributes to the sum over [lo, hi] (inclusive): the sum of
 /// its reconstruction weights over the interval. Zero for details fully

@@ -46,14 +46,20 @@ StoreManifest MakeManifest(std::vector<uint32_t> log_dims,
 
 }  // namespace
 
-Status WaveletCube::OpenStore(uint64_t pool_blocks) {
+Status WaveletCube::OpenStore(uint64_t pool_blocks, BlockManager* borrowed) {
   SS_ASSIGN_OR_RETURN(auto layout, manifest_.MakeLayout());
   if (dir_.empty()) {
-    device_ =
-        std::make_unique<MemoryBlockManager>(layout->block_capacity());
+    BlockManager* device = borrowed;
+    if (device == nullptr) {
+      device_ =
+          std::make_unique<MemoryBlockManager>(layout->block_capacity());
+      device = device_.get();
+    } else if (device->block_size() != layout->block_capacity()) {
+      return Status::InvalidArgument(
+          "borrowed device block size does not match the layout");
+    }
     SS_ASSIGN_OR_RETURN(
-        store_,
-        TiledStore::Create(std::move(layout), device_.get(), pool_blocks));
+        store_, TiledStore::Create(std::move(layout), device, pool_blocks));
     return Status::OK();
   }
   FileBlockManager::Options file_options;
@@ -85,7 +91,7 @@ Result<std::unique_ptr<WaveletCube>> WaveletCube::CreateInMemory(
   }
   std::unique_ptr<WaveletCube> cube(new WaveletCube());
   cube->manifest_ = MakeManifest(std::move(log_dims), options);
-  SS_RETURN_IF_ERROR(cube->OpenStore(options.pool_blocks));
+  SS_RETURN_IF_ERROR(cube->OpenStore(options.pool_blocks, options.device));
   return cube;
 }
 
@@ -228,7 +234,7 @@ Result<CompressedSynopsis> WaveletCube::Compress(uint64_t k) {
 
 Status WaveletCube::Flush() {
   SS_RETURN_IF_ERROR(store_->Flush());
-  return device_->Sync();
+  return store_->manager().Sync();
 }
 
 Status WaveletCube::Close() { return store_->Close(); }

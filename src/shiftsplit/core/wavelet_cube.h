@@ -39,6 +39,11 @@ class WaveletCube {
     /// footers, an atomic-commit journal, and crash recovery on open; 1
     /// writes the legacy raw format. Ignored for in-memory cubes.
     uint32_t format_version = 2;
+    /// Test seam for CreateInMemory: back the cube with this externally
+    /// owned block device (e.g. a fault-injection decorator over a
+    /// MemoryBlockManager) instead of a fresh one. Must outlive the cube and
+    /// have block_size == the layout's block capacity. Ignored on disk.
+    BlockManager* device = nullptr;
   };
 
   /// \brief Creates an empty in-memory cube.
@@ -137,11 +142,11 @@ class WaveletCube {
  private:
   WaveletCube() = default;
 
-  Status OpenStore(uint64_t pool_blocks);
+  Status OpenStore(uint64_t pool_blocks, BlockManager* borrowed = nullptr);
 
   StoreManifest manifest_;
   std::string dir_;  // empty for in-memory cubes
-  std::unique_ptr<BlockManager> device_;
+  std::unique_ptr<BlockManager> device_;  // null when the device is borrowed
   std::unique_ptr<TiledStore> store_;
 };
 

@@ -31,11 +31,27 @@ Result<ChunkApplyPlan> PlanCell(const TileLayout& layout,
   return PlanChunkStandard(cell, coords, log_dims, layout, norm, apply);
 }
 
+// Microseconds elapsed since `start`, saturating at zero.
+uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - start);
+  return us.count() > 0 ? static_cast<uint64_t>(us.count()) : 0;
+}
+
 }  // namespace
 
 Result<std::unique_ptr<ServingCube>> ServingCube::Attach(
     std::unique_ptr<WaveletCube> cube, const Options& options) {
   return Make(std::move(cube), options, /*dir=*/"");
+}
+
+Result<std::unique_ptr<ServingCube>> ServingCube::AttachDurable(
+    std::unique_ptr<WaveletCube> cube, const std::string& dir,
+    const Options& options) {
+  if (dir.empty()) {
+    return Status::InvalidArgument("AttachDurable needs a directory");
+  }
+  return Make(std::move(cube), options, dir);
 }
 
 Result<std::unique_ptr<ServingCube>> ServingCube::OpenOnDisk(
@@ -156,6 +172,25 @@ Status ServingCube::Add(std::span<const uint64_t> coords, double delta,
   return Status::OK();
 }
 
+Status ServingCube::AddBuffered(std::span<const uint64_t> coords,
+                                double delta, OperationContext* ctx,
+                                uint64_t* seq) {
+  SS_RETURN_IF_ERROR(CheckHealthy());
+  uint64_t assigned = 0;
+  SS_RETURN_IF_ERROR(BufferCell(coords, delta, ctx, &assigned));
+  if (seq != nullptr) *seq = assigned;
+  return Status::OK();
+}
+
+Status ServingCube::SyncAcks(uint64_t seq) {
+  SS_RETURN_IF_ERROR(CheckHealthy());
+  if (log_ != nullptr && options_.durable_acks) {
+    SS_RETURN_IF_ERROR(log_->Sync(seq));
+  }
+  MaybeKickWorkers();
+  return Status::OK();
+}
+
 Status ServingCube::Update(const Tensor& deltas,
                            std::span<const uint64_t> origin,
                            OperationContext* ctx) {
@@ -194,7 +229,9 @@ Result<double> ServingCube::PointQuery(std::span<const uint64_t> point,
   // (folded by the overlay) or already applied to the store — exactly once
   // either way.
   DeltaBuffer::Snapshot snap(buffer_.get());
+  const auto wait_start = std::chrono::steady_clock::now();
   std::shared_lock<std::shared_mutex> latch(latch_);
+  latch_wait_us_.fetch_add(ElapsedUs(wait_start), std::memory_order_relaxed);
   DeltaBuffer::OverlayView view(buffer_.get(), snap);
   QueryOptions q;
   q.norm = cube_->manifest().norm;
@@ -209,7 +246,9 @@ Result<double> ServingCube::RangeSum(std::span<const uint64_t> lo,
                                      OperationContext* ctx) {
   SS_RETURN_IF_ERROR(CheckHealthy());
   DeltaBuffer::Snapshot snap(buffer_.get());
+  const auto wait_start = std::chrono::steady_clock::now();
   std::shared_lock<std::shared_mutex> latch(latch_);
+  latch_wait_us_.fetch_add(ElapsedUs(wait_start), std::memory_order_relaxed);
   DeltaBuffer::OverlayView view(buffer_.get(), snap);
   QueryOptions q;
   q.norm = cube_->manifest().norm;
@@ -231,15 +270,28 @@ Status ServingCube::DrainOnce() {
     // Apply and retire one block in a single exclusive critical section:
     // a query latched before us folds the contributions over the old block,
     // one latched after us reads the new block without them — same bits.
+    const auto wait_start = std::chrono::steady_clock::now();
     std::unique_lock<std::shared_mutex> latch(latch_);
+    latch_wait_us_.fetch_add(ElapsedUs(wait_start),
+                             std::memory_order_relaxed);
+    const auto hold_start = std::chrono::steady_clock::now();
     Status status = store->ApplyToBlock(block.block, block.ops);
+    if (status.ok()) buffer_->EraseBlockPrefix(block.block, batch->upto);
+    latch.unlock();
+    const uint64_t held = ElapsedUs(hold_start);
+    latch_hold_us_total_.fetch_add(held, std::memory_order_relaxed);
+    latch_exclusive_holds_.fetch_add(1, std::memory_order_relaxed);
+    uint64_t prev_max = latch_hold_us_max_.load(std::memory_order_relaxed);
+    while (held > prev_max &&
+           !latch_hold_us_max_.compare_exchange_weak(
+               prev_max, held, std::memory_order_relaxed)) {
+    }
     if (!status.ok()) {
       // The batch is now part-applied and part-erased; no consistent state
       // remains to serve from.
       Poison(status);
       return status;
     }
-    buffer_->EraseBlockPrefix(block.block, batch->upto);
   }
 
   if (meta_block_ != kNoMetaBlock) {
@@ -364,6 +416,12 @@ ServingStats ServingCube::stats() const {
   ServingStats out;
   buffer_->StatsInto(&out);
   out.replayed_deltas = replayed_deltas_;
+  out.latch_wait_us_total = latch_wait_us_.load(std::memory_order_relaxed);
+  out.latch_hold_us_total =
+      latch_hold_us_total_.load(std::memory_order_relaxed);
+  out.latch_hold_us_max = latch_hold_us_max_.load(std::memory_order_relaxed);
+  out.latch_exclusive_holds =
+      latch_exclusive_holds_.load(std::memory_order_relaxed);
   if (log_ != nullptr) {
     out.log_appends = log_->appends();
     out.log_syncs = log_->syncs();

@@ -89,6 +89,15 @@ class ServingCube {
   static Result<std::unique_ptr<ServingCube>> OpenOnDisk(
       const std::string& dir, uint64_t pool_blocks = 256);
 
+  /// \brief Fronts an already-open cube with the full durable machinery of
+  /// OpenOnDisk — delta log and applied watermark in `dir` (which must
+  /// exist) — without reopening the store. Lets tests wrap the cube's block
+  /// device (e.g. in a fault-injection decorator) while keeping journaled
+  /// recovery; the device must be resizable (one extra meta block).
+  static Result<std::unique_ptr<ServingCube>> AttachDurable(
+      std::unique_ptr<WaveletCube> cube, const std::string& dir,
+      const Options& options);
+
   ~ServingCube();
   ServingCube(const ServingCube&) = delete;
   ServingCube& operator=(const ServingCube&) = delete;
@@ -104,6 +113,19 @@ class ServingCube {
   /// of WaveletCube::Update, and the path an appended slice takes too.
   Status Update(const Tensor& deltas, std::span<const uint64_t> origin,
                 OperationContext* ctx = nullptr);
+
+  /// \brief Buffers one cell without the group-commit fsync; queries see
+  /// the delta immediately, but it is not acknowledged durable until a
+  /// later SyncAcks (or any synced Add) covers its sequence number. The
+  /// sharded Update path uses this to batch one fsync per shard per box.
+  Status AddBuffered(std::span<const uint64_t> coords, double delta,
+                     OperationContext* ctx = nullptr,
+                     uint64_t* seq = nullptr);
+
+  /// \brief Fsyncs the delta log through `seq` (no-op for volatile cubes
+  /// and durable_acks=false) and kicks maintenance — the group ack closing
+  /// a run of AddBuffered calls.
+  Status SyncAcks(uint64_t seq);
 
   /// \brief Point query with pending deltas merged in; bit-identical to the
   /// same query against a store that had applied every accepted delta.
@@ -175,6 +197,13 @@ class ServingCube {
   /// buffer).
   mutable std::shared_mutex latch_;
   std::mutex drain_mu_;  ///< serializes whole drain batches
+
+  // Latch timing (microseconds): waits on either acquisition mode, plus the
+  // exclusive hold per drained block — the read-tail stall budget.
+  mutable std::atomic<uint64_t> latch_wait_us_{0};
+  std::atomic<uint64_t> latch_hold_us_total_{0};
+  std::atomic<uint64_t> latch_hold_us_max_{0};
+  std::atomic<uint64_t> latch_exclusive_holds_{0};
 
   mutable std::mutex failed_mu_;
   Status failed_status_;  ///< OK while healthy; sticky failure otherwise

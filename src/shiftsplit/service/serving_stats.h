@@ -32,6 +32,14 @@ struct ServingStats {
   uint64_t overlay_probes = 0;    ///< coefficients checked against the buffer
   uint64_t overlay_hits = 0;      ///< probes that folded pending contributions
 
+  // Store latch. Queries wait when maintenance holds the latch exclusively;
+  // the hold counters bound how long a drain batch can stall the read tail
+  // (the p999-grade spike source), per exclusive critical section.
+  uint64_t latch_wait_us_total = 0;  ///< total acquisition wait, all callers
+  uint64_t latch_hold_us_total = 0;  ///< total exclusive (maintenance) hold
+  uint64_t latch_hold_us_max = 0;    ///< longest single exclusive hold
+  uint64_t latch_exclusive_holds = 0;  ///< exclusive critical sections
+
   // Delta log.
   uint64_t log_appends = 0;       ///< records staged to the delta log
   uint64_t log_syncs = 0;         ///< group-commit fsync batches
@@ -50,7 +58,12 @@ struct ServingStats {
         << " stall_us=" << stall_us << " batches=" << apply_batches
         << " applied=" << applied_deltas << " replayed=" << replayed_deltas
         << " overlay_probes=" << overlay_probes
-        << " overlay_hits=" << overlay_hits << " log_appends=" << log_appends
+        << " overlay_hits=" << overlay_hits
+        << " latch_wait_us=" << latch_wait_us_total
+        << " latch_hold_us=" << latch_hold_us_total
+        << " latch_hold_us_max=" << latch_hold_us_max
+        << " latch_holds=" << latch_exclusive_holds
+        << " log_appends=" << log_appends
         << " log_syncs=" << log_syncs << " torn=" << log_torn_records
         << " last_seq=" << last_seq << " durable_seq=" << durable_seq
         << " applied_seq=" << applied_seq;

@@ -1,0 +1,100 @@
+#include "shiftsplit/service/shard_router.h"
+
+#include "shiftsplit/core/query.h"
+
+namespace shiftsplit {
+
+uint32_t ShardRouter::PickSplitDim(std::span<const uint32_t> log_dims) {
+  uint32_t best = 0;
+  for (uint32_t d = 1; d < log_dims.size(); ++d) {
+    if (log_dims[d] > log_dims[best]) best = d;
+  }
+  return best;
+}
+
+Result<ShardRouter> ShardRouter::Make(std::vector<uint32_t> log_dims,
+                                      uint32_t num_shards) {
+  const uint32_t split = PickSplitDim(log_dims);
+  return Make(std::move(log_dims), split, num_shards);
+}
+
+Result<ShardRouter> ShardRouter::Make(std::vector<uint32_t> log_dims,
+                                      uint32_t split_dim,
+                                      uint32_t num_shards) {
+  if (log_dims.empty()) {
+    return Status::InvalidArgument("sharding needs a non-empty domain");
+  }
+  if (split_dim >= log_dims.size()) {
+    return Status::InvalidArgument("split dimension out of range");
+  }
+  if (num_shards == 0 || (num_shards & (num_shards - 1)) != 0) {
+    return Status::InvalidArgument(
+        "shard count must be a power of two, got " +
+        std::to_string(num_shards));
+  }
+  uint32_t prefix_bits = 0;
+  while ((uint32_t{1} << prefix_bits) < num_shards) ++prefix_bits;
+  if (prefix_bits >= log_dims[split_dim]) {
+    return Status::InvalidArgument(
+        "cannot split dimension " + std::to_string(split_dim) +
+        " (log extent " + std::to_string(log_dims[split_dim]) + ") into " +
+        std::to_string(num_shards) +
+        " shards: each shard needs at least one level");
+  }
+  ShardRouter router;
+  router.log_dims_ = std::move(log_dims);
+  router.shard_log_dims_ = router.log_dims_;
+  router.shard_log_dims_[split_dim] -= prefix_bits;
+  router.split_dim_ = split_dim;
+  router.num_shards_ = num_shards;
+  router.prefix_bits_ = prefix_bits;
+  router.slab_extent_ = uint64_t{1} << router.shard_log_dims_[split_dim];
+  return router;
+}
+
+Result<uint32_t> ShardRouter::RoutePoint(
+    std::span<const uint64_t> point) const {
+  if (point.size() != log_dims_.size()) {
+    return Status::InvalidArgument("point dimensionality mismatch");
+  }
+  for (uint32_t d = 0; d < log_dims_.size(); ++d) {
+    if (point[d] >= (uint64_t{1} << log_dims_[d])) {
+      return Status::OutOfRange("point beyond the dataset domain");
+    }
+  }
+  return ShardOf(point);
+}
+
+Result<std::vector<ShardRange>> ShardRouter::DecomposeRange(
+    std::span<const uint64_t> lo, std::span<const uint64_t> hi) const {
+  if (lo.size() != log_dims_.size() || hi.size() != log_dims_.size()) {
+    return Status::InvalidArgument("range dimensionality mismatch");
+  }
+  for (uint32_t d = 0; d < log_dims_.size(); ++d) {
+    if (lo[d] > hi[d] || hi[d] >= (uint64_t{1} << log_dims_[d])) {
+      return Status::OutOfRange("bad range bounds");
+    }
+  }
+  // Only the shards whose slabs intersect [lo, hi] along the split
+  // dimension contribute; their clipped boxes tile the input box exactly.
+  const uint32_t first = static_cast<uint32_t>(lo[split_dim_] / slab_extent_);
+  const uint32_t last = static_cast<uint32_t>(hi[split_dim_] / slab_extent_);
+  std::vector<ShardRange> parts;
+  parts.reserve(last - first + 1);
+  for (uint32_t shard = first; shard <= last; ++shard) {
+    std::vector<uint64_t> clipped_lo;
+    std::vector<uint64_t> clipped_hi;
+    if (!ClipBoxToSlab(lo, hi, split_dim_, SlabLo(shard), SlabHi(shard),
+                       &clipped_lo, &clipped_hi)) {
+      continue;  // unreachable for shards in [first, last]; keep it safe
+    }
+    ShardRange part;
+    part.shard = shard;
+    part.lo = ToLocal(clipped_lo, shard);
+    part.hi = ToLocal(clipped_hi, shard);
+    parts.push_back(std::move(part));
+  }
+  return parts;
+}
+
+}  // namespace shiftsplit

@@ -1,0 +1,119 @@
+// Dyadic shard addressing for the sharded serving layer. The global domain
+// is partitioned along one dimension (the widest, ties to the lowest index)
+// into 2^k sub-domains of equal extent; shard `s` owns the coordinates whose
+// top k bits along that dimension equal s — the dyadic prefix. Each shard's
+// store holds the self-contained wavelet transform of its own sub-domain
+// (the SHIFT-SPLIT lifting argument in DESIGN.md §9 shows this collection is
+// equivalent to one monolithic transform), so the router can:
+//
+//  * map a cell update to its owning shard (dyadic prefix of the split
+//    coordinate) and to shard-local coordinates (the remaining bits);
+//  * fan a point query to exactly one shard;
+//  * decompose a range sum across shard boundaries: the box clipped to a
+//    dyadic sub-domain lies entirely inside it, each shard answers its
+//    clipped box exactly from its own transform, and the global answer is
+//    the sum — no cross-shard coefficient paths at query time.
+//
+// The router is immutable after construction and safe to share across
+// threads.
+
+#ifndef SHIFTSPLIT_SERVICE_SHARD_ROUTER_H_
+#define SHIFTSPLIT_SERVICE_SHARD_ROUTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+
+/// \brief One shard's portion of a decomposed range query: the clipped box
+/// in shard-local coordinates.
+struct ShardRange {
+  uint32_t shard = 0;
+  std::vector<uint64_t> lo;  ///< shard-local inclusive lower corner
+  std::vector<uint64_t> hi;  ///< shard-local inclusive upper corner
+};
+
+/// \brief Immutable dyadic-prefix shard addressing (see the file comment).
+class ShardRouter {
+ public:
+  /// A default-constructed router is an empty placeholder; assign one built
+  /// by Make before use.
+  ShardRouter() = default;
+
+  /// \brief Builds a router partitioning `log_dims` into `num_shards` (a
+  /// power of two) dyadic sub-domains along `split_dim`. Fails unless the
+  /// split dimension has at least one level left per shard (num_shards <
+  /// 2^log_dims[split_dim]).
+  static Result<ShardRouter> Make(std::vector<uint32_t> log_dims,
+                                  uint32_t split_dim, uint32_t num_shards);
+
+  /// \brief As above with the canonical split dimension: the widest one,
+  /// ties broken toward the lowest index.
+  static Result<ShardRouter> Make(std::vector<uint32_t> log_dims,
+                                  uint32_t num_shards);
+
+  /// \brief The canonical split dimension for a domain (widest, lowest
+  /// index on ties).
+  static uint32_t PickSplitDim(std::span<const uint32_t> log_dims);
+
+  uint32_t num_shards() const { return num_shards_; }
+  uint32_t split_dim() const { return split_dim_; }
+  /// log2(num_shards): the dyadic prefix width.
+  uint32_t prefix_bits() const { return prefix_bits_; }
+  const std::vector<uint32_t>& log_dims() const { return log_dims_; }
+  /// The per-shard sub-domain extents: global with split_dim reduced.
+  const std::vector<uint32_t>& shard_log_dims() const {
+    return shard_log_dims_;
+  }
+  /// Extent of one shard's slab along the split dimension.
+  uint64_t slab_extent() const { return slab_extent_; }
+
+  /// \brief Owning shard of a global cell: the dyadic prefix (top
+  /// prefix_bits bits) of the split coordinate. The coordinates must be
+  /// in-domain (callers validate; shards re-validate locally).
+  uint32_t ShardOf(std::span<const uint64_t> coords) const {
+    return static_cast<uint32_t>(coords[split_dim_] / slab_extent_);
+  }
+
+  /// \brief Global -> shard-local coordinates (subtract the slab origin
+  /// along the split dimension).
+  std::vector<uint64_t> ToLocal(std::span<const uint64_t> coords,
+                                uint32_t shard) const {
+    std::vector<uint64_t> local(coords.begin(), coords.end());
+    local[split_dim_] -= uint64_t{shard} * slab_extent_;
+    return local;
+  }
+
+  /// \brief Inclusive global bounds of shard `s`'s slab along split_dim.
+  uint64_t SlabLo(uint32_t shard) const {
+    return uint64_t{shard} * slab_extent_;
+  }
+  uint64_t SlabHi(uint32_t shard) const {
+    return uint64_t{shard + 1} * slab_extent_ - 1;
+  }
+
+  /// \brief Decomposes the global inclusive box [lo, hi] into per-shard
+  /// clipped boxes in shard-local coordinates, ascending by shard. Boxes
+  /// are validated against the global domain first (kInvalidArgument /
+  /// kOutOfRange, matching the monolithic query entry points).
+  Result<std::vector<ShardRange>> DecomposeRange(
+      std::span<const uint64_t> lo, std::span<const uint64_t> hi) const;
+
+  /// \brief Validates a global point and returns its owning shard.
+  Result<uint32_t> RoutePoint(std::span<const uint64_t> point) const;
+
+ private:
+  std::vector<uint32_t> log_dims_;
+  std::vector<uint32_t> shard_log_dims_;
+  uint32_t split_dim_ = 0;
+  uint32_t num_shards_ = 1;
+  uint32_t prefix_bits_ = 0;
+  uint64_t slab_extent_ = 0;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_SERVICE_SHARD_ROUTER_H_

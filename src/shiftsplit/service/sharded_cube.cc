@@ -1,0 +1,240 @@
+#include "shiftsplit/service/sharded_cube.h"
+
+#include <algorithm>
+#include <filesystem>
+
+namespace shiftsplit {
+
+namespace {
+
+constexpr const char* kShardSetManifest = "shardset.manifest";
+
+std::string ShardSetPath(const std::string& dir) {
+  return (std::filesystem::path(dir) / kShardSetManifest).string();
+}
+
+std::string ShardPath(const std::string& dir, const std::string& shard_dir) {
+  return (std::filesystem::path(dir) / shard_dir).string();
+}
+
+}  // namespace
+
+bool ShardedCube::IsShardedDir(const std::string& dir) {
+  std::error_code ec;
+  return std::filesystem::exists(ShardSetPath(dir), ec);
+}
+
+Result<std::unique_ptr<ShardedCube>> ShardedCube::CreateOnDisk(
+    const std::string& dir, std::vector<uint32_t> log_dims,
+    uint32_t num_shards, const WaveletCube::Options& cube_options,
+    const Options& options) {
+  if (cube_options.form != StoreForm::kStandard) {
+    return Status::Unimplemented(
+        "ShardedCube currently supports standard-form cubes");
+  }
+  SS_ASSIGN_OR_RETURN(ShardRouter router,
+                      ShardRouter::Make(log_dims, num_shards));
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("cannot create sharded store directory " + dir);
+  }
+
+  ShardSetManifest manifest;
+  manifest.num_shards = num_shards;
+  manifest.split_dim = router.split_dim();
+  manifest.log_dims = std::move(log_dims);
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    manifest.shard_dirs.push_back(ShardSetManifest::ShardDirName(s));
+  }
+  // Shard stores first, manifest last: a crash mid-create leaves either no
+  // shard set at all (no shardset.manifest) or a complete one.
+  for (uint32_t s = 0; s < num_shards; ++s) {
+    SS_ASSIGN_OR_RETURN(
+        std::unique_ptr<WaveletCube> cube,
+        WaveletCube::CreateOnDisk(ShardPath(dir, manifest.shard_dirs[s]),
+                                  router.shard_log_dims(), cube_options));
+    SS_RETURN_IF_ERROR(cube->Close());
+  }
+  SS_RETURN_IF_ERROR(manifest.Save(ShardSetPath(dir)));
+  return OpenOnDisk(dir, options);
+}
+
+Result<std::unique_ptr<ShardedCube>> ShardedCube::OpenOnDisk(
+    const std::string& dir, const Options& options) {
+  SS_ASSIGN_OR_RETURN(ShardSetManifest manifest,
+                      ShardSetManifest::Load(ShardSetPath(dir)));
+  SS_ASSIGN_OR_RETURN(
+      ShardRouter router,
+      ShardRouter::Make(manifest.log_dims, manifest.split_dim,
+                        manifest.num_shards));
+  std::unique_ptr<ShardedCube> sharded(new ShardedCube());
+  sharded->router_ = std::move(router);
+  sharded->shards_.reserve(manifest.num_shards);
+  for (uint32_t s = 0; s < manifest.num_shards; ++s) {
+    SS_ASSIGN_OR_RETURN(
+        std::unique_ptr<ServingCube> shard,
+        ServingCube::OpenOnDisk(ShardPath(dir, manifest.shard_dirs[s]),
+                                options.pool_blocks_per_shard,
+                                options.serving));
+    if (shard->cube()->log_dims() != sharded->router_.shard_log_dims()) {
+      return Status::Internal(
+          "shard " + manifest.shard_dirs[s] +
+          " does not match the shard set's per-shard sub-domain");
+    }
+    sharded->shards_.push_back(std::move(shard));
+  }
+  return sharded;
+}
+
+ShardedCube::~ShardedCube() { StopWorkers(); }
+
+Status ShardedCube::Add(std::span<const uint64_t> coords, double delta,
+                        OperationContext* ctx) {
+  SS_ASSIGN_OR_RETURN(const uint32_t shard, router_.RoutePoint(coords));
+  return shards_[shard]->Add(router_.ToLocal(coords, shard), delta, ctx);
+}
+
+Status ShardedCube::Update(const Tensor& deltas,
+                           std::span<const uint64_t> origin,
+                           OperationContext* ctx) {
+  const TensorShape& shape = deltas.shape();
+  if (origin.size() != shape.ndim() ||
+      shape.ndim() != router_.log_dims().size()) {
+    return Status::InvalidArgument("origin/deltas dimensionality mismatch");
+  }
+  std::vector<uint64_t> hi(origin.begin(), origin.end());
+  for (uint32_t d = 0; d < shape.ndim(); ++d) hi[d] += shape.dim(d) - 1;
+  // Validates the box against the global domain; the clipped sub-boxes need
+  // not have power-of-two extents, so cells are buffered individually (in
+  // global row-major order, which keeps each shard's relative order) with
+  // one group ack per touched shard.
+  SS_RETURN_IF_ERROR(router_.DecomposeRange(origin, hi).status());
+  std::vector<uint64_t> last_seq(shards_.size(), 0);
+  std::vector<bool> touched(shards_.size(), false);
+  std::vector<uint64_t> coords(shape.ndim(), 0);
+  std::vector<uint64_t> absolute(shape.ndim(), 0);
+  do {
+    for (uint32_t d = 0; d < shape.ndim(); ++d) {
+      absolute[d] = origin[d] + coords[d];
+    }
+    const uint32_t shard = router_.ShardOf(absolute);
+    SS_RETURN_IF_ERROR(shards_[shard]->AddBuffered(
+        router_.ToLocal(absolute, shard), deltas.At(coords), ctx,
+        &last_seq[shard]));
+    touched[shard] = true;
+  } while (shape.Next(coords));
+  for (uint32_t s = 0; s < shards_.size(); ++s) {
+    if (touched[s]) SS_RETURN_IF_ERROR(shards_[s]->SyncAcks(last_seq[s]));
+  }
+  return Status::OK();
+}
+
+Result<double> ShardedCube::PointQuery(std::span<const uint64_t> point,
+                                       bool use_scaling_slots,
+                                       OperationContext* ctx) {
+  SS_ASSIGN_OR_RETURN(const uint32_t shard, router_.RoutePoint(point));
+  return shards_[shard]->PointQuery(router_.ToLocal(point, shard),
+                                    use_scaling_slots, ctx);
+}
+
+Result<double> ShardedCube::RangeSum(std::span<const uint64_t> lo,
+                                     std::span<const uint64_t> hi,
+                                     OperationContext* ctx) {
+  SS_ASSIGN_OR_RETURN(std::vector<ShardRange> parts,
+                      router_.DecomposeRange(lo, hi));
+  double sum = 0.0;
+  for (const ShardRange& part : parts) {
+    SS_ASSIGN_OR_RETURN(
+        const double shard_sum,
+        shards_[part.shard]->RangeSum(part.lo, part.hi, ctx));
+    sum += shard_sum;
+  }
+  return sum;
+}
+
+Status ShardedCube::DrainAll() {
+  for (auto& shard : shards_) {
+    SS_RETURN_IF_ERROR(shard->DrainAll());
+  }
+  return Status::OK();
+}
+
+Status ShardedCube::Close() {
+  if (closed_) return Status::OK();
+  closed_ = true;
+  Status first;
+  for (auto& shard : shards_) {
+    const Status status = shard->Close();
+    if (first.ok() && !status.ok()) first = status;
+  }
+  return first;
+}
+
+void ShardedCube::StartWorkers() {
+  for (auto& shard : shards_) shard->StartWorkers();
+}
+
+void ShardedCube::StopWorkers() {
+  for (auto& shard : shards_) shard->StopWorkers();
+}
+
+ServingStats ShardedCube::stats() const {
+  ServingStats out;
+  for (const auto& shard : shards_) {
+    const ServingStats s = shard->stats();
+    out.acked_deltas += s.acked_deltas;
+    out.coalesced_deltas += s.coalesced_deltas;
+    out.pending_deltas += s.pending_deltas;
+    out.pending_slots += s.pending_slots;
+    out.rejected_unavailable += s.rejected_unavailable;
+    out.stall_waits += s.stall_waits;
+    out.stall_us += s.stall_us;
+    out.apply_batches += s.apply_batches;
+    out.applied_deltas += s.applied_deltas;
+    out.replayed_deltas += s.replayed_deltas;
+    out.overlay_probes += s.overlay_probes;
+    out.overlay_hits += s.overlay_hits;
+    out.latch_wait_us_total += s.latch_wait_us_total;
+    out.latch_hold_us_total += s.latch_hold_us_total;
+    out.latch_hold_us_max =
+        std::max(out.latch_hold_us_max, s.latch_hold_us_max);
+    out.latch_exclusive_holds += s.latch_exclusive_holds;
+    out.log_appends += s.log_appends;
+    out.log_syncs += s.log_syncs;
+    out.log_torn_records += s.log_torn_records;
+    out.last_seq += s.last_seq;
+    out.durable_seq += s.durable_seq;
+    out.applied_seq += s.applied_seq;
+  }
+  return out;
+}
+
+ServingStats ShardedCube::shard_stats(uint32_t shard) const {
+  return shards_[shard]->stats();
+}
+
+std::vector<uint64_t> ShardedCube::SnapshotSeqs() const {
+  std::vector<uint64_t> seqs;
+  seqs.reserve(shards_.size());
+  for (const auto& shard : shards_) seqs.push_back(shard->stats().last_seq);
+  return seqs;
+}
+
+uint64_t ShardedCube::pending_deltas() const {
+  uint64_t pending = 0;
+  for (const auto& shard : shards_) pending += shard->pending_deltas();
+  return pending;
+}
+
+Status ShardedCube::CrashForTest() {
+  Status first;
+  for (auto& shard : shards_) {
+    const Status status = shard->CrashForTest();
+    if (first.ok() && !status.ok()) first = status;
+  }
+  closed_ = true;
+  return first;
+}
+
+}  // namespace shiftsplit

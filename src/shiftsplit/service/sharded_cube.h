@@ -1,0 +1,159 @@
+// Sharded serving: 2^k fully independent ServingCubes, one per dyadic
+// sub-domain of the global domain, behind a composing query router.
+//
+// The global domain is split along one dimension (the widest) into equal
+// dyadic slabs; each shard owns the self-contained wavelet transform of its
+// slab with its own store directory, delta log, redo journal, buffer pool
+// and maintenance workers. Nothing is shared between shards, so writers on
+// different shards never contend on a latch and one shard's maintenance
+// drain stalls only its own readers — the aggregate update throughput
+// scales with the shard count and the read tail during maintenance drops.
+//
+//   auto cube = *ShardedCube::CreateOnDisk("/data/sharded", {6, 5}, 4,
+//                                          cube_options, options);
+//   cube->Add({37, 11}, +2.0);              // routed to shard 37 >> 4 = 2
+//   double s = *cube->RangeSum({0, 0}, {63, 31});   // fans over all shards
+//
+// Exactness (DESIGN.md §9): SHIFT-SPLIT's lifting argument shows a dyadic
+// sub-domain's transform embeds losslessly in the enclosing domain's, so
+// the per-shard transforms together carry exactly the global transform's
+// information. A range box clipped to a slab lies entirely inside that
+// shard's sub-domain and is answered exactly from its own coefficients;
+// the global answer is the plain sum of the per-shard answers. Point
+// queries touch exactly one shard. Each shard keeps the monolithic
+// ServingCube's merged-read contract, so sharded answers equal monolithic
+// answers (bit-identically so whenever the additions commute exactly, e.g.
+// dyadic-rational data — see tests/service/sharded_cube_test.cc).
+
+#ifndef SHIFTSPLIT_SERVICE_SHARDED_CUBE_H_
+#define SHIFTSPLIT_SERVICE_SHARDED_CUBE_H_
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "shiftsplit/core/wavelet_cube.h"
+#include "shiftsplit/service/serving_cube.h"
+#include "shiftsplit/service/serving_stats.h"
+#include "shiftsplit/service/shard_router.h"
+#include "shiftsplit/storage/manifest.h"
+#include "shiftsplit/util/operation_context.h"
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+
+/// \brief A set of independent per-slab ServingCubes behind one composing
+/// router. Thread-safe like ServingCube: writers, readers and per-shard
+/// maintenance run concurrently.
+class ShardedCube {
+ public:
+  struct Options {
+    /// Applied to every shard (each shard gets its own workers/limits).
+    ServingCube::Options serving;
+    /// Buffer-pool budget per shard store.
+    uint64_t pool_blocks_per_shard = 256;
+  };
+
+  /// \brief Creates a sharded store under `dir`: a shardset.manifest plus
+  /// one self-describing store directory per shard (shard-0000, ...), then
+  /// opens it for serving. `num_shards` must be a power of two with at
+  /// least one level left on the split dimension (the widest one; ties to
+  /// the lowest index). The cube options must describe a standard-form
+  /// store.
+  static Result<std::unique_ptr<ShardedCube>> CreateOnDisk(
+      const std::string& dir, std::vector<uint32_t> log_dims,
+      uint32_t num_shards, const WaveletCube::Options& cube_options,
+      const Options& options);
+
+  /// \brief Reopens a sharded store: loads shardset.manifest, runs each
+  /// shard's own crash recovery + delta-log replay, and validates every
+  /// shard's store.manifest against the expected per-shard sub-domain.
+  static Result<std::unique_ptr<ShardedCube>> OpenOnDisk(
+      const std::string& dir, const Options& options);
+  static Result<std::unique_ptr<ShardedCube>> OpenOnDisk(
+      const std::string& dir);
+
+  /// \brief True when `dir` holds a sharded store (shardset.manifest).
+  static bool IsShardedDir(const std::string& dir);
+
+  ~ShardedCube();
+  ShardedCube(const ShardedCube&) = delete;
+  ShardedCube& operator=(const ShardedCube&) = delete;
+
+  /// \brief Buffers one cell delta on its owning shard (global
+  /// coordinates; same ack contract as ServingCube::Add).
+  Status Add(std::span<const uint64_t> coords, double delta,
+             OperationContext* ctx = nullptr);
+
+  /// \brief Buffers a dense box of deltas anchored at `origin` (global),
+  /// decomposed into per-shard sub-boxes; within each shard the cells keep
+  /// their row-major order.
+  Status Update(const Tensor& deltas, std::span<const uint64_t> origin,
+                OperationContext* ctx = nullptr);
+
+  /// \brief Point query, routed to the single owning shard; pending deltas
+  /// merged in per the ServingCube contract.
+  Result<double> PointQuery(std::span<const uint64_t> point,
+                            bool use_scaling_slots = true,
+                            OperationContext* ctx = nullptr);
+
+  /// \brief Range sum over the global inclusive box [lo, hi]: the box is
+  /// clipped per shard, each part is answered exactly shard-locally, and
+  /// the parts are summed in ascending shard order (deterministic
+  /// association).
+  Result<double> RangeSum(std::span<const uint64_t> lo,
+                          std::span<const uint64_t> hi,
+                          OperationContext* ctx = nullptr);
+
+  /// \brief Synchronously drains every shard.
+  Status DrainAll();
+
+  /// \brief Orderly shutdown of every shard; returns the first failure but
+  /// closes all. Idempotent.
+  Status Close();
+
+  void StartWorkers();
+  void StopWorkers();
+
+  /// \brief Aggregate counters: sums across shards, except
+  /// latch_hold_us_max which is the per-shard maximum. The sequence
+  /// watermarks are totals (per-shard sequences are independent), so
+  /// applied == last still means fully drained.
+  ServingStats stats() const;
+  /// \brief One shard's own counters.
+  ServingStats shard_stats(uint32_t shard) const;
+
+  /// \brief Cross-shard snapshot: each shard's newest accepted sequence
+  /// number. A vector of per-shard seqs is the sharded analogue of the
+  /// monolithic snapshot sequence.
+  std::vector<uint64_t> SnapshotSeqs() const;
+
+  uint64_t pending_deltas() const;
+  uint32_t num_shards() const { return router_.num_shards(); }
+  const ShardRouter& router() const { return router_; }
+  ServingCube* shard_for_test(uint32_t shard) {
+    return shards_[shard].get();
+  }
+
+  /// \brief Simulates kill -9 on every shard (see
+  /// ServingCube::CrashForTest); reopen with OpenOnDisk to recover. Use
+  /// shard_for_test(i)->CrashForTest() to crash one shard only.
+  Status CrashForTest();
+
+ private:
+  ShardedCube() = default;
+
+  ShardRouter router_;
+  std::vector<std::unique_ptr<ServingCube>> shards_;
+  bool closed_ = false;
+};
+
+inline Result<std::unique_ptr<ShardedCube>> ShardedCube::OpenOnDisk(
+    const std::string& dir) {
+  return OpenOnDisk(dir, Options());
+}
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_SERVICE_SHARDED_CUBE_H_

@@ -184,6 +184,132 @@ Result<StoreManifest> StoreManifest::Load(const std::string& path) {
   return manifest;
 }
 
+std::vector<uint32_t> ShardSetManifest::ShardLogDims() const {
+  std::vector<uint32_t> local = log_dims;
+  if (split_dim < local.size()) {
+    uint32_t k = 0;
+    while ((uint32_t{1} << k) < num_shards) ++k;
+    local[split_dim] -= k;
+  }
+  return local;
+}
+
+std::string ShardSetManifest::ShardDirName(uint32_t shard) {
+  char buf[16];
+  std::snprintf(buf, sizeof(buf), "shard-%04u", shard);
+  return buf;
+}
+
+Status ShardSetManifest::Save(const std::string& path) const {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::trunc);
+    if (!out) {
+      return Status::IOError("cannot open shard-set manifest for writing: " +
+                             tmp);
+    }
+    out << "format=shiftsplit-shardset-v1\n";
+    out << "num_shards=" << num_shards << "\n";
+    out << "split_dim=" << split_dim << "\n";
+    out << "log_dims=";
+    for (size_t i = 0; i < log_dims.size(); ++i) {
+      if (i > 0) out << ",";
+      out << log_dims[i];
+    }
+    out << "\n";
+    for (const std::string& dir : shard_dirs) {
+      out << "shard=" << dir << "\n";
+    }
+    out.flush();
+    if (!out) {
+      const Status status =
+          Status::IOError("failed writing shard-set manifest: " + tmp);
+      std::remove(tmp.c_str());
+      return status;
+    }
+  }
+  Status status = FsyncPath(tmp);
+  if (status.ok() && std::rename(tmp.c_str(), path.c_str()) != 0) {
+    status = Status::IOError("rename " + tmp + " -> " + path + ": " +
+                             std::strerror(errno));
+  }
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
+  }
+  return FsyncParentDir(path);
+}
+
+Result<ShardSetManifest> ShardSetManifest::Load(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::NotFound("cannot open shard-set manifest: " + path);
+  }
+  ShardSetManifest manifest;
+  manifest.num_shards = 0;
+  bool saw_format = false;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    const size_t eq = line.find('=');
+    if (eq == std::string::npos) {
+      return Status::InvalidArgument("malformed shard-set line: " + line);
+    }
+    const std::string key = line.substr(0, eq);
+    const std::string value = line.substr(eq + 1);
+    if (key == "format") {
+      if (value != "shiftsplit-shardset-v1") {
+        return Status::InvalidArgument("unsupported shard-set format: " +
+                                       value);
+      }
+      saw_format = true;
+    } else if (key == "num_shards") {
+      manifest.num_shards = static_cast<uint32_t>(std::stoul(value));
+    } else if (key == "split_dim") {
+      manifest.split_dim = static_cast<uint32_t>(std::stoul(value));
+    } else if (key == "log_dims") {
+      manifest.log_dims.clear();
+      std::stringstream ss(value);
+      std::string part;
+      while (std::getline(ss, part, ',')) {
+        manifest.log_dims.push_back(static_cast<uint32_t>(std::stoul(part)));
+      }
+    } else if (key == "shard") {
+      manifest.shard_dirs.push_back(value);
+    } else {
+      return Status::InvalidArgument("unknown shard-set key: " + key);
+    }
+  }
+  if (!saw_format) {
+    return Status::InvalidArgument(
+        "shard-set manifest is missing the format line");
+  }
+  if (manifest.num_shards == 0 ||
+      (manifest.num_shards & (manifest.num_shards - 1)) != 0) {
+    return Status::InvalidArgument(
+        "shard-set num_shards must be a power of two");
+  }
+  if (manifest.shard_dirs.size() != manifest.num_shards) {
+    return Status::InvalidArgument(
+        "shard-set lists " + std::to_string(manifest.shard_dirs.size()) +
+        " shard dirs for num_shards=" + std::to_string(manifest.num_shards));
+  }
+  if (manifest.log_dims.empty() ||
+      manifest.split_dim >= manifest.log_dims.size()) {
+    return Status::InvalidArgument("shard-set split_dim/log_dims invalid");
+  }
+  uint32_t k = 0;
+  while ((uint32_t{1} << k) < manifest.num_shards) ++k;
+  if (k >= manifest.log_dims[manifest.split_dim]) {
+    return Status::InvalidArgument(
+        "shard-set partitions dimension " +
+        std::to_string(manifest.split_dim) + " (log extent " +
+        std::to_string(manifest.log_dims[manifest.split_dim]) +
+        ") into too many shards");
+  }
+  return manifest;
+}
+
 Result<std::unique_ptr<TileLayout>> StoreManifest::MakeLayout() const {
   if (log_dims.empty()) {
     return Status::InvalidArgument("manifest has no dimensions");

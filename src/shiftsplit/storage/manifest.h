@@ -57,6 +57,37 @@ struct StoreManifest {
   bool operator==(const StoreManifest&) const = default;
 };
 
+/// \brief Manifest of a sharded store: a root directory holding 2^k fully
+/// independent shard stores, each covering one dyadic sub-domain of the
+/// global domain along `split_dim`. Shard `s` owns global coordinates with
+/// `coord[split_dim] >> (log_dims[split_dim] - k) == s` and lives in
+/// `root/shard_dirs[s]`, a self-describing store directory of its own (its
+/// store.manifest records the per-shard layout: the global dimensions with
+/// `split_dim` reduced by k). Saved atomically like StoreManifest.
+struct ShardSetManifest {
+  uint32_t num_shards = 1;            ///< 2^k shard stores
+  uint32_t split_dim = 0;             ///< partitioned dimension
+  std::vector<uint32_t> log_dims;     ///< per-dimension log2 extents (global)
+  std::vector<std::string> shard_dirs;  ///< per-shard directory names
+
+  /// \brief The per-shard (local) log2 extents: the global dimensions with
+  /// `split_dim` reduced by log2(num_shards). Used to validate each shard's
+  /// own store.manifest on open.
+  std::vector<uint32_t> ShardLogDims() const;
+
+  /// \brief Canonical name of shard `s`'s directory ("shard-0003").
+  static std::string ShardDirName(uint32_t shard);
+
+  /// \brief Serializes to a key=value text file with the same atomic
+  /// write-temp + fsync + rename protocol as StoreManifest::Save.
+  Status Save(const std::string& path) const;
+
+  /// \brief Parses and validates a shard-set manifest file.
+  static Result<ShardSetManifest> Load(const std::string& path);
+
+  bool operator==(const ShardSetManifest&) const = default;
+};
+
 }  // namespace shiftsplit
 
 #endif  // SHIFTSPLIT_STORAGE_MANIFEST_H_

@@ -472,5 +472,30 @@ TEST(QueryTest, ValidatesArguments) {
                    .ok());
 }
 
+TEST(QueryTest, ClipBoxToSlabIntersectsAlongOneDimension) {
+  std::vector<uint64_t> lo{2, 5}, hi{11, 9};
+  std::vector<uint64_t> clipped_lo, clipped_hi;
+  // Slab [4, 7] along dim 0 clips the box; the other dimension is kept.
+  ASSERT_TRUE(ClipBoxToSlab(lo, hi, /*dim=*/0, 4, 7, &clipped_lo,
+                            &clipped_hi));
+  EXPECT_EQ(clipped_lo, (std::vector<uint64_t>{4, 5}));
+  EXPECT_EQ(clipped_hi, (std::vector<uint64_t>{7, 9}));
+  // A slab containing the whole box returns it unchanged.
+  ASSERT_TRUE(ClipBoxToSlab(lo, hi, /*dim=*/0, 0, 15, &clipped_lo,
+                            &clipped_hi));
+  EXPECT_EQ(clipped_lo, lo);
+  EXPECT_EQ(clipped_hi, hi);
+  // Clipping along the other dimension.
+  ASSERT_TRUE(ClipBoxToSlab(lo, hi, /*dim=*/1, 8, 15, &clipped_lo,
+                            &clipped_hi));
+  EXPECT_EQ(clipped_lo, (std::vector<uint64_t>{2, 8}));
+  EXPECT_EQ(clipped_hi, (std::vector<uint64_t>{11, 9}));
+  // Disjoint slabs report no intersection.
+  EXPECT_FALSE(ClipBoxToSlab(lo, hi, /*dim=*/0, 12, 15, &clipped_lo,
+                             &clipped_hi));
+  EXPECT_FALSE(ClipBoxToSlab(lo, hi, /*dim=*/1, 0, 4, &clipped_lo,
+                             &clipped_hi));
+}
+
 }  // namespace
 }  // namespace shiftsplit

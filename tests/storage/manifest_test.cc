@@ -186,6 +186,52 @@ TEST_F(ManifestTest, SaveIsAtomicUnderFaults) {
   EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
 }
 
+TEST_F(ManifestTest, ShardSetRoundTripsAndValidates) {
+  const std::string path = (dir_ / "shardset.manifest").string();
+  ShardSetManifest original;
+  original.num_shards = 4;
+  original.split_dim = 1;
+  original.log_dims = {3, 6, 4};
+  for (uint32_t s = 0; s < 4; ++s) {
+    original.shard_dirs.push_back(ShardSetManifest::ShardDirName(s));
+  }
+  EXPECT_EQ(original.shard_dirs[3], "shard-0003");
+  EXPECT_EQ(original.ShardLogDims(), (std::vector<uint32_t>{3, 4, 4}));
+
+  ASSERT_OK(original.Save(path));
+  ASSERT_OK_AND_ASSIGN(const ShardSetManifest loaded,
+                       ShardSetManifest::Load(path));
+  EXPECT_EQ(loaded, original);
+
+  // Load rejects inconsistent shard sets.
+  ShardSetManifest bad = original;
+  bad.num_shards = 3;
+  ASSERT_OK(bad.Save(path));  // Save does not validate; Load does
+  EXPECT_FALSE(ShardSetManifest::Load(path).ok());
+  bad = original;
+  bad.shard_dirs.pop_back();
+  ASSERT_OK(bad.Save(path));
+  EXPECT_FALSE(ShardSetManifest::Load(path).ok());
+  bad = original;
+  bad.split_dim = 3;
+  ASSERT_OK(bad.Save(path));
+  EXPECT_FALSE(ShardSetManifest::Load(path).ok());
+  bad = original;
+  bad.num_shards = 16;  // log-4 split dim cannot host 16 shards
+  bad.shard_dirs.clear();
+  for (uint32_t s = 0; s < 16; ++s) {
+    bad.shard_dirs.push_back(ShardSetManifest::ShardDirName(s));
+  }
+  bad.split_dim = 2;
+  ASSERT_OK(bad.Save(path));
+  EXPECT_FALSE(ShardSetManifest::Load(path).ok());
+
+  EXPECT_EQ(ShardSetManifest::Load((dir_ / "missing").string())
+                .status()
+                .code(),
+            StatusCode::kNotFound);
+}
+
 TEST(StoreFormTest, StringConversions) {
   EXPECT_STREQ(StoreFormToString(StoreForm::kStandard), "standard");
   EXPECT_STREQ(StoreFormToString(StoreForm::kNonstandard), "nonstandard");

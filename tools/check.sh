@@ -70,6 +70,29 @@ serve_sim_smoke() {
   rm -rf "$(dirname "$store")"
 }
 
+# The same crash/recover contract over a sharded store: every shard has its
+# own delta log and redo journal, and the composing router must find every
+# acknowledged delta again after the whole process dies.
+sharded_serve_sim_smoke() {
+  local build_dir="$1"
+  local tool="$build_dir/tools/shiftsplit_tool"
+  local store
+  store="$(mktemp -d)/store"
+  echo "==> sharded serve-sim smoke [$build_dir]"
+  "$tool" create "$store" --form standard --dims 5,4 --b 2 --shards 4 \
+    >/dev/null
+  "$tool" serve-sim "$store" --deltas 24 --seed 9 --crash >/dev/null
+  "$tool" serve-sim "$store" --deltas 24 --seed 9 --verify >/dev/null || {
+    echo "sharded serve-sim smoke: crash recovery lost deltas" >&2
+    exit 1
+  }
+  "$tool" stats "$store" >/dev/null || {
+    echo "sharded serve-sim smoke: stats failed on a sharded store" >&2
+    exit 1
+  }
+  rm -rf "$(dirname "$store")"
+}
+
 # Replayable chaos soak: `-L chaos` selects the fault-injection soak alone,
 # with the seed pinned so a failure reproduces bit-for-bit. Runs under the
 # plain build (fast, exercises the timing assertions at real speed) and
@@ -82,22 +105,22 @@ chaos_soak() {
     ctest --test-dir "$build_dir" -L chaos -j "$jobs" --output-on-failure
 }
 
-# The committed BENCH_kernels.json is CI's schema reference for the kernel
-# bench: regenerate it from the freshly built binary and diff the key sets
-# (values change run to run; the shape must not drift silently).
+# The committed BENCH_*.json files are CI's schema references: regenerate
+# each from the freshly built binary and diff the key sets (values change
+# run to run; the shape must not drift silently).
 bench_schema() {
-  local build_dir="$1"
+  local build_dir="$1" bench="$2" ref="$3"
   local fresh
-  fresh="$(mktemp -d)/BENCH_kernels.json"
-  echo "==> bench_kernels schema [$build_dir]"
-  "$build_dir/bench/bench_kernels" --json "$fresh" >/dev/null
+  fresh="$(mktemp -d)/$ref"
+  echo "==> $bench schema [$build_dir]"
+  "$build_dir/bench/$bench" --json "$fresh" >/dev/null
   local want got
-  want="$(grep -o '"[a-zA-Z0-9_]*":' BENCH_kernels.json | sort -u)"
+  want="$(grep -o '"[a-zA-Z0-9_]*":' "$ref" | sort -u)"
   got="$(grep -o '"[a-zA-Z0-9_]*":' "$fresh" | sort -u)"
   if [ "$want" != "$got" ]; then
-    echo "bench_kernels schema drifted from the committed BENCH_kernels.json:" >&2
+    echo "$bench schema drifted from the committed $ref:" >&2
     diff <(echo "$want") <(echo "$got") >&2 || true
-    echo "regenerate it with: $build_dir/bench/bench_kernels --json BENCH_kernels.json" >&2
+    echo "regenerate it with: $build_dir/bench/$bench --json $ref" >&2
     exit 1
   fi
   rm -rf "$(dirname "$fresh")"
@@ -120,10 +143,26 @@ scrub_smoke build-asan
 serve_sim_smoke build
 serve_sim_smoke build-asan
 
+sharded_serve_sim_smoke build
+sharded_serve_sim_smoke build-asan
+
 chaos_soak build
 chaos_soak build-tsan
 
-bench_schema build
+bench_schema build bench_kernels BENCH_kernels.json
+bench_schema build bench_serving BENCH_serving.json
+bench_schema build bench_ingest_batched BENCH_ingest.json
+
+# The sharded router/cube property tests (bit-identity vs the monolith,
+# per-shard crash matrix) run under the plain build and under tsan, in both
+# kernel dispatch modes — routing must not depend on the SIMD tier.
+for build_dir in build build-tsan; do
+  echo "==> sharding tests [$build_dir]"
+  ctest --test-dir "$build_dir" -L sharding -j "$jobs" --output-on-failure
+  echo "==> sharding tests [$build_dir, SHIFTSPLIT_FORCE_SCALAR=1]"
+  SHIFTSPLIT_FORCE_SCALAR=1 \
+    ctest --test-dir "$build_dir" -L sharding -j "$jobs" --output-on-failure
+done
 
 # The concurrent serving soak is where writer/reader/maintenance races would
 # hide; run the service label under tsan explicitly.

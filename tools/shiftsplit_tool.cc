@@ -1,6 +1,7 @@
 // shiftsplit_tool — command-line front end for disk-resident wavelet stores.
 //
 //   create   <dir> --form F --dims A,B,.. [--b N] [--norm average|orthonormal]
+//            [--shards N]
 //   ingest   <dir> --dataset NAME [--chunk LOG] [--zorder] [--sparse] [--seed S]
 //   info     <dir>
 //   point    <dir> --at X,Y,..  [--slots]
@@ -14,6 +15,11 @@
 // A store directory holds `store.manifest` (see storage/manifest.h) and
 // `blocks.bin` (the tile device). Datasets: temperature, uniform, smooth,
 // sparse (synthetic; see src/shiftsplit/data/).
+//
+// `create --shards N` (N a power of two > 1) lays out a sharded store
+// instead: a `shardset.manifest` plus one complete store directory per
+// dyadic sub-domain (shard-0000, ...). serve-sim and stats detect sharded
+// directories automatically and operate through the composing router.
 
 #include <bit>
 #include <chrono>
@@ -24,6 +30,8 @@
 #include <exception>
 #include <filesystem>
 #include <map>
+#include <memory>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -31,6 +39,7 @@
 #include "shiftsplit/data/synthetic.h"
 #include "shiftsplit/data/temperature.h"
 #include "shiftsplit/service/serving_cube.h"
+#include "shiftsplit/service/sharded_cube.h"
 #include "shiftsplit/storage/manifest.h"
 
 namespace shiftsplit::tool {
@@ -41,7 +50,7 @@ constexpr char kUsage[] =
     "<create|ingest|info|point|sum|extract|scrub|serve-sim|stats|selftest> "
     "<store-dir> [flags]\n"
     "  create  --form standard|nonstandard --dims 4,4,6 [--b 2]\n"
-    "          [--norm average|orthonormal]\n"
+    "          [--norm average|orthonormal] [--shards N]\n"
     "  ingest  --dataset temperature|uniform|smooth|sparse [--chunk 3]\n"
     "          [--zorder] [--sparse] [--seed 1] [--threads T] [--prefetch]\n"
     "          [--per-coeff]\n"
@@ -52,8 +61,10 @@ constexpr char kUsage[] =
     "  scrub   (verify every block checksum; exits 1 on corruption)\n"
     "  serve-sim [--deltas 32] [--seed 1] [--crash] [--verify]\n"
     "          (buffer deltas through the serving layer; --crash exits\n"
-    "          before draining, --verify replays and checks them)\n"
-    "  stats   (pool + durability + serving counters in one table)\n";
+    "          before draining, --verify replays and checks them;\n"
+    "          sharded stores are routed automatically)\n"
+    "  stats   (pool + durability + serving counters in one table;\n"
+    "          sharded stores add per-shard serving rows)\n";
 
 struct Args {
   std::string command;
@@ -132,6 +143,23 @@ Status CmdCreate(const Args& args) {
   SS_ASSIGN_OR_RETURN(const auto dims, ParseList(dims_it->second));
   std::vector<uint32_t> log_dims;
   for (uint64_t d : dims) log_dims.push_back(static_cast<uint32_t>(d));
+  uint32_t shards = 1;
+  if (auto it = args.flags.find("shards"); it != args.flags.end()) {
+    shards = static_cast<uint32_t>(std::stoul(it->second));
+  }
+  if (shards > 1) {
+    ShardedCube::Options sharded_options;
+    sharded_options.serving.start_workers = false;
+    SS_ASSIGN_OR_RETURN(auto sharded,
+                        ShardedCube::CreateOnDisk(args.dir, log_dims, shards,
+                                                  options, sharded_options));
+    const ShardRouter& router = sharded->router();
+    std::printf("created sharded store %s: %u shard(s) split on dim %u "
+                "(slab extent %llu)\n",
+                args.dir.c_str(), router.num_shards(), router.split_dim(),
+                static_cast<unsigned long long>(router.slab_extent()));
+    return sharded->Close();
+  }
   SS_ASSIGN_OR_RETURN(auto cube,
                       WaveletCube::CreateOnDisk(args.dir, log_dims, options));
   std::printf("created %s store %s: %llu blocks of %llu coefficients\n",
@@ -376,10 +404,11 @@ struct SimDelta {
   double value;
 };
 
-SimDelta SimDeltaAt(const StoreManifest& manifest, uint64_t i, uint64_t seed) {
+SimDelta SimDeltaAt(std::span<const uint32_t> log_dims, uint64_t i,
+                    uint64_t seed) {
   uint64_t total = 1;
   std::vector<uint64_t> dims;
-  for (uint32_t n : manifest.log_dims) {
+  for (uint32_t n : log_dims) {
     dims.push_back(uint64_t{1} << n);
     total *= uint64_t{1} << n;
   }
@@ -390,6 +419,50 @@ SimDelta SimDeltaAt(const StoreManifest& manifest, uint64_t i, uint64_t seed) {
     flat /= dims[d];
   }
   return {std::move(coords), 1.0 + 0.5 * static_cast<double>(i % 97)};
+}
+
+// One serving store behind the four calls the sim needs — the monolithic
+// ServingCube and the ShardedCube (picked by shardset.manifest detection)
+// run the identical schedule, so their crash/verify contracts are exercised
+// by the same code.
+struct ServeTarget {
+  std::vector<uint32_t> log_dims;  // global domain, for the cell schedule
+  std::unique_ptr<ServingCube> mono;
+  std::unique_ptr<ShardedCube> sharded;
+
+  Status Add(std::span<const uint64_t> at, double v) {
+    return sharded ? sharded->Add(at, v) : mono->Add(at, v);
+  }
+  Result<double> Point(std::span<const uint64_t> at) {
+    return sharded ? sharded->PointQuery(at) : mono->PointQuery(at);
+  }
+  Status DrainAll() {
+    return sharded ? sharded->DrainAll() : mono->DrainAll();
+  }
+  uint64_t Pending() const {
+    return sharded ? sharded->pending_deltas() : mono->pending_deltas();
+  }
+  ServingStats Stats() const {
+    return sharded ? sharded->stats() : mono->stats();
+  }
+  Status Close() { return sharded ? sharded->Close() : mono->Close(); }
+};
+
+Result<ServeTarget> OpenServeTarget(const std::string& dir) {
+  ServeTarget target;
+  if (ShardedCube::IsShardedDir(dir)) {
+    ShardedCube::Options options;
+    options.serving.start_workers = false;  // drains only where the sim says
+    SS_ASSIGN_OR_RETURN(target.sharded, ShardedCube::OpenOnDisk(dir, options));
+    target.log_dims = target.sharded->router().log_dims();
+  } else {
+    ServingCube::Options options;
+    options.start_workers = false;
+    SS_ASSIGN_OR_RETURN(target.mono,
+                        ServingCube::OpenOnDisk(dir, 256, options));
+    target.log_dims = target.mono->cube()->manifest().log_dims;
+  }
+  return target;
 }
 
 // serve-sim: push N deltas through the serving layer. Default run drains and
@@ -406,14 +479,10 @@ Status CmdServeSim(const Args& args) {
     seed = std::stoull(it->second);
   }
 
-  ServingCube::Options options;
-  options.start_workers = false;  // drains happen only where the sim says
-  SS_ASSIGN_OR_RETURN(auto serving,
-                      ServingCube::OpenOnDisk(args.dir, 256, options));
-  const StoreManifest& manifest = serving->cube()->manifest();
+  SS_ASSIGN_OR_RETURN(ServeTarget serving, OpenServeTarget(args.dir));
 
   if (args.flags.contains("verify")) {
-    const ServingStats stats = serving->stats();
+    const ServingStats stats = serving.Stats();
     if (stats.replayed_deltas != deltas || stats.pending_deltas != deltas) {
       return Status::Internal(
           "serve-sim verify: expected " + std::to_string(deltas) +
@@ -428,16 +497,16 @@ Status CmdServeSim(const Args& args) {
     // drained into the store.
     std::vector<double> merged(deltas);
     for (uint64_t i = 0; i < deltas; ++i) {
-      const SimDelta d = SimDeltaAt(manifest, i, seed);
-      SS_ASSIGN_OR_RETURN(merged[i], serving->PointQuery(d.coords));
+      const SimDelta d = SimDeltaAt(serving.log_dims, i, seed);
+      SS_ASSIGN_OR_RETURN(merged[i], serving.Point(d.coords));
     }
-    SS_RETURN_IF_ERROR(serving->DrainAll());
-    if (serving->pending_deltas() != 0) {
+    SS_RETURN_IF_ERROR(serving.DrainAll());
+    if (serving.Pending() != 0) {
       return Status::Internal("serve-sim verify: deltas left after drain");
     }
     for (uint64_t i = 0; i < deltas; ++i) {
-      const SimDelta d = SimDeltaAt(manifest, i, seed);
-      SS_ASSIGN_OR_RETURN(const double applied, serving->PointQuery(d.coords));
+      const SimDelta d = SimDeltaAt(serving.log_dims, i, seed);
+      SS_ASSIGN_OR_RETURN(const double applied, serving.Point(d.coords));
       if (std::bit_cast<uint64_t>(applied) !=
           std::bit_cast<uint64_t>(merged[i])) {
         return Status::Internal(
@@ -445,15 +514,15 @@ Status CmdServeSim(const Args& args) {
             std::to_string(i));
       }
     }
-    SS_RETURN_IF_ERROR(serving->Close());
+    SS_RETURN_IF_ERROR(serving.Close());
     std::printf("serve-sim verify OK: %llu delta(s) recovered and applied\n",
                 static_cast<unsigned long long>(deltas));
     return Status::OK();
   }
 
   for (uint64_t i = 0; i < deltas; ++i) {
-    const SimDelta d = SimDeltaAt(manifest, i, seed);
-    SS_RETURN_IF_ERROR(serving->Add(d.coords, d.value));
+    const SimDelta d = SimDeltaAt(serving.log_dims, i, seed);
+    SS_RETURN_IF_ERROR(serving.Add(d.coords, d.value));
   }
   if (args.flags.contains("crash")) {
     // Every delta above is fsynced in the log; nothing is drained. Exit
@@ -464,14 +533,49 @@ Status CmdServeSim(const Args& args) {
     std::fflush(stdout);
     std::_Exit(0);
   }
-  SS_RETURN_IF_ERROR(serving->DrainAll());
-  const ServingStats stats = serving->stats();
-  SS_RETURN_IF_ERROR(serving->Close());
+  SS_RETURN_IF_ERROR(serving.DrainAll());
+  const ServingStats stats = serving.Stats();
+  SS_RETURN_IF_ERROR(serving.Close());
   std::printf("serve-sim: %s\n", stats.ToString().c_str());
   return Status::OK();
 }
 
+void PrintServingRows(const ServingStats& serve) {
+  const auto row = [](const char* name, uint64_t value) {
+    std::printf("  %-24s %llu\n", name,
+                static_cast<unsigned long long>(value));
+  };
+  row("pending_deltas", serve.pending_deltas);
+  row("pending_slots", serve.pending_slots);
+  row("replayed_deltas", serve.replayed_deltas);
+  row("log_torn_records", serve.log_torn_records);
+  row("latch_wait_us_total", serve.latch_wait_us_total);
+  row("latch_hold_us_total", serve.latch_hold_us_total);
+  row("latch_hold_us_max", serve.latch_hold_us_max);
+  row("latch_exclusive_holds", serve.latch_exclusive_holds);
+  row("last_seq", serve.last_seq);
+  row("durable_seq", serve.durable_seq);
+  row("applied_seq", serve.applied_seq);
+}
+
 Status CmdStats(const Args& args) {
+  if (ShardedCube::IsShardedDir(args.dir)) {
+    ShardedCube::Options options;
+    options.serving.start_workers = false;  // observe; never drain
+    SS_ASSIGN_OR_RETURN(auto sharded, ShardedCube::OpenOnDisk(args.dir,
+                                                              options));
+    const ShardRouter& router = sharded->router();
+    std::printf("sharded: %u shard(s), split dim %u, slab extent %llu\n",
+                router.num_shards(), router.split_dim(),
+                static_cast<unsigned long long>(router.slab_extent()));
+    std::printf("serving (aggregate):\n");
+    PrintServingRows(sharded->stats());
+    for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
+      std::printf("shard %u: %s\n", s,
+                  sharded->shard_stats(s).ToString().c_str());
+    }
+    return Status::OK();
+  }
   ServingCube::Options options;
   options.start_workers = false;  // observe; never drain as a side effect
   SS_ASSIGN_OR_RETURN(auto serving,
@@ -479,7 +583,6 @@ Status CmdStats(const Args& args) {
   WaveletCube* cube = serving->cube();
   const BufferPool::Stats pool = cube->pool_stats();
   const DurabilityStats durability = cube->durability_stats();
-  const ServingStats serve = serving->stats();
   const auto row = [](const char* name, uint64_t value) {
     std::printf("  %-24s %llu\n", name,
                 static_cast<unsigned long long>(value));
@@ -499,13 +602,7 @@ Status CmdStats(const Args& args) {
   row("journal_rollbacks", durability.journal_rollbacks);
   row("read_only", durability.read_only ? 1 : 0);
   std::printf("serving:\n");
-  row("pending_deltas", serve.pending_deltas);
-  row("pending_slots", serve.pending_slots);
-  row("replayed_deltas", serve.replayed_deltas);
-  row("log_torn_records", serve.log_torn_records);
-  row("last_seq", serve.last_seq);
-  row("durable_seq", serve.durable_seq);
-  row("applied_seq", serve.applied_seq);
+  PrintServingRows(serving->stats());
   return Status::OK();
 }
 
