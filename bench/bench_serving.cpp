@@ -253,6 +253,81 @@ int main(int argc, char** argv) {
               sync_per_sec);
   }
 
+  // Faulty sharded serving (DESIGN.md §11): the same 4-shard workload, but
+  // one shard is poisoned halfway through and the background supervisor
+  // quarantines, rebuilds and re-admits it while writers and readers keep
+  // going — this row prices an update stream that rides through a shard
+  // failure, not a clean run. Writes bounced by the healing shard count as
+  // rejected (the clean rows die on any write error); reads absorb the
+  // exact-path kUnavailable of the quarantined shard the same way.
+  {
+    const std::string dir = FreshDir("sharded4_faulty");
+    dirs.push_back(dir);
+    WaveletCube::Options cube_options;
+    ShardedCube::Options options;
+    options.serving = ServingOptions(/*num_workers=*/1);
+    options.supervisor_poll = std::chrono::milliseconds(2);
+    auto sharded = DieOnError(
+        ShardedCube::CreateOnDisk(dir, {kLogDim, kLogDim}, 4, cube_options,
+                                  options),
+        "create faulty sharded store");
+    std::atomic<int> ops{0};
+    std::atomic<uint64_t> rejected_writes{0};
+    std::atomic<uint64_t> unavailable_reads{0};
+    Target target{
+        [&](std::span<const uint64_t> at, double v) {
+          if (ops.fetch_add(1) == kServingDeltas / 2) {
+            if (auto victim = sharded->shard_for_test(1)) {
+              DieOnError(victim->CrashForTest(), "poison shard 1");
+            }
+          }
+          const Status added = sharded->Add(at, v);
+          if (!added.ok() && added.code() == StatusCode::kUnavailable) {
+            ++rejected_writes;
+            return Status::OK();
+          }
+          return added;
+        },
+        [&](std::span<const uint64_t> at) -> Result<double> {
+          auto r = sharded->PointQuery(at);
+          if (!r.ok() && r.status().code() == StatusCode::kUnavailable) {
+            ++unavailable_reads;
+            return 0.0;
+          }
+          return r;
+        },
+        [&]() -> Status {
+          // Wait out the supervised recovery, then drain everything —
+          // DrainAll on a still-quarantined shard would fail the bench.
+          const auto deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(30);
+          while (sharded->shard_health(1).health != ShardHealth::kHealthy) {
+            if (std::chrono::steady_clock::now() >= deadline) {
+              return Status::DeadlineExceeded("shard 1 never recovered");
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+          return sharded->DrainAll();
+        },
+        [&] { return sharded->stats(); },
+        [&] { return sharded->Close(); }};
+    const RunResult run = RunWorkload(target);
+    ReportRow(report, "sharded_4_faulty", 4, run, sync_per_sec);
+    report.Field("rejected_writes", rejected_writes.load())
+        .Field("unavailable_reads", unavailable_reads.load())
+        .Field("quarantines", run.stats.quarantines)
+        .Field("recoveries", run.stats.recoveries)
+        .Field("parked_writes", run.stats.parked_writes);
+    std::printf("  self-healing: %llu quarantine(s), %llu recover(ies), "
+                "%llu write(s) rejected, %llu parked, %llu read(s) "
+                "unavailable\n",
+                static_cast<unsigned long long>(run.stats.quarantines),
+                static_cast<unsigned long long>(run.stats.recoveries),
+                static_cast<unsigned long long>(rejected_writes.load()),
+                static_cast<unsigned long long>(run.stats.parked_writes),
+                static_cast<unsigned long long>(unavailable_reads.load()));
+  }
+
   for (const std::string& dir : dirs) std::filesystem::remove_all(dir);
   report.Write(json_path);
   return 0;

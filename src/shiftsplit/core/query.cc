@@ -233,8 +233,35 @@ const char* DegradedReasonToString(DegradedReason reason) {
       return "Deadline";
     case DegradedReason::kUnavailable:
       return "Unavailable";
+    case DegradedReason::kShardUnavailable:
+      return "ShardUnavailable";
   }
   return "Unknown";
+}
+
+double RangeWeightNormSquared(uint32_t n, uint64_t lo, uint64_t hi,
+                              Normalization norm) {
+  // Candidates with nonzero aggregate weight: the overall scaling
+  // coefficient (index 0) and, per level, the details whose support
+  // contains lo or hi — a detail fully inside or outside [lo, hi] sums to
+  // zero (Lemma 2's vanishing moment), so everything else drops out.
+  double sum = 0.0;
+  const double w0 = RangeSumWeight(n, 0, lo, hi, norm);
+  sum += w0 * w0;
+  for (uint32_t level = 0; level < n; ++level) {
+    const uint32_t shift = n - level;
+    const uint64_t k_lo = lo >> shift;
+    const uint64_t k_hi = hi >> shift;
+    const double wl =
+        RangeSumWeight(n, (uint64_t{1} << level) + k_lo, lo, hi, norm);
+    sum += wl * wl;
+    if (k_hi != k_lo) {
+      const double wh =
+          RangeSumWeight(n, (uint64_t{1} << level) + k_hi, lo, hi, norm);
+      sum += wh * wh;
+    }
+  }
+  return sum;
 }
 
 namespace {

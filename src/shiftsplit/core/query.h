@@ -53,6 +53,15 @@ struct QueryOptions {
   /// fetched coefficient of the standard-form point/range/batch evaluators
   /// (exact and resilient alike); null keeps the store-only semantics.
   const CoefficientOverlay* overlay = nullptr;
+  /// Approximation tolerance: 0 demands an exact answer (any unavailable
+  /// shard/block fails the query), a positive value lets degradable entry
+  /// points (ShardedCube's DegradedResult overloads) skip unavailable parts
+  /// as long as the accumulated error bound stays within `max_error`. Use
+  /// +infinity for "any degraded answer beats no answer".
+  double max_error = 0.0;
+
+  /// True when the caller opted into approximate answers.
+  bool approx_ok() const { return max_error > 0.0; }
 };
 
 /// \brief Why a resilient query fell back to an approximate answer.
@@ -62,6 +71,7 @@ enum class DegradedReason {
   kPinExhaustion,   ///< the buffer pool was full of pinned frames
   kDeadline,        ///< the deadline passed mid-query
   kUnavailable,     ///< transient I/O or admission failures outlasted retries
+  kShardUnavailable,  ///< whole shards were QUARANTINED/RECOVERING/FAILED
 };
 
 /// \brief Human-readable name of a DegradedReason (e.g. "Deadline").
@@ -81,6 +91,12 @@ struct DegradedResult {
   double error_bound = 0.0;     ///< |true answer − value| ≤ error_bound
   uint64_t blocks_missing = 0;  ///< distinct blocks skipped
   DegradedReason reason = DegradedReason::kNone;
+  /// Shards skipped whole (sharded serving only; see
+  /// ShardedCube::RangeSum(lo, hi, QueryOptions)). Each skipped shard's
+  /// contribution to `error_bound` is the Cauchy–Schwarz bound
+  /// sqrt(Π_d RangeWeightNormSquared) × sqrt(shard energy) plus the
+  /// absolute mass of its unapplied deltas.
+  std::vector<uint32_t> shards_missing;
 
   bool exact() const { return reason == DegradedReason::kNone; }
 };
@@ -168,6 +184,21 @@ bool ClipBoxToSlab(std::span<const uint64_t> lo, std::span<const uint64_t> hi,
 /// inside or outside the range (the 0-th vanishing moment of Lemma 2).
 double RangeSumWeight(uint32_t n, uint64_t index, uint64_t lo, uint64_t hi,
                       Normalization norm);
+
+/// \brief Σ w² of every 1-d coefficient's aggregate Lemma-2 weight over
+/// [lo, hi] (inclusive, lo == hi gives the point-reconstruction weights).
+/// Only the overall scaling coefficient and the ≤2 boundary-crossing
+/// details per level have nonzero weight (0-th vanishing moment), so this
+/// is O(log N) — no I/O.
+///
+/// Powers the skipped-shard error bound of degraded cross-shard queries:
+/// a standard-form range sum is Σ over cross-product terms of
+/// (Π_d w_d) × c_term, so by Cauchy–Schwarz its magnitude is at most
+/// sqrt(Π_d RangeWeightNormSquared(n_d, lo_d, hi_d)) × sqrt(Σ c²) — the
+/// per-dimension weight norms times the store's total coefficient energy
+/// (TiledStore::TotalEnergyCeiling).
+double RangeWeightNormSquared(uint32_t n, uint64_t lo, uint64_t hi,
+                              Normalization norm);
 
 /// \brief One refinement step of a progressive range sum.
 struct ProgressiveEstimate {

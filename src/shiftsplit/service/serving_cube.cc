@@ -38,7 +38,32 @@ uint64_t ElapsedUs(std::chrono::steady_clock::time_point start) {
   return us.count() > 0 ? static_cast<uint64_t>(us.count()) : 0;
 }
 
+// Steady-clock microseconds since the process-wide epoch — the timestamp
+// unit of every health transition in ServingStats.
+uint64_t SteadyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
 }  // namespace
+
+const char* ShardHealthToString(ShardHealth health) {
+  switch (health) {
+    case ShardHealth::kHealthy:
+      return "HEALTHY";
+    case ShardHealth::kDegraded:
+      return "DEGRADED";
+    case ShardHealth::kQuarantined:
+      return "QUARANTINED";
+    case ShardHealth::kRecovering:
+      return "RECOVERING";
+    case ShardHealth::kFailed:
+      return "FAILED";
+  }
+  return "UNKNOWN";
+}
 
 Result<std::unique_ptr<ServingCube>> ServingCube::Attach(
     std::unique_ptr<WaveletCube> cube, const Options& options) {
@@ -148,7 +173,45 @@ Status ServingCube::CheckHealthy() const {
 
 void ServingCube::Poison(const Status& status) {
   std::lock_guard<std::mutex> lock(failed_mu_);
-  if (failed_status_.ok()) failed_status_ = status;
+  // First error wins: the cause of the quarantine is the original failure,
+  // not whatever cascaded from it.
+  if (failed_status_.ok()) {
+    failed_status_ = status;
+    poisoned_at_us_ = SteadyNowUs();
+  }
+}
+
+ShardHealth ServingCube::health() const {
+  if (!CheckHealthy().ok()) return ShardHealth::kQuarantined;
+  if (log_degraded_.load(std::memory_order_relaxed)) {
+    return ShardHealth::kDegraded;
+  }
+  return ShardHealth::kHealthy;
+}
+
+Status ServingCube::poison_status() const { return CheckHealthy(); }
+
+Status ServingCube::SyncLog(uint64_t seq) {
+  const Status status = log_->Sync(seq);
+  if (status.ok()) {
+    log_degraded_.store(false, std::memory_order_relaxed);
+    return status;
+  }
+  log_sync_failures_.fetch_add(1, std::memory_order_relaxed);
+  log_degraded_.store(true, std::memory_order_relaxed);
+  return status;
+}
+
+Status ServingCube::Abandon() {
+  StopWorkers();
+  Poison(Status::Unavailable("serving cube abandoned for recovery"));
+  // The exclusive latch waits out in-flight queries; any query arriving
+  // after the discard re-checks health under the latch and fails instead of
+  // reading a store whose dirty pages are gone.
+  std::unique_lock<std::shared_mutex> latch(latch_);
+  const Status discard = cube_->store()->pool().Discard();
+  closed_ = true;  // the destructor must not flush what we just dropped
+  return discard;
 }
 
 Status ServingCube::BufferCell(std::span<const uint64_t> coords, double delta,
@@ -166,7 +229,7 @@ Status ServingCube::Add(std::span<const uint64_t> coords, double delta,
   uint64_t seq = 0;
   SS_RETURN_IF_ERROR(BufferCell(coords, delta, ctx, &seq));
   if (log_ != nullptr && options_.durable_acks) {
-    SS_RETURN_IF_ERROR(log_->Sync(seq));
+    SS_RETURN_IF_ERROR(SyncLog(seq));
   }
   MaybeKickWorkers();
   return Status::OK();
@@ -185,7 +248,7 @@ Status ServingCube::AddBuffered(std::span<const uint64_t> coords,
 Status ServingCube::SyncAcks(uint64_t seq) {
   SS_RETURN_IF_ERROR(CheckHealthy());
   if (log_ != nullptr && options_.durable_acks) {
-    SS_RETURN_IF_ERROR(log_->Sync(seq));
+    SS_RETURN_IF_ERROR(SyncLog(seq));
   }
   MaybeKickWorkers();
   return Status::OK();
@@ -214,7 +277,7 @@ Status ServingCube::Update(const Tensor& deltas,
         BufferCell(absolute, deltas.At(coords), ctx, &last));
   } while (shape.Next(coords));
   if (log_ != nullptr && options_.durable_acks) {
-    SS_RETURN_IF_ERROR(log_->Sync(last));
+    SS_RETURN_IF_ERROR(SyncLog(last));
   }
   MaybeKickWorkers();
   return Status::OK();
@@ -232,6 +295,10 @@ Result<double> ServingCube::PointQuery(std::span<const uint64_t> point,
   const auto wait_start = std::chrono::steady_clock::now();
   std::shared_lock<std::shared_mutex> latch(latch_);
   latch_wait_us_.fetch_add(ElapsedUs(wait_start), std::memory_order_relaxed);
+  // Re-check under the latch: Abandon() poisons before it discards dirty
+  // pages, so a query that raced past the first check cannot read the
+  // half-applied store the discard left behind.
+  SS_RETURN_IF_ERROR(CheckHealthy());
   DeltaBuffer::OverlayView view(buffer_.get(), snap);
   QueryOptions q;
   q.norm = cube_->manifest().norm;
@@ -249,6 +316,7 @@ Result<double> ServingCube::RangeSum(std::span<const uint64_t> lo,
   const auto wait_start = std::chrono::steady_clock::now();
   std::shared_lock<std::shared_mutex> latch(latch_);
   latch_wait_us_.fetch_add(ElapsedUs(wait_start), std::memory_order_relaxed);
+  SS_RETURN_IF_ERROR(CheckHealthy());  // see PointQuery: Abandon() race
   DeltaBuffer::OverlayView view(buffer_.get(), snap);
   QueryOptions q;
   q.norm = cube_->manifest().norm;
@@ -341,7 +409,7 @@ bool ServingCube::ShouldDrain() const {
 }
 
 void ServingCube::MaybeKickWorkers() {
-  if (workers_.empty()) return;
+  if (!workers_running_.load(std::memory_order_acquire)) return;
   if (buffer_->pending_deltas() < options_.drain_min_deltas) return;
   {
     std::lock_guard<std::mutex> lock(worker_mu_);
@@ -380,10 +448,15 @@ void ServingCube::StartWorkers() {
   for (uint32_t i = 0; i < n; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
   }
+  workers_running_.store(true, std::memory_order_release);
 }
 
 void ServingCube::StopWorkers() {
   if (workers_.empty()) return;
+  // Drop the hot-path flag first: a concurrent Add that already passed the
+  // check at worst locks worker_mu_ and signals the cv, which is safe while
+  // we join; it can no longer see the vector we are about to clear.
+  workers_running_.store(false, std::memory_order_release);
   {
     std::lock_guard<std::mutex> lock(worker_mu_);
     stop_.store(true);
@@ -427,6 +500,18 @@ ServingStats ServingCube::stats() const {
     out.log_syncs = log_->syncs();
     out.durable_seq = log_->durable_seq();
     out.log_torn_records = log_->torn_records();
+  }
+  out.log_sync_failures =
+      log_sync_failures_.load(std::memory_order_relaxed);
+  out.health = health();
+  {
+    std::lock_guard<std::mutex> lock(failed_mu_);
+    if (!failed_status_.ok()) {
+      out.poison_code = failed_status_.code();
+      out.poison_message = failed_status_.message();
+      out.poisoned_at_us = poisoned_at_us_;
+      out.health_since_us = poisoned_at_us_;
+    }
   }
   return out;
 }

@@ -157,6 +157,30 @@ class ServingCube {
   /// Test-only access to the buffer (e.g. pinning the drain horizon with an
   /// explicit Snapshot to freeze a genuine mid-apply state).
   DeltaBuffer* buffer_for_test() { return buffer_.get(); }
+  /// Test-only access to the delta log (e.g. injecting flush faults with
+  /// DeltaLog::set_flush_hook_for_test); null for volatile cubes.
+  DeltaLog* log_for_test() { return log_.get(); }
+
+  /// \brief The cube's own health (DESIGN.md §11): kQuarantined once
+  /// poisoned (a drain or flush failed; no consistent state remains to
+  /// serve), kDegraded while delta-log group commits are failing (acks
+  /// bounce with backpressure but reads and already-acked data are fine),
+  /// kHealthy otherwise. RECOVERING/FAILED are supervisor-level states of a
+  /// shard slot, never reported by the cube itself.
+  ShardHealth health() const;
+
+  /// \brief The sticky failure that poisoned the cube (OK while healthy) —
+  /// the first error, with code and message, as captured by Poison().
+  Status poison_status() const;
+
+  /// \brief Tears the cube down without flushing: stops workers, waits out
+  /// in-flight queries (exclusive latch), discards every dirty page and
+  /// poisons the cube so stragglers fail instead of reading a half-applied
+  /// store. The delta log and journal stay on disk exactly as they were —
+  /// the supervisor re-opens the directory through the normal recovery
+  /// path (journal replay + deltas.log replay past the applied watermark).
+  /// Idempotent; safe on an already-poisoned cube.
+  Status Abandon();
 
   /// \brief Simulates kill -9 for recovery tests: stops workers, discards
   /// every dirty (uncommitted) page without write-back and poisons the
@@ -173,6 +197,13 @@ class ServingCube {
 
   Status CheckHealthy() const;
   void Poison(const Status& status);
+  /// Group-commit fsync through `seq`, tracking the DEGRADED health bit: a
+  /// failed flush (ENOSPC and friends) counts a log_sync_failure and marks
+  /// the cube degraded; the next successful sync clears it. Never poisons —
+  /// the delta log retains the unwritten batch, so the records flush with
+  /// the next ack once the pressure clears (writer backpressure, not
+  /// corruption).
+  Status SyncLog(uint64_t seq);
   Status BufferCell(std::span<const uint64_t> coords, double delta,
                     OperationContext* ctx, uint64_t* out_seq);
   /// One drain batch: plan, apply per block under the exclusive latch,
@@ -207,12 +238,23 @@ class ServingCube {
 
   mutable std::mutex failed_mu_;
   Status failed_status_;  ///< OK while healthy; sticky failure otherwise
+  uint64_t poisoned_at_us_ = 0;  ///< steady-clock us at Poison()
+
+  // Delta-log backpressure: set while group commits fail, cleared by the
+  // next success. Orthogonal to poisoning — reads stay exact throughout.
+  std::atomic<bool> log_degraded_{false};
+  std::atomic<uint64_t> log_sync_failures_{0};
 
   std::mutex worker_mu_;
   std::condition_variable worker_cv_;
   bool kick_ = false;
   std::atomic<bool> stop_{false};
-  std::vector<std::thread> workers_;
+  /// MaybeKickWorkers() runs on writer threads while the supervisor may be
+  /// tearing this cube down (Abandon → StopWorkers) through its own handle;
+  /// the hot path checks this flag, never the vector, so the teardown's
+  /// workers_.clear() cannot race a concurrent Add.
+  std::atomic<bool> workers_running_{false};
+  std::vector<std::thread> workers_;  ///< control threads only
   bool closed_ = false;
 };
 

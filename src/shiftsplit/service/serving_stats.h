@@ -1,7 +1,8 @@
 // Observability for the serving layer (ServingCube + DeltaBuffer): how many
-// deltas are buffered, how maintenance is keeping up, and what the read-side
-// merge costs. Modeled on DurabilityStats — a plain snapshot struct the cube
-// assembles on demand.
+// deltas are buffered, how maintenance is keeping up, what the read-side
+// merge costs, and — since the self-healing layer — the shard's health state
+// and the cause of its last failure. Modeled on DurabilityStats — a plain
+// snapshot struct the cube assembles on demand.
 
 #ifndef SHIFTSPLIT_SERVICE_SERVING_STATS_H_
 #define SHIFTSPLIT_SERVICE_SERVING_STATS_H_
@@ -10,7 +11,41 @@
 #include <sstream>
 #include <string>
 
+#include "shiftsplit/util/status.h"
+
 namespace shiftsplit {
+
+/// \brief Health state of a serving shard (DESIGN.md §11).
+///
+///   HEALTHY ──log sync failure──▶ DEGRADED ──sync recovers──▶ HEALTHY
+///      │                             │
+///      └──────drain/store failure────┴──▶ QUARANTINED ──▶ RECOVERING
+///                                              ▲               │
+///                                              └──attempt──────┤
+///                                                   failed     │
+///                                     FAILED ◀──N attempts─────┴─▶ HEALTHY
+///
+/// HEALTHY/DEGRADED shards serve reads and writes (DEGRADED only signals
+/// delta-log backpressure — acks may fail kResourceExhausted but nothing is
+/// corrupt). QUARANTINED/RECOVERING shards serve nothing; the supervisor is
+/// rebuilding them from disk. FAILED is terminal: recovery was attempted
+/// the configured number of times and keeps failing — operator action
+/// (restore the shard directory, reopen) is required.
+enum class ShardHealth {
+  kHealthy = 0,
+  kDegraded,
+  kQuarantined,
+  kRecovering,
+  kFailed,
+};
+
+/// \brief Human-readable name of a ShardHealth (e.g. "QUARANTINED").
+const char* ShardHealthToString(ShardHealth health);
+
+/// \brief True when the state still serves reads and writes.
+inline bool ShardHealthServes(ShardHealth health) {
+  return health == ShardHealth::kHealthy || health == ShardHealth::kDegraded;
+}
 
 /// \brief Counters of the serving layer, snapshotted by ServingCube::stats().
 struct ServingStats {
@@ -44,11 +79,27 @@ struct ServingStats {
   uint64_t log_appends = 0;       ///< records staged to the delta log
   uint64_t log_syncs = 0;         ///< group-commit fsync batches
   uint64_t log_torn_records = 0;  ///< torn tails dropped during replay
+  uint64_t log_sync_failures = 0; ///< failed group commits (backpressure)
 
   // Watermarks.
   uint64_t last_seq = 0;          ///< newest assigned delta sequence number
   uint64_t durable_seq = 0;       ///< newest fsynced sequence number
   uint64_t applied_seq = 0;       ///< newest store-applied sequence number
+
+  // Health. For a ShardedCube these aggregate as "worst health wins" and
+  // the poison fields describe the first unhealthy shard.
+  ShardHealth health = ShardHealth::kHealthy;
+  StatusCode poison_code = StatusCode::kOk;  ///< cause of the quarantine
+  std::string poison_message;     ///< first-error text, verbatim
+  uint64_t poisoned_at_us = 0;    ///< steady-clock us at Poison(); 0 = never
+  uint64_t health_since_us = 0;   ///< steady-clock us of the last transition
+
+  // Self-healing (supervisor) counters; zero for an unsupervised cube.
+  uint64_t quarantines = 0;        ///< transitions into QUARANTINED
+  uint64_t recovery_attempts = 0;  ///< teardown+reopen cycles started
+  uint64_t recoveries = 0;         ///< shards re-admitted HEALTHY
+  uint64_t parked_writes = 0;      ///< writes parked while a shard healed
+  uint64_t parked_dropped = 0;     ///< parked/offered writes rejected or lost
 
   std::string ToString() const {
     std::ostringstream out;
@@ -65,8 +116,23 @@ struct ServingStats {
         << " latch_holds=" << latch_exclusive_holds
         << " log_appends=" << log_appends
         << " log_syncs=" << log_syncs << " torn=" << log_torn_records
+        << " log_sync_failures=" << log_sync_failures
         << " last_seq=" << last_seq << " durable_seq=" << durable_seq
-        << " applied_seq=" << applied_seq;
+        << " applied_seq=" << applied_seq
+        << " health=" << ShardHealthToString(health);
+    if (poison_code != StatusCode::kOk) {
+      out << " poison_code=" << StatusCodeToString(poison_code)
+          << " poisoned_at_us=" << poisoned_at_us
+          << " poison=\"" << poison_message << "\"";
+    }
+    if (quarantines != 0 || recovery_attempts != 0 || parked_writes != 0 ||
+        parked_dropped != 0) {
+      out << " quarantines=" << quarantines
+          << " recovery_attempts=" << recovery_attempts
+          << " recoveries=" << recoveries
+          << " parked=" << parked_writes
+          << " parked_dropped=" << parked_dropped;
+    }
     return out.str();
   }
 };

@@ -1,0 +1,67 @@
+#include "shiftsplit/service/shard_supervisor.h"
+
+#include "shiftsplit/service/sharded_cube.h"
+
+namespace shiftsplit {
+
+namespace {
+
+uint64_t SteadyNowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+ShardSupervisor::ShardSupervisor(ShardedCube* owner,
+                                 std::chrono::milliseconds poll,
+                                 uint64_t jitter_seed)
+    : owner_(owner), poll_(poll), jitter_state_(jitter_seed) {}
+
+ShardSupervisor::~ShardSupervisor() { Stop(); }
+
+void ShardSupervisor::Start() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (thread_.joinable()) return;
+  stop_ = false;
+  running_.store(true, std::memory_order_release);
+  thread_ = std::thread(&ShardSupervisor::Loop, this);
+}
+
+void ShardSupervisor::Stop() {
+  std::thread joinable;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!thread_.joinable()) return;
+    stop_ = true;
+    // Parking gates on running(): flip it before the join so writers stop
+    // enqueuing work nobody will drain while we wind down.
+    running_.store(false, std::memory_order_release);
+    joinable = std::move(thread_);
+  }
+  cv_.notify_all();
+  joinable.join();
+}
+
+void ShardSupervisor::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    lock.unlock();
+    Tick();
+    lock.lock();
+    cv_.wait_for(lock, poll_, [&] { return stop_; });
+  }
+}
+
+void ShardSupervisor::Tick() {
+  const uint32_t shards = owner_->num_shards();
+  for (uint32_t s = 0; s < shards; ++s) {
+    owner_->SuperviseShard(s, SteadyNowUs(), &jitter_state_);
+  }
+}
+
+void ShardSupervisor::TickForTest() { Tick(); }
+
+}  // namespace shiftsplit

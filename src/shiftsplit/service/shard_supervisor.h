@@ -1,0 +1,74 @@
+// Background shard-health supervisor for ShardedCube (DESIGN.md §11).
+//
+// One thread polls every shard slot: a cube that poisoned itself (a drain
+// or flush failed; see ServingCube::health) is QUARANTINED with its poison
+// status as the incident cause, and a due quarantined shard is recovered —
+// torn down without flushing, re-opened through the store's own crash
+// recovery (redo-journal replay plus deltas.log replay past the applied
+// watermark), drained until the watermark converges, parked writes
+// replayed, and re-admitted. Attempts of one incident back off under a
+// capped jittered exponential schedule (util/operation_context.h,
+// RetryPolicy); after ShardedCube::Options::max_recovery_attempts failures
+// the shard lands in the terminal FAILED state and waits for an operator.
+//
+// The supervisor holds no health state of its own — the slots in
+// ShardedCube are the single source of truth; this class is only the
+// polling thread plus the deterministic jitter stream for the backoff.
+
+#ifndef SHIFTSPLIT_SERVICE_SHARD_SUPERVISOR_H_
+#define SHIFTSPLIT_SERVICE_SHARD_SUPERVISOR_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <thread>
+
+namespace shiftsplit {
+
+class ShardedCube;
+
+/// \brief Polling health supervisor over a ShardedCube's shard slots.
+class ShardSupervisor {
+ public:
+  /// `owner` must outlive the supervisor (ShardedCube owns it).
+  ShardSupervisor(ShardedCube* owner, std::chrono::milliseconds poll,
+                  uint64_t jitter_seed);
+  ~ShardSupervisor();
+  ShardSupervisor(const ShardSupervisor&) = delete;
+  ShardSupervisor& operator=(const ShardSupervisor&) = delete;
+
+  /// \brief Starts the polling thread (idempotent).
+  void Start();
+  /// \brief Stops and joins the polling thread (idempotent). A recovery
+  /// attempt in flight finishes first.
+  void Stop();
+
+  /// \brief True while the polling thread runs — the gate for write
+  /// parking (a parked write needs a supervisor to ever drain it).
+  bool running() const { return running_.load(std::memory_order_acquire); }
+
+  /// \brief Runs one synchronous supervision pass over every shard on the
+  /// caller's thread (detection + due recoveries), for deterministic tests
+  /// without the polling thread.
+  void TickForTest();
+
+ private:
+  void Loop();
+  void Tick();
+
+  ShardedCube* owner_;
+  const std::chrono::milliseconds poll_;
+  uint64_t jitter_state_;
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::atomic<bool> running_{false};
+  std::thread thread_;
+};
+
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_SERVICE_SHARD_SUPERVISOR_H_

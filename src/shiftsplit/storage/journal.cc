@@ -18,6 +18,16 @@ std::string Errno(const std::string& prefix) {
   return prefix + ": " + std::strerror(errno);
 }
 
+// Maps a failed write/fsync errno to its status: a full disk or exhausted
+// quota is kResourceExhausted (transient pressure the caller can back off
+// from and retry), everything else a plain kIOError.
+Status WriteErrnoStatus(const std::string& prefix) {
+  if (errno == ENOSPC || errno == EDQUOT) {
+    return Status::ResourceExhausted(Errno(prefix));
+  }
+  return Status::IOError(Errno(prefix));
+}
+
 // Commit record layout (single record per journal file):
 //   RecordHeader
 //   num_entries x EntryHeader
@@ -272,6 +282,22 @@ constexpr size_t kDeltaPrefixBytes =
 // Fixed-size suffix after the coords array: crc + pad.
 constexpr size_t kDeltaSuffixBytes = sizeof(uint32_t) + sizeof(uint32_t);
 
+// WriteAll with the delta log's errno mapping: ENOSPC is backpressure
+// (kResourceExhausted), not an I/O fault — see DeltaLog::Sync.
+Status WriteAllDelta(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t w = ::write(fd, data + done, size - done);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return WriteErrnoStatus("delta log write");
+    }
+    if (w == 0) return Status::IOError("delta log write: wrote 0 bytes");
+    done += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
 void AppendRaw(std::vector<uint8_t>* out, const void* data, size_t size) {
   const uint8_t* bytes = static_cast<const uint8_t*>(data);
   out->insert(out->end(), bytes, bytes + size);
@@ -310,20 +336,23 @@ Status DeltaLog::FlushPendingLocked(std::unique_lock<std::mutex>& lock) {
   pending_.clear();
   const uint64_t batch_seq = pending_max_seq_;
   const bool sync_parent = !created_synced_;
+  const Hook hook = flush_hook_;
   lock.unlock();
 
-  Status status = Status::OK();
-  const int fd = ::open(path_.c_str(),
-                        O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
-  if (fd < 0) {
-    status = Status::IOError(Errno("open delta log " + path_));
-  } else {
-    status = WriteAll(fd, reinterpret_cast<const char*>(batch.data()),
-                      batch.size());
-    if (status.ok() && ::fsync(fd) != 0) {
-      status = Status::IOError(Errno("fsync delta log " + path_));
+  Status status = hook ? hook() : Status::OK();
+  if (status.ok()) {
+    const int fd = ::open(path_.c_str(),
+                          O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+    if (fd < 0) {
+      status = WriteErrnoStatus("open delta log " + path_);
+    } else {
+      status = WriteAllDelta(fd, reinterpret_cast<const char*>(batch.data()),
+                             batch.size());
+      if (status.ok() && ::fsync(fd) != 0) {
+        status = WriteErrnoStatus("fsync delta log " + path_);
+      }
+      ::close(fd);
     }
-    ::close(fd);
   }
   if (status.ok() && sync_parent) status = SyncParentDirOf(path_);
 

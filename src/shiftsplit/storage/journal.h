@@ -119,6 +119,17 @@ class DeltaLog {
  public:
   explicit DeltaLog(std::string path) : path_(std::move(path)) {}
 
+  /// \brief Test hook called before every physical flush (the write+fsync
+  /// of one group-commit batch); returning an error fails the flush with
+  /// exactly that status, simulating a full or failing disk without
+  /// touching the file. The batch is retained just as for a real failure.
+  /// Production logs have no hook.
+  using Hook = std::function<Status()>;
+  void set_flush_hook_for_test(Hook hook) {
+    std::lock_guard<std::mutex> lock(mu_);
+    flush_hook_ = std::move(hook);
+  }
+
   /// \brief Stages one record in memory, in call order. Thread-compatible
   /// with Sync; the caller serializes Append calls (the serving buffer lock)
   /// so file order equals seq order.
@@ -129,7 +140,10 @@ class DeltaLog {
   /// concurrent callers, which wait). After OK, those records survive a
   /// crash. On a write/fsync failure the batch is retained and the error
   /// returned; callers that were waiting on the failed flush retry it
-  /// themselves (and surface their own error if the fault persists).
+  /// themselves (and surface their own error if the fault persists). A
+  /// full disk (ENOSPC/EDQUOT) returns kResourceExhausted — backpressure,
+  /// not corruption: the retained batch flushes with the next Sync once
+  /// space frees up, so the caller simply retries the ack later.
   Status Sync(uint64_t seq);
 
   /// \brief Reads the log, returning every valid record in file order. A
@@ -152,6 +166,7 @@ class DeltaLog {
   std::string path_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
+  Hook flush_hook_;                    ///< test-only flush fault injector
   std::vector<uint8_t> pending_;       ///< encoded, not yet written bytes
   uint64_t pending_max_seq_ = 0;       ///< highest seq staged in pending_
   uint64_t durable_seq_ = 0;           ///< highest seq known fsynced

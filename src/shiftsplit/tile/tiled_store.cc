@@ -240,6 +240,17 @@ double TiledStore::BlockEnergyCeiling(uint64_t block) const {
   return std::sqrt(std::max(energy, 0.0));
 }
 
+double TiledStore::TotalEnergyCeiling() const {
+  if (!energy_tracking()) return std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  {
+    const std::lock_guard<std::mutex> lock(energy_mu_);
+    for (const double energy : block_energy_) total += energy;
+  }
+  // An invalidated (+inf) block entry propagates: the bound stays honest.
+  return std::sqrt(std::max(total, 0.0));
+}
+
 void TiledStore::UpdateEnergy(uint64_t block, double delta) {
   if (!energy_tracking()) return;
   const std::lock_guard<std::mutex> lock(energy_mu_);

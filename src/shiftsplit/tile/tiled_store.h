@@ -113,6 +113,14 @@ class TiledStore {
   /// invalidated by a bulk write.
   double BlockEnergyCeiling(uint64_t block) const;
 
+  /// \brief sqrt of the store's total tracked energy, Σ over all blocks of
+  /// Σ c². Bounds the ℓ2 norm of every coefficient subset at once, so a
+  /// query that skips this entire store (a quarantined shard) can bound the
+  /// answer mass it lost by Cauchy–Schwarz (see
+  /// core/query.h, RangeWeightNormSquared). +infinity when tracking is off
+  /// or any block's entry was invalidated.
+  double TotalEnergyCeiling() const;
+
   /// \brief Writes back all dirty cached blocks. With a journal attached
   /// (Open) this is an atomic all-or-nothing commit of the dirty set.
   Status Flush();

@@ -1,0 +1,341 @@
+// Seeded, deterministic-replayable chaos for the self-healing sharded
+// serving layer (DESIGN.md §11): a traffic loop poisons random shards
+// mid-stream while the background supervisor quarantines, recovers and
+// re-admits them, and the test holds the availability contract the whole
+// way through:
+//
+//  * approx-tolerant cross-shard queries answer around quarantined shards
+//    and stay within their reported error bound;
+//  * healthy shards keep serving reads and writes throughout;
+//  * recovery converges (no shard ends QUARANTINED/RECOVERING/FAILED);
+//  * after the chaos stops and every rejected write is retried, the cube
+//    is bit-identical to a never-faulted monolithic reference holding
+//    exactly the acknowledged writes.
+//
+// The seed comes from SHIFTSPLIT_CHAOS_SEED (decimal) when set, so one
+// failing run can be replayed exactly; tools/check.sh pins it.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <chrono>
+#include <cmath>
+#include <cstdlib>
+#include <filesystem>
+#include <limits>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include "shiftsplit/core/query.h"
+#include "shiftsplit/core/wavelet_cube.h"
+#include "shiftsplit/service/serving_cube.h"
+#include "shiftsplit/service/sharded_cube.h"
+#include "shiftsplit/util/status.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ChaosSeed() {
+  if (const char* env = std::getenv("SHIFTSPLIT_CHAOS_SEED")) {
+    return std::strtoull(env, nullptr, 10);
+  }
+  return 20260806;
+}
+
+uint64_t Bits(double v) { return std::bit_cast<uint64_t>(v); }
+
+std::filesystem::path MakeTempDir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("shiftsplit_chaos_shard_") + tag + "_" +
+                    std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+// Dyadic-exact values (k / 2^6) make every sum bit-reproducible across the
+// sharded and monolithic accumulation orders used here.
+double DyadicValue(std::mt19937_64& rng) {
+  return static_cast<double>(static_cast<int64_t>(rng() % 129) - 64) / 64.0;
+}
+
+// Poisons random shards into a 4-shard supervised cube mid-traffic; the
+// supervisor heals them while degraded queries answer around the holes.
+TEST(ChaosShardedTest, SupervisedShardsSurviveRandomPoisoning) {
+  const uint64_t seed = ChaosSeed();
+  const auto dir = MakeTempDir("soak");
+  const std::vector<uint32_t> log_dims{5, 4};
+  constexpr uint32_t kShards = 4;
+  constexpr uint64_t kSlab = (1u << 5) / kShards;  // split-dim slab extent
+
+  WaveletCube::Options cube_options;
+  ShardedCube::Options options;
+  options.serving.start_workers = true;
+  options.serving.oversubscribe = true;
+  options.supervisor_poll = std::chrono::milliseconds(2);
+  options.recovery_backoff = RetryPolicy{4, 100, 5'000, 0.5};
+  ASSERT_OK_AND_ASSIGN(
+      auto sharded, ShardedCube::CreateOnDisk(dir.string(), log_dims, kShards,
+                                              cube_options, options));
+
+  // The never-faulted reference: a monolithic serving cube that accepts
+  // exactly the writes the sharded cube acknowledged.
+  ASSERT_OK_AND_ASSIGN(auto base,
+                       WaveletCube::CreateInMemory(log_dims, cube_options));
+  ServingCube::Options mono_options;
+  mono_options.start_workers = false;
+  ASSERT_OK_AND_ASSIGN(auto mono,
+                       ServingCube::Attach(std::move(base), mono_options));
+
+  std::mt19937_64 rng(seed);
+  struct Pending {
+    std::vector<uint64_t> coords;
+    double value;
+  };
+  std::vector<Pending> rejected;
+  uint64_t crashes = 0;
+  uint64_t acked = 0;
+  uint64_t degraded_answers = 0;
+
+  constexpr int kOps = 600;
+  for (int op = 0; op < kOps; ++op) {
+    // Roughly every 80th op, poison a random shard (if it currently has a
+    // live cube — mid-recovery slots have none).
+    if (rng() % 80 == 0) {
+      const uint32_t victim = static_cast<uint32_t>(rng() % kShards);
+      if (auto cube = sharded->shard_for_test(victim)) {
+        ASSERT_OK(cube->CrashForTest());
+        ++crashes;
+      }
+    }
+
+    std::vector<uint64_t> coords{rng() % (uint64_t{1} << log_dims[0]),
+                                 rng() % (uint64_t{1} << log_dims[1])};
+    const double value = DyadicValue(rng);
+    const Status added = sharded->Add(coords, value);
+    if (added.ok()) {
+      ASSERT_OK(mono->Add(coords, value));
+      ++acked;
+    } else {
+      // Only availability errors are acceptable under chaos.
+      ASSERT_EQ(added.code(), StatusCode::kUnavailable)
+          << added.ToString();
+      rejected.push_back({coords, value});
+    }
+
+    // Every 20th op: a cross-shard approx range sum must answer (degraded
+    // or exact) and stay within its own bound against the reference.
+    if (op % 20 == 19) {
+      QueryOptions approx;
+      approx.max_error = std::numeric_limits<double>::infinity();
+      const std::vector<uint64_t> lo{0, 0};
+      const std::vector<uint64_t> hi{(uint64_t{1} << log_dims[0]) - 1,
+                                     (uint64_t{1} << log_dims[1]) - 1};
+      ASSERT_OK_AND_ASSIGN(const DegradedResult r,
+                           sharded->RangeSum(lo, hi, approx));
+      ASSERT_OK_AND_ASSIGN(const double want, mono->RangeSum(lo, hi));
+      if (r.exact()) {
+        // No shard was skipped, but writes acked an instant ago may still
+        // be pending on either side — both merge pending deltas, so the
+        // answers agree exactly.
+        EXPECT_EQ(Bits(r.value), Bits(want)) << "op " << op;
+      } else {
+        ++degraded_answers;
+        EXPECT_EQ(r.reason, DegradedReason::kShardUnavailable);
+        EXPECT_FALSE(r.shards_missing.empty());
+        EXPECT_LE(std::abs(want - r.value), r.error_bound + 1e-9)
+            << "op " << op;
+      }
+    }
+  }
+  ASSERT_GT(crashes, 0u) << "seed produced no chaos; widen the schedule";
+
+  // Convergence: the supervisor heals every shard. Rejected writes retry
+  // until the healed shards accept them (mirrored into the reference).
+  const auto deadline = Clock::now() + std::chrono::seconds(60);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    for (;;) {
+      const auto info = sharded->shard_health(s);
+      ASSERT_NE(info.health, ShardHealth::kFailed)
+          << "shard " << s << " failed terminally: " << info.cause.ToString();
+      if (info.health == ShardHealth::kHealthy) break;
+      ASSERT_LT(Clock::now(), deadline)
+          << "shard " << s << " never recovered; health="
+          << ShardHealthToString(info.health);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  for (const Pending& p : rejected) {
+    Status st = Status::Unavailable("unattempted");
+    for (int attempt = 0; attempt < 1000 && !st.ok(); ++attempt) {
+      st = sharded->Add(p.coords, p.value);
+      if (!st.ok()) {
+        ASSERT_LT(Clock::now(), deadline) << st.ToString();
+        std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      }
+    }
+    ASSERT_OK(st);
+    ASSERT_OK(mono->Add(p.coords, p.value));
+  }
+
+  // Post-recovery: bit-identical to the monolithic reference, point and
+  // range, across every shard.
+  ASSERT_OK(sharded->DrainAll());
+  ASSERT_OK(mono->DrainAll());
+  std::mt19937_64 qrng(seed ^ 0x9e3779b97f4a7c15ull);
+  for (int q = 0; q < 80; ++q) {
+    std::vector<uint64_t> p{qrng() % (uint64_t{1} << log_dims[0]),
+                            qrng() % (uint64_t{1} << log_dims[1])};
+    ASSERT_OK_AND_ASSIGN(const double got, sharded->PointQuery(p));
+    ASSERT_OK_AND_ASSIGN(const double want, mono->PointQuery(p));
+    ASSERT_EQ(Bits(got), Bits(want)) << "point query " << q;
+  }
+  for (int q = 0; q < 20; ++q) {
+    std::vector<uint64_t> lo{qrng() % (uint64_t{1} << log_dims[0]),
+                             qrng() % (uint64_t{1} << log_dims[1])};
+    std::vector<uint64_t> hi{
+        lo[0] + qrng() % ((uint64_t{1} << log_dims[0]) - lo[0]),
+        lo[1] + qrng() % ((uint64_t{1} << log_dims[1]) - lo[1])};
+    ASSERT_OK_AND_ASSIGN(const double got, sharded->RangeSum(lo, hi));
+    ASSERT_OK_AND_ASSIGN(const double want, mono->RangeSum(lo, hi));
+    ASSERT_EQ(Bits(got), Bits(want)) << "range query " << q;
+  }
+
+  const ServingStats stats = sharded->stats();
+  EXPECT_EQ(stats.health, ShardHealth::kHealthy);
+  EXPECT_GE(stats.quarantines, 1u);
+  EXPECT_GE(stats.recoveries, 1u);
+  EXPECT_EQ(stats.poison_code, StatusCode::kOk);
+  RecordProperty("crashes", static_cast<int>(crashes));
+  RecordProperty("acked", static_cast<int>(acked));
+  RecordProperty("rejected", static_cast<int>(rejected.size()));
+  RecordProperty("degraded_answers", static_cast<int>(degraded_answers));
+  RecordProperty("recoveries", static_cast<int>(stats.recoveries));
+
+  ASSERT_OK(sharded->Close());
+  ASSERT_OK(mono->Close());
+  std::filesystem::remove_all(dir);
+  // kSlab documents the routing geometry for bound-reasoning readers.
+  static_assert(kSlab == 8);
+}
+
+// Concurrent flavour: writer threads and a reader thread race the
+// supervisor while shards are poisoned underneath them. Asserts liveness
+// (the phase terminates), sane statuses, and post-chaos convergence to a
+// fully drained, healthy cube whose global sum matches the per-thread
+// acknowledged totals.
+TEST(ChaosShardedTest, ConcurrentTrafficSurvivesShardCrashes) {
+  const uint64_t seed = ChaosSeed() + 1;
+  const auto dir = MakeTempDir("mt");
+  const std::vector<uint32_t> log_dims{5, 4};
+  constexpr uint32_t kShards = 4;
+
+  WaveletCube::Options cube_options;
+  ShardedCube::Options options;
+  options.serving.start_workers = true;
+  options.serving.oversubscribe = true;
+  options.supervisor_poll = std::chrono::milliseconds(2);
+  options.recovery_backoff = RetryPolicy{4, 100, 5'000, 0.5};
+  ASSERT_OK_AND_ASSIGN(
+      auto sharded, ShardedCube::CreateOnDisk(dir.string(), log_dims, kShards,
+                                              cube_options, options));
+
+  constexpr int kWriters = 2;
+  constexpr int kWritesPerThread = 150;
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> write_acked{0};
+  std::atomic<uint64_t> write_rejected{0};
+  std::atomic<uint64_t> reads_ok{0};
+  // Acknowledged mass per thread; summed after the fact. Values are whole
+  // sixty-fourths, so the final comparison is exact.
+  std::vector<double> acked_sum(kWriters, 0.0);
+
+  auto writer = [&](int tid) {
+    std::mt19937_64 rng(seed + static_cast<uint64_t>(tid) * 7919);
+    for (int i = 0; i < kWritesPerThread; ++i) {
+      if (rng() % 70 == 0) {
+        const uint32_t victim = static_cast<uint32_t>(rng() % kShards);
+        if (auto cube = sharded->shard_for_test(victim)) {
+          (void)cube->CrashForTest();
+        }
+      }
+      std::vector<uint64_t> coords{rng() % (uint64_t{1} << log_dims[0]),
+                                   rng() % (uint64_t{1} << log_dims[1])};
+      const double value = DyadicValue(rng);
+      const Status st = sharded->Add(coords, value);
+      if (st.ok()) {
+        acked_sum[static_cast<size_t>(tid)] += value;
+        ++write_acked;
+      } else if (st.code() == StatusCode::kUnavailable) {
+        ++write_rejected;
+      } else {
+        ++failures;
+        ADD_FAILURE() << "unexpected write status: " << st.ToString();
+      }
+      if (i % 16 == 0) std::this_thread::yield();
+    }
+  };
+  auto reader = [&]() {
+    std::mt19937_64 rng(seed ^ 0xfeedface);
+    QueryOptions approx;
+    approx.max_error = std::numeric_limits<double>::infinity();
+    const std::vector<uint64_t> lo{0, 0};
+    const std::vector<uint64_t> hi{31, 15};
+    for (int i = 0; i < 120; ++i) {
+      auto r = sharded->RangeSum(lo, hi, approx);
+      if (r.ok()) {
+        ++reads_ok;
+        if (!r->exact() && !std::isfinite(r->error_bound) &&
+            r->shards_missing.empty()) {
+          ++failures;
+          ADD_FAILURE() << "degraded answer without a missing shard";
+        }
+      } else if (r.status().code() != StatusCode::kUnavailable) {
+        ++failures;
+        ADD_FAILURE() << "unexpected read status: " << r.status().ToString();
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kWriters; ++t) threads.emplace_back(writer, t);
+  threads.emplace_back(reader);
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_GT(write_acked.load(), 0u);
+  EXPECT_GT(reads_ok.load(), 0u);
+
+  // Convergence after the storm.
+  const auto deadline = Clock::now() + std::chrono::seconds(60);
+  for (uint32_t s = 0; s < kShards; ++s) {
+    while (sharded->shard_health(s).health != ShardHealth::kHealthy) {
+      const auto info = sharded->shard_health(s);
+      ASSERT_NE(info.health, ShardHealth::kFailed)
+          << "shard " << s << ": " << info.cause.ToString();
+      ASSERT_LT(Clock::now(), deadline);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+  ASSERT_OK(sharded->DrainAll());
+
+  // Every acknowledged write — and nothing else — is in the cube.
+  double want = 0.0;
+  for (const double s : acked_sum) want += s;
+  ASSERT_OK_AND_ASSIGN(const double got,
+                       sharded->RangeSum(std::vector<uint64_t>{0, 0},
+                                         std::vector<uint64_t>{31, 15}));
+  EXPECT_EQ(Bits(got), Bits(want));
+
+  RecordProperty("acked", static_cast<int>(write_acked.load()));
+  RecordProperty("rejected", static_cast<int>(write_rejected.load()));
+  ASSERT_OK(sharded->Close());
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace shiftsplit

@@ -378,6 +378,102 @@ TEST(ServingCubeTest, StatsSurfaceDurableCounters) {
   std::filesystem::remove_all(dir);
 }
 
+// Satellite: a full disk is backpressure, not corruption. A failed delta-log
+// group commit (ENOSPC surfaces as kResourceExhausted) must bounce the ack
+// and mark the cube DEGRADED — never poison it — and once space frees up the
+// retained batch flushes with the next Add and the cube is HEALTHY again,
+// having lost nothing.
+TEST(ServingCubeTest, FullDiskIsBackpressureNotCorruption) {
+  const auto dir = MakeTempDir("enospc");
+  {
+    WaveletCube::Options options;
+    ASSERT_OK_AND_ASSIGN(
+        auto cube, WaveletCube::CreateOnDisk(dir.string(), {4, 4}, options));
+    ASSERT_OK(cube->Close());
+  }
+  ServingCube::Options serve_options;
+  serve_options.start_workers = false;
+  ASSERT_OK_AND_ASSIGN(
+      auto serving,
+      ServingCube::OpenOnDisk(dir.string(), 256, serve_options));
+
+  // "Fill the disk": the next two group commits fail like ENOSPC would.
+  int failures_left = 2;
+  serving->log_for_test()->set_flush_hook_for_test([&failures_left] {
+    if (failures_left > 0) {
+      --failures_left;
+      return Status::ResourceExhausted("no space left on device");
+    }
+    return Status::OK();
+  });
+
+  const std::vector<uint64_t> cell_a{1, 2};
+  const std::vector<uint64_t> cell_b{3, 4};
+  const Status full_a = serving->Add(cell_a, 2.5);
+  ASSERT_FALSE(full_a.ok());
+  EXPECT_EQ(full_a.code(), StatusCode::kResourceExhausted);
+  const Status full_b = serving->Add(cell_b, -1.25);
+  ASSERT_FALSE(full_b.ok());
+  EXPECT_EQ(full_b.code(), StatusCode::kResourceExhausted);
+
+  // Degraded, not poisoned: reads still serve (and see the unacked
+  // deltas), the poison status stays OK.
+  EXPECT_EQ(serving->health(), ShardHealth::kDegraded);
+  ASSERT_OK(serving->poison_status());
+  ASSERT_OK_AND_ASSIGN(const double read_a, serving->PointQuery(cell_a));
+  EXPECT_EQ(read_a, 2.5);
+  ServingStats stats = serving->stats();
+  EXPECT_EQ(stats.health, ShardHealth::kDegraded);
+  EXPECT_GE(stats.log_sync_failures, 2u);
+  EXPECT_EQ(stats.poison_code, StatusCode::kOk);
+
+  // "Space freed": the retry (the next Add) flushes the retained batch
+  // too, so all three records turn durable and health clears.
+  const std::vector<uint64_t> cell_c{0, 3};
+  ASSERT_OK(serving->Add(cell_c, 4.0));
+  EXPECT_EQ(serving->health(), ShardHealth::kHealthy);
+  stats = serving->stats();
+  EXPECT_EQ(stats.health, ShardHealth::kHealthy);
+  EXPECT_EQ(stats.durable_seq, 3u);
+
+  // The cube serves on without any recovery cycle: drain and verify.
+  ASSERT_OK(serving->DrainAll());
+  ASSERT_OK_AND_ASSIGN(const double drained_a, serving->PointQuery(cell_a));
+  EXPECT_EQ(drained_a, 2.5);
+  ASSERT_OK_AND_ASSIGN(const double drained_c, serving->PointQuery(cell_c));
+  EXPECT_EQ(drained_c, 4.0);
+  ASSERT_OK(serving->Close());
+  std::filesystem::remove_all(dir);
+}
+
+// Satellite: poisoning captures its cause — code, message and a
+// steady-clock timestamp — and stats expose the QUARANTINED health.
+TEST(ServingCubeTest, PoisonCauseSurfacesInStats) {
+  ASSERT_OK_AND_ASSIGN(auto base, MakeCube());
+  ServingCube::Options options;
+  options.start_workers = false;
+  ASSERT_OK_AND_ASSIGN(auto serving,
+                       ServingCube::Attach(std::move(base), options));
+  EXPECT_EQ(serving->health(), ShardHealth::kHealthy);
+  EXPECT_EQ(serving->stats().poisoned_at_us, 0u);
+
+  ASSERT_OK(serving->CrashForTest());
+  EXPECT_EQ(serving->health(), ShardHealth::kQuarantined);
+  const Status poison = serving->poison_status();
+  ASSERT_FALSE(poison.ok());
+
+  const ServingStats stats = serving->stats();
+  EXPECT_EQ(stats.health, ShardHealth::kQuarantined);
+  EXPECT_EQ(stats.poison_code, poison.code());
+  EXPECT_EQ(stats.poison_message, poison.message());
+  EXPECT_FALSE(stats.poison_message.empty());
+  EXPECT_GT(stats.poisoned_at_us, 0u);
+  // The rendered stats carry the cause for operators.
+  EXPECT_NE(stats.ToString().find("QUARANTINED"), std::string::npos);
+  EXPECT_NE(stats.ToString().find(stats.poison_message),
+            std::string::npos);
+}
+
 TEST(ServingCubeTest, RejectsNonstandardAndNullCubes) {
   WaveletCube::Options options;
   options.form = StoreForm::kNonstandard;

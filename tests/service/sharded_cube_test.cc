@@ -17,8 +17,12 @@
 #include <unistd.h>
 
 #include <bit>
+#include <chrono>
+#include <cmath>
 #include <filesystem>
+#include <limits>
 #include <map>
+#include <thread>
 #include <vector>
 
 #include "shiftsplit/core/wavelet_cube.h"
@@ -263,7 +267,7 @@ TEST_F(ShardedVsMonolithic, MidDrainSnapshotStaysBitIdentical) {
   // pinned shard freezes in a genuine mid-apply state (prefix applied, rest
   // pending) while the other shards drain fully — the sharded cube now
   // serves from a mix of applied and merged state across shards.
-  ServingCube* pinned = sharded_->shard_for_test(1);
+  const std::shared_ptr<ServingCube> pinned = sharded_->shard_for_test(1);
   {
     DeltaBuffer::Snapshot pin(pinned->buffer_for_test());
     bool pinned_shard_touched = false;
@@ -532,6 +536,384 @@ TEST(ShardedCubeTest, CreateValidatesAndOpenChecksTheManifest) {
                     ShardSetManifest::ShardDirName(1)};
   ASSERT_OK(bad.Save((dir / "shardset.manifest").string()));
   EXPECT_FALSE(ShardedCube::OpenOnDisk(dir.string(), options).ok());
+}
+
+// ---------------------------------------------------------------------------
+// Self-healing (DESIGN.md §11)
+
+// The acceptance matrix: crash the owning shard at every op index of a
+// write sequence, recover it in-process (RecoverShardNow runs the full
+// supervised teardown -> reopen -> watermark-verify -> re-admit cycle),
+// finish the sequence, and demand bit-identity with a never-faulted
+// monolith holding exactly the acknowledged writes.
+TEST(ShardedSelfHealingTest, KillAtEveryOpRecoversInProcessExact) {
+  const std::vector<uint32_t> log_dims{5, 4};
+  const std::vector<Delta> deltas = MakeDyadicDeltas(log_dims, 24, 20260808);
+  WaveletCube::Options cube_options;
+
+  for (size_t kill_at = 0; kill_at < deltas.size(); ++kill_at) {
+    const auto dir = MakeTempDir("healmatrix");
+    ShardedCube::Options options;
+    options.serving.start_workers = false;
+    ASSERT_OK_AND_ASSIGN(
+        auto sharded, ShardedCube::CreateOnDisk(dir.string(), log_dims, 4,
+                                                cube_options, options));
+    ASSERT_OK_AND_ASSIGN(auto base,
+                         WaveletCube::CreateInMemory(log_dims, cube_options));
+    ServingCube::Options mono_options;
+    mono_options.start_workers = false;
+    ASSERT_OK_AND_ASSIGN(auto mono,
+                         ServingCube::Attach(std::move(base), mono_options));
+
+    const uint32_t victim =
+        sharded->router().ShardOf(deltas[kill_at].coords);
+    std::vector<size_t> unacked;
+    for (size_t i = 0; i < deltas.size(); ++i) {
+      if (i == kill_at) {
+        // The injected failure: the victim's in-process crash poisons it.
+        ASSERT_OK(sharded->shard_for_test(victim)->CrashForTest());
+      }
+      const Status added = sharded->Add(deltas[i].coords, deltas[i].value);
+      if (added.ok()) {
+        ASSERT_OK(mono->Add(deltas[i].coords, deltas[i].value));
+      } else {
+        // Only the victim may reject writes; healthy shards never stall.
+        ASSERT_EQ(sharded->router().ShardOf(deltas[i].coords), victim);
+        unacked.push_back(i);
+      }
+    }
+    ASSERT_GE(unacked.size(), 1u);  // the kill_at write itself bounced
+    EXPECT_EQ(sharded->shard_health(victim).health,
+              ShardHealth::kQuarantined);
+
+    // One full in-process recovery cycle, then the writer retries its
+    // rejected writes.
+    ASSERT_OK(sharded->RecoverShardNow(victim));
+    const ShardedCube::ShardHealthInfo healed =
+        sharded->shard_health(victim);
+    EXPECT_EQ(healed.health, ShardHealth::kHealthy);
+    EXPECT_EQ(healed.recoveries, 1u);
+    EXPECT_EQ(healed.quarantines, 1u);
+    for (const size_t i : unacked) {
+      ASSERT_OK(sharded->Add(deltas[i].coords, deltas[i].value));
+      ASSERT_OK(mono->Add(deltas[i].coords, deltas[i].value));
+    }
+    ASSERT_OK(sharded->DrainAll());
+    ASSERT_OK(mono->DrainAll());
+
+    // Bit-identical to the never-faulted monolith, point and range.
+    Xoshiro256 rng(kill_at + 1);
+    for (int q = 0; q < 40; ++q) {
+      std::vector<uint64_t> p{rng.NextBounded(32), rng.NextBounded(16)};
+      ASSERT_OK_AND_ASSIGN(const double got, sharded->PointQuery(p));
+      ASSERT_OK_AND_ASSIGN(const double want, mono->PointQuery(p));
+      ASSERT_EQ(Bits(got), Bits(want)) << "kill_at=" << kill_at;
+    }
+    const std::vector<uint64_t> all_lo{0, 0};
+    const std::vector<uint64_t> all_hi{31, 15};
+    ASSERT_OK_AND_ASSIGN(const double got_sum,
+                         sharded->RangeSum(all_lo, all_hi));
+    ASSERT_OK_AND_ASSIGN(const double want_sum,
+                         mono->RangeSum(all_lo, all_hi));
+    ASSERT_EQ(Bits(got_sum), Bits(want_sum)) << "kill_at=" << kill_at;
+
+    ASSERT_OK(sharded->Close());
+    ASSERT_OK(mono->Close());
+    std::filesystem::remove_all(dir);
+  }
+}
+
+// While a shard is quarantined: exact queries touching it fail fast with
+// its health attached, approx-tolerant queries skip it and return a
+// DegradedResult whose energy-derived bound really covers the missing
+// part, and a too-tight max_error refuses the degraded answer. After
+// recovery the exact answers are back, bit-identically.
+TEST(ShardedSelfHealingTest, DegradedQueriesWithinBoundWhileQuarantined) {
+  const auto dir = MakeTempDir("degraded");
+  const std::vector<uint32_t> log_dims{5, 4};
+  WaveletCube::Options cube_options;
+  ShardedCube::Options options;
+  options.serving.start_workers = false;
+  ASSERT_OK_AND_ASSIGN(
+      auto sharded, ShardedCube::CreateOnDisk(dir.string(), log_dims, 4,
+                                              cube_options, options));
+
+  const std::vector<Delta> deltas = MakeDyadicDeltas(log_dims, 120, 31337);
+  std::map<std::vector<uint64_t>, double> expected;
+  for (const Delta& d : deltas) {
+    ASSERT_OK(sharded->Add(d.coords, d.value));
+    expected[d.coords] += d.value;
+  }
+  ASSERT_OK(sharded->DrainAll());
+
+  constexpr uint32_t kVictim = 2;
+  ASSERT_OK(sharded->shard_for_test(kVictim)->CrashForTest());
+  // First touch detects the poisoning inline and quarantines the slot.
+  const std::vector<uint64_t> victim_cell{
+      kVictim * 8 + 1, 3};  // split dim 0, slab extent 8
+  EXPECT_FALSE(sharded->Add(victim_cell, 1.0).ok());
+  EXPECT_EQ(sharded->shard_health(kVictim).health,
+            ShardHealth::kQuarantined);
+
+  const std::vector<uint64_t> all_lo{0, 0};
+  const std::vector<uint64_t> all_hi{31, 15};
+  double true_sum = 0.0;
+  double victim_part = 0.0;
+  for (const auto& [coords, value] : expected) {
+    true_sum += value;
+    if (coords[0] / 8 == kVictim) victim_part += value;
+  }
+
+  // Exact mode fails fast, naming the shard's health.
+  const Result<double> exact = sharded->RangeSum(all_lo, all_hi);
+  ASSERT_FALSE(exact.ok());
+  EXPECT_EQ(exact.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(exact.status().message().find("QUARANTINED"),
+            std::string::npos);
+
+  // Approx mode degrades: the healthy shards' exact parts, the victim
+  // listed missing, and a bound that covers what was skipped.
+  QueryOptions approx;
+  approx.max_error = std::numeric_limits<double>::infinity();
+  ASSERT_OK_AND_ASSIGN(const DegradedResult degraded,
+                       sharded->RangeSum(all_lo, all_hi, approx));
+  EXPECT_EQ(degraded.reason, DegradedReason::kShardUnavailable);
+  ASSERT_EQ(degraded.shards_missing,
+            (std::vector<uint32_t>{kVictim}));
+  EXPECT_GT(degraded.blocks_missing, 0u);
+  EXPECT_EQ(Bits(degraded.value), Bits(true_sum - victim_part));
+  EXPECT_LE(std::abs(true_sum - degraded.value), degraded.error_bound);
+
+  // Same contract for the degradable point query on the dead shard.
+  ASSERT_OK_AND_ASSIGN(const DegradedResult point,
+                       sharded->PointQuery(victim_cell, approx));
+  ASSERT_EQ(point.shards_missing, (std::vector<uint32_t>{kVictim}));
+  const auto it = expected.find(victim_cell);
+  const double point_true = it == expected.end() ? 0.0 : it->second;
+  EXPECT_LE(std::abs(point_true - point.value), point.error_bound);
+
+  // A max_error tighter than the bound refuses to answer.
+  if (degraded.error_bound > 0.0) {
+    QueryOptions tight;
+    tight.max_error = degraded.error_bound * 0.5;
+    const Result<DegradedResult> refused =
+        sharded->RangeSum(all_lo, all_hi, tight);
+    ASSERT_FALSE(refused.ok());
+    EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable);
+  }
+  // A range entirely inside healthy shards answers exactly — degraded
+  // routing never touches the victim.
+  const std::vector<uint64_t> healthy_lo{0, 0};
+  const std::vector<uint64_t> healthy_hi{15, 15};
+  ASSERT_OK_AND_ASSIGN(const DegradedResult healthy,
+                       sharded->RangeSum(healthy_lo, healthy_hi, approx));
+  EXPECT_TRUE(healthy.exact());
+
+  // Recovery restores exact service.
+  ASSERT_OK(sharded->RecoverShardNow(kVictim));
+  ASSERT_OK_AND_ASSIGN(const double after,
+                       sharded->RangeSum(all_lo, all_hi));
+  EXPECT_EQ(Bits(after), Bits(true_sum));
+  const ServingStats stats = sharded->stats();
+  EXPECT_EQ(stats.health, ShardHealth::kHealthy);
+  EXPECT_EQ(stats.recoveries, 1u);
+  ASSERT_OK(sharded->Close());
+  std::filesystem::remove_all(dir);
+}
+
+// Writes routed to a quarantined shard park in the bounded in-memory queue
+// (supervisor running, no deadline), fail fast under an armed deadline,
+// bounce when the queue is full — and the parked queue drains into the
+// shard on re-admission, bit-identically to a monolith that accepted the
+// same writes directly.
+TEST(ShardedSelfHealingTest, ParkedWritesReplayOnReadmission) {
+  const auto dir = MakeTempDir("parking");
+  const std::vector<uint32_t> log_dims{5, 4};
+  WaveletCube::Options cube_options;
+  ShardedCube::Options options;
+  options.serving.start_workers = true;
+  options.serving.oversubscribe = true;
+  // A sleepy supervisor: running (so parking is live) but effectively
+  // never acting — the test drives recovery explicitly.
+  options.supervisor_poll = std::chrono::milliseconds(60'000);
+  options.max_parked_writes = 4;
+  ASSERT_OK_AND_ASSIGN(
+      auto sharded, ShardedCube::CreateOnDisk(dir.string(), log_dims, 4,
+                                              cube_options, options));
+  ASSERT_OK_AND_ASSIGN(auto base,
+                       WaveletCube::CreateInMemory(log_dims, cube_options));
+  ServingCube::Options mono_options;
+  mono_options.start_workers = false;
+  ASSERT_OK_AND_ASSIGN(auto mono,
+                       ServingCube::Attach(std::move(base), mono_options));
+
+  constexpr uint32_t kVictim = 1;
+  const auto victim_cell = [](uint64_t x, uint64_t y) {
+    return std::vector<uint64_t>{kVictim * 8 + x, y};
+  };
+  ASSERT_OK(sharded->Add(victim_cell(0, 0), 2.0));
+  ASSERT_OK(mono->Add(victim_cell(0, 0), 2.0));
+  ASSERT_OK(sharded->DrainAll());
+
+  ASSERT_OK(sharded->shard_for_test(kVictim)->CrashForTest());
+  // The detecting write fails (it raced the poisoning) ...
+  EXPECT_FALSE(sharded->Add(victim_cell(1, 1), 1.0).ok());
+  ASSERT_EQ(sharded->shard_health(kVictim).health,
+            ShardHealth::kQuarantined);
+  // ... but writes after the quarantine park, up to the bound.
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_OK(sharded->Add(victim_cell(i, 2), 1.0 + i));
+    ASSERT_OK(mono->Add(victim_cell(i, 2), 1.0 + i));
+  }
+  EXPECT_EQ(sharded->shard_health(kVictim).parked, 4u);
+  // Queue full: the fifth offer bounces.
+  EXPECT_FALSE(sharded->Add(victim_cell(4, 2), 9.0).ok());
+  // An armed deadline never parks: bounded latency means fail fast.
+  OperationContext deadline_ctx;
+  deadline_ctx.set_timeout(std::chrono::seconds(30));
+  const Status fast = sharded->Add(victim_cell(5, 2), 1.0, &deadline_ctx);
+  ASSERT_FALSE(fast.ok());
+  EXPECT_EQ(fast.code(), StatusCode::kUnavailable);
+  // Healthy shards are untouched by all of this.
+  ASSERT_OK(sharded->Add(std::vector<uint64_t>{0, 0}, 3.0));
+  ASSERT_OK(mono->Add(std::vector<uint64_t>{0, 0}, 3.0));
+
+  // Re-admission replays the parked queue in arrival order.
+  ASSERT_OK(sharded->RecoverShardNow(kVictim));
+  const ShardedCube::ShardHealthInfo healed = sharded->shard_health(kVictim);
+  EXPECT_EQ(healed.health, ShardHealth::kHealthy);
+  EXPECT_EQ(healed.parked, 0u);
+  const ServingStats stats = sharded->stats();
+  EXPECT_EQ(stats.parked_writes, 4u);
+  EXPECT_EQ(stats.parked_dropped, 0u);
+
+  ASSERT_OK(sharded->DrainAll());
+  ASSERT_OK(mono->DrainAll());
+  Xoshiro256 rng(5);
+  for (int q = 0; q < 60; ++q) {
+    std::vector<uint64_t> p{rng.NextBounded(32), rng.NextBounded(16)};
+    ASSERT_OK_AND_ASSIGN(const double got, sharded->PointQuery(p));
+    ASSERT_OK_AND_ASSIGN(const double want, mono->PointQuery(p));
+    ASSERT_EQ(Bits(got), Bits(want));
+  }
+  ASSERT_OK(sharded->Close());
+  ASSERT_OK(mono->Close());
+  std::filesystem::remove_all(dir);
+}
+
+// The background supervisor alone — no explicit recovery calls — detects a
+// poisoned shard, quarantines it and re-admits it, while the healthy
+// shards keep serving throughout.
+TEST(ShardedSelfHealingTest, SupervisorAutoRecoversCrashedShard) {
+  const auto dir = MakeTempDir("auto");
+  const std::vector<uint32_t> log_dims{5, 4};
+  WaveletCube::Options cube_options;
+  ShardedCube::Options options;
+  options.serving.start_workers = true;
+  options.serving.oversubscribe = true;
+  options.supervisor_poll = std::chrono::milliseconds(2);
+  ASSERT_OK_AND_ASSIGN(
+      auto sharded, ShardedCube::CreateOnDisk(dir.string(), log_dims, 4,
+                                              cube_options, options));
+
+  constexpr uint32_t kVictim = 3;
+  ASSERT_OK(sharded->Add(std::vector<uint64_t>{kVictim * 8 + 2, 5}, 4.0));
+  ASSERT_OK(sharded->DrainAll());
+  ASSERT_OK(sharded->shard_for_test(kVictim)->CrashForTest());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  for (;;) {
+    const ShardedCube::ShardHealthInfo info = sharded->shard_health(kVictim);
+    if (info.health == ShardHealth::kHealthy && info.recoveries >= 1) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "supervisor did not recover the shard; health="
+        << ShardHealthToString(info.health);
+    // Healthy shards serve while the victim heals.
+    ASSERT_OK(sharded->PointQuery(std::vector<uint64_t>{0, 0}).status());
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const ShardedCube::ShardHealthInfo info = sharded->shard_health(kVictim);
+  EXPECT_EQ(info.quarantines, 1u);
+  ASSERT_OK(info.cause);  // cleared on re-admission
+  // The recovered shard serves reads and writes again, exactly.
+  ASSERT_OK_AND_ASSIGN(
+      const double value,
+      sharded->PointQuery(std::vector<uint64_t>{kVictim * 8 + 2, 5}));
+  EXPECT_EQ(Bits(value), Bits(4.0));
+  ASSERT_OK(sharded->Add(std::vector<uint64_t>{kVictim * 8 + 2, 5}, 1.0));
+  ASSERT_OK(sharded->Close());
+  std::filesystem::remove_all(dir);
+}
+
+// A shard whose store cannot be reopened exhausts its recovery attempts
+// and lands in the terminal FAILED state, with the cause in stats and an
+// operator-facing error on every touch — while the rest of the cube keeps
+// serving, and approx-tolerant queries still answer around the hole.
+TEST(ShardedSelfHealingTest, UnrecoverableShardLandsFailedTerminal) {
+  const auto dir = MakeTempDir("failed");
+  const std::vector<uint32_t> log_dims{5, 4};
+  WaveletCube::Options cube_options;
+  ShardedCube::Options options;
+  options.serving.start_workers = false;
+  options.max_recovery_attempts = 2;
+  options.recovery_backoff = RetryPolicy{2, 1, 10, 0.0};
+  ASSERT_OK_AND_ASSIGN(
+      auto sharded, ShardedCube::CreateOnDisk(dir.string(), log_dims, 4,
+                                              cube_options, options));
+  // Data lands only on healthy shards so the hole carries zero mass.
+  const std::vector<Delta> deltas = MakeDyadicDeltas(log_dims, 60, 99);
+  double healthy_sum = 0.0;
+  for (const Delta& d : deltas) {
+    if (sharded->router().ShardOf(d.coords) == 1) continue;
+    ASSERT_OK(sharded->Add(d.coords, d.value));
+    healthy_sum += d.value;
+  }
+  ASSERT_OK(sharded->DrainAll());
+
+  // Make shard 1 unrecoverable: poison it and destroy its manifest.
+  ASSERT_OK(sharded->shard_for_test(1)->CrashForTest());
+  std::filesystem::remove(dir / "shard-0001" / "store.manifest");
+
+  EXPECT_FALSE(sharded->RecoverShardNow(1).ok());  // attempt 1 of 2
+  EXPECT_EQ(sharded->shard_health(1).health, ShardHealth::kQuarantined);
+  EXPECT_FALSE(sharded->RecoverShardNow(1).ok());  // attempt 2: terminal
+  const ShardedCube::ShardHealthInfo info = sharded->shard_health(1);
+  EXPECT_EQ(info.health, ShardHealth::kFailed);
+  EXPECT_FALSE(info.cause.ok());
+
+  // Terminal: explicit recovery refuses, writes bounce with the cause.
+  const Status recover_again = sharded->RecoverShardNow(1);
+  ASSERT_FALSE(recover_again.ok());
+  EXPECT_NE(recover_again.message().find("FAILED"), std::string::npos);
+  const Status write = sharded->Add(std::vector<uint64_t>{9, 0}, 1.0);
+  ASSERT_FALSE(write.ok());
+  EXPECT_EQ(write.code(), StatusCode::kUnavailable);
+  EXPECT_NE(write.message().find("FAILED"), std::string::npos);
+
+  // The cause and terminal state surface in aggregate stats.
+  const ServingStats stats = sharded->stats();
+  EXPECT_EQ(stats.health, ShardHealth::kFailed);
+  EXPECT_NE(stats.poison_code, StatusCode::kOk);
+  EXPECT_EQ(stats.recovery_attempts, 2u);
+  EXPECT_EQ(stats.recoveries, 0u);
+
+  // Healthy shards serve exact sub-queries; the global sum degrades with
+  // an honest (here unbounded — the hole's energy is unknowable) bound.
+  ASSERT_OK_AND_ASSIGN(
+      const double left,
+      sharded->RangeSum(std::vector<uint64_t>{0, 0},
+                        std::vector<uint64_t>{7, 15}));
+  (void)left;
+  QueryOptions approx;
+  approx.max_error = std::numeric_limits<double>::infinity();
+  ASSERT_OK_AND_ASSIGN(
+      const DegradedResult degraded,
+      sharded->RangeSum(std::vector<uint64_t>{0, 0},
+                        std::vector<uint64_t>{31, 15}, approx));
+  ASSERT_EQ(degraded.shards_missing, (std::vector<uint32_t>{1}));
+  EXPECT_EQ(Bits(degraded.value), Bits(healthy_sum));
+  std::filesystem::remove_all(dir);
 }
 
 }  // namespace

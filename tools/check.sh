@@ -93,10 +93,36 @@ sharded_serve_sim_smoke() {
   rm -rf "$(dirname "$store")"
 }
 
-# Replayable chaos soak: `-L chaos` selects the fault-injection soak alone,
-# with the seed pinned so a failure reproduces bit-for-bit. Runs under the
-# plain build (fast, exercises the timing assertions at real speed) and
-# under tsan (the concurrent phase is where races would hide).
+# Self-healing smoke with the CLI (DESIGN.md §11): poison one shard of a
+# 4-shard store mid-run and require the background supervisor to
+# quarantine, rebuild and re-admit it — serve-sim exits non-zero if the
+# shard is not recovered (or the cube ends poisoned), so a plain `|| exit`
+# is the whole assertion.
+self_healing_smoke() {
+  local build_dir="$1"
+  local tool="$build_dir/tools/shiftsplit_tool"
+  local store
+  store="$(mktemp -d)/store"
+  echo "==> self-healing smoke [$build_dir]"
+  "$tool" create "$store" --form standard --dims 5,4 --b 2 --shards 4 \
+    >/dev/null
+  "$tool" serve-sim "$store" --deltas 40 --seed 11 \
+    --crash-shard 1 --expect-recover >/dev/null || {
+    echo "self-healing smoke: supervisor failed to recover the shard" >&2
+    exit 1
+  }
+  "$tool" stats "$store" >/dev/null || {
+    echo "self-healing smoke: stats failed after recovery" >&2
+    exit 1
+  }
+  rm -rf "$(dirname "$store")"
+}
+
+# Replayable chaos soak: `-L chaos` selects the fault-injection soaks —
+# including the self-healing sharded chaos (chaos_sharded_test) — with the
+# seed pinned so a failure reproduces bit-for-bit. Runs under the plain
+# build (fast, exercises the timing assertions at real speed) and under
+# tsan (the concurrent phase is where races would hide).
 chaos_seed=20260806
 chaos_soak() {
   local build_dir="$1"
@@ -146,6 +172,9 @@ serve_sim_smoke build-asan
 sharded_serve_sim_smoke build
 sharded_serve_sim_smoke build-asan
 
+self_healing_smoke build
+self_healing_smoke build-asan
+
 chaos_soak build
 chaos_soak build-tsan
 
@@ -154,8 +183,10 @@ bench_schema build bench_serving BENCH_serving.json
 bench_schema build bench_ingest_batched BENCH_ingest.json
 
 # The sharded router/cube property tests (bit-identity vs the monolith,
-# per-shard crash matrix) run under the plain build and under tsan, in both
-# kernel dispatch modes — routing must not depend on the SIMD tier.
+# per-shard crash matrix, self-healing chaos — chaos_sharded_test carries
+# the compound chaos-sharding label, so `-L sharding` runs it here under
+# tsan too) run under the plain build and under tsan, in both kernel
+# dispatch modes — routing must not depend on the SIMD tier.
 for build_dir in build build-tsan; do
   echo "==> sharding tests [$build_dir]"
   ctest --test-dir "$build_dir" -L sharding -j "$jobs" --output-on-failure

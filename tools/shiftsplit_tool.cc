@@ -24,6 +24,7 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <thread>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -60,11 +61,17 @@ constexpr char kUsage[] =
     "  extract --lo 0,0,0 --hi 3,3,3\n"
     "  scrub   (verify every block checksum; exits 1 on corruption)\n"
     "  serve-sim [--deltas 32] [--seed 1] [--crash] [--verify]\n"
+    "          [--crash-shard K] [--expect-recover]\n"
     "          (buffer deltas through the serving layer; --crash exits\n"
     "          before draining, --verify replays and checks them;\n"
-    "          sharded stores are routed automatically)\n"
-    "  stats   (pool + durability + serving counters in one table;\n"
-    "          sharded stores add per-shard serving rows)\n";
+    "          sharded stores are routed automatically. --crash-shard K\n"
+    "          poisons shard K mid-run; with --expect-recover the\n"
+    "          supervisor must quarantine, recover and re-admit it or the\n"
+    "          run exits non-zero. Exits non-zero whenever the cube ends\n"
+    "          poisoned, printing the cause)\n"
+    "  stats   (pool + durability + serving counters in one table, with\n"
+    "          shard health and poison cause; sharded stores add\n"
+    "          per-shard serving rows)\n";
 
 struct Args {
   std::string command;
@@ -92,7 +99,7 @@ Result<Args> ParseArgs(int argc, char** argv) {
       const std::string key = a.substr(2);
       if (key == "zorder" || key == "sparse" || key == "slots" ||
           key == "prefetch" || key == "per-coeff" || key == "approx-ok" ||
-          key == "crash" || key == "verify") {
+          key == "crash" || key == "verify" || key == "expect-recover") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];
@@ -448,11 +455,19 @@ struct ServeTarget {
   Status Close() { return sharded ? sharded->Close() : mono->Close(); }
 };
 
-Result<ServeTarget> OpenServeTarget(const std::string& dir) {
+Result<ServeTarget> OpenServeTarget(const std::string& dir,
+                                    bool supervised = false) {
   ServeTarget target;
   if (ShardedCube::IsShardedDir(dir)) {
     ShardedCube::Options options;
-    options.serving.start_workers = false;  // drains only where the sim says
+    // Default: drains only where the sim says. A supervised run instead
+    // starts workers and the supervisor so --expect-recover can watch the
+    // full quarantine -> recover -> re-admit cycle happen on its own.
+    options.serving.start_workers = supervised;
+    options.serving.oversubscribe = supervised;
+    if (supervised) {
+      options.supervisor_poll = std::chrono::milliseconds(5);
+    }
     SS_ASSIGN_OR_RETURN(target.sharded, ShardedCube::OpenOnDisk(dir, options));
     target.log_dims = target.sharded->router().log_dims();
   } else {
@@ -478,8 +493,31 @@ Status CmdServeSim(const Args& args) {
   if (auto it = args.flags.find("seed"); it != args.flags.end()) {
     seed = std::stoull(it->second);
   }
+  bool crash_shard = false;
+  uint32_t victim = 0;
+  if (auto it = args.flags.find("crash-shard"); it != args.flags.end()) {
+    crash_shard = true;
+    victim = static_cast<uint32_t>(std::stoul(it->second));
+  }
+  const bool expect_recover = args.flags.contains("expect-recover");
+  if (expect_recover && !crash_shard) {
+    return Status::InvalidArgument("--expect-recover needs --crash-shard K");
+  }
 
-  SS_ASSIGN_OR_RETURN(ServeTarget serving, OpenServeTarget(args.dir));
+  SS_ASSIGN_OR_RETURN(ServeTarget serving,
+                      OpenServeTarget(args.dir, expect_recover));
+  if (crash_shard) {
+    if (!serving.sharded) {
+      return Status::InvalidArgument(
+          "--crash-shard needs a sharded store directory");
+    }
+    if (victim >= serving.sharded->num_shards()) {
+      return Status::InvalidArgument(
+          "--crash-shard " + std::to_string(victim) + " out of range (store"
+          " has " + std::to_string(serving.sharded->num_shards()) +
+          " shards)");
+    }
+  }
 
   if (args.flags.contains("verify")) {
     const ServingStats stats = serving.Stats();
@@ -520,9 +558,26 @@ Status CmdServeSim(const Args& args) {
     return Status::OK();
   }
 
+  // Writes bounced by an unavailable (healing) shard are retried once the
+  // shard is re-admitted — the sim's contract is that every delta lands.
+  std::vector<uint64_t> unacked;
   for (uint64_t i = 0; i < deltas; ++i) {
+    if (crash_shard && i == deltas / 2) {
+      // Poison the victim mid-run, exactly as a torn drain would.
+      if (auto cube = serving.sharded->shard_for_test(victim)) {
+        SS_RETURN_IF_ERROR(cube->CrashForTest());
+        std::printf("serve-sim: crashed shard %u after %llu delta(s)\n",
+                    victim, static_cast<unsigned long long>(i));
+      }
+    }
     const SimDelta d = SimDeltaAt(serving.log_dims, i, seed);
-    SS_RETURN_IF_ERROR(serving.Add(d.coords, d.value));
+    const Status added = serving.Add(d.coords, d.value);
+    if (added.ok()) continue;
+    if (crash_shard && added.code() == StatusCode::kUnavailable) {
+      unacked.push_back(i);
+      continue;
+    }
+    return added;
   }
   if (args.flags.contains("crash")) {
     // Every delta above is fsynced in the log; nothing is drained. Exit
@@ -533,10 +588,48 @@ Status CmdServeSim(const Args& args) {
     std::fflush(stdout);
     std::_Exit(0);
   }
+  if (expect_recover) {
+    // The supervisor must quarantine, rebuild and re-admit the victim on
+    // its own; then the bounced writes retry against the healed shard.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    for (;;) {
+      const auto info = serving.sharded->shard_health(victim);
+      if (info.health == ShardHealth::kHealthy && info.recoveries >= 1) break;
+      if (info.health == ShardHealth::kFailed) {
+        return Status::Unavailable("shard " + std::to_string(victim) +
+                                   " failed terminally: " +
+                                   info.cause.ToString());
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        return Status::DeadlineExceeded(
+            "shard " + std::to_string(victim) + " did not recover (health " +
+            ShardHealthToString(info.health) + ")");
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    for (const uint64_t i : unacked) {
+      const SimDelta d = SimDeltaAt(serving.log_dims, i, seed);
+      SS_RETURN_IF_ERROR(serving.Add(d.coords, d.value));
+    }
+    const auto info = serving.sharded->shard_health(victim);
+    std::printf("serve-sim: shard %u quarantined and re-admitted "
+                "(%llu recover%s); %zu bounced write(s) retried\n",
+                victim, static_cast<unsigned long long>(info.recoveries),
+                info.recoveries == 1 ? "y" : "ies", unacked.size());
+  }
   SS_RETURN_IF_ERROR(serving.DrainAll());
   const ServingStats stats = serving.Stats();
   SS_RETURN_IF_ERROR(serving.Close());
   std::printf("serve-sim: %s\n", stats.ToString().c_str());
+  // A cube that ends the run poisoned is an operator problem, not a clean
+  // exit: surface the cause and fail the process.
+  if (!ShardHealthServes(stats.health)) {
+    return Status::Unavailable(
+        "cube ended " + std::string(ShardHealthToString(stats.health)) +
+        ": " + std::string(StatusCodeToString(stats.poison_code)) + ": " +
+        stats.poison_message);
+  }
   return Status::OK();
 }
 
@@ -556,6 +649,22 @@ void PrintServingRows(const ServingStats& serve) {
   row("last_seq", serve.last_seq);
   row("durable_seq", serve.durable_seq);
   row("applied_seq", serve.applied_seq);
+  std::printf("  %-24s %s\n", "health", ShardHealthToString(serve.health));
+  if (serve.poison_code != StatusCode::kOk) {
+    std::printf("  %-24s %s: %s\n", "poison_cause",
+                StatusCodeToString(serve.poison_code),
+                serve.poison_message.c_str());
+    row("poisoned_at_us", serve.poisoned_at_us);
+  }
+  row("log_sync_failures", serve.log_sync_failures);
+  if (serve.quarantines != 0 || serve.recovery_attempts != 0 ||
+      serve.parked_writes != 0 || serve.parked_dropped != 0) {
+    row("quarantines", serve.quarantines);
+    row("recovery_attempts", serve.recovery_attempts);
+    row("recoveries", serve.recoveries);
+    row("parked_writes", serve.parked_writes);
+    row("parked_dropped", serve.parked_dropped);
+  }
 }
 
 Status CmdStats(const Args& args) {
