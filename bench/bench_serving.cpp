@@ -13,6 +13,7 @@
 #include <chrono>
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <functional>
 #include <mutex>
 #include <string>
@@ -36,6 +37,18 @@ constexpr int kSyncDeltas = 200;      // per-call fsync makes these expensive
 constexpr int kServingDeltas = 2000;  // spread over the writer threads
 constexpr int kWriterThreads = 8;     // deep enough for real commit groups
 constexpr int kReaderThreads = 1;     // latency sampler
+
+// Silent single-byte corruption, as a failing disk would leave it: no
+// crash, no error, just a payload byte that no longer matches its CRC.
+void FlipOneByte(const std::string& file, uint64_t offset) {
+  std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+}
 
 std::string FreshDir(const char* tag) {
   const auto dir = std::filesystem::temp_directory_path() /
@@ -326,6 +339,95 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(rejected_writes.load()),
                 static_cast<unsigned long long>(run.stats.parked_writes),
                 static_cast<unsigned long long>(unavailable_reads.load()));
+  }
+
+  // Bit-rotted sharded serving (DESIGN.md §12): the same 4-shard workload
+  // on a parity-protected (v3) store, with a payload byte of one shard
+  // flipped halfway through. Unlike the poisoned row above, bit rot on a
+  // parity store heals in place — inline on the next read of the block, or
+  // by the supervisor's in-place repair if a drain trips over it first —
+  // so the row prices riding through silent corruption with zero
+  // quarantines. The mid-run flip may even vanish on its own — a drain
+  // rewriting the block computes parity from the pooled payload and
+  // overwrites the rot — so a second flip lands after the final drain,
+  // where the closing ScrubAll must find and heal it: parity_repairs below
+  // is nonzero every run.
+  {
+    const std::string dir = FreshDir("sharded4_bitrot");
+    dirs.push_back(dir);
+    WaveletCube::Options cube_options;
+    cube_options.parity_group = 4;
+    ShardedCube::Options options;
+    options.serving = ServingOptions(/*num_workers=*/1);
+    options.supervisor_poll = std::chrono::milliseconds(2);
+    auto sharded = DieOnError(
+        ShardedCube::CreateOnDisk(dir, {kLogDim, kLogDim}, 4, cube_options,
+                                  options),
+        "create bitrot sharded store");
+    const uint64_t stride =
+        sharded->shard_for_test(0)->cube()->store()->layout()
+                .block_capacity() *
+            sizeof(double) +
+        16;
+    std::atomic<int> ops{0};
+    std::atomic<uint64_t> rejected_writes{0};
+    std::atomic<uint64_t> unavailable_reads{0};
+    Target target{
+        [&](std::span<const uint64_t> at, double v) {
+          if (ops.fetch_add(1) == kServingDeltas / 2) {
+            FlipOneByte(dir + "/shard-0001/blocks.bin", stride + 5);
+          }
+          const Status added = sharded->Add(at, v);
+          if (!added.ok() && added.code() == StatusCode::kUnavailable) {
+            ++rejected_writes;
+            return Status::OK();
+          }
+          return added;
+        },
+        [&](std::span<const uint64_t> at) -> Result<double> {
+          auto r = sharded->PointQuery(at);
+          if (!r.ok() && r.status().code() == StatusCode::kUnavailable) {
+            ++unavailable_reads;
+            return 0.0;
+          }
+          return r;
+        },
+        [&]() -> Status {
+          // If a drain tripped over the rot the shard is DEGRADED while the
+          // supervisor repairs it in place; wait that out before draining.
+          const auto deadline =
+              std::chrono::steady_clock::now() + std::chrono::seconds(30);
+          while (sharded->shard_health(1).health != ShardHealth::kHealthy) {
+            if (std::chrono::steady_clock::now() >= deadline) {
+              return Status::DeadlineExceeded("shard 1 never healed");
+            }
+            std::this_thread::sleep_for(std::chrono::milliseconds(2));
+          }
+          if (const Status drained = sharded->DrainAll(); !drained.ok()) {
+            return drained;
+          }
+          // Quiesced now: this flip cannot be absorbed by a drain, so the
+          // scrub below must repair it from parity.
+          FlipOneByte(dir + "/shard-0001/blocks.bin", stride + 5);
+          return sharded->ScrubAll().status();
+        },
+        [&] { return sharded->stats(); },
+        [&] { return sharded->Close(); }};
+    const RunResult run = RunWorkload(target);
+    ReportRow(report, "sharded_4_bitrot", 4, run, sync_per_sec);
+    report.Field("rejected_writes", rejected_writes.load())
+        .Field("unavailable_reads", unavailable_reads.load())
+        .Field("quarantines", run.stats.quarantines)
+        .Field("recoveries", run.stats.recoveries)
+        .Field("parity_repairs", run.stats.parity_repairs)
+        .Field("parity_unrepairable", run.stats.parity_unrepairable)
+        .Field("scrubbed_blocks", run.stats.scrubbed_blocks);
+    std::printf("  bit rot: %llu parity repair(s), %llu unrepairable, "
+                "%llu quarantine(s), %llu block(s) scrubbed\n",
+                static_cast<unsigned long long>(run.stats.parity_repairs),
+                static_cast<unsigned long long>(run.stats.parity_unrepairable),
+                static_cast<unsigned long long>(run.stats.quarantines),
+                static_cast<unsigned long long>(run.stats.scrubbed_blocks));
   }
 
   for (const std::string& dir : dirs) std::filesystem::remove_all(dir);

@@ -65,6 +65,7 @@ Status WaveletCube::OpenStore(uint64_t pool_blocks, BlockManager* borrowed) {
   FileBlockManager::Options file_options;
   file_options.checksums = manifest_.format_version >= 2;
   file_options.epoch = manifest_.store_epoch;
+  file_options.parity_group = manifest_.parity_group;
   SS_ASSIGN_OR_RETURN(device_,
                       FileBlockManager::Open(BlocksPath(dir_),
                                              layout->block_capacity(),
@@ -114,6 +115,14 @@ Result<std::unique_ptr<WaveletCube>> WaveletCube::CreateOnDisk(
   cube->manifest_.format_version = options.format_version;
   if (options.format_version >= 2) {
     cube->manifest_.store_epoch = RandomEpoch();
+  }
+  if (options.parity_group > 0) {
+    if (options.format_version < 2) {
+      return Status::InvalidArgument(
+          "parity groups require a checksummed store (format_version >= 2)");
+    }
+    cube->manifest_.format_version = 3;
+    cube->manifest_.parity_group = options.parity_group;
   }
   SS_RETURN_IF_ERROR(cube->manifest_.Save(ManifestPath(dir)));
   SS_RETURN_IF_ERROR(cube->OpenStore(options.pool_blocks));
@@ -241,6 +250,48 @@ Status WaveletCube::Close() { return store_->Close(); }
 
 Result<std::vector<uint64_t>> WaveletCube::Scrub() {
   return store_->Scrub();
+}
+
+Result<ScrubReport> WaveletCube::ScrubRepair() {
+  return store_->ScrubRepair();
+}
+
+Status WaveletCube::UpgradeParityOnDisk(const std::string& dir,
+                                        uint64_t parity_group,
+                                        uint64_t pool_blocks) {
+  if (parity_group == 0) {
+    return Status::InvalidArgument("parity_group must be nonzero");
+  }
+  SS_ASSIGN_OR_RETURN(StoreManifest manifest,
+                      StoreManifest::Load(ManifestPath(dir)));
+  if (manifest.format_version == 3 &&
+      manifest.parity_group == parity_group) {
+    return Status::OK();  // already upgraded
+  }
+  if (manifest.format_version < 2) {
+    return Status::InvalidArgument(
+        "parity upgrade requires a checksummed (v2) store");
+  }
+  // Open with parity forced on: FileBlockManager creates the sidecar
+  // zero-filled, and the repair scrub's stale-parity detection rewrites
+  // every group's stride from the verified data. The manifest is stamped v3
+  // only after the sidecar is complete and synced, so a crash mid-upgrade
+  // leaves a valid v2 store and rerunning finishes the job.
+  std::unique_ptr<WaveletCube> cube(new WaveletCube());
+  cube->dir_ = dir;
+  cube->manifest_ = manifest;
+  cube->manifest_.parity_group = parity_group;
+  SS_RETURN_IF_ERROR(cube->OpenStore(pool_blocks));
+  SS_ASSIGN_OR_RETURN(const ScrubReport report, cube->ScrubRepair());
+  if (!report.unrepairable.empty()) {
+    return Status::ChecksumMismatch(
+        "parity upgrade aborted: " +
+        std::to_string(report.unrepairable.size()) +
+        " blocks failed verification and cannot be rebuilt");
+  }
+  SS_RETURN_IF_ERROR(cube->Close());
+  cube->manifest_.format_version = 3;
+  return cube->manifest_.Save(ManifestPath(dir));
 }
 
 }  // namespace shiftsplit

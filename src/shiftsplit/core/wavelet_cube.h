@@ -39,6 +39,13 @@ class WaveletCube {
     /// footers, an atomic-commit journal, and crash recovery on open; 1
     /// writes the legacy raw format. Ignored for in-memory cubes.
     uint32_t format_version = 2;
+    /// XOR parity group size for CreateOnDisk: every `parity_group`
+    /// consecutive device blocks share one parity stride in blocks.bin.parity,
+    /// letting any single corrupt block per group be rebuilt in place
+    /// (inline on read, or by a repair scrub). 0 (default) disables parity;
+    /// nonzero requires checksums (format_version >= 2) and stamps the
+    /// manifest as v3. Ignored for in-memory cubes.
+    uint64_t parity_group = 0;
     /// Test seam for CreateInMemory: back the cube with this externally
     /// owned block device (e.g. a fault-injection decorator over a
     /// MemoryBlockManager) instead of a fresh one. Must outlive the cube and
@@ -124,6 +131,23 @@ class WaveletCube {
   /// with quarantined blocks read as zeros. v1/in-memory cubes are
   /// trivially clean.
   Result<std::vector<uint64_t>> Scrub();
+
+  /// \brief Repair-mode scrub: corrupt blocks are rebuilt in place from
+  /// group parity (v3 cubes) instead of quarantined; only double faults —
+  /// two corrupt blocks in one parity group — stay unrepairable and degrade
+  /// the store to read-only. See TiledStore::ScrubRepair.
+  Result<ScrubReport> ScrubRepair();
+
+  /// \brief Upgrades an existing checksummed (v2) on-disk store to v3 with
+  /// parity group size `parity_group`: opens the store with parity enabled
+  /// (creating a zeroed blocks.bin.parity sidecar), runs one full repair
+  /// scrub — which rewrites every group's stale parity from the verified
+  /// data — and only then stamps the manifest v3. A crash mid-upgrade
+  /// leaves a valid v2 store; rerunning completes it. Fails without
+  /// touching the manifest if the scrub finds unrepairable corruption.
+  static Status UpgradeParityOnDisk(const std::string& dir,
+                                    uint64_t parity_group,
+                                    uint64_t pool_blocks = 256);
 
   /// \brief Checksum/journal/recovery counters (see DurabilityStats).
   DurabilityStats durability_stats() const {

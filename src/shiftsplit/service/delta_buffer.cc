@@ -234,6 +234,12 @@ void DeltaBuffer::FinishDrain(uint64_t upto) {
   cv_.notify_all();
 }
 
+void DeltaBuffer::AbortDrain() {
+  std::lock_guard<std::mutex> lock(mu_);
+  draining_upto_ = 0;
+  cv_.notify_all();
+}
+
 Status DeltaBuffer::TruncateLogIfIdle() {
   std::lock_guard<std::mutex> lock(mu_);
   if (log_ == nullptr) return Status::OK();
@@ -254,6 +260,11 @@ uint64_t DeltaBuffer::last_seq() const {
 uint64_t DeltaBuffer::applied_seq() const {
   std::lock_guard<std::mutex> lock(mu_);
   return applied_seq_;
+}
+
+uint64_t DeltaBuffer::pending_slot_entries() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return slot_entries_;
 }
 
 bool DeltaBuffer::OldestPendingOlderThan(

@@ -153,6 +153,14 @@ class DeltaBuffer {
   /// retires fully-applied cell entries, and wakes blocked writers.
   void FinishDrain(uint64_t upto);
 
+  /// \brief Abandons a drain that will never finish (the applying thread
+  /// failed mid-batch): clears the in-flight marker so a later BeginDrain
+  /// can retry, and wakes blocked writers. Contributions the failed drain
+  /// already erased stay erased — they were applied to (still cached) store
+  /// pages before the erase — so re-draining is exactly-once. Part of the
+  /// in-place repair path (ServingCube::RepairNow).
+  void AbortDrain();
+
   /// \brief Truncates the delta log iff every accepted delta is applied and
   /// no drain is in flight (checked atomically with the log operation, so a
   /// concurrent Add cannot slip an unapplied record into the doomed file).
@@ -161,6 +169,10 @@ class DeltaBuffer {
   uint64_t pending_deltas() const;
   uint64_t last_seq() const;
   uint64_t applied_seq() const;
+  /// \brief Un-applied per-slot contributions still buffered. Zero means
+  /// every accepted delta's write set has been applied to store pages (even
+  /// if the applied watermark lags, as after an aborted drain).
+  uint64_t pending_slot_entries() const;
 
   /// \brief True when a pending delta has been waiting longer than `age`.
   bool OldestPendingOlderThan(std::chrono::microseconds age) const;

@@ -384,6 +384,149 @@ Status ServingCube::DrainOnce() {
   return buffer_->TruncateLogIfIdle();
 }
 
+ServingCube::ScrubTickResult ServingCube::ScrubTick(uint64_t max_blocks) {
+  ScrubTickResult result;
+  if (max_blocks == 0 || !CheckHealthy().ok()) return result;
+  std::lock_guard<std::mutex> scrub_lock(scrub_mu_);
+  TiledStore* store = cube_->store();
+  BlockManager& device = store->manager();
+  std::vector<double> scratch(device.block_size());
+  {
+    // Exclusive latch: device reads must not interleave with the pool's own
+    // I/O, and an in-place rebuild must not race a query on the same block.
+    const auto wait_start = std::chrono::steady_clock::now();
+    std::unique_lock<std::shared_mutex> latch(latch_);
+    latch_wait_us_.fetch_add(ElapsedUs(wait_start),
+                             std::memory_order_relaxed);
+    const uint64_t num_blocks = device.num_blocks();
+    if (num_blocks == 0) return result;
+    if (scrub_cursor_ >= num_blocks) scrub_cursor_ = 0;
+    for (uint64_t i = 0; i < max_blocks && scrub_cursor_ < num_blocks; ++i) {
+      const uint64_t id = scrub_cursor_++;
+      const uint64_t repaired_before =
+          device.durability_stats().repaired_blocks;
+      // The serving read path repairs a corrupt block from parity before
+      // failing; a still-failing read is a double fault for the supervisor.
+      const Status read = device.ReadBlock(id, scratch);
+      ++result.scanned;
+      if (device.durability_stats().repaired_blocks > repaired_before) {
+        ++result.repaired;
+        // A cached copy of the block predates the rebuild only if it was
+        // populated from a degraded zero-fill; drop it (dirty frames are
+        // newer than disk and survive).
+        const uint64_t one[] = {id};
+        store->pool().InvalidateBlocks(one);
+      } else if (!read.ok()) {
+        ++result.unrepairable;
+      }
+    }
+    if (scrub_cursor_ >= num_blocks) {
+      scrub_cursor_ = 0;
+      result.wrapped = true;
+    }
+  }
+  scrubbed_blocks_.fetch_add(result.scanned, std::memory_order_relaxed);
+  scrub_repairs_.fetch_add(result.repaired, std::memory_order_relaxed);
+  scrub_unrepairable_.fetch_add(result.unrepairable,
+                                std::memory_order_relaxed);
+  parity_repairs_.fetch_add(result.repaired, std::memory_order_relaxed);
+  parity_unrepairable_.fetch_add(result.unrepairable,
+                                 std::memory_order_relaxed);
+  if (result.wrapped) scrub_passes_.fetch_add(1, std::memory_order_relaxed);
+  return result;
+}
+
+Result<ScrubReport> ServingCube::RepairNow() {
+  const Status poison = CheckHealthy();
+  const bool checksum_poisoned =
+      !poison.ok() && poison.code() == StatusCode::kChecksumMismatch;
+  if (!poison.ok() && !checksum_poisoned) {
+    return poison;  // not a corruption incident; parity cannot help
+  }
+  std::lock_guard<std::mutex> scrub_lock(scrub_mu_);
+  ScrubReport report;
+  {
+    const auto wait_start = std::chrono::steady_clock::now();
+    std::unique_lock<std::shared_mutex> latch(latch_);
+    latch_wait_us_.fetch_add(ElapsedUs(wait_start),
+                             std::memory_order_relaxed);
+    // A poisoned cube skips the pre-scrub flush: its dirty pages hold an
+    // interrupted drain batch whose watermark never committed, and they
+    // may only reach disk in the atomic commit ResumeAfterRepair issues.
+    SS_ASSIGN_OR_RETURN(report,
+                        cube_->store()->ScrubRepair(
+                            /*flush_first=*/!checksum_poisoned));
+  }
+  parity_repairs_.fetch_add(report.repaired.size(),
+                            std::memory_order_relaxed);
+  parity_unrepairable_.fetch_add(report.unrepairable.size(),
+                                 std::memory_order_relaxed);
+  if (!report.unrepairable.empty() || !checksum_poisoned) return report;
+  {
+    // Every block verified or was rebuilt: the corruption incident is
+    // over. Clear the poison only if it is still that incident.
+    std::lock_guard<std::mutex> lock(failed_mu_);
+    if (failed_status_.code() == StatusCode::kChecksumMismatch) {
+      failed_status_ = Status::OK();
+      poisoned_at_us_ = 0;
+    }
+  }
+  SS_RETURN_IF_ERROR(ResumeAfterRepair());
+  MaybeKickWorkers();
+  return report;
+}
+
+Status ServingCube::ResumeAfterRepair() {
+  buffer_->AbortDrain();
+  for (;;) {
+    const uint64_t applied = buffer_->applied_seq();
+    if (applied >= buffer_->last_seq()) break;
+    {
+      std::lock_guard<std::mutex> drain_lock(drain_mu_);
+      // `target` is read before the emptiness check: a delta racing in
+      // after the check gets a later sequence number, so the stamped
+      // watermark never covers an unapplied contribution.
+      const uint64_t target = buffer_->last_seq();
+      if (buffer_->pending_slot_entries() == 0) {
+        if (buffer_->applied_seq() >= target) break;
+        // The poison hit at or after the interrupted batch's final block:
+        // every accepted delta is applied to cached pages already. Stamp
+        // the watermark and commit pages + watermark in one atomic flush.
+        if (meta_block_ != kNoMetaBlock) {
+          const auto wait_start = std::chrono::steady_clock::now();
+          std::unique_lock<std::shared_mutex> latch(latch_);
+          latch_wait_us_.fetch_add(ElapsedUs(wait_start),
+                                   std::memory_order_relaxed);
+          Result<PageGuard> guard =
+              cube_->store()->PinBlock(meta_block_, /*for_write=*/true);
+          if (!guard.ok()) {
+            Poison(guard.status());
+            return guard.status();
+          }
+          guard->span()[0] = std::bit_cast<double>(target);
+        }
+        const Status flushed = cube_->store()->Flush();
+        if (!flushed.ok()) {
+          Poison(flushed);
+          return flushed;
+        }
+        buffer_->FinishDrain(target);
+        break;
+      }
+    }
+    // Un-applied contributions remain: drain them the normal way (each
+    // batch commits with its own watermark).
+    SS_RETURN_IF_ERROR(DrainOnce());
+    SS_RETURN_IF_ERROR(CheckHealthy());
+    if (buffer_->applied_seq() == applied) {
+      return Status::Unavailable(
+          "repair resume cannot advance: active snapshots pin the drain "
+          "horizon");
+    }
+  }
+  return buffer_->TruncateLogIfIdle();
+}
+
 Status ServingCube::DrainAll() {
   SS_RETURN_IF_ERROR(CheckHealthy());
   for (;;) {
@@ -503,6 +646,16 @@ ServingStats ServingCube::stats() const {
   }
   out.log_sync_failures =
       log_sync_failures_.load(std::memory_order_relaxed);
+  // Scrub/repair counters come from this layer's own atomics, not a
+  // DurabilityStats read: the device counters are plain fields a concurrent
+  // drain is mutating. Inline read-path repairs therefore show up in
+  // durability_stats() (quiescent callers) but not here.
+  out.scrub_passes = scrub_passes_.load(std::memory_order_relaxed);
+  out.scrubbed_blocks = scrubbed_blocks_.load(std::memory_order_relaxed);
+  out.scrub_repairs = scrub_repairs_.load(std::memory_order_relaxed);
+  out.parity_repairs = parity_repairs_.load(std::memory_order_relaxed);
+  out.parity_unrepairable =
+      parity_unrepairable_.load(std::memory_order_relaxed);
   out.health = health();
   {
     std::lock_guard<std::mutex> lock(failed_mu_);

@@ -144,6 +144,31 @@ class ServingCube {
   /// indefinitely.
   Status DrainAll();
 
+  /// \brief One rate-limited scrub batch (the Scrubber's work unit): under
+  /// the exclusive store latch, verifies up to `max_blocks` device blocks
+  /// starting at the internal cursor by reading them through the serving
+  /// path — a corrupt block is rebuilt from parity in place (and its stale
+  /// cached frame dropped); an unrepairable one is counted and left for
+  /// the supervisor. Wraps around at the end of the device, counting one
+  /// finished pass. A no-op on a poisoned cube.
+  struct ScrubTickResult {
+    uint64_t scanned = 0;       ///< blocks verified this tick
+    uint64_t repaired = 0;      ///< corrupt blocks rebuilt from parity
+    uint64_t unrepairable = 0;  ///< corrupt blocks parity could not rebuild
+    bool wrapped = false;       ///< this tick completed a full pass
+  };
+  ScrubTickResult ScrubTick(uint64_t max_blocks);
+
+  /// \brief Full repair scrub under the exclusive latch (see
+  /// TiledStore::ScrubRepair): every corrupt block and stale parity stride
+  /// is rewritten in place. When everything repaired — the report has no
+  /// unrepairable blocks — a cube poisoned by a checksum failure is
+  /// un-poisoned and resumes serving with its buffered deltas intact; the
+  /// supervisor uses this to heal a shard in place instead of quarantining
+  /// it. Double faults leave the poison (and the store's read-only
+  /// degradation) exactly as before.
+  Result<ScrubReport> RepairNow();
+
   /// \brief Orderly shutdown: stops workers, drains everything, retires the
   /// delta log and closes the cube. Idempotent.
   Status Close();
@@ -209,6 +234,12 @@ class ServingCube {
   /// One drain batch: plan, apply per block under the exclusive latch,
   /// stamp the applied watermark, commit atomically. Poisons on failure.
   Status DrainOnce();
+  /// After an in-place repair un-poisoned the cube: abandons the drain the
+  /// poison interrupted and re-commits until the applied watermark
+  /// converges — each step an atomic flush, so the store is never durable
+  /// with applied blocks but a stale watermark (which would double-apply
+  /// their deltas on crash replay).
+  Status ResumeAfterRepair();
   bool ShouldDrain() const;
   void MaybeKickWorkers();
   void WorkerLoop();
@@ -244,6 +275,19 @@ class ServingCube {
   // next success. Orthogonal to poisoning — reads stay exact throughout.
   std::atomic<bool> log_degraded_{false};
   std::atomic<uint64_t> log_sync_failures_{0};
+
+  // Scrub state: the cursor is owned by one scrubbing thread at a time
+  // (scrub_mu_); the counters feed ServingStats.
+  std::mutex scrub_mu_;
+  uint64_t scrub_cursor_ = 0;
+  std::atomic<uint64_t> scrub_passes_{0};
+  std::atomic<uint64_t> scrubbed_blocks_{0};
+  std::atomic<uint64_t> scrub_repairs_{0};
+  std::atomic<uint64_t> scrub_unrepairable_{0};
+  // All explicit parity-repair activity (ScrubTick + RepairNow); inline
+  // query-path repairs are visible in durability_stats() only.
+  std::atomic<uint64_t> parity_repairs_{0};
+  std::atomic<uint64_t> parity_unrepairable_{0};
 
   std::mutex worker_mu_;
   std::condition_variable worker_cv_;

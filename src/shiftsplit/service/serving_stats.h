@@ -101,6 +101,13 @@ struct ServingStats {
   uint64_t parked_writes = 0;      ///< writes parked while a shard healed
   uint64_t parked_dropped = 0;     ///< parked/offered writes rejected or lost
 
+  // Scrub-and-repair (parity) counters; zero without a scrubber/parity.
+  uint64_t scrub_passes = 0;       ///< full background scrub sweeps finished
+  uint64_t scrubbed_blocks = 0;    ///< blocks verified by the scrubber
+  uint64_t scrub_repairs = 0;      ///< corrupt blocks the scrubber rebuilt
+  uint64_t parity_repairs = 0;     ///< in-place parity repairs, all paths
+  uint64_t parity_unrepairable = 0;  ///< reconstruction attempts that failed
+
   std::string ToString() const {
     std::ostringstream out;
     out << "acked=" << acked_deltas << " coalesced=" << coalesced_deltas
@@ -132,6 +139,14 @@ struct ServingStats {
           << " recoveries=" << recoveries
           << " parked=" << parked_writes
           << " parked_dropped=" << parked_dropped;
+    }
+    if (scrub_passes != 0 || scrubbed_blocks != 0 || parity_repairs != 0 ||
+        parity_unrepairable != 0) {
+      out << " scrub_passes=" << scrub_passes
+          << " scrubbed=" << scrubbed_blocks
+          << " scrub_repairs=" << scrub_repairs
+          << " parity_repairs=" << parity_repairs
+          << " parity_unrepairable=" << parity_unrepairable;
     }
     return out.str();
   }

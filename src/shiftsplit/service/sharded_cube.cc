@@ -176,6 +176,63 @@ void ShardedCube::NoteQuarantined(uint32_t shard,
   ++slot.quarantines;
 }
 
+bool ShardedCube::MarkRepairing(uint32_t shard,
+                                const std::shared_ptr<ServingCube>& cube) {
+  // Only data corruption is parity-repairable; drain/flush failures of any
+  // other kind need the full teardown + journal-replay rebuild. And without
+  // a supervisor nobody would ever run the repair, so the slot must not be
+  // left DEGRADED-forever — quarantine as before.
+  if (!SupervisorRunning()) return false;
+  if (cube->poison_status().code() != StatusCode::kChecksumMismatch) {
+    return false;
+  }
+  if (cube->cube()->manifest().parity_group == 0) return false;
+  Slot& slot = *slots_[shard];
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.cube != cube) return true;  // stale observation: nothing to mark
+  if (!ShardHealthServes(slot.health)) return true;
+  if (slot.health != ShardHealth::kDegraded) {
+    slot.health = ShardHealth::kDegraded;
+    slot.since_us = SteadyNowUs();
+  }
+  slot.cause = cube->poison_status();
+  return true;
+}
+
+bool ShardedCube::TryRepairShardInPlace(
+    uint32_t shard, const std::shared_ptr<ServingCube>& cube) {
+  if (cube->poison_status().code() != StatusCode::kChecksumMismatch) {
+    return false;
+  }
+  if (cube->cube()->manifest().parity_group == 0) return false;
+  Slot& slot = *slots_[shard];
+  {
+    std::lock_guard<std::mutex> lock(slot.mu);
+    if (slot.cube != cube || !ShardHealthServes(slot.health)) return false;
+    // DEGRADED while repairing, never QUARANTINED: the slot keeps its
+    // serving state (buffered deltas stay put, approx-tolerant queries
+    // degrade around the shard) and no quarantine is counted for a fault
+    // parity can heal.
+    if (slot.health != ShardHealth::kDegraded) {
+      slot.health = ShardHealth::kDegraded;
+      slot.since_us = SteadyNowUs();
+    }
+    slot.cause = cube->poison_status();
+  }
+  const Result<ScrubReport> report = cube->RepairNow();
+  const bool healed = report.ok() && report.value().unrepairable.empty() &&
+                      cube->health() != ShardHealth::kQuarantined;
+  std::lock_guard<std::mutex> lock(slot.mu);
+  if (slot.cube != cube) return true;  // slot moved on underneath us
+  if (!healed) return false;  // double fault etc.: caller escalates
+  slot.health = cube->health();  // HEALTHY, or DEGRADED log backpressure
+  slot.cause = Status::OK();
+  slot.since_us = SteadyNowUs();
+  slot.attempts = 0;
+  ++slot.recoveries;  // re-admitted in place
+  return true;
+}
+
 Status ShardedCube::AddToShard(uint32_t shard,
                                std::span<const uint64_t> local, double delta,
                                OperationContext* ctx, bool durable_ack,
@@ -214,10 +271,14 @@ Status ShardedCube::AddToShard(uint32_t shard,
       durable_ack ? cube->Add(local, delta, ctx)
                   : cube->AddBuffered(local, delta, ctx, seq_out);
   if (!status.ok() && cube->health() == ShardHealth::kQuarantined) {
-    // Inline detection: quarantine immediately instead of waiting for the
-    // next supervisor poll, so follow-up writes park right away — and
-    // report the same kUnavailable the parked/bounced paths do (the raw
-    // poison status, kInternal or worse, rides along as the cause).
+    // Inline detection: mark the slot immediately instead of waiting for
+    // the next supervisor poll. Parity-repairable corruption only DEGRADEs
+    // the slot — the supervisor heals the cube in place and the buffered
+    // deltas survive — so the raw checksum status goes back to the caller.
+    if (MarkRepairing(shard, cube)) return status;
+    // Everything else quarantines so follow-up writes park right away —
+    // and report the same kUnavailable the parked/bounced paths do (the
+    // raw poison status, kInternal or worse, rides along as the cause).
     NoteQuarantined(shard, cube);
     std::lock_guard<std::mutex> lock(slot.mu);
     if (!ShardHealthServes(slot.health)) return UnavailableLocked(shard, slot);
@@ -286,7 +347,8 @@ Result<double> ShardedCube::PointQuery(std::span<const uint64_t> point,
   const Result<double> result =
       cube->PointQuery(router_.ToLocal(point, shard), use_scaling_slots,
                        ctx);
-  if (!result.ok() && cube->health() == ShardHealth::kQuarantined) {
+  if (!result.ok() && cube->health() == ShardHealth::kQuarantined &&
+      !MarkRepairing(shard, cube)) {
     NoteQuarantined(shard, cube);
   }
   return result;
@@ -305,7 +367,8 @@ Result<double> ShardedCube::RangeSum(std::span<const uint64_t> lo,
     if (cube == nullptr) return why;  // exact mode: fail fast, no stall
     const Result<double> shard_sum = cube->RangeSum(part.lo, part.hi, ctx);
     if (!shard_sum.ok()) {
-      if (cube->health() == ShardHealth::kQuarantined) {
+      if (cube->health() == ShardHealth::kQuarantined &&
+          !MarkRepairing(part.shard, cube)) {
         NoteQuarantined(part.shard, cube);
       }
       return shard_sum.status();
@@ -356,7 +419,8 @@ Result<DegradedResult> ShardedCube::RangeSum(std::span<const uint64_t> lo,
         out.value += *shard_sum;
         continue;
       }
-      if (cube->health() == ShardHealth::kQuarantined) {
+      if (cube->health() == ShardHealth::kQuarantined &&
+          !MarkRepairing(part.shard, cube)) {
         NoteQuarantined(part.shard, cube);
       }
       why = shard_sum.status();
@@ -398,7 +462,8 @@ Result<DegradedResult> ShardedCube::PointQuery(
       out.value = *value;
       return out;
     }
-    if (cube->health() == ShardHealth::kQuarantined) {
+    if (cube->health() == ShardHealth::kQuarantined &&
+        !MarkRepairing(shard, cube)) {
       NoteQuarantined(shard, cube);
     }
     why = value.status();
@@ -440,6 +505,12 @@ void ShardedCube::SuperviseShard(uint32_t shard, uint64_t now_us,
   if (ShardHealthServes(health) && cube != nullptr) {
     const ShardHealth observed = cube->health();
     if (observed == ShardHealth::kQuarantined) {
+      // Parity first: checksum poison on a parity-protected store is
+      // repaired in place (scrub + rebuild from group parity + resume the
+      // interrupted drain) with the slot merely DEGRADED — no teardown, no
+      // buffered-delta loss, no quarantine counted. Only an unrepairable
+      // double fault falls through to the full rebuild below.
+      if (TryRepairShardInPlace(shard, cube)) return;
       NoteQuarantined(shard, cube);
       // Fall through to the recovery check: the first attempt is due
       // immediately.
@@ -649,6 +720,22 @@ Status ShardedCube::DrainAll() {
   return Status::OK();
 }
 
+Result<ScrubReport> ShardedCube::ScrubAll() {
+  ScrubReport total;
+  for (uint32_t s = 0; s < slots_.size(); ++s) {
+    Status why;
+    const std::shared_ptr<ServingCube> cube = AcquireServing(s, &why);
+    if (cube == nullptr) return why;
+    SS_ASSIGN_OR_RETURN(const ScrubReport report, cube->RepairNow());
+    total.repaired.insert(total.repaired.end(), report.repaired.begin(),
+                          report.repaired.end());
+    total.unrepairable.insert(total.unrepairable.end(),
+                              report.unrepairable.begin(),
+                              report.unrepairable.end());
+  }
+  return total;
+}
+
 Status ShardedCube::Close() {
   if (closed_) return Status::OK();
   closed_ = true;
@@ -726,6 +813,11 @@ ServingStats ShardedCube::stats() const {
     out.recoveries += stats.recoveries;
     out.parked_writes += stats.parked_writes;
     out.parked_dropped += stats.parked_dropped;
+    out.scrub_passes += stats.scrub_passes;
+    out.scrubbed_blocks += stats.scrubbed_blocks;
+    out.scrub_repairs += stats.scrub_repairs;
+    out.parity_repairs += stats.parity_repairs;
+    out.parity_unrepairable += stats.parity_unrepairable;
     // Worst shard health wins; the poison fields describe the first
     // unhealthy shard (deterministic: lowest shard index).
     if (stats.health > out.health) out.health = stats.health;

@@ -40,6 +40,15 @@
 // queries fail fast with kUnavailable naming the shard's health, and
 // writes park in a small bounded queue drained on re-admit — the healthy
 // shards never stall.
+//
+// Parity in-place repair (DESIGN.md §12): on a parity-protected shard
+// store (manifest v3) a checksum-mismatch poison takes a cheaper path
+// first. The slot only DEGRADEs while the supervisor repairs the cube in
+// place (ServingCube::RepairNow — scrub, rebuild corrupt blocks from
+// group parity, resume the interrupted drain); buffered deltas survive,
+// no quarantine is counted, and the slot returns to HEALTHY in one poll.
+// Only an unrepairable double fault (two corrupt blocks in one parity
+// group) falls through to the quarantine + full-rebuild path above.
 
 #ifndef SHIFTSPLIT_SERVICE_SHARDED_CUBE_H_
 #define SHIFTSPLIT_SERVICE_SHARDED_CUBE_H_
@@ -221,6 +230,15 @@ class ShardedCube {
   /// to FAILED after max_recovery_attempts.
   Status RecoverShardNow(uint32_t shard);
 
+  /// \brief Full repair scrub fanned out over every shard
+  /// (ServingCube::RepairNow): verifies every block on every shard device
+  /// and rebuilds corrupt ones from group parity in place. Returns the
+  /// concatenated report in ascending shard order — block ids are
+  /// shard-local, so the report is a tally, not a global address list.
+  /// Fails fast (kUnavailable, health attached) when a shard is not
+  /// serving.
+  Result<ScrubReport> ScrubAll();
+
   /// \brief Aggregate counters: sums across shards, except
   /// latch_hold_us_max which is the per-shard maximum and `health` which
   /// is the worst shard health (the poison fields describe the first
@@ -298,6 +316,20 @@ class ShardedCube {
   /// transitions the slot to QUARANTINED with the poison status as cause.
   void NoteQuarantined(uint32_t shard,
                        const std::shared_ptr<ServingCube>& cube);
+  /// Cheaper alternative to NoteQuarantined for parity-repairable poison
+  /// (checksum mismatch on a parity-protected store, supervisor running):
+  /// transitions the slot to DEGRADED with the poison as cause so the
+  /// supervisor repairs the cube in place on its next poll. Returns false
+  /// — caller should quarantine instead — when the poison is of another
+  /// kind, the store has no parity, or nobody would ever run the repair.
+  bool MarkRepairing(uint32_t shard,
+                     const std::shared_ptr<ServingCube>& cube);
+  /// Supervisor-side in-place repair of a poisoned cube: DEGRADE the slot,
+  /// run ServingCube::RepairNow, re-admit on a clean report. Returns true
+  /// when the slot needs no further action (healed, or it already moved
+  /// past this cube); false tells the caller to escalate to quarantine.
+  bool TryRepairShardInPlace(uint32_t shard,
+                             const std::shared_ptr<ServingCube>& cube);
   /// Decorated fast-fail status for a non-serving slot (caller holds mu).
   Status UnavailableLocked(uint32_t shard, const Slot& slot) const;
   /// The add/parking path shared by Add and Update. `cube_out` (optional)

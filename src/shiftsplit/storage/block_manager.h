@@ -16,6 +16,32 @@
 
 namespace shiftsplit {
 
+/// \brief Block ids at or above this base address parity blocks instead of
+/// data blocks: parity group `g` (the XOR of data blocks [g*G, (g+1)*G)) is
+/// addressed as kParityIdBase + g. Backends without parity reject such ids;
+/// FileBlockManager routes them to its parity sidecar, so a redo-journal
+/// record can carry data and parity images through one WriteBlock interface.
+inline constexpr uint64_t kParityIdBase = uint64_t{1} << 62;
+
+/// \brief One pending block write, as seen by parity planning.
+struct BlockWrite {
+  uint64_t block_id = 0;
+  std::span<const double> data;  ///< block_size doubles, not owned
+};
+
+/// \brief An absolute parity image for one group, ready to journal/write.
+struct ParityBlockImage {
+  uint64_t block_id = 0;      ///< kParityIdBase + group
+  std::vector<double> data;   ///< block_size doubles (raw XOR bit pattern)
+};
+
+/// \brief Outcome of a repairing scrub pass (BlockManager::ScrubRepair).
+struct ScrubReport {
+  std::vector<uint64_t> repaired;      ///< rebuilt from parity and rewritten
+  std::vector<uint64_t> unrepairable;  ///< still corrupt (quarantined)
+  bool clean() const { return repaired.empty() && unrepairable.empty(); }
+};
+
 /// \brief Abstract array of fixed-size blocks of doubles.
 ///
 /// Implementations count every ReadBlock/WriteBlock in stats(). Blocks that
@@ -80,6 +106,42 @@ class BlockManager {
   /// checksums).
   virtual DurabilityStats durability_stats() const {
     return DurabilityStats{};
+  }
+
+  /// \brief Parity group size G (0 = parity disabled). When non-zero, every
+  /// G consecutive data blocks share one XOR parity block addressed as
+  /// kParityIdBase + (id / G), and corrupt blocks can be rebuilt in place.
+  virtual uint64_t parity_group() const { return 0; }
+
+  /// \brief Computes the absolute post-write parity images for every group
+  /// touched by `writes` (the dirty set of one atomic commit) and stages
+  /// them: the images are applied to the backend's pending-parity state so
+  /// the subsequent WriteBlock calls for exactly these writes perform no
+  /// incremental parity work, and the next Sync() persists the images.
+  /// Journaling the returned images after the data entries makes parity
+  /// crash-consistent with its group (see DESIGN.md §12). Backends without
+  /// parity return an empty plan.
+  virtual Result<std::vector<ParityBlockImage>> PlanParityCommit(
+      std::span<const BlockWrite> writes) {
+    (void)writes;
+    return std::vector<ParityBlockImage>{};
+  }
+
+  /// \brief Journal-replay bracket: between Begin and End the backend
+  /// suspends incremental parity maintenance. A replayed commit record
+  /// carries the absolute parity images of every group it touched, so
+  /// per-write incremental updates would double-apply — and would read
+  /// torn pre-crash payloads. No-ops on backends without parity.
+  virtual void BeginParityReplay() {}
+  virtual void EndParityReplay() {}
+
+  /// \brief Verifies every block and repairs corrupt ones from parity in
+  /// place (rewrites heal the quarantine). Backends without parity degrade
+  /// to a detect-only Scrub() whose corrupt blocks are all unrepairable.
+  virtual Result<ScrubReport> ScrubRepair() {
+    ScrubReport report;
+    SS_ASSIGN_OR_RETURN(report.unrepairable, Scrub());
+    return report;
   }
 
   /// \brief ReadBlock under an operation context: checks the deadline and

@@ -276,8 +276,23 @@ Status BufferPool::FlushAtomic(Journal* journal) {
             });
   std::vector<JournalEntry> entries;
   entries.reserve(dirty.size());
+  std::vector<BlockWrite> writes;
+  writes.reserve(dirty.size());
   for (const internal::PoolFrame* frame : dirty) {
     entries.push_back({frame->block_id, std::span<const double>(frame->data)});
+    writes.push_back({frame->block_id, std::span<const double>(frame->data)});
+  }
+  // Parity-enabled backends return the absolute post-commit parity images
+  // of every group this batch touches; journaling them after the data
+  // entries keeps parity crash-consistent with its group — replay rewrites
+  // data and parity from the same record, so a crash anywhere in between
+  // can never leave them disagreeing. The images are already staged on the
+  // manager: the write-backs below skip incremental parity work and
+  // Sync() persists the sidecar. Empty on backends without parity.
+  SS_ASSIGN_OR_RETURN(const std::vector<ParityBlockImage> parity,
+                      manager_->PlanParityCommit(writes));
+  for (const ParityBlockImage& image : parity) {
+    entries.push_back({image.block_id, std::span<const double>(image.data)});
   }
   // 1. Durable intent: the whole batch (with checksums) hits the journal
   //    before any block is touched in place.
@@ -291,6 +306,24 @@ Status BufferPool::FlushAtomic(Journal* journal) {
   SS_RETURN_IF_ERROR(manager_->Sync());
   // 3. Retire the intent; the commit is complete.
   return journal->Truncate();
+}
+
+uint64_t BufferPool::InvalidateBlocks(std::span<const uint64_t> block_ids) {
+  const auto lock = Lock();
+  uint64_t dropped = 0;
+  for (uint64_t id : block_ids) {
+    const auto it = frames_.find(id);
+    if (it == frames_.end()) continue;
+    // Pinned or dirty frames are left alone: a pin means a caller is still
+    // reading the frame, and a dirty frame holds newer data than the disk
+    // image the caller wants to re-read.
+    if (it->second->pins != 0 || it->second->dirty) continue;
+    free_buffers_.push_back(std::move(it->second->data));
+    lru_.erase(it->second);
+    frames_.erase(it);
+    ++dropped;
+  }
+  return dropped;
 }
 
 Status BufferPool::Discard() {

@@ -268,6 +268,14 @@ class BufferPool {
   /// benches do.
   Status FlushAtomic(Journal* journal);
 
+  /// \brief Drops the clean, unpinned frames among `block_ids` so their
+  /// next GetBlock re-reads the disk — for blocks whose on-disk image was
+  /// repaired behind the cache (a scrub may otherwise leave stale degraded
+  /// zero-fills resident). Pinned or dirty frames are skipped: a pin means
+  /// a caller still reads the frame, and a dirty frame is newer than disk.
+  /// Returns the number of frames dropped.
+  uint64_t InvalidateBlocks(std::span<const uint64_t> block_ids);
+
   /// \brief Drops every frame without writing dirty ones back — for
   /// abandoning a store after a failed commit (the journal will repair it
   /// on reopen). Fails with ResourceExhausted while any frame is pinned.

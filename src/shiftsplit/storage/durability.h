@@ -1,8 +1,8 @@
 // Durability accounting: counters describing how a store has fared against
 // corruption and crashes — checksum verification failures, quarantined
-// blocks, journal recovery actions, transient-I/O retries, and whether the
-// store has degraded to read-only. Surfaced next to BufferPool::Stats via
-// TiledStore::durability_stats().
+// blocks, journal recovery actions, transient-I/O retries, parity repair
+// activity, and whether the store has degraded to read-only. Surfaced next
+// to BufferPool::Stats via TiledStore::durability_stats().
 
 #ifndef SHIFTSPLIT_STORAGE_DURABILITY_H_
 #define SHIFTSPLIT_STORAGE_DURABILITY_H_
@@ -23,6 +23,10 @@ struct DurabilityStats {
   uint64_t journal_replays = 0;     ///< recoveries that redid a commit
   uint64_t journal_rollbacks = 0;   ///< recoveries that discarded a torn one
   uint64_t unjournaled_write_backs = 0;  ///< evictions outside any commit
+  uint64_t repaired_blocks = 0;     ///< corrupt blocks rebuilt from parity
+  uint64_t unrepairable_blocks = 0; ///< reconstruction attempts that failed
+  uint64_t parity_reads = 0;        ///< parity-block reads (repair + update)
+  uint64_t parity_writes = 0;       ///< parity-block writes (the write amp)
   bool read_only = false;           ///< store degraded to read-only
 
   DurabilityStats& operator+=(const DurabilityStats& other) {
@@ -34,6 +38,10 @@ struct DurabilityStats {
     journal_replays += other.journal_replays;
     journal_rollbacks += other.journal_rollbacks;
     unjournaled_write_backs += other.unjournaled_write_backs;
+    repaired_blocks += other.repaired_blocks;
+    unrepairable_blocks += other.unrepairable_blocks;
+    parity_reads += other.parity_reads;
+    parity_writes += other.parity_writes;
     read_only = read_only || other.read_only;
     return *this;
   }
@@ -45,6 +53,8 @@ struct DurabilityStats {
        << " zero-filled reads=" << zero_filled_reads
        << " retries=" << io_retries << " journal c/r/b=" << journal_commits
        << "/" << journal_replays << "/" << journal_rollbacks
+       << " repaired=" << repaired_blocks
+       << " unrepairable=" << unrepairable_blocks
        << (read_only ? " [read-only]" : "");
     return os.str();
   }

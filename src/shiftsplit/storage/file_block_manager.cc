@@ -55,28 +55,49 @@ bool AllZero(const char* data, uint64_t bytes) {
   return true;
 }
 
+// Verifies one stride image against `epoch`: a structurally valid footer
+// whose CRC matches the payload, or the all-zero never-written pattern.
+bool StrideValid(const char* raw, uint64_t payload_bytes, uint64_t epoch) {
+  BlockFooter footer;
+  std::memcpy(&footer, raw + payload_bytes, kFooterBytes);
+  if (footer.magic == 0 && footer.crc == 0 && footer.epoch == 0) {
+    return AllZero(raw, payload_bytes);
+  }
+  return footer.magic == kFooterMagic &&
+         footer.crc == Crc32c(raw, payload_bytes) && footer.epoch == epoch;
+}
+
+void XorBytes(char* acc, const char* src, uint64_t bytes) {
+  for (uint64_t i = 0; i < bytes; ++i) acc[i] ^= src[i];
+}
+
 // Blocks per scratch chunk on the checksummed vectored-read path: bounds the
 // staging buffer while keeping runs down to few syscalls.
 constexpr uint64_t kReadRunChunk = 64;
 
 }  // namespace
 
-FileBlockManager::FileBlockManager(std::string path, int fd,
+FileBlockManager::FileBlockManager(std::string path, int fd, int parity_fd,
                                    uint64_t block_size, uint64_t num_blocks,
                                    const Options& options)
     : path_(std::move(path)),
       fd_(fd),
+      parity_fd_(parity_fd),
       block_size_(block_size),
       num_blocks_(num_blocks),
       checksums_(options.checksums),
       epoch_(options.epoch),
       degraded_reads_(options.degraded_reads),
+      parity_group_(options.parity_group),
       retry_(RetryPolicy{options.retry_attempts, options.retry_backoff_us,
                          std::max<uint32_t>(options.retry_backoff_us,
                                             100'000u),
                          0.5}),
       jitter_state_(0x5353424du ^ block_size) {  // "SSBM" ^ geometry
-  if (checksums_) scratch_.resize(stride());
+  if (checksums_) {
+    scratch_.resize(stride());
+    write_scratch_.resize(stride());
+  }
 }
 
 void FileBlockManager::BackoffRetry(uint32_t attempt) {
@@ -91,6 +112,11 @@ uint64_t FileBlockManager::stride() const {
   return block_size_ * sizeof(double) + (checksums_ ? kFooterBytes : 0);
 }
 
+uint64_t FileBlockManager::NumParityBlocks() const {
+  if (parity_group_ == 0) return 0;
+  return (num_blocks_ + parity_group_ - 1) / parity_group_;
+}
+
 Result<std::unique_ptr<FileBlockManager>> FileBlockManager::Open(
     const std::string& path, uint64_t block_size, const Options& options) {
   if (block_size == 0) {
@@ -100,6 +126,9 @@ Result<std::unique_ptr<FileBlockManager>> FileBlockManager::Open(
       (std::numeric_limits<uint64_t>::max() - kFooterBytes) /
           sizeof(double)) {
     return Status::InvalidArgument("block byte size overflows uint64_t");
+  }
+  if (options.parity_group > 0 && !options.checksums) {
+    return Status::InvalidArgument("parity groups require checksums");
   }
   const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
   if (fd < 0) {
@@ -120,12 +149,44 @@ Result<std::unique_ptr<FileBlockManager>> FileBlockManager::Open(
   }
   const uint64_t num_blocks =
       static_cast<uint64_t>(st.st_size) / stride_bytes;
-  return std::unique_ptr<FileBlockManager>(
-      new FileBlockManager(path, fd, block_size, num_blocks, options));
+  int parity_fd = -1;
+  if (options.parity_group > 0) {
+    const std::string parity_path = path + ".parity";
+    parity_fd =
+        ::open(parity_path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+    if (parity_fd < 0) {
+      ::close(fd);
+      return Status::IOError(Errno("open " + parity_path));
+    }
+    struct stat pst;
+    if (::fstat(parity_fd, &pst) != 0) {
+      ::close(fd);
+      ::close(parity_fd);
+      return Status::IOError(Errno("fstat " + parity_path));
+    }
+    if (static_cast<uint64_t>(pst.st_size) % stride_bytes != 0) {
+      ::close(fd);
+      ::close(parity_fd);
+      return Status::InvalidArgument(
+          "parity sidecar size is not a multiple of the block stride");
+    }
+    const uint64_t groups =
+        (num_blocks + options.parity_group - 1) / options.parity_group;
+    const uint64_t expected = groups * stride_bytes;
+    if (static_cast<uint64_t>(pst.st_size) < expected &&
+        ::ftruncate(parity_fd, static_cast<off_t>(expected)) != 0) {
+      ::close(fd);
+      ::close(parity_fd);
+      return Status::IOError(Errno("ftruncate " + parity_path));
+    }
+  }
+  return std::unique_ptr<FileBlockManager>(new FileBlockManager(
+      path, fd, parity_fd, block_size, num_blocks, options));
 }
 
 FileBlockManager::~FileBlockManager() {
   if (fd_ >= 0) ::close(fd_);
+  if (parity_fd_ >= 0) ::close(parity_fd_);
 }
 
 Status FileBlockManager::Resize(uint64_t num_blocks) {
@@ -142,14 +203,23 @@ Status FileBlockManager::Resize(uint64_t num_blocks) {
     return Status::IOError(Errno("ftruncate " + path_));
   }
   num_blocks_ = num_blocks;
+  if (parity_fd_ >= 0) {
+    // Zero-extended parity strides are exactly right for the zero-extended
+    // data tail (XOR of zeros is zero).
+    const uint64_t parity_bytes = NumParityBlocks() * stride();
+    if (::ftruncate(parity_fd_, static_cast<off_t>(parity_bytes)) != 0) {
+      return Status::IOError(Errno("ftruncate " + path_ + ".parity"));
+    }
+  }
   return Status::OK();
 }
 
-Status FileBlockManager::ReadRaw(uint64_t offset, char* dst, uint64_t bytes) {
+Status FileBlockManager::ReadRawFd(int fd, uint64_t offset, char* dst,
+                                   uint64_t bytes) {
   uint64_t done = 0;
   uint32_t attempt = 0;
   while (done < bytes) {
-    const ssize_t r = ::pread(fd_, dst + done, bytes - done,
+    const ssize_t r = ::pread(fd, dst + done, bytes - done,
                               static_cast<off_t>(offset + done));
     if (r < 0) {
       if (errno == EINTR) continue;
@@ -169,12 +239,12 @@ Status FileBlockManager::ReadRaw(uint64_t offset, char* dst, uint64_t bytes) {
   return Status::OK();
 }
 
-Status FileBlockManager::WriteRaw(uint64_t offset, const char* src,
-                                  uint64_t bytes) {
+Status FileBlockManager::WriteRawFd(int fd, uint64_t offset, const char* src,
+                                    uint64_t bytes) {
   uint64_t done = 0;
   uint32_t attempt = 0;
   while (done < bytes) {
-    const ssize_t w = ::pwrite(fd_, src + done, bytes - done,
+    const ssize_t w = ::pwrite(fd, src + done, bytes - done,
                                static_cast<off_t>(offset + done));
     if (w > 0) {
       done += static_cast<uint64_t>(w);
@@ -196,27 +266,116 @@ Status FileBlockManager::WriteRaw(uint64_t offset, const char* src,
   return Status::OK();
 }
 
-Status FileBlockManager::VerifyInto(uint64_t id, const char* raw,
-                                    std::span<double> out) {
+Status FileBlockManager::WritePayloadImage(int fd, uint64_t index,
+                                           const char* payload) {
   const uint64_t payload_bytes = block_size_ * sizeof(double);
+  std::memcpy(write_scratch_.data(), payload, payload_bytes);
   BlockFooter footer;
-  std::memcpy(&footer, raw + payload_bytes, kFooterBytes);
-  bool valid;
-  if (footer.magic == 0 && footer.crc == 0 && footer.epoch == 0) {
-    valid = AllZero(raw, payload_bytes);  // never-written block
-  } else {
-    valid = footer.magic == kFooterMagic &&
-            footer.crc == Crc32c(raw, payload_bytes) &&
-            footer.epoch == epoch_;
+  footer.magic = kFooterMagic;
+  footer.crc = Crc32c(write_scratch_.data(), payload_bytes);
+  footer.epoch = epoch_;
+  std::memcpy(write_scratch_.data() + payload_bytes, &footer, kFooterBytes);
+  return WriteRawFd(fd, index * stride(), write_scratch_.data(), stride());
+}
+
+Status FileBlockManager::ParityPayload(uint64_t group, char* out) {
+  const uint64_t payload_bytes = block_size_ * sizeof(double);
+  const auto it = parity_dirty_.find(group);
+  if (it != parity_dirty_.end()) {
+    std::memcpy(out, it->second.data(), payload_bytes);
+    return Status::OK();
   }
-  if (valid) {
+  std::vector<char> raw(stride());
+  SS_RETURN_IF_ERROR(
+      ReadRawFd(parity_fd_, group * stride(), raw.data(), stride()));
+  ++durability_.parity_reads;
+  if (!StrideValid(raw.data(), payload_bytes, epoch_)) {
+    return Status::ChecksumMismatch(
+        "parity block for group " + std::to_string(group) +
+        " failed checksum verification in " + path_ + ".parity");
+  }
+  std::memcpy(out, raw.data(), payload_bytes);
+  return Status::OK();
+}
+
+Status FileBlockManager::ReconstructPayload(uint64_t id,
+                                            const char* corrupt_raw,
+                                            char* out) {
+  if (parity_group_ == 0) {
+    return Status::ChecksumMismatch("block " + std::to_string(id) +
+                                    " is corrupt and the store has no "
+                                    "parity to rebuild it from");
+  }
+  const uint64_t payload_bytes = block_size_ * sizeof(double);
+  const uint64_t group = id / parity_group_;
+  std::vector<char> acc(payload_bytes);
+  SS_RETURN_IF_ERROR(ParityPayload(group, acc.data()));
+  const uint64_t lo = group * parity_group_;
+  const uint64_t hi = std::min(num_blocks_, lo + parity_group_);
+  std::vector<char> sibling(stride());
+  for (uint64_t member = lo; member < hi; ++member) {
+    if (member == id) continue;
+    SS_RETURN_IF_ERROR(
+        ReadRaw(member * stride(), sibling.data(), stride()));
+    if (!StrideValid(sibling.data(), payload_bytes, epoch_)) {
+      return Status::ChecksumMismatch(
+          "double fault: blocks " + std::to_string(id) + " and " +
+          std::to_string(member) + " are both corrupt in parity group " +
+          std::to_string(group) + " of " + path_);
+    }
+    XorBytes(acc.data(), sibling.data(), payload_bytes);
+  }
+  // When the corrupt stride still carries a structurally intact footer, the
+  // payload (not the footer) took the hit — the reconstruction must match
+  // the originally stored CRC. A mismatch means the parity chain itself is
+  // inconsistent, which is as unrepairable as a double fault. A destroyed
+  // footer leaves nothing to cross-check; the candidate is accepted on the
+  // strength of the chain's own verified CRCs.
+  BlockFooter footer;
+  std::memcpy(&footer, corrupt_raw + payload_bytes, kFooterBytes);
+  if (footer.magic == kFooterMagic && footer.epoch == epoch_ &&
+      footer.crc != Crc32c(acc.data(), payload_bytes)) {
+    return Status::ChecksumMismatch(
+        "parity reconstruction of block " + std::to_string(id) +
+        " does not match its stored checksum in " + path_);
+  }
+  std::memcpy(out, acc.data(), payload_bytes);
+  return Status::OK();
+}
+
+Status FileBlockManager::RepairBlock(uint64_t id, const char* corrupt_raw,
+                                     std::span<double> out) {
+  const uint64_t payload_bytes = block_size_ * sizeof(double);
+  std::vector<char> payload(payload_bytes);
+  const Status rebuilt = ReconstructPayload(id, corrupt_raw, payload.data());
+  if (!rebuilt.ok()) {
+    ++durability_.unrepairable_blocks;
+    return rebuilt;
+  }
+  // Rewrite in place. Parity stays untouched: it already agrees with the
+  // reconstructed payload (that is where it came from).
+  SS_RETURN_IF_ERROR(WritePayloadImage(fd_, id, payload.data()));
+  quarantined_.erase(id);
+  ++durability_.repaired_blocks;
+  std::memcpy(out.data(), payload.data(), payload_bytes);
+  return Status::OK();
+}
+
+Status FileBlockManager::VerifyInto(uint64_t id, const char* raw,
+                                    std::span<double> out, VerifyMode mode) {
+  const uint64_t payload_bytes = block_size_ * sizeof(double);
+  if (StrideValid(raw, payload_bytes, epoch_)) {
     quarantined_.erase(id);
     std::memcpy(out.data(), raw, payload_bytes);
     return Status::OK();
   }
   ++durability_.checksum_failures;
+  if (mode == VerifyMode::kServe && parity_group_ > 0 &&
+      RepairBlock(id, raw, out).ok()) {
+    return Status::OK();  // healed inline; the caller sees a clean read
+  }
   quarantined_.insert(id);
-  if (degraded_reads_) {
+  if (mode == VerifyMode::kServe && degraded_reads_) {
     ++durability_.zero_filled_reads;
     std::fill(out.begin(), out.end(), 0.0);
     return Status::OK();
@@ -227,11 +386,21 @@ Status FileBlockManager::VerifyInto(uint64_t id, const char* raw,
 }
 
 Status FileBlockManager::ReadBlock(uint64_t id, std::span<double> out) {
-  if (id >= num_blocks_) {
-    return Status::OutOfRange("block id beyond device size");
-  }
   if (out.size() != block_size_) {
     return Status::InvalidArgument("read buffer size != block size");
+  }
+  if (id >= kParityIdBase) {
+    if (parity_group_ == 0) {
+      return Status::OutOfRange("parity block id on a store without parity");
+    }
+    const uint64_t group = id - kParityIdBase;
+    if (group >= NumParityBlocks()) {
+      return Status::OutOfRange("parity group beyond device size");
+    }
+    return ParityPayload(group, reinterpret_cast<char*>(out.data()));
+  }
+  if (id >= num_blocks_) {
+    return Status::OutOfRange("block id beyond device size");
   }
   ++stats_.block_reads;
   if (!checksums_) {
@@ -239,7 +408,7 @@ Status FileBlockManager::ReadBlock(uint64_t id, std::span<double> out) {
                    block_size_ * sizeof(double));
   }
   SS_RETURN_IF_ERROR(ReadRaw(id * stride(), scratch_.data(), stride()));
-  return VerifyInto(id, scratch_.data(), out);
+  return VerifyInto(id, scratch_.data(), out, VerifyMode::kServe);
 }
 
 Status FileBlockManager::ReadBlocks(std::span<const uint64_t> ids,
@@ -272,7 +441,8 @@ Status FileBlockManager::ReadBlocks(std::span<const uint64_t> ids,
       for (uint64_t k = 0; k < run; ++k) {
         SS_RETURN_IF_ERROR(
             VerifyInto(ids[i + k], staging.data() + k * stride(),
-                       out.subspan((i + k) * block_size_, block_size_)));
+                       out.subspan((i + k) * block_size_, block_size_),
+                       VerifyMode::kServe));
       }
       stats_.block_reads += run;
       i = j;
@@ -328,19 +498,81 @@ Status FileBlockManager::ReadBlocks(std::span<const uint64_t> ids,
   return Status::OK();
 }
 
-Status FileBlockManager::WriteBlock(uint64_t id, std::span<const double> data) {
-  if (id >= num_blocks_) {
-    return Status::OutOfRange("block id beyond device size");
+Status FileBlockManager::XorOldNew(uint64_t id, const char* new_payload,
+                                   char* group_image) {
+  const uint64_t payload_bytes = block_size_ * sizeof(double);
+  SS_RETURN_IF_ERROR(ReadRaw(id * stride(), write_scratch_.data(), stride()));
+  const char* old_payload = write_scratch_.data();
+  std::vector<char> rebuilt;
+  if (!StrideValid(write_scratch_.data(), payload_bytes, epoch_)) {
+    // Folding a corrupt old payload into parity would poison the whole
+    // group's reconstruction chain. Rebuild the true old payload from
+    // parity first — the overwrite about to happen heals the block; a
+    // double fault fails the write instead.
+    ++durability_.checksum_failures;
+    rebuilt.resize(payload_bytes);
+    const Status rec =
+        ReconstructPayload(id, write_scratch_.data(), rebuilt.data());
+    if (!rec.ok()) {
+      ++durability_.unrepairable_blocks;
+      quarantined_.insert(id);
+      return rec;
+    }
+    ++durability_.repaired_blocks;
+    old_payload = rebuilt.data();
   }
+  for (uint64_t i = 0; i < payload_bytes; ++i) {
+    group_image[i] ^= old_payload[i] ^ new_payload[i];
+  }
+  return Status::OK();
+}
+
+Status FileBlockManager::WriteBlock(uint64_t id, std::span<const double> data) {
   if (data.size() != block_size_) {
     return Status::InvalidArgument("write buffer size != block size");
   }
-  ++stats_.block_writes;
   const uint64_t payload_bytes = block_size_ * sizeof(double);
+  if (id >= kParityIdBase) {
+    // Absolute parity image (journal replay, or an explicit rebuild): goes
+    // straight to the sidecar and supersedes any staged state.
+    if (parity_group_ == 0) {
+      return Status::OutOfRange("parity block id on a store without parity");
+    }
+    const uint64_t group = id - kParityIdBase;
+    if (group >= NumParityBlocks()) {
+      return Status::OutOfRange("parity group beyond device size");
+    }
+    SS_RETURN_IF_ERROR(WritePayloadImage(
+        parity_fd_, group, reinterpret_cast<const char*>(data.data())));
+    ++durability_.parity_writes;
+    parity_dirty_.erase(group);
+    parity_planned_.erase(group);
+    return Status::OK();
+  }
+  if (id >= num_blocks_) {
+    return Status::OutOfRange("block id beyond device size");
+  }
+  ++stats_.block_writes;
   if (!checksums_) {
     return WriteRaw(id * stride(),
                     reinterpret_cast<const char*>(data.data()),
                     payload_bytes);
+  }
+  if (parity_group_ > 0 && !parity_replay_ &&
+      !parity_planned_.contains(id / parity_group_)) {
+    // Incremental maintenance: parity' = parity ⊕ old ⊕ new, staged in
+    // memory and persisted by Sync(). Planned groups already carry their
+    // absolute post-commit image (PlanParityCommit); replay writes parity
+    // absolutely from the journal record.
+    const uint64_t group = id / parity_group_;
+    auto it = parity_dirty_.find(group);
+    if (it == parity_dirty_.end()) {
+      std::vector<char> image(payload_bytes);
+      SS_RETURN_IF_ERROR(ParityPayload(group, image.data()));
+      it = parity_dirty_.emplace(group, std::move(image)).first;
+    }
+    SS_RETURN_IF_ERROR(XorOldNew(
+        id, reinterpret_cast<const char*>(data.data()), it->second.data()));
   }
   std::memcpy(scratch_.data(), data.data(), payload_bytes);
   BlockFooter footer;
@@ -353,7 +585,67 @@ Status FileBlockManager::WriteBlock(uint64_t id, std::span<const double> data) {
   return Status::OK();
 }
 
+Result<std::vector<ParityBlockImage>> FileBlockManager::PlanParityCommit(
+    std::span<const BlockWrite> writes) {
+  std::vector<ParityBlockImage> plan;
+  if (parity_group_ == 0) return plan;
+  const uint64_t payload_bytes = block_size_ * sizeof(double);
+  // Fold every write's old ⊕ new into its group image, starting from the
+  // effective (staged-or-on-disk) parity — the device is untouched, so
+  // reconstruction of corrupt old payloads still sees a consistent chain.
+  std::map<uint64_t, std::vector<char>> images;
+  for (const BlockWrite& write : writes) {
+    if (write.block_id >= kParityIdBase) continue;
+    if (write.block_id >= num_blocks_) {
+      return Status::OutOfRange("planned write beyond device size");
+    }
+    if (write.data.size() != block_size_) {
+      return Status::InvalidArgument("planned write size != block size");
+    }
+    const uint64_t group = write.block_id / parity_group_;
+    auto it = images.find(group);
+    if (it == images.end()) {
+      std::vector<char> image(payload_bytes);
+      SS_RETURN_IF_ERROR(ParityPayload(group, image.data()));
+      it = images.emplace(group, std::move(image)).first;
+    }
+    SS_RETURN_IF_ERROR(
+        XorOldNew(write.block_id,
+                  reinterpret_cast<const char*>(write.data.data()),
+                  it->second.data()));
+  }
+  // Stage: the images become the pending parity of their groups, the
+  // write-backs of exactly this batch skip incremental work, and the next
+  // Sync() persists them.
+  for (auto& [group, image] : images) {
+    ParityBlockImage staged;
+    staged.block_id = kParityIdBase + group;
+    staged.data.resize(block_size_);
+    std::memcpy(staged.data.data(), image.data(), payload_bytes);
+    plan.push_back(std::move(staged));
+    parity_planned_.insert(group);
+    parity_dirty_[group] = std::move(image);
+  }
+  return plan;
+}
+
+Status FileBlockManager::FlushParityDirty() {
+  for (const auto& [group, image] : parity_dirty_) {
+    SS_RETURN_IF_ERROR(WritePayloadImage(parity_fd_, group, image.data()));
+    ++durability_.parity_writes;
+  }
+  parity_dirty_.clear();
+  parity_planned_.clear();
+  return Status::OK();
+}
+
 Status FileBlockManager::Sync() {
+  if (parity_fd_ >= 0) {
+    SS_RETURN_IF_ERROR(FlushParityDirty());
+    if (::fsync(parity_fd_) != 0) {
+      return Status::IOError(Errno("fsync " + path_ + ".parity"));
+    }
+  }
   if (::fsync(fd_) != 0) {
     return Status::IOError(Errno("fsync " + path_));
   }
@@ -367,17 +659,82 @@ Result<std::vector<uint64_t>> FileBlockManager::Scrub() {
   for (uint64_t id = 0; id < num_blocks_; ++id) {
     SS_RETURN_IF_ERROR(ReadRaw(id * stride(), scratch_.data(), stride()));
     ++stats_.block_reads;
-    // Verify without degraded zero-fill: scrubbing reports, never masks.
-    const bool was_degraded = degraded_reads_;
-    degraded_reads_ = false;
-    const Status verified = VerifyInto(id, scratch_.data(), payload);
-    degraded_reads_ = was_degraded;
+    // Report mode: scrubbing reports, it never masks (degraded zero-fill)
+    // and never mutates the store (no inline repair).
+    const Status verified =
+        VerifyInto(id, scratch_.data(), payload, VerifyMode::kReport);
     if (!verified.ok()) {
       if (verified.code() != StatusCode::kChecksumMismatch) return verified;
       corrupt.push_back(id);
     }
   }
   return corrupt;
+}
+
+Result<ScrubReport> FileBlockManager::ScrubRepair() {
+  ScrubReport report;
+  if (!checksums_) return report;
+  const uint64_t payload_bytes = block_size_ * sizeof(double);
+  std::vector<double> payload(block_size_);
+  std::vector<char> group_xor(parity_group_ > 0 ? payload_bytes : 0);
+  bool group_intact = true;
+  bool wrote = false;
+  for (uint64_t id = 0; id < num_blocks_; ++id) {
+    if (parity_group_ > 0 && id % parity_group_ == 0) {
+      std::fill(group_xor.begin(), group_xor.end(), 0);
+      group_intact = true;
+    }
+    SS_RETURN_IF_ERROR(ReadRaw(id * stride(), scratch_.data(), stride()));
+    ++stats_.block_reads;
+    const Status verified =
+        VerifyInto(id, scratch_.data(), payload, VerifyMode::kReport);
+    if (verified.ok()) {
+      if (parity_group_ > 0) {
+        XorBytes(group_xor.data(),
+                 reinterpret_cast<const char*>(payload.data()),
+                 payload_bytes);
+      }
+    } else if (verified.code() != StatusCode::kChecksumMismatch) {
+      return verified;
+    } else if (parity_group_ > 0 &&
+               RepairBlock(id, scratch_.data(), payload).ok()) {
+      report.repaired.push_back(id);
+      wrote = true;
+      XorBytes(group_xor.data(),
+               reinterpret_cast<const char*>(payload.data()), payload_bytes);
+    } else {
+      if (parity_group_ == 0) ++durability_.unrepairable_blocks;
+      report.unrepairable.push_back(id);
+      group_intact = false;
+    }
+    if (parity_group_ > 0 &&
+        (id % parity_group_ == parity_group_ - 1 || id == num_blocks_ - 1) &&
+        group_intact) {
+      // Group boundary with every member verified: restore the parity
+      // invariant if the stored parity is corrupt or stale (which is also
+      // how a freshly upgraded store builds its sidecar from scratch).
+      const uint64_t group = id / parity_group_;
+      std::vector<char> effective(payload_bytes);
+      const Status stored = ParityPayload(group, effective.data());
+      if (!stored.ok() &&
+          stored.code() != StatusCode::kChecksumMismatch) {
+        return stored;
+      }
+      if (!stored.ok() ||
+          std::memcmp(effective.data(), group_xor.data(), payload_bytes) !=
+              0) {
+        SS_RETURN_IF_ERROR(
+            WritePayloadImage(parity_fd_, group, group_xor.data()));
+        ++durability_.parity_writes;
+        parity_dirty_.erase(group);
+        parity_planned_.erase(group);
+        report.repaired.push_back(kParityIdBase + group);
+        wrote = true;
+      }
+    }
+  }
+  if (wrote) SS_RETURN_IF_ERROR(Sync());
+  return report;
 }
 
 DurabilityStats FileBlockManager::durability_stats() const {

@@ -10,10 +10,25 @@
 // or, in degraded mode, is served as zeros so a corrupt store can still be
 // salvaged read-only. Never-written blocks (all-zero payload and footer)
 // verify trivially, so sparse ftruncate-extended tails stay valid.
+//
+// With Options::parity_group = G, every G consecutive blocks additionally
+// share one XOR parity block in a `<path>.parity` sidecar (same stride,
+// same footer format). A block failing verification is then rebuilt in
+// place from parity ⊕ its verified siblings instead of being quarantined —
+// inline on the read path, or in bulk by ScrubRepair(). Only a double fault
+// (two corrupt strides in one group) is unrepairable and falls back to the
+// quarantine/degraded path. Parity is maintained incrementally on every
+// write (parity' = parity ⊕ old ⊕ new) and made crash-consistent by the
+// redo journal: PlanParityCommit stages the absolute post-commit parity
+// images for a FlushAtomic batch so they are journaled with the data and
+// replayed after it (DESIGN.md §12). Parity I/O is tracked in
+// DurabilityStats (parity_reads / parity_writes), never in IoStats — block
+// I/O counts stay identical to a parity-less store.
 
 #ifndef SHIFTSPLIT_STORAGE_FILE_BLOCK_MANAGER_H_
 #define SHIFTSPLIT_STORAGE_FILE_BLOCK_MANAGER_H_
 
+#include <map>
 #include <memory>
 #include <set>
 #include <string>
@@ -43,6 +58,12 @@ class FileBlockManager : public BlockManager {
     /// store. Also settable later via set_degraded_reads().
     bool degraded_reads = false;
 
+    /// XOR parity group size G: every G consecutive blocks share one parity
+    /// block in the `<path>.parity` sidecar, and a corrupt block heals in
+    /// place from parity ⊕ siblings (see file comment). 0 disables parity.
+    /// Requires checksums; recorded as manifest format v3.
+    uint64_t parity_group = 0;
+
     /// Transient-I/O retry budget: a short read/write that makes no
     /// progress (0 bytes, or EAGAIN) is retried up to this many times with
     /// capped exponential backoff and jitter before surfacing IOError.
@@ -58,7 +79,10 @@ class FileBlockManager : public BlockManager {
   /// \brief Creates or opens the backing file. If the file exists it is
   /// opened with its current contents; its size must be a multiple of the
   /// on-disk block stride (payload bytes, plus the footer when checksums
-  /// are on).
+  /// are on). With parity enabled the sidecar is opened (or created) next
+  /// to it and zero-extended to one stride per group — all-zero parity is
+  /// exactly right for all-zero (never-written) groups; a sidecar that is
+  /// stale for non-zero data is restored by the next ScrubRepair().
   static Result<std::unique_ptr<FileBlockManager>> Open(
       const std::string& path, uint64_t block_size, const Options& options);
 
@@ -75,7 +99,17 @@ class FileBlockManager : public BlockManager {
   uint64_t block_size() const override { return block_size_; }
   uint64_t num_blocks() const override { return num_blocks_; }
   Status Resize(uint64_t num_blocks) override;
+
+  /// \brief Reads block `id` (or, for id ≥ kParityIdBase, the raw payload
+  /// of parity group id - kParityIdBase from the sidecar).
   Status ReadBlock(uint64_t id, std::span<double> out) override;
+
+  /// \brief Writes block `id`, maintaining its group's parity incrementally
+  /// (parity' = parity ⊕ old ⊕ new; a corrupt old payload is reconstructed
+  /// from parity first, so the overwrite heals it — a double fault fails
+  /// the write with ChecksumMismatch). For id ≥ kParityIdBase the data is
+  /// written as the absolute parity image of its group — the journal-replay
+  /// path. Parity updates are buffered in memory and persisted by Sync().
   Status WriteBlock(uint64_t id, std::span<const double> data) override;
 
   /// \brief Vectored read: runs of consecutive block ids become single
@@ -85,13 +119,41 @@ class FileBlockManager : public BlockManager {
   Status ReadBlocks(std::span<const uint64_t> ids,
                     std::span<double> out) override;
 
-  /// \brief fsyncs the backing file.
+  /// \brief Flushes buffered parity images to the sidecar and fsyncs both
+  /// files (just the data file when parity is off).
   Status Sync() override;
 
   /// \brief Verifies every block's footer, quarantining and returning the
   /// ids that fail (empty without checksums). Reads the whole file; each
-  /// block is counted as one block read.
+  /// block is counted as one block read. Detect-only: no degraded-read
+  /// masking and no repair — see ScrubRepair() for the healing pass.
   Result<std::vector<uint64_t>> Scrub() override;
+
+  /// \brief Verifies every block, rebuilding corrupt ones from parity in
+  /// place (payload rewritten with a fresh footer, quarantine cleared) and
+  /// restoring every group's parity invariant — a corrupt or stale parity
+  /// stride is recomputed from its verified members, which is also how a
+  /// freshly parity-enabled (upgraded) store builds its sidecar. Reported
+  /// parity rebuilds use kParityIdBase + group ids. Durable on return.
+  Result<ScrubReport> ScrubRepair() override;
+
+  uint64_t parity_group() const override { return parity_group_; }
+
+  /// \brief Stages the absolute post-commit parity images for one atomic
+  /// write batch; see BlockManager::PlanParityCommit.
+  Result<std::vector<ParityBlockImage>> PlanParityCommit(
+      std::span<const BlockWrite> writes) override;
+
+  /// \brief See BlockManager: suspends incremental parity maintenance
+  /// while a journal replay rewrites data and parity absolutely. Entering
+  /// the bracket drops any staged parity state (the replayed record
+  /// supersedes it).
+  void BeginParityReplay() override {
+    parity_replay_ = true;
+    parity_dirty_.clear();
+    parity_planned_.clear();
+  }
+  void EndParityReplay() override { parity_replay_ = false; }
 
   void set_degraded_reads(bool on) override { degraded_reads_ = on; }
   bool degraded_reads() const { return degraded_reads_; }
@@ -108,36 +170,86 @@ class FileBlockManager : public BlockManager {
   const std::string& path() const { return path_; }
 
  private:
-  FileBlockManager(std::string path, int fd, uint64_t block_size,
-                   uint64_t num_blocks, const Options& options);
+  FileBlockManager(std::string path, int fd, int parity_fd,
+                   uint64_t block_size, uint64_t num_blocks,
+                   const Options& options);
+
+  /// How VerifyInto treats a verification failure: the serving path may
+  /// repair from parity and mask with degraded zero-fill; the reporting
+  /// path (scrubs) must do neither — fixing the old Scrub() practice of
+  /// toggling the shared degraded_reads_ flag, which raced concurrent
+  /// readers in thread-safe pool mode.
+  enum class VerifyMode { kServe, kReport };
 
   // On-disk bytes per block: payload plus footer (when checksummed).
   uint64_t stride() const;
+  // Parity strides in the sidecar: ceil(num_blocks / parity_group).
+  uint64_t NumParityBlocks() const;
   // pread/pwrite loops with EINTR handling and the bounded transient-error
-  // retry policy. Fill `sparse_zero` semantics: a read hitting EOF zero
-  // fills the remainder (ftruncate-extended tail).
-  Status ReadRaw(uint64_t offset, char* dst, uint64_t bytes);
-  Status WriteRaw(uint64_t offset, const char* src, uint64_t bytes);
+  // retry policy, against an explicit fd (data file or parity sidecar).
+  // Read `sparse_zero` semantics: a read hitting EOF zero fills the
+  // remainder (ftruncate-extended tail).
+  Status ReadRawFd(int fd, uint64_t offset, char* dst, uint64_t bytes);
+  Status WriteRawFd(int fd, uint64_t offset, const char* src, uint64_t bytes);
+  Status ReadRaw(uint64_t offset, char* dst, uint64_t bytes) {
+    return ReadRawFd(fd_, offset, dst, bytes);
+  }
+  Status WriteRaw(uint64_t offset, const char* src, uint64_t bytes) {
+    return WriteRawFd(fd_, offset, src, bytes);
+  }
   // Counts one transient retry in durability_.io_retries and sleeps the
   // jittered backoff for 0-based `attempt` (BackoffDelayUs on retry_).
   void BackoffRetry(uint32_t attempt);
-  // Verifies one block image (payload + footer at `raw`); on failure either
-  // quarantines + zero-fills (degraded) or returns ChecksumMismatch.
-  // `payload_out` receives block_size_ doubles.
-  Status VerifyInto(uint64_t id, const char* raw, std::span<double> out);
+  // Verifies one block image (payload + footer at `raw`); on failure the
+  // serve mode tries a parity repair, then quarantines + zero-fills
+  // (degraded) or returns ChecksumMismatch. `out` receives block_size_
+  // doubles.
+  Status VerifyInto(uint64_t id, const char* raw, std::span<double> out,
+                    VerifyMode mode);
+  // Effective parity payload of `group` (payload bytes): the staged image
+  // when one is pending, the verified sidecar stride otherwise.
+  Status ParityPayload(uint64_t group, char* out);
+  // Rebuilds block `id`'s payload as parity ⊕ verified siblings, validating
+  // the candidate against the stored footer when that is structurally
+  // intact. `corrupt_raw` is the stride that failed verification; `out`
+  // receives payload bytes. Fails with ChecksumMismatch on a double fault.
+  Status ReconstructPayload(uint64_t id, const char* corrupt_raw, char* out);
+  // ReconstructPayload + in-place rewrite (fresh footer, quarantine
+  // cleared, repaired/unrepairable counted). Parity is left untouched: it
+  // already agrees with the reconstructed payload.
+  Status RepairBlock(uint64_t id, const char* corrupt_raw,
+                     std::span<double> out);
+  // Writes one payload + freshly computed footer at `index` strides into
+  // `fd` (a data block or a parity stride). No counters.
+  Status WritePayloadImage(int fd, uint64_t index, const char* payload);
+  // Incremental parity maintenance for one data write: folds old ⊕ new
+  // into `group_image` (reconstructing a corrupt old payload from parity
+  // first; double fault fails the write).
+  Status XorOldNew(uint64_t id, const char* new_payload, char* group_image);
+  // Writes every staged parity image to the sidecar (Sync's first half).
+  Status FlushParityDirty();
 
   std::string path_;
   int fd_;
+  int parity_fd_;          // -1 when parity is off
   uint64_t block_size_;
   uint64_t num_blocks_;
   bool checksums_;
   uint64_t epoch_;
   bool degraded_reads_;
+  uint64_t parity_group_;  // 0 = parity off
   RetryPolicy retry_;      // transient short-I/O retry (EAGAIN, zero writes)
   uint64_t jitter_state_;  // backoff jitter stream (deterministically seeded)
   DurabilityStats durability_;
   std::set<uint64_t> quarantined_;
   std::vector<char> scratch_;  // one-block staging (read verify, write image)
+  // Staged parity images (group → payload bytes), persisted by Sync().
+  std::map<uint64_t, std::vector<char>> parity_dirty_;
+  // Groups whose staged image is an absolute post-commit plan
+  // (PlanParityCommit): their data write-backs skip incremental updates.
+  std::set<uint64_t> parity_planned_;
+  bool parity_replay_ = false;  // journal replay writes parity absolutely
+  std::vector<char> write_scratch_;  // old-payload / repair-image staging
 };
 
 }  // namespace shiftsplit

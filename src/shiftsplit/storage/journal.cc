@@ -239,24 +239,36 @@ Result<Journal::RecoveryResult> Journal::Recover(BlockManager* device) {
   }
 
   // The record committed: redo every block image in place (idempotent), make
-  // it durable, then retire the journal.
+  // it durable, then retire the journal. Parity entries (ids at or above
+  // kParityIdBase) address sidecar strides, not device blocks — they never
+  // drive a resize, and while they replay the device suspends its own
+  // incremental parity maintenance (the record's images are absolute).
   uint64_t max_id = 0;
+  bool any_data = false;
   for (uint64_t i = 0; i < header.num_entries; ++i) {
     EntryHeader eh;
     std::memcpy(&eh, entry_base + i * sizeof(EntryHeader), sizeof(eh));
+    if (eh.block_id >= kParityIdBase) continue;
+    any_data = true;
     max_id = std::max(max_id, eh.block_id);
   }
-  if (max_id >= device->num_blocks()) {
+  if (any_data && max_id >= device->num_blocks()) {
     SS_RETURN_IF_ERROR(device->Resize(max_id + 1));
   }
+  device->BeginParityReplay();
   std::vector<double> payload(header.block_size);
   for (uint64_t i = 0; i < header.num_entries; ++i) {
     EntryHeader eh;
     std::memcpy(&eh, entry_base + i * sizeof(EntryHeader), sizeof(eh));
     std::memcpy(payload.data(), payload_base + i * payload_bytes,
                 payload_bytes);
-    SS_RETURN_IF_ERROR(device->WriteBlock(eh.block_id, payload));
+    const Status written = device->WriteBlock(eh.block_id, payload);
+    if (!written.ok()) {
+      device->EndParityReplay();
+      return written;
+    }
   }
+  device->EndParityReplay();
   SS_RETURN_IF_ERROR(device->Sync());
   if (::unlink(path_.c_str()) != 0 && errno != ENOENT) {
     return Status::IOError(Errno("unlink journal " + path_));

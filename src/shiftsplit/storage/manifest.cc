@@ -72,9 +72,13 @@ Result<StoreForm> StoreFormFromString(const std::string& name) {
 }
 
 Status StoreManifest::Save(const std::string& path) const {
-  if (format_version != 1 && format_version != 2) {
+  if (format_version < 1 || format_version > 3) {
     return Status::InvalidArgument("unsupported manifest format_version: " +
                                    std::to_string(format_version));
+  }
+  if (format_version == 3 && parity_group == 0) {
+    return Status::InvalidArgument(
+        "manifest format v3 requires a nonzero parity_group");
   }
   // Write-temp + fsync + rename + fsync-dir so a crash mid-save leaves
   // either the previous manifest or the complete new one.
@@ -98,6 +102,9 @@ Status StoreManifest::Save(const std::string& path) const {
     out << "filled=" << filled << "\n";
     if (format_version >= 2) {
       out << "epoch=" << store_epoch << "\n";
+    }
+    if (format_version >= 3) {
+      out << "parity_group=" << parity_group << "\n";
     }
     out.flush();
     if (!out) {
@@ -140,6 +147,8 @@ Result<StoreManifest> StoreManifest::Load(const std::string& path) {
         manifest.format_version = 1;
       } else if (value == "shiftsplit-store-v2") {
         manifest.format_version = 2;
+      } else if (value == "shiftsplit-store-v3") {
+        manifest.format_version = 3;
       } else {
         return Status::InvalidArgument("unsupported manifest format: " +
                                        value);
@@ -147,6 +156,8 @@ Result<StoreManifest> StoreManifest::Load(const std::string& path) {
       saw_format = true;
     } else if (key == "epoch") {
       manifest.store_epoch = std::stoull(value);
+    } else if (key == "parity_group") {
+      manifest.parity_group = std::stoull(value);
     } else if (key == "form") {
       SS_ASSIGN_OR_RETURN(manifest.form, StoreFormFromString(value));
     } else if (key == "norm") {
@@ -180,6 +191,10 @@ Result<StoreManifest> StoreManifest::Load(const std::string& path) {
   }
   if (manifest.log_dims.empty()) {
     return Status::InvalidArgument("manifest is missing log_dims");
+  }
+  if (manifest.format_version == 3 && manifest.parity_group == 0) {
+    return Status::InvalidArgument(
+        "v3 manifest is missing a nonzero parity_group");
   }
   return manifest;
 }

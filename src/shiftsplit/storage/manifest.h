@@ -30,8 +30,12 @@ Result<StoreForm> StoreFormFromString(const std::string& name);
 ///
 /// Format versions: v1 stores (format=shiftsplit-store-v1) have raw
 /// unchecksummed blocks and no journal; v2 stores carry a per-block CRC32C
-/// footer stamped with `store_epoch` and an atomic-commit journal. Load
-/// accepts both; Save writes the line matching `format_version`.
+/// footer stamped with `store_epoch` and an atomic-commit journal; v3
+/// stores add per-group XOR parity (`parity_group` records the group size
+/// G, blocks.bin.parity holds one parity stride per group). Load accepts
+/// all three; Save writes the line matching `format_version`. A v2 store
+/// opens with parity disabled and upgrades to v3 via a full repair scrub
+/// (WaveletCube::UpgradeParityOnDisk).
 struct StoreManifest {
   StoreForm form = StoreForm::kStandard;
   Normalization norm = Normalization::kAverage;
@@ -39,8 +43,9 @@ struct StoreManifest {
   uint64_t block_capacity = 0;       ///< slots per block (kNaive only)
   std::vector<uint32_t> log_dims;    ///< per-dimension log2 extents
   uint64_t filled = 0;               ///< appending fill level (0 = full)
-  uint32_t format_version = 1;       ///< 1 = legacy raw, 2 = checksummed
-  uint64_t store_epoch = 0;          ///< footer epoch (nonzero for v2)
+  uint32_t format_version = 1;       ///< 1 raw, 2 checksummed, 3 + parity
+  uint64_t store_epoch = 0;          ///< footer epoch (nonzero for v2+)
+  uint64_t parity_group = 0;         ///< XOR parity group size (v3 only)
 
   /// \brief Serializes to a key=value text file, atomically: the content is
   /// written to a temp file, fsynced, renamed over `path`, and the parent

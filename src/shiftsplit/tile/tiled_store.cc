@@ -56,6 +56,7 @@ Result<std::unique_ptr<TiledStore>> TiledStore::Open(
     // (or the journal is unreadable): salvage mode. Reads still work, with
     // quarantined blocks as zeros; every write fails.
     store->read_only_ = true;
+    store->recovery_failed_ = true;
     manager->set_degraded_reads(true);
   }
   store->journal_ = std::move(journal);
@@ -278,6 +279,43 @@ Result<std::vector<uint64_t>> TiledStore::Scrub() {
     manager_->set_degraded_reads(true);
   }
   return corrupt;
+}
+
+Result<ScrubReport> TiledStore::ScrubRepair(bool flush_first) {
+  if (flush_first) SS_RETURN_IF_ERROR(Flush());
+  SS_ASSIGN_OR_RETURN(ScrubReport report, manager_->ScrubRepair());
+  if (!report.repaired.empty()) {
+    std::vector<uint64_t> data_ids;
+    for (const uint64_t id : report.repaired) {
+      if (id < kParityIdBase) data_ids.push_back(id);
+    }
+    // Cached copies of repaired blocks may be degraded zero-fills; drop
+    // them so the next access reads the rebuilt payload.
+    pool_.InvalidateBlocks(data_ids);
+    if (energy_tracking()) {
+      for (const uint64_t block : data_ids) {
+        auto page = pool_.GetBlock(block, /*for_write=*/false);
+        double energy = std::numeric_limits<double>::infinity();
+        if (page.ok()) {
+          double sum = 0.0;
+          for (const double v : page.value().span()) sum += v * v;
+          energy = sum;
+        }
+        const std::lock_guard<std::mutex> lock(energy_mu_);
+        if (block < block_energy_.size()) block_energy_[block] = energy;
+      }
+    }
+  }
+  if (!report.unrepairable.empty()) {
+    read_only_ = true;
+    manager_->set_degraded_reads(true);
+  } else if (!recovery_failed_) {
+    // Every block (and every parity stride) verified or was rebuilt: any
+    // earlier detect-only quarantine is healed, so re-admit writes.
+    read_only_ = false;
+    manager_->set_degraded_reads(false);
+  }
+  return report;
 }
 
 DurabilityStats TiledStore::durability_stats() const {

@@ -137,6 +137,26 @@ class TiledStore {
   /// blocks read as zeros.
   Result<std::vector<uint64_t>> Scrub();
 
+  /// \brief Repair-mode scrub (parity-enabled backends): verifies every
+  /// block and rebuilds corrupt ones in place from group parity; stale or
+  /// corrupt parity strides are themselves rewritten from the verified data
+  /// (which is also how a v2 store's freshly created zero sidecar becomes
+  /// real parity). Repaired blocks are dropped from the buffer pool — a
+  /// cached zero-fill from a degraded read is stale once the disk holds the
+  /// rebuilt payload — and re-accounted in the energy index. Only blocks
+  /// parity could not rebuild (double faults) leave the store read-only; a
+  /// fully repaired store stays writable, and one degraded by an earlier
+  /// detect-only Scrub is re-admitted. Salvage mode (failed journal
+  /// recovery) is never cleared: its blocks verify individually but may be
+  /// torn across an incomplete commit.
+  ///
+  /// `flush_first` = false scrubs the on-disk image without committing
+  /// pending dirty pages — for callers (ServingCube::RepairNow on a
+  /// poisoned cube) whose dirty pages must only reach disk in a later
+  /// atomic commit together with their watermark. Dirty frames survive the
+  /// pool invalidation, so they still overwrite the repaired payloads.
+  Result<ScrubReport> ScrubRepair(bool flush_first = true);
+
   /// \brief True once the store has degraded (failed recovery or scrub
   /// corruption); all write paths then fail.
   bool read_only() const { return read_only_; }
@@ -170,6 +190,7 @@ class TiledStore {
   BufferPool pool_;
   std::unique_ptr<Journal> journal_;  // null: plain (non-atomic) flushes
   bool read_only_ = false;
+  bool recovery_failed_ = false;  // salvage mode: ScrubRepair can't clear it
   // Per-block sum of squared coefficients (energy index). Guarded by its
   // own mutex so concurrent queries can read ceilings while a (separately
   // serialized) writer maintains deltas.

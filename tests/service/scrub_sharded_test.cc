@@ -1,0 +1,267 @@
+// Scrubbing sharded stores: the per-shard repair fan-out (ScrubAll),
+// supervisor in-place healing of a parity-repairable poison (DEGRADED
+// while repairing, zero quarantines), and the double-fault escalation that
+// still takes the quarantine + full-rebuild path.
+//
+// Deltas are dyadic-exact integers so every query comparison below is
+// exact (see sharded_cube_test.cc on why that matters).
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shiftsplit/core/wavelet_cube.h"
+#include "shiftsplit/service/serving_cube.h"
+#include "shiftsplit/service/sharded_cube.h"
+#include "testing.h"
+
+namespace shiftsplit {
+namespace {
+
+constexpr uint32_t kShards = 4;
+// {5, 4}: a 32x16 grid split into four 8x16 slabs along dim 0.
+const std::vector<uint32_t> kLogDims{5, 4};
+
+std::filesystem::path MakeTempDir(const char* tag) {
+  auto dir = std::filesystem::temp_directory_path() /
+             (std::string("shiftsplit_scrub_sharded_") + tag + "_" +
+              std::to_string(::getpid()));
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+void FlipByte(const std::string& file, uint64_t offset) {
+  std::fstream f(file, std::ios::in | std::ios::out | std::ios::binary);
+  ASSERT_TRUE(f.is_open()) << file;
+  f.seekg(static_cast<std::streamoff>(offset));
+  char byte = 0;
+  f.read(&byte, 1);
+  byte = static_cast<char>(byte ^ 0x40);
+  f.seekp(static_cast<std::streamoff>(offset));
+  f.write(&byte, 1);
+}
+
+// Flips one payload byte in every stride of `file` (data file or parity
+// sidecar alike — both use the payload+footer stride layout).
+void CorruptEveryStride(const std::string& file, uint64_t stride) {
+  const uint64_t strides = std::filesystem::file_size(file) / stride;
+  ASSERT_GT(strides, 0u);
+  for (uint64_t s = 0; s < strides; ++s) FlipByte(file, s * stride + 7);
+}
+
+std::string ShardDir(const std::filesystem::path& dir, uint32_t shard) {
+  char name[16];
+  std::snprintf(name, sizeof(name), "shard-%04u", shard);
+  return (dir / name).string();
+}
+
+// On-disk stride (payload + 16-byte footer) of one shard store.
+uint64_t ShardStride(ShardedCube* sharded) {
+  return sharded->shard_for_test(0)->cube()->store()->layout()
+             .block_capacity() *
+             sizeof(double) +
+         16;
+}
+
+// Spreads `n` dyadic-exact deltas over the whole 32x16 domain and mirrors
+// them into `expected` (row-major).
+void AddEverywhere(ShardedCube* sharded, uint64_t n, uint64_t salt,
+                   std::vector<double>* expected) {
+  for (uint64_t i = 0; i < n; ++i) {
+    const std::vector<uint64_t> at{(i * 7 + salt) % 32, (i * 5 + salt) % 16};
+    const double value = static_cast<double>(static_cast<int64_t>(i % 9) - 4);
+    ASSERT_OK(sharded->Add(at, value));
+    (*expected)[at[0] * 16 + at[1]] += value;
+  }
+}
+
+// Deltas confined to shard `shard`'s slab (dim-0 prefix).
+void AddToShardSlab(ShardedCube* sharded, uint32_t shard, uint64_t n,
+                    uint64_t salt, std::vector<double>* expected) {
+  for (uint64_t i = 0; i < n; ++i) {
+    const std::vector<uint64_t> at{shard * 8 + (i + salt) % 8,
+                                   (i * 3 + salt) % 16};
+    const double value = static_cast<double>(static_cast<int64_t>(i % 7) - 3);
+    ASSERT_OK(sharded->Add(at, value));
+    (*expected)[at[0] * 16 + at[1]] += value;
+  }
+}
+
+void ExpectAllCells(ShardedCube* sharded,
+                    const std::vector<double>& expected) {
+  for (uint64_t r = 0; r < 32; ++r) {
+    for (uint64_t c = 0; c < 16; ++c) {
+      const std::vector<uint64_t> at{r, c};
+      ASSERT_OK_AND_ASSIGN(const double v, sharded->PointQuery(at));
+      EXPECT_DOUBLE_EQ(v, expected[r * 16 + c]) << r << "," << c;
+    }
+  }
+}
+
+std::vector<char> ReadFileBytes(const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  return std::vector<char>(std::istreambuf_iterator<char>(f),
+                           std::istreambuf_iterator<char>());
+}
+
+TEST(ScrubShardedTest, ScrubAllRepairsOneShardWithoutDisturbingSiblings) {
+  const auto dir = MakeTempDir("fanout");
+  WaveletCube::Options cube_options;
+  cube_options.parity_group = 4;
+  ShardedCube::Options options;
+  options.serving.start_workers = false;
+  options.supervise = false;
+  ASSERT_OK_AND_ASSIGN(
+      auto sharded, ShardedCube::CreateOnDisk(dir.string(), kLogDims, kShards,
+                                              cube_options, options));
+  std::vector<double> expected(32 * 16, 0.0);
+  AddEverywhere(sharded.get(), 200, 1, &expected);
+  ASSERT_OK(sharded->DrainAll());
+
+  const uint64_t stride = ShardStride(sharded.get());
+  constexpr uint32_t kVictim = 1;
+  const std::string victim_blocks = ShardDir(dir, kVictim) + "/blocks.bin";
+  // Reference image before the bit flip: repair must restore it exactly.
+  const std::vector<char> reference = ReadFileBytes(victim_blocks);
+  FlipByte(victim_blocks, 1 * stride + 3);
+
+  ASSERT_OK_AND_ASSIGN(const ScrubReport report, sharded->ScrubAll());
+  EXPECT_EQ(report.repaired, std::vector<uint64_t>({1}));
+  EXPECT_TRUE(report.unrepairable.empty());
+  EXPECT_EQ(ReadFileBytes(victim_blocks), reference)
+      << "repair did not restore the exact on-disk image";
+
+  // Sibling shards were scrubbed but never needed (or performed) a repair.
+  for (uint32_t s = 0; s < kShards; ++s) {
+    const auto cube = sharded->shard_for_test(s);
+    const DurabilityStats durability = cube->cube()->durability_stats();
+    EXPECT_EQ(durability.repaired_blocks, s == kVictim ? 1u : 0u) << s;
+    EXPECT_EQ(durability.unrepairable_blocks, 0u) << s;
+    EXPECT_FALSE(durability.read_only) << s;
+    const ShardedCube::ShardHealthInfo info = sharded->shard_health(s);
+    EXPECT_EQ(info.health, ShardHealth::kHealthy) << s;
+    EXPECT_EQ(info.quarantines, 0u) << s;
+  }
+  EXPECT_GE(sharded->stats().parity_repairs, 1u);
+  ExpectAllCells(sharded.get(), expected);
+  ASSERT_OK(sharded->Close());
+  std::filesystem::remove_all(dir);
+}
+
+// A parity-repairable poison (flush tripping over corrupt parity strides)
+// never quarantines: the supervisor DEGRADEs the slot, repairs the cube in
+// place and re-admits it with the buffered deltas intact.
+TEST(ScrubShardedTest, SupervisorRepairsParityPoisonedShardInPlace) {
+  const auto dir = MakeTempDir("inplace");
+  WaveletCube::Options cube_options;
+  cube_options.parity_group = 4;
+  ShardedCube::Options options;
+  options.serving.start_workers = true;
+  options.serving.oversubscribe = true;
+  // No spontaneous background drains: the poison lands deterministically at
+  // our explicit DrainAll, never mid-way through an Add loop.
+  options.serving.drain_min_deltas = 1u << 20;
+  options.serving.max_delta_age = std::chrono::milliseconds(60000);
+  options.supervisor_poll = std::chrono::milliseconds(2);
+  ASSERT_OK_AND_ASSIGN(
+      auto sharded, ShardedCube::CreateOnDisk(dir.string(), kLogDims, kShards,
+                                              cube_options, options));
+  std::vector<double> expected(32 * 16, 0.0);
+  AddEverywhere(sharded.get(), 120, 2, &expected);
+  ASSERT_OK(sharded->DrainAll());
+
+  constexpr uint32_t kVictim = 2;
+  const uint64_t stride = ShardStride(sharded.get());
+  CorruptEveryStride(ShardDir(dir, kVictim) + "/blocks.bin.parity", stride);
+
+  // These deltas are acknowledged into the victim's buffer; the drain that
+  // tries to commit them fails on the corrupt parity and poisons the cube.
+  AddToShardSlab(sharded.get(), kVictim, 40, 3, &expected);
+  ASSERT_FALSE(sharded->DrainAll().ok());
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  ShardedCube::ShardHealthInfo info;
+  while (true) {
+    info = sharded->shard_health(kVictim);
+    if (info.health == ShardHealth::kHealthy && info.recoveries >= 1) break;
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "supervisor never healed the shard in place: "
+        << static_cast<int>(info.health) << " " << info.cause.ToString();
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // The whole point: healed without a single quarantine (no teardown, no
+  // journal-replay rebuild), and no delta was lost.
+  EXPECT_EQ(info.quarantines, 0u);
+  EXPECT_GE(info.recoveries, 1u);
+  ASSERT_OK(info.cause);
+  ASSERT_OK(sharded->DrainAll());
+  ExpectAllCells(sharded.get(), expected);
+  EXPECT_GE(sharded->stats().parity_repairs, 1u);
+
+  // The store is genuinely durable again: a full scrub finds it clean.
+  ASSERT_OK_AND_ASSIGN(const ScrubReport report, sharded->ScrubAll());
+  EXPECT_TRUE(report.unrepairable.empty());
+  ASSERT_OK(sharded->Close());
+  std::filesystem::remove_all(dir);
+}
+
+// Two corrupt blocks per parity group defeat XOR parity; the supervisor's
+// in-place attempt reports them unrepairable and the incident escalates to
+// the quarantine + full-recovery path exactly as before parity existed.
+TEST(ScrubShardedTest, DoubleFaultStillEscalatesToQuarantine) {
+  const auto dir = MakeTempDir("doublefault");
+  WaveletCube::Options cube_options;
+  cube_options.parity_group = 4;
+  ShardedCube::Options options;
+  options.serving.start_workers = true;
+  options.serving.oversubscribe = true;
+  options.serving.drain_min_deltas = 1u << 20;
+  options.serving.max_delta_age = std::chrono::milliseconds(60000);
+  options.supervisor_poll = std::chrono::milliseconds(2);
+  ASSERT_OK_AND_ASSIGN(
+      auto sharded, ShardedCube::CreateOnDisk(dir.string(), kLogDims, kShards,
+                                              cube_options, options));
+  std::vector<double> expected(32 * 16, 0.0);
+  AddEverywhere(sharded.get(), 120, 4, &expected);
+  ASSERT_OK(sharded->DrainAll());
+
+  constexpr uint32_t kVictim = 3;
+  const uint64_t stride = ShardStride(sharded.get());
+  // Every data block corrupt: every parity group holds at least two faults,
+  // so no reconstruction can succeed anywhere.
+  CorruptEveryStride(ShardDir(dir, kVictim) + "/blocks.bin", stride);
+
+  AddToShardSlab(sharded.get(), kVictim, 40, 5, &expected);
+  ASSERT_FALSE(sharded->DrainAll().ok());  // poisons the victim
+
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (sharded->shard_health(kVictim).quarantines < 1) {
+    ASSERT_LT(std::chrono::steady_clock::now(), deadline)
+        << "double fault never escalated to quarantine";
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  // Healthy siblings are untouched throughout.
+  for (uint32_t s = 0; s < kShards; ++s) {
+    if (s == kVictim) continue;
+    EXPECT_EQ(sharded->shard_health(s).health, ShardHealth::kHealthy) << s;
+    const std::vector<uint64_t> probe{s * 8 + 1, 2};
+    ASSERT_OK_AND_ASSIGN(const double v, sharded->PointQuery(probe));
+    EXPECT_DOUBLE_EQ(v, expected[probe[0] * 16 + probe[1]]) << s;
+  }
+  // The victim may still be mid-recovery (or FAILED) at shutdown; Close
+  // reports its state but must still close every shard.
+  (void)sharded->Close();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace shiftsplit

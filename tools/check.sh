@@ -51,6 +51,47 @@ scrub_smoke() {
   rm -rf "$(dirname "$store")"
 }
 
+# Bit-rot smoke with the CLI (DESIGN.md §12): on a parity-protected store a
+# flipped payload byte must be healed in place by `scrub --repair` (exit 1
+# = repaired everything), the repaired blocks.bin must be byte-identical to
+# the pre-corruption image, and a follow-up detect-only scrub must find the
+# store clean (exit 0) — bit rot is an incident, not a quarantine.
+bitrot_smoke() {
+  local build_dir="$1"
+  local tool="$build_dir/tools/shiftsplit_tool"
+  local store
+  store="$(mktemp -d)/store"
+  echo "==> bit-rot smoke [$build_dir]"
+  "$tool" create "$store" --form standard --dims 3,3 --b 1 --parity 4 \
+    >/dev/null
+  "$tool" ingest "$store" --dataset smooth --chunk 2 --seed 3 >/dev/null
+  local ref
+  ref="$(dirname "$store")/blocks.bin.ref"
+  cp "$store/blocks.bin" "$ref"
+  local orig flip
+  orig="$(od -An -tu1 -j4 -N1 "$store/blocks.bin" | tr -d ' ')"
+  flip=$(( (orig + 1) % 256 ))
+  # shellcheck disable=SC2059
+  printf "$(printf '\\x%02x' "$flip")" | dd of="$store/blocks.bin" bs=1 \
+    seek=4 count=1 conv=notrunc status=none
+  local rc=0
+  "$tool" scrub "$store" --repair >/dev/null || rc=$?
+  if [ "$rc" -ne 1 ]; then
+    echo "bit-rot smoke: scrub --repair exited $rc, want 1 (repaired)" >&2
+    exit 1
+  fi
+  cmp -s "$store/blocks.bin" "$ref" || {
+    echo "bit-rot smoke: repaired blocks.bin differs from the" \
+      "pre-corruption image" >&2
+    exit 1
+  }
+  "$tool" scrub "$store" >/dev/null || {
+    echo "bit-rot smoke: store not clean after repair" >&2
+    exit 1
+  }
+  rm -rf "$(dirname "$store")"
+}
+
 # Serving-layer crash recovery with the CLI: buffer deltas durably, crash
 # the process before any drain (serve-sim --crash uses _Exit, so nothing is
 # flushed), then reopen and assert every acknowledged delta is replayed,
@@ -166,6 +207,9 @@ done
 scrub_smoke build
 scrub_smoke build-asan
 
+bitrot_smoke build
+bitrot_smoke build-asan
+
 serve_sim_smoke build
 serve_sim_smoke build-asan
 
@@ -193,6 +237,20 @@ for build_dir in build build-tsan; do
   echo "==> sharding tests [$build_dir, SHIFTSPLIT_FORCE_SCALAR=1]"
   SHIFTSPLIT_FORCE_SCALAR=1 \
     ctest --test-dir "$build_dir" -L sharding -j "$jobs" --output-on-failure
+done
+
+# Scrub-and-repair (DESIGN.md §12): parity maintenance, inline repair, the
+# background Scrubber and the supervisor's in-place healing — `-L scrub`
+# also picks up the compound scrub-sharding label. The Scrubber/worker/
+# query interleavings are racy by design, so run under tsan as well, and in
+# both kernel dispatch modes (repair reconstructs through the same kernels
+# every other path uses).
+for build_dir in build build-tsan; do
+  echo "==> scrub tests [$build_dir]"
+  ctest --test-dir "$build_dir" -L scrub -j "$jobs" --output-on-failure
+  echo "==> scrub tests [$build_dir, SHIFTSPLIT_FORCE_SCALAR=1]"
+  SHIFTSPLIT_FORCE_SCALAR=1 \
+    ctest --test-dir "$build_dir" -L scrub -j "$jobs" --output-on-failure
 done
 
 # The concurrent serving soak is where writer/reader/maintenance races would

@@ -1,13 +1,13 @@
 // shiftsplit_tool — command-line front end for disk-resident wavelet stores.
 //
 //   create   <dir> --form F --dims A,B,.. [--b N] [--norm average|orthonormal]
-//            [--shards N]
+//            [--shards N] [--parity G]
 //   ingest   <dir> --dataset NAME [--chunk LOG] [--zorder] [--sparse] [--seed S]
 //   info     <dir>
 //   point    <dir> --at X,Y,..  [--slots]
 //   sum      <dir> --lo X,Y,.. --hi X,Y,..
 //   extract  <dir> --lo X,Y,.. --hi X,Y,..
-//   scrub    <dir>
+//   scrub    <dir> [--repair]
 //   serve-sim <dir> [--deltas N] [--seed S] [--crash] [--verify]
 //   stats    <dir>
 //   selftest [dir]
@@ -21,6 +21,7 @@
 // dyadic sub-domain (shard-0000, ...). serve-sim and stats detect sharded
 // directories automatically and operate through the composing router.
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -51,7 +52,9 @@ constexpr char kUsage[] =
     "<create|ingest|info|point|sum|extract|scrub|serve-sim|stats|selftest> "
     "<store-dir> [flags]\n"
     "  create  --form standard|nonstandard --dims 4,4,6 [--b 2]\n"
-    "          [--norm average|orthonormal] [--shards N]\n"
+    "          [--norm average|orthonormal] [--shards N] [--parity G]\n"
+    "          (--parity G groups every G data blocks under one XOR parity\n"
+    "          block, enabling scrub --repair and in-place healing)\n"
     "  ingest  --dataset temperature|uniform|smooth|sparse [--chunk 3]\n"
     "          [--zorder] [--sparse] [--seed 1] [--threads T] [--prefetch]\n"
     "          [--per-coeff]\n"
@@ -59,7 +62,11 @@ constexpr char kUsage[] =
     "  point   --at 1,2,3 [--slots] [--deadline-ms MS] [--approx-ok]\n"
     "  sum     --lo 0,0,0 --hi 3,3,3 [--deadline-ms MS] [--approx-ok]\n"
     "  extract --lo 0,0,0 --hi 3,3,3\n"
-    "  scrub   (verify every block checksum; exits 1 on corruption)\n"
+    "  scrub   [--repair]\n"
+    "          (verify every block checksum; exits 1 on corruption.\n"
+    "          --repair also rebuilds corrupt blocks from group parity:\n"
+    "          exit 0 all clean, 1 repaired everything, 2 unrepairable\n"
+    "          blocks remain. Sharded stores are scrubbed shard by shard)\n"
     "  serve-sim [--deltas 32] [--seed 1] [--crash] [--verify]\n"
     "          [--crash-shard K] [--expect-recover]\n"
     "          (buffer deltas through the serving layer; --crash exits\n"
@@ -99,7 +106,8 @@ Result<Args> ParseArgs(int argc, char** argv) {
       const std::string key = a.substr(2);
       if (key == "zorder" || key == "sparse" || key == "slots" ||
           key == "prefetch" || key == "per-coeff" || key == "approx-ok" ||
-          key == "crash" || key == "verify" || key == "expect-recover") {
+          key == "crash" || key == "verify" || key == "expect-recover" ||
+          key == "repair") {
         args.flags[key] = "1";
       } else if (i + 1 < argc) {
         args.flags[key] = argv[++i];
@@ -142,6 +150,9 @@ Status CmdCreate(const Args& args) {
   }
   if (auto it = args.flags.find("b"); it != args.flags.end()) {
     options.b = static_cast<uint32_t>(std::stoul(it->second));
+  }
+  if (auto it = args.flags.find("parity"); it != args.flags.end()) {
+    options.parity_group = std::stoull(it->second);
   }
   auto dims_it = args.flags.find("dims");
   if (dims_it == args.flags.end()) {
@@ -379,27 +390,79 @@ Status CmdExtract(const Args& args) {
   return Status::OK();
 }
 
-Status CmdScrub(const Args& args) {
-  SS_ASSIGN_OR_RETURN(auto cube, WaveletCube::OpenOnDisk(args.dir, 64));
-  SS_ASSIGN_OR_RETURN(const std::vector<uint64_t> corrupt, cube->Scrub());
-  const DurabilityStats stats = cube->durability_stats();
-  if (stats.journal_replays > 0 || stats.journal_rollbacks > 0) {
-    std::printf("recovery: %llu commit(s) replayed, %llu rolled back\n",
-                static_cast<unsigned long long>(stats.journal_replays),
-                static_cast<unsigned long long>(stats.journal_rollbacks));
+// The store directories one scrub invocation covers: the directory itself
+// for a monolithic store, every shard-* subdirectory for a sharded one.
+Result<std::vector<std::string>> ScrubTargets(const std::string& dir) {
+  if (!ShardedCube::IsShardedDir(dir)) return std::vector<std::string>{dir};
+  std::vector<std::string> shards;
+  for (const auto& entry : std::filesystem::directory_iterator(dir)) {
+    if (entry.is_directory() &&
+        entry.path().filename().string().rfind("shard-", 0) == 0) {
+      shards.push_back(entry.path().string());
+    }
   }
-  if (corrupt.empty()) {
+  if (shards.empty()) {
+    return Status::NotFound("sharded store " + dir + " has no shard-* dirs");
+  }
+  std::sort(shards.begin(), shards.end());
+  return shards;
+}
+
+// Exit code 0 = every block verified clean, 1 = corruption found and fully
+// repaired, 2 = unrepairable blocks remain (store left read-only).
+Result<int> CmdScrub(const Args& args) {
+  const bool repair = args.flags.count("repair") > 0;
+  SS_ASSIGN_OR_RETURN(const std::vector<std::string> targets,
+                      ScrubTargets(args.dir));
+  uint64_t verified = 0;
+  uint64_t repaired = 0;
+  std::vector<uint64_t> bad;  // corrupt (plain) or unrepairable (--repair)
+  for (const std::string& target : targets) {
+    SS_ASSIGN_OR_RETURN(auto cube, WaveletCube::OpenOnDisk(target, 64));
+    const DurabilityStats recovery = cube->durability_stats();
+    if (recovery.journal_replays > 0 || recovery.journal_rollbacks > 0) {
+      std::printf("recovery: %llu commit(s) replayed, %llu rolled back\n",
+                  static_cast<unsigned long long>(recovery.journal_replays),
+                  static_cast<unsigned long long>(recovery.journal_rollbacks));
+    }
+    verified += cube->store()->manager().num_blocks();
+    if (repair) {
+      SS_ASSIGN_OR_RETURN(const ScrubReport report, cube->ScrubRepair());
+      repaired += report.repaired.size();
+      bad.insert(bad.end(), report.unrepairable.begin(),
+                 report.unrepairable.end());
+    } else {
+      SS_ASSIGN_OR_RETURN(const std::vector<uint64_t> corrupt, cube->Scrub());
+      bad.insert(bad.end(), corrupt.begin(), corrupt.end());
+    }
+    SS_RETURN_IF_ERROR(cube->Close());
+  }
+  if (bad.empty()) {
+    if (repaired > 0) {
+      std::printf("scrub repaired %llu corrupt block(s); "
+                  "%llu block(s) verified clean\n",
+                  static_cast<unsigned long long>(repaired),
+                  static_cast<unsigned long long>(verified));
+      return 1;
+    }
     std::printf("scrub OK: %llu block(s) verified\n",
-                static_cast<unsigned long long>(
-                    cube->store()->manager().num_blocks()));
-    return Status::OK();
+                static_cast<unsigned long long>(verified));
+    return 0;
   }
-  std::printf("scrub FAILED: %llu corrupt block(s):",
-              static_cast<unsigned long long>(corrupt.size()));
-  for (uint64_t id : corrupt) {
+  std::printf("scrub FAILED: %llu %s block(s):",
+              static_cast<unsigned long long>(bad.size()),
+              repair ? "unrepairable" : "corrupt");
+  for (uint64_t id : bad) {
     std::printf(" %llu", static_cast<unsigned long long>(id));
   }
   std::printf("\nstore degraded to read-only; corrupt blocks read as zeros\n");
+  if (repair) {
+    if (repaired > 0) {
+      std::printf("(%llu other corrupt block(s) were repaired)\n",
+                  static_cast<unsigned long long>(repaired));
+    }
+    return 2;
+  }
   return Status::ChecksumMismatch("store failed scrub");
 }
 
@@ -665,6 +728,14 @@ void PrintServingRows(const ServingStats& serve) {
     row("parked_writes", serve.parked_writes);
     row("parked_dropped", serve.parked_dropped);
   }
+  if (serve.scrub_passes != 0 || serve.scrubbed_blocks != 0 ||
+      serve.parity_repairs != 0 || serve.parity_unrepairable != 0) {
+    row("scrub_passes", serve.scrub_passes);
+    row("scrubbed_blocks", serve.scrubbed_blocks);
+    row("scrub_repairs", serve.scrub_repairs);
+    row("parity_repairs", serve.parity_repairs);
+    row("parity_unrepairable", serve.parity_unrepairable);
+  }
 }
 
 Status CmdStats(const Args& args) {
@@ -677,6 +748,11 @@ Status CmdStats(const Args& args) {
     std::printf("sharded: %u shard(s), split dim %u, slab extent %llu\n",
                 router.num_shards(), router.split_dim(),
                 static_cast<unsigned long long>(router.slab_extent()));
+    if (const auto first = sharded->shard_for_test(0); first != nullptr) {
+      std::printf("parity group: %llu\n",
+                  static_cast<unsigned long long>(
+                      first->cube()->manifest().parity_group));
+    }
     std::printf("serving (aggregate):\n");
     PrintServingRows(sharded->stats());
     for (uint32_t s = 0; s < sharded->num_shards(); ++s) {
@@ -710,6 +786,9 @@ Status CmdStats(const Args& args) {
   row("journal_replays", durability.journal_replays);
   row("journal_rollbacks", durability.journal_rollbacks);
   row("read_only", durability.read_only ? 1 : 0);
+  row("parity group", cube->manifest().parity_group);
+  row("repaired", durability.repaired_blocks);
+  row("unrepairable", durability.unrepairable_blocks);
   std::printf("serving:\n");
   PrintServingRows(serving->stats());
   return Status::OK();
@@ -769,7 +848,11 @@ int Main(int argc, char** argv) {
   } else if (args.command == "extract") {
     status = CmdExtract(args);
   } else if (args.command == "scrub") {
-    status = CmdScrub(args);
+    // scrub owns its exit code (0 clean / 1 repaired or corrupt / 2
+    // unrepairable); only hard errors go through the generic mapping.
+    const Result<int> scrub = CmdScrub(args);
+    if (scrub.ok()) return *scrub;
+    status = scrub.status();
   } else if (args.command == "serve-sim") {
     status = CmdServeSim(args);
   } else if (args.command == "stats") {
