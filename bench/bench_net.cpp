@@ -1,0 +1,335 @@
+// Network front-end load generator (DESIGN.md §13): an open-loop client
+// fleet drives the TCP CubeServer over loopback and reports what a tenant
+// actually sees — end-to-end wire latency including queueing, not the
+// handler time a closed-loop harness would flatter.
+//
+// Per configuration (monolithic and 4-shard store) and mix (point-only and
+// 90/10 point/update), the bench first finds the closed-loop saturation
+// throughput (N blocking clients back to back), then replays the mix
+// open-loop at a fixed fraction of that rate: each client thread draws
+// Poisson arrivals (exponential interarrival gaps) against a wall-clock
+// schedule and measures every request from its *scheduled* send time, so a
+// stalled server keeps accumulating latency instead of silently slowing
+// the arrival process (no coordinated omission). Keys are Zipf-skewed
+// (Gray's bounded sampler, YCSB-style theta) — a realistic hot set, and the
+// worst case for a monolithic cube's exclusive drain latch.
+//
+// The final row arms a per-request deadline at an offered rate *above*
+// saturation. The budget is end-to-end, anchored at the scheduled
+// arrival: a request whose budget expired while waiting its turn is shed
+// client-side (counted kDeadlineExceeded, never sent), and the remainder
+// rides in the frame header so the server's own admission and deadline
+// checks bound whatever queueing is left. Overload must degrade into
+// fast rejections with a bounded success tail, not an unbounded queue.
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <filesystem>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.h"
+#include "shiftsplit/core/wavelet_cube.h"
+#include "shiftsplit/net/cube_client.h"
+#include "shiftsplit/net/cube_registry.h"
+#include "shiftsplit/net/cube_server.h"
+#include "shiftsplit/service/sharded_cube.h"
+#include "shiftsplit/util/random.h"
+
+using namespace shiftsplit;
+using namespace shiftsplit::bench;
+
+namespace {
+
+constexpr uint32_t kLogDim = 5;  // 32 x 32 domain
+constexpr uint64_t kDim = uint64_t{1} << kLogDim;
+constexpr uint64_t kCells = kDim * kDim;
+constexpr double kZipfTheta = 0.99;  // YCSB's default hot-set skew
+constexpr int kClosedThreads = 4;
+constexpr int kOpenThreads = 2;
+constexpr double kSaturationSecs = 2.0;
+constexpr double kOpenLoopSecs = 4.0;
+constexpr double kOpenLoopFraction = 0.7;   // offered / saturation
+constexpr double kOverloadFraction = 1.3;   // the armed-deadline row
+constexpr uint32_t kArmedDeadlineMs = 25;
+constexpr int kSeedWrites = 256;
+
+std::string FreshDir(const char* tag) {
+  const auto dir = std::filesystem::temp_directory_path() /
+                   (std::string("shiftsplit_bench_net_") + tag);
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir.string();
+}
+
+// Zipf rank -> cell coordinates. The rank is used directly as a row-major
+// cell index: hot ranks cluster in low rows, which keeps the hot set inside
+// one shard of a sharded store — the interesting (worst) placement.
+std::vector<uint64_t> CellForRank(uint64_t rank) {
+  return {rank >> kLogDim, rank & (kDim - 1)};
+}
+
+struct MixOutcome {
+  uint64_t ok = 0;
+  uint64_t deadline_exceeded = 0;
+  uint64_t unavailable = 0;
+  std::vector<double> latency_us;
+};
+
+// One client's share of a workload: draws Zipf keys and issues the
+// point/update mix. `update_pct` of requests are one-cell accumulates
+// (durably acked), the rest exact point queries. Unexpected errors die;
+// overload outcomes are counted when `tolerate_overload` (the armed row).
+class MixRunner {
+ public:
+  MixRunner(uint16_t port, uint64_t seed, int update_pct,
+            bool tolerate_overload)
+      : client_("127.0.0.1", port),
+        rng_(seed),
+        zipf_(kCells, kZipfTheta),
+        update_pct_(update_pct),
+        tolerate_overload_(tolerate_overload) {}
+
+  bool IssueOne(uint32_t deadline_ms, MixOutcome* out) {
+    const auto cell = CellForRank(zipf_.Sample(rng_));
+    Status status;
+    if (static_cast<int>(rng_.NextBounded(100)) < update_pct_) {
+      status = client_.Add("bench", cell, 0.25, deadline_ms);
+    } else {
+      status = client_.Point("bench", cell, deadline_ms).status();
+    }
+    if (status.ok()) {
+      ++out->ok;
+      return true;
+    }
+    if (tolerate_overload_) {
+      if (status.code() == StatusCode::kDeadlineExceeded) {
+        ++out->deadline_exceeded;
+        return false;
+      }
+      if (status.code() == StatusCode::kUnavailable) {
+        ++out->unavailable;
+        return false;
+      }
+    }
+    DieOnError(status, "wire request");
+    return false;
+  }
+
+ private:
+  net::CubeClient client_;
+  Xoshiro256 rng_;
+  BoundedZipfSampler zipf_;
+  int update_pct_;
+  bool tolerate_overload_;
+};
+
+// Closed loop: every thread fires back to back for the duration; the
+// aggregate rate is the saturation throughput of this config + mix.
+double MeasureSaturation(uint16_t port, int update_pct, uint64_t seed) {
+  std::atomic<uint64_t> total{0};
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(kSaturationSecs);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kClosedThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MixRunner runner(port, seed + static_cast<uint64_t>(t), update_pct,
+                       /*tolerate_overload=*/false);
+      MixOutcome out;
+      while (std::chrono::steady_clock::now() < deadline) {
+        runner.IssueOne(/*deadline_ms=*/0, &out);
+      }
+      total.fetch_add(out.ok);
+    });
+  }
+  for (auto& t : threads) t.join();
+  return static_cast<double>(total.load()) / kSaturationSecs;
+}
+
+// Open loop: arrivals follow a Poisson process pinned to the wall clock.
+// Latency is measured from the scheduled arrival, so time spent waiting
+// behind a slow server counts against it. With `deadline_ms` armed the
+// budget starts at the scheduled arrival too: a request that expired
+// before its turn is shed (kDeadlineExceeded, never sent) and the rest
+// carry only the leftover budget in the frame header. Latency samples
+// cover successful requests — the failures are priced by their counters.
+MixOutcome RunOpenLoop(uint16_t port, int update_pct, double offered_per_sec,
+                       uint32_t deadline_ms, bool tolerate_overload,
+                       uint64_t seed) {
+  MixOutcome merged;
+  std::mutex mu;
+  const double per_thread = offered_per_sec / kOpenThreads;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kOpenThreads; ++t) {
+    threads.emplace_back([&, t] {
+      MixRunner runner(port, seed + 31 * static_cast<uint64_t>(t + 1),
+                       update_pct, tolerate_overload);
+      Xoshiro256 arrivals(seed ^ (0xa5a5ull + static_cast<uint64_t>(t)));
+      MixOutcome out;
+      const auto start = std::chrono::steady_clock::now();
+      double next_secs = 0.0;
+      while (true) {
+        next_secs += arrivals.NextExponential(1.0 / per_thread);
+        if (next_secs >= kOpenLoopSecs) break;
+        const auto scheduled =
+            start + std::chrono::duration_cast<
+                        std::chrono::steady_clock::duration>(
+                        std::chrono::duration<double>(next_secs));
+        std::this_thread::sleep_until(scheduled);  // no-op when behind
+        uint32_t budget_ms = deadline_ms;
+        if (deadline_ms > 0) {
+          const double late_ms =
+              std::chrono::duration<double, std::milli>(
+                  std::chrono::steady_clock::now() - scheduled)
+                  .count();
+          if (late_ms >= static_cast<double>(deadline_ms)) {
+            ++out.deadline_exceeded;  // shed: expired while queued
+            continue;
+          }
+          budget_ms = deadline_ms - static_cast<uint32_t>(late_ms);
+        }
+        if (runner.IssueOne(budget_ms, &out)) {
+          out.latency_us.push_back(
+              std::chrono::duration<double, std::micro>(
+                  std::chrono::steady_clock::now() - scheduled)
+                  .count());
+        }
+      }
+      std::lock_guard<std::mutex> lock(mu);
+      merged.ok += out.ok;
+      merged.deadline_exceeded += out.deadline_exceeded;
+      merged.unavailable += out.unavailable;
+      merged.latency_us.insert(merged.latency_us.end(),
+                               out.latency_us.begin(), out.latency_us.end());
+    });
+  }
+  for (auto& t : threads) t.join();
+  return merged;
+}
+
+void ReportRow(BenchJson& report, const std::string& config, uint32_t shards,
+               int update_pct, double saturation, double offered,
+               uint32_t deadline_ms, const MixOutcome& out) {
+  const uint64_t issued =
+      out.ok + out.deadline_exceeded + out.unavailable;
+  report.Row(config)
+      .Field("shards", uint64_t{shards})
+      .Field("update_pct", static_cast<uint64_t>(update_pct))
+      .Field("zipf_theta", kZipfTheta, 2)
+      .Field("client_threads", static_cast<uint64_t>(kOpenThreads))
+      .Field("saturation_ops_per_sec", saturation, 1)
+      .Field("offered_ops_per_sec", offered, 1)
+      .Field("achieved_ops_per_sec",
+             static_cast<double>(issued) / kOpenLoopSecs, 1)
+      .Field("deadline_ms", static_cast<uint64_t>(deadline_ms))
+      .Field("ok", out.ok)
+      .Field("deadline_exceeded", out.deadline_exceeded)
+      .Field("unavailable", out.unavailable)
+      .Field("p50_us", Percentile(out.latency_us, 50), 1)
+      .Field("p99_us", Percentile(out.latency_us, 99), 1)
+      .Field("p999_us", Percentile(out.latency_us, 99.9), 1);
+  std::printf(
+      "%-32s sat %7.0f/s, offered %7.0f/s, p50 %7.1f us, p99 %8.1f us, "
+      "p999 %8.1f us, ok %llu dl %llu unavail %llu\n",
+      config.c_str(), saturation, offered, Percentile(out.latency_us, 50),
+      Percentile(out.latency_us, 99), Percentile(out.latency_us, 99.9),
+      static_cast<unsigned long long>(out.ok),
+      static_cast<unsigned long long>(out.deadline_exceeded),
+      static_cast<unsigned long long>(out.unavailable));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string json_path = JsonPathFromArgs(argc, argv);
+  BenchJson report("bench_net");
+  std::vector<std::string> dirs;
+
+  struct Config {
+    const char* name;
+    uint32_t shards;
+  };
+  for (const Config config : {Config{"monolithic", 1}, Config{"sharded_4", 4}}) {
+    const std::string dir = FreshDir(config.name);
+    dirs.push_back(dir);
+    if (config.shards == 1) {
+      WaveletCube::Options options;
+      auto fresh = DieOnError(
+          WaveletCube::CreateOnDisk(dir, {kLogDim, kLogDim}, options),
+          "create monolithic store");
+      DieOnError(fresh->Close(), "close fresh store");
+    } else {
+      WaveletCube::Options cube_options;
+      ShardedCube::Options options;
+      options.serving.oversubscribe = true;
+      auto fresh = DieOnError(
+          ShardedCube::CreateOnDisk(dir, {kLogDim, kLogDim}, config.shards,
+                                    cube_options, options),
+          "create sharded store");
+      DieOnError(fresh->Close(), "close fresh sharded store");
+    }
+
+    net::CubeRegistry::Options registry_options;
+    registry_options.serving.oversubscribe = true;
+    auto registry =
+        std::make_shared<net::CubeRegistry>(registry_options);
+    registry->Configure("bench", dir);
+    DieOnError(registry->Open("bench").status(), "open bench cube");
+    net::CubeServer::Options server_options;
+    server_options.num_threads = 2;
+    net::CubeServer server(registry, server_options);
+    DieOnError(server.Start(), "start server");
+
+    // Seed the hot set so point queries read real coefficients.
+    {
+      net::CubeClient seeder("127.0.0.1", server.port());
+      Xoshiro256 rng(7);
+      BoundedZipfSampler zipf(kCells, kZipfTheta);
+      for (int i = 0; i < kSeedWrites; ++i) {
+        DieOnError(
+            seeder.Add("bench", CellForRank(zipf.Sample(rng)), 0.5),
+            "seed write");
+      }
+    }
+
+    struct Mix {
+      const char* name;
+      int update_pct;
+    };
+    for (const Mix mix : {Mix{"point", 0}, Mix{"mixed_90_10", 10}}) {
+      const double saturation =
+          MeasureSaturation(server.port(), mix.update_pct, /*seed=*/1000);
+      const double offered = saturation * kOpenLoopFraction;
+      const MixOutcome out = RunOpenLoop(
+          server.port(), mix.update_pct, offered, /*deadline_ms=*/0,
+          /*tolerate_overload=*/false, /*seed=*/2000);
+      ReportRow(report, std::string(config.name) + "_" + mix.name,
+                config.shards, mix.update_pct, saturation, offered,
+                /*deadline_ms=*/0, out);
+
+      // The armed-deadline row: overload the point mix on each config with
+      // a live per-request deadline; tail and rejections stay bounded.
+      if (mix.update_pct == 0) {
+        const double overload = saturation * kOverloadFraction;
+        const MixOutcome armed = RunOpenLoop(
+            server.port(), mix.update_pct, overload, kArmedDeadlineMs,
+            /*tolerate_overload=*/true, /*seed=*/3000);
+        ReportRow(report,
+                  std::string(config.name) + "_point_armed_deadline",
+                  config.shards, mix.update_pct, saturation, overload,
+                  kArmedDeadlineMs, armed);
+      }
+    }
+
+    server.Stop();
+    DieOnError(registry->CloseAll(), "close bench cube");
+  }
+
+  for (const std::string& dir : dirs) std::filesystem::remove_all(dir);
+  report.Write(json_path);
+  return 0;
+}

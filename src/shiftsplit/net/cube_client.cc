@@ -1,0 +1,305 @@
+#include "shiftsplit/net/cube_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace shiftsplit {
+namespace net {
+
+CubeClient::CubeClient(std::string host, uint16_t port,
+                       const Options& options)
+    : host_(std::move(host)), port_(port), options_(options) {}
+
+CubeClient::CubeClient(std::string host, uint16_t port)
+    : CubeClient(std::move(host), port, Options()) {}
+
+CubeClient::~CubeClient() { Disconnect(); }
+
+void CubeClient::Disconnect() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+Status CubeClient::Connect() {
+  if (fd_ >= 0) return Status::OK();
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port_);
+  if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad server host: " + host_);
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    Status st = Status::Unavailable(std::string("connect ") + host_ + ":" +
+                                    std::to_string(port_) + ": " +
+                                    std::strerror(errno));
+    ::close(fd);
+    return st;
+  }
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status CubeClient::SendAll(std::span<const uint8_t> bytes, bool* sent_bytes) {
+  size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      *sent_bytes = true;
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return Status::Unavailable(std::string("send: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status CubeClient::RecvAll(uint8_t* buf, size_t size) {
+  size_t off = 0;
+  while (off < size) {
+    const ssize_t n = ::recv(fd_, buf + off, size - off, 0);
+    if (n > 0) {
+      off += static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      return Status::Unavailable("server closed the connection");
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return Status::DeadlineExceeded("timed out waiting for the response");
+    }
+    if (errno == ECONNRESET) {
+      // The close beat our request's arrival, so the kernel answered with a
+      // reset instead of a clean FIN — same signal as an orderly close.
+      return Status::Unavailable("server reset the connection");
+    }
+    return Status::IOError(std::string("recv: ") + std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<std::vector<uint8_t>> CubeClient::RoundtripOnce(
+    Opcode opcode, std::span<const uint8_t> payload, uint32_t deadline_ms,
+    bool* sent_bytes, bool* app_error) {
+  SS_RETURN_IF_ERROR(Connect());
+
+  // Bound the receive wait: the request's own budget plus return slack, or
+  // the default ceiling for unbounded requests.
+  std::chrono::milliseconds wait =
+      deadline_ms > 0
+          ? std::chrono::milliseconds(deadline_ms) + options_.receive_slack
+          : options_.default_recv_timeout;
+  timeval tv{};
+  tv.tv_sec = wait.count() / 1000;
+  tv.tv_usec = static_cast<suseconds_t>((wait.count() % 1000) * 1000);
+  ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+
+  FrameHeader header;
+  header.opcode = opcode;
+  header.request_id = next_request_id_++;
+  header.deadline_ms = deadline_ms;
+  const auto frame = EncodeFrame(header, payload);
+  SS_RETURN_IF_ERROR(SendAll(frame, sent_bytes));
+
+  // Read the response: header, then payload + trailer, then verify.
+  std::vector<uint8_t> reply(kHeaderSize);
+  SS_RETURN_IF_ERROR(RecvAll(reply.data(), kHeaderSize));
+  SS_ASSIGN_OR_RETURN(const FrameHeader reply_header,
+                      DecodeHeader(reply, options_.max_payload));
+  reply.resize(kHeaderSize + reply_header.payload_len + kTrailerSize);
+  SS_RETURN_IF_ERROR(RecvAll(reply.data() + kHeaderSize,
+                             reply_header.payload_len + kTrailerSize));
+  SS_RETURN_IF_ERROR(VerifyFrame(reply));
+  if (reply_header.request_id != header.request_id) {
+    return Status::Internal("response request-id mismatch");
+  }
+  std::vector<uint8_t> body(
+      reply.begin() + kHeaderSize,
+      reply.begin() + kHeaderSize + reply_header.payload_len);
+  if (reply_header.opcode == Opcode::kError) {
+    SS_ASSIGN_OR_RETURN(const ErrorReply remote, DecodeErrorReply(body));
+    *app_error = true;
+    return remote.status;
+  }
+  if (reply_header.opcode != Opcode::kReply) {
+    return Status::Internal("response frame is not a reply");
+  }
+  return body;
+}
+
+Result<std::vector<uint8_t>> CubeClient::Roundtrip(
+    Opcode opcode, std::span<const uint8_t> payload, uint32_t deadline_ms,
+    bool idempotent) {
+  const auto overall_start = std::chrono::steady_clock::now();
+  for (uint32_t attempt = 0;; ++attempt) {
+    bool sent_bytes = false;
+    bool app_error = false;
+    auto result =
+        RoundtripOnce(opcode, payload, deadline_ms, &sent_bytes, &app_error);
+    if (result.ok()) return result;
+
+    // A transport failure leaves the stream unusable; drop it so the next
+    // attempt (or next call) reconnects. Application errors decoded from an
+    // error frame keep the connection — the stream is still in sync.
+    if (!app_error) Disconnect();
+
+    // Retry gates: budget, retryability of the error, idempotence, and the
+    // caller's deadline. An error frame means the server definitively did
+    // NOT apply the operation, so even a write may retry on it; a transport
+    // failure after bytes went out is ambiguous — the server may have
+    // applied the write before the stream died — so a non-idempotent
+    // request surfaces it instead of risking a double-apply.
+    if (attempt >= options_.retry.max_retries) return result;
+    if (!IsTransientError(result.status())) return result;
+    if (!idempotent && sent_bytes && !app_error) return result;
+    if (deadline_ms > 0) {
+      const auto elapsed = std::chrono::steady_clock::now() - overall_start;
+      if (elapsed >= std::chrono::milliseconds(deadline_ms)) return result;
+    }
+    const uint64_t delay_us =
+        BackoffDelayUs(options_.retry, attempt, &jitter_state_);
+    if (delay_us > 0) {
+      std::this_thread::sleep_for(std::chrono::microseconds(delay_us));
+    }
+  }
+}
+
+Status CubeClient::Ping(uint32_t deadline_ms) {
+  return Roundtrip(Opcode::kPing, {}, deadline_ms, /*idempotent=*/true)
+      .status();
+}
+
+Status CubeClient::OpenCube(const std::string& cube, uint32_t deadline_ms) {
+  const auto payload = EncodeCubeNameRequest({cube});
+  return Roundtrip(Opcode::kOpenCube, payload, deadline_ms,
+                   /*idempotent=*/true)
+      .status();
+}
+
+Status CubeClient::CloseCube(const std::string& cube, uint32_t deadline_ms) {
+  const auto payload = EncodeCubeNameRequest({cube});
+  return Roundtrip(Opcode::kCloseCube, payload, deadline_ms,
+                   /*idempotent=*/true)
+      .status();
+}
+
+Result<QueryReply> CubeClient::QueryRoundtrip(
+    Opcode opcode, std::span<const uint8_t> payload, uint32_t deadline_ms) {
+  SS_ASSIGN_OR_RETURN(
+      const auto body,
+      Roundtrip(opcode, payload, deadline_ms, /*idempotent=*/true));
+  return DecodeQueryReply(body);
+}
+
+Result<double> CubeClient::Point(const std::string& cube,
+                                 std::span<const uint64_t> point,
+                                 uint32_t deadline_ms) {
+  PointRequest req;
+  req.cube = cube;
+  req.point.assign(point.begin(), point.end());
+  SS_ASSIGN_OR_RETURN(const QueryReply reply,
+                      QueryRoundtrip(Opcode::kPoint, EncodePointRequest(req),
+                                     deadline_ms));
+  return reply.value;
+}
+
+Result<DegradedResult> CubeClient::PointDegraded(
+    const std::string& cube, std::span<const uint64_t> point,
+    double max_error, uint32_t deadline_ms) {
+  PointRequest req;
+  req.cube = cube;
+  req.point.assign(point.begin(), point.end());
+  req.max_error = max_error;
+  SS_ASSIGN_OR_RETURN(const QueryReply reply,
+                      QueryRoundtrip(Opcode::kPoint, EncodePointRequest(req),
+                                     deadline_ms));
+  return reply.ToDegradedResult();
+}
+
+Result<double> CubeClient::Sum(const std::string& cube,
+                               std::span<const uint64_t> lo,
+                               std::span<const uint64_t> hi,
+                               uint32_t deadline_ms) {
+  SumRequest req;
+  req.cube = cube;
+  req.lo.assign(lo.begin(), lo.end());
+  req.hi.assign(hi.begin(), hi.end());
+  SS_ASSIGN_OR_RETURN(
+      const QueryReply reply,
+      QueryRoundtrip(Opcode::kSum, EncodeSumRequest(req), deadline_ms));
+  return reply.value;
+}
+
+Result<DegradedResult> CubeClient::SumDegraded(const std::string& cube,
+                                               std::span<const uint64_t> lo,
+                                               std::span<const uint64_t> hi,
+                                               double max_error,
+                                               uint32_t deadline_ms) {
+  SumRequest req;
+  req.cube = cube;
+  req.lo.assign(lo.begin(), lo.end());
+  req.hi.assign(hi.begin(), hi.end());
+  req.max_error = max_error;
+  SS_ASSIGN_OR_RETURN(
+      const QueryReply reply,
+      QueryRoundtrip(Opcode::kSum, EncodeSumRequest(req), deadline_ms));
+  return reply.ToDegradedResult();
+}
+
+Status CubeClient::Add(const std::string& cube,
+                       std::span<const uint64_t> coords, double delta,
+                       uint32_t deadline_ms) {
+  AddRequest req;
+  req.cube = cube;
+  req.coords.assign(coords.begin(), coords.end());
+  req.delta = delta;
+  return Roundtrip(Opcode::kAdd, EncodeAddRequest(req), deadline_ms,
+                   /*idempotent=*/false)
+      .status();
+}
+
+Status CubeClient::Update(const std::string& cube,
+                          std::span<const uint64_t> origin,
+                          std::span<const uint64_t> dims,
+                          std::span<const double> values,
+                          uint32_t deadline_ms) {
+  UpdateRequest req;
+  req.cube = cube;
+  req.origin.assign(origin.begin(), origin.end());
+  req.dims.assign(dims.begin(), dims.end());
+  req.values.assign(values.begin(), values.end());
+  return Roundtrip(Opcode::kUpdate, EncodeUpdateRequest(req), deadline_ms,
+                   /*idempotent=*/false)
+      .status();
+}
+
+Result<StatsReply> CubeClient::Stats(const std::string& cube,
+                                     uint32_t deadline_ms) {
+  const auto payload = EncodeCubeNameRequest({cube});
+  SS_ASSIGN_OR_RETURN(
+      const auto body,
+      Roundtrip(Opcode::kStats, payload, deadline_ms, /*idempotent=*/true));
+  return DecodeStatsReply(body);
+}
+
+}  // namespace net
+}  // namespace shiftsplit

@@ -1,0 +1,123 @@
+// Blocking client for the shiftsplit wire protocol (DESIGN.md §13).
+//
+// One CubeClient wraps one TCP connection (lazily connected, transparently
+// reconnected) and is NOT thread-safe — give each client thread its own
+// instance, like the load generator does.
+//
+// Retries follow util/operation_context.h's RetryPolicy with its jittered
+// capped backoff, but only where a retry cannot double-apply: connects,
+// and requests that are idempotent (ping/point/sum/stats/open/close). A
+// write (add/update) is retried only when the failure happened before any
+// request byte reached the socket — once bytes are out, an ambiguous
+// failure surfaces to the caller (kUnavailable/kIOError) instead of
+// guessing, because replaying an accumulate delta that was in fact applied
+// would corrupt the cube.
+//
+// Deadlines: `deadline_ms` rides in the frame header (the server anchors it
+// at frame arrival) and also bounds the client-side receive wait, with
+// slack for the response to travel back.
+
+#ifndef SHIFTSPLIT_NET_CUBE_CLIENT_H_
+#define SHIFTSPLIT_NET_CUBE_CLIENT_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "shiftsplit/core/query.h"
+#include "shiftsplit/net/wire.h"
+#include "shiftsplit/util/operation_context.h"
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+namespace net {
+
+class CubeClient {
+ public:
+  struct Options {
+    RetryPolicy retry;  ///< connect + idempotent-request retries
+    uint32_t max_payload = kDefaultMaxPayload;
+    /// Receive-wait ceiling for requests without a deadline; with one, the
+    /// wait is deadline_ms + receive_slack.
+    std::chrono::milliseconds default_recv_timeout{10'000};
+    std::chrono::milliseconds receive_slack{500};
+  };
+
+  CubeClient(std::string host, uint16_t port, const Options& options);
+  CubeClient(std::string host, uint16_t port);
+  ~CubeClient();
+  CubeClient(const CubeClient&) = delete;
+  CubeClient& operator=(const CubeClient&) = delete;
+
+  Status Ping(uint32_t deadline_ms = 0);
+  Status OpenCube(const std::string& cube, uint32_t deadline_ms = 0);
+  Status CloseCube(const std::string& cube, uint32_t deadline_ms = 0);
+
+  /// Exact point query; kUnavailable and friends surface verbatim.
+  Result<double> Point(const std::string& cube,
+                       std::span<const uint64_t> point,
+                       uint32_t deadline_ms = 0);
+  /// Degradable point query: max_error > 0 accepts a bounded-error answer
+  /// (the DegradedResult's bound travels back bit-identically).
+  Result<DegradedResult> PointDegraded(const std::string& cube,
+                                       std::span<const uint64_t> point,
+                                       double max_error,
+                                       uint32_t deadline_ms = 0);
+  Result<double> Sum(const std::string& cube, std::span<const uint64_t> lo,
+                     std::span<const uint64_t> hi, uint32_t deadline_ms = 0);
+  Result<DegradedResult> SumDegraded(const std::string& cube,
+                                     std::span<const uint64_t> lo,
+                                     std::span<const uint64_t> hi,
+                                     double max_error,
+                                     uint32_t deadline_ms = 0);
+
+  /// One-cell accumulate; acked only after the server's durability contract
+  /// (group-commit fsync) held. Never retried past first byte sent.
+  Status Add(const std::string& cube, std::span<const uint64_t> coords,
+             double delta, uint32_t deadline_ms = 0);
+  /// Dense row-major box of deltas anchored at `origin`.
+  Status Update(const std::string& cube, std::span<const uint64_t> origin,
+                std::span<const uint64_t> dims,
+                std::span<const double> values, uint32_t deadline_ms = 0);
+
+  /// Server counters (empty cube name) or one cube's ServingStats counters.
+  Result<StatsReply> Stats(const std::string& cube = "",
+                           uint32_t deadline_ms = 0);
+
+  /// \brief Drops the connection; the next request reconnects.
+  void Disconnect();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  /// Sends one request frame and reads the matching response. Idempotent
+  /// requests retry per the policy; non-idempotent ones only until the
+  /// first byte is sent.
+  Result<std::vector<uint8_t>> Roundtrip(Opcode opcode,
+                                         std::span<const uint8_t> payload,
+                                         uint32_t deadline_ms,
+                                         bool idempotent);
+  Result<std::vector<uint8_t>> RoundtripOnce(Opcode opcode,
+                                             std::span<const uint8_t> payload,
+                                             uint32_t deadline_ms,
+                                             bool* sent_bytes,
+                                             bool* app_error);
+  Status Connect();
+  Status SendAll(std::span<const uint8_t> bytes, bool* sent_bytes);
+  Status RecvAll(uint8_t* buf, size_t size);
+  Result<QueryReply> QueryRoundtrip(Opcode opcode,
+                                    std::span<const uint8_t> payload,
+                                    uint32_t deadline_ms);
+
+  std::string host_;
+  uint16_t port_ = 0;
+  Options options_;
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  uint64_t jitter_state_ = 0x636c69656e74ull;
+};
+
+}  // namespace net
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_NET_CUBE_CLIENT_H_

@@ -1,0 +1,169 @@
+// Thread-per-core epoll TCP front-end for the serving layer (DESIGN.md §13).
+//
+// Loop 0 owns the listening socket; accepted connections are handed to the
+// event loops round-robin (each loop has its own epoll instance and an
+// eventfd wakeup), so a connection lives on exactly one thread and needs no
+// per-connection locking. Request handlers run inline on the loop thread
+// against the shared CubeRegistry — the serving layer underneath is the
+// concurrent part (ServingCube/ShardedCube are thread-safe), the socket
+// layer just frames bytes.
+//
+// Admission control mirrors the BufferPool ticket pattern in fast-reject
+// form (an event loop must never block): a connection beyond
+// `max_connections` is accepted and immediately closed (counted); a request
+// beyond `max_inflight_requests` gets an immediate kUnavailable error frame
+// and the connection stays healthy — the client's RetryPolicy backs off and
+// retries, exactly like a writer bounced by buffer backpressure.
+//
+// Deadlines: a nonzero deadline_ms in the frame header becomes a per-request
+// OperationContext whose deadline is anchored at frame arrival (parse
+// completion), so queueing delay counts against the budget. A request whose
+// deadline passed before its handler ran is answered kDeadlineExceeded
+// without touching the cube (deadline_expired_before_dispatch).
+//
+// Malformed frames — bad magic, unsupported version, nonzero flags,
+// oversized payload_len, CRC mismatch — poison only the connection: it is
+// closed (protocol_errors) without a reply, since framing can no longer be
+// trusted. An unknown opcode inside a well-framed request is answered
+// kInvalidArgument and the connection lives on. A mid-frame disconnect is a
+// clean close. None of these touch any cube.
+//
+// Shutdown (Stop) is a graceful drain: the listener closes first, in-flight
+// handlers finish, pending response bytes flush (bounded by drain_timeout),
+// then connections close and the loops join. Stop does not close registry
+// cubes — the owner decides (the CLI calls registry->CloseAll() after Stop).
+
+#ifndef SHIFTSPLIT_NET_CUBE_SERVER_H_
+#define SHIFTSPLIT_NET_CUBE_SERVER_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "shiftsplit/net/cube_registry.h"
+#include "shiftsplit/net/server_stats.h"
+#include "shiftsplit/net/wire.h"
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+namespace net {
+
+class CubeServer {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    uint16_t port = 0;       ///< 0 binds an ephemeral port (see port())
+    uint32_t num_threads = 0;  ///< 0 = hardware concurrency (min 1)
+    uint32_t max_connections = 1024;
+    uint32_t max_inflight_requests = 256;
+    uint32_t max_payload = kDefaultMaxPayload;
+    std::chrono::milliseconds drain_timeout{2000};
+    /// Test hook: sleep this long between frame arrival and handler
+    /// dispatch — deterministic queueing for the deadline/admission tests.
+    std::chrono::milliseconds dispatch_delay_for_test{0};
+  };
+
+  /// \brief The registry is shared, not owned: tests (and the bench) keep a
+  /// handle to query the same cubes in-process and compare bit-for-bit.
+  CubeServer(std::shared_ptr<CubeRegistry> registry, const Options& options);
+  ~CubeServer();
+  CubeServer(const CubeServer&) = delete;
+  CubeServer& operator=(const CubeServer&) = delete;
+
+  /// \brief Binds, listens and spawns the event loops. Fails without
+  /// side effects (no threads) when the bind/listen fails.
+  Status Start();
+
+  /// \brief Graceful drain; idempotent. Safe to call from any thread
+  /// except an event loop.
+  void Stop();
+
+  /// \brief The bound TCP port (after Start; the ephemeral port when
+  /// options.port was 0).
+  uint16_t port() const { return port_; }
+
+  ServerStats stats() const;
+  CubeRegistry* registry() { return registry_.get(); }
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::vector<uint8_t> in;    ///< bytes read, not yet framed
+    std::vector<uint8_t> out;   ///< encoded frames not yet written
+    size_t out_pos = 0;
+    bool writable_armed = false;
+  };
+
+  struct Loop {
+    int epoll_fd = -1;
+    int wake_fd = -1;           ///< eventfd: new connections / stop
+    std::mutex mu;
+    std::deque<int> incoming;   ///< fds handed off by the acceptor
+    std::vector<std::unique_ptr<Connection>> conns;
+    std::thread thread;
+  };
+
+  void LoopMain(size_t index);
+  void AcceptReady();
+  void AdoptIncoming(Loop* loop);
+  /// Drains readable bytes and dispatches every complete frame. False:
+  /// close the connection.
+  bool OnReadable(Loop* loop, Connection* conn);
+  bool OnWritable(Loop* loop, Connection* conn);
+  /// One complete, CRC-valid frame. False: close the connection.
+  bool DispatchFrame(Loop* loop, Connection* conn, const FrameHeader& header,
+                     std::span<const uint8_t> payload,
+                     std::chrono::steady_clock::time_point arrival);
+  /// Runs the opcode handler; returns the reply body (or an error Status).
+  Result<std::vector<uint8_t>> HandleRequest(const FrameHeader& header,
+                                             std::span<const uint8_t> payload,
+                                             OperationContext* ctx);
+  Result<std::vector<uint8_t>> HandleStats(std::span<const uint8_t> payload);
+  /// Frames and queues a reply, flushing what the socket accepts and
+  /// arming EPOLLOUT for the rest. False: hard write error, close.
+  bool SendReply(Loop* loop, Connection* conn, Opcode opcode,
+                 uint64_t request_id, std::span<const uint8_t> body);
+  void CloseConnection(Loop* loop, Connection* conn);
+  bool FlushWrites(Connection* conn);
+  void ArmWritable(Loop* loop, Connection* conn, bool want_out);
+  void RecordLatency(Opcode opcode, uint64_t micros);
+
+  std::shared_ptr<CubeRegistry> registry_;
+  Options options_;
+  int listen_fd_ = -1;
+  uint16_t port_ = 0;
+  std::vector<std::unique_ptr<Loop>> loops_;
+  std::atomic<size_t> next_loop_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::mutex lifecycle_mu_;  ///< serializes Start/Stop
+
+  // Counters (relaxed atomics; stats() snapshots).
+  std::atomic<uint64_t> connections_accepted_{0};
+  std::atomic<uint64_t> connections_active_{0};
+  std::atomic<uint64_t> connections_rejected_{0};
+  std::atomic<uint64_t> requests_{0};
+  std::atomic<uint64_t> responses_{0};
+  std::atomic<uint64_t> error_responses_{0};
+  std::atomic<uint64_t> inflight_{0};
+  std::atomic<uint64_t> rejected_at_admission_{0};
+  std::atomic<uint64_t> deadline_expired_before_dispatch_{0};
+  std::atomic<uint64_t> frames_in_{0};
+  std::atomic<uint64_t> frames_out_{0};
+  std::atomic<uint64_t> bytes_in_{0};
+  std::atomic<uint64_t> bytes_out_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::array<std::array<std::atomic<uint64_t>, kLatencyBuckets>, kTrackedOps>
+      latency_{};
+};
+
+}  // namespace net
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_NET_CUBE_SERVER_H_

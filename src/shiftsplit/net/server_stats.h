@@ -1,0 +1,80 @@
+// Observability for the network front-end: connection and frame counters,
+// admission-control outcomes and a per-opcode request-latency histogram,
+// snapshotted by CubeServer::stats() and exported over the wire by the
+// `stats` opcode (wire.h, StatsReply) so a client — or the `stats` CLI —
+// sees the same numbers the process sees.
+
+#ifndef SHIFTSPLIT_NET_SERVER_STATS_H_
+#define SHIFTSPLIT_NET_SERVER_STATS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace shiftsplit {
+namespace net {
+
+/// \brief Logarithmic latency histogram: bucket i counts requests that took
+/// at most kLatencyBucketUs[i] microseconds; the last bucket is unbounded.
+inline constexpr uint64_t kLatencyBucketUs[] = {
+    50, 100, 250, 500, 1'000, 2'500, 5'000, 10'000, 25'000, 50'000, 100'000,
+};
+inline constexpr size_t kLatencyBuckets =
+    std::size(kLatencyBucketUs) + 1;  // + overflow
+
+/// \brief Request opcodes tracked by the per-opcode histograms, in the
+/// order their rows appear in the stats export.
+enum class TrackedOp : uint8_t {
+  kPing = 0,
+  kOpenCube,
+  kCloseCube,
+  kPoint,
+  kSum,
+  kAdd,
+  kUpdate,
+  kStats,
+};
+inline constexpr size_t kTrackedOps = 8;
+
+/// \brief Short lowercase name used in exported counter keys
+/// (e.g. "rt_point_le_100us").
+const char* TrackedOpName(TrackedOp op);
+
+/// \brief Snapshot of the server's counters (plain struct, like
+/// ServingStats).
+struct ServerStats {
+  // Connections.
+  uint64_t connections_accepted = 0;
+  uint64_t connections_active = 0;
+  uint64_t connections_rejected = 0;  ///< closed at the connection cap
+
+  // Requests.
+  uint64_t requests = 0;            ///< well-formed request frames dispatched
+  uint64_t responses = 0;           ///< success replies sent
+  uint64_t error_responses = 0;     ///< error replies sent
+  uint64_t rejected_at_admission = 0;  ///< fast kUnavailable at the cap
+  uint64_t deadline_expired_before_dispatch = 0;
+
+  // Frames / bytes, both directions.
+  uint64_t frames_in = 0;
+  uint64_t frames_out = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+  uint64_t protocol_errors = 0;  ///< malformed frames (connection closed)
+
+  /// Per-opcode request-latency histogram, parse-to-response-queued.
+  std::array<std::array<uint64_t, kLatencyBuckets>, kTrackedOps> latency{};
+
+  /// \brief Flattens every counter into ordered key → value pairs — the
+  /// body of the `stats` wire reply. Histogram keys look like
+  /// "rt_point_le_1000us" / "rt_point_le_inf"; zero buckets are skipped so
+  /// cold opcodes do not bloat the frame.
+  std::vector<std::pair<std::string, uint64_t>> Flatten() const;
+};
+
+}  // namespace net
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_NET_SERVER_STATS_H_

@@ -1,0 +1,474 @@
+#include "shiftsplit/net/wire.h"
+
+#include <bit>
+
+#include "shiftsplit/util/crc32c.h"
+
+namespace shiftsplit {
+namespace net {
+
+namespace {
+
+void PutLE16(std::vector<uint8_t>* out, uint16_t v) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutLE32(std::vector<uint8_t>* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void PutLE64(std::vector<uint8_t>* out, uint64_t v) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+uint16_t ReadLE16(const uint8_t* p) {
+  return static_cast<uint16_t>(p[0] | (uint16_t{p[1]} << 8));
+}
+
+uint32_t ReadLE32(const uint8_t* p) {
+  return p[0] | (uint32_t{p[1]} << 8) | (uint32_t{p[2]} << 16) |
+         (uint32_t{p[3]} << 24);
+}
+
+uint64_t ReadLE64(const uint8_t* p) {
+  return ReadLE32(p) | (uint64_t{ReadLE32(p + 4)} << 32);
+}
+
+}  // namespace
+
+bool IsKnownOpcode(uint8_t raw) {
+  switch (static_cast<Opcode>(raw)) {
+    case Opcode::kPing:
+    case Opcode::kOpenCube:
+    case Opcode::kCloseCube:
+    case Opcode::kPoint:
+    case Opcode::kSum:
+    case Opcode::kAdd:
+    case Opcode::kUpdate:
+    case Opcode::kStats:
+    case Opcode::kReply:
+    case Opcode::kError:
+      return true;
+  }
+  return false;
+}
+
+std::vector<uint8_t> EncodeFrame(const FrameHeader& header,
+                                 std::span<const uint8_t> payload) {
+  std::vector<uint8_t> frame;
+  frame.reserve(kHeaderSize + payload.size() + kTrailerSize);
+  PutLE32(&frame, kWireMagic);
+  PutLE16(&frame, kWireVersion);
+  frame.push_back(static_cast<uint8_t>(header.opcode));
+  frame.push_back(0);  // flags
+  PutLE64(&frame, header.request_id);
+  PutLE32(&frame, header.deadline_ms);
+  PutLE32(&frame, static_cast<uint32_t>(payload.size()));
+  frame.insert(frame.end(), payload.begin(), payload.end());
+  const uint32_t crc = Crc32c(frame.data(), frame.size());
+  PutLE32(&frame, crc);
+  return frame;
+}
+
+Result<FrameHeader> DecodeHeader(std::span<const uint8_t> bytes,
+                                 uint32_t max_payload) {
+  if (bytes.size() < kHeaderSize) {
+    return Status::InvalidArgument("wire: truncated frame header");
+  }
+  const uint8_t* p = bytes.data();
+  if (ReadLE32(p) != kWireMagic) {
+    return Status::InvalidArgument("wire: bad magic");
+  }
+  if (ReadLE16(p + 4) != kWireVersion) {
+    return Status::InvalidArgument("wire: unsupported protocol version");
+  }
+  if (p[7] != 0) {
+    return Status::InvalidArgument("wire: nonzero reserved flags");
+  }
+  FrameHeader header;
+  header.opcode = static_cast<Opcode>(p[6]);
+  header.request_id = ReadLE64(p + 8);
+  header.deadline_ms = ReadLE32(p + 16);
+  header.payload_len = ReadLE32(p + 20);
+  if (header.payload_len > max_payload) {
+    return Status::InvalidArgument("wire: payload length exceeds limit");
+  }
+  return header;
+}
+
+Status VerifyFrame(std::span<const uint8_t> frame) {
+  if (frame.size() < kHeaderSize + kTrailerSize) {
+    return Status::InvalidArgument("wire: frame shorter than header+trailer");
+  }
+  const size_t body = frame.size() - kTrailerSize;
+  const uint32_t stored = ReadLE32(frame.data() + body);
+  const uint32_t computed = Crc32c(frame.data(), body);
+  if (stored != computed) {
+    return Status::ChecksumMismatch("wire: frame CRC mismatch");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// PayloadWriter / PayloadReader.
+
+void PayloadWriter::PutU16(uint16_t v) { PutLE16(&bytes_, v); }
+void PayloadWriter::PutU32(uint32_t v) { PutLE32(&bytes_, v); }
+void PayloadWriter::PutU64(uint64_t v) { PutLE64(&bytes_, v); }
+
+void PayloadWriter::PutF64(double v) {
+  PutLE64(&bytes_, std::bit_cast<uint64_t>(v));
+}
+
+void PayloadWriter::PutString(std::string_view s) {
+  PutU16(static_cast<uint16_t>(s.size() <= 0xffff ? s.size() : 0xffff));
+  const size_t n = s.size() <= 0xffff ? s.size() : 0xffff;
+  bytes_.insert(bytes_.end(), s.begin(), s.begin() + n);
+}
+
+void PayloadWriter::PutCoords(std::span<const uint64_t> coords) {
+  PutU8(static_cast<uint8_t>(coords.size()));
+  for (uint64_t c : coords) PutU64(c);
+}
+
+Status PayloadReader::Need(size_t n) const {
+  if (bytes_.size() - pos_ < n) {
+    return Status::InvalidArgument("wire: payload truncated");
+  }
+  return Status::OK();
+}
+
+Result<uint8_t> PayloadReader::GetU8() {
+  SS_RETURN_IF_ERROR(Need(1));
+  return bytes_[pos_++];
+}
+
+Result<uint16_t> PayloadReader::GetU16() {
+  SS_RETURN_IF_ERROR(Need(2));
+  const uint16_t v = ReadLE16(bytes_.data() + pos_);
+  pos_ += 2;
+  return v;
+}
+
+Result<uint32_t> PayloadReader::GetU32() {
+  SS_RETURN_IF_ERROR(Need(4));
+  const uint32_t v = ReadLE32(bytes_.data() + pos_);
+  pos_ += 4;
+  return v;
+}
+
+Result<uint64_t> PayloadReader::GetU64() {
+  SS_RETURN_IF_ERROR(Need(8));
+  const uint64_t v = ReadLE64(bytes_.data() + pos_);
+  pos_ += 8;
+  return v;
+}
+
+Result<double> PayloadReader::GetF64() {
+  SS_ASSIGN_OR_RETURN(const uint64_t bits, GetU64());
+  return std::bit_cast<double>(bits);
+}
+
+Result<std::string> PayloadReader::GetString() {
+  SS_ASSIGN_OR_RETURN(const uint16_t len, GetU16());
+  SS_RETURN_IF_ERROR(Need(len));
+  std::string s(reinterpret_cast<const char*>(bytes_.data() + pos_), len);
+  pos_ += len;
+  return s;
+}
+
+Result<std::vector<uint64_t>> PayloadReader::GetCoords() {
+  SS_ASSIGN_OR_RETURN(const uint8_t ndim, GetU8());
+  std::vector<uint64_t> coords(ndim);
+  for (uint8_t d = 0; d < ndim; ++d) {
+    SS_ASSIGN_OR_RETURN(coords[d], GetU64());
+  }
+  return coords;
+}
+
+Status PayloadReader::ExpectEnd() const {
+  if (remaining() != 0) {
+    return Status::InvalidArgument("wire: trailing bytes after payload body");
+  }
+  return Status::OK();
+}
+
+// ---------------------------------------------------------------------------
+// Request codecs.
+
+std::vector<uint8_t> EncodeCubeNameRequest(const CubeNameRequest& req) {
+  PayloadWriter w;
+  w.PutString(req.cube);
+  return w.Take();
+}
+
+Result<CubeNameRequest> DecodeCubeNameRequest(std::span<const uint8_t> body) {
+  PayloadReader r(body);
+  CubeNameRequest req;
+  SS_ASSIGN_OR_RETURN(req.cube, r.GetString());
+  SS_RETURN_IF_ERROR(r.ExpectEnd());
+  return req;
+}
+
+std::vector<uint8_t> EncodePointRequest(const PointRequest& req) {
+  PayloadWriter w;
+  w.PutString(req.cube);
+  w.PutF64(req.max_error);
+  w.PutCoords(req.point);
+  return w.Take();
+}
+
+Result<PointRequest> DecodePointRequest(std::span<const uint8_t> body) {
+  PayloadReader r(body);
+  PointRequest req;
+  SS_ASSIGN_OR_RETURN(req.cube, r.GetString());
+  SS_ASSIGN_OR_RETURN(req.max_error, r.GetF64());
+  SS_ASSIGN_OR_RETURN(req.point, r.GetCoords());
+  SS_RETURN_IF_ERROR(r.ExpectEnd());
+  return req;
+}
+
+std::vector<uint8_t> EncodeSumRequest(const SumRequest& req) {
+  PayloadWriter w;
+  w.PutString(req.cube);
+  w.PutF64(req.max_error);
+  w.PutCoords(req.lo);
+  w.PutCoords(req.hi);
+  return w.Take();
+}
+
+Result<SumRequest> DecodeSumRequest(std::span<const uint8_t> body) {
+  PayloadReader r(body);
+  SumRequest req;
+  SS_ASSIGN_OR_RETURN(req.cube, r.GetString());
+  SS_ASSIGN_OR_RETURN(req.max_error, r.GetF64());
+  SS_ASSIGN_OR_RETURN(req.lo, r.GetCoords());
+  SS_ASSIGN_OR_RETURN(req.hi, r.GetCoords());
+  if (req.lo.size() != req.hi.size()) {
+    return Status::InvalidArgument("wire: sum bounds dimensionality mismatch");
+  }
+  SS_RETURN_IF_ERROR(r.ExpectEnd());
+  return req;
+}
+
+std::vector<uint8_t> EncodeAddRequest(const AddRequest& req) {
+  PayloadWriter w;
+  w.PutString(req.cube);
+  w.PutF64(req.delta);
+  w.PutCoords(req.coords);
+  return w.Take();
+}
+
+Result<AddRequest> DecodeAddRequest(std::span<const uint8_t> body) {
+  PayloadReader r(body);
+  AddRequest req;
+  SS_ASSIGN_OR_RETURN(req.cube, r.GetString());
+  SS_ASSIGN_OR_RETURN(req.delta, r.GetF64());
+  SS_ASSIGN_OR_RETURN(req.coords, r.GetCoords());
+  SS_RETURN_IF_ERROR(r.ExpectEnd());
+  return req;
+}
+
+std::vector<uint8_t> EncodeUpdateRequest(const UpdateRequest& req) {
+  PayloadWriter w;
+  w.PutString(req.cube);
+  w.PutCoords(req.origin);
+  w.PutCoords(req.dims);
+  w.PutU32(static_cast<uint32_t>(req.values.size()));
+  for (double v : req.values) w.PutF64(v);
+  return w.Take();
+}
+
+Result<UpdateRequest> DecodeUpdateRequest(std::span<const uint8_t> body,
+                                          uint32_t max_payload) {
+  PayloadReader r(body);
+  UpdateRequest req;
+  SS_ASSIGN_OR_RETURN(req.cube, r.GetString());
+  SS_ASSIGN_OR_RETURN(req.origin, r.GetCoords());
+  SS_ASSIGN_OR_RETURN(req.dims, r.GetCoords());
+  if (req.origin.size() != req.dims.size()) {
+    return Status::InvalidArgument(
+        "wire: update origin/dims dimensionality mismatch");
+  }
+  SS_ASSIGN_OR_RETURN(const uint32_t count, r.GetU32());
+  // The value count must both match Π dims and fit the payload it arrived
+  // in — the size is validated against real bytes, never trusted alone.
+  uint64_t cells = 1;
+  for (uint64_t d : req.dims) {
+    if (d == 0 || cells > max_payload / d) {
+      return Status::InvalidArgument("wire: update box too large");
+    }
+    cells *= d;
+  }
+  if (count != cells) {
+    return Status::InvalidArgument("wire: update value count != box volume");
+  }
+  req.values.resize(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SS_ASSIGN_OR_RETURN(req.values[i], r.GetF64());
+  }
+  SS_RETURN_IF_ERROR(r.ExpectEnd());
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Reply codecs.
+
+uint8_t DegradedReasonToWire(DegradedReason reason) {
+  switch (reason) {
+    case DegradedReason::kNone:
+      return 0;
+    case DegradedReason::kQuarantined:
+      return 1;
+    case DegradedReason::kPinExhaustion:
+      return 2;
+    case DegradedReason::kDeadline:
+      return 3;
+    case DegradedReason::kUnavailable:
+      return 4;
+    case DegradedReason::kShardUnavailable:
+      return 5;
+  }
+  return 4;  // corrupt enum value: report as Unavailable
+}
+
+Result<DegradedReason> DegradedReasonFromWire(uint8_t wire) {
+  switch (wire) {
+    case 0:
+      return DegradedReason::kNone;
+    case 1:
+      return DegradedReason::kQuarantined;
+    case 2:
+      return DegradedReason::kPinExhaustion;
+    case 3:
+      return DegradedReason::kDeadline;
+    case 4:
+      return DegradedReason::kUnavailable;
+    case 5:
+      return DegradedReason::kShardUnavailable;
+  }
+  return Status::InvalidArgument("wire: unknown degraded-reason value");
+}
+
+QueryReply QueryReply::Degraded(const DegradedResult& d) {
+  QueryReply r;
+  r.degraded = !d.exact();
+  r.value = d.value;
+  r.error_bound = d.error_bound;
+  r.blocks_missing = d.blocks_missing;
+  r.reason = d.reason;
+  r.shards_missing = d.shards_missing;
+  return r;
+}
+
+DegradedResult QueryReply::ToDegradedResult() const {
+  DegradedResult d;
+  d.value = value;
+  d.error_bound = error_bound;
+  d.blocks_missing = blocks_missing;
+  d.reason = reason;
+  d.shards_missing = shards_missing;
+  return d;
+}
+
+std::vector<uint8_t> EncodeQueryReply(const QueryReply& reply) {
+  PayloadWriter w;
+  if (!reply.degraded) {
+    w.PutU8(0);
+    w.PutF64(reply.value);
+    return w.Take();
+  }
+  w.PutU8(1);
+  w.PutF64(reply.value);
+  w.PutF64(reply.error_bound);
+  w.PutU64(reply.blocks_missing);
+  w.PutU8(DegradedReasonToWire(reply.reason));
+  w.PutU16(static_cast<uint16_t>(reply.shards_missing.size()));
+  for (uint32_t s : reply.shards_missing) w.PutU32(s);
+  return w.Take();
+}
+
+Result<QueryReply> DecodeQueryReply(std::span<const uint8_t> body) {
+  PayloadReader r(body);
+  QueryReply reply;
+  SS_ASSIGN_OR_RETURN(const uint8_t kind, r.GetU8());
+  if (kind == 0) {
+    reply.degraded = false;
+    SS_ASSIGN_OR_RETURN(reply.value, r.GetF64());
+    SS_RETURN_IF_ERROR(r.ExpectEnd());
+    return reply;
+  }
+  if (kind != 1) {
+    return Status::InvalidArgument("wire: unknown query-reply kind");
+  }
+  reply.degraded = true;
+  SS_ASSIGN_OR_RETURN(reply.value, r.GetF64());
+  SS_ASSIGN_OR_RETURN(reply.error_bound, r.GetF64());
+  SS_ASSIGN_OR_RETURN(reply.blocks_missing, r.GetU64());
+  SS_ASSIGN_OR_RETURN(const uint8_t reason_wire, r.GetU8());
+  SS_ASSIGN_OR_RETURN(reply.reason, DegradedReasonFromWire(reason_wire));
+  SS_ASSIGN_OR_RETURN(const uint16_t nshards, r.GetU16());
+  reply.shards_missing.resize(nshards);
+  for (uint16_t i = 0; i < nshards; ++i) {
+    SS_ASSIGN_OR_RETURN(reply.shards_missing[i], r.GetU32());
+  }
+  SS_RETURN_IF_ERROR(r.ExpectEnd());
+  return reply;
+}
+
+std::vector<uint8_t> EncodeStatsReply(const StatsReply& reply) {
+  PayloadWriter w;
+  w.PutU32(static_cast<uint32_t>(reply.counters.size()));
+  for (const auto& [key, value] : reply.counters) {
+    w.PutString(key);
+    w.PutU64(value);
+  }
+  return w.Take();
+}
+
+Result<StatsReply> DecodeStatsReply(std::span<const uint8_t> body) {
+  PayloadReader r(body);
+  StatsReply reply;
+  SS_ASSIGN_OR_RETURN(const uint32_t count, r.GetU32());
+  // Each counter needs at least 2 (empty string) + 8 bytes, bounding the
+  // count against the bytes actually present before reserving anything.
+  if (uint64_t{count} * 10 > body.size()) {
+    return Status::InvalidArgument("wire: stats counter count exceeds body");
+  }
+  reply.counters.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    SS_ASSIGN_OR_RETURN(std::string key, r.GetString());
+    SS_ASSIGN_OR_RETURN(const uint64_t value, r.GetU64());
+    reply.counters.emplace_back(std::move(key), value);
+  }
+  SS_RETURN_IF_ERROR(r.ExpectEnd());
+  return reply;
+}
+
+std::vector<uint8_t> EncodeErrorReply(const Status& status) {
+  PayloadWriter w;
+  w.PutU32(StatusCodeToWire(status.code()));
+  w.PutString(status.message());
+  return w.Take();
+}
+
+Result<ErrorReply> DecodeErrorReply(std::span<const uint8_t> body) {
+  PayloadReader r(body);
+  SS_ASSIGN_OR_RETURN(const uint32_t wire_code, r.GetU32());
+  SS_ASSIGN_OR_RETURN(std::string message, r.GetString());
+  SS_RETURN_IF_ERROR(r.ExpectEnd());
+  ErrorReply reply;
+  const auto code = StatusCodeFromWire(wire_code);
+  if (!code.has_value()) {
+    reply.status = Status::Internal("wire: peer sent unknown status code " +
+                                    std::to_string(wire_code) + ": " +
+                                    message);
+    return reply;
+  }
+  reply.status = Status(*code, std::move(message));
+  return reply;
+}
+
+}  // namespace net
+}  // namespace shiftsplit

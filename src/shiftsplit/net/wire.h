@@ -1,0 +1,245 @@
+// The shiftsplit binary wire protocol (DESIGN.md §13): length-prefixed
+// frames with a fixed little-endian header and a CRC32C trailer computed
+// over header + payload via the dispatched kernel (kernels::Active().crc32c
+// through util/crc32c.h), so a hardware-CRC server and a scalar client
+// agree bit-for-bit.
+//
+//   offset  size  field
+//        0     4  magic        0x53534e31 ("SSN1")
+//        4     2  version      protocol version, currently 1
+//        6     1  opcode       Opcode
+//        7     1  flags        reserved, must be 0
+//        8     8  request_id   echoed verbatim in the response frame
+//       16     4  deadline_ms  request budget; 0 = no deadline
+//       20     4  payload_len  bytes following the header, before the CRC
+//       24     …  payload      opcode-specific body (see codecs below)
+//   24+len     4  crc32c       over bytes [0, 24+len)
+//
+// Doubles travel as their raw IEEE-754 bit patterns (bit_cast through
+// uint64_t), so a value decoded from a reply is bit-identical to the value
+// the handler computed — the end-to-end exactness contract of the serving
+// layer extends across the socket.
+//
+// Error replies carry StatusCodeToWire(code) (util/status.h) — explicit
+// stable values, exhaustively round-trip tested — plus the message text, so
+// a client reconstructs the server-side Status without collapsing codes.
+
+#ifndef SHIFTSPLIT_NET_WIRE_H_
+#define SHIFTSPLIT_NET_WIRE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "shiftsplit/core/query.h"
+#include "shiftsplit/util/status.h"
+
+namespace shiftsplit {
+namespace net {
+
+inline constexpr uint32_t kWireMagic = 0x53534e31;  // "SSN1"
+inline constexpr uint16_t kWireVersion = 1;
+inline constexpr size_t kHeaderSize = 24;
+inline constexpr size_t kTrailerSize = 4;
+/// Default ceiling on payload_len; a larger advertised length is a protocol
+/// error (the connection is closed before any allocation).
+inline constexpr uint32_t kDefaultMaxPayload = 1u << 20;
+
+/// \brief Frame opcodes. Requests < 64; responses >= 64.
+enum class Opcode : uint8_t {
+  kPing = 1,       ///< empty payload; reply is empty
+  kOpenCube = 2,   ///< open (or look up) a named cube in the registry
+  kCloseCube = 3,  ///< close a named cube
+  kPoint = 4,      ///< point query
+  kSum = 5,        ///< range sum
+  kAdd = 6,        ///< one-cell delta
+  kUpdate = 7,     ///< dense box of deltas
+  kStats = 8,      ///< server or per-cube counters
+
+  kReply = 64,     ///< success; payload is the opcode-specific reply body
+  kError = 65,     ///< failure; payload is {status wire code, message}
+};
+
+/// \brief True for opcode values this build knows (either direction).
+bool IsKnownOpcode(uint8_t raw);
+
+/// \brief The fixed frame header, in decoded (host) form.
+struct FrameHeader {
+  Opcode opcode = Opcode::kPing;
+  uint64_t request_id = 0;
+  uint32_t deadline_ms = 0;  ///< 0 = no deadline
+  uint32_t payload_len = 0;
+};
+
+/// \brief Serializes header + payload + CRC trailer into one contiguous
+/// frame ready to write to a socket.
+std::vector<uint8_t> EncodeFrame(const FrameHeader& header,
+                                 std::span<const uint8_t> payload);
+
+/// \brief Decodes and validates the fixed header from `bytes` (which must
+/// hold at least kHeaderSize). Checks magic, version, flags and the
+/// payload-length ceiling — everything that can be validated before the
+/// payload arrives. The CRC is checked later by VerifyFrame.
+Result<FrameHeader> DecodeHeader(std::span<const uint8_t> bytes,
+                                 uint32_t max_payload = kDefaultMaxPayload);
+
+/// \brief Verifies the CRC trailer of a complete frame (header + payload +
+/// trailer, exactly kHeaderSize + payload_len + kTrailerSize bytes).
+Status VerifyFrame(std::span<const uint8_t> frame);
+
+/// \brief Bounds-checked little-endian payload writer.
+class PayloadWriter {
+ public:
+  void PutU8(uint8_t v) { bytes_.push_back(v); }
+  void PutU16(uint16_t v);
+  void PutU32(uint32_t v);
+  void PutU64(uint64_t v);
+  /// IEEE-754 bit pattern, so the value round-trips bit-identically.
+  void PutF64(double v);
+  /// u16 length prefix + raw bytes (length-checked: at most 65535).
+  void PutString(std::string_view s);
+  /// u8 dimension count + one u64 per coordinate.
+  void PutCoords(std::span<const uint64_t> coords);
+
+  const std::vector<uint8_t>& bytes() const { return bytes_; }
+  std::vector<uint8_t> Take() { return std::move(bytes_); }
+
+ private:
+  std::vector<uint8_t> bytes_;
+};
+
+/// \brief Bounds-checked little-endian payload reader: every getter fails
+/// with kInvalidArgument instead of reading past the end, so a hostile
+/// payload cannot walk the parser out of bounds.
+class PayloadReader {
+ public:
+  explicit PayloadReader(std::span<const uint8_t> bytes) : bytes_(bytes) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<double> GetF64();
+  Result<std::string> GetString();
+  Result<std::vector<uint64_t>> GetCoords();
+
+  size_t remaining() const { return bytes_.size() - pos_; }
+  /// Trailing junk after a parsed body is itself a protocol error.
+  Status ExpectEnd() const;
+
+ private:
+  Status Need(size_t n) const;
+
+  std::span<const uint8_t> bytes_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Request bodies.
+
+/// kOpenCube / kCloseCube / kStats: just a cube name (kStats with an empty
+/// name asks for the server's own counters).
+struct CubeNameRequest {
+  std::string cube;
+};
+
+/// kPoint: `max_error` > 0 opts into a degraded answer within that bound
+/// (QueryOptions::max_error); 0 demands exactness.
+struct PointRequest {
+  std::string cube;
+  std::vector<uint64_t> point;
+  double max_error = 0.0;
+};
+
+/// kSum over the inclusive box [lo, hi]; same max_error contract.
+struct SumRequest {
+  std::string cube;
+  std::vector<uint64_t> lo;
+  std::vector<uint64_t> hi;
+  double max_error = 0.0;
+};
+
+/// kAdd: one accumulate delta.
+struct AddRequest {
+  std::string cube;
+  std::vector<uint64_t> coords;
+  double delta = 0.0;
+};
+
+/// kUpdate: a dense row-major box of deltas anchored at `origin`.
+struct UpdateRequest {
+  std::string cube;
+  std::vector<uint64_t> origin;
+  std::vector<uint64_t> dims;    ///< box extents, row-major values follow
+  std::vector<double> values;    ///< Π dims entries
+};
+
+std::vector<uint8_t> EncodeCubeNameRequest(const CubeNameRequest& req);
+Result<CubeNameRequest> DecodeCubeNameRequest(std::span<const uint8_t> body);
+std::vector<uint8_t> EncodePointRequest(const PointRequest& req);
+Result<PointRequest> DecodePointRequest(std::span<const uint8_t> body);
+std::vector<uint8_t> EncodeSumRequest(const SumRequest& req);
+Result<SumRequest> DecodeSumRequest(std::span<const uint8_t> body);
+std::vector<uint8_t> EncodeAddRequest(const AddRequest& req);
+Result<AddRequest> DecodeAddRequest(std::span<const uint8_t> body);
+std::vector<uint8_t> EncodeUpdateRequest(const UpdateRequest& req);
+Result<UpdateRequest> DecodeUpdateRequest(std::span<const uint8_t> body,
+                                          uint32_t max_payload =
+                                              kDefaultMaxPayload);
+
+// ---------------------------------------------------------------------------
+// Reply bodies.
+
+/// kPoint/kSum reply: either an exact value or a full DegradedResult —
+/// value, hard error bound, skipped blocks/shards and the reason — so a
+/// degraded answer's bound survives the wire bit-identically too.
+struct QueryReply {
+  bool degraded = false;
+  double value = 0.0;
+  double error_bound = 0.0;
+  uint64_t blocks_missing = 0;
+  DegradedReason reason = DegradedReason::kNone;
+  std::vector<uint32_t> shards_missing;
+
+  static QueryReply Exact(double v) {
+    QueryReply r;
+    r.value = v;
+    return r;
+  }
+  static QueryReply Degraded(const DegradedResult& d);
+  DegradedResult ToDegradedResult() const;
+};
+
+/// kStats reply: ordered key → counter pairs (flat, so the schema can grow
+/// without a protocol bump; clients print what they get).
+struct StatsReply {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+};
+
+/// kError reply body: the Status, with its code as the stable wire value.
+struct ErrorReply {
+  Status status;
+};
+
+std::vector<uint8_t> EncodeQueryReply(const QueryReply& reply);
+Result<QueryReply> DecodeQueryReply(std::span<const uint8_t> body);
+std::vector<uint8_t> EncodeStatsReply(const StatsReply& reply);
+Result<StatsReply> DecodeStatsReply(std::span<const uint8_t> body);
+std::vector<uint8_t> EncodeErrorReply(const Status& status);
+/// Decodes an error body back to the original Status. A wire code this
+/// build does not know maps to kInternal with the peer's code preserved in
+/// the message — never silently collapsed onto a real code.
+Result<ErrorReply> DecodeErrorReply(std::span<const uint8_t> body);
+
+/// \brief Stable wire value of a DegradedReason (protocol surface, like
+/// StatusCodeToWire).
+uint8_t DegradedReasonToWire(DegradedReason reason);
+Result<DegradedReason> DegradedReasonFromWire(uint8_t wire);
+
+}  // namespace net
+}  // namespace shiftsplit
+
+#endif  // SHIFTSPLIT_NET_WIRE_H_

@@ -99,4 +99,31 @@ uint64_t ZipfSampler::Sample(Xoshiro256& rng) const {
   return static_cast<uint64_t>(it - cdf_.begin());
 }
 
+BoundedZipfSampler::BoundedZipfSampler(uint64_t n, double theta) {
+  assert(n > 0);
+  assert(theta >= 0.0 && theta < 1.0);
+  n_ = n;
+  theta_ = theta;
+  alpha_ = 1.0 / (1.0 - theta);
+  zetan_ = 0.0;
+  for (uint64_t i = 0; i < n; ++i) {
+    zetan_ += 1.0 / std::pow(static_cast<double>(i + 1), theta);
+  }
+  const double zeta2 = theta == 0.0 ? 2.0 : 1.0 + std::pow(0.5, theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+  cut0_ = 1.0 / zetan_;
+  cut1_ = (1.0 + std::pow(0.5, theta)) / zetan_;
+}
+
+uint64_t BoundedZipfSampler::Sample(Xoshiro256& rng) const {
+  const double u = rng.NextDouble();
+  if (u < cut0_ || n_ == 1) return 0;
+  if (u < cut1_) return 1;
+  const uint64_t rank = static_cast<uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
 }  // namespace shiftsplit

@@ -64,6 +64,39 @@ class ZipfSampler {
   std::vector<double> cdf_;
 };
 
+/// \brief Bounded Zipf(theta) sampler over {0, ..., n-1} with O(1) state and
+/// O(1) rejection-free draws — Gray's method (Gray et al., SIGMOD '94, the
+/// YCSB key generator): one uniform variate is inverted through a closed-form
+/// approximation of the skewed CDF whose two leading ranks are handled
+/// exactly, so rank 0 is the most frequent and frequencies fall off as
+/// ~1/(rank+1)^theta. Unlike ZipfSampler there is no O(n) CDF table, so a
+/// load generator can draw keys from domains of billions of cells; the
+/// constructor's harmonic sum is the only O(n) cost.
+///
+/// theta must lie in [0, 1) — the classic YCSB range (0 is uniform; the
+/// tabulated ZipfSampler covers alpha >= 1).
+class BoundedZipfSampler {
+ public:
+  /// \param n      domain size (> 0)
+  /// \param theta  skew parameter in [0, 1)
+  BoundedZipfSampler(uint64_t n, double theta);
+
+  /// \brief Draws one rank in [0, n); rank 0 is the most frequent.
+  uint64_t Sample(Xoshiro256& rng) const;
+
+  uint64_t n() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  uint64_t n_ = 1;
+  double theta_ = 0.0;
+  double alpha_ = 0.0;      // 1 / (1 - theta)
+  double zetan_ = 0.0;      // generalized harmonic H_{n,theta}
+  double eta_ = 0.0;
+  double cut0_ = 0.0;       // P(rank == 0)
+  double cut1_ = 0.0;       // P(rank <= 1)
+};
+
 }  // namespace shiftsplit
 
 #endif  // SHIFTSPLIT_UTIL_RANDOM_H_

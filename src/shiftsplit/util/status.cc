@@ -41,6 +41,45 @@ std::optional<StatusCode> StatusCodeFromString(std::string_view name) {
   return std::nullopt;
 }
 
+uint32_t StatusCodeToWire(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return 0;
+    case StatusCode::kInvalidArgument:
+      return 1;
+    case StatusCode::kOutOfRange:
+      return 2;
+    case StatusCode::kNotFound:
+      return 3;
+    case StatusCode::kAlreadyExists:
+      return 4;
+    case StatusCode::kResourceExhausted:
+      return 5;
+    case StatusCode::kIOError:
+      return 6;
+    case StatusCode::kUnimplemented:
+      return 7;
+    case StatusCode::kInternal:
+      return 8;
+    case StatusCode::kChecksumMismatch:
+      return 9;
+    case StatusCode::kUnavailable:
+      return 10;
+    case StatusCode::kDeadlineExceeded:
+      return 11;
+    case StatusCode::kCancelled:
+      return 12;
+  }
+  return 8;  // corrupt enum value: report as Internal
+}
+
+std::optional<StatusCode> StatusCodeFromWire(uint32_t wire) {
+  for (StatusCode code : kAllStatusCodes) {
+    if (wire == StatusCodeToWire(code)) return code;
+  }
+  return std::nullopt;
+}
+
 std::string Status::ToString() const {
   if (ok()) return "OK";
   std::string result = StatusCodeToString(code_);

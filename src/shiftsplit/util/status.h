@@ -51,6 +51,17 @@ const char* StatusCodeToString(StatusCode code);
 /// \brief Inverse of StatusCodeToString; nullopt for unknown names.
 std::optional<StatusCode> StatusCodeFromString(std::string_view name);
 
+/// \brief Stable on-the-wire value of a status code for the net protocol.
+///
+/// The enum's in-memory values are an implementation detail (codes may be
+/// reordered or inserted); these explicit values are a public protocol
+/// surface and must never change once shipped. New codes get new values.
+uint32_t StatusCodeToWire(StatusCode code);
+
+/// \brief Inverse of StatusCodeToWire; nullopt for values this build does
+/// not know (e.g. a frame from a newer peer).
+std::optional<StatusCode> StatusCodeFromWire(uint32_t wire);
+
 /// \brief The outcome of a fallible operation: a code plus a message.
 ///
 /// A default-constructed Status is OK. Statuses are cheap to copy (OK carries

@@ -1,0 +1,268 @@
+#include "shiftsplit/net/wire.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <vector>
+
+namespace shiftsplit {
+namespace net {
+namespace {
+
+std::vector<uint8_t> Bytes(std::initializer_list<int> values) {
+  std::vector<uint8_t> out;
+  for (int v : values) out.push_back(static_cast<uint8_t>(v));
+  return out;
+}
+
+TEST(WireFrameTest, HeaderAndCrcRoundTrip) {
+  FrameHeader header;
+  header.opcode = Opcode::kPoint;
+  header.request_id = 0x1122334455667788ull;
+  header.deadline_ms = 250;
+  const std::vector<uint8_t> payload = Bytes({1, 2, 3, 4, 5});
+  const auto frame = EncodeFrame(header, payload);
+  ASSERT_EQ(frame.size(), kHeaderSize + payload.size() + kTrailerSize);
+
+  const auto decoded = DecodeHeader(frame);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->opcode, Opcode::kPoint);
+  EXPECT_EQ(decoded->request_id, header.request_id);
+  EXPECT_EQ(decoded->deadline_ms, 250u);
+  EXPECT_EQ(decoded->payload_len, payload.size());
+  EXPECT_TRUE(VerifyFrame(frame).ok());
+}
+
+TEST(WireFrameTest, TruncatedHeaderIsRejected) {
+  const auto frame = EncodeFrame(FrameHeader{}, {});
+  for (size_t len = 0; len < kHeaderSize; ++len) {
+    const auto r = DecodeHeader(std::span(frame.data(), len));
+    EXPECT_FALSE(r.ok()) << "length " << len;
+    EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(WireFrameTest, BadMagicVersionFlagsAreRejected) {
+  auto frame = EncodeFrame(FrameHeader{}, {});
+  auto corrupt = frame;
+  corrupt[0] ^= 0xff;  // magic
+  EXPECT_FALSE(DecodeHeader(corrupt).ok());
+  corrupt = frame;
+  corrupt[4] ^= 0xff;  // version
+  EXPECT_FALSE(DecodeHeader(corrupt).ok());
+  corrupt = frame;
+  corrupt[7] = 1;  // reserved flags
+  EXPECT_FALSE(DecodeHeader(corrupt).ok());
+}
+
+TEST(WireFrameTest, OversizedPayloadLenIsRejectedBeforeAllocation) {
+  auto frame = EncodeFrame(FrameHeader{}, {});
+  // Stamp an absurd payload_len (bytes 20..23).
+  frame[20] = 0xff;
+  frame[21] = 0xff;
+  frame[22] = 0xff;
+  frame[23] = 0x7f;
+  const auto r = DecodeHeader(frame);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(WireFrameTest, CrcMismatchIsChecksumMismatch) {
+  FrameHeader header;
+  header.opcode = Opcode::kAdd;
+  auto frame = EncodeFrame(header, Bytes({9, 9, 9}));
+  frame[kHeaderSize + 1] ^= 0x40;  // flip a payload bit
+  const Status st = VerifyFrame(frame);
+  EXPECT_EQ(st.code(), StatusCode::kChecksumMismatch);
+  // Corrupting the trailer itself must fail too.
+  auto frame2 = EncodeFrame(header, Bytes({9, 9, 9}));
+  frame2.back() ^= 0x01;
+  EXPECT_EQ(VerifyFrame(frame2).code(), StatusCode::kChecksumMismatch);
+}
+
+TEST(WirePayloadTest, ReaderStopsAtEveryTruncation) {
+  PayloadWriter w;
+  w.PutString("cube");
+  w.PutF64(1.5);
+  w.PutCoords(std::vector<uint64_t>{7, 8});
+  const auto full = w.bytes();
+  // Every proper prefix must fail decoding, never crash or over-read.
+  for (size_t len = 0; len < full.size(); ++len) {
+    const auto r =
+        DecodeAddRequest(std::span(full.data(), len));
+    EXPECT_FALSE(r.ok()) << "prefix " << len;
+  }
+  const auto ok = DecodeAddRequest(full);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->cube, "cube");
+  EXPECT_EQ(ok->delta, 1.5);
+  EXPECT_EQ(ok->coords, (std::vector<uint64_t>{7, 8}));
+}
+
+TEST(WirePayloadTest, TrailingJunkIsRejected) {
+  auto body = EncodeCubeNameRequest({"t"});
+  body.push_back(0);
+  EXPECT_FALSE(DecodeCubeNameRequest(body).ok());
+}
+
+TEST(WireRequestTest, PointAndSumRoundTripBitIdentically) {
+  PointRequest p;
+  p.cube = "temperature";
+  p.point = {123, 456, 789};
+  p.max_error = 0.0625;
+  const auto decoded = DecodePointRequest(EncodePointRequest(p));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->cube, p.cube);
+  EXPECT_EQ(decoded->point, p.point);
+  EXPECT_EQ(std::bit_cast<uint64_t>(decoded->max_error),
+            std::bit_cast<uint64_t>(p.max_error));
+
+  SumRequest s;
+  s.cube = "precip";
+  s.lo = {0, 1};
+  s.hi = {31, 63};
+  s.max_error = std::numeric_limits<double>::infinity();
+  const auto ds = DecodeSumRequest(EncodeSumRequest(s));
+  ASSERT_TRUE(ds.ok());
+  EXPECT_EQ(ds->lo, s.lo);
+  EXPECT_EQ(ds->hi, s.hi);
+  EXPECT_TRUE(std::isinf(ds->max_error));
+
+  SumRequest bad = s;
+  bad.hi = {31};
+  EXPECT_FALSE(DecodeSumRequest(EncodeSumRequest(bad)).ok());
+}
+
+TEST(WireRequestTest, UpdateRoundTripAndVolumeValidation) {
+  UpdateRequest u;
+  u.cube = "c";
+  u.origin = {4, 8};
+  u.dims = {2, 2};
+  u.values = {0.5, -1.25, 3.75, 0.0};
+  const auto body = EncodeUpdateRequest(u);
+  const auto decoded = DecodeUpdateRequest(body);
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_EQ(decoded->origin, u.origin);
+  EXPECT_EQ(decoded->dims, u.dims);
+  ASSERT_EQ(decoded->values.size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    EXPECT_EQ(std::bit_cast<uint64_t>(decoded->values[i]),
+              std::bit_cast<uint64_t>(u.values[i]));
+  }
+
+  // A value count that disagrees with the box volume is rejected.
+  UpdateRequest bad = u;
+  bad.values.pop_back();
+  EXPECT_FALSE(DecodeUpdateRequest(EncodeUpdateRequest(bad)).ok());
+  // Zero-extent boxes are rejected.
+  UpdateRequest zero = u;
+  zero.dims = {0, 2};
+  zero.values.clear();
+  EXPECT_FALSE(DecodeUpdateRequest(EncodeUpdateRequest(zero)).ok());
+}
+
+TEST(WireReplyTest, ExactQueryReplyRoundTripsBitIdentically) {
+  // A value with a messy mantissa: bit-for-bit equality is the contract.
+  const double value = 0.1 + 0.2;
+  const auto decoded = DecodeQueryReply(
+      EncodeQueryReply(QueryReply::Exact(value)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->degraded);
+  EXPECT_EQ(std::bit_cast<uint64_t>(decoded->value),
+            std::bit_cast<uint64_t>(value));
+}
+
+TEST(WireReplyTest, DegradedQueryReplyRoundTripsEverything) {
+  DegradedResult d;
+  d.value = -17.375;
+  d.error_bound = 2.5e-3;
+  d.blocks_missing = 42;
+  d.reason = DegradedReason::kShardUnavailable;
+  d.shards_missing = {1, 3};
+  const auto decoded =
+      DecodeQueryReply(EncodeQueryReply(QueryReply::Degraded(d)));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->degraded);
+  const DegradedResult back = decoded->ToDegradedResult();
+  EXPECT_EQ(std::bit_cast<uint64_t>(back.value),
+            std::bit_cast<uint64_t>(d.value));
+  EXPECT_EQ(std::bit_cast<uint64_t>(back.error_bound),
+            std::bit_cast<uint64_t>(d.error_bound));
+  EXPECT_EQ(back.blocks_missing, 42u);
+  EXPECT_EQ(back.reason, DegradedReason::kShardUnavailable);
+  EXPECT_EQ(back.shards_missing, d.shards_missing);
+  EXPECT_FALSE(back.exact());
+}
+
+TEST(WireReplyTest, EveryDegradedReasonRoundTrips) {
+  for (const DegradedReason reason :
+       {DegradedReason::kNone, DegradedReason::kQuarantined,
+        DegradedReason::kPinExhaustion, DegradedReason::kDeadline,
+        DegradedReason::kUnavailable, DegradedReason::kShardUnavailable}) {
+    const auto back = DegradedReasonFromWire(DegradedReasonToWire(reason));
+    ASSERT_TRUE(back.ok()) << DegradedReasonToString(reason);
+    EXPECT_EQ(*back, reason);
+  }
+  EXPECT_FALSE(DegradedReasonFromWire(250).ok());
+}
+
+TEST(WireReplyTest, StatsReplyRoundTrips) {
+  StatsReply stats;
+  stats.counters = {{"requests", 10}, {"rt_point_le_100us", 7},
+                    {"", ~uint64_t{0}}};
+  const auto decoded = DecodeStatsReply(EncodeStatsReply(stats));
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->counters, stats.counters);
+}
+
+TEST(WireReplyTest, StatsCountHarderThanBodyIsRejected) {
+  PayloadWriter w;
+  w.PutU32(1'000'000);  // a count no 4-byte body can hold
+  EXPECT_FALSE(DecodeStatsReply(w.bytes()).ok());
+}
+
+// The satellite contract: every StatusCode survives the wire error frame
+// exactly — no silent collapse onto kIOError or anything else.
+TEST(WireErrorTest, EveryStatusCodeRoundTripsThroughTheErrorFrame) {
+  size_t checked = 0;
+  for (const StatusCode code : kAllStatusCodes) {
+    const Status original(code, std::string("cause: ") +
+                                    StatusCodeToString(code));
+    const auto decoded = DecodeErrorReply(EncodeErrorReply(original));
+    ASSERT_TRUE(decoded.ok()) << StatusCodeToString(code);
+    EXPECT_EQ(decoded->status.code(), code) << StatusCodeToString(code);
+    EXPECT_EQ(decoded->status.message(), original.message());
+    ++checked;
+  }
+  EXPECT_EQ(checked, std::size(kAllStatusCodes));
+}
+
+TEST(WireErrorTest, UnknownPeerStatusCodeDoesNotCollapse) {
+  PayloadWriter w;
+  w.PutU32(777);  // a code from some future peer
+  w.PutString("novel failure");
+  const auto decoded = DecodeErrorReply(w.bytes());
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->status.code(), StatusCode::kInternal);
+  EXPECT_NE(decoded->status.message().find("777"), std::string::npos);
+  EXPECT_NE(decoded->status.message().find("novel failure"),
+            std::string::npos);
+}
+
+TEST(WireOpcodeTest, KnownAndUnknownOpcodes) {
+  for (const Opcode op :
+       {Opcode::kPing, Opcode::kOpenCube, Opcode::kCloseCube, Opcode::kPoint,
+        Opcode::kSum, Opcode::kAdd, Opcode::kUpdate, Opcode::kStats,
+        Opcode::kReply, Opcode::kError}) {
+    EXPECT_TRUE(IsKnownOpcode(static_cast<uint8_t>(op)));
+  }
+  EXPECT_FALSE(IsKnownOpcode(0));
+  EXPECT_FALSE(IsKnownOpcode(42));
+  EXPECT_FALSE(IsKnownOpcode(255));
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace shiftsplit

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <vector>
 
 namespace shiftsplit {
@@ -82,6 +83,54 @@ TEST(ZipfSamplerTest, SamplesStayInRange) {
   Xoshiro256 rng(3);
   ZipfSampler zipf(7, 2.0);
   for (int i = 0; i < 10000; ++i) EXPECT_LT(zipf.Sample(rng), 7u);
+}
+
+TEST(BoundedZipfSamplerTest, MonotoneRankFrequenciesOnSeededDraw) {
+  Xoshiro256 rng(0xdecafbad);
+  BoundedZipfSampler zipf(1000, 0.8);
+  std::vector<int> counts(1000, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Sample(rng)]++;
+  // Leading ranks must come out strictly ordered by frequency...
+  for (int r = 0; r + 1 < 8; ++r) {
+    EXPECT_GT(counts[r], counts[r + 1]) << "rank " << r;
+  }
+  // ...and the mean per-rank frequency must keep decaying across geometric
+  // rank bands, which pins the closed-form inversion's tail, not just the
+  // two exact leading ranks. (Total band mass grows for theta < 1 — the
+  // per-rank average is what Zipf monotonicity demands.)
+  double prev_mean = 1e18;
+  for (int lo = 1; lo < 1000; lo *= 4) {
+    const int hi = std::min(lo * 4, 1000);
+    long band = 0;
+    for (int r = lo; r < hi; ++r) band += counts[r];
+    const double mean = static_cast<double>(band) / (hi - lo);
+    EXPECT_LT(mean, prev_mean) << "band starting at " << lo;
+    prev_mean = mean;
+  }
+  EXPECT_GT(counts[0], kDraws / 20);  // rank 0 is genuinely hot
+}
+
+TEST(BoundedZipfSamplerTest, ThetaZeroIsRoughlyUniform) {
+  Xoshiro256 rng(11);
+  BoundedZipfSampler zipf(8, 0.0);
+  std::vector<int> counts(8, 0);
+  const int kDraws = 80000;
+  for (int i = 0; i < kDraws; ++i) counts[zipf.Sample(rng)]++;
+  for (int c : counts) EXPECT_NEAR(c, kDraws / 8, kDraws / 8 * 0.15);
+}
+
+TEST(BoundedZipfSamplerTest, SamplesStayInRangeAndDeterministic) {
+  Xoshiro256 a(17), b(17);
+  BoundedZipfSampler zipf(37, 0.99);
+  for (int i = 0; i < 20000; ++i) {
+    const uint64_t ra = zipf.Sample(a);
+    EXPECT_LT(ra, 37u);
+    EXPECT_EQ(ra, zipf.Sample(b));
+  }
+  // Degenerate single-element domain always returns rank 0.
+  BoundedZipfSampler one(1, 0.5);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(one.Sample(a), 0u);
 }
 
 }  // namespace

@@ -59,6 +59,29 @@ TEST(StatusTest, EveryCodeRoundTripsThroughItsName) {
   EXPECT_EQ(StatusCodeFromString("ok"), std::nullopt);  // case-sensitive
 }
 
+TEST(StatusTest, EveryCodeRoundTripsThroughItsWireValue) {
+  size_t checked = 0;
+  for (const StatusCode code : kAllStatusCodes) {
+    const uint32_t wire = StatusCodeToWire(code);
+    const auto parsed = StatusCodeFromWire(wire);
+    ASSERT_TRUE(parsed.has_value()) << StatusCodeToString(code);
+    EXPECT_EQ(*parsed, code) << StatusCodeToString(code);
+    ++checked;
+  }
+  EXPECT_EQ(checked, std::size(kAllStatusCodes));
+  // Wire values must be pairwise distinct or FromWire would be ambiguous.
+  for (const StatusCode a : kAllStatusCodes) {
+    for (const StatusCode b : kAllStatusCodes) {
+      if (a != b) {
+        EXPECT_NE(StatusCodeToWire(a), StatusCodeToWire(b));
+      }
+    }
+  }
+  // Values from a newer peer must be rejected, not collapsed to a real code.
+  EXPECT_EQ(StatusCodeFromWire(9999), std::nullopt);
+  EXPECT_EQ(StatusCodeFromWire(static_cast<uint32_t>(-1)), std::nullopt);
+}
+
 TEST(StatusTest, EqualityComparesCodeAndMessage) {
   EXPECT_EQ(Status::OK(), Status());
   EXPECT_EQ(Status::NotFound("x"), Status::NotFound("x"));

@@ -159,6 +159,63 @@ self_healing_smoke() {
   rm -rf "$(dirname "$store")"
 }
 
+# Network front-end smoke with the CLI (DESIGN.md §13): serve a store over
+# loopback, push an acknowledged write through the TCP client, kill -9 the
+# server (nothing drains), restart, and require the write to be visible
+# bit-exactly — the wire ack means the group-commit fsync held, so a crash
+# between ack and drain must lose nothing. Values are dyadic so the printed
+# %.17g answers compare with plain string equality. Finishes with a
+# graceful TERM drain (exit 0).
+net_smoke() {
+  local build_dir="$1"
+  local tool="$build_dir/tools/shiftsplit_tool"
+  local tmp store port_file port pid
+  tmp="$(mktemp -d)"
+  store="$tmp/store"
+  port_file="$tmp/port"
+  echo "==> net smoke [$build_dir]"
+  "$tool" create "$store" --form standard --dims 4,4 --b 2 >/dev/null
+  "$tool" serve --cube demo="$store" --listen 0 --port-file "$port_file" \
+    >/dev/null &
+  pid=$!
+  for _ in $(seq 1 100); do [ -s "$port_file" ] && break; sleep 0.1; done
+  port="$(cat "$port_file")"
+  "$tool" client ping --connect "127.0.0.1:$port" >/dev/null
+  "$tool" client update --connect "127.0.0.1:$port" --cube demo \
+    --origin 2,2 --dims 2,1 --values 2.5,1.25 >/dev/null || {
+    echo "net smoke: update was not acknowledged" >&2
+    exit 1
+  }
+  kill -9 "$pid"
+  wait "$pid" 2>/dev/null || true
+  rm -f "$port_file"
+  "$tool" serve --cube demo="$store" --listen 0 --port-file "$port_file" \
+    >/dev/null &
+  pid=$!
+  for _ in $(seq 1 100); do [ -s "$port_file" ] && break; sleep 0.1; done
+  port="$(cat "$port_file")"
+  local point sum
+  point="$("$tool" client point --connect "127.0.0.1:$port" --cube demo \
+    --at 2,2 --deadline-ms 5000)"
+  sum="$("$tool" client sum --connect "127.0.0.1:$port" --cube demo \
+    --lo 0,0 --hi 15,15 --deadline-ms 5000)"
+  if [ "$point" != "2.5" ] || [ "$sum" != "3.75" ]; then
+    echo "net smoke: kill -9 lost an acknowledged write" \
+      "(point=$point want 2.5, sum=$sum want 3.75)" >&2
+    exit 1
+  fi
+  "$tool" client stats --connect "127.0.0.1:$port" >/dev/null || {
+    echo "net smoke: stats failed" >&2
+    exit 1
+  }
+  kill -TERM "$pid"
+  wait "$pid" || {
+    echo "net smoke: graceful drain exited non-zero" >&2
+    exit 1
+  }
+  rm -rf "$tmp"
+}
+
 # Replayable chaos soak: `-L chaos` selects the fault-injection soaks —
 # including the self-healing sharded chaos (chaos_sharded_test) — with the
 # seed pinned so a failure reproduces bit-for-bit. Runs under the plain
@@ -219,12 +276,16 @@ sharded_serve_sim_smoke build-asan
 self_healing_smoke build
 self_healing_smoke build-asan
 
+net_smoke build
+net_smoke build-asan
+
 chaos_soak build
 chaos_soak build-tsan
 
 bench_schema build bench_kernels BENCH_kernels.json
 bench_schema build bench_serving BENCH_serving.json
 bench_schema build bench_ingest_batched BENCH_ingest.json
+bench_schema build bench_net BENCH_net.json
 
 # The sharded router/cube property tests (bit-identity vs the monolith,
 # per-shard crash matrix, self-healing chaos — chaos_sharded_test carries
@@ -251,6 +312,19 @@ for build_dir in build build-tsan; do
   echo "==> scrub tests [$build_dir, SHIFTSPLIT_FORCE_SCALAR=1]"
   SHIFTSPLIT_FORCE_SCALAR=1 \
     ctest --test-dir "$build_dir" -L scrub -j "$jobs" --output-on-failure
+done
+
+# Network front-end tests (DESIGN.md §13): the wire codec and the epoll
+# server/client pair. The server's loops, admission counter and drain path
+# are shared-state-by-design, so run under tsan as well, and in both kernel
+# dispatch modes — frame CRCs go through kernels::Active().crc32c, and a
+# tier-dependent checksum would reject every frame.
+for build_dir in build build-tsan; do
+  echo "==> net tests [$build_dir]"
+  ctest --test-dir "$build_dir" -L net -j "$jobs" --output-on-failure
+  echo "==> net tests [$build_dir, SHIFTSPLIT_FORCE_SCALAR=1]"
+  SHIFTSPLIT_FORCE_SCALAR=1 \
+    ctest --test-dir "$build_dir" -L net -j "$jobs" --output-on-failure
 done
 
 # The concurrent serving soak is where writer/reader/maintenance races would

@@ -25,6 +25,7 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <thread>
 #include <cstdio>
 #include <cstdlib>
@@ -40,6 +41,9 @@
 #include "shiftsplit/core/wavelet_cube.h"
 #include "shiftsplit/data/synthetic.h"
 #include "shiftsplit/data/temperature.h"
+#include "shiftsplit/net/cube_client.h"
+#include "shiftsplit/net/cube_registry.h"
+#include "shiftsplit/net/cube_server.h"
 #include "shiftsplit/service/serving_cube.h"
 #include "shiftsplit/service/sharded_cube.h"
 #include "shiftsplit/storage/manifest.h"
@@ -49,7 +53,8 @@ namespace {
 
 constexpr char kUsage[] =
     "usage: shiftsplit_tool "
-    "<create|ingest|info|point|sum|extract|scrub|serve-sim|stats|selftest> "
+    "<create|ingest|info|point|sum|extract|scrub|serve-sim|serve|client|"
+    "stats|selftest> "
     "<store-dir> [flags]\n"
     "  create  --form standard|nonstandard --dims 4,4,6 [--b 2]\n"
     "          [--norm average|orthonormal] [--shards N] [--parity G]\n"
@@ -78,7 +83,20 @@ constexpr char kUsage[] =
     "          poisoned, printing the cause)\n"
     "  stats   (pool + durability + serving counters in one table, with\n"
     "          shard health and poison cause; sharded stores add\n"
-    "          per-shard serving rows)\n";
+    "          per-shard serving rows)\n"
+    "  serve   --cube NAME=DIR[,NAME=DIR...] [--listen PORT]\n"
+    "          [--threads T] [--port-file PATH]\n"
+    "          (multi-tenant TCP front-end, DESIGN.md §13: opens every\n"
+    "          named store — monolithic or sharded, auto-detected — and\n"
+    "          serves the binary wire protocol until SIGINT/SIGTERM, then\n"
+    "          drains gracefully. --listen 0 binds an ephemeral port;\n"
+    "          --port-file writes the bound port for scripts)\n"
+    "  client  <ping|point|sum|add|update|stats> --connect HOST:PORT\n"
+    "          [--cube NAME] [--deadline-ms MS] [--max-error E]\n"
+    "          [--at X,Y,..] [--lo ..] [--hi ..]\n"
+    "          [--origin ..] [--dims ..] [--values V1,V2,..] [--delta D]\n"
+    "          (speaks the wire protocol to a running serve instance;\n"
+    "          values print with %.17g so answers compare bit-exactly)\n";
 
 struct Args {
   std::string command;
@@ -92,7 +110,19 @@ Result<Args> ParseArgs(int argc, char** argv) {
   if (argc < 2) return Status::InvalidArgument("missing command");
   args.command = argv[1];
   int i = 2;
-  if (args.command != "selftest") {
+  // serve takes no positional (cubes ride in --cube NAME=DIR); client's
+  // positional is the remote operation, not a store directory; selftest's
+  // directory is optional.
+  if (args.command == "serve") {
+    // flags only
+  } else if (args.command == "client") {
+    if (argc < 3 || argv[2][0] == '-') {
+      return Status::InvalidArgument(
+          "client needs an operation (ping|point|sum|add|update|stats)");
+    }
+    args.dir = argv[2];  // the remote operation
+    i = 3;
+  } else if (args.command != "selftest") {
     if (argc < 3) return Status::InvalidArgument("missing store directory");
     args.dir = argv[2];
     i = 3;
@@ -794,6 +824,217 @@ Status CmdStats(const Args& args) {
   return Status::OK();
 }
 
+// ---------------------------------------------------------------------------
+// serve / client: the TCP front-end (DESIGN.md §13).
+
+volatile std::sig_atomic_t g_serve_stop = 0;
+void ServeSignalHandler(int) { g_serve_stop = 1; }
+
+Status CmdServe(const Args& args) {
+  const auto cube_it = args.flags.find("cube");
+  if (cube_it == args.flags.end()) {
+    return Status::InvalidArgument(
+        "serve needs --cube NAME=DIR[,NAME=DIR...]");
+  }
+  auto registry = std::make_shared<net::CubeRegistry>();
+  std::vector<std::string> names;
+  const std::string& spec = cube_it->second;
+  size_t start = 0;
+  while (start <= spec.size()) {
+    const size_t comma = spec.find(',', start);
+    const std::string part =
+        spec.substr(start, comma == std::string::npos ? comma : comma - start);
+    const size_t eq = part.find('=');
+    if (eq == std::string::npos || eq == 0 || eq + 1 >= part.size()) {
+      return Status::InvalidArgument("bad --cube entry (want NAME=DIR): " +
+                                     part);
+    }
+    registry->Configure(part.substr(0, eq), part.substr(eq + 1));
+    names.push_back(part.substr(0, eq));
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  // Eager open: a missing or corrupt store fails the launch, not the first
+  // request.
+  for (const std::string& name : names) {
+    SS_RETURN_IF_ERROR(registry->Open(name).status());
+  }
+
+  net::CubeServer::Options options;
+  if (auto it = args.flags.find("listen"); it != args.flags.end()) {
+    options.port = static_cast<uint16_t>(std::stoul(it->second));
+  }
+  if (auto it = args.flags.find("threads"); it != args.flags.end()) {
+    options.num_threads = static_cast<uint32_t>(std::stoul(it->second));
+  }
+  net::CubeServer server(registry, options);
+  SS_RETURN_IF_ERROR(server.Start());
+  std::printf("serving %zu cube(s) on 127.0.0.1:%u\n", names.size(),
+              server.port());
+  std::fflush(stdout);
+  if (auto it = args.flags.find("port-file"); it != args.flags.end()) {
+    FILE* f = std::fopen(it->second.c_str(), "w");
+    if (f == nullptr) {
+      server.Stop();
+      return Status::IOError("cannot write --port-file " + it->second);
+    }
+    std::fprintf(f, "%u\n", server.port());
+    std::fclose(f);
+  }
+
+  std::signal(SIGINT, ServeSignalHandler);
+  std::signal(SIGTERM, ServeSignalHandler);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  std::printf("draining\n");
+  server.Stop();
+  return registry->CloseAll();
+}
+
+Result<std::vector<double>> ParseDoubleList(const std::string& csv) {
+  std::vector<double> out;
+  size_t start = 0;
+  while (start <= csv.size()) {
+    const size_t comma = csv.find(',', start);
+    const std::string part =
+        csv.substr(start, comma == std::string::npos ? comma : comma - start);
+    if (part.empty()) return Status::InvalidArgument("bad list: " + csv);
+    try {
+      out.push_back(std::stod(part));
+    } catch (const std::exception&) {
+      return Status::InvalidArgument("bad value: " + part);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> RequiredList(const Args& args,
+                                           const char* flag) {
+  const auto it = args.flags.find(flag);
+  if (it == args.flags.end()) {
+    return Status::InvalidArgument(std::string("need --") + flag);
+  }
+  return ParseList(it->second);
+}
+
+Status CmdClient(const Args& args) {
+  const std::string& op = args.dir;  // the positional after "client"
+  const auto connect_it = args.flags.find("connect");
+  if (connect_it == args.flags.end()) {
+    return Status::InvalidArgument("client needs --connect HOST:PORT");
+  }
+  const std::string& endpoint = connect_it->second;
+  const size_t colon = endpoint.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= endpoint.size()) {
+    return Status::InvalidArgument("bad --connect (want HOST:PORT): " +
+                                   endpoint);
+  }
+  const std::string host = endpoint.substr(0, colon);
+  const uint16_t port =
+      static_cast<uint16_t>(std::stoul(endpoint.substr(colon + 1)));
+
+  uint32_t deadline_ms = 0;
+  if (auto it = args.flags.find("deadline-ms"); it != args.flags.end()) {
+    deadline_ms = static_cast<uint32_t>(std::stoul(it->second));
+  }
+  double max_error = 0.0;
+  if (auto it = args.flags.find("max-error"); it != args.flags.end()) {
+    SS_ASSIGN_OR_RETURN(const auto parsed, ParseDoubleList(it->second));
+    if (parsed.size() != 1) {
+      return Status::InvalidArgument("--max-error wants one value");
+    }
+    max_error = parsed[0];
+  }
+  std::string cube;
+  if (auto it = args.flags.find("cube"); it != args.flags.end()) {
+    cube = it->second;
+  }
+  const auto need_cube = [&]() -> Status {
+    if (cube.empty()) {
+      return Status::InvalidArgument("client " + op + " needs --cube NAME");
+    }
+    return Status::OK();
+  };
+
+  net::CubeClient client(host, port);
+  if (op == "ping") {
+    SS_RETURN_IF_ERROR(client.Ping(deadline_ms));
+    std::printf("pong\n");
+    return Status::OK();
+  }
+  if (op == "point") {
+    SS_RETURN_IF_ERROR(need_cube());
+    SS_ASSIGN_OR_RETURN(const auto at, RequiredList(args, "at"));
+    SS_ASSIGN_OR_RETURN(
+        const DegradedResult result,
+        client.PointDegraded(cube, at, max_error, deadline_ms));
+    std::printf("%.17g\n", result.value);
+    if (!result.exact()) {
+      std::printf("# degraded: %s, |error| <= %.17g\n",
+                  DegradedReasonToString(result.reason), result.error_bound);
+    }
+    return Status::OK();
+  }
+  if (op == "sum") {
+    SS_RETURN_IF_ERROR(need_cube());
+    SS_ASSIGN_OR_RETURN(const auto lo, RequiredList(args, "lo"));
+    SS_ASSIGN_OR_RETURN(const auto hi, RequiredList(args, "hi"));
+    SS_ASSIGN_OR_RETURN(
+        const DegradedResult result,
+        client.SumDegraded(cube, lo, hi, max_error, deadline_ms));
+    std::printf("%.17g\n", result.value);
+    if (!result.exact()) {
+      std::printf("# degraded: %s, %zu shard(s) skipped, |error| <= %.17g\n",
+                  DegradedReasonToString(result.reason),
+                  result.shards_missing.size(), result.error_bound);
+    }
+    return Status::OK();
+  }
+  if (op == "add") {
+    SS_RETURN_IF_ERROR(need_cube());
+    SS_ASSIGN_OR_RETURN(const auto at, RequiredList(args, "at"));
+    const auto delta_it = args.flags.find("delta");
+    if (delta_it == args.flags.end()) {
+      return Status::InvalidArgument("client add needs --delta D");
+    }
+    SS_ASSIGN_OR_RETURN(const auto delta, ParseDoubleList(delta_it->second));
+    if (delta.size() != 1) {
+      return Status::InvalidArgument("--delta wants one value");
+    }
+    SS_RETURN_IF_ERROR(client.Add(cube, at, delta[0], deadline_ms));
+    std::printf("acked\n");
+    return Status::OK();
+  }
+  if (op == "update") {
+    SS_RETURN_IF_ERROR(need_cube());
+    SS_ASSIGN_OR_RETURN(const auto origin, RequiredList(args, "origin"));
+    SS_ASSIGN_OR_RETURN(const auto dims, RequiredList(args, "dims"));
+    const auto values_it = args.flags.find("values");
+    if (values_it == args.flags.end()) {
+      return Status::InvalidArgument("client update needs --values V1,V2,..");
+    }
+    SS_ASSIGN_OR_RETURN(const auto values,
+                        ParseDoubleList(values_it->second));
+    SS_RETURN_IF_ERROR(
+        client.Update(cube, origin, dims, values, deadline_ms));
+    std::printf("acked %zu value(s)\n", values.size());
+    return Status::OK();
+  }
+  if (op == "stats") {
+    SS_ASSIGN_OR_RETURN(const net::StatsReply stats,
+                        client.Stats(cube, deadline_ms));
+    for (const auto& [key, value] : stats.counters) {
+      std::printf("%-36s %llu\n", key.c_str(),
+                  static_cast<unsigned long long>(value));
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument("unknown client operation " + op);
+}
+
 Status CmdSelftest(const Args& args) {
   const std::string dir =
       args.dir.empty()
@@ -855,6 +1096,10 @@ int Main(int argc, char** argv) {
     status = scrub.status();
   } else if (args.command == "serve-sim") {
     status = CmdServeSim(args);
+  } else if (args.command == "serve") {
+    status = CmdServe(args);
+  } else if (args.command == "client") {
+    status = CmdClient(args);
   } else if (args.command == "stats") {
     status = CmdStats(args);
   } else if (args.command == "selftest") {
